@@ -1,0 +1,130 @@
+// Copyright 2026 The LTAM Authors.
+//
+// Enforcement-path benchmarks (Figure 3): Definition-7 decision latency
+// as the authorization database grows, and full engine request throughput
+// including adjacency checks, ledger, and movement recording.
+
+#include <benchmark/benchmark.h>
+
+#include "engine/access_control_engine.h"
+#include "sim/graph_gen.h"
+#include "sim/workload.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace ltam;  // NOLINT: harness brevity.
+
+struct World {
+  MultilevelLocationGraph graph;
+  UserProfileDatabase profiles;
+  AuthorizationDatabase auth_db;
+  std::vector<SubjectId> subjects;
+  std::vector<AccessRequest> requests;
+};
+
+World MakeWorld(uint32_t side, uint32_t subjects, uint32_t auths_per_loc) {
+  World w;
+  w.graph = MakeGridGraph(side, side).ValueOrDie();
+  w.subjects = GenerateSubjects(&w.profiles, subjects);
+  Rng rng(99);
+  AuthWorkloadOptions opt;
+  opt.auths_per_location = auths_per_loc;
+  opt.horizon = 500;
+  opt.min_len = 50;
+  opt.max_len = 200;
+  GenerateAuthorizations(w.graph, w.subjects, opt, &rng, &w.auth_db);
+  w.requests = GenerateRequests(w.graph, w.subjects, 4096, 500, &rng);
+  return w;
+}
+
+/// Pure Definition-7 checks against a database of state.range(0) total
+/// authorizations (16 subjects x grid x per-loc factor).
+void BM_CheckAccess(benchmark::State& state) {
+  World w = MakeWorld(16, 16, static_cast<uint32_t>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    const AccessRequest& req = w.requests[i++ % w.requests.size()];
+    benchmark::DoNotOptimize(
+        w.auth_db.CheckAccess(req.time, req.subject, req.location));
+  }
+  state.counters["auths"] = static_cast<double>(w.auth_db.active_size());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CheckAccess)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+/// Full engine path with adjacency off (card-reader-comparable).
+void BM_EngineRequestNoAdjacency(benchmark::State& state) {
+  World w = MakeWorld(16, 16, 2);
+  MovementDatabase movements;
+  EngineOptions options;
+  options.enforce_adjacency = false;
+  options.alert_on_denial = false;
+  AccessControlEngine engine(&w.graph, &w.auth_db, &movements, &w.profiles,
+                             options);
+  Chronon t = 0;
+  size_t i = 0;
+  for (auto _ : state) {
+    // Strictly increasing time keeps the movement database happy.
+    const AccessRequest& req = w.requests[i++ % w.requests.size()];
+    benchmark::DoNotOptimize(engine.RequestEntry(++t, req.subject,
+                                                 req.location));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineRequestNoAdjacency);
+
+/// Full engine path with adjacency enforcement: subjects walk neighbor to
+/// neighbor, the common production pattern.
+void BM_EngineRequestWalk(benchmark::State& state) {
+  World w = MakeWorld(16, 4, 1);
+  // Blanket authorizations so the walk is never policy-blocked.
+  for (SubjectId s : w.subjects) {
+    for (LocationId l : w.graph.Primitives()) {
+      w.auth_db.Add(LocationTemporalAuthorization::Make(
+                        TimeInterval(0, kChrononMax),
+                        TimeInterval(0, kChrononMax),
+                        LocationAuthorization{s, l}, kUnlimitedEntries)
+                        .ValueOrDie());
+    }
+  }
+  MovementDatabase movements;
+  AccessControlEngine engine(&w.graph, &w.auth_db, &movements, &w.profiles);
+  Rng rng(5);
+  Chronon t = 0;
+  // Enter everyone through the door first.
+  std::vector<LocationId> doors = w.graph.EntryPrimitives(w.graph.root());
+  for (SubjectId s : w.subjects) engine.RequestEntry(++t, s, doors[0]);
+  for (auto _ : state) {
+    SubjectId s = w.subjects[rng.Uniform(w.subjects.size())];
+    LocationId cur = movements.CurrentLocation(s);
+    const std::vector<LocationId>& adj = w.graph.EffectiveNeighbors(cur);
+    LocationId next = adj[rng.Uniform(adj.size())];
+    benchmark::DoNotOptimize(engine.RequestEntry(++t, s, next));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineRequestWalk);
+
+/// Ledger update cost.
+void BM_CheckAndRecord(benchmark::State& state) {
+  World w = MakeWorld(8, 8, 1);
+  // Unlimited-entry blanket auth for one subject/location pair.
+  AuthId id = w.auth_db.Add(
+      LocationTemporalAuthorization::Make(
+          TimeInterval(0, kChrononMax), TimeInterval(0, kChrononMax),
+          LocationAuthorization{w.subjects[0], w.graph.Primitives()[0]},
+          kUnlimitedEntries)
+          .ValueOrDie());
+  (void)id;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.auth_db.CheckAndRecordAccess(
+        100, w.subjects[0], w.graph.Primitives()[0]));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CheckAndRecord);
+
+}  // namespace
+
+BENCHMARK_MAIN();

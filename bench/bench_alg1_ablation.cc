@@ -1,0 +1,80 @@
+// Copyright 2026 The LTAM Authors.
+//
+// Ablation: the paper's Algorithm 1 as printed (sweep: every flagged
+// location reprocessed per pass over L) against the FIFO worklist variant
+// this library uses by default. Both compute the same fixpoint (tested in
+// inaccessible_property_test); the benchmark quantifies the wasted
+// rescans, reported via the `updates` counter and wall time.
+
+#include <benchmark/benchmark.h>
+
+#include "core/inaccessible.h"
+#include "sim/graph_gen.h"
+#include "sim/workload.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace ltam;  // NOLINT: harness brevity.
+
+struct Instance {
+  MultilevelLocationGraph graph;
+  UserProfileDatabase profiles;
+  AuthorizationDatabase auth_db;
+  SubjectId subject = kInvalidSubject;
+};
+
+Instance Make(uint32_t n, uint32_t degree, uint64_t seed) {
+  Instance inst;
+  Rng grng(seed);
+  inst.graph = MakeRandomRegularGraph(n, degree, &grng).ValueOrDie();
+  std::vector<SubjectId> subjects = GenerateSubjects(&inst.profiles, 1);
+  inst.subject = subjects[0];
+  AuthWorkloadOptions opt;
+  opt.horizon = 400;
+  opt.min_len = 100;
+  opt.max_len = 300;
+  opt.max_slack = 100;
+  Rng rng(seed * 3 + 1);
+  GenerateAuthorizations(inst.graph, subjects, opt, &rng, &inst.auth_db);
+  return inst;
+}
+
+void Run(benchmark::State& state, InaccessibleAlgorithm algorithm) {
+  Instance inst = Make(static_cast<uint32_t>(state.range(0)),
+                       static_cast<uint32_t>(state.range(1)), 42);
+  InaccessibleOptions options;
+  options.algorithm = algorithm;
+  size_t updates = 0;
+  for (auto _ : state) {
+    auto r = FindInaccessible(inst.graph, inst.graph.root(), inst.subject,
+                              inst.auth_db, options);
+    updates = r.ValueOrDie().updates;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["updates"] = static_cast<double>(updates);
+}
+
+void BM_Alg1_Sweep(benchmark::State& state) {
+  Run(state, InaccessibleAlgorithm::kSweep);
+}
+void BM_Alg1_Worklist(benchmark::State& state) {
+  Run(state, InaccessibleAlgorithm::kWorklist);
+}
+
+BENCHMARK(BM_Alg1_Sweep)
+    ->Args({64, 4})
+    ->Args({256, 4})
+    ->Args({1024, 4})
+    ->Args({256, 8})
+    ->Args({256, 16});
+BENCHMARK(BM_Alg1_Worklist)
+    ->Args({64, 4})
+    ->Args({256, 4})
+    ->Args({1024, 4})
+    ->Args({256, 8})
+    ->Args({256, 16});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,128 @@
+// Copyright 2026 The LTAM Authors.
+//
+// Figures 1-2 harness: rebuilds the NTU multilevel location graph,
+// re-derives the paper's route examples, and times the graph operations
+// the rest of the system leans on (flattening, routing, enumeration,
+// validation) on both the paper-scale graph and parametrically larger
+// campuses of the same shape.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "sim/graph_gen.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace ltam;  // NOLINT: harness brevity.
+
+void PrintReproduction() {
+  MultilevelLocationGraph g = MakeNtuCampusGraph().ValueOrDie();
+  std::printf("=== Figure 1/2 reproduction: NTU campus ===\n\n");
+  std::printf("%zu locations (%zu primitive), %zu edges, validation: %s\n",
+              g.size(), g.Primitives().size(), g.Edges().size(),
+              g.Validate().ToString().c_str());
+  auto id = [&g](const char* name) { return g.Find(name).ValueOrDie(); };
+  std::printf("simple route example:  ");
+  std::vector<LocationId> simple = {id("SCE.DeanOffice"), id("SCE.SectionA"),
+                                    id("SCE.SectionB"), id("CAIS")};
+  for (LocationId l : simple) std::printf("%s ", g.location(l).name.c_str());
+  std::printf("(valid: %s)\n", g.IsSimpleRoute(simple) ? "yes" : "no");
+  std::printf("complex route example: ");
+  std::vector<LocationId> complex_route =
+      g.FindRoute(id("EEE.DeanOffice"), id("SCE.DeanOffice")).ValueOrDie();
+  for (LocationId l : complex_route) {
+    std::printf("%s ", g.location(l).name.c_str());
+  }
+  std::printf("\n\n");
+}
+
+void BM_BuildNtuGraph(benchmark::State& state) {
+  for (auto _ : state) {
+    auto g = MakeNtuCampusGraph();
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_BuildNtuGraph);
+
+void BM_NtuComplexRoute(benchmark::State& state) {
+  MultilevelLocationGraph g = MakeNtuCampusGraph().ValueOrDie();
+  LocationId from = g.Find("EEE.DeanOffice").ValueOrDie();
+  LocationId to = g.Find("SCE.DeanOffice").ValueOrDie();
+  for (auto _ : state) {
+    auto r = g.FindRoute(from, to);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_NtuComplexRoute);
+
+void BM_NtuEnumerateRoutes(benchmark::State& state) {
+  MultilevelLocationGraph g = MakeNtuCampusGraph().ValueOrDie();
+  LocationId sce = g.Find("SCE").ValueOrDie();
+  LocationId from = g.Find("SCE.GO").ValueOrDie();
+  LocationId to = g.Find("CAIS").ValueOrDie();
+  for (auto _ : state) {
+    auto routes = g.EnumerateRoutesWithin(sce, from, to, 64, 64);
+    benchmark::DoNotOptimize(routes);
+  }
+}
+BENCHMARK(BM_NtuEnumerateRoutes);
+
+/// Campus-shaped graphs scaled up: buildings x rooms.
+void BM_CampusRoute(benchmark::State& state) {
+  uint32_t buildings = static_cast<uint32_t>(state.range(0));
+  uint32_t rooms = static_cast<uint32_t>(state.range(1));
+  MultilevelLocationGraph g = MakeCampusGraph(buildings, rooms).ValueOrDie();
+  LocationId from = g.Find("B0.R" + std::to_string(rooms - 1)).ValueOrDie();
+  LocationId to =
+      g.Find("B" + std::to_string(buildings / 2) + ".R" +
+             std::to_string(rooms - 1))
+          .ValueOrDie();
+  for (auto _ : state) {
+    auto r = g.FindRoute(from, to);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(static_cast<int64_t>(buildings) * rooms);
+}
+BENCHMARK(BM_CampusRoute)
+    ->Args({4, 8})
+    ->Args({8, 16})
+    ->Args({16, 32})
+    ->Args({32, 64})
+    ->Complexity(benchmark::oN);
+
+void BM_CampusFlatten(benchmark::State& state) {
+  uint32_t buildings = static_cast<uint32_t>(state.range(0));
+  uint32_t rooms = static_cast<uint32_t>(state.range(1));
+  MultilevelLocationGraph g = MakeCampusGraph(buildings, rooms).ValueOrDie();
+  LocationId probe = g.Find("B0.R0").ValueOrDie();
+  for (auto _ : state) {
+    // Mutating resets the cache; EffectiveNeighbors rebuilds it.
+    state.PauseTiming();
+    MultilevelLocationGraph copy = g;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(copy.EffectiveNeighbors(probe).size());
+  }
+}
+BENCHMARK(BM_CampusFlatten)->Args({8, 16})->Args({32, 64});
+
+void BM_CampusValidate(benchmark::State& state) {
+  MultilevelLocationGraph g = MakeCampusGraph(
+                                  static_cast<uint32_t>(state.range(0)),
+                                  static_cast<uint32_t>(state.range(1)))
+                                  .ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.Validate());
+  }
+}
+BENCHMARK(BM_CampusValidate)->Args({8, 16})->Args({32, 64});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Copyright 2026 The LTAM Authors.
+//
+// Section 6 complexity harness: the paper states Algorithm 1 runs in
+// O(NL^2 * Nd * Na) where NL = number of locations, Nd = maximum degree,
+// Na = maximum authorizations per location. This benchmark sweeps each
+// factor independently on generated graphs so the growth in each
+// dimension can be read off (and the asymptotic fit printed by
+// --benchmark_* complexity reporting):
+//
+//   - NL sweep at fixed degree (grid graphs, Nd = 4, Na = 1);
+//   - Nd sweep at fixed NL (random regular graphs, Na = 1);
+//   - Na sweep at fixed graph (grid 16x16, Nd = 4).
+//
+// Note the NL exponent observed is well below 2: the N^2 bound is the
+// paper's worst case (every sweep rescans all locations); the worklist
+// engine and typical workloads converge in near-linear location updates.
+
+#include <benchmark/benchmark.h>
+
+#include "core/inaccessible.h"
+#include "sim/graph_gen.h"
+#include "sim/workload.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace ltam;  // NOLINT: harness brevity.
+
+struct Instance {
+  MultilevelLocationGraph graph;
+  UserProfileDatabase profiles;
+  AuthorizationDatabase auth_db;
+  SubjectId subject = kInvalidSubject;
+};
+
+Instance GridInstance(uint32_t side, uint32_t auths_per_location) {
+  Instance inst;
+  inst.graph = MakeGridGraph(side, side).ValueOrDie();
+  std::vector<SubjectId> subjects = GenerateSubjects(&inst.profiles, 1);
+  inst.subject = subjects[0];
+  Rng rng(side * 1315423911ULL + auths_per_location);
+  AuthWorkloadOptions opt;
+  opt.auths_per_location = auths_per_location;
+  opt.horizon = 400;
+  opt.min_len = 100;
+  opt.max_len = 300;
+  opt.max_slack = 100;
+  GenerateAuthorizations(inst.graph, subjects, opt, &rng, &inst.auth_db);
+  return inst;
+}
+
+Instance RandomInstance(uint32_t n, uint32_t degree) {
+  Instance inst;
+  Rng grng(n * 2654435761ULL + degree);
+  inst.graph = MakeRandomRegularGraph(n, degree, &grng).ValueOrDie();
+  std::vector<SubjectId> subjects = GenerateSubjects(&inst.profiles, 1);
+  inst.subject = subjects[0];
+  Rng rng(n + degree);
+  AuthWorkloadOptions opt;
+  opt.horizon = 400;
+  opt.min_len = 100;
+  opt.max_len = 300;
+  opt.max_slack = 100;
+  GenerateAuthorizations(inst.graph, subjects, opt, &rng, &inst.auth_db);
+  return inst;
+}
+
+void RunOnce(benchmark::State& state, const Instance& inst,
+             InaccessibleAlgorithm algorithm) {
+  InaccessibleOptions options;
+  options.algorithm = algorithm;
+  size_t updates = 0;
+  for (auto _ : state) {
+    auto r = FindInaccessible(inst.graph, inst.graph.root(), inst.subject,
+                              inst.auth_db, options);
+    benchmark::DoNotOptimize(r);
+    updates = r.ValueOrDie().updates;
+  }
+  state.counters["updates"] = static_cast<double>(updates);
+  state.counters["locations"] =
+      static_cast<double>(inst.graph.Primitives().size());
+}
+
+/// NL sweep: grid side in {8, 16, 24, 32, 48, 64} -> NL in {64 .. 4096}.
+void BM_ScaleLocations(benchmark::State& state) {
+  Instance inst = GridInstance(static_cast<uint32_t>(state.range(0)), 1);
+  RunOnce(state, inst, InaccessibleAlgorithm::kWorklist);
+  state.SetComplexityN(state.range(0) * state.range(0));
+}
+BENCHMARK(BM_ScaleLocations)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(24)
+    ->Arg(32)
+    ->Arg(48)
+    ->Arg(64)
+    ->Complexity();
+
+/// Nd sweep at NL = 512.
+void BM_ScaleDegree(benchmark::State& state) {
+  Instance inst = RandomInstance(512, static_cast<uint32_t>(state.range(0)));
+  RunOnce(state, inst, InaccessibleAlgorithm::kWorklist);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ScaleDegree)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(12)
+    ->Arg(16)
+    ->Complexity();
+
+/// Na sweep on a 16x16 grid.
+void BM_ScaleAuthsPerLocation(benchmark::State& state) {
+  Instance inst = GridInstance(16, static_cast<uint32_t>(state.range(0)));
+  RunOnce(state, inst, InaccessibleAlgorithm::kWorklist);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ScaleAuthsPerLocation)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Complexity();
+
+/// The faithful sweep algorithm on the same NL ladder, for the worst-case
+/// flavor of the bound.
+void BM_ScaleLocationsSweep(benchmark::State& state) {
+  Instance inst = GridInstance(static_cast<uint32_t>(state.range(0)), 1);
+  RunOnce(state, inst, InaccessibleAlgorithm::kSweep);
+  state.SetComplexityN(state.range(0) * state.range(0));
+}
+BENCHMARK(BM_ScaleLocationsSweep)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(24)
+    ->Arg(32)
+    ->Arg(48)
+    ->Complexity();
+
+/// Hierarchical (Lemma 1) pruning on campus graphs.
+void BM_HierarchicalPrune(benchmark::State& state) {
+  Instance inst;
+  inst.graph = MakeCampusGraph(static_cast<uint32_t>(state.range(0)),
+                               static_cast<uint32_t>(state.range(1)))
+                   .ValueOrDie();
+  std::vector<SubjectId> subjects = GenerateSubjects(&inst.profiles, 1);
+  inst.subject = subjects[0];
+  Rng rng(7);
+  AuthWorkloadOptions opt;
+  opt.coverage = 0.6;
+  GenerateAuthorizations(inst.graph, subjects, opt, &rng, &inst.auth_db);
+  for (auto _ : state) {
+    auto r = HierarchicalInaccessiblePrune(inst.graph, inst.subject,
+                                           inst.auth_db);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_HierarchicalPrune)->Args({8, 16})->Args({16, 32});
+
+}  // namespace
+
+BENCHMARK_MAIN();

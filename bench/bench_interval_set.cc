@@ -1,0 +1,107 @@
+// Copyright 2026 The LTAM Authors.
+//
+// Microbenchmarks of the interval-set algebra underlying every T^g/T^d
+// computation in Algorithm 1 and every duration aggregate in the
+// authorization database.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "time/interval_set.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace ltam;  // NOLINT: harness brevity.
+
+IntervalSet RandomSet(Rng* rng, int intervals, Chronon span) {
+  IntervalSet s;
+  for (int i = 0; i < intervals; ++i) {
+    Chronon a = rng->UniformRange(0, span);
+    Chronon b = a + rng->UniformRange(0, span / (intervals * 2) + 1);
+    s.Add(TimeInterval(a, b));
+  }
+  return s;
+}
+
+void BM_Add(benchmark::State& state) {
+  Rng rng(1);
+  int n = static_cast<int>(state.range(0));
+  std::vector<TimeInterval> inputs;
+  for (int i = 0; i < 4096; ++i) {
+    Chronon a = rng.UniformRange(0, 100000);
+    inputs.emplace_back(a, a + rng.UniformRange(0, 50));
+  }
+  size_t i = 0;
+  IntervalSet s;
+  for (auto _ : state) {
+    if (static_cast<int>(s.size()) > n) {
+      state.PauseTiming();
+      s = IntervalSet();
+      state.ResumeTiming();
+    }
+    s.Add(inputs[i++ % inputs.size()]);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Add)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_Union(benchmark::State& state) {
+  Rng rng(2);
+  int n = static_cast<int>(state.range(0));
+  IntervalSet a = RandomSet(&rng, n, 100000);
+  IntervalSet b = RandomSet(&rng, n, 100000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Union(b));
+  }
+}
+BENCHMARK(BM_Union)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_Intersect(benchmark::State& state) {
+  Rng rng(3);
+  int n = static_cast<int>(state.range(0));
+  IntervalSet a = RandomSet(&rng, n, 100000);
+  IntervalSet b = RandomSet(&rng, n, 100000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Intersect(b));
+  }
+}
+BENCHMARK(BM_Intersect)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_Difference(benchmark::State& state) {
+  Rng rng(4);
+  int n = static_cast<int>(state.range(0));
+  IntervalSet a = RandomSet(&rng, n, 100000);
+  IntervalSet b = RandomSet(&rng, n, 100000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Difference(b));
+  }
+}
+BENCHMARK(BM_Difference)->Arg(4)->Arg(64);
+
+void BM_ContainsPoint(benchmark::State& state) {
+  Rng rng(5);
+  IntervalSet a = RandomSet(&rng, static_cast<int>(state.range(0)), 100000);
+  Chronon t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Contains(t));
+    t = (t + 9973) % 100000;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ContainsPoint)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_ParseRoundTrip(benchmark::State& state) {
+  Rng rng(6);
+  IntervalSet a = RandomSet(&rng, 16, 100000);
+  std::string text = a.ToString();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IntervalSet::Parse(text));
+  }
+}
+BENCHMARK(BM_ParseRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

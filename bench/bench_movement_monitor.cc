@@ -1,0 +1,123 @@
+// Copyright 2026 The LTAM Authors.
+//
+// Monitoring-path benchmarks: position-fix resolution through the spatial
+// index, presence-observation processing, overstay patrol ticks, and the
+// contact-tracing query of the Section 1 scenario.
+
+#include <benchmark/benchmark.h>
+
+#include "engine/access_control_engine.h"
+#include "sim/graph_gen.h"
+#include "sim/workload.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace ltam;  // NOLINT: harness brevity.
+
+struct World {
+  MultilevelLocationGraph graph;
+  UserProfileDatabase profiles;
+  AuthorizationDatabase auth_db;
+  std::vector<SubjectId> subjects;
+};
+
+/// A grid site with physical boundaries (10m rooms) and blanket access.
+World MakeWorld(uint32_t side, uint32_t subjects) {
+  World w;
+  w.graph = MakeGridGraph(side, side).ValueOrDie();
+  for (uint32_t y = 0; y < side; ++y) {
+    for (uint32_t x = 0; x < side; ++x) {
+      LocationId room =
+          w.graph.Find("R" + std::to_string(x) + "_" + std::to_string(y))
+              .ValueOrDie();
+      Status st = w.graph.SetBoundary(
+          room, Polygon::Rect(x * 10.0, y * 10.0, x * 10.0 + 10, y * 10.0 + 10));
+      (void)st;
+    }
+  }
+  w.subjects = GenerateSubjects(&w.profiles, subjects);
+  for (SubjectId s : w.subjects) {
+    for (LocationId l : w.graph.Primitives()) {
+      w.auth_db.Add(LocationTemporalAuthorization::Make(
+                        TimeInterval(0, kChrononMax),
+                        TimeInterval(0, kChrononMax),
+                        LocationAuthorization{s, l}, kUnlimitedEntries)
+                        .ValueOrDie());
+    }
+  }
+  return w;
+}
+
+void BM_PositionFixResolution(benchmark::State& state) {
+  World w = MakeWorld(static_cast<uint32_t>(state.range(0)), 1);
+  LocationResolver resolver = LocationResolver::Build(w.graph).ValueOrDie();
+  Rng rng(7);
+  double extent = state.range(0) * 10.0;
+  for (auto _ : state) {
+    Point p{rng.UniformDouble() * extent, rng.UniformDouble() * extent};
+    benchmark::DoNotOptimize(resolver.Resolve(p));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PositionFixResolution)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_EnginePositionFixPipeline(benchmark::State& state) {
+  World w = MakeWorld(16, 8);
+  MovementDatabase movements;
+  AccessControlEngine engine(&w.graph, &w.auth_db, &movements, &w.profiles);
+  engine.AttachResolver(LocationResolver::Build(w.graph).ValueOrDie());
+  Rng rng(8);
+  Chronon t = 0;
+  for (auto _ : state) {
+    SubjectId s = w.subjects[rng.Uniform(w.subjects.size())];
+    Point p{rng.UniformDouble() * 160.0, rng.UniformDouble() * 160.0};
+    engine.HandlePositionFix({++t, s, p});
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["alerts"] = static_cast<double>(engine.alerts().size());
+}
+BENCHMARK(BM_EnginePositionFixPipeline);
+
+void BM_OverstayPatrolTick(benchmark::State& state) {
+  World w = MakeWorld(8, static_cast<uint32_t>(state.range(0)));
+  MovementDatabase movements;
+  AccessControlEngine engine(&w.graph, &w.auth_db, &movements, &w.profiles);
+  // Everyone inside the entry room.
+  Chronon t = 0;
+  LocationId door = w.graph.EntryPrimitives(w.graph.root())[0];
+  for (SubjectId s : w.subjects) engine.RequestEntry(++t, s, door);
+  for (auto _ : state) {
+    engine.Tick(++t);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_OverstayPatrolTick)->Arg(16)->Arg(256)->Arg(1024);
+
+void BM_ContactTracing(benchmark::State& state) {
+  World w = MakeWorld(8, static_cast<uint32_t>(state.range(0)));
+  MovementDatabase movements;
+  // A day of random co-movement.
+  Rng rng(11);
+  Chronon t = 0;
+  std::vector<LocationId> prims = w.graph.Primitives();
+  for (int step = 0; step < 64; ++step) {
+    for (SubjectId s : w.subjects) {
+      Status st = movements.RecordMovement(
+          ++t, s, prims[rng.Uniform(prims.size())]);
+      (void)st;
+    }
+  }
+  for (auto _ : state) {
+    SubjectId s = w.subjects[rng.Uniform(w.subjects.size())];
+    benchmark::DoNotOptimize(
+        movements.ContactsOf(s, TimeInterval(0, t), 1));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ContactTracing)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

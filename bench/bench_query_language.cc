@@ -1,0 +1,111 @@
+// Copyright 2026 The LTAM Authors.
+//
+// Query-engine and query-language benchmarks (the Figure 3 query engine
+// plus the future-work textual front end): parse+evaluate latency for
+// each statement family over a populated system.
+
+#include <benchmark/benchmark.h>
+
+#include "query/query_language.h"
+#include "sim/graph_gen.h"
+#include "sim/movement_sim.h"
+#include "sim/workload.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace ltam;  // NOLINT: harness brevity.
+
+struct World {
+  MultilevelLocationGraph graph;
+  UserProfileDatabase profiles;
+  AuthorizationDatabase auth_db;
+  MovementDatabase movements;
+  std::vector<SubjectId> subjects;
+
+  World() {
+    graph = MakeCampusGraph(4, 8).ValueOrDie();
+    subjects = GenerateSubjects(&profiles, 16);
+    Rng rng(21);
+    AuthWorkloadOptions opt;
+    opt.coverage = 0.8;
+    opt.horizon = 50;
+    opt.min_len = 100;
+    opt.max_len = 250;
+    opt.max_slack = 50;
+    GenerateAuthorizations(graph, subjects, opt, &rng, &auth_db);
+    // Deterministic corridor rights for u0 so the ROUTE query always has
+    // an authorized answer to find.
+    for (uint32_t r = 0; r < 8; ++r) {
+      auth_db.Add(LocationTemporalAuthorization::Make(
+                      TimeInterval(0, 300), TimeInterval(0, 400),
+                      LocationAuthorization{
+                          subjects[0],
+                          graph.Find("B0.R" + std::to_string(r)).ValueOrDie()},
+                      kUnlimitedEntries)
+                      .ValueOrDie());
+    }
+    // Populate movement history through the engine.
+    SimOptions sim;
+    sim.steps_per_subject = 32;
+    Scenario day = SimulateMovement(graph, auth_db, subjects, sim, &rng);
+    AccessControlEngine engine(&graph, &auth_db, &movements, &profiles);
+    ReplayOnEngine(day, &engine);
+  }
+};
+
+void RunQuery(benchmark::State& state, const std::string& query) {
+  World w;
+  QueryEngine qe(&w.graph, &w.auth_db, &w.movements, &w.profiles);
+  QueryInterpreter interp(&qe, &w.graph, &w.profiles, &w.movements,
+                          &w.auth_db);
+  // Sanity: the query must evaluate.
+  Result<QueryResult> check = interp.Run(query);
+  if (!check.ok()) {
+    state.SkipWithError(check.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.Run(query));
+  }
+  state.SetLabel(query);
+}
+
+void BM_QueryCanAccess(benchmark::State& state) {
+  RunQuery(state, "CAN u3 ACCESS B1.R4 AT 30");
+}
+BENCHMARK(BM_QueryCanAccess);
+
+void BM_QueryWhoCanAccess(benchmark::State& state) {
+  RunQuery(state, "WHO CAN ACCESS B2.R3 DURING [0, 200]");
+}
+BENCHMARK(BM_QueryWhoCanAccess);
+
+void BM_QueryInaccessible(benchmark::State& state) {
+  RunQuery(state, "INACCESSIBLE FOR u0");
+}
+BENCHMARK(BM_QueryInaccessible);
+
+void BM_QueryRoute(benchmark::State& state) {
+  RunQuery(state, "ROUTE FOR u0 FROM B0.R0 TO B0.R7 DURING [0, 300]");
+}
+BENCHMARK(BM_QueryRoute);
+
+void BM_QueryWhereWas(benchmark::State& state) {
+  RunQuery(state, "WHERE WAS u5 AT 40");
+}
+BENCHMARK(BM_QueryWhereWas);
+
+void BM_QueryContacts(benchmark::State& state) {
+  RunQuery(state, "CONTACTS OF u1 DURING [0, 200]");
+}
+BENCHMARK(BM_QueryContacts);
+
+void BM_QueryHistory(benchmark::State& state) {
+  RunQuery(state, "HISTORY OF u2");
+}
+BENCHMARK(BM_QueryHistory);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Copyright 2026 The LTAM Authors.
+//
+// Reproduces Figure 4 + Table 1 + Table 2: builds the paper's 4-location
+// example, runs Algorithm 1 with trace capture, prints the trace in
+// Table 2's layout and the final inaccessible set, then times the
+// algorithm on that instance.
+//
+// Expected output: row order Initiation, Update A, Update B, Update D,
+// Update C, Update A; final answer {C}. (The paper's printed cells
+// [20, 35]/[30, 50] in the last row are arithmetic typos — by its own
+// formulas, lines 21/24 of Algorithm 1, the contributions are
+// [20, 30]/[20, 50]; the unions, and hence the answer, are identical.
+// See EXPERIMENTS.md.)
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/inaccessible.h"
+#include "sim/graph_gen.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace ltam;  // NOLINT: harness brevity.
+
+struct Fixture {
+  MultilevelLocationGraph graph;
+  SubjectId alice = 0;
+  AuthorizationDatabase auth_db;
+
+  Fixture() : graph(MakeFig4Graph().ValueOrDie()) {
+    auto add = [this](const char* room, Chronon es, Chronon ee, Chronon xs,
+                      Chronon xe) {
+      auth_db.Add(LocationTemporalAuthorization::Make(
+                      TimeInterval(es, ee), TimeInterval(xs, xe),
+                      LocationAuthorization{
+                          alice, graph.Find(room).ValueOrDie()},
+                      1)
+                      .ValueOrDie());
+    };
+    // Table 1.
+    add("A", 2, 35, 20, 50);
+    add("B", 40, 60, 55, 80);
+    add("C", 38, 45, 70, 90);
+    add("D", 5, 25, 10, 30);
+  }
+};
+
+void PrintReproduction() {
+  Fixture f;
+  std::printf("=== Figure 4 / Table 1 / Table 2 reproduction ===\n\n");
+  std::printf("Location graph (Figure 4): A-B, A-D, B-C, C-D; entry A.\n");
+  std::printf("Authorizations (Table 1):\n");
+  for (AuthId id : f.auth_db.Active()) {
+    std::printf("  %s\n", f.auth_db.record(id).auth.ToString().c_str());
+  }
+  InaccessibleOptions options;
+  options.algorithm = InaccessibleAlgorithm::kWorklist;
+  options.capture_trace = true;
+  InaccessibleResult r =
+      FindInaccessible(f.graph, f.graph.root(), f.alice, f.auth_db, options)
+          .ValueOrDie();
+  std::printf("\nAlgorithm 1 trace (Table 2):\n%s",
+              r.TraceToString(f.graph).c_str());
+  std::printf("\nInaccessible locations:");
+  for (LocationId l : r.inaccessible) {
+    std::printf(" %s", f.graph.location(l).name.c_str());
+  }
+  std::printf("   (paper: C)\n\n");
+}
+
+void BM_Fig4FindInaccessible(benchmark::State& state) {
+  Fixture f;
+  InaccessibleOptions options;
+  options.algorithm = state.range(0) == 0 ? InaccessibleAlgorithm::kWorklist
+                                          : InaccessibleAlgorithm::kSweep;
+  for (auto _ : state) {
+    auto r =
+        FindInaccessible(f.graph, f.graph.root(), f.alice, f.auth_db, options);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(state.range(0) == 0 ? "worklist" : "sweep");
+}
+BENCHMARK(BM_Fig4FindInaccessible)->Arg(0)->Arg(1);
+
+void BM_Fig4TraceCapture(benchmark::State& state) {
+  Fixture f;
+  InaccessibleOptions options;
+  options.capture_trace = true;
+  for (auto _ : state) {
+    auto r =
+        FindInaccessible(f.graph, f.graph.root(), f.alice, f.auth_db, options);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Fig4TraceCapture);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Copyright 2026 The LTAM Authors.
+//
+// The paper's motivating scenario (Section 1): "Singapore has used RFIDs
+// to track movements of hospital users during the outbreaks of SARS...
+// users who were in contact with diagnosed SARS patients could be traced
+// and placed in quarantine."
+//
+// This example builds a small hospital, simulates staff and patient
+// movement through the enforcement engine (position fixes resolved
+// through room boundaries stand in for the RFID substrate), then runs the
+// contact-tracing query when one patient is diagnosed.
+//
+// Run: ./build/examples/hospital_tracking
+
+#include <cstdio>
+
+#include "engine/access_control_engine.h"
+#include "query/query_language.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace ltam;  // NOLINT: example brevity.
+
+/// Builds the hospital: lobby -> triage -> ward A / ward B -> ICU.
+MultilevelLocationGraph BuildHospital() {
+  MultilevelLocationGraph g("Hospital");
+  LocationId lobby = g.AddPrimitive("Lobby", g.root()).ValueOrDie();
+  LocationId triage = g.AddPrimitive("Triage", g.root()).ValueOrDie();
+  LocationId ward_a = g.AddPrimitive("WardA", g.root()).ValueOrDie();
+  LocationId ward_b = g.AddPrimitive("WardB", g.root()).ValueOrDie();
+  LocationId icu = g.AddPrimitive("ICU", g.root()).ValueOrDie();
+  LTAM_CHECK(g.AddEdge(lobby, triage).ok());
+  LTAM_CHECK(g.AddEdge(triage, ward_a).ok());
+  LTAM_CHECK(g.AddEdge(triage, ward_b).ok());
+  LTAM_CHECK(g.AddEdge(ward_a, icu).ok());
+  LTAM_CHECK(g.AddEdge(ward_b, icu).ok());
+  LTAM_CHECK(g.SetEntry(lobby).ok());
+  // Physical boundaries: a 50m x 20m floor plan.
+  LTAM_CHECK(g.SetBoundary(lobby, Polygon::Rect(0, 0, 10, 20)).ok());
+  LTAM_CHECK(g.SetBoundary(triage, Polygon::Rect(10, 0, 20, 20)).ok());
+  LTAM_CHECK(g.SetBoundary(ward_a, Polygon::Rect(20, 0, 35, 10)).ok());
+  LTAM_CHECK(g.SetBoundary(ward_b, Polygon::Rect(20, 10, 35, 20)).ok());
+  LTAM_CHECK(g.SetBoundary(icu, Polygon::Rect(35, 0, 50, 20)).ok());
+  LTAM_CHECK(g.Validate().ok());
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  MultilevelLocationGraph graph = BuildHospital();
+  UserProfileDatabase profiles;
+  SubjectId nurse = profiles.AddSubject("nurse.Tan").ValueOrDie();
+  SubjectId doctor = profiles.AddSubject("dr.Lim").ValueOrDie();
+  SubjectId patient1 = profiles.AddSubject("patient.Wong").ValueOrDie();
+  SubjectId patient2 = profiles.AddSubject("patient.Ng").ValueOrDie();
+
+  // Staff may go anywhere all day; patients only lobby/triage/their ward.
+  AuthorizationDatabase auth_db;
+  auto grant = [&](SubjectId s, const char* room) {
+    auth_db.Add(LocationTemporalAuthorization::Make(
+                    TimeInterval(0, 480), TimeInterval(0, 540),
+                    LocationAuthorization{
+                        s, graph.Find(room).ValueOrDie()},
+                    kUnlimitedEntries)
+                    .ValueOrDie());
+  };
+  for (SubjectId staff : {nurse, doctor}) {
+    for (const char* room : {"Lobby", "Triage", "WardA", "WardB", "ICU"}) {
+      grant(staff, room);
+    }
+  }
+  for (SubjectId p : {patient1, patient2}) {
+    for (const char* room : {"Lobby", "Triage"}) grant(p, room);
+  }
+  grant(patient1, "WardA");
+  grant(patient2, "WardB");
+
+  MovementDatabase movements;
+  AccessControlEngine engine(&graph, &auth_db, &movements, &profiles);
+  engine.AttachResolver(LocationResolver::Build(graph).ValueOrDie());
+
+  // A morning of position fixes from the tracking substrate (one chronon
+  // = one minute). patient.Wong incubates in WardA; nurse.Tan overlaps
+  // with him there, then moves on to WardB.
+  struct Fix {
+    Chronon t;
+    SubjectId who;
+    double x, y;
+  };
+  const Fix kFixes[] = {
+      {0, patient1, 5, 10},    // Wong in the lobby.
+      {5, patient1, 15, 10},   // ... triage.
+      {20, patient1, 25, 5},   // ... admitted to WardA.
+      {10, nurse, 5, 5},       // Tan arrives.
+      {15, nurse, 15, 5},      // ... triage.
+      {30, nurse, 27, 6},      // ... WardA rounds (overlap with Wong).
+      {90, nurse, 27, 15},     // ... WardB rounds.
+      {40, doctor, 5, 12},     // Lim arrives.
+      {50, doctor, 30, 4},     // ... straight to WardA (overlap).
+      {70, doctor, 40, 10},    // ... ICU.
+      {60, patient2, 5, 8},    // Ng arrives.
+      {75, patient2, 15, 12},  // ... triage.
+      {95, patient2, 30, 16},  // ... WardB (overlaps nurse there).
+  };
+  for (const Fix& fix : kFixes) {
+    engine.HandlePositionFix({fix.t, fix.who, {fix.x, fix.y}});
+  }
+  std::printf("tracked %zu movements, %zu alerts\n",
+              movements.history().size(), engine.alerts().size());
+
+  // t=120: patient.Wong is diagnosed. Trace every contact of the morning.
+  QueryEngine qe(&graph, &auth_db, &movements, &profiles);
+  QueryInterpreter interp(&qe, &graph, &profiles, &movements, &auth_db);
+  std::printf("\n> CONTACTS OF patient.Wong DURING [0, 120]\n");
+  std::printf("%s",
+              interp.Run("CONTACTS OF patient.Wong DURING [0, 120]")
+                  .ValueOrDie()
+                  .ToString()
+                  .c_str());
+
+  // Second-order contacts: whoever met the nurse after her WardA round.
+  std::printf("\n> CONTACTS OF nurse.Tan DURING [30, 120]\n");
+  std::printf("%s", interp.Run("CONTACTS OF nurse.Tan DURING [30, 120]")
+                        .ValueOrDie()
+                        .ToString()
+                        .c_str());
+
+  std::printf("\n> WHERE WAS dr.Lim AT 55\n");
+  std::printf("%s", interp.Run("WHERE WAS dr.Lim AT 55")
+                        .ValueOrDie()
+                        .ToString()
+                        .c_str());
+
+  std::printf("\n> OCCUPANTS OF WardA AT 50\n");
+  std::printf("%s", interp.Run("OCCUPANTS OF WardA AT 50")
+                        .ValueOrDie()
+                        .ToString()
+                        .c_str());
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Copyright 2026 The LTAM Authors.
+//
+// Quickstart: the smallest useful LTAM deployment.
+//
+// Builds a two-room site, grants the Section 5 authorizations
+//   A1: ([10, 20], [10, 50], (Alice, CAIS), 2)
+//   A2: ([5, 35], [20, 100], (Bob, CHIPES), 1)
+// and replays the paper's request timeline, printing each decision, then
+// shows an overstay alert being raised by the monitor.
+//
+// Run: ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "engine/access_control_engine.h"
+#include "graph/multilevel_graph.h"
+#include "util/logging.h"
+
+namespace {
+
+void Print(const char* what, const ltam::Decision& d) {
+  std::printf("  %-28s -> %s\n", what, d.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace ltam;  // NOLINT: example brevity.
+
+  // 1. Describe the location layout (Definition 1): one location graph
+  //    with two rooms; CAIS is the entry location.
+  MultilevelLocationGraph graph("Lab");
+  LocationId cais = graph.AddPrimitive("CAIS", graph.root()).ValueOrDie();
+  LocationId chipes = graph.AddPrimitive("CHIPES", graph.root()).ValueOrDie();
+  LTAM_CHECK(graph.AddEdge(cais, chipes).ok());
+  LTAM_CHECK(graph.SetEntry(cais).ok());
+  LTAM_CHECK(graph.Validate().ok());
+
+  // 2. Register the subjects.
+  UserProfileDatabase profiles;
+  SubjectId alice = profiles.AddSubject("Alice").ValueOrDie();
+  SubjectId bob = profiles.AddSubject("Bob").ValueOrDie();
+
+  // 3. Create the location-temporal authorizations (Definition 4).
+  AuthorizationDatabase auth_db;
+  auth_db.Add(LocationTemporalAuthorization::Make(
+                  TimeInterval(10, 20), TimeInterval(10, 50),
+                  LocationAuthorization{alice, cais}, 2)
+                  .ValueOrDie());
+  auth_db.Add(LocationTemporalAuthorization::Make(
+                  TimeInterval(5, 35), TimeInterval(20, 100),
+                  LocationAuthorization{bob, chipes}, 1)
+                  .ValueOrDie());
+
+  // 4. Enforce (Figure 3): the engine checks Definition 7 plus physical
+  //    adjacency and monitors movement continuously.
+  MovementDatabase movements;
+  AccessControlEngine engine(&graph, &auth_db, &movements, &profiles);
+
+  std::printf("Section 5 request timeline:\n");
+  // CHIPES is not a site door, so Bob walks in through CAIS's door... but
+  // he holds no CAIS authorization: his direct request is denied twice
+  // over. Disable adjacency for the paper-faithful timeline.
+  EngineOptions open_doors;
+  open_doors.enforce_adjacency = false;
+  MovementDatabase movements2;
+  AccessControlEngine paper_engine(&graph, &auth_db, &movements2, &profiles,
+                                   open_doors);
+  Print("(10, Alice, CAIS)", paper_engine.RequestEntry(10, alice, cais));
+  Print("(15, Bob,   CAIS)", paper_engine.RequestEntry(15, bob, cais));
+  Print("(16, Bob,   CHIPES)", paper_engine.RequestEntry(16, bob, chipes));
+  std::printf("  (20, Bob exits)\n");
+  LTAM_CHECK(paper_engine.RequestExit(20, bob).ok());
+  Print("(30, Bob,   CHIPES)", paper_engine.RequestEntry(30, bob, chipes));
+
+  // 5. Continuous monitoring: Alice must leave CAIS by t=50.
+  std::printf("\nMonitoring:\n");
+  paper_engine.Tick(60);
+  for (const Alert& alert : paper_engine.alerts()) {
+    if (alert.type != AlertType::kAccessDenied) {
+      std::printf("  ALERT %s\n", alert.ToString().c_str());
+    }
+  }
+
+  std::printf("\nMovement record of Alice:\n");
+  for (const Stay& stay : movements2.StaysOf(alice)) {
+    std::printf("  in %s from t=%lld%s\n",
+                graph.location(stay.location).name.c_str(),
+                static_cast<long long>(stay.enter_time),
+                stay.exit_time == kChrononMax ? " (still inside)" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "core/authorization.h"
+
+#include <algorithm>
+
+#include "graph/multilevel_graph.h"
+#include "util/string_util.h"
+
+namespace ltam {
+
+Result<LocationTemporalAuthorization> LocationTemporalAuthorization::Make(
+    TimeInterval entry_duration, TimeInterval exit_duration,
+    LocationAuthorization auth, int64_t max_entries) {
+  if (!entry_duration.valid()) {
+    return Status::InvalidArgument("entry duration " +
+                                   entry_duration.ToString() + " is empty");
+  }
+  if (!exit_duration.valid()) {
+    return Status::InvalidArgument("exit duration " +
+                                   exit_duration.ToString() + " is empty");
+  }
+  // Definition 4: tos >= tis and toe >= tie — one cannot be required to
+  // leave before one could have entered.
+  if (exit_duration.start() < entry_duration.start()) {
+    return Status::InvalidArgument(
+        "exit duration " + exit_duration.ToString() +
+        " starts before entry duration " + entry_duration.ToString());
+  }
+  if (exit_duration.end() < entry_duration.end()) {
+    return Status::InvalidArgument(
+        "exit duration " + exit_duration.ToString() +
+        " ends before entry duration " + entry_duration.ToString());
+  }
+  if (auth.subject == kInvalidSubject) {
+    return Status::InvalidArgument("authorization subject is unset");
+  }
+  if (auth.location == kInvalidLocation) {
+    return Status::InvalidArgument("authorization location is unset");
+  }
+  if (max_entries < 1) {
+    return Status::InvalidArgument(
+        StrFormat("entry count must be in [1, inf); got %lld",
+                  static_cast<long long>(max_entries)));
+  }
+  return LocationTemporalAuthorization(entry_duration, exit_duration, auth,
+                                       max_entries);
+}
+
+Result<LocationTemporalAuthorization>
+LocationTemporalAuthorization::MakeDefaultExit(TimeInterval entry_duration,
+                                               LocationAuthorization auth,
+                                               int64_t max_entries) {
+  if (!entry_duration.valid()) {
+    return Status::InvalidArgument("entry duration " +
+                                   entry_duration.ToString() + " is empty");
+  }
+  // "If the exit duration is not specified, the default value will be
+  // [tis, inf]."
+  return Make(entry_duration, TimeInterval::From(entry_duration.start()),
+              auth, max_entries);
+}
+
+std::optional<TimeInterval>
+LocationTemporalAuthorization::GrantDuration(
+    const TimeInterval& request_window) const {
+  Chronon s = std::max(request_window.start(), entry_duration_.start());
+  Chronon e = std::min(request_window.end(), entry_duration_.end());
+  if (s > e) return std::nullopt;
+  return TimeInterval(s, e);
+}
+
+std::optional<TimeInterval>
+LocationTemporalAuthorization::DepartureDuration(
+    const TimeInterval& request_window) const {
+  Chronon s = std::max(request_window.start(), exit_duration_.start());
+  Chronon e = exit_duration_.end();
+  if (s > e) return std::nullopt;
+  return TimeInterval(s, e);
+}
+
+std::string LocationTemporalAuthorization::ToString() const {
+  std::string n = max_entries_ == kUnlimitedEntries
+                      ? "inf"
+                      : std::to_string(max_entries_);
+  return "(" + entry_duration_.ToString() + ", " + exit_duration_.ToString() +
+         ", (s" + std::to_string(auth_.subject) + ", l" +
+         std::to_string(auth_.location) + "), " + n + ")";
+}
+
+std::string LocationTemporalAuthorization::ToString(
+    const UserProfileDatabase& profiles,
+    const MultilevelLocationGraph& graph) const {
+  std::string subject = profiles.Exists(auth_.subject)
+                            ? profiles.subject(auth_.subject).name
+                            : "s" + std::to_string(auth_.subject);
+  std::string location = graph.Exists(auth_.location)
+                             ? graph.location(auth_.location).name
+                             : "l" + std::to_string(auth_.location);
+  std::string n = max_entries_ == kUnlimitedEntries
+                      ? "inf"
+                      : std::to_string(max_entries_);
+  return "(" + entry_duration_.ToString() + ", " + exit_duration_.ToString() +
+         ", (" + subject + ", " + location + "), " + n + ")";
+}
+
+}  // namespace ltam

@@ -1,0 +1,117 @@
+// Copyright 2026 The LTAM Authors.
+// Location and location-temporal authorizations (Definitions 3 and 4).
+
+#ifndef LTAM_CORE_AUTHORIZATION_H_
+#define LTAM_CORE_AUTHORIZATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "graph/location.h"
+#include "profile/user_profile.h"
+#include "time/interval.h"
+#include "util/result.h"
+
+namespace ltam {
+
+/// Identifier of an authorization inside an AuthorizationDatabase.
+using AuthId = uint32_t;
+
+/// Sentinel for "no authorization".
+inline constexpr AuthId kInvalidAuth = UINT32_MAX;
+
+/// Identifier of an authorization rule (Definition 5).
+using RuleId = uint32_t;
+
+/// Sentinel for "no rule" (explicit, administrator-created authorization).
+inline constexpr RuleId kInvalidRule = UINT32_MAX;
+
+/// Unlimited entry count — the paper's default ("The default entry value
+/// is infinite.").
+inline constexpr int64_t kUnlimitedEntries = INT64_MAX;
+
+/// Definition 3: (s, l) — subject s may enter primitive location l.
+struct LocationAuthorization {
+  SubjectId subject = kInvalidSubject;
+  LocationId location = kInvalidLocation;
+
+  friend bool operator==(const LocationAuthorization& a,
+                         const LocationAuthorization& b) {
+    return a.subject == b.subject && a.location == b.location;
+  }
+};
+
+/// Definition 4: a location authorization with temporal constraints.
+///
+/// `([tis,tie], [tos,toe], (s,l), n)`: s may *enter* l during the entry
+/// duration at most n times and must *leave* during the exit duration
+/// ("If she does not exit during the exit duration, a warning signal to
+/// the security guards will be generated").
+///
+/// Structural constraints from Definition 4: tos >= tis and toe >= tie.
+/// Defaults: unspecified exit duration is [tis, +inf]; unspecified n is
+/// unlimited.
+class LocationTemporalAuthorization {
+ public:
+  /// Checked constructor enforcing Definition 4.
+  static Result<LocationTemporalAuthorization> Make(
+      TimeInterval entry_duration, TimeInterval exit_duration,
+      LocationAuthorization auth, int64_t max_entries = kUnlimitedEntries);
+
+  /// Checked constructor applying the default exit duration [tis, +inf].
+  static Result<LocationTemporalAuthorization> MakeDefaultExit(
+      TimeInterval entry_duration, LocationAuthorization auth,
+      int64_t max_entries = kUnlimitedEntries);
+
+  const TimeInterval& entry_duration() const { return entry_duration_; }
+  const TimeInterval& exit_duration() const { return exit_duration_; }
+  const LocationAuthorization& auth() const { return auth_; }
+  SubjectId subject() const { return auth_.subject; }
+  LocationId location() const { return auth_.location; }
+  int64_t max_entries() const { return max_entries_; }
+
+  /// Section 6: the *grant duration* of s for l in an access request
+  /// duration [tp, tq] is [max(tp, tis), min(tq, tie)]; nullopt when that
+  /// interval is empty.
+  std::optional<TimeInterval> GrantDuration(
+      const TimeInterval& request_window) const;
+
+  /// Section 6: the *departure duration* in [tp, tq] is
+  /// [max(tp, tos), toe]; nullopt when empty.
+  std::optional<TimeInterval> DepartureDuration(
+      const TimeInterval& request_window) const;
+
+  /// "([5, 20], [15, 50], (s3, l7), 2)" with numeric ids.
+  std::string ToString() const;
+
+  /// Same, resolving subject and location names ("(Alice, CAIS)").
+  std::string ToString(const UserProfileDatabase& profiles,
+                       const class MultilevelLocationGraph& graph) const;
+
+  friend bool operator==(const LocationTemporalAuthorization& a,
+                         const LocationTemporalAuthorization& b) {
+    return a.entry_duration_ == b.entry_duration_ &&
+           a.exit_duration_ == b.exit_duration_ && a.auth_ == b.auth_ &&
+           a.max_entries_ == b.max_entries_;
+  }
+
+ private:
+  LocationTemporalAuthorization(TimeInterval entry_duration,
+                                TimeInterval exit_duration,
+                                LocationAuthorization auth,
+                                int64_t max_entries)
+      : entry_duration_(entry_duration),
+        exit_duration_(exit_duration),
+        auth_(auth),
+        max_entries_(max_entries) {}
+
+  TimeInterval entry_duration_;
+  TimeInterval exit_duration_;
+  LocationAuthorization auth_;
+  int64_t max_entries_;
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_CORE_AUTHORIZATION_H_

@@ -1,0 +1,167 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "core/conflict.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace ltam {
+
+const char* ConflictKindToString(ConflictKind kind) {
+  switch (kind) {
+    case ConflictKind::kOverlapping:
+      return "overlapping";
+    case ConflictKind::kAdjacent:
+      return "adjacent";
+    case ConflictKind::kContainment:
+      return "containment";
+  }
+  return "unknown";
+}
+
+std::string Conflict::ToString() const {
+  return StrFormat("conflict(#%u, #%u, %s)", first, second,
+                   ConflictKindToString(kind));
+}
+
+namespace {
+
+/// Classifies the interaction of two entry durations, if any.
+std::optional<ConflictKind> Classify(const TimeInterval& a,
+                                     const TimeInterval& b) {
+  if (a.Contains(b) || b.Contains(a)) return ConflictKind::kContainment;
+  if (a.Overlaps(b)) return ConflictKind::kOverlapping;
+  if (a.Mergeable(b)) return ConflictKind::kAdjacent;
+  return std::nullopt;
+}
+
+std::vector<Conflict> DetectWithin(const AuthorizationDatabase& db,
+                                   const std::vector<AuthId>& group) {
+  std::vector<Conflict> out;
+  for (size_t i = 0; i < group.size(); ++i) {
+    for (size_t j = i + 1; j < group.size(); ++j) {
+      const TimeInterval& a = db.record(group[i]).auth.entry_duration();
+      const TimeInterval& b = db.record(group[j]).auth.entry_duration();
+      std::optional<ConflictKind> kind = Classify(a, b);
+      if (kind.has_value()) {
+        out.push_back(Conflict{std::min(group[i], group[j]),
+                               std::max(group[i], group[j]), *kind});
+      }
+    }
+  }
+  return out;
+}
+
+/// Groups active authorization ids by (subject, location).
+std::map<std::pair<SubjectId, LocationId>, std::vector<AuthId>> GroupActive(
+    const AuthorizationDatabase& db) {
+  std::map<std::pair<SubjectId, LocationId>, std::vector<AuthId>> groups;
+  for (AuthId id : db.Active()) {
+    const AuthRecord& rec = db.record(id);
+    groups[{rec.auth.subject(), rec.auth.location()}].push_back(id);
+  }
+  return groups;
+}
+
+}  // namespace
+
+std::vector<Conflict> DetectConflicts(const AuthorizationDatabase& db) {
+  std::vector<Conflict> out;
+  for (const auto& [key, group] : GroupActive(db)) {
+    std::vector<Conflict> part = DetectWithin(db, group);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+std::vector<Conflict> DetectConflicts(const AuthorizationDatabase& db,
+                                      SubjectId s, LocationId l) {
+  return DetectWithin(db, db.ForSubjectLocation(s, l));
+}
+
+Result<ConflictResolutionReport> ResolveConflicts(
+    AuthorizationDatabase* db, ConflictResolution policy) {
+  if (db == nullptr) return Status::InvalidArgument("null database");
+  ConflictResolutionReport report;
+
+  for (const auto& [key, group] : GroupActive(*db)) {
+    std::vector<Conflict> conflicts = DetectWithin(*db, group);
+    if (conflicts.empty()) continue;
+    report.conflicts_found += conflicts.size();
+
+    if (policy == ConflictResolution::kKeepEarlier ||
+        policy == ConflictResolution::kKeepLater) {
+      std::set<AuthId> to_revoke;
+      for (const Conflict& c : conflicts) {
+        // Ids ascend with creation time, so "earlier" = lower id.
+        to_revoke.insert(policy == ConflictResolution::kKeepEarlier
+                             ? c.second
+                             : c.first);
+      }
+      // Never revoke every member of the group: keep at least the policy's
+      // preferred record. (With pairwise conflicts among >= 2 records the
+      // preferred extreme is never selected for revocation, so this is
+      // automatic.)
+      for (AuthId id : to_revoke) {
+        LTAM_RETURN_IF_ERROR(db->Revoke(id));
+        ++report.revoked;
+      }
+      continue;
+    }
+
+    // kMerge: union-find over conflicting pairs, then coalesce each
+    // connected component whose durations merge cleanly.
+    std::map<AuthId, AuthId> parent;
+    for (AuthId id : group) parent[id] = id;
+    std::function<AuthId(AuthId)> find = [&](AuthId x) {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+      }
+      return x;
+    };
+    for (const Conflict& c : conflicts) {
+      parent[find(c.first)] = find(c.second);
+    }
+    std::map<AuthId, std::vector<AuthId>> components;
+    for (AuthId id : group) components[find(id)].push_back(id);
+
+    for (const auto& [rootid, members] : components) {
+      if (members.size() < 2) continue;
+      // Merge entry and exit durations; refuse when either union is not a
+      // single interval (that would silently widen privileges).
+      IntervalSet entry_union;
+      IntervalSet exit_union;
+      int64_t n = 1;
+      for (AuthId id : members) {
+        const LocationTemporalAuthorization& a = db->record(id).auth;
+        entry_union.Add(a.entry_duration());
+        exit_union.Add(a.exit_duration());
+        n = std::max(n, a.max_entries());
+      }
+      if (entry_union.size() != 1 || exit_union.size() != 1) {
+        continue;  // Unsafe to merge; leave for the administrator.
+      }
+      const AuthRecord& first_rec = db->record(members.front());
+      Result<LocationTemporalAuthorization> merged =
+          LocationTemporalAuthorization::Make(
+              entry_union.intervals().front(), exit_union.intervals().front(),
+              first_rec.auth.auth(), n);
+      if (!merged.ok()) continue;  // Def-4 violation after union; skip.
+      for (AuthId id : members) {
+        LTAM_RETURN_IF_ERROR(db->Revoke(id));
+        ++report.revoked;
+      }
+      db->Add(*merged);
+      ++report.merged_added;
+    }
+  }
+  return report;
+}
+
+}  // namespace ltam

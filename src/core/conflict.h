@@ -1,0 +1,83 @@
+// Copyright 2026 The LTAM Authors.
+// Authorization conflict detection and resolution.
+//
+// Section 4: "the authorization rules may introduce conflicts of
+// authorizations... For example, a derived authorization may say that
+// Alice can enter CAIS during [5, 10]. However, another authorization may
+// state that Alice is authorized to enter CAIS during [10, 11]. This
+// conflict should be resolved either by combining the two authorizations,
+// or discarding one of them. The problem is left for future work." —
+// this module implements that future work: detection of overlapping or
+// adjacent authorizations for the same (subject, location), plus the two
+// resolution strategies the paper sketches.
+
+#ifndef LTAM_CORE_CONFLICT_H_
+#define LTAM_CORE_CONFLICT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/auth_database.h"
+
+namespace ltam {
+
+/// How two authorizations for the same (subject, location) interact.
+enum class ConflictKind : uint8_t {
+  /// Entry durations share at least one chronon.
+  kOverlapping = 0,
+  /// Entry durations are integer-adjacent ([5,10] then [11,20]) — the
+  /// paper's [5,10] / [10,11] example once intervals touch.
+  kAdjacent = 1,
+  /// One entry duration contains the other entirely.
+  kContainment = 2,
+};
+
+const char* ConflictKindToString(ConflictKind kind);
+
+/// A detected conflict between two active authorizations.
+struct Conflict {
+  AuthId first = kInvalidAuth;
+  AuthId second = kInvalidAuth;
+  ConflictKind kind = ConflictKind::kOverlapping;
+
+  std::string ToString() const;
+};
+
+/// Resolution strategies ("combining the two authorizations, or
+/// discarding one of them").
+enum class ConflictResolution : uint8_t {
+  /// Revoke both and add one merged authorization: entry/exit durations
+  /// unioned (they merge by construction), n = max of the two.
+  kMerge = 0,
+  /// Keep the older record (lower id); revoke the newer.
+  kKeepEarlier = 1,
+  /// Keep the newer record; revoke the older.
+  kKeepLater = 2,
+};
+
+/// Scans the active authorizations and reports every pairwise conflict.
+std::vector<Conflict> DetectConflicts(const AuthorizationDatabase& db);
+
+/// Scans only one (subject, location) pair.
+std::vector<Conflict> DetectConflicts(const AuthorizationDatabase& db,
+                                      SubjectId s, LocationId l);
+
+/// Outcome of ResolveConflicts.
+struct ConflictResolutionReport {
+  size_t conflicts_found = 0;
+  size_t revoked = 0;
+  size_t merged_added = 0;
+};
+
+/// Applies `policy` until the database is conflict-free. kMerge coalesces
+/// whole overlap groups into single authorizations; the keep-* policies
+/// drop records. Merging is only performed when both entry and exit
+/// durations merge into single intervals; pairs whose exit durations
+/// cannot merge are left untouched and reported (a safe merge would widen
+/// privileges).
+Result<ConflictResolutionReport> ResolveConflicts(AuthorizationDatabase* db,
+                                                  ConflictResolution policy);
+
+}  // namespace ltam
+
+#endif  // LTAM_CORE_CONFLICT_H_

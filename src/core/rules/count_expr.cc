@@ -1,0 +1,294 @@
+// Copyright 2026 The LTAM Authors.
+// Recursive-descent parser and evaluator for entry-count expressions.
+
+#include "core/rules/count_expr.h"
+
+#include <cctype>
+
+#include "core/authorization.h"
+#include "util/string_util.h"
+
+namespace ltam {
+
+namespace {
+
+/// Saturating arithmetic treating kUnlimitedEntries as +infinity.
+int64_t SatAdd(int64_t a, int64_t b) {
+  if (a == kUnlimitedEntries || b == kUnlimitedEntries) {
+    return kUnlimitedEntries;
+  }
+  if (a > 0 && b > kUnlimitedEntries - a) return kUnlimitedEntries;
+  if (a < 0 && b < INT64_MIN - a) return INT64_MIN;
+  return a + b;
+}
+
+int64_t SatMul(int64_t a, int64_t b) {
+  if (a == kUnlimitedEntries || b == kUnlimitedEntries) {
+    return kUnlimitedEntries;
+  }
+  if (a == 0 || b == 0) return 0;
+  if (a > kUnlimitedEntries / b && b > 0 && a > 0) return kUnlimitedEntries;
+  return a * b;
+}
+
+}  // namespace
+
+struct CountExpr::Node {
+  enum class Kind { kConst, kVar, kAdd, kSub, kMul, kDiv, kMin, kMax };
+  Kind kind = Kind::kConst;
+  int64_t value = 0;  // For kConst.
+  std::unique_ptr<Node> lhs;
+  std::unique_ptr<Node> rhs;
+
+  std::unique_ptr<Node> Clone() const {
+    auto out = std::make_unique<Node>();
+    out->kind = kind;
+    out->value = value;
+    if (lhs) out->lhs = lhs->Clone();
+    if (rhs) out->rhs = rhs->Clone();
+    return out;
+  }
+
+  int64_t Eval(int64_t n) const {
+    switch (kind) {
+      case Kind::kConst:
+        return value;
+      case Kind::kVar:
+        return n;
+      case Kind::kAdd:
+        return SatAdd(lhs->Eval(n), rhs->Eval(n));
+      case Kind::kSub: {
+        int64_t r = rhs->Eval(n);
+        if (r == kUnlimitedEntries) return 0;  // n - inf clamps low.
+        return SatAdd(lhs->Eval(n), -r);
+      }
+      case Kind::kMul:
+        return SatMul(lhs->Eval(n), rhs->Eval(n));
+      case Kind::kDiv: {
+        int64_t l = lhs->Eval(n);
+        int64_t r = rhs->Eval(n);
+        if (r == 0) return l;  // Clamped later anyway; avoid UB.
+        if (l == kUnlimitedEntries) {
+          return r == kUnlimitedEntries ? 1 : kUnlimitedEntries;
+        }
+        if (r == kUnlimitedEntries) return 0;
+        return l / r;
+      }
+      case Kind::kMin: {
+        int64_t l = lhs->Eval(n);
+        int64_t r = rhs->Eval(n);
+        return l < r ? l : r;
+      }
+      case Kind::kMax: {
+        int64_t l = lhs->Eval(n);
+        int64_t r = rhs->Eval(n);
+        return l > r ? l : r;
+      }
+    }
+    return 0;
+  }
+};
+
+namespace {
+
+/// Token-free recursive-descent parser over the raw string.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<std::unique_ptr<CountExpr::Node>> Parse() {
+    auto expr = ParseAddSub();
+    if (!expr.ok()) return expr.status();
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::ParseError("trailing characters in count expression: '" +
+                                text_.substr(pos_) + "'");
+    }
+    return expr;
+  }
+
+ private:
+  using NodePtr = std::unique_ptr<CountExpr::Node>;
+  using Kind = CountExpr::Node::Kind;
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  static NodePtr MakeBinary(Kind kind, NodePtr lhs, NodePtr rhs) {
+    auto node = std::make_unique<CountExpr::Node>();
+    node->kind = kind;
+    node->lhs = std::move(lhs);
+    node->rhs = std::move(rhs);
+    return node;
+  }
+
+  Result<NodePtr> ParseAddSub() {
+    auto lhs = ParseMulDiv();
+    if (!lhs.ok()) return lhs.status();
+    NodePtr node = std::move(lhs).ValueOrDie();
+    while (true) {
+      if (Consume('+')) {
+        auto rhs = ParseMulDiv();
+        if (!rhs.ok()) return rhs.status();
+        node = MakeBinary(Kind::kAdd, std::move(node),
+                          std::move(rhs).ValueOrDie());
+      } else if (Consume('-')) {
+        auto rhs = ParseMulDiv();
+        if (!rhs.ok()) return rhs.status();
+        node = MakeBinary(Kind::kSub, std::move(node),
+                          std::move(rhs).ValueOrDie());
+      } else {
+        return node;
+      }
+    }
+  }
+
+  Result<NodePtr> ParseMulDiv() {
+    auto lhs = ParseAtom();
+    if (!lhs.ok()) return lhs.status();
+    NodePtr node = std::move(lhs).ValueOrDie();
+    while (true) {
+      if (Consume('*')) {
+        auto rhs = ParseAtom();
+        if (!rhs.ok()) return rhs.status();
+        node = MakeBinary(Kind::kMul, std::move(node),
+                          std::move(rhs).ValueOrDie());
+      } else if (Consume('/')) {
+        auto rhs = ParseAtom();
+        if (!rhs.ok()) return rhs.status();
+        node = MakeBinary(Kind::kDiv, std::move(node),
+                          std::move(rhs).ValueOrDie());
+      } else {
+        return node;
+      }
+    }
+  }
+
+  Result<NodePtr> ParseAtom() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::ParseError("unexpected end of count expression");
+    }
+    char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      auto inner = ParseAddSub();
+      if (!inner.ok()) return inner.status();
+      if (!Consume(')')) {
+        return Status::ParseError("missing ')' in count expression");
+      }
+      return inner;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      LTAM_ASSIGN_OR_RETURN(int64_t v,
+                            ParseInt64(text_.substr(start, pos_ - start)));
+      auto node = std::make_unique<CountExpr::Node>();
+      node->kind = Kind::kConst;
+      node->value = v;
+      return node;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      std::string word = ToLower(text_.substr(start, pos_ - start));
+      if (word == "n") {
+        auto node = std::make_unique<CountExpr::Node>();
+        node->kind = Kind::kVar;
+        return node;
+      }
+      if (word == "inf" || word == "oo") {
+        auto node = std::make_unique<CountExpr::Node>();
+        node->kind = Kind::kConst;
+        node->value = kUnlimitedEntries;
+        return node;
+      }
+      if (word == "min" || word == "max") {
+        if (!Consume('(')) {
+          return Status::ParseError("expected '(' after '" + word + "'");
+        }
+        auto a = ParseAddSub();
+        if (!a.ok()) return a.status();
+        if (!Consume(',')) {
+          return Status::ParseError("expected ',' in '" + word + "(a, b)'");
+        }
+        auto b = ParseAddSub();
+        if (!b.ok()) return b.status();
+        if (!Consume(')')) {
+          return Status::ParseError("missing ')' after '" + word + "(a, b'");
+        }
+        return MakeBinary(word == "min" ? Kind::kMin : Kind::kMax,
+                          std::move(a).ValueOrDie(),
+                          std::move(b).ValueOrDie());
+      }
+      return Status::ParseError("unknown identifier '" + word +
+                                "' in count expression");
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' in count expression");
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+CountExpr::CountExpr(std::unique_ptr<Node> root, std::string text)
+    : root_(std::move(root)), text_(std::move(text)) {}
+
+CountExpr::CountExpr(const CountExpr& other)
+    : root_(other.root_ ? other.root_->Clone() : nullptr),
+      text_(other.text_) {}
+
+CountExpr& CountExpr::operator=(const CountExpr& other) {
+  if (this != &other) {
+    root_ = other.root_ ? other.root_->Clone() : nullptr;
+    text_ = other.text_;
+  }
+  return *this;
+}
+
+CountExpr::CountExpr(CountExpr&&) noexcept = default;
+CountExpr& CountExpr::operator=(CountExpr&&) noexcept = default;
+CountExpr::~CountExpr() = default;
+
+Result<CountExpr> CountExpr::Parse(const std::string& text) {
+  Parser parser(text);
+  auto root = parser.Parse();
+  if (!root.ok()) return root.status();
+  return CountExpr(std::move(root).ValueOrDie(), text);
+}
+
+CountExpr CountExpr::Identity() {
+  Result<CountExpr> r = Parse("n");
+  return std::move(r).ValueOrDie();
+}
+
+int64_t CountExpr::Eval(int64_t n) const {
+  int64_t v = root_->Eval(n);
+  // Definition 4: the range of entry is [1, inf).
+  return v < 1 ? 1 : v;
+}
+
+}  // namespace ltam

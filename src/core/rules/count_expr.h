@@ -1,0 +1,58 @@
+// Copyright 2026 The LTAM Authors.
+// Numeric expressions on the entry count (the `exp_n` element of an
+// authorization rule, Definition 5: "specifies a numeric expression on
+// the number of entries").
+
+#ifndef LTAM_CORE_RULES_COUNT_EXPR_H_
+#define LTAM_CORE_RULES_COUNT_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/result.h"
+
+namespace ltam {
+
+/// A small arithmetic expression over the base authorization's entry
+/// count `n`: integer literals, `n`, `inf`, `+ - * /`, parentheses, and
+/// the functions `min(a,b)` / `max(a,b)`.
+///
+/// Examples: "n" (copy), "2" (constant), "n+1", "min(n, 3)", "2*n".
+/// Division is integer division; division by zero and results < 1 clamp
+/// to 1 at evaluation (Definition 4 requires entry >= 1); `inf` is the
+/// unlimited sentinel and is absorbing for + and *.
+class CountExpr {
+ public:
+  /// Parses the expression; ParseError on malformed input.
+  static Result<CountExpr> Parse(const std::string& text);
+
+  /// The identity expression "n".
+  static CountExpr Identity();
+
+  /// Evaluates with the base count `n` (kUnlimitedEntries for infinity).
+  int64_t Eval(int64_t n) const;
+
+  /// The original source text.
+  const std::string& text() const { return text_; }
+
+  CountExpr(const CountExpr& other);
+  CountExpr& operator=(const CountExpr& other);
+  CountExpr(CountExpr&&) noexcept;
+  CountExpr& operator=(CountExpr&&) noexcept;
+  ~CountExpr();
+
+  /// AST node; public so the implementation's parser can build trees, but
+  /// opaque (defined only in count_expr.cc).
+  struct Node;
+
+ private:
+  explicit CountExpr(std::unique_ptr<Node> root, std::string text);
+
+  std::unique_ptr<Node> root_;
+  std::string text_;
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_CORE_RULES_COUNT_EXPR_H_

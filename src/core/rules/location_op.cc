@@ -1,0 +1,153 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "core/rules/location_op.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace ltam {
+
+Result<std::vector<LocationId>> IdentityLocationOp::Apply(
+    LocationId base, const MultilevelLocationGraph& graph) const {
+  if (!graph.Exists(base)) {
+    return Status::NotFound("base location does not exist");
+  }
+  return std::vector<LocationId>{base};
+}
+
+Result<std::vector<LocationId>> AllRouteFromOp::Apply(
+    LocationId base, const MultilevelLocationGraph& graph) const {
+  LTAM_ASSIGN_OR_RETURN(LocationId src, graph.Find(source_));
+  if (!graph.Exists(base) || !graph.location(base).IsPrimitive()) {
+    return Status::InvalidArgument(
+        "all_route_from needs a primitive base location");
+  }
+  // Example 3's result covers exactly the routes inside the source and
+  // destination's own location graph (SCE), not detours through sibling
+  // schools — scope the enumeration to their lowest common composite.
+  LTAM_ASSIGN_OR_RETURN(LocationId scope,
+                        graph.LowestCommonComposite(src, base));
+  std::vector<std::vector<LocationId>> routes =
+      graph.EnumerateRoutesWithin(scope, src, base, max_routes_, max_length_);
+  if (routes.empty()) {
+    return Status::NotFound("no route from '" + source_ + "' to '" +
+                            graph.location(base).name + "'");
+  }
+  std::set<LocationId> seen;
+  for (const std::vector<LocationId>& route : routes) {
+    for (LocationId l : route) seen.insert(l);
+  }
+  seen.erase(base);  // The base authorization already covers the base.
+  return std::vector<LocationId>(seen.begin(), seen.end());
+}
+
+Result<std::vector<LocationId>> ShortestRouteFromOp::Apply(
+    LocationId base, const MultilevelLocationGraph& graph) const {
+  LTAM_ASSIGN_OR_RETURN(LocationId src, graph.Find(source_));
+  LTAM_ASSIGN_OR_RETURN(std::vector<LocationId> route,
+                        graph.FindRoute(src, base));
+  std::vector<LocationId> out;
+  for (LocationId l : route) {
+    if (l != base) out.push_back(l);
+  }
+  return out;
+}
+
+Result<std::vector<LocationId>> NeighborsOp::Apply(
+    LocationId base, const MultilevelLocationGraph& graph) const {
+  if (!graph.Exists(base) || !graph.location(base).IsPrimitive()) {
+    return Status::InvalidArgument("neighbors needs a primitive base");
+  }
+  return graph.EffectiveNeighbors(base);
+}
+
+Result<std::vector<LocationId>> WithinCompositeOp::Apply(
+    LocationId /*base*/, const MultilevelLocationGraph& graph) const {
+  LTAM_ASSIGN_OR_RETURN(LocationId c, graph.Find(composite_));
+  if (!graph.location(c).IsComposite()) {
+    return Status::InvalidArgument("'" + composite_ + "' is not composite");
+  }
+  return graph.PrimitivesWithin(c);
+}
+
+Result<std::vector<LocationId>> EntriesOfOp::Apply(
+    LocationId /*base*/, const MultilevelLocationGraph& graph) const {
+  LTAM_ASSIGN_OR_RETURN(LocationId c, graph.Find(composite_));
+  std::vector<LocationId> entries = graph.EntryPrimitives(c);
+  if (entries.empty()) {
+    return Status::FailedPrecondition("'" + composite_ +
+                                      "' has no entry primitives");
+  }
+  return entries;
+}
+
+LocationOperatorRegistry LocationOperatorRegistry::Default() {
+  LocationOperatorRegistry reg;
+  reg.Register("identity",
+               [](const std::string&) -> Result<LocationOperatorPtr> {
+                 return LocationOperatorPtr(new IdentityLocationOp());
+               });
+  reg.Register("all_route_from",
+               [](const std::string& arg) -> Result<LocationOperatorPtr> {
+                 if (arg.empty()) {
+                   return Status::ParseError("all_route_from needs a source");
+                 }
+                 return LocationOperatorPtr(new AllRouteFromOp(arg));
+               });
+  reg.Register("shortest_route_from",
+               [](const std::string& arg) -> Result<LocationOperatorPtr> {
+                 if (arg.empty()) {
+                   return Status::ParseError(
+                       "shortest_route_from needs a source");
+                 }
+                 return LocationOperatorPtr(new ShortestRouteFromOp(arg));
+               });
+  reg.Register("neighbors",
+               [](const std::string&) -> Result<LocationOperatorPtr> {
+                 return LocationOperatorPtr(new NeighborsOp());
+               });
+  reg.Register("within",
+               [](const std::string& arg) -> Result<LocationOperatorPtr> {
+                 if (arg.empty()) {
+                   return Status::ParseError("within needs a composite");
+                 }
+                 return LocationOperatorPtr(new WithinCompositeOp(arg));
+               });
+  reg.Register("entries_of",
+               [](const std::string& arg) -> Result<LocationOperatorPtr> {
+                 if (arg.empty()) {
+                   return Status::ParseError("entries_of needs a composite");
+                 }
+                 return LocationOperatorPtr(new EntriesOfOp(arg));
+               });
+  return reg;
+}
+
+void LocationOperatorRegistry::Register(const std::string& name,
+                                        Factory factory) {
+  factories_[ToLower(name)] = std::move(factory);
+}
+
+Result<LocationOperatorPtr> LocationOperatorRegistry::Parse(
+    const std::string& spec) const {
+  std::string t = Trim(spec);
+  std::string name = t;
+  std::string arg;
+  size_t open = t.find('(');
+  if (open != std::string::npos) {
+    if (t.back() != ')') {
+      return Status::ParseError("unbalanced parentheses in '" + t + "'");
+    }
+    name = Trim(t.substr(0, open));
+    arg = Trim(t.substr(open + 1, t.size() - open - 2));
+  }
+  auto it = factories_.find(ToLower(name));
+  if (it == factories_.end()) {
+    return Status::NotFound("unknown location operator '" + name + "'");
+  }
+  return it->second(arg);
+}
+
+}  // namespace ltam

@@ -1,0 +1,153 @@
+// Copyright 2026 The LTAM Authors.
+// Location operators of authorization rules (Definition 5).
+//
+// "op_location is a location operator, which generates a set of primitive
+// locations for the derived authorizations, given the primitive location
+// l of a." The flagship operator is all_route_from (Example 3), which
+// grants access to every location on the routes between a source and the
+// base location.
+
+#ifndef LTAM_CORE_RULES_LOCATION_OP_H_
+#define LTAM_CORE_RULES_LOCATION_OP_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/multilevel_graph.h"
+#include "util/result.h"
+
+namespace ltam {
+
+/// Abstract location operator.
+class LocationOperator {
+ public:
+  virtual ~LocationOperator() = default;
+
+  /// Maps the base location to the derived locations (primitive ids).
+  virtual Result<std::vector<LocationId>> Apply(
+      LocationId base, const MultilevelLocationGraph& graph) const = 0;
+
+  /// Stable operator name for display and serialization.
+  virtual std::string ToString() const = 0;
+};
+
+using LocationOperatorPtr = std::shared_ptr<const LocationOperator>;
+
+/// Identity: the derived authorization keeps the base location.
+class IdentityLocationOp : public LocationOperator {
+ public:
+  Result<std::vector<LocationId>> Apply(
+      LocationId base, const MultilevelLocationGraph& graph) const override;
+  std::string ToString() const override { return "Identity"; }
+};
+
+/// all_route_from(src) (Example 3): the locations on the routes from
+/// `src` to the base location.
+///
+/// Example 3 applies all_route_from(SCE.GO) to base CAIS and obtains
+/// {SCE.GO, SCE.SectionA, SCE.SectionB, SCE.SectionC, SCE.CHIPES}: the
+/// union over all loop-free routes of every location visited, excluding
+/// the base location itself (the base authorization already covers it).
+/// We reproduce exactly that semantics; route enumeration is capped to
+/// keep the operator total on large graphs.
+class AllRouteFromOp : public LocationOperator {
+ public:
+  explicit AllRouteFromOp(std::string source, size_t max_routes = 64,
+                          size_t max_length = 64)
+      : source_(std::move(source)),
+        max_routes_(max_routes),
+        max_length_(max_length) {}
+  Result<std::vector<LocationId>> Apply(
+      LocationId base, const MultilevelLocationGraph& graph) const override;
+  std::string ToString() const override {
+    return "all_route_from(" + source_ + ")";
+  }
+
+ private:
+  std::string source_;
+  size_t max_routes_;
+  size_t max_length_;
+};
+
+/// shortest_route_from(src): only the locations on one shortest route
+/// (a tighter variant of all_route_from; includes the source, excludes
+/// the base).
+class ShortestRouteFromOp : public LocationOperator {
+ public:
+  explicit ShortestRouteFromOp(std::string source)
+      : source_(std::move(source)) {}
+  Result<std::vector<LocationId>> Apply(
+      LocationId base, const MultilevelLocationGraph& graph) const override;
+  std::string ToString() const override {
+    return "shortest_route_from(" + source_ + ")";
+  }
+
+ private:
+  std::string source_;
+};
+
+/// neighbors: the primitive locations directly reachable from the base
+/// (one step in the flattened adjacency).
+class NeighborsOp : public LocationOperator {
+ public:
+  Result<std::vector<LocationId>> Apply(
+      LocationId base, const MultilevelLocationGraph& graph) const override;
+  std::string ToString() const override { return "neighbors"; }
+};
+
+/// within(c): every primitive location that is part of composite c
+/// (independent of base) — e.g. grant a janitor the whole of SCE.
+class WithinCompositeOp : public LocationOperator {
+ public:
+  explicit WithinCompositeOp(std::string composite)
+      : composite_(std::move(composite)) {}
+  Result<std::vector<LocationId>> Apply(
+      LocationId base, const MultilevelLocationGraph& graph) const override;
+  std::string ToString() const override {
+    return "within(" + composite_ + ")";
+  }
+
+ private:
+  std::string composite_;
+};
+
+/// entries_of(c): the primitive entry doors of composite c.
+class EntriesOfOp : public LocationOperator {
+ public:
+  explicit EntriesOfOp(std::string composite)
+      : composite_(std::move(composite)) {}
+  Result<std::vector<LocationId>> Apply(
+      LocationId base, const MultilevelLocationGraph& graph) const override;
+  std::string ToString() const override {
+    return "entries_of(" + composite_ + ")";
+  }
+
+ private:
+  std::string composite_;
+};
+
+/// Registry of location operators addressable by name (mirrors
+/// SubjectOperatorRegistry; supports custom operators).
+class LocationOperatorRegistry {
+ public:
+  using Factory =
+      std::function<Result<LocationOperatorPtr>(const std::string& arg)>;
+
+  /// A registry pre-populated with the built-in operators.
+  static LocationOperatorRegistry Default();
+
+  void Register(const std::string& name, Factory factory);
+
+  /// Parses "name" or "name(arg)".
+  Result<LocationOperatorPtr> Parse(const std::string& spec) const;
+
+ private:
+  std::unordered_map<std::string, Factory> factories_;
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_CORE_RULES_LOCATION_OP_H_

@@ -1,0 +1,65 @@
+// Copyright 2026 The LTAM Authors.
+// Authorization rules (Definition 5): <tr : (a, OP)>.
+
+#ifndef LTAM_CORE_RULES_RULE_H_
+#define LTAM_CORE_RULES_RULE_H_
+
+#include <optional>
+#include <string>
+
+#include "core/authorization.h"
+#include "core/rules/count_expr.h"
+#include "core/rules/location_op.h"
+#include "core/rules/subject_op.h"
+#include "core/rules/temporal_op.h"
+
+namespace ltam {
+
+/// An authorization rule: from time `valid_from` (tr), derive
+/// authorizations from the base authorization `base` through the operator
+/// tuple (op_entry, op_exit, op_subject, op_location, exp_n).
+///
+/// "If any of the rule elements is not specified in a rule, the default
+/// value will be copied from the base authorization" — unset operators
+/// (null pointers / nullopt) behave as identity.
+struct AuthorizationRule {
+  RuleId id = kInvalidRule;
+  /// tr: the time from when the rule is valid.
+  Chronon valid_from = 0;
+  /// The base authorization (must exist in the authorization database).
+  AuthId base = kInvalidAuth;
+  /// Temporal operator on the entry duration (null = WHENEVER).
+  TemporalOperatorPtr op_entry;
+  /// Temporal operator on the exit duration (null = WHENEVER).
+  TemporalOperatorPtr op_exit;
+  /// Subject operator (null = identity).
+  SubjectOperatorPtr op_subject;
+  /// Location operator (null = identity).
+  LocationOperatorPtr op_location;
+  /// Entry-count expression (nullopt = copy n from the base).
+  std::optional<CountExpr> exp_n;
+  /// Administrator-facing label ("r1").
+  std::string label;
+
+  /// "<7 : (a1, (WHENEVER, WHENEVER, Supervisor_Of, CAIS, 2))>"-style
+  /// rendering.
+  std::string ToString() const {
+    std::string out = "<" + std::to_string(valid_from) + " : (a#" +
+                      std::to_string(base) + ", (";
+    out += op_entry ? op_entry->ToString() : "WHENEVER";
+    out += ", ";
+    out += op_exit ? op_exit->ToString() : "WHENEVER";
+    out += ", ";
+    out += op_subject ? op_subject->ToString() : "Identity";
+    out += ", ";
+    out += op_location ? op_location->ToString() : "Identity";
+    out += ", ";
+    out += exp_n.has_value() ? exp_n->text() : "n";
+    out += "))>";
+    return out;
+  }
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_CORE_RULES_RULE_H_

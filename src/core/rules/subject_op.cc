@@ -1,0 +1,122 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "core/rules/subject_op.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace ltam {
+
+Result<std::vector<SubjectId>> IdentitySubjectOp::Apply(
+    SubjectId base, const UserProfileDatabase& profiles) const {
+  if (!profiles.Exists(base)) {
+    return Status::NotFound("base subject does not exist");
+  }
+  return std::vector<SubjectId>{base};
+}
+
+Result<std::vector<SubjectId>> SupervisorOfOp::Apply(
+    SubjectId base, const UserProfileDatabase& profiles) const {
+  if (!profiles.Exists(base)) {
+    return Status::NotFound("base subject does not exist");
+  }
+  Result<SubjectId> sup = profiles.SupervisorOf(base);
+  if (!sup.ok()) return std::vector<SubjectId>{};  // No supervisor: derive nothing.
+  return std::vector<SubjectId>{*sup};
+}
+
+Result<std::vector<SubjectId>> SubordinatesOfOp::Apply(
+    SubjectId base, const UserProfileDatabase& profiles) const {
+  if (!profiles.Exists(base)) {
+    return Status::NotFound("base subject does not exist");
+  }
+  return profiles.SubordinatesOf(base);
+}
+
+Result<std::vector<SubjectId>> GroupMembersOp::Apply(
+    SubjectId /*base*/, const UserProfileDatabase& profiles) const {
+  return profiles.MembersOfGroup(group_);
+}
+
+Result<std::vector<SubjectId>> RoleHoldersOp::Apply(
+    SubjectId /*base*/, const UserProfileDatabase& profiles) const {
+  return profiles.SubjectsWithRole(role_);
+}
+
+Result<std::vector<SubjectId>> SameGroupAsOp::Apply(
+    SubjectId base, const UserProfileDatabase& profiles) const {
+  if (!profiles.Exists(base)) {
+    return Status::NotFound("base subject does not exist");
+  }
+  std::vector<SubjectId> out;
+  for (const std::string& group : profiles.subject(base).groups) {
+    for (SubjectId member : profiles.MembersOfGroup(group)) {
+      if (member != base) out.push_back(member);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+SubjectOperatorRegistry SubjectOperatorRegistry::Default() {
+  SubjectOperatorRegistry reg;
+  reg.Register("identity", [](const std::string&) -> Result<SubjectOperatorPtr> {
+    return SubjectOperatorPtr(new IdentitySubjectOp());
+  });
+  reg.Register("supervisor_of",
+               [](const std::string&) -> Result<SubjectOperatorPtr> {
+                 return SubjectOperatorPtr(new SupervisorOfOp());
+               });
+  reg.Register("subordinates_of",
+               [](const std::string&) -> Result<SubjectOperatorPtr> {
+                 return SubjectOperatorPtr(new SubordinatesOfOp());
+               });
+  reg.Register("group_members",
+               [](const std::string& arg) -> Result<SubjectOperatorPtr> {
+                 if (arg.empty()) {
+                   return Status::ParseError("Group_Members needs a group");
+                 }
+                 return SubjectOperatorPtr(new GroupMembersOp(arg));
+               });
+  reg.Register("role_holders",
+               [](const std::string& arg) -> Result<SubjectOperatorPtr> {
+                 if (arg.empty()) {
+                   return Status::ParseError("Role_Holders needs a role");
+                 }
+                 return SubjectOperatorPtr(new RoleHoldersOp(arg));
+               });
+  reg.Register("same_group_as",
+               [](const std::string&) -> Result<SubjectOperatorPtr> {
+                 return SubjectOperatorPtr(new SameGroupAsOp());
+               });
+  return reg;
+}
+
+void SubjectOperatorRegistry::Register(const std::string& name,
+                                       Factory factory) {
+  factories_[ToLower(name)] = std::move(factory);
+}
+
+Result<SubjectOperatorPtr> SubjectOperatorRegistry::Parse(
+    const std::string& spec) const {
+  std::string t = Trim(spec);
+  std::string name = t;
+  std::string arg;
+  size_t open = t.find('(');
+  if (open != std::string::npos) {
+    if (t.back() != ')') {
+      return Status::ParseError("unbalanced parentheses in '" + t + "'");
+    }
+    name = Trim(t.substr(0, open));
+    arg = Trim(t.substr(open + 1, t.size() - open - 2));
+  }
+  auto it = factories_.find(ToLower(name));
+  if (it == factories_.end()) {
+    return Status::NotFound("unknown subject operator '" + name + "'");
+  }
+  return it->second(arg);
+}
+
+}  // namespace ltam

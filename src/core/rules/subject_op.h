@@ -1,0 +1,128 @@
+// Copyright 2026 The LTAM Authors.
+// Subject operators of authorization rules (Definition 5).
+//
+// "op_subject takes subject s of a, and derives the subjects for the
+// derived authorizations based on some relationships between subjects."
+// The operators resolve against the user profile database (Figure 3);
+// custom operators can be registered by name ("customized operators can
+// be defined as well, which leads to greater degree of flexibility").
+
+#ifndef LTAM_CORE_RULES_SUBJECT_OP_H_
+#define LTAM_CORE_RULES_SUBJECT_OP_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "profile/user_profile.h"
+#include "util/result.h"
+
+namespace ltam {
+
+/// Abstract subject operator.
+class SubjectOperator {
+ public:
+  virtual ~SubjectOperator() = default;
+
+  /// Maps the base subject to the derived subjects. An empty vector is
+  /// legal (the rule then derives nothing), e.g. Supervisor_Of applied to
+  /// a subject without a supervisor.
+  virtual Result<std::vector<SubjectId>> Apply(
+      SubjectId base, const UserProfileDatabase& profiles) const = 0;
+
+  /// Stable operator name for display and serialization.
+  virtual std::string ToString() const = 0;
+};
+
+using SubjectOperatorPtr = std::shared_ptr<const SubjectOperator>;
+
+/// Identity: the derived authorization keeps the base subject.
+class IdentitySubjectOp : public SubjectOperator {
+ public:
+  Result<std::vector<SubjectId>> Apply(
+      SubjectId base, const UserProfileDatabase& profiles) const override;
+  std::string ToString() const override { return "Identity"; }
+};
+
+/// Supervisor_Of (Example 1): "returns the supervisor of a user by
+/// querying the user profile database."
+class SupervisorOfOp : public SubjectOperator {
+ public:
+  Result<std::vector<SubjectId>> Apply(
+      SubjectId base, const UserProfileDatabase& profiles) const override;
+  std::string ToString() const override { return "Supervisor_Of"; }
+};
+
+/// Subordinates_Of: every direct report of the base subject.
+class SubordinatesOfOp : public SubjectOperator {
+ public:
+  Result<std::vector<SubjectId>> Apply(
+      SubjectId base, const UserProfileDatabase& profiles) const override;
+  std::string ToString() const override { return "Subordinates_Of"; }
+};
+
+/// Group_Members(g): every member of group g (independent of base).
+class GroupMembersOp : public SubjectOperator {
+ public:
+  explicit GroupMembersOp(std::string group) : group_(std::move(group)) {}
+  Result<std::vector<SubjectId>> Apply(
+      SubjectId base, const UserProfileDatabase& profiles) const override;
+  std::string ToString() const override {
+    return "Group_Members(" + group_ + ")";
+  }
+
+ private:
+  std::string group_;
+};
+
+/// Role_Holders(r): every subject holding role r (independent of base).
+class RoleHoldersOp : public SubjectOperator {
+ public:
+  explicit RoleHoldersOp(std::string role) : role_(std::move(role)) {}
+  Result<std::vector<SubjectId>> Apply(
+      SubjectId base, const UserProfileDatabase& profiles) const override;
+  std::string ToString() const override {
+    return "Role_Holders(" + role_ + ")";
+  }
+
+ private:
+  std::string role_;
+};
+
+/// Same_Group_As: everyone sharing at least one group with the base
+/// subject, excluding the base subject.
+class SameGroupAsOp : public SubjectOperator {
+ public:
+  Result<std::vector<SubjectId>> Apply(
+      SubjectId base, const UserProfileDatabase& profiles) const override;
+  std::string ToString() const override { return "Same_Group_As"; }
+};
+
+/// Registry of subject operators addressable by name, including custom
+/// ones. Names are matched case-insensitively; an operator spec is
+/// "Name" or "Name(arg)".
+class SubjectOperatorRegistry {
+ public:
+  /// Factory signature; `arg` is the text between parentheses (empty when
+  /// absent).
+  using Factory =
+      std::function<Result<SubjectOperatorPtr>(const std::string& arg)>;
+
+  /// A registry pre-populated with the built-in operators.
+  static SubjectOperatorRegistry Default();
+
+  /// Registers (or replaces) a factory under `name`.
+  void Register(const std::string& name, Factory factory);
+
+  /// Parses an operator spec into an operator instance.
+  Result<SubjectOperatorPtr> Parse(const std::string& spec) const;
+
+ private:
+  std::unordered_map<std::string, Factory> factories_;
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_CORE_RULES_SUBJECT_OP_H_

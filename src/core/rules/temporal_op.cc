@@ -1,0 +1,83 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "core/rules/temporal_op.h"
+
+#include "util/string_util.h"
+
+namespace ltam {
+
+Result<IntervalSet> WheneverOp::Apply(const TimeInterval& input,
+                                      Chronon /*rule_valid_from*/) const {
+  return IntervalSet(input);
+}
+
+Result<IntervalSet> WheneverNotOp::Apply(const TimeInterval& input,
+                                         Chronon rule_valid_from) const {
+  IntervalSet out;
+  // Left piece [tr, t0 - 1].
+  if (input.start() != kChrononMin) {
+    Chronon left_end = ChrononSub(input.start(), 1);
+    if (rule_valid_from <= left_end) {
+      out.Add(TimeInterval(rule_valid_from, left_end));
+    }
+  }
+  // Right piece [t1 + 1, inf].
+  if (input.end() != kChrononMax) {
+    out.Add(TimeInterval(ChrononAdd(input.end(), 1), kChrononMax));
+  }
+  return out;
+}
+
+Result<IntervalSet> UnionOp::Apply(const TimeInterval& input,
+                                   Chronon /*rule_valid_from*/) const {
+  IntervalSet out(input);
+  out.Add(operand_);
+  return out;
+}
+
+Result<IntervalSet> IntersectionOp::Apply(const TimeInterval& input,
+                                          Chronon /*rule_valid_from*/) const {
+  IntervalSet out;
+  std::optional<TimeInterval> x = input.Intersect(operand_);
+  if (x.has_value()) out.Add(*x);
+  return out;
+}
+
+Result<IntervalSet> ShiftOp::Apply(const TimeInterval& input,
+                                   Chronon /*rule_valid_from*/) const {
+  return IntervalSet(TimeInterval(ChrononAdd(input.start(), offset_),
+                                  ChrononAdd(input.end(), offset_)));
+}
+
+Result<TemporalOperatorPtr> ParseTemporalOperator(const std::string& text) {
+  std::string t = Trim(text);
+  std::string upper = ToUpper(t);
+  if (upper == "WHENEVER") return TemporalOperatorPtr(new WheneverOp());
+  if (upper == "WHENEVERNOT") return TemporalOperatorPtr(new WheneverNotOp());
+  auto parse_arg = [&t]() -> Result<std::string> {
+    size_t open = t.find('(');
+    if (open == std::string::npos || t.back() != ')') {
+      return Status::ParseError("operator argument must be parenthesized: '" +
+                                t + "'");
+    }
+    return t.substr(open + 1, t.size() - open - 2);
+  };
+  if (StartsWith(upper, "UNION")) {
+    LTAM_ASSIGN_OR_RETURN(std::string arg, parse_arg());
+    LTAM_ASSIGN_OR_RETURN(TimeInterval operand, TimeInterval::Parse(arg));
+    return TemporalOperatorPtr(new UnionOp(operand));
+  }
+  if (StartsWith(upper, "INTERSECTION")) {
+    LTAM_ASSIGN_OR_RETURN(std::string arg, parse_arg());
+    LTAM_ASSIGN_OR_RETURN(TimeInterval operand, TimeInterval::Parse(arg));
+    return TemporalOperatorPtr(new IntersectionOp(operand));
+  }
+  if (StartsWith(upper, "SHIFT")) {
+    LTAM_ASSIGN_OR_RETURN(std::string arg, parse_arg());
+    LTAM_ASSIGN_OR_RETURN(Chronon offset, ParseChronon(arg));
+    return TemporalOperatorPtr(new ShiftOp(offset));
+  }
+  return Status::ParseError("unknown temporal operator: '" + t + "'");
+}
+
+}  // namespace ltam

@@ -1,0 +1,116 @@
+// Copyright 2026 The LTAM Authors.
+// Temporal operators of authorization rules (Definition 5).
+//
+// `op_entry` and `op_exit` "take [tis,tie] and [tos,toe] of a as inputs,
+// and generate the entry and exit durations for the derived
+// authorizations". An operator may yield several disjoint intervals
+// (WHENEVERNOT always does), in which case the rule engine derives one
+// authorization per interval.
+
+#ifndef LTAM_CORE_RULES_TEMPORAL_OP_H_
+#define LTAM_CORE_RULES_TEMPORAL_OP_H_
+
+#include <memory>
+#include <string>
+
+#include "time/interval_set.h"
+#include "util/result.h"
+
+namespace ltam {
+
+/// Abstract temporal operator.
+class TemporalOperator {
+ public:
+  virtual ~TemporalOperator() = default;
+
+  /// Applies the operator to `input` (the base authorization's duration).
+  /// `rule_valid_from` is tr, the time from when the rule is valid, which
+  /// WHENEVERNOT uses as the lower bound of its left complement interval.
+  virtual Result<IntervalSet> Apply(const TimeInterval& input,
+                                    Chronon rule_valid_from) const = 0;
+
+  /// Stable operator name for display and serialization.
+  virtual std::string ToString() const = 0;
+};
+
+using TemporalOperatorPtr = std::shared_ptr<const TemporalOperator>;
+
+/// WHENEVER: "a unary operator which returns the same time interval as
+/// the input."
+class WheneverOp : public TemporalOperator {
+ public:
+  Result<IntervalSet> Apply(const TimeInterval& input,
+                            Chronon rule_valid_from) const override;
+  std::string ToString() const override { return "WHENEVER"; }
+};
+
+/// WHENEVERNOT: "given an input time interval [t0, t1], returns
+/// [tr, t0-1] and [t1+1, inf]" — the complement of the input within
+/// [tr, inf). Either piece may be empty and is then dropped.
+class WheneverNotOp : public TemporalOperator {
+ public:
+  Result<IntervalSet> Apply(const TimeInterval& input,
+                            Chronon rule_valid_from) const override;
+  std::string ToString() const override { return "WHENEVERNOT"; }
+};
+
+/// UNION: binary; combines the input with the operand interval. "Given
+/// two input time intervals [t0,t1] and [t2,t3], UNION returns [t0,t3] if
+/// t2 <= t1; or [t0,t1] and [t2,t3] if t2 > t1" — i.e. interval-set
+/// union, which is how we implement it (also covering the symmetric cases
+/// the paper leaves implicit).
+class UnionOp : public TemporalOperator {
+ public:
+  explicit UnionOp(TimeInterval operand) : operand_(operand) {}
+  Result<IntervalSet> Apply(const TimeInterval& input,
+                            Chronon rule_valid_from) const override;
+  std::string ToString() const override {
+    return "UNION(" + operand_.ToString() + ")";
+  }
+  const TimeInterval& operand() const { return operand_; }
+
+ private:
+  TimeInterval operand_;
+};
+
+/// INTERSECTION: binary; "given [t0,t1] and [t2,t3], returns [t2,t1] if
+/// t2 <= t1; otherwise NULL" — interval intersection. A NULL result means
+/// the rule derives nothing for this duration (Example 2: the supervisor
+/// may access CAIS during [10,30] only when Alice is also authorized,
+/// yielding [10,20] from base [5,20]).
+class IntersectionOp : public TemporalOperator {
+ public:
+  explicit IntersectionOp(TimeInterval operand) : operand_(operand) {}
+  Result<IntervalSet> Apply(const TimeInterval& input,
+                            Chronon rule_valid_from) const override;
+  std::string ToString() const override {
+    return "INTERSECTION(" + operand_.ToString() + ")";
+  }
+  const TimeInterval& operand() const { return operand_; }
+
+ private:
+  TimeInterval operand_;
+};
+
+/// SHIFT (extension): translates the input by a fixed offset — handy for
+/// policies like "the cleaner may enter one hour after office staff".
+class ShiftOp : public TemporalOperator {
+ public:
+  explicit ShiftOp(Chronon offset) : offset_(offset) {}
+  Result<IntervalSet> Apply(const TimeInterval& input,
+                            Chronon rule_valid_from) const override;
+  std::string ToString() const override {
+    return "SHIFT(" + std::to_string(offset_) + ")";
+  }
+
+ private:
+  Chronon offset_;
+};
+
+/// Parses an operator spec: "WHENEVER", "WHENEVERNOT",
+/// "UNION([a, b])", "INTERSECTION([a, b])", "SHIFT(k)".
+Result<TemporalOperatorPtr> ParseTemporalOperator(const std::string& text);
+
+}  // namespace ltam
+
+#endif  // LTAM_CORE_RULES_TEMPORAL_OP_H_

@@ -1,0 +1,36 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "engine/baseline.h"
+
+#include "util/logging.h"
+
+namespace ltam {
+
+CardReaderBaseline::CardReaderBaseline(AuthorizationDatabase* auth_db)
+    : auth_db_(auth_db) {
+  LTAM_CHECK(auth_db != nullptr);
+}
+
+Decision CardReaderBaseline::RequestEntry(Chronon t, SubjectId s,
+                                          LocationId l) {
+  ++requests_processed_;
+  Decision d = auth_db_->CheckAndRecordAccess(t, s, l);
+  if (d.granted) {
+    ++requests_granted_;
+  } else {
+    alerts_.push_back(Alert{t, s, l, AlertType::kAccessDenied,
+                            DenyReasonToString(d.reason)});
+  }
+  return d;
+}
+
+Status CardReaderBaseline::RequestExit(Chronon /*t*/, SubjectId /*s*/) {
+  return Status::OK();
+}
+
+void CardReaderBaseline::ObservePresence(Chronon /*t*/, SubjectId /*s*/,
+                                         LocationId /*l*/) {}
+
+void CardReaderBaseline::Tick(Chronon /*t*/) {}
+
+}  // namespace ltam

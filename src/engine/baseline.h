@@ -1,0 +1,57 @@
+// Copyright 2026 The LTAM Authors.
+// Card-reader baseline (the comparison system of Section 1).
+//
+// "The existing systems only enforce access control upon access requests
+// while LTAM monitors the user movement at all times." This baseline
+// models exactly that: it evaluates card swipes (access requests) against
+// the authorization database but is blind to movement — presence
+// observations and clock ticks are no-ops, exit windows are never
+// checked. Feeding the same event stream to both engines quantifies the
+// paper's qualitative claims (missed tailgating and overstay detections).
+
+#ifndef LTAM_ENGINE_BASELINE_H_
+#define LTAM_ENGINE_BASELINE_H_
+
+#include <vector>
+
+#include "core/auth_database.h"
+#include "engine/events.h"
+
+namespace ltam {
+
+/// Request-time-only enforcement.
+class CardReaderBaseline {
+ public:
+  /// Borrows the authorization database; it must outlive the baseline.
+  explicit CardReaderBaseline(AuthorizationDatabase* auth_db);
+
+  /// Card swipe: Definition-7 check + ledger update. No adjacency or
+  /// movement bookkeeping.
+  Decision RequestEntry(Chronon t, SubjectId s, LocationId l);
+
+  /// No-op: card readers do not track exits.
+  Status RequestExit(Chronon t, SubjectId s);
+
+  /// No-op: no continuous monitoring.
+  void ObservePresence(Chronon t, SubjectId s, LocationId l);
+
+  /// No-op: no patrols.
+  void Tick(Chronon t);
+
+  /// Alerts raised (denied swipes only — the baseline can detect nothing
+  /// else).
+  const std::vector<Alert>& alerts() const { return alerts_; }
+
+  size_t requests_processed() const { return requests_processed_; }
+  size_t requests_granted() const { return requests_granted_; }
+
+ private:
+  AuthorizationDatabase* auth_db_;
+  std::vector<Alert> alerts_;
+  size_t requests_processed_ = 0;
+  size_t requests_granted_ = 0;
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_ENGINE_BASELINE_H_

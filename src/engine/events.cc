@@ -1,0 +1,42 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "engine/events.h"
+
+#include "time/interval.h"
+#include "util/string_util.h"
+
+namespace ltam {
+
+std::string MovementEvent::ToString() const {
+  auto loc = [](LocationId l) {
+    return l == kInvalidLocation ? std::string("outside")
+                                 : "l" + std::to_string(l);
+  };
+  return "(" + ChrononToString(time) + ", s" + std::to_string(subject) +
+         ", " + loc(from) + " -> " + loc(to) + ")";
+}
+
+const char* AlertTypeToString(AlertType type) {
+  switch (type) {
+    case AlertType::kUnauthorizedPresence:
+      return "unauthorized-presence";
+    case AlertType::kOverstay:
+      return "overstay";
+    case AlertType::kEarlyExit:
+      return "early-exit";
+    case AlertType::kAccessDenied:
+      return "access-denied";
+    case AlertType::kImpossibleMovement:
+      return "impossible-movement";
+  }
+  return "unknown";
+}
+
+std::string Alert::ToString() const {
+  return StrFormat("[t=%s] %s: subject s%u at l%u%s%s",
+                   ChrononToString(time).c_str(), AlertTypeToString(type),
+                   subject, location, detail.empty() ? "" : " - ",
+                   detail.c_str());
+}
+
+}  // namespace ltam

@@ -1,0 +1,73 @@
+// Copyright 2026 The LTAM Authors.
+// Event vocabulary of the enforcement system.
+//
+// The central control station receives a stream of timestamped events:
+// explicit access requests (Definition 6), confirmed entries/exits, and
+// raw position fixes from the (simulated) positioning infrastructure.
+
+#ifndef LTAM_ENGINE_EVENTS_H_
+#define LTAM_ENGINE_EVENTS_H_
+
+#include <string>
+
+#include "core/decision.h"
+#include "graph/location.h"
+#include "profile/user_profile.h"
+#include "spatial/geometry.h"
+#include "time/chronon.h"
+
+namespace ltam {
+
+/// A recorded movement: subject moved from `from` to `to` at `time`.
+/// `from`/`to` of kInvalidLocation means outside the site.
+struct MovementEvent {
+  Chronon time = 0;
+  SubjectId subject = kInvalidSubject;
+  LocationId from = kInvalidLocation;
+  LocationId to = kInvalidLocation;
+
+  std::string ToString() const;
+};
+
+/// A raw position fix from the tracking substrate.
+struct PositionFix {
+  Chronon time = 0;
+  SubjectId subject = kInvalidSubject;
+  Point position;
+};
+
+/// Kinds of security alerts the engine can raise.
+enum class AlertType : uint8_t {
+  /// Subject observed inside a location with no active grant — e.g. a
+  /// group tailgating through a door opened by a single authorized user
+  /// ("This eliminates situation[s] where a group of users enters a
+  /// restricted location based on a single user authorization").
+  kUnauthorizedPresence = 0,
+  /// Subject stayed past the end of the exit duration ("Should this
+  /// restriction be violated, security alerts can be triggered").
+  kOverstay = 1,
+  /// Subject left outside the authorized exit duration (too early).
+  kEarlyExit = 2,
+  /// An access request was denied.
+  kAccessDenied = 3,
+  /// Subject appeared in a location not adjacent to their last known
+  /// location (tracking gap or barrier bypass).
+  kImpossibleMovement = 4,
+};
+
+const char* AlertTypeToString(AlertType type);
+
+/// A security alert raised by the monitor.
+struct Alert {
+  Chronon time = 0;
+  SubjectId subject = kInvalidSubject;
+  LocationId location = kInvalidLocation;
+  AlertType type = AlertType::kUnauthorizedPresence;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_ENGINE_EVENTS_H_

@@ -1,0 +1,31 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "engine/location_resolver.h"
+
+namespace ltam {
+
+Result<LocationResolver> LocationResolver::Build(
+    const MultilevelLocationGraph& graph, double cell_size) {
+  GridIndex index(cell_size);
+  std::vector<LocationId> mapping;
+  for (LocationId p : graph.Primitives()) {
+    const Location& loc = graph.location(p);
+    if (!loc.boundary.has_value()) continue;
+    index.Add(*loc.boundary);
+    mapping.push_back(p);
+  }
+  if (mapping.empty()) {
+    return Status::FailedPrecondition(
+        "no primitive location carries a boundary polygon");
+  }
+  LTAM_RETURN_IF_ERROR(index.Build());
+  return LocationResolver(std::move(index), std::move(mapping));
+}
+
+std::optional<LocationId> LocationResolver::Resolve(const Point& p) const {
+  std::optional<BoundaryId> hit = index_.FindBest(p);
+  if (!hit.has_value()) return std::nullopt;
+  return boundary_location_[*hit];
+}
+
+}  // namespace ltam

@@ -1,0 +1,44 @@
+// Copyright 2026 The LTAM Authors.
+// Resolves raw position fixes to primitive locations via the boundary
+// polygons attached to the location graph. This is the glue between the
+// (simulated) positioning infrastructure and the semantic location model.
+
+#ifndef LTAM_ENGINE_LOCATION_RESOLVER_H_
+#define LTAM_ENGINE_LOCATION_RESOLVER_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/multilevel_graph.h"
+#include "spatial/grid_index.h"
+#include "util/result.h"
+
+namespace ltam {
+
+/// Maps plan-coordinate points to the primitive location whose boundary
+/// contains them.
+class LocationResolver {
+ public:
+  /// Builds the spatial index from every primitive location of `graph`
+  /// that carries a boundary polygon. Fails when none does.
+  static Result<LocationResolver> Build(const MultilevelLocationGraph& graph,
+                                        double cell_size = 8.0);
+
+  /// The primitive location containing `p` (smallest boundary wins when
+  /// boundaries overlap), or nullopt when outside all boundaries.
+  std::optional<LocationId> Resolve(const Point& p) const;
+
+  /// Number of indexed boundaries.
+  size_t size() const { return boundary_location_.size(); }
+
+ private:
+  LocationResolver(GridIndex index, std::vector<LocationId> mapping)
+      : index_(std::move(index)), boundary_location_(std::move(mapping)) {}
+
+  GridIndex index_;
+  std::vector<LocationId> boundary_location_;
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_ENGINE_LOCATION_RESOLVER_H_

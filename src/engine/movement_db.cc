@@ -1,0 +1,176 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "engine/movement_db.h"
+
+#include <algorithm>
+
+#include "time/interval.h"
+#include "util/string_util.h"
+
+namespace ltam {
+
+Status MovementDatabase::RecordMovement(Chronon time, SubjectId s,
+                                        LocationId to) {
+  if (s == kInvalidSubject) {
+    return Status::InvalidArgument("movement for invalid subject");
+  }
+  auto cur_it = current_.find(s);
+  LocationId from =
+      cur_it == current_.end() ? kInvalidLocation : cur_it->second;
+  if (from == to) {
+    return Status::InvalidArgument(
+        "movement to the current location is a no-op");
+  }
+  // Per-subject monotonicity.
+  auto& stays = stays_by_subject_[s];
+  if (!stays.empty()) {
+    const Stay& last = stays.back();
+    Chronon last_time =
+        last.exit_time == kChrononMax ? last.enter_time : last.exit_time;
+    if (time < last_time) {
+      return Status::FailedPrecondition(StrFormat(
+          "out-of-order movement for subject s%u: t=%lld before t=%lld", s,
+          static_cast<long long>(time), static_cast<long long>(last_time)));
+    }
+  }
+  // Close the open stay, if any.
+  if (from != kInvalidLocation) {
+    Stay& open = stays.back();
+    open.exit_time = time;
+    CloseLocationStay(s, from, time);
+  }
+  // Open the new stay.
+  if (to != kInvalidLocation) {
+    Stay stay{s, to, time, kChrononMax};
+    stays.push_back(stay);
+    stays_by_location_[to].push_back(stay);
+    current_[s] = to;
+  } else {
+    current_.erase(s);
+  }
+  history_.push_back(MovementEvent{time, s, from, to});
+  return Status::OK();
+}
+
+void MovementDatabase::CloseLocationStay(SubjectId s, LocationId l,
+                                         Chronon exit_time) {
+  auto it = stays_by_location_.find(l);
+  if (it == stays_by_location_.end()) return;
+  // The open stay of s in l is the last one for s (stays are appended in
+  // time order).
+  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+    if (rit->subject == s && rit->exit_time == kChrononMax) {
+      rit->exit_time = exit_time;
+      return;
+    }
+  }
+}
+
+LocationId MovementDatabase::CurrentLocation(SubjectId s) const {
+  auto it = current_.find(s);
+  return it == current_.end() ? kInvalidLocation : it->second;
+}
+
+Result<Chronon> MovementDatabase::CurrentStaySince(SubjectId s) const {
+  auto it = current_.find(s);
+  if (it == current_.end()) {
+    return Status::NotFound("subject is not inside any location");
+  }
+  const auto& stays = stays_by_subject_.at(s);
+  return stays.back().enter_time;
+}
+
+LocationId MovementDatabase::LocationAt(SubjectId s, Chronon t) const {
+  auto it = stays_by_subject_.find(s);
+  if (it == stays_by_subject_.end()) return kInvalidLocation;
+  // Stays are sorted by enter_time; find the last stay starting <= t.
+  const std::vector<Stay>& stays = it->second;
+  auto pos = std::upper_bound(
+      stays.begin(), stays.end(), t,
+      [](Chronon v, const Stay& s2) { return v < s2.enter_time; });
+  if (pos == stays.begin()) return kInvalidLocation;
+  --pos;
+  // Inside iff t before the (exclusive) exit time; a subject who moved at
+  // time x is in the new location at x.
+  if (t < pos->exit_time) return pos->location;
+  return kInvalidLocation;
+}
+
+std::vector<SubjectId> MovementDatabase::OccupantsAt(LocationId l,
+                                                     Chronon t) const {
+  std::vector<SubjectId> out;
+  auto it = stays_by_location_.find(l);
+  if (it == stays_by_location_.end()) return out;
+  for (const Stay& stay : it->second) {
+    if (stay.enter_time <= t && t < stay.exit_time) {
+      out.push_back(stay.subject);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<SubjectId> MovementDatabase::CurrentOccupants(
+    LocationId l) const {
+  std::vector<SubjectId> out;
+  auto it = stays_by_location_.find(l);
+  if (it == stays_by_location_.end()) return out;
+  for (const Stay& stay : it->second) {
+    if (stay.exit_time == kChrononMax) out.push_back(stay.subject);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Stay> MovementDatabase::StaysOf(SubjectId s) const {
+  auto it = stays_by_subject_.find(s);
+  if (it == stays_by_subject_.end()) return {};
+  return it->second;
+}
+
+std::vector<Stay> MovementDatabase::StaysIn(LocationId l) const {
+  auto it = stays_by_location_.find(l);
+  if (it == stays_by_location_.end()) return {};
+  return it->second;
+}
+
+std::vector<MovementDatabase::Contact> MovementDatabase::ContactsOf(
+    SubjectId s, const TimeInterval& window, Chronon min_overlap) const {
+  std::vector<Contact> out;
+  auto it = stays_by_subject_.find(s);
+  if (it == stays_by_subject_.end()) return out;
+  for (const Stay& mine : it->second) {
+    // Clip my stay to the query window. Stays are [enter, exit) but we
+    // treat the closed overlap on chronons.
+    Chronon my_start = std::max(mine.enter_time, window.start());
+    Chronon my_end = std::min(
+        mine.exit_time == kChrononMax ? kChrononMax
+                                      : ChrononSub(mine.exit_time, 1),
+        window.end());
+    if (my_start > my_end) continue;
+    auto loc_it = stays_by_location_.find(mine.location);
+    if (loc_it == stays_by_location_.end()) continue;
+    for (const Stay& theirs : loc_it->second) {
+      if (theirs.subject == s) continue;
+      Chronon their_end = theirs.exit_time == kChrononMax
+                              ? kChrononMax
+                              : ChrononSub(theirs.exit_time, 1);
+      Chronon ov_start = std::max(my_start, theirs.enter_time);
+      Chronon ov_end = std::min(my_end, their_end);
+      if (ov_start > ov_end) continue;
+      Chronon overlap = ChrononAdd(ChrononSub(ov_end, ov_start), 1);
+      if (overlap < min_overlap) continue;
+      out.push_back(Contact{theirs.subject, mine.location, ov_start, ov_end});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Contact& a, const Contact& b) {
+    if (a.overlap_start != b.overlap_start) {
+      return a.overlap_start < b.overlap_start;
+    }
+    return a.other < b.other;
+  });
+  return out;
+}
+
+}  // namespace ltam

@@ -1,0 +1,97 @@
+// Copyright 2026 The LTAM Authors.
+// The location & movements database (Figure 3).
+//
+// "The location & movements database stores the location layout, as well
+// as users' movements. These data are then used for authorization
+// validation, system status checking, etc." The layout lives in
+// MultilevelLocationGraph; this class stores the movement side: the
+// current location of every subject plus an append-only movement history
+// supporting temporal queries (where was s at t, who was in l at t,
+// co-location/contact queries).
+
+#ifndef LTAM_ENGINE_MOVEMENT_DB_H_
+#define LTAM_ENGINE_MOVEMENT_DB_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "engine/events.h"
+#include "time/interval.h"
+#include "util/result.h"
+
+namespace ltam {
+
+/// An interval a subject spent inside one location.
+struct Stay {
+  SubjectId subject = kInvalidSubject;
+  LocationId location = kInvalidLocation;
+  Chronon enter_time = 0;
+  /// kChrononMax while the stay is still open.
+  Chronon exit_time = kChrononMax;
+};
+
+/// Indexed store of user movements.
+class MovementDatabase {
+ public:
+  MovementDatabase() = default;
+
+  /// Records that `s` moved to `to` at `time` (kInvalidLocation = left the
+  /// site). Events must arrive in nondecreasing time order per subject;
+  /// out-of-order events are rejected.
+  Status RecordMovement(Chronon time, SubjectId s, LocationId to);
+
+  /// Current location of `s`; kInvalidLocation when outside/unknown.
+  LocationId CurrentLocation(SubjectId s) const;
+
+  /// Time `s` entered their current location; NotFound when outside.
+  Result<Chronon> CurrentStaySince(SubjectId s) const;
+
+  /// Where `s` was at time `t`; kInvalidLocation when outside.
+  LocationId LocationAt(SubjectId s, Chronon t) const;
+
+  /// Subjects inside `l` at time `t`.
+  std::vector<SubjectId> OccupantsAt(LocationId l, Chronon t) const;
+
+  /// Subjects currently inside `l`.
+  std::vector<SubjectId> CurrentOccupants(LocationId l) const;
+
+  /// Every completed and open stay of `s`, in time order.
+  std::vector<Stay> StaysOf(SubjectId s) const;
+
+  /// Every stay in `l`, in time order.
+  std::vector<Stay> StaysIn(LocationId l) const;
+
+  /// Contact query (the SARS scenario of Section 1): every (subject,
+  /// location, overlap) triple where `other` shared a location with `s`
+  /// for at least `min_overlap` chronons during `window`.
+  struct Contact {
+    SubjectId other = kInvalidSubject;
+    LocationId location = kInvalidLocation;
+    Chronon overlap_start = 0;
+    Chronon overlap_end = 0;
+  };
+  std::vector<Contact> ContactsOf(SubjectId s, const TimeInterval& window,
+                                  Chronon min_overlap = 1) const;
+
+  /// Raw movement log, in arrival order.
+  const std::vector<MovementEvent>& history() const { return history_; }
+
+  /// Number of subjects currently inside some location.
+  size_t tracked_subjects() const { return current_.size(); }
+
+ private:
+  std::vector<MovementEvent> history_;
+  /// Completed + open stays per subject, in time order.
+  std::unordered_map<SubjectId, std::vector<Stay>> stays_by_subject_;
+  /// Stay indices (into stays_by_subject_) are implicit; per-location we
+  /// keep copies for fast location scans (building-scale data).
+  std::unordered_map<LocationId, std::vector<Stay>> stays_by_location_;
+  std::unordered_map<SubjectId, LocationId> current_;
+
+  /// Patches the open stay copy in stays_by_location_ when it closes.
+  void CloseLocationStay(SubjectId s, LocationId l, Chronon exit_time);
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_ENGINE_MOVEMENT_DB_H_

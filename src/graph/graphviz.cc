@@ -1,0 +1,74 @@
+// Copyright 2026 The LTAM Authors.
+// Graphviz DOT export mirroring the notation of Figure 2: composites as
+// clusters, entry locations drawn with double lines (doublecircle).
+
+#include <string>
+
+#include "graph/multilevel_graph.h"
+
+namespace ltam {
+
+namespace {
+
+std::string DotId(const std::string& name) {
+  std::string out = "\"";
+  for (char c : name) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+void EmitComposite(const MultilevelLocationGraph& g, LocationId id,
+                   int depth, std::string* out) {
+  const Location& loc = g.location(id);
+  std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  if (depth > 0) {
+    *out += indent + "subgraph \"cluster_" + loc.name + "\" {\n";
+    *out += indent + "  label=" + DotId(loc.name) + ";\n";
+    if (loc.is_entry) *out += indent + "  penwidth=2;\n";
+  }
+  for (LocationId c : loc.children) {
+    const Location& child = g.location(c);
+    if (child.IsComposite()) {
+      EmitComposite(g, c, depth + 1, out);
+    } else {
+      *out += indent + "  " + DotId(child.name) + " [shape=" +
+              (child.is_entry ? "doublecircle" : "ellipse") + "];\n";
+    }
+  }
+  if (depth > 0) *out += indent + "}\n";
+}
+
+}  // namespace
+
+std::string MultilevelLocationGraph::ToDot() const {
+  std::string out = "graph " + DotId(location(root()).name) + " {\n";
+  out += "  compound=true;\n";
+  EmitComposite(*this, root(), 0, &out);
+  // Edges: sibling edges between primitives connect nodes directly;
+  // edges with a composite endpoint are drawn between representative
+  // entry primitives with cluster anchors.
+  for (const auto& [a, b] : edges_) {
+    std::vector<LocationId> pa = EntryPrimitives(a);
+    std::vector<LocationId> pb = EntryPrimitives(b);
+    if (pa.empty() || pb.empty()) continue;
+    out += "  " + DotId(location(pa.front()).name) + " -- " +
+           DotId(location(pb.front()).name);
+    std::string attrs;
+    if (location(a).IsComposite()) {
+      attrs += "ltail=\"cluster_" + location(a).name + "\"";
+    }
+    if (location(b).IsComposite()) {
+      if (!attrs.empty()) attrs += ", ";
+      attrs += "lhead=\"cluster_" + location(b).name + "\"";
+    }
+    if (!attrs.empty()) out += " [" + attrs + "]";
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ltam

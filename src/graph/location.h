@@ -1,0 +1,72 @@
+// Copyright 2026 The LTAM Authors.
+// Location entities (Section 3.1).
+//
+// "A location can be primitive or composite. A primitive location is a
+// location that cannot be further divided into other smaller locations. A
+// composite location is a collection of related primitive, composite, or a
+// mix of both locations."
+
+#ifndef LTAM_GRAPH_LOCATION_H_
+#define LTAM_GRAPH_LOCATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "spatial/geometry.h"
+
+namespace ltam {
+
+/// Dense identifier of a location inside a MultilevelLocationGraph.
+using LocationId = uint32_t;
+
+/// Sentinel for "no location" (e.g. the parent of the root, or a subject
+/// currently outside the site).
+inline constexpr LocationId kInvalidLocation = UINT32_MAX;
+
+/// Primitive vs composite (Definition 1 / Definition 2).
+enum class LocationKind : uint8_t {
+  kPrimitive = 0,
+  kComposite = 1,
+};
+
+/// Returns "primitive" or "composite".
+inline const char* LocationKindToString(LocationKind kind) {
+  return kind == LocationKind::kPrimitive ? "primitive" : "composite";
+}
+
+/// A node in the multilevel location graph.
+///
+/// Semantic identity is the globally unique `name` (the paper uses
+/// qualified names such as "SCE.GO"); physical identity is the optional
+/// `boundary` polygon used by the tracking substrate to resolve position
+/// fixes ("locations in LTAM are both semantic and physical").
+struct Location {
+  LocationId id = kInvalidLocation;
+  std::string name;
+  LocationKind kind = LocationKind::kPrimitive;
+  /// Composite this location directly belongs to; kInvalidLocation only
+  /// for the root composite.
+  LocationId parent = kInvalidLocation;
+  /// Entry-location designation within the parent's graph: "An entry
+  /// location serves as the first location a user must visit before
+  /// visiting other locations within the graph [and] also serves as the
+  /// last location where the user may visit before his/her exit."
+  bool is_entry = false;
+  /// Children (only for composites), in insertion order.
+  std::vector<LocationId> children;
+  /// Direct siblings connected by an edge in the parent's graph.
+  std::vector<LocationId> sibling_adj;
+  /// Optional physical boundary.
+  std::optional<Polygon> boundary;
+  /// Free-form description (floor, purpose, ...).
+  std::string description;
+
+  bool IsPrimitive() const { return kind == LocationKind::kPrimitive; }
+  bool IsComposite() const { return kind == LocationKind::kComposite; }
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_GRAPH_LOCATION_H_

@@ -1,0 +1,315 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "graph/multilevel_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace ltam {
+
+MultilevelLocationGraph::MultilevelLocationGraph(std::string root_name) {
+  Location root;
+  root.id = 0;
+  root.name = std::move(root_name);
+  root.kind = LocationKind::kComposite;
+  root.parent = kInvalidLocation;
+  by_name_.emplace(root.name, 0);
+  locations_.push_back(std::move(root));
+}
+
+Result<LocationId> MultilevelLocationGraph::AddLocation(
+    const std::string& name, LocationKind kind, LocationId parent) {
+  if (name.empty()) {
+    return Status::InvalidArgument("location name must be nonempty");
+  }
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("location '" + name + "' already exists");
+  }
+  if (!Exists(parent)) {
+    return Status::NotFound(StrFormat("parent location #%u does not exist",
+                                      parent));
+  }
+  if (!locations_[parent].IsComposite()) {
+    return Status::InvalidArgument("parent '" + locations_[parent].name +
+                                   "' is primitive; only composite "
+                                   "locations can contain others");
+  }
+  LocationId id = static_cast<LocationId>(locations_.size());
+  Location loc;
+  loc.id = id;
+  loc.name = name;
+  loc.kind = kind;
+  loc.parent = parent;
+  locations_.push_back(std::move(loc));
+  locations_[parent].children.push_back(id);
+  by_name_.emplace(name, id);
+  InvalidateCaches();
+  return id;
+}
+
+Result<LocationId> MultilevelLocationGraph::AddComposite(
+    const std::string& name, LocationId parent) {
+  return AddLocation(name, LocationKind::kComposite, parent);
+}
+
+Result<LocationId> MultilevelLocationGraph::AddPrimitive(
+    const std::string& name, LocationId parent) {
+  return AddLocation(name, LocationKind::kPrimitive, parent);
+}
+
+Result<LocationId> MultilevelLocationGraph::AddComposite(
+    const std::string& name, const std::string& parent_name) {
+  LTAM_ASSIGN_OR_RETURN(LocationId parent, Find(parent_name));
+  return AddComposite(name, parent);
+}
+
+Result<LocationId> MultilevelLocationGraph::AddPrimitive(
+    const std::string& name, const std::string& parent_name) {
+  LTAM_ASSIGN_OR_RETURN(LocationId parent, Find(parent_name));
+  return AddPrimitive(name, parent);
+}
+
+Status MultilevelLocationGraph::AddEdge(LocationId a, LocationId b) {
+  if (!Exists(a) || !Exists(b)) {
+    return Status::NotFound("edge endpoint does not exist");
+  }
+  if (a == b) {
+    return Status::InvalidArgument("self-loop edge on '" +
+                                   locations_[a].name + "'");
+  }
+  if (locations_[a].parent != locations_[b].parent) {
+    return Status::InvalidArgument(
+        "edge endpoints '" + locations_[a].name + "' and '" +
+        locations_[b].name +
+        "' belong to different composites; cross-graph movement goes "
+        "through entry locations");
+  }
+  const auto& adj = locations_[a].sibling_adj;
+  if (std::find(adj.begin(), adj.end(), b) != adj.end()) {
+    return Status::AlreadyExists("edge (" + locations_[a].name + ", " +
+                                 locations_[b].name + ") already exists");
+  }
+  locations_[a].sibling_adj.push_back(b);
+  locations_[b].sibling_adj.push_back(a);
+  edges_.emplace_back(std::min(a, b), std::max(a, b));
+  InvalidateCaches();
+  return Status::OK();
+}
+
+Status MultilevelLocationGraph::AddEdge(const std::string& a,
+                                        const std::string& b) {
+  LTAM_ASSIGN_OR_RETURN(LocationId ia, Find(a));
+  LTAM_ASSIGN_OR_RETURN(LocationId ib, Find(b));
+  return AddEdge(ia, ib);
+}
+
+Status MultilevelLocationGraph::SetEntry(LocationId l, bool is_entry) {
+  if (!Exists(l)) return Status::NotFound("location does not exist");
+  if (l == root()) {
+    return Status::InvalidArgument(
+        "the root composite cannot be an entry of anything");
+  }
+  locations_[l].is_entry = is_entry;
+  InvalidateCaches();
+  return Status::OK();
+}
+
+Status MultilevelLocationGraph::SetEntry(const std::string& name,
+                                         bool is_entry) {
+  LTAM_ASSIGN_OR_RETURN(LocationId id, Find(name));
+  return SetEntry(id, is_entry);
+}
+
+Status MultilevelLocationGraph::SetBoundary(LocationId l, Polygon boundary) {
+  if (!Exists(l)) return Status::NotFound("location does not exist");
+  locations_[l].boundary = std::move(boundary);
+  return Status::OK();
+}
+
+Status MultilevelLocationGraph::SetDescription(LocationId l,
+                                               std::string description) {
+  if (!Exists(l)) return Status::NotFound("location does not exist");
+  locations_[l].description = std::move(description);
+  return Status::OK();
+}
+
+Result<LocationId> MultilevelLocationGraph::Find(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no location named '" + name + "'");
+  }
+  return it->second;
+}
+
+const Location& MultilevelLocationGraph::location(LocationId id) const {
+  LTAM_CHECK(Exists(id)) << "location id " << id << " out of range";
+  return locations_[id];
+}
+
+std::vector<LocationId> MultilevelLocationGraph::Primitives() const {
+  std::vector<LocationId> out;
+  for (const Location& l : locations_) {
+    if (l.IsPrimitive()) out.push_back(l.id);
+  }
+  return out;
+}
+
+std::vector<LocationId> MultilevelLocationGraph::Composites() const {
+  std::vector<LocationId> out;
+  for (const Location& l : locations_) {
+    if (l.IsComposite()) out.push_back(l.id);
+  }
+  return out;
+}
+
+std::vector<std::pair<LocationId, LocationId>>
+MultilevelLocationGraph::Edges() const {
+  return edges_;
+}
+
+bool MultilevelLocationGraph::IsPartOf(LocationId l,
+                                       LocationId composite) const {
+  if (!Exists(l) || !Exists(composite)) return false;
+  LocationId cur = locations_[l].parent;
+  while (cur != kInvalidLocation) {
+    if (cur == composite) return true;
+    cur = locations_[cur].parent;
+  }
+  return false;
+}
+
+std::vector<LocationId> MultilevelLocationGraph::Ancestors(
+    LocationId l) const {
+  std::vector<LocationId> out;
+  if (!Exists(l)) return out;
+  LocationId cur = locations_[l].parent;
+  while (cur != kInvalidLocation) {
+    out.push_back(cur);
+    cur = locations_[cur].parent;
+  }
+  return out;
+}
+
+std::vector<LocationId> MultilevelLocationGraph::EntryLocations(
+    LocationId composite) const {
+  std::vector<LocationId> out;
+  if (!Exists(composite) || !locations_[composite].IsComposite()) return out;
+  for (LocationId c : locations_[composite].children) {
+    if (locations_[c].is_entry) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<LocationId> MultilevelLocationGraph::EntryPrimitives(
+    LocationId l) const {
+  std::vector<LocationId> out;
+  if (!Exists(l)) return out;
+  if (locations_[l].IsPrimitive()) {
+    out.push_back(l);
+    return out;
+  }
+  for (LocationId e : EntryLocations(l)) {
+    std::vector<LocationId> sub = EntryPrimitives(e);
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::vector<LocationId> MultilevelLocationGraph::PrimitivesWithin(
+    LocationId l) const {
+  std::vector<LocationId> out;
+  if (!Exists(l)) return out;
+  if (locations_[l].IsPrimitive()) {
+    out.push_back(l);
+    return out;
+  }
+  for (LocationId c : locations_[l].children) {
+    std::vector<LocationId> sub = PrimitivesWithin(c);
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+void MultilevelLocationGraph::InvalidateCaches() const {
+  effective_valid_ = false;
+}
+
+void MultilevelLocationGraph::BuildEffectiveAdjacency() const {
+  effective_adj_.assign(locations_.size(), {});
+  for (const auto& [a, b] : edges_) {
+    std::vector<LocationId> pa = EntryPrimitives(a);
+    std::vector<LocationId> pb = EntryPrimitives(b);
+    // An edge endpoint that is itself primitive contributes exactly
+    // itself; a composite endpoint contributes its entry primitives
+    // (complex-route rule, Section 3.1).
+    for (LocationId p : pa) {
+      for (LocationId q : pb) {
+        effective_adj_[p].push_back(q);
+        effective_adj_[q].push_back(p);
+      }
+    }
+  }
+  // De-duplicate, preserving first-occurrence order: neighbor order is
+  // edge-insertion order, which downstream algorithms use for
+  // deterministic, layout-controlled traversal (e.g. reproducing the
+  // processing order of the paper's Table 2).
+  for (std::vector<LocationId>& adj : effective_adj_) {
+    std::vector<LocationId> deduped;
+    deduped.reserve(adj.size());
+    for (LocationId n : adj) {
+      if (std::find(deduped.begin(), deduped.end(), n) == deduped.end()) {
+        deduped.push_back(n);
+      }
+    }
+    adj = std::move(deduped);
+  }
+  effective_valid_ = true;
+}
+
+const std::vector<LocationId>& MultilevelLocationGraph::EffectiveNeighbors(
+    LocationId l) const {
+  LTAM_CHECK(Exists(l)) << "location id " << l << " out of range";
+  LTAM_CHECK(locations_[l].IsPrimitive())
+      << "effective neighbors are defined for primitive locations; '"
+      << locations_[l].name << "' is composite";
+  if (!effective_valid_) BuildEffectiveAdjacency();
+  return effective_adj_[l];
+}
+
+size_t MultilevelLocationGraph::MaxDegree() const {
+  size_t best = 0;
+  for (LocationId p : Primitives()) {
+    best = std::max(best, EffectiveNeighbors(p).size());
+  }
+  return best;
+}
+
+std::string MultilevelLocationGraph::ToString() const {
+  std::string out;
+  // Depth-first tree dump.
+  struct Frame {
+    LocationId id;
+    int depth;
+  };
+  std::vector<Frame> stack{{root(), 0}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const Location& loc = locations_[f.id];
+    out.append(static_cast<size_t>(f.depth) * 2, ' ');
+    out += loc.name;
+    out += loc.IsComposite() ? " (composite" : " (primitive";
+    if (loc.is_entry) out += ", entry";
+    out += ")\n";
+    // Push children in reverse so they pop in insertion order.
+    for (auto it = loc.children.rbegin(); it != loc.children.rend(); ++it) {
+      stack.push_back({*it, f.depth + 1});
+    }
+  }
+  return out;
+}
+
+}  // namespace ltam

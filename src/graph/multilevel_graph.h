@@ -1,0 +1,195 @@
+// Copyright 2026 The LTAM Authors.
+// The multilevel location graph (Definitions 1 and 2).
+//
+// A location graph (L, E) has primitive locations L and bidirectional
+// edges E ("if (l1,l2) is an edge, l2 can be reached from l1 directly
+// without going through other locations, and vice versa"). A multilevel
+// location graph nests location graphs inside composite locations; every
+// (multilevel) location graph designates at least one *entry location*.
+//
+// This class stores the whole hierarchy in one arena: a tree of composite
+// locations whose leaves are primitive locations, per-composite edges
+// between sibling locations, and entry designations. It exposes both the
+// hierarchical view (children / entries / part-of) and the flattened
+// primitive-level view induced by the paper's complex-route rule.
+
+#ifndef LTAM_GRAPH_MULTILEVEL_GRAPH_H_
+#define LTAM_GRAPH_MULTILEVEL_GRAPH_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/location.h"
+#include "util/result.h"
+
+namespace ltam {
+
+/// A full multilevel location graph with one root composite.
+///
+/// Mutation API (AddComposite/AddPrimitive/AddEdge/SetEntry/SetBoundary)
+/// builds the layout; `Validate()` then checks the paper's structural
+/// requirements; the query API (routes, adjacency, entries) serves the
+/// authorization model. All name lookups are O(1).
+class MultilevelLocationGraph {
+ public:
+  /// Creates a graph whose root composite is `root_name` (e.g. "NTU").
+  explicit MultilevelLocationGraph(std::string root_name = "ROOT");
+
+  // --- Construction -------------------------------------------------------
+
+  /// Adds a composite location under `parent`. Names are globally unique.
+  Result<LocationId> AddComposite(const std::string& name,
+                                  LocationId parent);
+
+  /// Adds a primitive location under `parent`.
+  Result<LocationId> AddPrimitive(const std::string& name, LocationId parent);
+
+  /// Convenience overloads resolving the parent by name.
+  Result<LocationId> AddComposite(const std::string& name,
+                                  const std::string& parent_name);
+  Result<LocationId> AddPrimitive(const std::string& name,
+                                  const std::string& parent_name);
+
+  /// Adds a bidirectional edge between two locations that belong to the
+  /// same composite (edges only ever connect siblings; cross-graph
+  /// movement goes through entry locations per the complex-route rule).
+  Status AddEdge(LocationId a, LocationId b);
+  Status AddEdge(const std::string& a, const std::string& b);
+
+  /// Marks `l` as an entry location of its parent graph.
+  Status SetEntry(LocationId l, bool is_entry = true);
+  Status SetEntry(const std::string& name, bool is_entry = true);
+
+  /// Attaches a physical boundary to a location.
+  Status SetBoundary(LocationId l, Polygon boundary);
+
+  /// Sets the free-form description.
+  Status SetDescription(LocationId l, std::string description);
+
+  // --- Lookup -------------------------------------------------------------
+
+  /// Resolves a globally unique name.
+  Result<LocationId> Find(const std::string& name) const;
+
+  /// True iff `id` denotes an existing location.
+  bool Exists(LocationId id) const { return id < locations_.size(); }
+
+  /// Borrowing accessor; `id` must exist.
+  const Location& location(LocationId id) const;
+
+  /// Total number of locations (composites + primitives).
+  size_t size() const { return locations_.size(); }
+
+  /// The root composite (id 0).
+  LocationId root() const { return 0; }
+
+  /// Ids of every primitive location, ascending.
+  std::vector<LocationId> Primitives() const;
+
+  /// Ids of every composite location, ascending.
+  std::vector<LocationId> Composites() const;
+
+  /// All sibling edges as (a, b) pairs with a < b, grouped by composite.
+  std::vector<std::pair<LocationId, LocationId>> Edges() const;
+
+  // --- Hierarchy ----------------------------------------------------------
+
+  /// "li is part of H if li directly or indirectly belongs to H."
+  bool IsPartOf(LocationId l, LocationId composite) const;
+
+  /// Chain of composites from `l`'s parent up to the root.
+  std::vector<LocationId> Ancestors(LocationId l) const;
+
+  /// Entry locations (direct children flagged is_entry) of a composite.
+  std::vector<LocationId> EntryLocations(LocationId composite) const;
+
+  /// Recursively expands entry designations to primitive locations: the
+  /// primitive doors through which a composite is entered. For a primitive
+  /// input, returns {l}.
+  std::vector<LocationId> EntryPrimitives(LocationId l) const;
+
+  /// All primitive locations that are part of `l` ({l} when primitive).
+  std::vector<LocationId> PrimitivesWithin(LocationId l) const;
+
+  // --- Flattened (complex-route) view -------------------------------------
+
+  /// Primitive-level neighbors of primitive `l` under the complex-route
+  /// rule: direct sibling edges expand composite endpoints to their entry
+  /// primitives. Cached; invalidated by any mutation.
+  const std::vector<LocationId>& EffectiveNeighbors(LocationId l) const;
+
+  /// Maximum effective degree over all primitives (the paper's Nd).
+  size_t MaxDegree() const;
+
+  // --- Routes (see routes.cc) ---------------------------------------------
+
+  /// Shortest route (fewest locations) between two primitives over the
+  /// flattened adjacency; the returned sequence includes both endpoints.
+  /// NotFound when unreachable.
+  Result<std::vector<LocationId>> FindRoute(LocationId src,
+                                            LocationId dst) const;
+
+  /// Shortest route restricted to primitives that are part of `composite`
+  /// (a *simple route* when composite is a leaf-level location graph).
+  Result<std::vector<LocationId>> FindRouteWithin(LocationId composite,
+                                                  LocationId src,
+                                                  LocationId dst) const;
+
+  /// Enumerates up to `max_routes` loop-free routes from src to dst, each
+  /// at most `max_length` locations, in order of discovery (DFS).
+  std::vector<std::vector<LocationId>> EnumerateRoutes(
+      LocationId src, LocationId dst, size_t max_routes = 16,
+      size_t max_length = 32) const;
+
+  /// Same, restricted to primitives that are part of `composite`.
+  std::vector<std::vector<LocationId>> EnumerateRoutesWithin(
+      LocationId composite, LocationId src, LocationId dst,
+      size_t max_routes = 16, size_t max_length = 32) const;
+
+  /// The smallest composite containing both locations (their lowest
+  /// common ancestor in the containment tree; the root when nothing
+  /// smaller contains both).
+  Result<LocationId> LowestCommonComposite(LocationId a, LocationId b) const;
+
+  /// True iff `seq` is a route: nonempty, all primitive, and every
+  /// consecutive pair adjacent in the flattened view.
+  bool IsRoute(const std::vector<LocationId>& seq) const;
+
+  /// True iff `seq` is a *simple route* (Section 3.1): a route whose
+  /// locations all belong to one location graph and use direct edges.
+  bool IsSimpleRoute(const std::vector<LocationId>& seq) const;
+
+  // --- Validation & export -------------------------------------------------
+
+  /// Checks the structural requirements of Definitions 1-2 (see
+  /// validation.cc): every composite nonempty, has >= 1 entry location,
+  /// and its sibling graph is connected.
+  Status Validate() const;
+
+  /// Graphviz DOT rendering with composites as clusters and entry
+  /// locations double-circled (mirrors Figure 2's notation).
+  std::string ToDot() const;
+
+  /// Human-readable tree dump.
+  std::string ToString() const;
+
+ private:
+  Result<LocationId> AddLocation(const std::string& name, LocationKind kind,
+                                 LocationId parent);
+  void InvalidateCaches() const;
+  void BuildEffectiveAdjacency() const;
+
+  std::vector<Location> locations_;
+  std::unordered_map<std::string, LocationId> by_name_;
+  std::vector<std::pair<LocationId, LocationId>> edges_;
+
+  // Lazily built flattened adjacency (primitive ids only).
+  mutable std::vector<std::vector<LocationId>> effective_adj_;
+  mutable bool effective_valid_ = false;
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_GRAPH_MULTILEVEL_GRAPH_H_

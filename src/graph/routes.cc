@@ -1,0 +1,202 @@
+// Copyright 2026 The LTAM Authors.
+// Route finding over the multilevel location graph (Section 3.1).
+//
+// A *simple route* stays inside one location graph; a *complex route*
+// crosses graphs by stepping between entry locations of composites joined
+// by an edge in a common ancestor graph. Both are paths in the flattened
+// primitive-level adjacency built by BuildEffectiveAdjacency, so routing
+// is plain BFS/DFS there.
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <unordered_set>
+
+#include "graph/multilevel_graph.h"
+#include "util/logging.h"
+
+namespace ltam {
+
+namespace {
+
+/// BFS shortest path over a filtered adjacency. `allowed` may be null
+/// (all primitives allowed).
+Result<std::vector<LocationId>> BfsRoute(
+    const MultilevelLocationGraph& g, LocationId src, LocationId dst,
+    const std::unordered_set<LocationId>* allowed) {
+  if (!g.Exists(src) || !g.Exists(dst)) {
+    return Status::NotFound("route endpoint does not exist");
+  }
+  if (!g.location(src).IsPrimitive() || !g.location(dst).IsPrimitive()) {
+    return Status::InvalidArgument(
+        "routes connect primitive locations; resolve composites to entry "
+        "primitives first");
+  }
+  if (allowed != nullptr &&
+      (allowed->count(src) == 0 || allowed->count(dst) == 0)) {
+    return Status::NotFound("route endpoint outside the requested scope");
+  }
+  if (src == dst) return std::vector<LocationId>{src};
+
+  std::vector<LocationId> parent(g.size(), kInvalidLocation);
+  std::vector<char> seen(g.size(), 0);
+  std::deque<LocationId> queue;
+  queue.push_back(src);
+  seen[src] = 1;
+  while (!queue.empty()) {
+    LocationId cur = queue.front();
+    queue.pop_front();
+    for (LocationId nxt : g.EffectiveNeighbors(cur)) {
+      if (seen[nxt]) continue;
+      if (allowed != nullptr && allowed->count(nxt) == 0) continue;
+      seen[nxt] = 1;
+      parent[nxt] = cur;
+      if (nxt == dst) {
+        std::vector<LocationId> route;
+        for (LocationId p = dst; p != kInvalidLocation; p = parent[p]) {
+          route.push_back(p);
+          if (p == src) break;
+        }
+        std::reverse(route.begin(), route.end());
+        return route;
+      }
+      queue.push_back(nxt);
+    }
+  }
+  return Status::NotFound("no route from '" + g.location(src).name +
+                          "' to '" + g.location(dst).name + "'");
+}
+
+}  // namespace
+
+Result<std::vector<LocationId>> MultilevelLocationGraph::FindRoute(
+    LocationId src, LocationId dst) const {
+  return BfsRoute(*this, src, dst, nullptr);
+}
+
+Result<std::vector<LocationId>> MultilevelLocationGraph::FindRouteWithin(
+    LocationId composite, LocationId src, LocationId dst) const {
+  if (!Exists(composite) || !location(composite).IsComposite()) {
+    return Status::InvalidArgument("scope must be a composite location");
+  }
+  std::vector<LocationId> prims = PrimitivesWithin(composite);
+  std::unordered_set<LocationId> allowed(prims.begin(), prims.end());
+  return BfsRoute(*this, src, dst, &allowed);
+}
+
+namespace {
+
+std::vector<std::vector<LocationId>> EnumerateImpl(
+    const MultilevelLocationGraph& g, LocationId src, LocationId dst,
+    size_t max_routes, size_t max_length,
+    const std::unordered_set<LocationId>* allowed) {
+  std::vector<std::vector<LocationId>> out;
+  if (!g.Exists(src) || !g.Exists(dst) || max_routes == 0 ||
+      max_length == 0) {
+    return out;
+  }
+  if (!g.location(src).IsPrimitive() || !g.location(dst).IsPrimitive()) {
+    return out;
+  }
+  if (allowed != nullptr &&
+      (allowed->count(src) == 0 || allowed->count(dst) == 0)) {
+    return out;
+  }
+  std::vector<LocationId> path{src};
+  std::unordered_set<LocationId> on_path{src};
+  std::function<void()> dfs = [&]() {
+    if (out.size() >= max_routes) return;
+    LocationId cur = path.back();
+    if (cur == dst) {
+      out.push_back(path);
+      return;
+    }
+    if (path.size() >= max_length) return;
+    for (LocationId nxt : g.EffectiveNeighbors(cur)) {
+      if (on_path.count(nxt) > 0) continue;
+      if (allowed != nullptr && allowed->count(nxt) == 0) continue;
+      path.push_back(nxt);
+      on_path.insert(nxt);
+      dfs();
+      on_path.erase(nxt);
+      path.pop_back();
+      if (out.size() >= max_routes) return;
+    }
+  };
+  dfs();
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<LocationId>> MultilevelLocationGraph::EnumerateRoutes(
+    LocationId src, LocationId dst, size_t max_routes,
+    size_t max_length) const {
+  return EnumerateImpl(*this, src, dst, max_routes, max_length, nullptr);
+}
+
+std::vector<std::vector<LocationId>>
+MultilevelLocationGraph::EnumerateRoutesWithin(LocationId composite,
+                                               LocationId src,
+                                               LocationId dst,
+                                               size_t max_routes,
+                                               size_t max_length) const {
+  if (!Exists(composite) || !location(composite).IsComposite()) return {};
+  std::vector<LocationId> prims = PrimitivesWithin(composite);
+  std::unordered_set<LocationId> allowed(prims.begin(), prims.end());
+  return EnumerateImpl(*this, src, dst, max_routes, max_length, &allowed);
+}
+
+Result<LocationId> MultilevelLocationGraph::LowestCommonComposite(
+    LocationId a, LocationId b) const {
+  if (!Exists(a) || !Exists(b)) {
+    return Status::NotFound("location does not exist");
+  }
+  std::unordered_set<LocationId> a_chain;
+  if (location(a).IsComposite()) a_chain.insert(a);
+  for (LocationId anc : Ancestors(a)) a_chain.insert(anc);
+  if (location(b).IsComposite() && a_chain.count(b) > 0) return b;
+  for (LocationId anc : Ancestors(b)) {
+    if (a_chain.count(anc) > 0) return anc;
+  }
+  return root();
+}
+
+bool MultilevelLocationGraph::IsRoute(
+    const std::vector<LocationId>& seq) const {
+  if (seq.empty()) return false;
+  for (LocationId l : seq) {
+    if (!Exists(l) || !location(l).IsPrimitive()) return false;
+  }
+  for (size_t i = 0; i + 1 < seq.size(); ++i) {
+    const std::vector<LocationId>& adj = EffectiveNeighbors(seq[i]);
+    if (std::find(adj.begin(), adj.end(), seq[i + 1]) == adj.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool MultilevelLocationGraph::IsSimpleRoute(
+    const std::vector<LocationId>& seq) const {
+  if (seq.empty()) return false;
+  for (LocationId l : seq) {
+    if (!Exists(l) || !location(l).IsPrimitive()) return false;
+  }
+  // All locations of a simple route belong to the same location graph,
+  // i.e. share one parent composite, and consecutive pairs use direct
+  // sibling edges.
+  LocationId parent = location(seq[0]).parent;
+  for (LocationId l : seq) {
+    if (location(l).parent != parent) return false;
+  }
+  for (size_t i = 0; i + 1 < seq.size(); ++i) {
+    const std::vector<LocationId>& adj = location(seq[i]).sibling_adj;
+    if (std::find(adj.begin(), adj.end(), seq[i + 1]) == adj.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ltam

@@ -1,0 +1,69 @@
+// Copyright 2026 The LTAM Authors.
+// Structural validation of multilevel location graphs.
+//
+// Definition 1 & 2 requirements checked here:
+//  - every composite contains at least one location;
+//  - every composite designates at least one entry location ("Each
+//    location graph or multilevel location graph must have at least one
+//    location designated as entry location");
+//  - each composite's sibling graph is connected ("Location graphs are
+//    connected graphs");
+//  - composite entry designations are *usable*: an entry that is itself
+//    composite must recursively expand to at least one primitive door.
+// Disjointness of nested graphs and sibling-only edges are enforced by
+// construction.
+
+#include <deque>
+#include <unordered_set>
+
+#include "graph/multilevel_graph.h"
+
+namespace ltam {
+
+Status MultilevelLocationGraph::Validate() const {
+  for (const Location& loc : locations_) {
+    if (!loc.IsComposite()) continue;
+    if (loc.children.empty()) {
+      return Status::FailedPrecondition("composite '" + loc.name +
+                                        "' contains no locations");
+    }
+    // Entry requirement.
+    std::vector<LocationId> entries = EntryLocations(loc.id);
+    if (entries.empty()) {
+      return Status::FailedPrecondition(
+          "composite '" + loc.name + "' has no entry location");
+    }
+    for (LocationId e : entries) {
+      if (EntryPrimitives(e).empty()) {
+        return Status::FailedPrecondition(
+            "entry location '" + locations_[e].name + "' of '" + loc.name +
+            "' expands to no primitive door");
+      }
+    }
+    // Connectedness of the sibling graph.
+    if (loc.children.size() > 1) {
+      std::unordered_set<LocationId> members(loc.children.begin(),
+                                             loc.children.end());
+      std::unordered_set<LocationId> seen;
+      std::deque<LocationId> queue{loc.children.front()};
+      seen.insert(loc.children.front());
+      while (!queue.empty()) {
+        LocationId cur = queue.front();
+        queue.pop_front();
+        for (LocationId nxt : locations_[cur].sibling_adj) {
+          if (members.count(nxt) == 0 || seen.count(nxt) > 0) continue;
+          seen.insert(nxt);
+          queue.push_back(nxt);
+        }
+      }
+      if (seen.size() != loc.children.size()) {
+        return Status::FailedPrecondition(
+            "the location graph of composite '" + loc.name +
+            "' is not connected");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ltam

@@ -1,0 +1,180 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "profile/user_profile.h"
+
+#include "util/logging.h"
+
+namespace ltam {
+
+Result<SubjectId> UserProfileDatabase::AddSubject(const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("subject name must be nonempty");
+  }
+  if (by_name_.count(name) > 0) {
+    return Status::AlreadyExists("subject '" + name + "' already exists");
+  }
+  SubjectId id = static_cast<SubjectId>(subjects_.size());
+  Subject s;
+  s.id = id;
+  s.name = name;
+  subjects_.push_back(std::move(s));
+  by_name_.emplace(name, id);
+  ++version_;
+  return id;
+}
+
+Result<SubjectId> UserProfileDatabase::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no subject named '" + name + "'");
+  }
+  return it->second;
+}
+
+const Subject& UserProfileDatabase::subject(SubjectId id) const {
+  LTAM_CHECK(Exists(id)) << "subject id " << id << " out of range";
+  return subjects_[id];
+}
+
+std::vector<SubjectId> UserProfileDatabase::AllSubjects() const {
+  std::vector<SubjectId> out(subjects_.size());
+  for (SubjectId i = 0; i < subjects_.size(); ++i) out[i] = i;
+  return out;
+}
+
+Status UserProfileDatabase::SetSupervisor(SubjectId s, SubjectId supervisor) {
+  if (!Exists(s)) return Status::NotFound("subject does not exist");
+  if (supervisor != kInvalidSubject) {
+    if (!Exists(supervisor)) {
+      return Status::NotFound("supervisor does not exist");
+    }
+    if (supervisor == s) {
+      return Status::InvalidArgument("subject cannot supervise themselves");
+    }
+    // Reject cycles: walking up from `supervisor` must not reach `s`.
+    SubjectId cur = supervisor;
+    while (cur != kInvalidSubject) {
+      if (cur == s) {
+        return Status::InvalidArgument(
+            "supervision cycle: '" + subjects_[supervisor].name +
+            "' is (transitively) supervised by '" + subjects_[s].name + "'");
+      }
+      cur = subjects_[cur].supervisor;
+    }
+  }
+  subjects_[s].supervisor = supervisor;
+  ++version_;
+  return Status::OK();
+}
+
+Result<SubjectId> UserProfileDatabase::SupervisorOf(SubjectId s) const {
+  if (!Exists(s)) return Status::NotFound("subject does not exist");
+  if (subjects_[s].supervisor == kInvalidSubject) {
+    return Status::NotFound("subject '" + subjects_[s].name +
+                            "' has no supervisor");
+  }
+  return subjects_[s].supervisor;
+}
+
+std::vector<SubjectId> UserProfileDatabase::SubordinatesOf(
+    SubjectId s) const {
+  std::vector<SubjectId> out;
+  for (const Subject& sub : subjects_) {
+    if (sub.supervisor == s) out.push_back(sub.id);
+  }
+  return out;
+}
+
+std::vector<SubjectId> UserProfileDatabase::ManagementChain(
+    SubjectId s) const {
+  std::vector<SubjectId> out;
+  if (!Exists(s)) return out;
+  SubjectId cur = subjects_[s].supervisor;
+  while (cur != kInvalidSubject) {
+    out.push_back(cur);
+    cur = subjects_[cur].supervisor;
+  }
+  return out;
+}
+
+Status UserProfileDatabase::AddToGroup(SubjectId s, const std::string& group) {
+  if (!Exists(s)) return Status::NotFound("subject does not exist");
+  if (group.empty()) return Status::InvalidArgument("group name empty");
+  subjects_[s].groups.insert(group);
+  group_members_[group].insert(s);
+  ++version_;
+  return Status::OK();
+}
+
+Status UserProfileDatabase::RemoveFromGroup(SubjectId s,
+                                            const std::string& group) {
+  if (!Exists(s)) return Status::NotFound("subject does not exist");
+  subjects_[s].groups.erase(group);
+  auto it = group_members_.find(group);
+  if (it != group_members_.end()) it->second.erase(s);
+  ++version_;
+  return Status::OK();
+}
+
+std::vector<SubjectId> UserProfileDatabase::MembersOfGroup(
+    const std::string& group) const {
+  auto it = group_members_.find(group);
+  if (it == group_members_.end()) return {};
+  return std::vector<SubjectId>(it->second.begin(), it->second.end());
+}
+
+bool UserProfileDatabase::IsInGroup(SubjectId s,
+                                    const std::string& group) const {
+  return Exists(s) && subjects_[s].groups.count(group) > 0;
+}
+
+Status UserProfileDatabase::AssignRole(SubjectId s, const std::string& role) {
+  if (!Exists(s)) return Status::NotFound("subject does not exist");
+  if (role.empty()) return Status::InvalidArgument("role name empty");
+  subjects_[s].roles.insert(role);
+  role_members_[role].insert(s);
+  ++version_;
+  return Status::OK();
+}
+
+Status UserProfileDatabase::RevokeRole(SubjectId s, const std::string& role) {
+  if (!Exists(s)) return Status::NotFound("subject does not exist");
+  subjects_[s].roles.erase(role);
+  auto it = role_members_.find(role);
+  if (it != role_members_.end()) it->second.erase(s);
+  ++version_;
+  return Status::OK();
+}
+
+std::vector<SubjectId> UserProfileDatabase::SubjectsWithRole(
+    const std::string& role) const {
+  auto it = role_members_.find(role);
+  if (it == role_members_.end()) return {};
+  return std::vector<SubjectId>(it->second.begin(), it->second.end());
+}
+
+bool UserProfileDatabase::HasRole(SubjectId s, const std::string& role) const {
+  return Exists(s) && subjects_[s].roles.count(role) > 0;
+}
+
+Status UserProfileDatabase::SetAttribute(SubjectId s, const std::string& key,
+                                         const std::string& value) {
+  if (!Exists(s)) return Status::NotFound("subject does not exist");
+  if (key.empty()) return Status::InvalidArgument("attribute key empty");
+  subjects_[s].attributes[key] = value;
+  ++version_;
+  return Status::OK();
+}
+
+Result<std::string> UserProfileDatabase::GetAttribute(
+    SubjectId s, const std::string& key) const {
+  if (!Exists(s)) return Status::NotFound("subject does not exist");
+  auto it = subjects_[s].attributes.find(key);
+  if (it == subjects_[s].attributes.end()) {
+    return Status::NotFound("attribute '" + key + "' unset for '" +
+                            subjects_[s].name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace ltam

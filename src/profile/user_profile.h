@@ -1,0 +1,116 @@
+// Copyright 2026 The LTAM Authors.
+// The user profile database (Figure 3).
+//
+// "The user profile database stores user profiles, which are used for
+// creating authorizations, or deriving authorizations" — in particular the
+// subject operators of authorization rules (Definition 5) such as
+// Supervisor_Of query it. It stores subjects, key/value attributes, a
+// supervisor relation, group membership, and role assignment.
+
+#ifndef LTAM_PROFILE_USER_PROFILE_H_
+#define LTAM_PROFILE_USER_PROFILE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+
+namespace ltam {
+
+/// Dense identifier of a subject (user).
+using SubjectId = uint32_t;
+
+/// Sentinel for "no subject".
+inline constexpr SubjectId kInvalidSubject = UINT32_MAX;
+
+/// A registered user and their profile attributes.
+struct Subject {
+  SubjectId id = kInvalidSubject;
+  std::string name;
+  SubjectId supervisor = kInvalidSubject;
+  std::set<std::string> groups;
+  std::set<std::string> roles;
+  std::map<std::string, std::string> attributes;
+};
+
+/// In-memory indexed store of subjects and their relationships.
+///
+/// Mutations bump a version counter so the rule engine can detect profile
+/// changes and re-derive authorizations (the paper's Example 1: when Alice
+/// is assigned a different supervisor, the system automatically derives
+/// the authorization for the new supervisor and revokes the old one).
+class UserProfileDatabase {
+ public:
+  UserProfileDatabase() = default;
+
+  // --- Subjects ------------------------------------------------------------
+
+  /// Registers a subject with a globally unique name.
+  Result<SubjectId> AddSubject(const std::string& name);
+
+  /// Resolves a subject name.
+  Result<SubjectId> Find(const std::string& name) const;
+
+  /// True iff `id` denotes an existing subject.
+  bool Exists(SubjectId id) const { return id < subjects_.size(); }
+
+  /// Borrowing accessor; `id` must exist.
+  const Subject& subject(SubjectId id) const;
+
+  /// Number of registered subjects.
+  size_t size() const { return subjects_.size(); }
+
+  /// Every subject id, ascending.
+  std::vector<SubjectId> AllSubjects() const;
+
+  // --- Relationships -------------------------------------------------------
+
+  /// Sets (or clears, with kInvalidSubject) the supervisor of `s`.
+  /// Rejects self-supervision and supervision cycles.
+  Status SetSupervisor(SubjectId s, SubjectId supervisor);
+
+  /// The supervisor, or NotFound if `s` has none.
+  Result<SubjectId> SupervisorOf(SubjectId s) const;
+
+  /// Direct reports of `s`.
+  std::vector<SubjectId> SubordinatesOf(SubjectId s) const;
+
+  /// Transitive management chain above `s` (nearest first).
+  std::vector<SubjectId> ManagementChain(SubjectId s) const;
+
+  Status AddToGroup(SubjectId s, const std::string& group);
+  Status RemoveFromGroup(SubjectId s, const std::string& group);
+  std::vector<SubjectId> MembersOfGroup(const std::string& group) const;
+  bool IsInGroup(SubjectId s, const std::string& group) const;
+
+  Status AssignRole(SubjectId s, const std::string& role);
+  Status RevokeRole(SubjectId s, const std::string& role);
+  std::vector<SubjectId> SubjectsWithRole(const std::string& role) const;
+  bool HasRole(SubjectId s, const std::string& role) const;
+
+  /// Sets a free-form profile attribute (e.g. "department" -> "SCE").
+  Status SetAttribute(SubjectId s, const std::string& key,
+                      const std::string& value);
+  /// Reads an attribute; NotFound when unset.
+  Result<std::string> GetAttribute(SubjectId s, const std::string& key) const;
+
+  // --- Change tracking -----------------------------------------------------
+
+  /// Monotone counter bumped by every successful mutation.
+  uint64_t version() const { return version_; }
+
+ private:
+  std::vector<Subject> subjects_;
+  std::unordered_map<std::string, SubjectId> by_name_;
+  std::unordered_map<std::string, std::set<SubjectId>> group_members_;
+  std::unordered_map<std::string, std::set<SubjectId>> role_members_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_PROFILE_USER_PROFILE_H_

@@ -1,0 +1,188 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "query/query_engine.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace ltam {
+
+QueryEngine::QueryEngine(const MultilevelLocationGraph* graph,
+                         const AuthorizationDatabase* auth_db,
+                         const MovementDatabase* movement_db,
+                         const UserProfileDatabase* profiles)
+    : graph_(graph),
+      auth_db_(auth_db),
+      movement_db_(movement_db),
+      profiles_(profiles) {
+  LTAM_CHECK(graph != nullptr);
+  LTAM_CHECK(auth_db != nullptr);
+  LTAM_CHECK(movement_db != nullptr);
+  LTAM_CHECK(profiles != nullptr);
+}
+
+Decision QueryEngine::CanAccess(SubjectId s, LocationId l, Chronon t) const {
+  return auth_db_->CheckAccess(t, s, l);
+}
+
+std::vector<AuthId> QueryEngine::AuthorizationsOf(SubjectId s) const {
+  return auth_db_->ForSubject(s);
+}
+
+std::vector<SubjectId> QueryEngine::WhoCanAccess(
+    LocationId l, const TimeInterval& window) const {
+  std::set<SubjectId> out;
+  for (AuthId id : auth_db_->ForLocation(l)) {
+    const AuthRecord& rec = auth_db_->record(id);
+    if (rec.auth.entry_duration().Overlaps(window)) {
+      out.insert(rec.auth.subject());
+    }
+  }
+  return std::vector<SubjectId>(out.begin(), out.end());
+}
+
+Result<std::vector<LocationId>> QueryEngine::InaccessibleLocations(
+    SubjectId s, std::optional<LocationId> scope) const {
+  LTAM_ASSIGN_OR_RETURN(
+      InaccessibleResult r,
+      FindInaccessible(*graph_, scope.value_or(graph_->root()), s, *auth_db_,
+                       InaccessibleOptions{}));
+  return r.inaccessible;
+}
+
+Result<std::vector<LocationId>> QueryEngine::AccessibleLocations(
+    SubjectId s, std::optional<LocationId> scope) const {
+  LTAM_ASSIGN_OR_RETURN(
+      InaccessibleResult r,
+      FindInaccessible(*graph_, scope.value_or(graph_->root()), s, *auth_db_,
+                       InaccessibleOptions{}));
+  std::vector<LocationId> out;
+  for (LocationId l : r.analyzed) {
+    if (!r.IsInaccessible(l)) out.push_back(l);
+  }
+  return out;
+}
+
+Result<IntervalSet> QueryEngine::AccessWindows(
+    SubjectId s, LocationId l, std::optional<LocationId> scope) const {
+  if (!graph_->Exists(l) || !graph_->location(l).IsPrimitive()) {
+    return Status::InvalidArgument(
+        "access windows are defined for primitive locations");
+  }
+  LTAM_ASSIGN_OR_RETURN(
+      InaccessibleResult r,
+      FindInaccessible(*graph_, scope.value_or(graph_->root()), s, *auth_db_,
+                       InaccessibleOptions{}));
+  for (const LocationTimeState& st : r.final_states) {
+    if (st.location == l) return st.grant;
+  }
+  return Status::NotFound("location is outside the analysis scope");
+}
+
+Result<AuthorizedRoute> QueryEngine::CheckRoute(
+    SubjectId s, const std::vector<LocationId>& route,
+    const TimeInterval& window) const {
+  if (route.empty()) return Status::InvalidArgument("empty route");
+  if (!graph_->IsRoute(route)) {
+    return Status::InvalidArgument("sequence is not a route in the graph");
+  }
+  // Section 6 chain. For each step we must pick one authorization whose
+  // grant (and, for non-final steps, departure) duration in the current
+  // window is non-null. Following the paper we work with the *union*
+  // windows per location: grant_i from window_i, departure_i from
+  // window_i, and window_{i+1} = departure_i.
+  AuthorizedRoute out;
+  out.route = route;
+  TimeInterval current = window;
+  for (size_t i = 0; i < route.size(); ++i) {
+    IntervalSet grants;
+    IntervalSet departures;
+    for (AuthId id : auth_db_->ForSubjectLocation(s, route[i])) {
+      const LocationTemporalAuthorization& a = auth_db_->record(id).auth;
+      std::optional<TimeInterval> g = a.GrantDuration(current);
+      if (!g.has_value()) continue;
+      grants.Add(*g);
+      std::optional<TimeInterval> d = a.DepartureDuration(current);
+      if (d.has_value()) departures.Add(*d);
+    }
+    if (grants.empty()) {
+      return Status::NotFound("route not authorized: no grant duration at '" +
+                              graph_->location(route[i]).name + "'");
+    }
+    out.grants.push_back(TimeInterval(grants.Min(), grants.Max()));
+    bool is_last = (i + 1 == route.size());
+    if (is_last) {
+      if (!departures.empty()) {
+        out.departures.push_back(
+            TimeInterval(departures.Min(), departures.Max()));
+      }
+      break;
+    }
+    if (departures.empty()) {
+      return Status::NotFound(
+          "route not authorized: no departure duration at '" +
+          graph_->location(route[i]).name + "'");
+    }
+    TimeInterval dep(departures.Min(), departures.Max());
+    out.departures.push_back(dep);
+    current = dep;
+  }
+  return out;
+}
+
+Result<AuthorizedRoute> QueryEngine::FindAuthorizedRoute(
+    SubjectId s, LocationId src, LocationId dst, const TimeInterval& window,
+    size_t max_routes, size_t max_length) const {
+  std::vector<std::vector<LocationId>> routes =
+      graph_->EnumerateRoutes(src, dst, max_routes, max_length);
+  if (routes.empty()) {
+    return Status::NotFound("no route exists between the locations");
+  }
+  // Prefer short routes.
+  std::stable_sort(routes.begin(), routes.end(),
+                   [](const std::vector<LocationId>& a,
+                      const std::vector<LocationId>& b) {
+                     return a.size() < b.size();
+                   });
+  for (const std::vector<LocationId>& route : routes) {
+    Result<AuthorizedRoute> r = CheckRoute(s, route, window);
+    if (r.ok()) return r;
+  }
+  return Status::NotFound("no authorized route within the request window");
+}
+
+LocationId QueryEngine::WhereWas(SubjectId s, Chronon t) const {
+  return movement_db_->LocationAt(s, t);
+}
+
+std::vector<SubjectId> QueryEngine::Occupants(LocationId l, Chronon t) const {
+  return movement_db_->OccupantsAt(l, t);
+}
+
+std::vector<MovementDatabase::Contact> QueryEngine::Contacts(
+    SubjectId s, const TimeInterval& window, Chronon min_overlap) const {
+  return movement_db_->ContactsOf(s, window, min_overlap);
+}
+
+std::vector<SubjectId> QueryEngine::OverstayingAt(Chronon t) const {
+  std::vector<SubjectId> out;
+  for (SubjectId s : profiles_->AllSubjects()) {
+    LocationId cur = movement_db_->CurrentLocation(s);
+    if (cur == kInvalidLocation) continue;
+    // Overstaying iff every authorization's exit window has closed.
+    std::vector<AuthId> auths = auth_db_->ForSubjectLocation(s, cur);
+    bool any_open = false;
+    for (AuthId id : auths) {
+      if (t <= auth_db_->record(id).auth.exit_duration().end()) {
+        any_open = true;
+        break;
+      }
+    }
+    if (!any_open) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace ltam

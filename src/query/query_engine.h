@@ -1,0 +1,111 @@
+// Copyright 2026 The LTAM Authors.
+// The query engine (Figure 3).
+//
+// "The query engine evaluates queries by the system administrators and
+// the access control engine based on the information stored in all of the
+// databases." This class is the structured API; query_language.h adds the
+// textual front-end (the query language the paper lists as future work).
+
+#ifndef LTAM_QUERY_QUERY_ENGINE_H_
+#define LTAM_QUERY_QUERY_ENGINE_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/auth_database.h"
+#include "core/inaccessible.h"
+#include "engine/movement_db.h"
+#include "graph/multilevel_graph.h"
+#include "profile/user_profile.h"
+
+namespace ltam {
+
+/// An authorized route (Section 6): the route plus the grant/departure
+/// window chain that certifies it.
+struct AuthorizedRoute {
+  std::vector<LocationId> route;
+  /// Grant duration per step (same length as route).
+  std::vector<TimeInterval> grants;
+  /// Departure duration per step (last step may be the full exit set or
+  /// empty if never needed).
+  std::vector<TimeInterval> departures;
+};
+
+/// Read-only analytical queries over the four stores of Figure 3.
+class QueryEngine {
+ public:
+  QueryEngine(const MultilevelLocationGraph* graph,
+              const AuthorizationDatabase* auth_db,
+              const MovementDatabase* movement_db,
+              const UserProfileDatabase* profiles);
+
+  // --- Authorization queries ----------------------------------------------
+
+  /// Definition-7 check (pure).
+  Decision CanAccess(SubjectId s, LocationId l, Chronon t) const;
+
+  /// Active authorizations of a subject.
+  std::vector<AuthId> AuthorizationsOf(SubjectId s) const;
+
+  /// Subjects holding an active authorization on `l` whose entry duration
+  /// overlaps `window`.
+  std::vector<SubjectId> WhoCanAccess(LocationId l,
+                                      const TimeInterval& window) const;
+
+  // --- Reachability queries (Section 6) -----------------------------------
+
+  /// Inaccessible primitive locations for `s` within `scope` (default:
+  /// the whole site), per Definition 9.
+  Result<std::vector<LocationId>> InaccessibleLocations(
+      SubjectId s, std::optional<LocationId> scope = std::nullopt) const;
+
+  /// The complement: analyzed primitives that are accessible.
+  Result<std::vector<LocationId>> AccessibleLocations(
+      SubjectId s, std::optional<LocationId> scope = std::nullopt) const;
+
+  /// The *overall grant time* of `l` for `s` (Section 6): the set of
+  /// instants at which s could be inside l via some authorized route from
+  /// the entry locations of `scope`. Empty iff l is inaccessible.
+  Result<IntervalSet> AccessWindows(
+      SubjectId s, LocationId l,
+      std::optional<LocationId> scope = std::nullopt) const;
+
+  /// Checks one concrete route against the authorized-route conditions of
+  /// Section 6 for access request duration `window`; returns the
+  /// certified windows or NotFound when the route is not authorized.
+  Result<AuthorizedRoute> CheckRoute(SubjectId s,
+                                     const std::vector<LocationId>& route,
+                                     const TimeInterval& window) const;
+
+  /// Searches for an authorized route from src to dst within `window`
+  /// (tries enumerated routes in BFS-shortest-first order).
+  Result<AuthorizedRoute> FindAuthorizedRoute(
+      SubjectId s, LocationId src, LocationId dst, const TimeInterval& window,
+      size_t max_routes = 64, size_t max_length = 32) const;
+
+  // --- Movement queries -----------------------------------------------------
+
+  /// Where `s` was at `t` (kInvalidLocation = outside).
+  LocationId WhereWas(SubjectId s, Chronon t) const;
+
+  /// Subjects inside `l` at `t`.
+  std::vector<SubjectId> Occupants(LocationId l, Chronon t) const;
+
+  /// Co-location contacts (Section 1's SARS tracing scenario).
+  std::vector<MovementDatabase::Contact> Contacts(
+      SubjectId s, const TimeInterval& window, Chronon min_overlap = 1) const;
+
+  /// Subjects currently inside some location after every applicable exit
+  /// window has closed (overstay candidates at time `t`).
+  std::vector<SubjectId> OverstayingAt(Chronon t) const;
+
+ private:
+  const MultilevelLocationGraph* graph_;
+  const AuthorizationDatabase* auth_db_;
+  const MovementDatabase* movement_db_;
+  const UserProfileDatabase* profiles_;
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_QUERY_QUERY_ENGINE_H_

@@ -1,0 +1,382 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "query/query_language.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace ltam {
+
+std::string QueryResult::ToString() const {
+  // Compute column widths.
+  std::vector<size_t> widths(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&widths](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      if (c > 0) line += " | ";
+      std::string cell = c < cells.size() ? cells[c] : "";
+      cell.resize(widths[c], ' ');
+      line += cell;
+    }
+    return line + "\n";
+  };
+  std::string out = emit_row(columns);
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    if (c > 0) rule += "-+-";
+    rule += std::string(widths[c], '-');
+  }
+  out += rule + "\n";
+  for (const auto& row : rows) out += emit_row(row);
+  if (rows.empty()) out += "(no rows)\n";
+  return out;
+}
+
+namespace {
+
+/// Splits a statement into tokens, gluing bracketed intervals ("[a, b]")
+/// into single tokens.
+Result<std::vector<std::string>> Tokenize(const std::string& statement) {
+  std::vector<std::string> raw = SplitAndTrim(statement, ' ');
+  std::vector<std::string> out;
+  std::string pending;
+  for (const std::string& tok : raw) {
+    if (!pending.empty()) {
+      pending += " " + tok;
+      if (tok.find(']') != std::string::npos) {
+        out.push_back(pending);
+        pending.clear();
+      }
+      continue;
+    }
+    if (tok.front() == '[' && tok.find(']') == std::string::npos) {
+      pending = tok;
+      continue;
+    }
+    out.push_back(tok);
+  }
+  if (!pending.empty()) {
+    return Status::ParseError("unterminated interval in query: '" + pending +
+                              "'");
+  }
+  if (out.empty()) return Status::ParseError("empty query");
+  return out;
+}
+
+/// Cursor over the token stream with keyword matching.
+class Cursor {
+ public:
+  explicit Cursor(std::vector<std::string> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  bool AtEnd() const { return pos_ >= tokens_.size(); }
+
+  /// Consumes `keyword` (case-insensitive); error otherwise.
+  Status Expect(const std::string& keyword) {
+    if (AtEnd()) {
+      return Status::ParseError("expected '" + keyword + "' at end of query");
+    }
+    if (!EqualsIgnoreCase(tokens_[pos_], keyword)) {
+      return Status::ParseError("expected '" + keyword + "', got '" +
+                                tokens_[pos_] + "'");
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  /// True (and consumes) iff the next token matches.
+  bool TryConsume(const std::string& keyword) {
+    if (AtEnd() || !EqualsIgnoreCase(tokens_[pos_], keyword)) return false;
+    ++pos_;
+    return true;
+  }
+
+  /// Consumes and returns the next token as a bare name.
+  Result<std::string> Name(const std::string& what) {
+    if (AtEnd()) {
+      return Status::ParseError("expected " + what + " at end of query");
+    }
+    return tokens_[pos_++];
+  }
+
+  Result<Chronon> Time(const std::string& what) {
+    LTAM_ASSIGN_OR_RETURN(std::string tok, Name(what));
+    return ParseChronon(tok);
+  }
+
+  Result<TimeInterval> Interval(const std::string& what) {
+    LTAM_ASSIGN_OR_RETURN(std::string tok, Name(what));
+    return TimeInterval::Parse(tok);
+  }
+
+  Status ExpectEnd() const {
+    if (!AtEnd()) {
+      return Status::ParseError("unexpected trailing token '" +
+                                tokens_[pos_] + "'");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+QueryInterpreter::QueryInterpreter(const QueryEngine* engine,
+                                   const MultilevelLocationGraph* graph,
+                                   const UserProfileDatabase* profiles,
+                                   const MovementDatabase* movement_db,
+                                   const AuthorizationDatabase* auth_db)
+    : engine_(engine),
+      graph_(graph),
+      profiles_(profiles),
+      movement_db_(movement_db),
+      auth_db_(auth_db) {}
+
+Result<QueryResult> QueryInterpreter::Run(const std::string& statement) const {
+  LTAM_ASSIGN_OR_RETURN(std::vector<std::string> tokens, Tokenize(statement));
+  Cursor cur(std::move(tokens));
+
+  auto loc_name = [this](LocationId l) {
+    return l == kInvalidLocation ? std::string("outside")
+                                 : graph_->location(l).name;
+  };
+  auto subj_name = [this](SubjectId s) {
+    return profiles_->Exists(s) ? profiles_->subject(s).name
+                                : "s" + std::to_string(s);
+  };
+
+  // CAN <subject> ACCESS <location> AT <t>
+  if (cur.TryConsume("CAN")) {
+    LTAM_ASSIGN_OR_RETURN(std::string sname, cur.Name("subject"));
+    LTAM_RETURN_IF_ERROR(cur.Expect("ACCESS"));
+    LTAM_ASSIGN_OR_RETURN(std::string lname, cur.Name("location"));
+    LTAM_RETURN_IF_ERROR(cur.Expect("AT"));
+    LTAM_ASSIGN_OR_RETURN(Chronon t, cur.Time("time"));
+    LTAM_RETURN_IF_ERROR(cur.ExpectEnd());
+    LTAM_ASSIGN_OR_RETURN(SubjectId s, profiles_->Find(sname));
+    LTAM_ASSIGN_OR_RETURN(LocationId l, graph_->Find(lname));
+    Decision d = engine_->CanAccess(s, l, t);
+    QueryResult out;
+    out.columns = {"subject", "location", "time", "decision"};
+    out.rows.push_back({sname, lname, ChrononToString(t), d.ToString()});
+    return out;
+  }
+
+  // WHEN CAN <subject> ACCESS <location> [IN <composite>]
+  if (cur.TryConsume("WHEN")) {
+    LTAM_RETURN_IF_ERROR(cur.Expect("CAN"));
+    LTAM_ASSIGN_OR_RETURN(std::string sname, cur.Name("subject"));
+    LTAM_RETURN_IF_ERROR(cur.Expect("ACCESS"));
+    LTAM_ASSIGN_OR_RETURN(std::string lname, cur.Name("location"));
+    std::optional<LocationId> scope;
+    if (cur.TryConsume("IN")) {
+      LTAM_ASSIGN_OR_RETURN(std::string cname, cur.Name("composite"));
+      LTAM_ASSIGN_OR_RETURN(LocationId c, graph_->Find(cname));
+      scope = c;
+    }
+    LTAM_RETURN_IF_ERROR(cur.ExpectEnd());
+    LTAM_ASSIGN_OR_RETURN(SubjectId s, profiles_->Find(sname));
+    LTAM_ASSIGN_OR_RETURN(LocationId l, graph_->Find(lname));
+    LTAM_ASSIGN_OR_RETURN(IntervalSet windows,
+                          engine_->AccessWindows(s, l, scope));
+    QueryResult out;
+    out.columns = {"window"};
+    for (const TimeInterval& iv : windows.intervals()) {
+      out.rows.push_back({iv.ToString()});
+    }
+    return out;
+  }
+
+  // AUTHS FOR <subject>
+  if (cur.TryConsume("AUTHS")) {
+    LTAM_RETURN_IF_ERROR(cur.Expect("FOR"));
+    LTAM_ASSIGN_OR_RETURN(std::string sname, cur.Name("subject"));
+    LTAM_RETURN_IF_ERROR(cur.ExpectEnd());
+    LTAM_ASSIGN_OR_RETURN(SubjectId s, profiles_->Find(sname));
+    QueryResult out;
+    out.columns = {"id", "authorization", "origin", "entries-used"};
+    for (AuthId id : engine_->AuthorizationsOf(s)) {
+      const AuthRecord& rec = auth_db_->record(id);
+      out.rows.push_back(
+          {std::to_string(id), rec.auth.ToString(*profiles_, *graph_),
+           rec.origin == AuthOrigin::kDerived
+               ? "derived(r" + std::to_string(rec.source_rule) + ")"
+               : "explicit",
+           std::to_string(rec.entries_used)});
+    }
+    return out;
+  }
+
+  // WHO CAN ACCESS <location> DURING <interval>
+  if (cur.TryConsume("WHO")) {
+    LTAM_RETURN_IF_ERROR(cur.Expect("CAN"));
+    LTAM_RETURN_IF_ERROR(cur.Expect("ACCESS"));
+    LTAM_ASSIGN_OR_RETURN(std::string lname, cur.Name("location"));
+    LTAM_RETURN_IF_ERROR(cur.Expect("DURING"));
+    LTAM_ASSIGN_OR_RETURN(TimeInterval window, cur.Interval("interval"));
+    LTAM_RETURN_IF_ERROR(cur.ExpectEnd());
+    LTAM_ASSIGN_OR_RETURN(LocationId l, graph_->Find(lname));
+    QueryResult out;
+    out.columns = {"subject"};
+    for (SubjectId s : engine_->WhoCanAccess(l, window)) {
+      out.rows.push_back({subj_name(s)});
+    }
+    return out;
+  }
+
+  // ACCESSIBLE FOR <subject> [IN <composite>] /
+  // INACCESSIBLE FOR <subject> [IN <composite>]
+  bool accessible = false;
+  if (cur.TryConsume("ACCESSIBLE")) {
+    accessible = true;
+  }
+  if (accessible || cur.TryConsume("INACCESSIBLE")) {
+    LTAM_RETURN_IF_ERROR(cur.Expect("FOR"));
+    LTAM_ASSIGN_OR_RETURN(std::string sname, cur.Name("subject"));
+    std::optional<LocationId> scope;
+    if (cur.TryConsume("IN")) {
+      LTAM_ASSIGN_OR_RETURN(std::string cname, cur.Name("composite"));
+      LTAM_ASSIGN_OR_RETURN(LocationId c, graph_->Find(cname));
+      scope = c;
+    }
+    LTAM_RETURN_IF_ERROR(cur.ExpectEnd());
+    LTAM_ASSIGN_OR_RETURN(SubjectId s, profiles_->Find(sname));
+    LTAM_ASSIGN_OR_RETURN(std::vector<LocationId> result,
+                          accessible ? engine_->AccessibleLocations(s, scope)
+                                     : engine_->InaccessibleLocations(s, scope));
+    QueryResult out;
+    out.columns = {"location"};
+    for (LocationId l : result) out.rows.push_back({loc_name(l)});
+    return out;
+  }
+
+  // ROUTE FOR <subject> FROM <loc> TO <loc> [DURING <interval>]
+  if (cur.TryConsume("ROUTE")) {
+    LTAM_RETURN_IF_ERROR(cur.Expect("FOR"));
+    LTAM_ASSIGN_OR_RETURN(std::string sname, cur.Name("subject"));
+    LTAM_RETURN_IF_ERROR(cur.Expect("FROM"));
+    LTAM_ASSIGN_OR_RETURN(std::string src_name, cur.Name("location"));
+    LTAM_RETURN_IF_ERROR(cur.Expect("TO"));
+    LTAM_ASSIGN_OR_RETURN(std::string dst_name, cur.Name("location"));
+    TimeInterval window(0, kChrononMax);
+    if (cur.TryConsume("DURING")) {
+      LTAM_ASSIGN_OR_RETURN(window, cur.Interval("interval"));
+    }
+    LTAM_RETURN_IF_ERROR(cur.ExpectEnd());
+    LTAM_ASSIGN_OR_RETURN(SubjectId s, profiles_->Find(sname));
+    LTAM_ASSIGN_OR_RETURN(LocationId src, graph_->Find(src_name));
+    LTAM_ASSIGN_OR_RETURN(LocationId dst, graph_->Find(dst_name));
+    LTAM_ASSIGN_OR_RETURN(AuthorizedRoute route,
+                          engine_->FindAuthorizedRoute(s, src, dst, window));
+    QueryResult out;
+    out.columns = {"step", "location", "grant", "departure"};
+    for (size_t i = 0; i < route.route.size(); ++i) {
+      out.rows.push_back(
+          {std::to_string(i + 1), loc_name(route.route[i]),
+           route.grants[i].ToString(),
+           i < route.departures.size() ? route.departures[i].ToString()
+                                       : "-"});
+    }
+    return out;
+  }
+
+  // WHERE WAS <subject> AT <t>
+  if (cur.TryConsume("WHERE")) {
+    LTAM_RETURN_IF_ERROR(cur.Expect("WAS"));
+    LTAM_ASSIGN_OR_RETURN(std::string sname, cur.Name("subject"));
+    LTAM_RETURN_IF_ERROR(cur.Expect("AT"));
+    LTAM_ASSIGN_OR_RETURN(Chronon t, cur.Time("time"));
+    LTAM_RETURN_IF_ERROR(cur.ExpectEnd());
+    LTAM_ASSIGN_OR_RETURN(SubjectId s, profiles_->Find(sname));
+    QueryResult out;
+    out.columns = {"subject", "time", "location"};
+    out.rows.push_back(
+        {sname, ChrononToString(t), loc_name(engine_->WhereWas(s, t))});
+    return out;
+  }
+
+  // OCCUPANTS OF <location> AT <t>
+  if (cur.TryConsume("OCCUPANTS")) {
+    LTAM_RETURN_IF_ERROR(cur.Expect("OF"));
+    LTAM_ASSIGN_OR_RETURN(std::string lname, cur.Name("location"));
+    LTAM_RETURN_IF_ERROR(cur.Expect("AT"));
+    LTAM_ASSIGN_OR_RETURN(Chronon t, cur.Time("time"));
+    LTAM_RETURN_IF_ERROR(cur.ExpectEnd());
+    LTAM_ASSIGN_OR_RETURN(LocationId l, graph_->Find(lname));
+    QueryResult out;
+    out.columns = {"subject"};
+    for (SubjectId s : engine_->Occupants(l, t)) {
+      out.rows.push_back({subj_name(s)});
+    }
+    return out;
+  }
+
+  // CONTACTS OF <subject> DURING <interval> [MIN <k>]
+  if (cur.TryConsume("CONTACTS")) {
+    LTAM_RETURN_IF_ERROR(cur.Expect("OF"));
+    LTAM_ASSIGN_OR_RETURN(std::string sname, cur.Name("subject"));
+    LTAM_RETURN_IF_ERROR(cur.Expect("DURING"));
+    LTAM_ASSIGN_OR_RETURN(TimeInterval window, cur.Interval("interval"));
+    Chronon min_overlap = 1;
+    if (cur.TryConsume("MIN")) {
+      LTAM_ASSIGN_OR_RETURN(min_overlap, cur.Time("minimum overlap"));
+    }
+    LTAM_RETURN_IF_ERROR(cur.ExpectEnd());
+    LTAM_ASSIGN_OR_RETURN(SubjectId s, profiles_->Find(sname));
+    QueryResult out;
+    out.columns = {"contact", "location", "from", "to"};
+    for (const MovementDatabase::Contact& c :
+         engine_->Contacts(s, window, min_overlap)) {
+      out.rows.push_back({subj_name(c.other), loc_name(c.location),
+                          ChrononToString(c.overlap_start),
+                          ChrononToString(c.overlap_end)});
+    }
+    return out;
+  }
+
+  // OVERSTAYING AT <t>
+  if (cur.TryConsume("OVERSTAYING")) {
+    LTAM_RETURN_IF_ERROR(cur.Expect("AT"));
+    LTAM_ASSIGN_OR_RETURN(Chronon t, cur.Time("time"));
+    LTAM_RETURN_IF_ERROR(cur.ExpectEnd());
+    QueryResult out;
+    out.columns = {"subject", "location"};
+    for (SubjectId s : engine_->OverstayingAt(t)) {
+      out.rows.push_back({subj_name(s),
+                          loc_name(movement_db_->CurrentLocation(s))});
+    }
+    return out;
+  }
+
+  // HISTORY OF <subject>
+  if (cur.TryConsume("HISTORY")) {
+    LTAM_RETURN_IF_ERROR(cur.Expect("OF"));
+    LTAM_ASSIGN_OR_RETURN(std::string sname, cur.Name("subject"));
+    LTAM_RETURN_IF_ERROR(cur.ExpectEnd());
+    LTAM_ASSIGN_OR_RETURN(SubjectId s, profiles_->Find(sname));
+    QueryResult out;
+    out.columns = {"enter", "exit", "location"};
+    for (const Stay& stay : movement_db_->StaysOf(s)) {
+      out.rows.push_back({ChrononToString(stay.enter_time),
+                          stay.exit_time == kChrononMax
+                              ? "(inside)"
+                              : ChrononToString(stay.exit_time),
+                          loc_name(stay.location)});
+    }
+    return out;
+  }
+
+  return Status::ParseError("unrecognized query: '" + statement + "'");
+}
+
+}  // namespace ltam

@@ -1,0 +1,67 @@
+// Copyright 2026 The LTAM Authors.
+// A textual query language over the LTAM databases.
+//
+// Section 5/7: "The design of a query language for our proposed
+// authorization model will be part of our future work." This module is
+// that front-end: a small keyword language whose statements map onto
+// QueryEngine calls and render tabular results.
+//
+// Grammar (keywords case-insensitive, names case-sensitive, intervals
+// written "[a, b]" with "inf" allowed):
+//
+//   CAN <subject> ACCESS <location> AT <t>
+//   WHEN CAN <subject> ACCESS <location> [IN <composite>]
+//   AUTHS FOR <subject>
+//   WHO CAN ACCESS <location> DURING <interval>
+//   ACCESSIBLE FOR <subject> [IN <composite>]
+//   INACCESSIBLE FOR <subject> [IN <composite>]
+//   ROUTE FOR <subject> FROM <location> TO <location> [DURING <interval>]
+//   WHERE WAS <subject> AT <t>
+//   OCCUPANTS OF <location> AT <t>
+//   CONTACTS OF <subject> DURING <interval> [MIN <k>]
+//   OVERSTAYING AT <t>
+//   HISTORY OF <subject>
+
+#ifndef LTAM_QUERY_QUERY_LANGUAGE_H_
+#define LTAM_QUERY_QUERY_LANGUAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query_engine.h"
+
+namespace ltam {
+
+/// A tabular query result.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Fixed-width table rendering.
+  std::string ToString() const;
+};
+
+/// Parses and evaluates query-language statements.
+class QueryInterpreter {
+ public:
+  /// Borrows the engine and the name-resolution stores.
+  QueryInterpreter(const QueryEngine* engine,
+                   const MultilevelLocationGraph* graph,
+                   const UserProfileDatabase* profiles,
+                   const MovementDatabase* movement_db,
+                   const AuthorizationDatabase* auth_db);
+
+  /// Parses and evaluates one statement.
+  Result<QueryResult> Run(const std::string& statement) const;
+
+ private:
+  const QueryEngine* engine_;
+  const MultilevelLocationGraph* graph_;
+  const UserProfileDatabase* profiles_;
+  const MovementDatabase* movement_db_;
+  const AuthorizationDatabase* auth_db_;
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_QUERY_QUERY_LANGUAGE_H_

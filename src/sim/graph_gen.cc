@@ -1,0 +1,273 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "sim/graph_gen.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace ltam {
+
+namespace {
+
+/// Shared error-propagating builder helpers.
+struct Builder {
+  MultilevelLocationGraph graph;
+  Status status = Status::OK();
+
+  explicit Builder(std::string root) : graph(std::move(root)) {}
+
+  LocationId Prim(const std::string& name, LocationId parent) {
+    if (!status.ok()) return kInvalidLocation;
+    Result<LocationId> r = graph.AddPrimitive(name, parent);
+    if (!r.ok()) {
+      status = r.status();
+      return kInvalidLocation;
+    }
+    return *r;
+  }
+
+  LocationId Comp(const std::string& name, LocationId parent) {
+    if (!status.ok()) return kInvalidLocation;
+    Result<LocationId> r = graph.AddComposite(name, parent);
+    if (!r.ok()) {
+      status = r.status();
+      return kInvalidLocation;
+    }
+    return *r;
+  }
+
+  void Edge(LocationId a, LocationId b) {
+    if (!status.ok()) return;
+    status = graph.AddEdge(a, b);
+  }
+
+  void Entry(LocationId l) {
+    if (!status.ok()) return;
+    status = graph.SetEntry(l, true);
+  }
+
+  Result<MultilevelLocationGraph> Finish() {
+    if (!status.ok()) return status;
+    LTAM_RETURN_IF_ERROR(graph.Validate());
+    return std::move(graph);
+  }
+};
+
+}  // namespace
+
+Result<MultilevelLocationGraph> MakeGridGraph(uint32_t width,
+                                              uint32_t height) {
+  if (width == 0 || height == 0) {
+    return Status::InvalidArgument("grid dimensions must be positive");
+  }
+  Builder b("Site");
+  std::vector<LocationId> rooms(static_cast<size_t>(width) * height);
+  for (uint32_t y = 0; y < height; ++y) {
+    for (uint32_t x = 0; x < width; ++x) {
+      rooms[static_cast<size_t>(y) * width + x] =
+          b.Prim(StrFormat("R%u_%u", x, y), b.graph.root());
+    }
+  }
+  for (uint32_t y = 0; y < height; ++y) {
+    for (uint32_t x = 0; x < width; ++x) {
+      size_t i = static_cast<size_t>(y) * width + x;
+      if (x + 1 < width) b.Edge(rooms[i], rooms[i + 1]);
+      if (y + 1 < height) b.Edge(rooms[i], rooms[i + width]);
+    }
+  }
+  b.Entry(rooms[0]);
+  return b.Finish();
+}
+
+Result<MultilevelLocationGraph> MakeTreeGraph(uint32_t branching,
+                                              uint32_t depth) {
+  if (branching == 0 || depth == 0) {
+    return Status::InvalidArgument("tree parameters must be positive");
+  }
+  Builder b("Site");
+  std::vector<LocationId> frontier;
+  LocationId root_room = b.Prim("T0", b.graph.root());
+  b.Entry(root_room);
+  frontier.push_back(root_room);
+  uint32_t next = 1;
+  for (uint32_t level = 1; level < depth; ++level) {
+    std::vector<LocationId> next_frontier;
+    for (LocationId parent_room : frontier) {
+      for (uint32_t c = 0; c < branching; ++c) {
+        LocationId child = b.Prim(StrFormat("T%u", next++), b.graph.root());
+        b.Edge(parent_room, child);
+        next_frontier.push_back(child);
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  return b.Finish();
+}
+
+Result<MultilevelLocationGraph> MakeRandomRegularGraph(uint32_t n,
+                                                       uint32_t degree,
+                                                       Rng* rng) {
+  if (n < 2) return Status::InvalidArgument("need at least 2 rooms");
+  if (rng == nullptr) return Status::InvalidArgument("null rng");
+  Builder b("Site");
+  std::vector<LocationId> rooms(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    rooms[i] = b.Prim(StrFormat("N%u", i), b.graph.root());
+  }
+  // Hamiltonian cycle for connectivity.
+  std::set<std::pair<uint32_t, uint32_t>> used;
+  auto add_edge = [&](uint32_t i, uint32_t j) {
+    if (i == j) return false;
+    auto key = std::minmax(i, j);
+    if (used.count({key.first, key.second}) > 0) return false;
+    used.insert({key.first, key.second});
+    b.Edge(rooms[i], rooms[j]);
+    return true;
+  };
+  for (uint32_t i = 0; i < n; ++i) add_edge(i, (i + 1) % n);
+  // Random chords until the average degree approaches `degree`.
+  uint64_t target_edges =
+      std::min<uint64_t>(static_cast<uint64_t>(n) * degree / 2,
+                         static_cast<uint64_t>(n) * (n - 1) / 2);
+  uint64_t attempts = 0;
+  while (used.size() < target_edges && attempts < 20 * target_edges) {
+    ++attempts;
+    add_edge(static_cast<uint32_t>(rng->Uniform(n)),
+             static_cast<uint32_t>(rng->Uniform(n)));
+  }
+  b.Entry(rooms[0]);
+  return b.Finish();
+}
+
+Result<MultilevelLocationGraph> MakeCampusGraph(uint32_t buildings,
+                                                uint32_t rooms_per_building) {
+  if (buildings == 0 || rooms_per_building == 0) {
+    return Status::InvalidArgument("campus parameters must be positive");
+  }
+  Builder b("Campus");
+  std::vector<LocationId> houses(buildings);
+  for (uint32_t h = 0; h < buildings; ++h) {
+    houses[h] = b.Comp(StrFormat("B%u", h), b.graph.root());
+    LocationId prev = kInvalidLocation;
+    for (uint32_t r = 0; r < rooms_per_building; ++r) {
+      LocationId room = b.Prim(StrFormat("B%u.R%u", h, r), houses[h]);
+      if (r == 0) b.Entry(room);  // The building's "GO".
+      if (prev != kInvalidLocation) b.Edge(prev, room);
+      prev = room;
+    }
+  }
+  // Ring of buildings at the root level.
+  if (buildings > 1) {
+    for (uint32_t h = 0; h < buildings; ++h) {
+      b.Edge(houses[h], houses[(h + 1) % buildings]);
+      if (buildings == 2) break;  // Avoid duplicate edge 0-1/1-0.
+    }
+  }
+  // Building 0 is the campus gate.
+  b.Entry(houses[0]);
+  return b.Finish();
+}
+
+Result<MultilevelLocationGraph> MakeNtuCampusGraph() {
+  Builder b("NTU");
+  LocationId root = b.graph.root();
+
+  // Schools (composites).
+  LocationId sce = b.Comp("SCE", root);
+  LocationId eee = b.Comp("EEE", root);
+  LocationId cee = b.Comp("CEE", root);
+  LocationId sme = b.Comp("SME", root);
+  LocationId nbs = b.Comp("NBS", root);
+
+  // SCE rooms (Figure 2, top).
+  LocationId sce_go = b.Prim("SCE.GO", sce);
+  LocationId sce_dean = b.Prim("SCE.DeanOffice", sce);
+  LocationId sce_a = b.Prim("SCE.SectionA", sce);
+  LocationId sce_b = b.Prim("SCE.SectionB", sce);
+  LocationId sce_c = b.Prim("SCE.SectionC", sce);
+  LocationId cais = b.Prim("CAIS", sce);
+  LocationId chipes = b.Prim("CHIPES", sce);
+  // Edges. Known from the text: GO-SectionA-Dean (complex route example),
+  // Dean-SectionA-SectionB-CAIS (simple route example), SectionB-CAIS
+  // edge called out explicitly. SectionC and CHIPES lie on the
+  // alternative GO->CAIS route of Example 3 (GO, SectionA, SectionB,
+  // SectionC, CHIPES, CAIS), so: SectionB-SectionC, SectionC-CHIPES,
+  // CHIPES-CAIS.
+  b.Edge(sce_go, sce_a);
+  b.Edge(sce_a, sce_dean);
+  b.Edge(sce_a, sce_b);
+  b.Edge(sce_b, cais);
+  b.Edge(sce_b, sce_c);
+  b.Edge(sce_c, chipes);
+  b.Edge(chipes, cais);
+  b.Entry(sce_go);
+  b.Entry(sce_c);
+
+  // EEE rooms (mirror structure: GO, Dean's Office, Sections A-C, Lab1,
+  // Lab2).
+  LocationId eee_go = b.Prim("EEE.GO", eee);
+  LocationId eee_dean = b.Prim("EEE.DeanOffice", eee);
+  LocationId eee_a = b.Prim("EEE.SectionA", eee);
+  LocationId eee_b = b.Prim("EEE.SectionB", eee);
+  LocationId eee_c = b.Prim("EEE.SectionC", eee);
+  LocationId lab1 = b.Prim("Lab1", eee);
+  LocationId lab2 = b.Prim("Lab2", eee);
+  // Complex route example needs EEE.Dean - EEE.SectionA - EEE.GO.
+  b.Edge(eee_go, eee_a);
+  b.Edge(eee_a, eee_dean);
+  b.Edge(eee_a, eee_b);
+  b.Edge(eee_b, lab1);
+  b.Edge(eee_b, eee_c);
+  b.Edge(eee_c, lab2);
+  b.Edge(lab2, lab1);
+  b.Entry(eee_go);
+  b.Entry(eee_c);
+
+  // The remaining schools, sketched as single-room graphs (the paper
+  // leaves their interiors unspecified).
+  LocationId cee_go = b.Prim("CEE.GO", cee);
+  LocationId sme_go = b.Prim("SME.GO", sme);
+  LocationId nbs_go = b.Prim("NBS.GO", nbs);
+  b.Entry(cee_go);
+  b.Entry(sme_go);
+  b.Entry(nbs_go);
+
+  // Campus-level edges between schools (Figure 2, bottom row joins the
+  // schools; exact campus edges beyond SCE-EEE are not enumerated in the
+  // paper, we use a ring which keeps NTU connected).
+  b.Edge(sce, eee);
+  b.Edge(eee, cee);
+  b.Edge(cee, sme);
+  b.Edge(sme, nbs);
+  b.Edge(nbs, sce);
+
+  // Campus-level entries: visitors arrive through SCE or EEE (the two
+  // schools the paper details).
+  b.Entry(sce);
+  b.Entry(eee);
+
+  return b.Finish();
+}
+
+Result<MultilevelLocationGraph> MakeFig4Graph() {
+  Builder b("G");
+  LocationId root = b.graph.root();
+  LocationId a = b.Prim("A", root);
+  LocationId bb = b.Prim("B", root);
+  LocationId c = b.Prim("C", root);
+  LocationId d = b.Prim("D", root);
+  // Insertion order B-C first so that B's neighbor list is (C, A): the
+  // worklist then processes Update B, Update D, Update C, Update A —
+  // exactly Table 2's row order.
+  b.Edge(bb, c);
+  b.Edge(a, bb);
+  b.Edge(a, d);
+  b.Edge(c, d);
+  b.Entry(a);
+  return b.Finish();
+}
+
+}  // namespace ltam

@@ -1,0 +1,65 @@
+// Copyright 2026 The LTAM Authors.
+// Synthetic location-graph generators for tests and benchmarks.
+//
+// The paper's complexity claim for Algorithm 1 is O(NL^2 * Nd * Na); the
+// generators here let the benchmark harness sweep NL (location count) and
+// Nd (degree) independently: grids (fixed degree 4), trees (degree b+1),
+// random regular-ish graphs (configurable degree), and campus-like
+// multilevel layouts mirroring Figure 2's structure at scale.
+
+#ifndef LTAM_SIM_GRAPH_GEN_H_
+#define LTAM_SIM_GRAPH_GEN_H_
+
+#include <cstdint>
+
+#include "graph/multilevel_graph.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace ltam {
+
+/// A width x height 4-connected grid of primitive rooms under one root;
+/// the (0,0) corner room is the entry.
+Result<MultilevelLocationGraph> MakeGridGraph(uint32_t width,
+                                              uint32_t height);
+
+/// A complete `branching`-ary tree of `depth` levels of primitive rooms
+/// (edges parent-child); the root room is the entry. depth = 1 is a
+/// single room.
+Result<MultilevelLocationGraph> MakeTreeGraph(uint32_t branching,
+                                              uint32_t depth);
+
+/// A connected random graph over `n` primitive rooms where every room
+/// gets approximately `degree` neighbors (a Hamiltonian cycle for
+/// connectivity plus random chords). Room 0 is the entry.
+Result<MultilevelLocationGraph> MakeRandomRegularGraph(uint32_t n,
+                                                       uint32_t degree,
+                                                       Rng* rng);
+
+/// A campus-like multilevel graph: `buildings` composite buildings under
+/// the root, each containing `rooms_per_building` primitive rooms
+/// arranged as a path with one entry (its "GO"), buildings connected in a
+/// ring at the root level (the shape of Figure 2 at parametric scale).
+Result<MultilevelLocationGraph> MakeCampusGraph(uint32_t buildings,
+                                                uint32_t rooms_per_building);
+
+/// Builds exactly the NTU multilevel location graph of Figures 1-2:
+/// composites SCE/EEE/CEE/SME/NBS under root NTU, the SCE and EEE room
+/// graphs (GO, Dean's Office, SectionA/B/C, CAIS, CHIPES, Lab1, Lab2),
+/// entry locations (SCE.GO, SCE.SectionC, EEE.GO, EEE.SectionC, ...) and
+/// the edges implied by the paper's routes:
+///   - simple route <SCE.Dean's Office, SCE.SectionA, SCE.SectionB, CAIS>;
+///   - complex route <EEE.Dean's Office, EEE.SectionA, EEE.GO, SCE.GO,
+///     SCE.SectionA, SCE.Dean's Office>;
+///   - all_route_from(SCE.GO) to CAIS covering {SCE.GO, SCE.SectionA,
+///     SCE.SectionB, SCE.SectionC, CHIPES} (Example 3).
+Result<MultilevelLocationGraph> MakeNtuCampusGraph();
+
+/// Builds the 4-location example graph of Figure 4 (A, B, C, D with edges
+/// A-B, A-D, B-C, C-D; A is the entry), with edge insertion order chosen
+/// so the worklist algorithm reproduces Table 2's row order.
+Result<MultilevelLocationGraph> MakeFig4Graph();
+
+}  // namespace ltam
+
+#endif  // LTAM_SIM_GRAPH_GEN_H_

@@ -1,0 +1,207 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "sim/movement_sim.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ltam {
+
+namespace {
+
+/// Picks a uniformly random element; kInvalidLocation when empty.
+LocationId PickRandom(const std::vector<LocationId>& options, Rng* rng) {
+  if (options.empty()) return kInvalidLocation;
+  return options[rng->Uniform(options.size())];
+}
+
+}  // namespace
+
+Scenario SimulateMovement(const MultilevelLocationGraph& graph,
+                          const AuthorizationDatabase& db,
+                          const std::vector<SubjectId>& subjects,
+                          const SimOptions& options, Rng* rng) {
+  LTAM_CHECK(rng != nullptr);
+  Scenario out;
+  const std::vector<LocationId> doors = graph.EntryPrimitives(graph.root());
+
+  for (SubjectId s : subjects) {
+    Chronon t = static_cast<Chronon>(rng->Uniform(options.step_gap) + 1);
+    LocationId cur = kInvalidLocation;
+    for (uint32_t step = 0; step < options.steps_per_subject; ++step) {
+      // Candidate next locations: site doors from outside, flattened
+      // neighbors from inside.
+      std::vector<LocationId> candidates =
+          cur == kInvalidLocation ? doors : graph.EffectiveNeighbors(cur);
+      // Split into authorized and unauthorized at time t.
+      std::vector<LocationId> authorized;
+      std::vector<LocationId> unauthorized;
+      for (LocationId c : candidates) {
+        if (db.CheckAccess(t, s, c).granted) {
+          authorized.push_back(c);
+        } else {
+          unauthorized.push_back(c);
+        }
+      }
+
+      bool tailgate =
+          !unauthorized.empty() && rng->Bernoulli(options.tailgate_prob);
+      if (tailgate && cur != kInvalidLocation) {
+        // Sneak into an unauthorized room behind someone else.
+        LocationId next = PickRandom(unauthorized, rng);
+        out.events.push_back(
+            {SimEvent::Kind::kSneak, t, s, next});
+        if (options.emit_observations) {
+          out.events.push_back({SimEvent::Kind::kObserve, t, s, next});
+        }
+        out.ground_truth.push_back(
+            {AlertType::kUnauthorizedPresence, t, s, next});
+        cur = next;
+      } else if (!authorized.empty()) {
+        LocationId next = PickRandom(authorized, rng);
+        out.events.push_back({SimEvent::Kind::kRequest, t, s, next});
+        if (options.emit_observations) {
+          out.events.push_back({SimEvent::Kind::kObserve, t, s, next});
+        }
+        // Overstay: wait beyond the exit window of the authorization that
+        // granted this entry before the next step.
+        Decision d = db.CheckAccess(t, s, next);
+        cur = next;
+        if (d.granted && rng->Bernoulli(options.overstay_prob)) {
+          const TimeInterval& exit_window =
+              db.record(d.auth).auth.exit_duration();
+          if (exit_window.end() != kChrononMax) {
+            Chronon linger = ChrononAdd(exit_window.end(),
+                                        1 + static_cast<Chronon>(
+                                                rng->Uniform(5)));
+            if (linger > t) {
+              out.ground_truth.push_back(
+                  {AlertType::kOverstay, linger, s, next});
+              if (options.emit_ticks) {
+                out.events.push_back(
+                    {SimEvent::Kind::kTick, linger, s, next});
+              }
+              t = linger;
+            }
+          }
+        }
+      } else if (cur != kInvalidLocation) {
+        // Nowhere authorized to go: leave the site if standing at a door,
+        // otherwise wait in place.
+        if (std::find(doors.begin(), doors.end(), cur) != doors.end()) {
+          out.events.push_back(
+              {SimEvent::Kind::kExit, t, s, kInvalidLocation});
+          cur = kInvalidLocation;
+        }
+      }
+      t = ChrononAdd(t, options.step_gap);
+    }
+    if (cur != kInvalidLocation) {
+      out.events.push_back({SimEvent::Kind::kExit, t, s, kInvalidLocation});
+    }
+  }
+
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const SimEvent& a, const SimEvent& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     // Requests before observations before ticks at equal
+                     // times, so engines see causes before effects.
+                     return static_cast<int>(a.kind) <
+                            static_cast<int>(b.kind);
+                   });
+  std::sort(out.ground_truth.begin(), out.ground_truth.end(),
+            [](const GroundTruthViolation& a, const GroundTruthViolation& b) {
+              return a.time < b.time;
+            });
+  return out;
+}
+
+void ReplayOnEngine(const Scenario& scenario, AccessControlEngine* engine) {
+  LTAM_CHECK(engine != nullptr);
+  for (const SimEvent& ev : scenario.events) {
+    switch (ev.kind) {
+      case SimEvent::Kind::kRequest:
+        engine->RequestEntry(ev.time, ev.subject, ev.location);
+        break;
+      case SimEvent::Kind::kSneak:
+        // A sneak is invisible to the engine at the door; the subsequent
+        // observation (if tracking is on) reveals it.
+        break;
+      case SimEvent::Kind::kObserve:
+        engine->ObservePresence(ev.time, ev.subject, ev.location);
+        break;
+      case SimEvent::Kind::kExit: {
+        Status st = engine->RequestExit(ev.time, ev.subject);
+        (void)st;  // Exits of subjects the engine never admitted fail;
+                   // that mismatch is part of the measurement.
+        break;
+      }
+      case SimEvent::Kind::kTick:
+        engine->Tick(ev.time);
+        break;
+    }
+  }
+}
+
+void ReplayOnBaseline(const Scenario& scenario,
+                      CardReaderBaseline* baseline) {
+  LTAM_CHECK(baseline != nullptr);
+  for (const SimEvent& ev : scenario.events) {
+    switch (ev.kind) {
+      case SimEvent::Kind::kRequest:
+        baseline->RequestEntry(ev.time, ev.subject, ev.location);
+        break;
+      case SimEvent::Kind::kSneak:
+        break;  // By definition invisible to card readers.
+      case SimEvent::Kind::kObserve:
+        baseline->ObservePresence(ev.time, ev.subject, ev.location);
+        break;
+      case SimEvent::Kind::kExit: {
+        Status st = baseline->RequestExit(ev.time, ev.subject);
+        (void)st;
+        break;
+      }
+      case SimEvent::Kind::kTick:
+        baseline->Tick(ev.time);
+        break;
+    }
+  }
+}
+
+DetectionStats ScoreDetections(const Scenario& scenario,
+                               const std::vector<Alert>& alerts,
+                               Chronon slack) {
+  DetectionStats stats;
+  stats.ground_truth = scenario.ground_truth.size();
+  std::vector<char> alert_used(alerts.size(), 0);
+  auto compatible = [](AlertType truth, AlertType alert) {
+    if (truth == AlertType::kUnauthorizedPresence) {
+      return alert == AlertType::kUnauthorizedPresence ||
+             alert == AlertType::kImpossibleMovement;
+    }
+    return truth == alert;
+  };
+  for (const GroundTruthViolation& gt : scenario.ground_truth) {
+    for (size_t i = 0; i < alerts.size(); ++i) {
+      if (alert_used[i]) continue;
+      const Alert& a = alerts[i];
+      if (a.subject != gt.subject) continue;
+      if (!compatible(gt.type, a.type)) continue;
+      Chronon dt = a.time > gt.time ? a.time - gt.time : gt.time - a.time;
+      if (dt > slack) continue;
+      alert_used[i] = 1;
+      ++stats.detected;
+      break;
+    }
+  }
+  for (size_t i = 0; i < alerts.size(); ++i) {
+    if (alert_used[i]) continue;
+    // Denied requests are expected operation, not false alarms.
+    if (alerts[i].type == AlertType::kAccessDenied) continue;
+    ++stats.false_alarms;
+  }
+  return stats;
+}
+
+}  // namespace ltam

@@ -1,0 +1,84 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "sim/workload.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace ltam {
+
+std::vector<SubjectId> GenerateSubjects(UserProfileDatabase* profiles,
+                                        uint32_t count) {
+  LTAM_CHECK(profiles != nullptr);
+  std::vector<SubjectId> out;
+  out.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Result<SubjectId> r = profiles->AddSubject(StrFormat("u%u", i));
+    // Name collisions only happen if the caller generated before; make
+    // the generator idempotent by resolving.
+    if (!r.ok()) r = profiles->Find(StrFormat("u%u", i));
+    LTAM_CHECK(r.ok()) << r.status().ToString();
+    out.push_back(*r);
+  }
+  return out;
+}
+
+size_t GenerateAuthorizations(const MultilevelLocationGraph& graph,
+                              const std::vector<SubjectId>& subjects,
+                              const AuthWorkloadOptions& options, Rng* rng,
+                              AuthorizationDatabase* db) {
+  LTAM_CHECK(rng != nullptr);
+  LTAM_CHECK(db != nullptr);
+  size_t added = 0;
+  for (SubjectId s : subjects) {
+    for (LocationId l : graph.Primitives()) {
+      if (!rng->Bernoulli(options.coverage)) continue;
+      for (uint32_t k = 0; k < options.auths_per_location; ++k) {
+        Chronon start = rng->UniformRange(0, options.horizon - 1);
+        Chronon len = rng->UniformRange(options.min_len, options.max_len);
+        TimeInterval entry(start, ChrononAdd(start, len));
+        Chronon slack = rng->UniformRange(0, options.max_slack);
+        TimeInterval exit(entry.start(), ChrononAdd(entry.end(), slack));
+        int64_t n = options.max_entries == 0
+                        ? kUnlimitedEntries
+                        : rng->UniformRange(1, options.max_entries);
+        Result<LocationTemporalAuthorization> auth =
+            LocationTemporalAuthorization::Make(entry, exit,
+                                                LocationAuthorization{s, l},
+                                                n);
+        LTAM_CHECK(auth.ok()) << auth.status().ToString();
+        db->Add(*auth);
+        ++added;
+      }
+    }
+  }
+  return added;
+}
+
+std::vector<AccessRequest> GenerateRequests(
+    const MultilevelLocationGraph& graph,
+    const std::vector<SubjectId>& subjects, size_t count, Chronon horizon,
+    Rng* rng) {
+  LTAM_CHECK(rng != nullptr);
+  std::vector<AccessRequest> out;
+  if (subjects.empty()) return out;
+  std::vector<LocationId> prims = graph.Primitives();
+  if (prims.empty()) return out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    AccessRequest req;
+    req.time = rng->UniformRange(0, horizon - 1);
+    req.subject = subjects[rng->Uniform(subjects.size())];
+    req.location = prims[rng->Uniform(prims.size())];
+    out.push_back(req);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const AccessRequest& a, const AccessRequest& b) {
+              return a.time < b.time;
+            });
+  return out;
+}
+
+}  // namespace ltam

@@ -1,0 +1,60 @@
+// Copyright 2026 The LTAM Authors.
+// Authorization and request workload generators.
+//
+// Produces reproducible authorization databases and access-request
+// streams over a generated graph: the inputs for the scaling benchmarks
+// (Na = authorizations per location) and the engine-throughput
+// benchmarks.
+
+#ifndef LTAM_SIM_WORKLOAD_H_
+#define LTAM_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/auth_database.h"
+#include "core/decision.h"
+#include "graph/multilevel_graph.h"
+#include "profile/user_profile.h"
+#include "util/random.h"
+
+namespace ltam {
+
+/// Parameters for GenerateAuthorizations.
+struct AuthWorkloadOptions {
+  /// Authorizations created per (subject, location) pair that is covered.
+  uint32_t auths_per_location = 1;
+  /// Probability that a given (subject, location) pair is covered at all.
+  double coverage = 1.0;
+  /// Entry durations are [s, s+len] with s uniform in [0, horizon) and
+  /// len uniform in [min_len, max_len].
+  Chronon horizon = 1000;
+  Chronon min_len = 10;
+  Chronon max_len = 100;
+  /// Exit durations extend the entry duration by uniform [0, max_slack].
+  Chronon max_slack = 50;
+  /// Max entry count (n uniform in [1, max_entries]; 0 = unlimited).
+  int64_t max_entries = 0;
+};
+
+/// Registers `count` subjects named "u<i>" in `profiles`.
+std::vector<SubjectId> GenerateSubjects(UserProfileDatabase* profiles,
+                                        uint32_t count);
+
+/// Fills `db` with random authorizations for every subject over every
+/// primitive location of `graph`, per `options`. Returns the number
+/// added.
+size_t GenerateAuthorizations(const MultilevelLocationGraph& graph,
+                              const std::vector<SubjectId>& subjects,
+                              const AuthWorkloadOptions& options, Rng* rng,
+                              AuthorizationDatabase* db);
+
+/// A generated access-request stream, time-sorted.
+std::vector<AccessRequest> GenerateRequests(
+    const MultilevelLocationGraph& graph,
+    const std::vector<SubjectId>& subjects, size_t count, Chronon horizon,
+    Rng* rng);
+
+}  // namespace ltam
+
+#endif  // LTAM_SIM_WORKLOAD_H_

@@ -1,0 +1,149 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "spatial/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace ltam {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-12;
+}  // namespace
+
+BoundingBox::BoundingBox() : lo_{kInf, kInf}, hi_{-kInf, -kInf} {}
+
+BoundingBox::BoundingBox(Point lo, Point hi) : lo_(lo), hi_(hi) {}
+
+bool BoundingBox::empty() const { return lo_.x > hi_.x || lo_.y > hi_.y; }
+
+void BoundingBox::Expand(const Point& p) {
+  lo_.x = std::min(lo_.x, p.x);
+  lo_.y = std::min(lo_.y, p.y);
+  hi_.x = std::max(hi_.x, p.x);
+  hi_.y = std::max(hi_.y, p.y);
+}
+
+void BoundingBox::Expand(const BoundingBox& other) {
+  if (other.empty()) return;
+  Expand(other.lo_);
+  Expand(other.hi_);
+}
+
+bool BoundingBox::Contains(const Point& p) const {
+  return p.x >= lo_.x && p.x <= hi_.x && p.y >= lo_.y && p.y <= hi_.y;
+}
+
+bool BoundingBox::Intersects(const BoundingBox& other) const {
+  if (empty() || other.empty()) return false;
+  return lo_.x <= other.hi_.x && other.lo_.x <= hi_.x &&
+         lo_.y <= other.hi_.y && other.lo_.y <= hi_.y;
+}
+
+std::string BoundingBox::ToString() const {
+  if (empty()) return "bbox(empty)";
+  return StrFormat("bbox(%.3f,%.3f -> %.3f,%.3f)", lo_.x, lo_.y, hi_.x,
+                   hi_.y);
+}
+
+Polygon::Polygon(std::vector<Point> ring) : ring_(std::move(ring)) {
+  for (const Point& p : ring_) bbox_.Expand(p);
+}
+
+Result<Polygon> Polygon::Make(std::vector<Point> ring) {
+  if (ring.size() < 3) {
+    return Status::InvalidArgument("polygon ring needs at least 3 vertices");
+  }
+  // Drop a duplicated closing vertex if the caller supplied one.
+  if (ring.size() > 3 && ring.front() == ring.back()) ring.pop_back();
+  Polygon poly(std::move(ring));
+  if (poly.Area() < kEps) {
+    return Status::InvalidArgument("polygon is degenerate (zero area)");
+  }
+  return poly;
+}
+
+Polygon Polygon::Rect(double x0, double y0, double x1, double y1) {
+  if (x0 > x1) std::swap(x0, x1);
+  if (y0 > y1) std::swap(y0, y1);
+  return Polygon({{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}});
+}
+
+double Polygon::SignedArea() const {
+  double twice = 0.0;
+  const size_t n = ring_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = ring_[i];
+    const Point& b = ring_[(i + 1) % n];
+    twice += a.x * b.y - b.x * a.y;
+  }
+  return twice / 2.0;
+}
+
+Point Polygon::Centroid() const {
+  double a = SignedArea();
+  const size_t n = ring_.size();
+  double cx = 0.0;
+  double cy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const Point& p = ring_[i];
+    const Point& q = ring_[(i + 1) % n];
+    double cross = p.x * q.y - q.x * p.y;
+    cx += (p.x + q.x) * cross;
+    cy += (p.y + q.y) * cross;
+  }
+  return {cx / (6.0 * a), cy / (6.0 * a)};
+}
+
+bool Polygon::Contains(const Point& p) const {
+  if (!bbox_.Contains(p)) return false;
+  const size_t n = ring_.size();
+  // Edge test first: on-boundary counts as inside.
+  for (size_t i = 0; i < n; ++i) {
+    if (DistanceToSegment(p, ring_[i], ring_[(i + 1) % n]) < kEps) {
+      return true;
+    }
+  }
+  // Ray cast to +x.
+  bool inside = false;
+  for (size_t i = 0; i < n; ++i) {
+    const Point& a = ring_[i];
+    const Point& b = ring_[(i + 1) % n];
+    bool crosses = (a.y > p.y) != (b.y > p.y);
+    if (!crosses) continue;
+    double x_at = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y);
+    if (x_at > p.x) inside = !inside;
+  }
+  return inside;
+}
+
+std::string Polygon::ToString() const {
+  std::string out = "polygon(";
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    if (i > 0) out += "; ";
+    out += StrFormat("%.3f,%.3f", ring_[i].x, ring_[i].y);
+  }
+  out += ")";
+  return out;
+}
+
+double Distance(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+double DistanceToSegment(const Point& p, const Point& a, const Point& b) {
+  double dx = b.x - a.x;
+  double dy = b.y - a.y;
+  double len2 = dx * dx + dy * dy;
+  if (len2 < kEps) return Distance(p, a);
+  double t = ((p.x - a.x) * dx + (p.y - a.y) * dy) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  Point proj{a.x + t * dx, a.y + t * dy};
+  return Distance(p, proj);
+}
+
+}  // namespace ltam

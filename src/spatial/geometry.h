@@ -1,0 +1,111 @@
+// Copyright 2026 The LTAM Authors.
+// Planar geometry for location boundaries.
+//
+// Section 3.1: "locations in LTAM are both semantic and physical. When
+// represented physically, a location is described by its absolute spatial
+// coordinates... physical location information [is] used to define the
+// spatial boundaries of locations so that it is possible to track users in
+// different locations." The paper's testbed would use positioning hardware
+// plus a spatial library (e.g. GEOS); this module is the in-repo
+// substitute: simple polygons with exact point-in-polygon containment,
+// which is all boundary resolution needs.
+
+#ifndef LTAM_SPATIAL_GEOMETRY_H_
+#define LTAM_SPATIAL_GEOMETRY_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace ltam {
+
+/// A point in the building-plan plane (meters from a site datum).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Axis-aligned bounding box.
+class BoundingBox {
+ public:
+  /// An empty box (contains nothing; Expand() fixes it up).
+  BoundingBox();
+  BoundingBox(Point lo, Point hi);
+
+  /// True iff no point has been added.
+  bool empty() const;
+
+  const Point& lo() const { return lo_; }
+  const Point& hi() const { return hi_; }
+
+  double width() const { return empty() ? 0.0 : hi_.x - lo_.x; }
+  double height() const { return empty() ? 0.0 : hi_.y - lo_.y; }
+
+  /// Grows the box to include `p`.
+  void Expand(const Point& p);
+  /// Grows the box to include `other`.
+  void Expand(const BoundingBox& other);
+
+  /// Closed containment test.
+  bool Contains(const Point& p) const;
+  /// True iff the two boxes share any point.
+  bool Intersects(const BoundingBox& other) const;
+
+  std::string ToString() const;
+
+ private:
+  Point lo_;
+  Point hi_;
+};
+
+/// A simple polygon given by its outer ring (no self-intersection
+/// verification is performed beyond basic sanity checks; rings may be
+/// listed in either winding order).
+class Polygon {
+ public:
+  /// Checked constructor: needs >= 3 vertices and nonzero area.
+  static Result<Polygon> Make(std::vector<Point> ring);
+
+  /// Convenience axis-aligned rectangle [x0,x1] x [y0,y1].
+  static Polygon Rect(double x0, double y0, double x1, double y1);
+
+  const std::vector<Point>& ring() const { return ring_; }
+
+  /// Signed area (positive for counter-clockwise rings).
+  double SignedArea() const;
+  /// Absolute area.
+  double Area() const { return SignedArea() < 0 ? -SignedArea() : SignedArea(); }
+
+  /// Area centroid.
+  Point Centroid() const;
+
+  /// Bounding box of the ring.
+  const BoundingBox& bbox() const { return bbox_; }
+
+  /// Point-in-polygon by ray casting; points exactly on an edge count as
+  /// inside (a user standing on a doorsill is in the room).
+  bool Contains(const Point& p) const;
+
+  std::string ToString() const;
+
+ private:
+  explicit Polygon(std::vector<Point> ring);
+
+  std::vector<Point> ring_;
+  BoundingBox bbox_;
+};
+
+/// Euclidean distance.
+double Distance(const Point& a, const Point& b);
+
+/// Distance from point `p` to segment (a, b).
+double DistanceToSegment(const Point& p, const Point& a, const Point& b);
+
+}  // namespace ltam
+
+#endif  // LTAM_SPATIAL_GEOMETRY_H_

@@ -1,0 +1,89 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "spatial/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ltam {
+
+GridIndex::GridIndex(double cell_size) : cell_size_(cell_size) {
+  LTAM_CHECK(cell_size > 0.0) << "grid cell size must be positive";
+}
+
+BoundaryId GridIndex::Add(Polygon polygon) {
+  LTAM_CHECK(!built_) << "GridIndex::Add after Build";
+  extent_.Expand(polygon.bbox());
+  polygons_.push_back(std::move(polygon));
+  return static_cast<BoundaryId>(polygons_.size() - 1);
+}
+
+Status GridIndex::Build() {
+  if (polygons_.empty()) {
+    return Status::FailedPrecondition("GridIndex has no polygons");
+  }
+  nx_ = std::max(1, static_cast<int>(std::ceil(extent_.width() / cell_size_)));
+  ny_ = std::max(1, static_cast<int>(std::ceil(extent_.height() / cell_size_)));
+  cells_.assign(static_cast<size_t>(nx_) * ny_, Cell{});
+  for (BoundaryId id = 0; id < polygons_.size(); ++id) {
+    const BoundingBox& bb = polygons_[id].bbox();
+    int x0 = std::clamp(
+        static_cast<int>((bb.lo().x - extent_.lo().x) / cell_size_), 0,
+        nx_ - 1);
+    int x1 = std::clamp(
+        static_cast<int>((bb.hi().x - extent_.lo().x) / cell_size_), 0,
+        nx_ - 1);
+    int y0 = std::clamp(
+        static_cast<int>((bb.lo().y - extent_.lo().y) / cell_size_), 0,
+        ny_ - 1);
+    int y1 = std::clamp(
+        static_cast<int>((bb.hi().y - extent_.lo().y) / cell_size_), 0,
+        ny_ - 1);
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) {
+        cells_[static_cast<size_t>(y) * nx_ + x].candidates.push_back(id);
+      }
+    }
+  }
+  built_ = true;
+  return Status::OK();
+}
+
+int GridIndex::CellIndex(const Point& p) const {
+  if (!extent_.Contains(p)) return -1;
+  int x = std::clamp(static_cast<int>((p.x - extent_.lo().x) / cell_size_),
+                     0, nx_ - 1);
+  int y = std::clamp(static_cast<int>((p.y - extent_.lo().y) / cell_size_),
+                     0, ny_ - 1);
+  return y * nx_ + x;
+}
+
+std::vector<BoundaryId> GridIndex::FindContaining(const Point& p) const {
+  LTAM_CHECK(built_) << "GridIndex queried before Build";
+  std::vector<BoundaryId> out;
+  int cell = CellIndex(p);
+  if (cell < 0) return out;
+  for (BoundaryId id : cells_[static_cast<size_t>(cell)].candidates) {
+    if (polygons_[id].Contains(p)) out.push_back(id);
+  }
+  return out;
+}
+
+std::optional<BoundaryId> GridIndex::FindBest(const Point& p) const {
+  std::vector<BoundaryId> hits = FindContaining(p);
+  if (hits.empty()) return std::nullopt;
+  BoundaryId best = hits[0];
+  double best_area = polygons_[best].Area();
+  for (size_t i = 1; i < hits.size(); ++i) {
+    double a = polygons_[hits[i]].Area();
+    if (a < best_area) {
+      best = hits[i];
+      best_area = a;
+    }
+  }
+  return best;
+}
+
+}  // namespace ltam

@@ -1,0 +1,74 @@
+// Copyright 2026 The LTAM Authors.
+// Uniform-grid spatial index mapping position fixes to boundary polygons.
+//
+// The enforcement engine receives a stream of (time, subject, point)
+// position fixes from the (simulated) positioning infrastructure and must
+// resolve each fix to the primitive location whose boundary contains it.
+// A uniform grid over the site bounding box gives O(1) candidate lookup,
+// which is plenty for building-scale layouts (and mirrors the simple
+// indexing structures used by GSAM-style systems the paper cites).
+
+#ifndef LTAM_SPATIAL_GRID_INDEX_H_
+#define LTAM_SPATIAL_GRID_INDEX_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "spatial/geometry.h"
+#include "util/result.h"
+
+namespace ltam {
+
+/// Opaque handle for an indexed boundary (the graph layer stores the
+/// mapping from BoundaryId to LocationId).
+using BoundaryId = uint32_t;
+
+/// Uniform grid over registered polygons with point queries.
+class GridIndex {
+ public:
+  /// `cell_size` is the grid pitch in plan units; must be positive.
+  explicit GridIndex(double cell_size = 8.0);
+
+  /// Registers a polygon and returns its id (dense, starting at 0).
+  BoundaryId Add(Polygon polygon);
+
+  /// Number of registered polygons.
+  size_t size() const { return polygons_.size(); }
+
+  const Polygon& polygon(BoundaryId id) const { return polygons_[id]; }
+
+  /// Builds the grid. Must be called after the last Add and before the
+  /// first query; returns FailedPrecondition on an empty index.
+  Status Build();
+
+  /// True once Build() has succeeded.
+  bool built() const { return built_; }
+
+  /// All polygons containing `p` (overlapping boundaries are legal; the
+  /// caller disambiguates, e.g. preferring the smallest area).
+  std::vector<BoundaryId> FindContaining(const Point& p) const;
+
+  /// The containing polygon with the smallest area, or nullopt when the
+  /// point is outside every boundary ("outdoors").
+  std::optional<BoundaryId> FindBest(const Point& p) const;
+
+ private:
+  struct Cell {
+    std::vector<BoundaryId> candidates;
+  };
+
+  int CellIndex(const Point& p) const;
+
+  double cell_size_;
+  std::vector<Polygon> polygons_;
+  BoundingBox extent_;
+  int nx_ = 0;
+  int ny_ = 0;
+  std::vector<Cell> cells_;
+  bool built_ = false;
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_SPATIAL_GRID_INDEX_H_

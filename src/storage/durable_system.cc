@@ -1,0 +1,177 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "storage/durable_system.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace ltam {
+
+namespace {
+
+constexpr const char kSnapshotFile[] = "state.snap";
+constexpr const char kWalFile[] = "events.wal";
+
+std::string SnapPath(const std::string& dir) {
+  return dir + "/" + kSnapshotFile;
+}
+std::string WalPath(const std::string& dir) { return dir + "/" + kWalFile; }
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+DurableSystem::DurableSystem(std::string dir, SystemState state)
+    : dir_(std::move(dir)), state_(std::move(state)) {}
+
+Result<std::unique_ptr<DurableSystem>> DurableSystem::Open(
+    const std::string& dir, SystemState initial) {
+  struct stat st;
+  if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return Status::IOError("'" + dir + "' is not a directory");
+  }
+  std::unique_ptr<DurableSystem> sys;
+  if (FileExists(SnapPath(dir))) {
+    LTAM_ASSIGN_OR_RETURN(SystemState recovered, LoadSnapshot(SnapPath(dir)));
+    sys.reset(new DurableSystem(dir, std::move(recovered)));
+  } else {
+    sys.reset(new DurableSystem(dir, std::move(initial)));
+  }
+  LTAM_RETURN_IF_ERROR(sys->InitEngine());
+  sys->RebuildActiveStays();
+  if (FileExists(WalPath(dir))) {
+    LTAM_RETURN_IF_ERROR(sys->ReplayLogTail());
+  }
+  LTAM_ASSIGN_OR_RETURN(WalWriter wal, WalWriter::Open(WalPath(dir)));
+  sys->wal_ = std::make_unique<WalWriter>(std::move(wal));
+  return sys;
+}
+
+Status DurableSystem::InitEngine() {
+  engine_ = std::make_unique<AccessControlEngine>(
+      &state_.graph, &state_.auth_db, &state_.movements, &state_.profiles);
+  return Status::OK();
+}
+
+void DurableSystem::RebuildActiveStays() {
+  // Each subject currently inside resumes their stay under the first
+  // active in-window authorization for (s, current location) — the same
+  // preference order CheckAccess uses.
+  for (SubjectId s : state_.profiles.AllSubjects()) {
+    LocationId cur = state_.movements.CurrentLocation(s);
+    if (cur == kInvalidLocation) continue;
+    Result<Chronon> since = state_.movements.CurrentStaySince(s);
+    if (!since.ok()) continue;
+    AuthId chosen = kInvalidAuth;
+    for (AuthId id : state_.auth_db.ForSubjectLocation(s, cur)) {
+      if (state_.auth_db.record(id).auth.entry_duration().Contains(*since)) {
+        chosen = id;
+        break;
+      }
+    }
+    engine_->ResumeStay(s, cur, chosen, *since);
+  }
+}
+
+Status DurableSystem::ReplayLogTail() {
+  replaying_ = true;
+  Status st = ReplayWal(WalPath(dir_), [this](const Record& rec) -> Status {
+    auto i64 = [&rec](size_t i) -> Result<int64_t> {
+      if (i >= rec.fields.size()) {
+        return Status::ParseError("WAL record '" + rec.type +
+                                  "' missing field " + std::to_string(i));
+      }
+      return ParseInt64(rec.fields[i]);
+    };
+    if (rec.type == "ev-entry") {
+      LTAM_ASSIGN_OR_RETURN(int64_t t, i64(0));
+      LTAM_ASSIGN_OR_RETURN(int64_t s, i64(1));
+      LTAM_ASSIGN_OR_RETURN(int64_t l, i64(2));
+      engine_->RequestEntry(t, static_cast<SubjectId>(s),
+                            static_cast<LocationId>(l));
+      return Status::OK();
+    }
+    if (rec.type == "ev-exit") {
+      LTAM_ASSIGN_OR_RETURN(int64_t t, i64(0));
+      LTAM_ASSIGN_OR_RETURN(int64_t s, i64(1));
+      Status ignored = engine_->RequestExit(t, static_cast<SubjectId>(s));
+      (void)ignored;  // Deterministic re-application; failures repeat.
+      return Status::OK();
+    }
+    if (rec.type == "ev-obs") {
+      LTAM_ASSIGN_OR_RETURN(int64_t t, i64(0));
+      LTAM_ASSIGN_OR_RETURN(int64_t s, i64(1));
+      LTAM_ASSIGN_OR_RETURN(int64_t l, i64(2));
+      engine_->ObservePresence(t, static_cast<SubjectId>(s),
+                               static_cast<LocationId>(l));
+      return Status::OK();
+    }
+    if (rec.type == "ev-tick") {
+      LTAM_ASSIGN_OR_RETURN(int64_t t, i64(0));
+      engine_->Tick(t);
+      return Status::OK();
+    }
+    return Status::ParseError("unknown WAL record '" + rec.type + "'");
+  });
+  replaying_ = false;
+  return st;
+}
+
+Status DurableSystem::Log(const Record& record) {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("runtime is not open");
+  }
+  LTAM_RETURN_IF_ERROR(wal_->Append(record));
+  ++wal_events_;
+  return Status::OK();
+}
+
+Result<Decision> DurableSystem::RequestEntry(Chronon t, SubjectId s,
+                                             LocationId l) {
+  LTAM_RETURN_IF_ERROR(Log({"ev-entry",
+                            {std::to_string(t), std::to_string(s),
+                             std::to_string(l)}}));
+  return engine_->RequestEntry(t, s, l);
+}
+
+Status DurableSystem::RequestExit(Chronon t, SubjectId s) {
+  LTAM_RETURN_IF_ERROR(
+      Log({"ev-exit", {std::to_string(t), std::to_string(s)}}));
+  return engine_->RequestExit(t, s);
+}
+
+Status DurableSystem::ObservePresence(Chronon t, SubjectId s, LocationId l) {
+  LTAM_RETURN_IF_ERROR(Log({"ev-obs",
+                            {std::to_string(t), std::to_string(s),
+                             std::to_string(l)}}));
+  engine_->ObservePresence(t, s, l);
+  return Status::OK();
+}
+
+Status DurableSystem::Tick(Chronon t) {
+  LTAM_RETURN_IF_ERROR(Log({"ev-tick", {std::to_string(t)}}));
+  engine_->Tick(t);
+  return Status::OK();
+}
+
+Status DurableSystem::Checkpoint() {
+  LTAM_RETURN_IF_ERROR(SaveSnapshot(state_, SnapPath(dir_)));
+  // Truncate the log: everything up to now lives in the snapshot.
+  wal_.reset();
+  if (std::remove(WalPath(dir_).c_str()) != 0 &&
+      FileExists(WalPath(dir_))) {
+    return Status::IOError("cannot truncate WAL");
+  }
+  LTAM_ASSIGN_OR_RETURN(WalWriter wal, WalWriter::Open(WalPath(dir_)));
+  wal_ = std::make_unique<WalWriter>(std::move(wal));
+  wal_events_ = 0;
+  return Status::OK();
+}
+
+}  // namespace ltam

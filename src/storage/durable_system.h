@@ -1,0 +1,88 @@
+// Copyright 2026 The LTAM Authors.
+// Durable LTAM runtime: Figure 3's databases with crash recovery.
+//
+// Wraps the enforcement engine so that every event (entry request, exit,
+// presence observation, patrol tick) is appended to a write-ahead log
+// before it is applied. `Checkpoint()` persists the whole system as a
+// snapshot and truncates the log; `Open()` recovers by loading the last
+// snapshot and replaying the log tail through a fresh engine.
+//
+// Recovery semantics: the authorization ledger, movement history, and
+// profile/layout state are restored exactly. The engine's in-memory
+// notion of *which authorization granted each currently-open stay* is
+// rebuilt by re-matching each inside subject against their active
+// authorizations for the current location (first match wins) — the same
+// choice CheckAccess would make; overstay alerts therefore survive
+// recovery.
+
+#ifndef LTAM_STORAGE_DURABLE_SYSTEM_H_
+#define LTAM_STORAGE_DURABLE_SYSTEM_H_
+
+#include <memory>
+#include <string>
+
+#include "engine/access_control_engine.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+
+namespace ltam {
+
+/// A crash-safe enforcement runtime rooted at one directory containing
+/// `state.snap` (snapshot) and `events.wal` (log tail).
+class DurableSystem {
+ public:
+  /// Opens (or creates) the runtime in `dir`. When `dir` has no
+  /// snapshot, starts from `initial` (e.g. a freshly parsed policy
+  /// script); otherwise `initial` is ignored and state is recovered.
+  static Result<std::unique_ptr<DurableSystem>> Open(const std::string& dir,
+                                                     SystemState initial);
+
+  // --- Logged event entry points -------------------------------------------
+
+  /// Logs and applies an access request.
+  Result<Decision> RequestEntry(Chronon t, SubjectId s, LocationId l);
+
+  /// Logs and applies a site exit.
+  Status RequestExit(Chronon t, SubjectId s);
+
+  /// Logs and applies a tracking observation.
+  Status ObservePresence(Chronon t, SubjectId s, LocationId l);
+
+  /// Logs and applies a patrol tick.
+  Status Tick(Chronon t);
+
+  // --- Durability ------------------------------------------------------------
+
+  /// Persists the full state and truncates the log. Subsequent recovery
+  /// starts from here.
+  Status Checkpoint();
+
+  /// Number of events appended to the current log tail.
+  size_t wal_events() const { return wal_events_; }
+
+  // --- Introspection -----------------------------------------------------------
+
+  const SystemState& state() const { return state_; }
+  SystemState& mutable_state() { return state_; }
+  const AccessControlEngine& engine() const { return *engine_; }
+  AccessControlEngine& engine() { return *engine_; }
+
+ private:
+  DurableSystem(std::string dir, SystemState state);
+
+  Status InitEngine();
+  Status ReplayLogTail();
+  void RebuildActiveStays();
+  Status Log(const Record& record);
+
+  std::string dir_;
+  SystemState state_;
+  std::unique_ptr<AccessControlEngine> engine_;
+  std::unique_ptr<WalWriter> wal_;
+  size_t wal_events_ = 0;
+  bool replaying_ = false;
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_STORAGE_DURABLE_SYSTEM_H_

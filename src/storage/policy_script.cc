@@ -1,0 +1,300 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "storage/policy_script.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace ltam {
+
+namespace {
+
+/// Splits one directive line into tokens, gluing "[a, b]" intervals and
+/// "op(arg with spaces)" operator specs into single tokens.
+Result<std::vector<std::string>> TokenizeLine(const std::string& line) {
+  std::vector<std::string> raw = SplitAndTrim(line, ' ');
+  std::vector<std::string> out;
+  std::string pending;
+  int depth = 0;
+  for (const std::string& tok : raw) {
+    if (!pending.empty()) {
+      pending += " " + tok;
+    } else {
+      pending = tok;
+    }
+    for (char c : tok) {
+      if (c == '[' || c == '(') ++depth;
+      if (c == ']' || c == ')') --depth;
+    }
+    if (depth <= 0) {
+      out.push_back(pending);
+      pending.clear();
+      depth = 0;
+    }
+  }
+  if (!pending.empty()) {
+    return Status::ParseError("unbalanced brackets in '" + line + "'");
+  }
+  return out;
+}
+
+Status Err(size_t line_no, const std::string& message) {
+  return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                            message);
+}
+
+}  // namespace
+
+Result<SystemState> ParsePolicyScript(
+    const std::string& script, const SubjectOperatorRegistry& subject_ops,
+    const LocationOperatorRegistry& location_ops) {
+  SystemState state;
+  bool site_defined = false;
+  std::istringstream in(script);
+  std::string line;
+  size_t line_no = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+
+    Result<std::vector<std::string>> tokens_or = TokenizeLine(line);
+    if (!tokens_or.ok()) {
+      return tokens_or.status().WithContext("line " +
+                                            std::to_string(line_no));
+    }
+    const std::vector<std::string>& t = *tokens_or;
+    const std::string directive = ToUpper(t[0]);
+    auto need = [&](size_t n) -> Status {
+      if (t.size() < n + 1) {
+        return Err(line_no, directive + " needs " + std::to_string(n) +
+                                " argument(s)");
+      }
+      return Status::OK();
+    };
+
+    if (directive == "SITE") {
+      LTAM_RETURN_IF_ERROR(need(1));
+      if (site_defined) return Err(line_no, "duplicate SITE");
+      state.graph = MultilevelLocationGraph(t[1]);
+      site_defined = true;
+      continue;
+    }
+    if (!site_defined) {
+      return Err(line_no, "the script must start with SITE <name>");
+    }
+
+    if (directive == "COMPOSITE" || directive == "ROOM") {
+      LTAM_RETURN_IF_ERROR(need(3));
+      if (ToUpper(t[2]) != "IN") {
+        return Err(line_no, directive + " <name> IN <parent>");
+      }
+      Result<LocationId> parent = state.graph.Find(t[3]);
+      if (!parent.ok()) {
+        return Err(line_no, "unknown parent '" + t[3] + "'");
+      }
+      Result<LocationId> added =
+          directive == "COMPOSITE"
+              ? state.graph.AddComposite(t[1], *parent)
+              : state.graph.AddPrimitive(t[1], *parent);
+      if (!added.ok()) return Err(line_no, added.status().message());
+      continue;
+    }
+    if (directive == "EDGE") {
+      LTAM_RETURN_IF_ERROR(need(2));
+      Status st = state.graph.AddEdge(t[1], t[2]);
+      if (!st.ok()) return Err(line_no, st.message());
+      continue;
+    }
+    if (directive == "ENTRY") {
+      LTAM_RETURN_IF_ERROR(need(1));
+      Status st = state.graph.SetEntry(t[1], true);
+      if (!st.ok()) return Err(line_no, st.message());
+      continue;
+    }
+    if (directive == "BOUNDARY") {
+      LTAM_RETURN_IF_ERROR(need(5));
+      Result<LocationId> loc = state.graph.Find(t[1]);
+      if (!loc.ok()) return Err(line_no, "unknown location '" + t[1] + "'");
+      double coords[4];
+      for (int i = 0; i < 4; ++i) {
+        Result<double> v = ParseDouble(t[static_cast<size_t>(i) + 2]);
+        if (!v.ok()) return Err(line_no, "bad coordinate '" + t[i + 2] + "'");
+        coords[i] = *v;
+      }
+      Status st = state.graph.SetBoundary(
+          *loc, Polygon::Rect(coords[0], coords[1], coords[2], coords[3]));
+      if (!st.ok()) return Err(line_no, st.message());
+      continue;
+    }
+    if (directive == "DESCRIBE") {
+      LTAM_RETURN_IF_ERROR(need(2));
+      Result<LocationId> loc = state.graph.Find(t[1]);
+      if (!loc.ok()) return Err(line_no, "unknown location '" + t[1] + "'");
+      std::vector<std::string> words(t.begin() + 2, t.end());
+      Status st = state.graph.SetDescription(*loc, Join(words, " "));
+      if (!st.ok()) return Err(line_no, st.message());
+      continue;
+    }
+    if (directive == "SUBJECT") {
+      LTAM_RETURN_IF_ERROR(need(1));
+      Result<SubjectId> added = state.profiles.AddSubject(t[1]);
+      if (!added.ok()) return Err(line_no, added.status().message());
+      continue;
+    }
+    if (directive == "SUPERVISOR") {
+      LTAM_RETURN_IF_ERROR(need(2));
+      Result<SubjectId> s = state.profiles.Find(t[1]);
+      Result<SubjectId> sup = state.profiles.Find(t[2]);
+      if (!s.ok() || !sup.ok()) return Err(line_no, "unknown subject");
+      Status st = state.profiles.SetSupervisor(*s, *sup);
+      if (!st.ok()) return Err(line_no, st.message());
+      continue;
+    }
+    if (directive == "GROUP" || directive == "ROLE") {
+      LTAM_RETURN_IF_ERROR(need(2));
+      Result<SubjectId> s = state.profiles.Find(t[1]);
+      if (!s.ok()) return Err(line_no, "unknown subject '" + t[1] + "'");
+      Status st = directive == "GROUP"
+                      ? state.profiles.AddToGroup(*s, t[2])
+                      : state.profiles.AssignRole(*s, t[2]);
+      if (!st.ok()) return Err(line_no, st.message());
+      continue;
+    }
+    if (directive == "ATTR") {
+      LTAM_RETURN_IF_ERROR(need(3));
+      Result<SubjectId> s = state.profiles.Find(t[1]);
+      if (!s.ok()) return Err(line_no, "unknown subject '" + t[1] + "'");
+      Status st = state.profiles.SetAttribute(*s, t[2], t[3]);
+      if (!st.ok()) return Err(line_no, st.message());
+      continue;
+    }
+    if (directive == "AUTH") {
+      // AUTH <subject> <location> ENTER [a,b] [EXIT [c,d]] [TIMES n].
+      LTAM_RETURN_IF_ERROR(need(4));
+      Result<SubjectId> s = state.profiles.Find(t[1]);
+      if (!s.ok()) return Err(line_no, "unknown subject '" + t[1] + "'");
+      Result<LocationId> l = state.graph.Find(t[2]);
+      if (!l.ok()) return Err(line_no, "unknown location '" + t[2] + "'");
+      if (ToUpper(t[3]) != "ENTER") {
+        return Err(line_no, "AUTH needs ENTER [a,b]");
+      }
+      Result<TimeInterval> entry = TimeInterval::Parse(t[4]);
+      if (!entry.ok()) return Err(line_no, entry.status().message());
+      std::optional<TimeInterval> exit;
+      int64_t times = kUnlimitedEntries;
+      size_t i = 5;
+      while (i < t.size()) {
+        std::string kw = ToUpper(t[i]);
+        if (kw == "EXIT" && i + 1 < t.size()) {
+          Result<TimeInterval> e = TimeInterval::Parse(t[i + 1]);
+          if (!e.ok()) return Err(line_no, e.status().message());
+          exit = *e;
+          i += 2;
+        } else if (kw == "TIMES" && i + 1 < t.size()) {
+          Result<int64_t> n = ParseInt64(t[i + 1]);
+          if (!n.ok()) return Err(line_no, n.status().message());
+          times = *n;
+          i += 2;
+        } else {
+          return Err(line_no, "unexpected AUTH clause '" + t[i] + "'");
+        }
+      }
+      Result<LocationTemporalAuthorization> auth =
+          exit.has_value()
+              ? LocationTemporalAuthorization::Make(
+                    *entry, *exit, LocationAuthorization{*s, *l}, times)
+              : LocationTemporalAuthorization::MakeDefaultExit(
+                    *entry, LocationAuthorization{*s, *l}, times);
+      if (!auth.ok()) return Err(line_no, auth.status().message());
+      state.auth_db.Add(*auth);
+      continue;
+    }
+    if (directive == "RULE") {
+      // RULE FROM <tr> BASE <idx> [ENTRY <op>] [EXITOP <op>]
+      //      [SUBJECT <op>] [LOCATION <op>] [COUNT <expr>] [LABEL <w>].
+      AuthorizationRule rule;
+      size_t i = 1;
+      bool have_base = false;
+      while (i < t.size()) {
+        std::string kw = ToUpper(t[i]);
+        if (i + 1 >= t.size()) {
+          return Err(line_no, "RULE clause '" + t[i] + "' needs a value");
+        }
+        const std::string& value = t[i + 1];
+        if (kw == "FROM") {
+          Result<Chronon> tr = ParseChronon(value);
+          if (!tr.ok()) return Err(line_no, tr.status().message());
+          rule.valid_from = *tr;
+        } else if (kw == "BASE") {
+          Result<int64_t> idx = ParseInt64(value);
+          if (!idx.ok() || *idx < 0 ||
+              static_cast<size_t>(*idx) >= state.auth_db.size()) {
+            return Err(line_no, "BASE must index a preceding AUTH");
+          }
+          rule.base = static_cast<AuthId>(*idx);
+          have_base = true;
+        } else if (kw == "ENTRY") {
+          Result<TemporalOperatorPtr> op = ParseTemporalOperator(value);
+          if (!op.ok()) return Err(line_no, op.status().message());
+          rule.op_entry = *op;
+        } else if (kw == "EXITOP") {
+          Result<TemporalOperatorPtr> op = ParseTemporalOperator(value);
+          if (!op.ok()) return Err(line_no, op.status().message());
+          rule.op_exit = *op;
+        } else if (kw == "SUBJECT") {
+          Result<SubjectOperatorPtr> op = subject_ops.Parse(value);
+          if (!op.ok()) return Err(line_no, op.status().message());
+          rule.op_subject = *op;
+        } else if (kw == "LOCATION") {
+          Result<LocationOperatorPtr> op = location_ops.Parse(value);
+          if (!op.ok()) return Err(line_no, op.status().message());
+          rule.op_location = *op;
+        } else if (kw == "COUNT") {
+          Result<CountExpr> expr = CountExpr::Parse(value);
+          if (!expr.ok()) return Err(line_no, expr.status().message());
+          rule.exp_n = *expr;
+        } else if (kw == "LABEL") {
+          rule.label = value;
+        } else {
+          return Err(line_no, "unknown RULE clause '" + t[i] + "'");
+        }
+        i += 2;
+      }
+      if (!have_base) return Err(line_no, "RULE needs BASE <index>");
+      rule.id = static_cast<RuleId>(state.rules.size());
+      state.rules.push_back(std::move(rule));
+      continue;
+    }
+    return Err(line_no, "unknown directive '" + t[0] + "'");
+  }
+
+  if (!site_defined) {
+    return Status::ParseError("empty policy script (no SITE)");
+  }
+  LTAM_RETURN_IF_ERROR(
+      state.graph.Validate().WithContext("policy script validation"));
+  return state;
+}
+
+Result<SystemState> ParsePolicyScript(const std::string& script) {
+  return ParsePolicyScript(script, SubjectOperatorRegistry::Default(),
+                           LocationOperatorRegistry::Default());
+}
+
+Result<SystemState> LoadPolicyScript(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open policy script '" + path + "'");
+  }
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  return ParsePolicyScript(contents);
+}
+
+}  // namespace ltam

@@ -1,0 +1,58 @@
+// Copyright 2026 The LTAM Authors.
+// A human-writable policy script format.
+//
+// Security officers author the whole system — layout, subjects,
+// authorizations, rules — as a line-oriented script instead of API
+// calls. One directive per line, '#' comments, names are bare words
+// (no whitespace), intervals in the usual "[a, b]" syntax (written
+// without internal spaces or quoted by the tokenizer's bracket rule):
+//
+//   SITE NTU
+//   COMPOSITE SCE IN NTU
+//   ROOM SCE.GO IN SCE
+//   ROOM CAIS IN SCE
+//   EDGE SCE.GO CAIS
+//   ENTRY SCE.GO
+//   ENTRY SCE                      # SCE is an entry of NTU
+//   BOUNDARY SCE.GO 0 0 10 8      # axis-aligned rectangle
+//   SUBJECT Alice
+//   SUBJECT Bob
+//   SUPERVISOR Alice Bob
+//   GROUP Alice cais-lab
+//   ROLE Bob professor
+//   ATTR Alice office N4-02c
+//   AUTH Alice CAIS ENTER [5,20] EXIT [15,50] TIMES 2
+//   RULE FROM 7 BASE 0 SUBJECT Supervisor_Of COUNT min(n,2) LABEL r1
+//   RULE FROM 7 BASE 0 ENTRY INTERSECTION([10,30]) LABEL r2
+//   RULE FROM 7 BASE 0 LOCATION all_route_from(SCE.GO) LABEL r3
+//
+// AUTH's EXIT clause is optional (Definition 4's default [tis, inf])
+// and TIMES defaults to unlimited. RULE's BASE refers to the 0-based
+// index of a preceding AUTH directive.
+
+#ifndef LTAM_STORAGE_POLICY_SCRIPT_H_
+#define LTAM_STORAGE_POLICY_SCRIPT_H_
+
+#include <string>
+
+#include "storage/snapshot.h"
+
+namespace ltam {
+
+/// Parses a policy script into a fresh SystemState. Errors carry the
+/// 1-based line number. Custom rule operators resolve through the given
+/// registries.
+Result<SystemState> ParsePolicyScript(
+    const std::string& script,
+    const SubjectOperatorRegistry& subject_ops,
+    const LocationOperatorRegistry& location_ops);
+
+/// Same, with the default operator registries.
+Result<SystemState> ParsePolicyScript(const std::string& script);
+
+/// Reads and parses a policy script file.
+Result<SystemState> LoadPolicyScript(const std::string& path);
+
+}  // namespace ltam
+
+#endif  // LTAM_STORAGE_POLICY_SCRIPT_H_

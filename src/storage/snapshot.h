@@ -1,0 +1,49 @@
+// Copyright 2026 The LTAM Authors.
+// Whole-system snapshots.
+//
+// Serializes the four stores of Figure 3 (location layout, user profiles,
+// authorizations, movements) plus the registered rules into one
+// line-oriented codec file, and loads them back. Together with the WAL
+// this gives the persistence story: snapshot periodically, replay the
+// tail of the log on recovery.
+
+#ifndef LTAM_STORAGE_SNAPSHOT_H_
+#define LTAM_STORAGE_SNAPSHOT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/auth_database.h"
+#include "core/rules/rule.h"
+#include "engine/movement_db.h"
+#include "graph/multilevel_graph.h"
+#include "profile/user_profile.h"
+
+namespace ltam {
+
+/// Everything a snapshot round-trips.
+struct SystemState {
+  MultilevelLocationGraph graph;
+  UserProfileDatabase profiles;
+  AuthorizationDatabase auth_db;
+  MovementDatabase movements;
+  std::vector<AuthorizationRule> rules;
+};
+
+/// Serializes `state` to `path` (overwrites).
+Status SaveSnapshot(const SystemState& state, const std::string& path);
+
+/// Loads a snapshot. Rules are reconstructed through the *default*
+/// operator registries; snapshots containing custom operators need the
+/// overload taking explicit registries.
+Result<SystemState> LoadSnapshot(const std::string& path);
+
+/// Loads a snapshot resolving subject/location operators through the
+/// given registries (for deployments with custom operators).
+Result<SystemState> LoadSnapshot(const std::string& path,
+                                 const SubjectOperatorRegistry& subject_ops,
+                                 const LocationOperatorRegistry& location_ops);
+
+}  // namespace ltam
+
+#endif  // LTAM_STORAGE_SNAPSHOT_H_

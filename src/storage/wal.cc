@@ -1,0 +1,92 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "storage/wal.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+namespace ltam {
+
+Result<WalWriter> WalWriter::Open(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "ab");
+  if (file == nullptr) {
+    return Status::IOError("cannot open WAL '" + path +
+                           "': " + std::strerror(errno));
+  }
+  return WalWriter(file);
+}
+
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : file_(other.file_), appended_(other.appended_) {
+  other.file_ = nullptr;
+}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = other.file_;
+    appended_ = other.appended_;
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status WalWriter::Append(const Record& record) {
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL moved-from");
+  std::string line = EncodeRecord(record);
+  line += '\n';
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
+    return Status::IOError("short WAL write");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("WAL flush failed");
+  }
+  ++appended_;
+  return Status::OK();
+}
+
+Status WalWriter::Sync() {
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL moved-from");
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::IOError(std::string("fsync failed: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status ReplayWal(const std::string& path,
+                 const std::function<Status(const Record&)>& apply) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open WAL '" + path + "' for replay");
+  }
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  size_t start = 0;
+  while (start < contents.size()) {
+    size_t nl = contents.find('\n', start);
+    if (nl == std::string::npos) {
+      // Torn final append (no trailing newline): ignore it; everything
+      // before it replays normally.
+      break;
+    }
+    std::string line = contents.substr(start, nl - start);
+    start = nl + 1;
+    if (line.empty()) continue;
+    Result<Record> rec = DecodeRecord(line);
+    if (!rec.ok()) {
+      return rec.status().WithContext("WAL replay of '" + path + "'");
+    }
+    LTAM_RETURN_IF_ERROR(apply(*rec));
+  }
+  return Status::OK();
+}
+
+}  // namespace ltam

@@ -1,0 +1,57 @@
+// Copyright 2026 The LTAM Authors.
+// Write-ahead log for the LTAM databases.
+//
+// Mutations (authorization added/revoked, movement recorded, ...) are
+// appended as codec records before being applied; on restart the log is
+// replayed to rebuild state newer than the last snapshot.
+
+#ifndef LTAM_STORAGE_WAL_H_
+#define LTAM_STORAGE_WAL_H_
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "storage/codec.h"
+#include "util/result.h"
+
+namespace ltam {
+
+/// Append-only log writer.
+class WalWriter {
+ public:
+  /// Opens (creating or appending) the log at `path`.
+  static Result<WalWriter> Open(const std::string& path);
+
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+  ~WalWriter();
+
+  /// Appends one record (one line) and flushes to the OS.
+  Status Append(const Record& record);
+
+  /// fsyncs the file (durability barrier).
+  Status Sync();
+
+  /// Records appended through this writer.
+  size_t appended() const { return appended_; }
+
+ private:
+  explicit WalWriter(std::FILE* file) : file_(file) {}
+
+  std::FILE* file_ = nullptr;
+  size_t appended_ = 0;
+};
+
+/// Replays a log file, invoking `apply` per record in order. Stops with
+/// an error on the first malformed line (a torn final line — no trailing
+/// newline — is tolerated and ignored, as an in-flight append crash would
+/// leave one).
+Status ReplayWal(const std::string& path,
+                 const std::function<Status(const Record&)>& apply);
+
+}  // namespace ltam
+
+#endif  // LTAM_STORAGE_WAL_H_

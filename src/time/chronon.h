@@ -1,0 +1,47 @@
+// Copyright 2026 The LTAM Authors.
+// The LTAM time domain.
+//
+// Following Section 3.1 of the paper (which follows Bertino et al.'s TAM),
+// time is discrete: a *chronon* is the smallest indivisible unit of time and
+// a *time unit* is a fixed number of chronons. LTAM represents instants as
+// 64-bit chronon counts from an application-defined epoch.
+
+#ifndef LTAM_TIME_CHRONON_H_
+#define LTAM_TIME_CHRONON_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace ltam {
+
+/// A time instant, measured in chronons since the epoch.
+using Chronon = int64_t;
+
+/// Sentinel for "+infinity" — used for open-ended intervals such as the
+/// default exit duration [tis, +inf] (Definition 4).
+inline constexpr Chronon kChrononMax =
+    std::numeric_limits<Chronon>::max();
+
+/// The earliest representable instant. The paper's access-request duration
+/// for reachability analysis is [0, +inf) (Definition 8), so 0 is the
+/// conventional origin; negative chronons are still legal instants.
+inline constexpr Chronon kChrononMin =
+    std::numeric_limits<Chronon>::min();
+
+/// Saturating addition on chronons: adding to +/-infinity keeps it there
+/// and overflow clamps, so interval arithmetic involving open ends is safe.
+inline Chronon ChrononAdd(Chronon a, Chronon b) {
+  if (a > 0 && b > kChrononMax - a) return kChrononMax;
+  if (a < 0 && b < kChrononMin - a) return kChrononMin;
+  return a + b;
+}
+
+/// Saturating subtraction (a - b).
+inline Chronon ChrononSub(Chronon a, Chronon b) {
+  if (b == kChrononMin) return kChrononMax;  // a - (-inf) saturates high.
+  return ChrononAdd(a, -b);
+}
+
+}  // namespace ltam
+
+#endif  // LTAM_TIME_CHRONON_H_

@@ -1,0 +1,89 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "time/interval.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace ltam {
+
+std::string ChrononToString(Chronon t) {
+  if (t == kChrononMax) return "inf";
+  if (t == kChrononMin) return "-inf";
+  return std::to_string(t);
+}
+
+Result<Chronon> ParseChronon(const std::string& text) {
+  std::string t = Trim(text);
+  if (EqualsIgnoreCase(t, "inf") || EqualsIgnoreCase(t, "+inf") ||
+      t == "oo" || t == "+oo") {
+    return kChrononMax;
+  }
+  if (EqualsIgnoreCase(t, "-inf") || t == "-oo") return kChrononMin;
+  LTAM_ASSIGN_OR_RETURN(int64_t v, ParseInt64(t));
+  return static_cast<Chronon>(v);
+}
+
+Result<TimeInterval> TimeInterval::Make(Chronon start, Chronon end) {
+  if (start > end) {
+    return Status::InvalidArgument(
+        StrFormat("interval start %lld exceeds end %lld",
+                  static_cast<long long>(start),
+                  static_cast<long long>(end)));
+  }
+  return TimeInterval(start, end);
+}
+
+Chronon TimeInterval::size() const {
+  if (!valid()) return 0;
+  if (end_ == kChrononMax || start_ == kChrononMin) return kChrononMax;
+  return ChrononAdd(ChrononSub(end_, start_), 1);
+}
+
+bool TimeInterval::Mergeable(const TimeInterval& other) const {
+  if (Overlaps(other)) return true;
+  // Adjacent integer intervals merge: [a,b] + [b+1,c].
+  if (end_ != kChrononMax && ChrononAdd(end_, 1) == other.start_) return true;
+  if (other.end_ != kChrononMax && ChrononAdd(other.end_, 1) == start_) {
+    return true;
+  }
+  return false;
+}
+
+std::optional<TimeInterval> TimeInterval::Intersect(
+    const TimeInterval& other) const {
+  Chronon s = std::max(start_, other.start_);
+  Chronon e = std::min(end_, other.end_);
+  if (s > e) return std::nullopt;
+  return TimeInterval(s, e);
+}
+
+std::optional<TimeInterval> TimeInterval::MergeWith(
+    const TimeInterval& other) const {
+  if (!Mergeable(other)) return std::nullopt;
+  return TimeInterval(std::min(start_, other.start_),
+                      std::max(end_, other.end_));
+}
+
+std::string TimeInterval::ToString() const {
+  return "[" + ChrononToString(start_) + ", " + ChrononToString(end_) + "]";
+}
+
+Result<TimeInterval> TimeInterval::Parse(const std::string& text) {
+  std::string t = Trim(text);
+  if (t.size() < 2 || t.front() != '[' || t.back() != ']') {
+    return Status::ParseError("interval must look like '[a, b]': '" + t +
+                              "'");
+  }
+  std::vector<std::string> parts = Split(t.substr(1, t.size() - 2), ',');
+  if (parts.size() != 2) {
+    return Status::ParseError("interval must have two endpoints: '" + t +
+                              "'");
+  }
+  LTAM_ASSIGN_OR_RETURN(Chronon s, ParseChronon(parts[0]));
+  LTAM_ASSIGN_OR_RETURN(Chronon e, ParseChronon(parts[1]));
+  return Make(s, e);
+}
+
+}  // namespace ltam

@@ -1,0 +1,110 @@
+// Copyright 2026 The LTAM Authors.
+// Closed time intervals over the chronon domain (Section 3.1).
+
+#ifndef LTAM_TIME_INTERVAL_H_
+#define LTAM_TIME_INTERVAL_H_
+
+#include <optional>
+#include <string>
+
+#include "time/chronon.h"
+#include "util/result.h"
+
+namespace ltam {
+
+/// A closed interval of chronons [start, end], start <= end.
+///
+/// The paper writes entry durations as [tis, tie] and exit durations as
+/// [tos, toe]; both are closed and may extend to +infinity (rendered "inf").
+/// An interval with start > end is *invalid* and used nowhere; operations
+/// that can produce an empty result return std::nullopt instead.
+class TimeInterval {
+ public:
+  /// Constructs [start, end]. Callers must ensure start <= end; use
+  /// `Make` for checked construction.
+  constexpr TimeInterval(Chronon start, Chronon end)
+      : start_(start), end_(end) {}
+
+  /// Checked constructor: fails unless start <= end.
+  static Result<TimeInterval> Make(Chronon start, Chronon end);
+
+  /// The full domain [min, +inf].
+  static constexpr TimeInterval All() {
+    return TimeInterval(kChrononMin, kChrononMax);
+  }
+
+  /// [t, t] — a single instant.
+  static constexpr TimeInterval At(Chronon t) { return TimeInterval(t, t); }
+
+  /// [start, +inf] — open-ended future, e.g. the default exit duration.
+  static constexpr TimeInterval From(Chronon start) {
+    return TimeInterval(start, kChrononMax);
+  }
+
+  constexpr Chronon start() const { return start_; }
+  constexpr Chronon end() const { return end_; }
+
+  /// True iff start <= end (the class invariant; violated only by direct
+  /// construction with bad arguments).
+  constexpr bool valid() const { return start_ <= end_; }
+
+  /// Number of chronons covered; kChrononMax when unbounded.
+  Chronon size() const;
+
+  /// True iff t lies inside the closed interval.
+  constexpr bool Contains(Chronon t) const {
+    return start_ <= t && t <= end_;
+  }
+
+  /// True iff `other` lies entirely inside this interval.
+  constexpr bool Contains(const TimeInterval& other) const {
+    return start_ <= other.start_ && other.end_ <= end_;
+  }
+
+  /// True iff the two intervals share at least one chronon.
+  constexpr bool Overlaps(const TimeInterval& other) const {
+    return start_ <= other.end_ && other.start_ <= end_;
+  }
+
+  /// True iff the union of the two intervals is itself an interval: they
+  /// overlap or are adjacent integers ([2,5] and [6,9] are mergeable).
+  bool Mergeable(const TimeInterval& other) const;
+
+  /// Set intersection; nullopt when disjoint.
+  std::optional<TimeInterval> Intersect(const TimeInterval& other) const;
+
+  /// Union of two mergeable intervals; nullopt when the union would not be
+  /// a single interval.
+  std::optional<TimeInterval> MergeWith(const TimeInterval& other) const;
+
+  /// Renders "[2, 35]"; infinities render as "-inf"/"inf".
+  std::string ToString() const;
+
+  /// Parses the `ToString` format (tolerant of whitespace).
+  static Result<TimeInterval> Parse(const std::string& text);
+
+  friend constexpr bool operator==(const TimeInterval& a,
+                                   const TimeInterval& b) {
+    return a.start_ == b.start_ && a.end_ == b.end_;
+  }
+
+  /// Lexicographic (start, end) order, used to normalize interval sets.
+  friend constexpr bool operator<(const TimeInterval& a,
+                                  const TimeInterval& b) {
+    return a.start_ != b.start_ ? a.start_ < b.start_ : a.end_ < b.end_;
+  }
+
+ private:
+  Chronon start_;
+  Chronon end_;
+};
+
+/// Formats a single chronon ("inf"/"-inf" for the sentinels).
+std::string ChrononToString(Chronon t);
+
+/// Parses a chronon, accepting "inf", "+inf", "-inf", and "oo".
+Result<Chronon> ParseChronon(const std::string& text);
+
+}  // namespace ltam
+
+#endif  // LTAM_TIME_INTERVAL_H_

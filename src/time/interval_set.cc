@@ -1,0 +1,231 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "time/interval_set.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace ltam {
+
+Chronon IntervalSet::Min() const {
+  LTAM_CHECK(!empty()) << "Min() on empty IntervalSet";
+  return intervals_.front().start();
+}
+
+Chronon IntervalSet::Max() const {
+  LTAM_CHECK(!empty()) << "Max() on empty IntervalSet";
+  return intervals_.back().end();
+}
+
+void IntervalSet::Add(const TimeInterval& interval) {
+  if (!interval.valid()) return;
+  // Find the first existing interval that could merge with `interval`.
+  // All intervals ending before interval.start-1 are unaffected.
+  std::vector<TimeInterval> merged;
+  merged.reserve(intervals_.size() + 1);
+  TimeInterval cur = interval;
+  size_t i = 0;
+  // Copy strictly-before intervals.
+  while (i < intervals_.size() &&
+         !intervals_[i].Mergeable(cur) && intervals_[i] < cur) {
+    merged.push_back(intervals_[i]);
+    ++i;
+  }
+  // Merge everything mergeable.
+  while (i < intervals_.size() && intervals_[i].Mergeable(cur)) {
+    cur = *cur.MergeWith(intervals_[i]);
+    ++i;
+  }
+  merged.push_back(cur);
+  // Copy the rest.
+  while (i < intervals_.size()) {
+    merged.push_back(intervals_[i]);
+    ++i;
+  }
+  intervals_ = std::move(merged);
+}
+
+void IntervalSet::Remove(const TimeInterval& interval) {
+  if (!interval.valid()) return;
+  std::vector<TimeInterval> out;
+  out.reserve(intervals_.size() + 1);
+  for (const TimeInterval& iv : intervals_) {
+    if (!iv.Overlaps(interval)) {
+      out.push_back(iv);
+      continue;
+    }
+    // Left remainder [iv.start, interval.start-1].
+    if (iv.start() < interval.start()) {
+      out.emplace_back(iv.start(), ChrononSub(interval.start(), 1));
+    }
+    // Right remainder [interval.end+1, iv.end].
+    if (interval.end() < iv.end()) {
+      out.emplace_back(ChrononAdd(interval.end(), 1), iv.end());
+    }
+  }
+  intervals_ = std::move(out);
+}
+
+bool IntervalSet::Contains(Chronon t) const {
+  // Binary search: first interval with start > t, step back.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](Chronon v, const TimeInterval& iv) { return v < iv.start(); });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return it->Contains(t);
+}
+
+bool IntervalSet::Contains(const TimeInterval& interval) const {
+  if (!interval.valid()) return true;  // Empty interval trivially contained.
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), interval.start(),
+      [](Chronon v, const TimeInterval& iv) { return v < iv.start(); });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return it->Contains(interval);
+}
+
+bool IntervalSet::ContainsSet(const IntervalSet& other) const {
+  for (const TimeInterval& iv : other.intervals_) {
+    if (!Contains(iv)) return false;
+  }
+  return true;
+}
+
+bool IntervalSet::Overlaps(const TimeInterval& interval) const {
+  if (!interval.valid()) return false;
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), interval.end(),
+      [](Chronon v, const TimeInterval& iv) { return v < iv.start(); });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return it->Overlaps(interval);
+}
+
+bool IntervalSet::Overlaps(const IntervalSet& other) const {
+  // Linear merge scan.
+  size_t i = 0;
+  size_t j = 0;
+  while (i < intervals_.size() && j < other.intervals_.size()) {
+    if (intervals_[i].Overlaps(other.intervals_[j])) return true;
+    if (intervals_[i].end() < other.intervals_[j].end()) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+IntervalSet IntervalSet::Union(const IntervalSet& other) const {
+  // Merge two sorted sequences, coalescing on the fly.
+  IntervalSet out;
+  out.intervals_.reserve(intervals_.size() + other.intervals_.size());
+  size_t i = 0;
+  size_t j = 0;
+  auto push = [&out](const TimeInterval& iv) {
+    if (!out.intervals_.empty() && out.intervals_.back().Mergeable(iv)) {
+      out.intervals_.back() = *out.intervals_.back().MergeWith(iv);
+    } else {
+      out.intervals_.push_back(iv);
+    }
+  };
+  while (i < intervals_.size() || j < other.intervals_.size()) {
+    if (j >= other.intervals_.size() ||
+        (i < intervals_.size() && intervals_[i] < other.intervals_[j])) {
+      push(intervals_[i++]);
+    } else {
+      push(other.intervals_[j++]);
+    }
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
+  IntervalSet out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < intervals_.size() && j < other.intervals_.size()) {
+    std::optional<TimeInterval> x = intervals_[i].Intersect(other.intervals_[j]);
+    if (x.has_value()) out.intervals_.push_back(*x);
+    if (intervals_[i].end() < other.intervals_[j].end()) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::Intersect(const TimeInterval& interval) const {
+  return Intersect(IntervalSet(interval));
+}
+
+IntervalSet IntervalSet::Difference(const IntervalSet& other) const {
+  IntervalSet out = *this;
+  for (const TimeInterval& iv : other.intervals_) out.Remove(iv);
+  return out;
+}
+
+IntervalSet IntervalSet::Complement(const TimeInterval& universe) const {
+  IntervalSet out(universe);
+  return out.Difference(*this);
+}
+
+Chronon IntervalSet::TotalSize() const {
+  Chronon total = 0;
+  for (const TimeInterval& iv : intervals_) {
+    Chronon s = iv.size();
+    if (s == kChrononMax) return kChrononMax;
+    total = ChrononAdd(total, s);
+    if (total == kChrononMax) return kChrononMax;
+  }
+  return total;
+}
+
+std::string IntervalSet::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += intervals_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+Result<IntervalSet> IntervalSet::Parse(const std::string& text) {
+  std::string t = Trim(text);
+  if (t.empty() || EqualsIgnoreCase(t, "null") ||
+      EqualsIgnoreCase(t, "phi") || t == "{}") {
+    return IntervalSet();
+  }
+  if (t.front() == '[') {
+    LTAM_ASSIGN_OR_RETURN(TimeInterval iv, TimeInterval::Parse(t));
+    return IntervalSet(iv);
+  }
+  if (t.front() != '{' || t.back() != '}') {
+    return Status::ParseError("interval set must look like '{[a,b], ...}'");
+  }
+  IntervalSet out;
+  std::string body = Trim(t.substr(1, t.size() - 2));
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t open = body.find('[', pos);
+    if (open == std::string::npos) break;
+    size_t close = body.find(']', open);
+    if (close == std::string::npos) {
+      return Status::ParseError("unterminated interval in set: '" + t + "'");
+    }
+    LTAM_ASSIGN_OR_RETURN(
+        TimeInterval iv,
+        TimeInterval::Parse(body.substr(open, close - open + 1)));
+    out.Add(iv);
+    pos = close + 1;
+  }
+  return out;
+}
+
+}  // namespace ltam

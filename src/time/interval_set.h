@@ -1,0 +1,112 @@
+// Copyright 2026 The LTAM Authors.
+// Normalized sets of time intervals.
+//
+// Algorithm 1 of the paper associates with each location an *overall grant
+// time* T^g and an *overall departure time* T^d, "each of them consists of
+// a set of time intervals". IntervalSet is that structure: a canonical
+// (sorted, disjoint, non-adjacent) sequence of closed intervals with the
+// usual set algebra.
+
+#ifndef LTAM_TIME_INTERVAL_SET_H_
+#define LTAM_TIME_INTERVAL_SET_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "time/interval.h"
+
+namespace ltam {
+
+/// A set of chronons represented as maximal disjoint closed intervals.
+///
+/// Invariant: intervals_ is sorted by start, every interval is valid, and
+/// no two intervals overlap or are integer-adjacent (they would have been
+/// coalesced). The empty set corresponds to the paper's "null" (φ).
+class IntervalSet {
+ public:
+  /// The empty set (the paper's φ / null duration).
+  IntervalSet() = default;
+
+  /// Singleton set {interval}.
+  explicit IntervalSet(const TimeInterval& interval) { Add(interval); }
+
+  /// Set from arbitrary (possibly overlapping, unsorted) intervals.
+  IntervalSet(std::initializer_list<TimeInterval> intervals) {
+    for (const TimeInterval& i : intervals) Add(i);
+  }
+
+  /// The full domain.
+  static IntervalSet All() { return IntervalSet(TimeInterval::All()); }
+
+  /// True iff the set is empty (null in the paper's notation).
+  bool empty() const { return intervals_.empty(); }
+
+  /// Number of maximal intervals.
+  size_t size() const { return intervals_.size(); }
+
+  /// The canonical intervals, sorted and disjoint.
+  const std::vector<TimeInterval>& intervals() const { return intervals_; }
+
+  /// Earliest / latest chronon in the set; must not be called when empty.
+  Chronon Min() const;
+  Chronon Max() const;
+
+  /// Inserts an interval, coalescing as needed. Invalid intervals
+  /// (start > end) are ignored, which lets callers add raw
+  /// [max(...),min(...)] results without pre-checking emptiness.
+  void Add(const TimeInterval& interval);
+
+  /// Removes every chronon of `interval` from the set.
+  void Remove(const TimeInterval& interval);
+
+  /// True iff t is in the set.
+  bool Contains(Chronon t) const;
+
+  /// True iff every chronon of `interval` is in the set.
+  bool Contains(const TimeInterval& interval) const;
+
+  /// True iff every chronon of `other` is in this set.
+  bool ContainsSet(const IntervalSet& other) const;
+
+  /// True iff the set and `interval` share a chronon.
+  bool Overlaps(const TimeInterval& interval) const;
+
+  /// True iff the two sets share a chronon.
+  bool Overlaps(const IntervalSet& other) const;
+
+  /// Set union (the paper's ∪ on duration sets).
+  IntervalSet Union(const IntervalSet& other) const;
+
+  /// Set intersection.
+  IntervalSet Intersect(const IntervalSet& other) const;
+  IntervalSet Intersect(const TimeInterval& interval) const;
+
+  /// This minus other.
+  IntervalSet Difference(const IntervalSet& other) const;
+
+  /// Complement with respect to `universe` (default: the full domain).
+  IntervalSet Complement(
+      const TimeInterval& universe = TimeInterval::All()) const;
+
+  /// Total number of chronons covered; kChrononMax when unbounded.
+  Chronon TotalSize() const;
+
+  /// "{}" for empty, otherwise "{[2, 35], [40, 50]}".
+  std::string ToString() const;
+
+  /// Parses the ToString format; also accepts a bare interval "[a, b]"
+  /// and the null symbols "{}", "null", "phi".
+  static Result<IntervalSet> Parse(const std::string& text);
+
+  friend bool operator==(const IntervalSet& a, const IntervalSet& b) {
+    return a.intervals_ == b.intervals_;
+  }
+
+ private:
+  std::vector<TimeInterval> intervals_;
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_TIME_INTERVAL_SET_H_

@@ -1,0 +1,107 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "time/periodic.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace ltam {
+
+Result<PeriodicExpression> PeriodicExpression::Make(
+    Chronon period, Chronon anchor, std::vector<TimeInterval> offsets) {
+  if (period <= 0) {
+    return Status::InvalidArgument("periodic expression period must be > 0");
+  }
+  if (offsets.empty()) {
+    return Status::InvalidArgument(
+        "periodic expression needs at least one offset window");
+  }
+  for (const TimeInterval& iv : offsets) {
+    if (!iv.valid()) {
+      return Status::InvalidArgument("invalid offset window " +
+                                     iv.ToString());
+    }
+    if (iv.start() < 0 || iv.end() >= period) {
+      return Status::InvalidArgument(
+          "offset window " + iv.ToString() + " must lie within [0, " +
+          std::to_string(period - 1) + "]");
+    }
+  }
+  std::sort(offsets.begin(), offsets.end());
+  return PeriodicExpression(period, anchor, std::move(offsets));
+}
+
+bool PeriodicExpression::Contains(Chronon t) const {
+  if (t == kChrononMax || t == kChrononMin) return false;
+  Chronon rel = (t - anchor_) % period_;
+  if (rel < 0) rel += period_;
+  for (const TimeInterval& iv : offsets_) {
+    if (iv.Contains(rel)) return true;
+  }
+  return false;
+}
+
+Result<IntervalSet> PeriodicExpression::ExpandWithin(
+    const TimeInterval& horizon) const {
+  if (!horizon.valid()) return IntervalSet();
+  if (horizon.start() == kChrononMin || horizon.end() == kChrononMax) {
+    return Status::InvalidArgument(
+        "cannot expand a periodic expression over an unbounded horizon");
+  }
+  IntervalSet out;
+  // First period whose windows could touch the horizon.
+  Chronon rel = (horizon.start() - anchor_) % period_;
+  if (rel < 0) rel += period_;
+  Chronon period_start = horizon.start() - rel;
+  for (Chronon base = period_start; base <= horizon.end();
+       base = ChrononAdd(base, period_)) {
+    for (const TimeInterval& iv : offsets_) {
+      TimeInterval shifted(ChrononAdd(base, iv.start()),
+                           ChrononAdd(base, iv.end()));
+      std::optional<TimeInterval> clipped = shifted.Intersect(horizon);
+      if (clipped.has_value()) out.Add(*clipped);
+    }
+    if (base > kChrononMax - period_) break;  // Avoid overflow wraparound.
+  }
+  return out;
+}
+
+std::string PeriodicExpression::ToString() const {
+  std::string out = "every " + std::to_string(period_) + " from " +
+                    std::to_string(anchor_) + " in {";
+  for (size_t i = 0; i < offsets_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += offsets_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+Result<PeriodicExpression> PeriodicExpression::Parse(
+    const std::string& text) {
+  std::string t = Trim(text);
+  if (!StartsWith(t, "every ")) {
+    return Status::ParseError(
+        "periodic expression must start with 'every': '" + t + "'");
+  }
+  size_t from_pos = t.find(" from ");
+  size_t in_pos = t.find(" in ");
+  if (from_pos == std::string::npos || in_pos == std::string::npos ||
+      in_pos < from_pos) {
+    return Status::ParseError(
+        "periodic expression must look like 'every P from A in {...}'");
+  }
+  LTAM_ASSIGN_OR_RETURN(int64_t period,
+                        ParseInt64(t.substr(6, from_pos - 6)));
+  LTAM_ASSIGN_OR_RETURN(
+      int64_t anchor, ParseInt64(t.substr(from_pos + 6, in_pos - from_pos - 6)));
+  LTAM_ASSIGN_OR_RETURN(IntervalSet windows,
+                        IntervalSet::Parse(t.substr(in_pos + 4)));
+  if (windows.empty()) {
+    return Status::ParseError("periodic expression has no windows");
+  }
+  return Make(period, anchor, windows.intervals());
+}
+
+}  // namespace ltam

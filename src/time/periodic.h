@@ -1,0 +1,65 @@
+// Copyright 2026 The LTAM Authors.
+// Periodic time expressions (extension).
+//
+// The paper's authorizations carry plain intervals, but its temporal
+// lineage (Bertino/Bettini/Samarati's TAM, cited as [6]) expresses
+// authorizations over *periodic* time ("every day 9:00-17:00"). Section 7
+// lists "more access constraints" as future work; PeriodicExpression is
+// that extension: a repeating pattern of chronon windows that can be
+// expanded to a plain IntervalSet over any bounded horizon and plugged
+// into authorizations via ExpandWithin.
+
+#ifndef LTAM_TIME_PERIODIC_H_
+#define LTAM_TIME_PERIODIC_H_
+
+#include <string>
+#include <vector>
+
+#include "time/interval_set.h"
+#include "util/result.h"
+
+namespace ltam {
+
+/// A repeating temporal pattern: windows `offsets` (relative to the start
+/// of each period) repeated every `period` chronons starting at `anchor`.
+///
+/// Example: period=24, anchor=0, offsets={[9,17]} is "09:00-17:59 every
+/// day" when one chronon is one hour.
+class PeriodicExpression {
+ public:
+  /// Checked constructor. Requires period > 0 and every offset within
+  /// [0, period-1].
+  static Result<PeriodicExpression> Make(Chronon period, Chronon anchor,
+                                         std::vector<TimeInterval> offsets);
+
+  Chronon period() const { return period_; }
+  Chronon anchor() const { return anchor_; }
+  const std::vector<TimeInterval>& offsets() const { return offsets_; }
+
+  /// True iff instant t falls inside one of the repeated windows.
+  bool Contains(Chronon t) const;
+
+  /// Materializes the expression over a bounded horizon as a plain
+  /// IntervalSet. Fails if `horizon` is unbounded (the expansion would be
+  /// infinite).
+  Result<IntervalSet> ExpandWithin(const TimeInterval& horizon) const;
+
+  /// "every P from A in {[a,b], ...}".
+  std::string ToString() const;
+
+  /// Parses the ToString format.
+  static Result<PeriodicExpression> Parse(const std::string& text);
+
+ private:
+  PeriodicExpression(Chronon period, Chronon anchor,
+                     std::vector<TimeInterval> offsets)
+      : period_(period), anchor_(anchor), offsets_(std::move(offsets)) {}
+
+  Chronon period_;
+  Chronon anchor_;
+  std::vector<TimeInterval> offsets_;
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_TIME_PERIODIC_H_

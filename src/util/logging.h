@@ -1,0 +1,64 @@
+// Copyright 2026 The LTAM Authors.
+// Minimal leveled logging and check macros for internal diagnostics.
+
+#ifndef LTAM_UTIL_LOGGING_H_
+#define LTAM_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace ltam {
+
+/// Severity of a log line.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Global minimum severity; lines below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line emitter; writes on destruction. Fatal aborts.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ltam
+
+#define LTAM_LOG_DEBUG \
+  ::ltam::internal::LogMessage(::ltam::LogLevel::kDebug, __FILE__, __LINE__).stream()
+#define LTAM_LOG_INFO \
+  ::ltam::internal::LogMessage(::ltam::LogLevel::kInfo, __FILE__, __LINE__).stream()
+#define LTAM_LOG_WARNING \
+  ::ltam::internal::LogMessage(::ltam::LogLevel::kWarning, __FILE__, __LINE__).stream()
+#define LTAM_LOG_ERROR \
+  ::ltam::internal::LogMessage(::ltam::LogLevel::kError, __FILE__, __LINE__).stream()
+#define LTAM_LOG_FATAL \
+  ::ltam::internal::LogMessage(::ltam::LogLevel::kFatal, __FILE__, __LINE__).stream()
+
+/// Aborts with a diagnostic when `cond` is false. Active in all builds:
+/// LTAM is a security model, internal invariant violations must not be
+/// silently ignored in release binaries.
+#define LTAM_CHECK(cond)                                      \
+  if (!(cond)) LTAM_LOG_FATAL << "Check failed: " #cond " "
+
+#endif  // LTAM_UTIL_LOGGING_H_

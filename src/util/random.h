@@ -1,0 +1,85 @@
+// Copyright 2026 The LTAM Authors.
+// Deterministic pseudo-random number generation for simulators and
+// workload generators. SplitMix64-seeded xoshiro256**; reproducible across
+// platforms, unlike std::default_random_engine.
+
+#ifndef LTAM_UTIL_RANDOM_H_
+#define LTAM_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+#include "util/logging.h"
+
+namespace ltam {
+
+/// Deterministic 64-bit PRNG (xoshiro256**). Same seed -> same sequence on
+/// every platform, which keeps simulator workloads and benchmark inputs
+/// reproducible.
+class Rng {
+ public:
+  /// Seeds the generator. Any seed (including 0) is valid.
+  explicit Rng(uint64_t seed = 0x17a3u) { Seed(seed); }
+
+  /// Re-seeds the generator.
+  void Seed(uint64_t seed) {
+    // SplitMix64 to expand the seed into the full state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    LTAM_CHECK(bound > 0) << "Uniform bound must be positive";
+    // Rejection sampling to remove modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    while (true) {
+      uint64_t r = Next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    LTAM_CHECK(lo <= hi) << "UniformRange requires lo <= hi";
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with success probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_UTIL_RANDOM_H_

@@ -1,0 +1,95 @@
+// Copyright 2026 The LTAM Authors.
+// Result<T>: a value or an error Status (Arrow-style).
+
+#ifndef LTAM_UTIL_RESULT_H_
+#define LTAM_UTIL_RESULT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace ltam {
+
+/// Holds either a successfully produced `T` or an error `Status`.
+///
+/// Typical use:
+/// ```
+/// Result<LocationId> r = graph.Find("CAIS");
+/// if (!r.ok()) return r.status();
+/// LocationId id = *r;
+/// ```
+/// Or, inside a function returning Status/Result:
+/// ```
+/// LTAM_ASSIGN_OR_RETURN(LocationId id, graph.Find("CAIS"));
+/// ```
+template <typename T>
+class Result {
+ public:
+  /// Constructs an error result. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      Die("Result constructed from OK status without a value");
+    }
+  }
+
+  /// Constructs a success result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status, or OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Value accessors; abort with the carried status when called on an
+  /// error result (in every build mode — access-control code must not
+  /// limp on with garbage).
+  const T& ValueOrDie() const& {
+    DieIfError();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    DieIfError();
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    DieIfError();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value, or `fallback` when this result is an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  static void Die(const char* message) {
+    std::fprintf(stderr, "Result: %s\n", message);
+    std::abort();
+  }
+
+  void DieIfError() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::ValueOrDie on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_UTIL_RESULT_H_

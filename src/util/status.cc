@@ -1,0 +1,48 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "util/status.h"
+
+namespace ltam {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kAlreadyExists:
+      return "already-exists";
+    case StatusCode::kFailedPrecondition:
+      return "failed-precondition";
+    case StatusCode::kOutOfRange:
+      return "out-of-range";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kIOError:
+      return "io-error";
+    case StatusCode::kPermissionDenied:
+      return "permission-denied";
+    case StatusCode::kParseError:
+      return "parse-error";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(code_, context + ": " + msg_);
+}
+
+}  // namespace ltam

@@ -1,0 +1,145 @@
+// Copyright 2026 The LTAM Authors.
+// Status/Result error-handling primitives in the Arrow/RocksDB idiom.
+//
+// All fallible public APIs in LTAM return either `Status` (for operations
+// without a value) or `Result<T>` (for operations that produce a value).
+// Exceptions are never thrown across library boundaries.
+
+#ifndef LTAM_UTIL_STATUS_H_
+#define LTAM_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace ltam {
+
+/// Machine-readable category of an error carried by `Status`.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+  kIOError = 8,
+  kPermissionDenied = 9,
+  kParseError = 10,
+};
+
+/// Returns the canonical lower-case name of a status code ("ok",
+/// "invalid-argument", ...). Stable; used by the text codec.
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight success-or-error value.
+///
+/// A default-constructed or `Status::OK()` status is success; every other
+/// factory produces an error with a code and human-readable message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  /// Returns the success singleton.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The human-readable message (empty for OK).
+  const std::string& message() const { return msg_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsPermissionDenied() const {
+    return code_ == StatusCode::kPermissionDenied;
+  }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+
+  /// "OK" or "<code-name>: <message>".
+  std::string ToString() const;
+
+  /// Prefixes the message with additional context, keeping the code.
+  /// OK statuses are returned unchanged.
+  Status WithContext(const std::string& context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.msg_ == b.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+}  // namespace ltam
+
+/// Propagates an error status from an expression that evaluates to Status.
+#define LTAM_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::ltam::Status _ltam_status_ = (expr);         \
+    if (!_ltam_status_.ok()) return _ltam_status_; \
+  } while (false)
+
+#define LTAM_CONCAT_IMPL_(x, y) x##y
+#define LTAM_CONCAT_(x, y) LTAM_CONCAT_IMPL_(x, y)
+
+/// Evaluates a Result<T> expression; on success binds the value to `lhs`,
+/// on error returns the error status from the enclosing function.
+#define LTAM_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  auto LTAM_CONCAT_(_ltam_result_, __LINE__) = (rexpr);            \
+  if (!LTAM_CONCAT_(_ltam_result_, __LINE__).ok())                 \
+    return LTAM_CONCAT_(_ltam_result_, __LINE__).status();         \
+  lhs = std::move(LTAM_CONCAT_(_ltam_result_, __LINE__)).ValueOrDie()
+
+#endif  // LTAM_UTIL_STATUS_H_

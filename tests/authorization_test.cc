@@ -1,0 +1,156 @@
+// Copyright 2026 The LTAM Authors.
+// Tests for Definitions 3-4 and the Section 6 grant/departure durations.
+
+#include "core/authorization.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/multilevel_graph.h"
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+LocationAuthorization AliceCais() { return LocationAuthorization{0, 1}; }
+
+TEST(AuthorizationTest, MakeAcceptsPaperExample) {
+  // ([5, 40], [20, 100], (Alice, CAIS), 1) from Section 3.2.
+  ASSERT_OK_AND_ASSIGN(LocationTemporalAuthorization auth,
+                       LocationTemporalAuthorization::Make(
+                           TimeInterval(5, 40), TimeInterval(20, 100),
+                           AliceCais(), 1));
+  EXPECT_EQ(auth.entry_duration(), TimeInterval(5, 40));
+  EXPECT_EQ(auth.exit_duration(), TimeInterval(20, 100));
+  EXPECT_EQ(auth.subject(), 0u);
+  EXPECT_EQ(auth.location(), 1u);
+  EXPECT_EQ(auth.max_entries(), 1);
+}
+
+TEST(AuthorizationTest, Definition4Constraints) {
+  // tos >= tis violated.
+  EXPECT_TRUE(LocationTemporalAuthorization::Make(
+                  TimeInterval(10, 40), TimeInterval(5, 100), AliceCais(), 1)
+                  .status()
+                  .IsInvalidArgument());
+  // toe >= tie violated.
+  EXPECT_TRUE(LocationTemporalAuthorization::Make(
+                  TimeInterval(10, 40), TimeInterval(20, 30), AliceCais(), 1)
+                  .status()
+                  .IsInvalidArgument());
+  // Equal boundaries are fine.
+  EXPECT_TRUE(LocationTemporalAuthorization::Make(
+                  TimeInterval(10, 40), TimeInterval(10, 40), AliceCais(), 1)
+                  .ok());
+}
+
+TEST(AuthorizationTest, EntryCountRange) {
+  // "The range of entry is [1, inf)."
+  EXPECT_TRUE(LocationTemporalAuthorization::Make(
+                  TimeInterval(0, 10), TimeInterval(0, 10), AliceCais(), 0)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(LocationTemporalAuthorization::Make(
+                  TimeInterval(0, 10), TimeInterval(0, 10), AliceCais(), -3)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(LocationTemporalAuthorization::Make(
+                  TimeInterval(0, 10), TimeInterval(0, 10), AliceCais(),
+                  kUnlimitedEntries)
+                  .ok());
+}
+
+TEST(AuthorizationTest, InvalidSubjectOrLocationRejected) {
+  EXPECT_TRUE(LocationTemporalAuthorization::Make(
+                  TimeInterval(0, 10), TimeInterval(0, 10),
+                  LocationAuthorization{kInvalidSubject, 1}, 1)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(LocationTemporalAuthorization::Make(
+                  TimeInterval(0, 10), TimeInterval(0, 10),
+                  LocationAuthorization{0, kInvalidLocation}, 1)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(AuthorizationTest, DefaultExitDuration) {
+  // "If the exit duration is not specified, the default value will be
+  // [tis, inf]."
+  ASSERT_OK_AND_ASSIGN(LocationTemporalAuthorization auth,
+                       LocationTemporalAuthorization::MakeDefaultExit(
+                           TimeInterval(5, 40), AliceCais()));
+  EXPECT_EQ(auth.exit_duration(), TimeInterval(5, kChrononMax));
+  EXPECT_EQ(auth.max_entries(), kUnlimitedEntries);
+}
+
+TEST(AuthorizationTest, GrantDuration) {
+  // Section 6: grant duration of [tis,tie]=[2,35] within [tp,tq].
+  ASSERT_OK_AND_ASSIGN(LocationTemporalAuthorization auth,
+                       LocationTemporalAuthorization::Make(
+                           TimeInterval(2, 35), TimeInterval(20, 50),
+                           AliceCais(), 1));
+  auto g = auth.GrantDuration(TimeInterval(0, kChrononMax));
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(*g, TimeInterval(2, 35));
+  // Window clips both sides.
+  g = auth.GrantDuration(TimeInterval(10, 20));
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(*g, TimeInterval(10, 20));
+  // Disjoint window -> null.
+  EXPECT_FALSE(auth.GrantDuration(TimeInterval(40, 60)).has_value());
+  EXPECT_FALSE(auth.GrantDuration(TimeInterval(0, 1)).has_value());
+}
+
+TEST(AuthorizationTest, DepartureDuration) {
+  // Departure duration is [max(tp, tos), toe]: the window clips the start
+  // but never the end.
+  ASSERT_OK_AND_ASSIGN(LocationTemporalAuthorization auth,
+                       LocationTemporalAuthorization::Make(
+                           TimeInterval(40, 60), TimeInterval(55, 80),
+                           AliceCais(), 1));
+  auto d = auth.DepartureDuration(TimeInterval(20, 50));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, TimeInterval(55, 80));  // Table 2's B: [max(20,55), 80].
+  d = auth.DepartureDuration(TimeInterval(60, 70));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, TimeInterval(60, 80));
+  EXPECT_FALSE(auth.DepartureDuration(TimeInterval(81, 90)).has_value());
+}
+
+TEST(AuthorizationTest, ToStringForms) {
+  ASSERT_OK_AND_ASSIGN(LocationTemporalAuthorization auth,
+                       LocationTemporalAuthorization::Make(
+                           TimeInterval(5, 20), TimeInterval(15, 50),
+                           LocationAuthorization{0, 2}, 2));
+  EXPECT_EQ(auth.ToString(), "([5, 20], [15, 50], (s0, l2), 2)");
+
+  UserProfileDatabase profiles;
+  ASSERT_OK_AND_ASSIGN(SubjectId alice, profiles.AddSubject("Alice"));
+  (void)alice;
+  MultilevelLocationGraph graph("NTU");
+  ASSERT_OK_AND_ASSIGN(LocationId sce, graph.AddComposite("SCE", graph.root()));
+  (void)sce;
+  ASSERT_OK_AND_ASSIGN(LocationId cais, graph.AddPrimitive("CAIS", "SCE"));
+  (void)cais;
+  EXPECT_EQ(auth.ToString(profiles, graph),
+            "([5, 20], [15, 50], (Alice, CAIS), 2)");
+}
+
+TEST(AuthorizationTest, Equality) {
+  ASSERT_OK_AND_ASSIGN(LocationTemporalAuthorization a,
+                       LocationTemporalAuthorization::Make(
+                           TimeInterval(5, 20), TimeInterval(15, 50),
+                           AliceCais(), 2));
+  ASSERT_OK_AND_ASSIGN(LocationTemporalAuthorization b,
+                       LocationTemporalAuthorization::Make(
+                           TimeInterval(5, 20), TimeInterval(15, 50),
+                           AliceCais(), 2));
+  EXPECT_EQ(a, b);
+  ASSERT_OK_AND_ASSIGN(LocationTemporalAuthorization c,
+                       LocationTemporalAuthorization::Make(
+                           TimeInterval(5, 21), TimeInterval(15, 50),
+                           AliceCais(), 2));
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace ltam

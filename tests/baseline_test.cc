@@ -1,0 +1,93 @@
+// Copyright 2026 The LTAM Authors.
+// Tests for the card-reader baseline: it grants like Definition 7 at the
+// door but is blind to everything the paper says existing systems miss.
+
+#include "engine/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/access_control_engine.h"
+#include "sim/graph_gen.h"
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+LocationTemporalAuthorization MakeAuth(SubjectId s, LocationId l, Chronon es,
+                                       Chronon ee, Chronon xs, Chronon xe,
+                                       int64_t n = kUnlimitedEntries) {
+  return LocationTemporalAuthorization::Make(TimeInterval(es, ee),
+                                             TimeInterval(xs, xe),
+                                             LocationAuthorization{s, l}, n)
+      .ValueOrDie();
+}
+
+TEST(BaselineTest, GrantsAndDeniesLikeDefinition7) {
+  AuthorizationDatabase db;
+  db.Add(MakeAuth(0, 5, 10, 20, 10, 50, 1));
+  CardReaderBaseline baseline(&db);
+  EXPECT_FALSE(baseline.RequestEntry(5, 0, 5).granted);
+  EXPECT_TRUE(baseline.RequestEntry(15, 0, 5).granted);
+  // n = 1: second swipe denied.
+  EXPECT_FALSE(baseline.RequestEntry(16, 0, 5).granted);
+  EXPECT_EQ(baseline.requests_processed(), 3u);
+  EXPECT_EQ(baseline.requests_granted(), 1u);
+  // Denials are logged.
+  EXPECT_EQ(baseline.alerts().size(), 2u);
+  EXPECT_EQ(baseline.alerts()[0].type, AlertType::kAccessDenied);
+}
+
+TEST(BaselineTest, BlindToTailgatingAndOverstay) {
+  AuthorizationDatabase db;
+  db.Add(MakeAuth(0, 5, 0, 30, 0, 40));
+  CardReaderBaseline baseline(&db);
+  ASSERT_TRUE(baseline.RequestEntry(10, 0, 5).granted);
+  // Tailgater observed; overstay tick fired — the baseline sees nothing.
+  baseline.ObservePresence(10, 1, 5);
+  baseline.Tick(200);
+  EXPECT_OK(baseline.RequestExit(200, 0));
+  EXPECT_TRUE(baseline.alerts().empty());
+}
+
+TEST(BaselineTest, SideBySideWithLtamEngine) {
+  // Same stream: Alice swipes into A, Bob tailgates, both linger past the
+  // exit window. LTAM raises two alerts; the baseline raises none.
+  Result<MultilevelLocationGraph> g = MakeFig4Graph();
+  ASSERT_TRUE(g.ok());
+  MultilevelLocationGraph graph = std::move(g).ValueOrDie();
+  UserProfileDatabase profiles;
+  ASSERT_OK_AND_ASSIGN(SubjectId alice, profiles.AddSubject("Alice"));
+  ASSERT_OK_AND_ASSIGN(SubjectId bob, profiles.AddSubject("Bob"));
+  ASSERT_OK_AND_ASSIGN(LocationId a, graph.Find("A"));
+
+  AuthorizationDatabase ltam_db;
+  ltam_db.Add(MakeAuth(alice, a, 0, 30, 0, 40));
+  AuthorizationDatabase card_db;
+  card_db.Add(MakeAuth(alice, a, 0, 30, 0, 40));
+
+  MovementDatabase movements;
+  AccessControlEngine ltam(&graph, &ltam_db, &movements, &profiles);
+  CardReaderBaseline card(&card_db);
+
+  // t=10: Alice swipes; Bob slips in behind her.
+  ASSERT_TRUE(ltam.RequestEntry(10, alice, a).granted);
+  ASSERT_TRUE(card.RequestEntry(10, alice, a).granted);
+  ltam.ObservePresence(10, bob, a);
+  card.ObservePresence(10, bob, a);
+  // t=50: both systems tick; Alice is past her exit window.
+  ltam.Tick(50);
+  card.Tick(50);
+
+  size_t ltam_tailgate = 0;
+  size_t ltam_overstay = 0;
+  for (const Alert& al : ltam.alerts()) {
+    if (al.type == AlertType::kUnauthorizedPresence) ++ltam_tailgate;
+    if (al.type == AlertType::kOverstay) ++ltam_overstay;
+  }
+  EXPECT_EQ(ltam_tailgate, 1u);
+  EXPECT_EQ(ltam_overstay, 1u);
+  EXPECT_TRUE(card.alerts().empty());
+}
+
+}  // namespace
+}  // namespace ltam

@@ -1,0 +1,151 @@
+// Copyright 2026 The LTAM Authors.
+// Tests for conflict detection/resolution (the Section 4 future-work
+// problem: overlapping/adjacent authorizations for one subject-location).
+
+#include "core/conflict.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+LocationTemporalAuthorization MakeAuth(SubjectId s, LocationId l, Chronon es,
+                                       Chronon ee, int64_t n = 1) {
+  return LocationTemporalAuthorization::Make(
+             TimeInterval(es, ee), TimeInterval(es, ee + 100),
+             LocationAuthorization{s, l}, n)
+      .ValueOrDie();
+}
+
+TEST(ConflictTest, NoConflictsOnDisjointAuths) {
+  AuthorizationDatabase db;
+  db.Add(MakeAuth(0, 1, 0, 10));
+  db.Add(MakeAuth(0, 1, 20, 30));
+  db.Add(MakeAuth(0, 2, 0, 10));   // Different location.
+  db.Add(MakeAuth(1, 1, 0, 10));   // Different subject.
+  EXPECT_TRUE(DetectConflicts(db).empty());
+}
+
+TEST(ConflictTest, DetectsPaperAdjacencyExample) {
+  // "Alice can enter CAIS during [5, 10]... another authorization may
+  // state that Alice is authorized to enter CAIS during [10, 11]."
+  AuthorizationDatabase db;
+  AuthId a = db.Add(MakeAuth(0, 1, 5, 10));
+  AuthId b = db.Add(MakeAuth(0, 1, 10, 11));
+  std::vector<Conflict> conflicts = DetectConflicts(db);
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0].first, a);
+  EXPECT_EQ(conflicts[0].second, b);
+  EXPECT_EQ(conflicts[0].kind, ConflictKind::kOverlapping);
+}
+
+TEST(ConflictTest, ClassifiesKinds) {
+  AuthorizationDatabase db;
+  db.Add(MakeAuth(0, 1, 5, 10));
+  db.Add(MakeAuth(0, 1, 11, 20));  // Adjacent.
+  db.Add(MakeAuth(0, 2, 5, 20));
+  db.Add(MakeAuth(0, 2, 8, 12));  // Contained.
+  std::vector<Conflict> adj = DetectConflicts(db, 0, 1);
+  ASSERT_EQ(adj.size(), 1u);
+  EXPECT_EQ(adj[0].kind, ConflictKind::kAdjacent);
+  std::vector<Conflict> cont = DetectConflicts(db, 0, 2);
+  ASSERT_EQ(cont.size(), 1u);
+  EXPECT_EQ(cont[0].kind, ConflictKind::kContainment);
+  EXPECT_NE(cont[0].ToString().find("containment"), std::string::npos);
+}
+
+TEST(ConflictTest, RevokedRecordsDoNotConflict) {
+  AuthorizationDatabase db;
+  AuthId a = db.Add(MakeAuth(0, 1, 5, 10));
+  db.Add(MakeAuth(0, 1, 8, 12));
+  ASSERT_OK(db.Revoke(a));
+  EXPECT_TRUE(DetectConflicts(db).empty());
+}
+
+TEST(ConflictTest, ResolveMergeCombines) {
+  AuthorizationDatabase db;
+  db.Add(MakeAuth(0, 1, 5, 10, 1));
+  db.Add(MakeAuth(0, 1, 10, 11, 3));
+  ASSERT_OK_AND_ASSIGN(
+      ConflictResolutionReport report,
+      ResolveConflicts(&db, ConflictResolution::kMerge));
+  EXPECT_EQ(report.conflicts_found, 1u);
+  EXPECT_EQ(report.revoked, 2u);
+  EXPECT_EQ(report.merged_added, 1u);
+  std::vector<AuthId> active = db.Active();
+  ASSERT_EQ(active.size(), 1u);
+  const LocationTemporalAuthorization& merged = db.record(active[0]).auth;
+  EXPECT_EQ(merged.entry_duration(), TimeInterval(5, 11));
+  EXPECT_EQ(merged.max_entries(), 3);
+  // Database is now conflict-free.
+  EXPECT_TRUE(DetectConflicts(db).empty());
+}
+
+TEST(ConflictTest, ResolveMergeChainsWholeComponent) {
+  AuthorizationDatabase db;
+  db.Add(MakeAuth(0, 1, 0, 10));
+  db.Add(MakeAuth(0, 1, 10, 20));
+  db.Add(MakeAuth(0, 1, 20, 30));
+  ASSERT_OK_AND_ASSIGN(
+      ConflictResolutionReport report,
+      ResolveConflicts(&db, ConflictResolution::kMerge));
+  EXPECT_EQ(report.merged_added, 1u);
+  std::vector<AuthId> active = db.Active();
+  ASSERT_EQ(active.size(), 1u);
+  EXPECT_EQ(db.record(active[0]).auth.entry_duration(), TimeInterval(0, 30));
+}
+
+TEST(ConflictTest, ResolveKeepEarlier) {
+  AuthorizationDatabase db;
+  AuthId a = db.Add(MakeAuth(0, 1, 5, 10));
+  AuthId b = db.Add(MakeAuth(0, 1, 8, 12));
+  ASSERT_OK_AND_ASSIGN(
+      ConflictResolutionReport report,
+      ResolveConflicts(&db, ConflictResolution::kKeepEarlier));
+  EXPECT_EQ(report.revoked, 1u);
+  EXPECT_FALSE(db.record(a).revoked);
+  EXPECT_TRUE(db.record(b).revoked);
+}
+
+TEST(ConflictTest, ResolveKeepLater) {
+  AuthorizationDatabase db;
+  AuthId a = db.Add(MakeAuth(0, 1, 5, 10));
+  AuthId b = db.Add(MakeAuth(0, 1, 8, 12));
+  ASSERT_OK_AND_ASSIGN(
+      ConflictResolutionReport report,
+      ResolveConflicts(&db, ConflictResolution::kKeepLater));
+  EXPECT_EQ(report.revoked, 1u);
+  EXPECT_TRUE(db.record(a).revoked);
+  EXPECT_FALSE(db.record(b).revoked);
+}
+
+TEST(ConflictTest, MergeSkipsWhenExitWindowsDoNotMerge) {
+  // Entry durations overlap but exit durations are far apart: a merged
+  // record would widen privileges, so kMerge must leave them alone.
+  AuthorizationDatabase db;
+  db.Add(LocationTemporalAuthorization::Make(
+             TimeInterval(5, 10), TimeInterval(5, 15),
+             LocationAuthorization{0, 1}, 1)
+             .ValueOrDie());
+  db.Add(LocationTemporalAuthorization::Make(
+             TimeInterval(8, 12), TimeInterval(100, 200),
+             LocationAuthorization{0, 1}, 1)
+             .ValueOrDie());
+  ASSERT_OK_AND_ASSIGN(
+      ConflictResolutionReport report,
+      ResolveConflicts(&db, ConflictResolution::kMerge));
+  EXPECT_EQ(report.conflicts_found, 1u);
+  EXPECT_EQ(report.merged_added, 0u);
+  EXPECT_EQ(db.active_size(), 2u);
+}
+
+TEST(ConflictTest, NullDatabaseRejected) {
+  EXPECT_TRUE(ResolveConflicts(nullptr, ConflictResolution::kMerge)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ltam

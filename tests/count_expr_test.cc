@@ -1,0 +1,101 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "core/rules/count_expr.h"
+
+#include <gtest/gtest.h>
+
+#include "core/authorization.h"
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+int64_t Eval(const std::string& text, int64_t n) {
+  Result<CountExpr> e = CountExpr::Parse(text);
+  EXPECT_TRUE(e.ok()) << e.status().ToString();
+  return e->Eval(n);
+}
+
+TEST(CountExprTest, IdentityAndConstants) {
+  EXPECT_EQ(Eval("n", 5), 5);
+  EXPECT_EQ(Eval("2", 5), 2);
+  EXPECT_EQ(Eval("inf", 5), kUnlimitedEntries);
+  EXPECT_EQ(CountExpr::Identity().Eval(7), 7);
+}
+
+TEST(CountExprTest, Arithmetic) {
+  EXPECT_EQ(Eval("n+1", 5), 6);
+  EXPECT_EQ(Eval("n-2", 5), 3);
+  EXPECT_EQ(Eval("2*n", 5), 10);
+  EXPECT_EQ(Eval("n/2", 5), 2);
+  EXPECT_EQ(Eval("(n+1)*2", 5), 12);
+  EXPECT_EQ(Eval("n + 2 * 3", 1), 7);  // Precedence.
+  EXPECT_EQ(Eval("10 - 2 - 3", 0), 5);  // Left associativity.
+}
+
+TEST(CountExprTest, MinMax) {
+  EXPECT_EQ(Eval("min(n, 3)", 5), 3);
+  EXPECT_EQ(Eval("min(n, 3)", 2), 2);
+  EXPECT_EQ(Eval("max(n, 3)", 2), 3);
+  EXPECT_EQ(Eval("max(n, 3)", 5), 5);
+  EXPECT_EQ(Eval("min(max(n, 2), 4)", 1), 2);
+}
+
+TEST(CountExprTest, ClampsToAtLeastOne) {
+  // Definition 4: entry count range is [1, inf).
+  EXPECT_EQ(Eval("n-10", 5), 1);
+  EXPECT_EQ(Eval("0", 5), 1);
+  EXPECT_EQ(Eval("n/10", 5), 1);
+}
+
+TEST(CountExprTest, InfinityAbsorbs) {
+  EXPECT_EQ(Eval("n+1", kUnlimitedEntries), kUnlimitedEntries);
+  EXPECT_EQ(Eval("n*2", kUnlimitedEntries), kUnlimitedEntries);
+  EXPECT_EQ(Eval("min(n, 3)", kUnlimitedEntries), 3);
+  EXPECT_EQ(Eval("inf+1", 1), kUnlimitedEntries);
+  // n - inf clamps to the minimum.
+  EXPECT_EQ(Eval("n-inf", 5), 1);
+}
+
+TEST(CountExprTest, DivisionByZeroIsSafe) {
+  EXPECT_EQ(Eval("n/0", 5), 5);  // Defined as pass-through, then clamped.
+  EXPECT_EQ(Eval("n/(n-n)", 5), 5);
+}
+
+TEST(CountExprTest, OverflowSaturates) {
+  EXPECT_EQ(Eval("9223372036854775806+9223372036854775806", 1),
+            kUnlimitedEntries);
+  EXPECT_EQ(Eval("9223372036854775806*2", 1), kUnlimitedEntries);
+}
+
+TEST(CountExprTest, ParseErrors) {
+  EXPECT_TRUE(CountExpr::Parse("").status().IsParseError());
+  EXPECT_TRUE(CountExpr::Parse("n+").status().IsParseError());
+  EXPECT_TRUE(CountExpr::Parse("(n").status().IsParseError());
+  EXPECT_TRUE(CountExpr::Parse("m").status().IsParseError());
+  EXPECT_TRUE(CountExpr::Parse("min(n)").status().IsParseError());
+  EXPECT_TRUE(CountExpr::Parse("min(n,2").status().IsParseError());
+  EXPECT_TRUE(CountExpr::Parse("n n").status().IsParseError());
+  EXPECT_TRUE(CountExpr::Parse("n @ 2").status().IsParseError());
+}
+
+TEST(CountExprTest, TextPreserved) {
+  ASSERT_OK_AND_ASSIGN(CountExpr e, CountExpr::Parse("min(n, 3)"));
+  EXPECT_EQ(e.text(), "min(n, 3)");
+}
+
+TEST(CountExprTest, CopySemantics) {
+  ASSERT_OK_AND_ASSIGN(CountExpr e, CountExpr::Parse("n*2"));
+  CountExpr copy = e;
+  EXPECT_EQ(copy.Eval(4), 8);
+  EXPECT_EQ(e.Eval(4), 8);
+  CountExpr assigned = CountExpr::Identity();
+  assigned = copy;
+  EXPECT_EQ(assigned.Eval(4), 8);
+  // Self-assignment safe.
+  assigned = assigned;
+  EXPECT_EQ(assigned.Eval(4), 8);
+}
+
+}  // namespace
+}  // namespace ltam

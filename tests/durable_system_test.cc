@@ -1,0 +1,152 @@
+// Copyright 2026 The LTAM Authors.
+// Crash-recovery tests for the durable runtime.
+
+#include "storage/durable_system.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "sim/graph_gen.h"
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+class DurableSystemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ltam_durable_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  SystemState FreshState() {
+    SystemState state;
+    state.graph = MakeFig4Graph().ValueOrDie();
+    SubjectId alice = state.profiles.AddSubject("Alice").ValueOrDie();
+    auto grant = [&state, alice](const char* room, Chronon es, Chronon ee,
+                                 Chronon xs, Chronon xe, int64_t n) {
+      state.auth_db.Add(
+          LocationTemporalAuthorization::Make(
+              TimeInterval(es, ee), TimeInterval(xs, xe),
+              LocationAuthorization{alice,
+                                    state.graph.Find(room).ValueOrDie()},
+              n)
+              .ValueOrDie());
+    };
+    grant("A", 0, 30, 0, 40, 3);
+    grant("B", 0, 100, 0, 200, kUnlimitedEntries);
+    return state;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(DurableSystemTest, FreshOpenStartsFromInitialState) {
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<DurableSystem> sys,
+                       DurableSystem::Open(dir_, FreshState()));
+  EXPECT_EQ(sys->state().auth_db.size(), 2u);
+  EXPECT_EQ(sys->wal_events(), 0u);
+  ASSERT_OK_AND_ASSIGN(SubjectId alice, sys->state().profiles.Find("Alice"));
+  ASSERT_OK_AND_ASSIGN(LocationId a, sys->state().graph.Find("A"));
+  ASSERT_OK_AND_ASSIGN(Decision d, sys->RequestEntry(10, alice, a));
+  EXPECT_TRUE(d.granted);
+  EXPECT_EQ(sys->wal_events(), 1u);
+}
+
+TEST_F(DurableSystemTest, RecoveryReplaysLogTail) {
+  SubjectId alice = 0;
+  LocationId a = kInvalidLocation;
+  LocationId b = kInvalidLocation;
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<DurableSystem> sys,
+                         DurableSystem::Open(dir_, FreshState()));
+    a = sys->state().graph.Find("A").ValueOrDie();
+    b = sys->state().graph.Find("B").ValueOrDie();
+    ASSERT_OK(sys->RequestEntry(10, alice, a).status());
+    ASSERT_OK(sys->RequestEntry(20, alice, b).status());
+    // "Crash": no checkpoint, the object goes away.
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<DurableSystem> sys,
+                       DurableSystem::Open(dir_, FreshState()));
+  // The movement history and ledger were rebuilt from the log.
+  EXPECT_EQ(sys->state().movements.CurrentLocation(alice), b);
+  EXPECT_EQ(sys->state().auth_db.record(0).entries_used, 1);
+  EXPECT_EQ(sys->state().movements.history().size(), 2u);
+}
+
+TEST_F(DurableSystemTest, CheckpointTruncatesLog) {
+  SubjectId alice = 0;
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<DurableSystem> sys,
+                         DurableSystem::Open(dir_, FreshState()));
+    LocationId a = sys->state().graph.Find("A").ValueOrDie();
+    ASSERT_OK(sys->RequestEntry(10, alice, a).status());
+    ASSERT_OK(sys->Checkpoint());
+    EXPECT_EQ(sys->wal_events(), 0u);
+    LocationId b = sys->state().graph.Find("B").ValueOrDie();
+    ASSERT_OK(sys->RequestEntry(20, alice, b).status());
+    EXPECT_EQ(sys->wal_events(), 1u);
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<DurableSystem> sys,
+                       DurableSystem::Open(dir_, FreshState()));
+  // Snapshot (entry@10) + log tail (entry@20) both restored.
+  EXPECT_EQ(sys->state().movements.history().size(), 2u);
+  EXPECT_EQ(sys->state().auth_db.record(0).entries_used, 1);
+  LocationId b = sys->state().graph.Find("B").ValueOrDie();
+  EXPECT_EQ(sys->state().movements.CurrentLocation(alice), b);
+}
+
+TEST_F(DurableSystemTest, OverstayDetectionSurvivesRecovery) {
+  SubjectId alice = 0;
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<DurableSystem> sys,
+                         DurableSystem::Open(dir_, FreshState()));
+    LocationId a = sys->state().graph.Find("A").ValueOrDie();
+    // Exit window for A is [0, 40].
+    ASSERT_OK(sys->RequestEntry(10, alice, a).status());
+    ASSERT_OK(sys->Checkpoint());  // Stay is open at checkpoint time.
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<DurableSystem> sys,
+                       DurableSystem::Open(dir_, FreshState()));
+  ASSERT_OK(sys->Tick(50));  // Past the exit window.
+  bool overstay = false;
+  for (const Alert& alert : sys->engine().alerts()) {
+    if (alert.type == AlertType::kOverstay && alert.subject == alice) {
+      overstay = true;
+    }
+  }
+  EXPECT_TRUE(overstay)
+      << "resumed stay lost its exit-window tracking across recovery";
+}
+
+TEST_F(DurableSystemTest, RepeatedRecoveryIsIdempotent) {
+  SubjectId alice = 0;
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<DurableSystem> sys,
+                         DurableSystem::Open(dir_, FreshState()));
+    LocationId a = sys->state().graph.Find("A").ValueOrDie();
+    ASSERT_OK(sys->RequestEntry(10, alice, a).status());
+  }
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<DurableSystem> sys,
+                         DurableSystem::Open(dir_, FreshState()));
+    // Recovery replays the same log; opening without new events must not
+    // multiply history (the log is only appended by live calls).
+    EXPECT_EQ(sys->state().movements.history().size(), 1u);
+    EXPECT_EQ(sys->state().auth_db.record(0).entries_used, 1);
+  }
+}
+
+TEST_F(DurableSystemTest, OpenRejectsMissingDirectory) {
+  EXPECT_TRUE(DurableSystem::Open("/nonexistent/ltam", FreshState())
+                  .status()
+                  .IsIOError());
+}
+
+}  // namespace
+}  // namespace ltam

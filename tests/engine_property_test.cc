@@ -1,0 +1,170 @@
+// Copyright 2026 The LTAM Authors.
+// Property tests for the enforcement engine under randomized event
+// streams: whatever the input, the security invariants must hold.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "engine/access_control_engine.h"
+#include "sim/graph_gen.h"
+#include "sim/workload.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace ltam {
+namespace {
+
+struct World {
+  MultilevelLocationGraph graph;
+  UserProfileDatabase profiles;
+  AuthorizationDatabase auth_db;
+  std::vector<SubjectId> subjects;
+};
+
+World MakeWorld(uint64_t seed) {
+  World w;
+  Rng rng(seed);
+  w.graph = MakeGridGraph(4 + static_cast<uint32_t>(rng.Uniform(3)),
+                          4 + static_cast<uint32_t>(rng.Uniform(3)))
+                .ValueOrDie();
+  w.subjects = GenerateSubjects(&w.profiles, 6);
+  AuthWorkloadOptions opt;
+  opt.coverage = 0.6;
+  opt.horizon = 100;
+  opt.min_len = 30;
+  opt.max_len = 120;
+  opt.max_slack = 40;
+  opt.max_entries = 3;
+  GenerateAuthorizations(w.graph, w.subjects, opt, &rng, &w.auth_db);
+  return w;
+}
+
+class EnginePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EnginePropertyTest, InvariantsUnderRandomEventStream) {
+  World w = MakeWorld(GetParam());
+  MovementDatabase movements;
+  AccessControlEngine engine(&w.graph, &w.auth_db, &movements, &w.profiles);
+  Rng rng(GetParam() * 7919 + 13);
+  std::vector<LocationId> prims = w.graph.Primitives();
+
+  Chronon t = 0;
+  for (int step = 0; step < 400; ++step) {
+    t += static_cast<Chronon>(rng.Uniform(3));
+    SubjectId s = w.subjects[rng.Uniform(w.subjects.size())];
+    LocationId l = prims[rng.Uniform(prims.size())];
+    switch (rng.Uniform(5)) {
+      case 0:
+      case 1: {
+        Decision d = engine.RequestEntry(t, s, l);
+        if (d.granted) {
+          // A granted request immediately reflects in the movement DB.
+          EXPECT_EQ(movements.CurrentLocation(s), l);
+          // ... and was justified by an active, in-window authorization.
+          const AuthRecord& rec = w.auth_db.record(d.auth);
+          EXPECT_FALSE(rec.revoked);
+          EXPECT_TRUE(rec.auth.entry_duration().Contains(t));
+          EXPECT_EQ(rec.auth.subject(), s);
+          EXPECT_EQ(rec.auth.location(), l);
+        }
+        break;
+      }
+      case 2:
+        engine.ObservePresence(t, s, l);
+        // Observation always wins: the DB reflects physical reality.
+        EXPECT_EQ(movements.CurrentLocation(s), l);
+        break;
+      case 3: {
+        Status st = engine.RequestExit(t, s);
+        if (st.ok()) {
+          EXPECT_EQ(movements.CurrentLocation(s), kInvalidLocation);
+        }
+        break;
+      }
+      case 4:
+        engine.Tick(t);
+        break;
+    }
+  }
+
+  // Ledger safety: no authorization is ever over-consumed.
+  for (AuthId id = 0; id < w.auth_db.size(); ++id) {
+    const AuthRecord& rec = w.auth_db.record(id);
+    if (rec.auth.max_entries() != kUnlimitedEntries) {
+      EXPECT_LE(rec.entries_used, rec.auth.max_entries());
+    }
+    EXPECT_GE(rec.entries_used, 0);
+  }
+  // Counter sanity.
+  EXPECT_LE(engine.requests_granted(), engine.requests_processed());
+  // Alerts are time-ordered because the stream was.
+  for (size_t i = 1; i < engine.alerts().size(); ++i) {
+    EXPECT_LE(engine.alerts()[i - 1].time, engine.alerts()[i].time);
+  }
+}
+
+TEST_P(EnginePropertyTest, CheckAccessIsPure) {
+  World w = MakeWorld(GetParam());
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    Chronon t = rng.UniformRange(0, 200);
+    SubjectId s = w.subjects[rng.Uniform(w.subjects.size())];
+    LocationId l =
+        w.graph.Primitives()[rng.Uniform(w.graph.Primitives().size())];
+    Decision first = w.auth_db.CheckAccess(t, s, l);
+    Decision second = w.auth_db.CheckAccess(t, s, l);
+    EXPECT_EQ(first.granted, second.granted);
+    EXPECT_EQ(first.auth, second.auth);
+    EXPECT_EQ(static_cast<int>(first.reason),
+              static_cast<int>(second.reason));
+  }
+}
+
+TEST_P(EnginePropertyTest, MovementHistoryConsistent) {
+  // Whatever the engine recorded, the movement DB's history, stays, and
+  // point queries must agree with each other.
+  World w = MakeWorld(GetParam());
+  MovementDatabase movements;
+  AccessControlEngine engine(&w.graph, &w.auth_db, &movements, &w.profiles);
+  Rng rng(GetParam() + 5);
+  std::vector<LocationId> prims = w.graph.Primitives();
+  Chronon t = 0;
+  for (int step = 0; step < 200; ++step) {
+    t += 1 + static_cast<Chronon>(rng.Uniform(2));
+    SubjectId s = w.subjects[rng.Uniform(w.subjects.size())];
+    engine.ObservePresence(t, s, prims[rng.Uniform(prims.size())]);
+  }
+  for (SubjectId s : w.subjects) {
+    std::vector<Stay> stays = movements.StaysOf(s);
+    for (size_t i = 0; i < stays.size(); ++i) {
+      // Stays are well-formed and non-overlapping in time order.
+      EXPECT_LE(stays[i].enter_time, stays[i].exit_time);
+      if (i > 0) {
+        EXPECT_LE(stays[i - 1].exit_time, stays[i].enter_time);
+      }
+      // Point queries agree with the stay.
+      if (stays[i].exit_time > stays[i].enter_time) {
+        EXPECT_EQ(movements.LocationAt(s, stays[i].enter_time),
+                  stays[i].location);
+      }
+      // Location-indexed copies agree.
+      bool found = false;
+      for (const Stay& loc_stay : movements.StaysIn(stays[i].location)) {
+        if (loc_stay.subject == s &&
+            loc_stay.enter_time == stays[i].enter_time &&
+            loc_stay.exit_time == stays[i].exit_time) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << "stay missing from the location index";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, EnginePropertyTest,
+                         ::testing::Range<uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace ltam

@@ -1,0 +1,239 @@
+// Copyright 2026 The LTAM Authors.
+// Tests for the access control engine (Figure 3 / Section 5): grants,
+// adjacency enforcement, overstay/early-exit alerts, and tailgating
+// detection through movement observations.
+
+#include "engine/access_control_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/graph_gen.h"
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(graph_, MakeFig4Graph());
+    ASSERT_OK_AND_ASSIGN(alice_, profiles_.AddSubject("Alice"));
+    ASSERT_OK_AND_ASSIGN(a_, graph_.Find("A"));
+    ASSERT_OK_AND_ASSIGN(b_, graph_.Find("B"));
+    ASSERT_OK_AND_ASSIGN(c_, graph_.Find("C"));
+    ASSERT_OK_AND_ASSIGN(d_, graph_.Find("D"));
+  }
+
+  void Grant(SubjectId s, LocationId l, Chronon es, Chronon ee, Chronon xs,
+             Chronon xe, int64_t n = kUnlimitedEntries) {
+    auth_db_.Add(LocationTemporalAuthorization::Make(
+                     TimeInterval(es, ee), TimeInterval(xs, xe),
+                     LocationAuthorization{s, l}, n)
+                     .ValueOrDie());
+  }
+
+  AccessControlEngine MakeEngine(EngineOptions options = {}) {
+    return AccessControlEngine(&graph_, &auth_db_, &movement_db_, &profiles_,
+                               options);
+  }
+
+  size_t CountAlerts(const AccessControlEngine& engine, AlertType type) {
+    size_t n = 0;
+    for (const Alert& a : engine.alerts()) {
+      if (a.type == type) ++n;
+    }
+    return n;
+  }
+
+  MultilevelLocationGraph graph_;
+  UserProfileDatabase profiles_;
+  AuthorizationDatabase auth_db_;
+  MovementDatabase movement_db_;
+  SubjectId alice_ = kInvalidSubject;
+  LocationId a_ = kInvalidLocation;
+  LocationId b_ = kInvalidLocation;
+  LocationId c_ = kInvalidLocation;
+  LocationId d_ = kInvalidLocation;
+};
+
+TEST_F(EngineTest, GrantRecordsMovementAndLedger) {
+  Grant(alice_, a_, 0, 100, 0, 200);
+  AccessControlEngine engine = MakeEngine();
+  Decision d = engine.RequestEntry(10, alice_, a_);
+  EXPECT_TRUE(d.granted);
+  EXPECT_EQ(movement_db_.CurrentLocation(alice_), a_);
+  EXPECT_EQ(auth_db_.record(d.auth).entries_used, 1);
+  EXPECT_EQ(engine.requests_processed(), 1u);
+  EXPECT_EQ(engine.requests_granted(), 1u);
+  EXPECT_TRUE(engine.alerts().empty());
+}
+
+TEST_F(EngineTest, DenyWithoutAuthorizationRaisesAlert) {
+  AccessControlEngine engine = MakeEngine();
+  Decision d = engine.RequestEntry(10, alice_, a_);
+  EXPECT_FALSE(d.granted);
+  EXPECT_EQ(d.reason, DenyReason::kNoAuthorization);
+  EXPECT_EQ(movement_db_.CurrentLocation(alice_), kInvalidLocation);
+  ASSERT_EQ(engine.alerts().size(), 1u);
+  EXPECT_EQ(engine.alerts()[0].type, AlertType::kAccessDenied);
+}
+
+TEST_F(EngineTest, UnknownSubjectAndLocation) {
+  AccessControlEngine engine = MakeEngine();
+  EXPECT_EQ(engine.RequestEntry(0, 99, a_).reason,
+            DenyReason::kUnknownSubject);
+  EXPECT_EQ(engine.RequestEntry(0, alice_, 999).reason,
+            DenyReason::kUnknownLocation);
+  // Composite locations are not enterable.
+  EXPECT_EQ(engine.RequestEntry(0, alice_, graph_.root()).reason,
+            DenyReason::kUnknownLocation);
+}
+
+TEST_F(EngineTest, AdjacencyEnforced) {
+  Grant(alice_, a_, 0, 100, 0, 200);
+  Grant(alice_, c_, 0, 100, 0, 200);
+  Grant(alice_, b_, 0, 100, 0, 200);
+  AccessControlEngine engine = MakeEngine();
+  // From outside, only the entry door A is reachable; C is not.
+  EXPECT_EQ(engine.RequestEntry(5, alice_, c_).reason,
+            DenyReason::kNotAdjacent);
+  EXPECT_TRUE(engine.RequestEntry(6, alice_, a_).granted);
+  // From A, C is not adjacent (A-B, A-D only).
+  EXPECT_EQ(engine.RequestEntry(7, alice_, c_).reason,
+            DenyReason::kNotAdjacent);
+  EXPECT_TRUE(engine.RequestEntry(8, alice_, b_).granted);
+  // From B, C is adjacent.
+  EXPECT_TRUE(engine.RequestEntry(9, alice_, c_).granted);
+}
+
+TEST_F(EngineTest, AdjacencyCanBeDisabled) {
+  Grant(alice_, c_, 0, 100, 0, 200);
+  EngineOptions options;
+  options.enforce_adjacency = false;
+  AccessControlEngine engine = MakeEngine(options);
+  EXPECT_TRUE(engine.RequestEntry(5, alice_, c_).granted);
+}
+
+TEST_F(EngineTest, ExitDurationTooEarlyAlerts) {
+  // "One may be authorized to leave a location only during a certain time
+  // interval. Should this restriction be violated, security alerts can be
+  // triggered."
+  Grant(alice_, a_, 0, 100, 50, 200);
+  AccessControlEngine engine = MakeEngine();
+  ASSERT_TRUE(engine.RequestEntry(10, alice_, a_).granted);
+  ASSERT_OK(engine.RequestExit(20, alice_));  // Exit window opens at 50.
+  EXPECT_EQ(CountAlerts(engine, AlertType::kEarlyExit), 1u);
+  EXPECT_EQ(movement_db_.CurrentLocation(alice_), kInvalidLocation);
+}
+
+TEST_F(EngineTest, ExitWithinWindowIsClean) {
+  Grant(alice_, a_, 0, 100, 50, 200);
+  AccessControlEngine engine = MakeEngine();
+  ASSERT_TRUE(engine.RequestEntry(10, alice_, a_).granted);
+  ASSERT_OK(engine.RequestExit(60, alice_));
+  EXPECT_TRUE(engine.alerts().empty());
+  EXPECT_TRUE(engine.RequestExit(70, alice_).IsFailedPrecondition());
+}
+
+TEST_F(EngineTest, OverstayDetectedByTick) {
+  Grant(alice_, a_, 0, 30, 0, 40);
+  AccessControlEngine engine = MakeEngine();
+  ASSERT_TRUE(engine.RequestEntry(10, alice_, a_).granted);
+  engine.Tick(30);
+  EXPECT_EQ(CountAlerts(engine, AlertType::kOverstay), 0u);
+  engine.Tick(41);
+  EXPECT_EQ(CountAlerts(engine, AlertType::kOverstay), 1u);
+  // The alert fires once per stay, not per tick.
+  engine.Tick(42);
+  engine.Tick(43);
+  EXPECT_EQ(CountAlerts(engine, AlertType::kOverstay), 1u);
+}
+
+TEST_F(EngineTest, OverstayAlsoAlertsOnLateExit) {
+  Grant(alice_, a_, 0, 30, 0, 40);
+  AccessControlEngine engine = MakeEngine();
+  ASSERT_TRUE(engine.RequestEntry(10, alice_, a_).granted);
+  ASSERT_OK(engine.RequestExit(60, alice_));
+  EXPECT_EQ(CountAlerts(engine, AlertType::kOverstay), 1u);
+}
+
+TEST_F(EngineTest, MovingOnGrantChecksExitWindowOfPreviousStay) {
+  Grant(alice_, a_, 0, 100, 50, 200);  // Must stay in A until t=50.
+  Grant(alice_, b_, 0, 100, 0, 300);
+  AccessControlEngine engine = MakeEngine();
+  ASSERT_TRUE(engine.RequestEntry(10, alice_, a_).granted);
+  ASSERT_TRUE(engine.RequestEntry(20, alice_, b_).granted);  // Leaves A early.
+  EXPECT_EQ(CountAlerts(engine, AlertType::kEarlyExit), 1u);
+}
+
+TEST_F(EngineTest, TailgatingCaughtByObservation) {
+  // Alice is authorized for A only; tracking sees her in B.
+  Grant(alice_, a_, 0, 100, 0, 200);
+  AccessControlEngine engine = MakeEngine();
+  ASSERT_TRUE(engine.RequestEntry(10, alice_, a_).granted);
+  engine.ObservePresence(20, alice_, b_);
+  EXPECT_EQ(CountAlerts(engine, AlertType::kUnauthorizedPresence), 1u);
+  // The corrected movement is recorded (reality wins).
+  EXPECT_EQ(movement_db_.CurrentLocation(alice_), b_);
+}
+
+TEST_F(EngineTest, ObservationAgreeingWithDatabaseIsSilent) {
+  Grant(alice_, a_, 0, 100, 0, 200);
+  AccessControlEngine engine = MakeEngine();
+  ASSERT_TRUE(engine.RequestEntry(10, alice_, a_).granted);
+  engine.ObservePresence(15, alice_, a_);
+  EXPECT_TRUE(engine.alerts().empty());
+}
+
+TEST_F(EngineTest, ImpossibleMovementFlagged) {
+  Grant(alice_, a_, 0, 100, 0, 200);
+  Grant(alice_, c_, 0, 100, 0, 200);
+  AccessControlEngine engine = MakeEngine();
+  ASSERT_TRUE(engine.RequestEntry(10, alice_, a_).granted);
+  // C is not adjacent to A: observation implies a tracking gap or bypass.
+  engine.ObservePresence(20, alice_, c_);
+  EXPECT_EQ(CountAlerts(engine, AlertType::kImpossibleMovement), 1u);
+  // She *was* authorized for C, so no unauthorized-presence alert.
+  EXPECT_EQ(CountAlerts(engine, AlertType::kUnauthorizedPresence), 0u);
+}
+
+TEST_F(EngineTest, ObservedAuthorizedMovementUpdatesLedger) {
+  Grant(alice_, a_, 0, 100, 0, 200);
+  Grant(alice_, b_, 0, 100, 0, 200, 1);
+  AccessControlEngine engine = MakeEngine();
+  ASSERT_TRUE(engine.RequestEntry(10, alice_, a_).granted);
+  engine.ObservePresence(20, alice_, b_);  // Walked through without swiping.
+  EXPECT_TRUE(engine.alerts().empty());
+  // The observation consumed her single B entry.
+  EXPECT_FALSE(auth_db_.CheckAccess(30, alice_, b_).granted);
+}
+
+TEST_F(EngineTest, GroupEntryOnSingleAuthorizationDetected) {
+  // The Section 1 scenario: two users enter on one authorization. Bob
+  // tailgates behind Alice; continuous monitoring catches him.
+  ASSERT_OK_AND_ASSIGN(SubjectId bob, profiles_.AddSubject("Bob"));
+  Grant(alice_, a_, 0, 100, 0, 200);
+  AccessControlEngine engine = MakeEngine();
+  ASSERT_TRUE(engine.RequestEntry(10, alice_, a_).granted);
+  engine.ObservePresence(10, bob, a_);
+  ASSERT_EQ(CountAlerts(engine, AlertType::kUnauthorizedPresence), 1u);
+  EXPECT_EQ(engine.alerts().back().subject, bob);
+}
+
+TEST_F(EngineTest, ClearAlerts) {
+  AccessControlEngine engine = MakeEngine();
+  engine.RequestEntry(10, alice_, a_);  // Denied -> alert.
+  EXPECT_FALSE(engine.alerts().empty());
+  engine.ClearAlerts();
+  EXPECT_TRUE(engine.alerts().empty());
+}
+
+TEST_F(EngineTest, AlertToStringMentionsType) {
+  AccessControlEngine engine = MakeEngine();
+  engine.RequestEntry(10, alice_, a_);
+  EXPECT_NE(engine.alerts()[0].ToString().find("access-denied"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ltam

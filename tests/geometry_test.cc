@@ -1,0 +1,117 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "spatial/geometry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+TEST(BoundingBoxTest, EmptyAndExpand) {
+  BoundingBox bb;
+  EXPECT_TRUE(bb.empty());
+  EXPECT_FALSE(bb.Contains({0, 0}));
+  bb.Expand({1, 2});
+  EXPECT_FALSE(bb.empty());
+  EXPECT_TRUE(bb.Contains({1, 2}));
+  bb.Expand({-1, 5});
+  EXPECT_TRUE(bb.Contains({0, 3}));
+  EXPECT_FALSE(bb.Contains({2, 3}));
+  EXPECT_DOUBLE_EQ(bb.width(), 2.0);
+  EXPECT_DOUBLE_EQ(bb.height(), 3.0);
+}
+
+TEST(BoundingBoxTest, Intersects) {
+  BoundingBox a({0, 0}, {10, 10});
+  BoundingBox b({5, 5}, {15, 15});
+  BoundingBox c({11, 11}, {20, 20});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  // Touching edges intersect.
+  BoundingBox d({10, 0}, {20, 10});
+  EXPECT_TRUE(a.Intersects(d));
+}
+
+TEST(PolygonTest, MakeValidates) {
+  EXPECT_TRUE(Polygon::Make({{0, 0}, {1, 0}}).status().IsInvalidArgument());
+  // Degenerate (collinear) ring.
+  EXPECT_TRUE(Polygon::Make({{0, 0}, {1, 0}, {2, 0}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Polygon::Make({{0, 0}, {1, 0}, {0, 1}}).ok());
+  // A duplicated closing vertex is tolerated.
+  ASSERT_OK_AND_ASSIGN(Polygon closed,
+                       Polygon::Make({{0, 0}, {1, 0}, {0, 1}, {0, 0}}));
+  EXPECT_EQ(closed.ring().size(), 3u);
+}
+
+TEST(PolygonTest, RectAreaCentroidBBox) {
+  Polygon r = Polygon::Rect(0, 0, 4, 2);
+  EXPECT_DOUBLE_EQ(r.Area(), 8.0);
+  Point c = r.Centroid();
+  EXPECT_NEAR(c.x, 2.0, 1e-12);
+  EXPECT_NEAR(c.y, 1.0, 1e-12);
+  EXPECT_TRUE(r.bbox().Contains({4, 2}));
+  // Swapped corners normalize.
+  Polygon r2 = Polygon::Rect(4, 2, 0, 0);
+  EXPECT_DOUBLE_EQ(r2.Area(), 8.0);
+}
+
+TEST(PolygonTest, SignedAreaOrientation) {
+  ASSERT_OK_AND_ASSIGN(Polygon ccw,
+                       Polygon::Make({{0, 0}, {2, 0}, {2, 2}, {0, 2}}));
+  ASSERT_OK_AND_ASSIGN(Polygon cw,
+                       Polygon::Make({{0, 0}, {0, 2}, {2, 2}, {2, 0}}));
+  EXPECT_GT(ccw.SignedArea(), 0);
+  EXPECT_LT(cw.SignedArea(), 0);
+  EXPECT_DOUBLE_EQ(ccw.Area(), cw.Area());
+}
+
+TEST(PolygonTest, ContainsInteriorExteriorBoundary) {
+  Polygon r = Polygon::Rect(0, 0, 10, 10);
+  EXPECT_TRUE(r.Contains({5, 5}));
+  EXPECT_FALSE(r.Contains({-1, 5}));
+  EXPECT_FALSE(r.Contains({11, 5}));
+  // On-edge points count as inside (doorsill rule).
+  EXPECT_TRUE(r.Contains({0, 5}));
+  EXPECT_TRUE(r.Contains({10, 10}));
+  EXPECT_TRUE(r.Contains({5, 0}));
+}
+
+TEST(PolygonTest, ContainsNonConvex) {
+  // L-shaped room.
+  ASSERT_OK_AND_ASSIGN(
+      Polygon ell,
+      Polygon::Make(
+          {{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}}));
+  EXPECT_TRUE(ell.Contains({1, 3}));
+  EXPECT_TRUE(ell.Contains({3, 1}));
+  EXPECT_FALSE(ell.Contains({3, 3}));  // The notch.
+  EXPECT_TRUE(ell.Contains({2, 3}));   // Notch edge.
+}
+
+TEST(PolygonTest, ContainsTriangle) {
+  ASSERT_OK_AND_ASSIGN(Polygon tri,
+                       Polygon::Make({{0, 0}, {4, 0}, {2, 4}}));
+  EXPECT_TRUE(tri.Contains({2, 1}));
+  EXPECT_FALSE(tri.Contains({0, 3}));
+  EXPECT_FALSE(tri.Contains({4, 3}));
+}
+
+TEST(DistanceTest, PointAndSegment) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceToSegment({0, 1}, {0, 0}, {2, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(DistanceToSegment({1, 1}, {0, 0}, {2, 0}), 1.0);
+  // Beyond the segment end, distance is to the endpoint.
+  EXPECT_DOUBLE_EQ(DistanceToSegment({5, 4}, {0, 0}, {2, 0}), 5.0);
+  // Degenerate segment.
+  EXPECT_DOUBLE_EQ(DistanceToSegment({3, 4}, {0, 0}, {0, 0}), 5.0);
+}
+
+}  // namespace
+}  // namespace ltam

@@ -1,0 +1,127 @@
+// Copyright 2026 The LTAM Authors.
+// Tests for the synthetic graph generators.
+
+#include "sim/graph_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+TEST(GridGraphTest, ShapeAndDegrees) {
+  ASSERT_OK_AND_ASSIGN(MultilevelLocationGraph g, MakeGridGraph(4, 3));
+  EXPECT_EQ(g.Primitives().size(), 12u);
+  EXPECT_OK(g.Validate());
+  // Interior rooms have 4 neighbors; corners 2.
+  ASSERT_OK_AND_ASSIGN(LocationId corner, g.Find("R0_0"));
+  EXPECT_EQ(g.EffectiveNeighbors(corner).size(), 2u);
+  ASSERT_OK_AND_ASSIGN(LocationId mid, g.Find("R1_1"));
+  EXPECT_EQ(g.EffectiveNeighbors(mid).size(), 4u);
+  EXPECT_EQ(g.MaxDegree(), 4u);
+  EXPECT_TRUE(g.location(corner).is_entry);
+  EXPECT_TRUE(MakeGridGraph(0, 3).status().IsInvalidArgument());
+}
+
+TEST(TreeGraphTest, ShapeAndConnectivity) {
+  ASSERT_OK_AND_ASSIGN(MultilevelLocationGraph g, MakeTreeGraph(2, 4));
+  // 1 + 2 + 4 + 8 = 15 rooms.
+  EXPECT_EQ(g.Primitives().size(), 15u);
+  EXPECT_OK(g.Validate());
+  ASSERT_OK_AND_ASSIGN(LocationId root_room, g.Find("T0"));
+  EXPECT_EQ(g.EffectiveNeighbors(root_room).size(), 2u);
+  EXPECT_TRUE(g.location(root_room).is_entry);
+  ASSERT_OK_AND_ASSIGN(MultilevelLocationGraph single, MakeTreeGraph(3, 1));
+  EXPECT_EQ(single.Primitives().size(), 1u);
+}
+
+TEST(RandomRegularGraphTest, ConnectedWithRequestedDegree) {
+  Rng rng(42);
+  ASSERT_OK_AND_ASSIGN(MultilevelLocationGraph g,
+                       MakeRandomRegularGraph(64, 6, &rng));
+  EXPECT_EQ(g.Primitives().size(), 64u);
+  EXPECT_OK(g.Validate());
+  // Average degree approaches 6.
+  size_t total_degree = 0;
+  for (LocationId p : g.Primitives()) {
+    total_degree += g.EffectiveNeighbors(p).size();
+  }
+  double avg = static_cast<double>(total_degree) / 64.0;
+  EXPECT_GE(avg, 4.5);
+  EXPECT_LE(avg, 6.5);
+  // Connectivity: a route exists between arbitrary rooms.
+  ASSERT_OK_AND_ASSIGN(LocationId from, g.Find("N0"));
+  ASSERT_OK_AND_ASSIGN(LocationId to, g.Find("N63"));
+  EXPECT_TRUE(g.FindRoute(from, to).ok());
+  EXPECT_TRUE(MakeRandomRegularGraph(1, 2, &rng).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      MakeRandomRegularGraph(8, 2, nullptr).status().IsInvalidArgument());
+}
+
+TEST(RandomRegularGraphTest, DeterministicForSeed) {
+  Rng rng1(7);
+  Rng rng2(7);
+  ASSERT_OK_AND_ASSIGN(MultilevelLocationGraph g1,
+                       MakeRandomRegularGraph(32, 4, &rng1));
+  ASSERT_OK_AND_ASSIGN(MultilevelLocationGraph g2,
+                       MakeRandomRegularGraph(32, 4, &rng2));
+  EXPECT_EQ(g1.Edges(), g2.Edges());
+}
+
+TEST(CampusGraphTest, Shape) {
+  ASSERT_OK_AND_ASSIGN(MultilevelLocationGraph g, MakeCampusGraph(3, 4));
+  EXPECT_EQ(g.Primitives().size(), 12u);
+  EXPECT_EQ(g.Composites().size(), 4u);  // Root + 3 buildings.
+  EXPECT_OK(g.Validate());
+  // Cross-building movement goes door to door.
+  ASSERT_OK_AND_ASSIGN(LocationId d0, g.Find("B0.R0"));
+  ASSERT_OK_AND_ASSIGN(LocationId d1, g.Find("B1.R0"));
+  const std::vector<LocationId>& adj = g.EffectiveNeighbors(d0);
+  EXPECT_NE(std::find(adj.begin(), adj.end(), d1), adj.end());
+  // Deep rooms require walking the corridor.
+  ASSERT_OK_AND_ASSIGN(LocationId deep, g.Find("B2.R3"));
+  ASSERT_OK_AND_ASSIGN(std::vector<LocationId> route, g.FindRoute(d0, deep));
+  EXPECT_GE(route.size(), 5u);
+}
+
+TEST(NtuGraphTest, MatchesFigure2) {
+  ASSERT_OK_AND_ASSIGN(MultilevelLocationGraph g, MakeNtuCampusGraph());
+  EXPECT_OK(g.Validate());
+  // 5 schools + root.
+  EXPECT_EQ(g.Composites().size(), 6u);
+  // SCE: 7 rooms; EEE: 7 rooms; CEE/SME/NBS: 1 each.
+  EXPECT_EQ(g.Primitives().size(), 17u);
+  // Entry locations per the figure.
+  ASSERT_OK_AND_ASSIGN(LocationId sce, g.Find("SCE"));
+  std::vector<std::string> entries =
+      testing_util::Names(g, g.EntryLocations(sce));
+  EXPECT_EQ(entries, (std::vector<std::string>{"SCE.GO", "SCE.SectionC"}));
+  // Campus doors resolve through the schools.
+  std::vector<std::string> doors =
+      testing_util::Names(g, g.EntryPrimitives(g.root()));
+  std::sort(doors.begin(), doors.end());
+  EXPECT_EQ(doors, (std::vector<std::string>{"EEE.GO", "EEE.SectionC",
+                                             "SCE.GO", "SCE.SectionC"}));
+}
+
+TEST(Fig4GraphTest, MatchesFigure4) {
+  ASSERT_OK_AND_ASSIGN(MultilevelLocationGraph g, MakeFig4Graph());
+  EXPECT_OK(g.Validate());
+  EXPECT_EQ(g.Primitives().size(), 4u);
+  ASSERT_OK_AND_ASSIGN(LocationId a, g.Find("A"));
+  ASSERT_OK_AND_ASSIGN(LocationId b, g.Find("B"));
+  ASSERT_OK_AND_ASSIGN(LocationId c, g.Find("C"));
+  ASSERT_OK_AND_ASSIGN(LocationId d, g.Find("D"));
+  EXPECT_TRUE(g.location(a).is_entry);
+  // The square A-B, B-C, C-D, D-A.
+  EXPECT_EQ(g.EffectiveNeighbors(a), (std::vector<LocationId>{b, d}));
+  EXPECT_EQ(g.EffectiveNeighbors(b), (std::vector<LocationId>{c, a}));
+  EXPECT_EQ(g.EffectiveNeighbors(c), (std::vector<LocationId>{b, d}));
+  EXPECT_EQ(g.EffectiveNeighbors(d), (std::vector<LocationId>{a, c}));
+}
+
+}  // namespace
+}  // namespace ltam

@@ -1,0 +1,191 @@
+// Copyright 2026 The LTAM Authors.
+// Tests for MultilevelLocationGraph construction and hierarchy queries
+// (Definitions 1-2).
+
+#include "graph/multilevel_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+TEST(GraphTest, RootExists) {
+  MultilevelLocationGraph g("NTU");
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_EQ(g.location(g.root()).name, "NTU");
+  EXPECT_TRUE(g.location(g.root()).IsComposite());
+  EXPECT_EQ(*g.Find("NTU"), g.root());
+}
+
+TEST(GraphTest, AddLocations) {
+  MultilevelLocationGraph g("NTU");
+  ASSERT_OK_AND_ASSIGN(LocationId sce, g.AddComposite("SCE", g.root()));
+  ASSERT_OK_AND_ASSIGN(LocationId go, g.AddPrimitive("SCE.GO", sce));
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.location(go).parent, sce);
+  EXPECT_EQ(g.location(sce).parent, g.root());
+  EXPECT_EQ(g.location(sce).children, std::vector<LocationId>{go});
+  // By-name parent overloads.
+  ASSERT_OK_AND_ASSIGN(LocationId cais, g.AddPrimitive("CAIS", "SCE"));
+  EXPECT_EQ(g.location(cais).parent, sce);
+}
+
+TEST(GraphTest, NamesAreGloballyUnique) {
+  MultilevelLocationGraph g("NTU");
+  ASSERT_OK_AND_ASSIGN(LocationId sce, g.AddComposite("SCE", g.root()));
+  (void)sce;
+  EXPECT_TRUE(g.AddComposite("SCE", g.root()).status().IsAlreadyExists());
+  EXPECT_TRUE(g.AddPrimitive("SCE", g.root()).status().IsAlreadyExists());
+  EXPECT_TRUE(g.AddPrimitive("", g.root()).status().IsInvalidArgument());
+}
+
+TEST(GraphTest, PrimitiveCannotContainChildren) {
+  MultilevelLocationGraph g;
+  ASSERT_OK_AND_ASSIGN(LocationId room, g.AddPrimitive("room", g.root()));
+  EXPECT_TRUE(g.AddPrimitive("inner", room).status().IsInvalidArgument());
+}
+
+TEST(GraphTest, EdgesOnlyBetweenSiblings) {
+  MultilevelLocationGraph g;
+  ASSERT_OK_AND_ASSIGN(LocationId b1, g.AddComposite("B1", g.root()));
+  ASSERT_OK_AND_ASSIGN(LocationId b2, g.AddComposite("B2", g.root()));
+  ASSERT_OK_AND_ASSIGN(LocationId r1, g.AddPrimitive("R1", b1));
+  ASSERT_OK_AND_ASSIGN(LocationId r2, g.AddPrimitive("R2", b2));
+  EXPECT_TRUE(g.AddEdge(r1, r2).IsInvalidArgument());
+  EXPECT_OK(g.AddEdge(b1, b2));
+  EXPECT_TRUE(g.AddEdge(b1, b2).IsAlreadyExists());
+  EXPECT_TRUE(g.AddEdge(b1, b1).IsInvalidArgument());
+  EXPECT_TRUE(g.AddEdge(b1, 999).IsNotFound());
+}
+
+TEST(GraphTest, FindUnknownName) {
+  MultilevelLocationGraph g;
+  EXPECT_TRUE(g.Find("nowhere").status().IsNotFound());
+}
+
+TEST(GraphTest, PrimitivesAndComposites) {
+  MultilevelLocationGraph g;
+  ASSERT_OK_AND_ASSIGN(LocationId b, g.AddComposite("B", g.root()));
+  ASSERT_OK_AND_ASSIGN(LocationId r1, g.AddPrimitive("R1", b));
+  ASSERT_OK_AND_ASSIGN(LocationId r2, g.AddPrimitive("R2", b));
+  EXPECT_EQ(g.Primitives(), (std::vector<LocationId>{r1, r2}));
+  EXPECT_EQ(g.Composites(), (std::vector<LocationId>{g.root(), b}));
+}
+
+TEST(GraphTest, IsPartOfIsTransitive) {
+  MultilevelLocationGraph g("NTU");
+  ASSERT_OK_AND_ASSIGN(LocationId sce, g.AddComposite("SCE", g.root()));
+  ASSERT_OK_AND_ASSIGN(LocationId wing, g.AddComposite("Wing", sce));
+  ASSERT_OK_AND_ASSIGN(LocationId room, g.AddPrimitive("Room", wing));
+  EXPECT_TRUE(g.IsPartOf(room, wing));
+  EXPECT_TRUE(g.IsPartOf(room, sce));
+  EXPECT_TRUE(g.IsPartOf(room, g.root()));
+  EXPECT_TRUE(g.IsPartOf(wing, sce));
+  EXPECT_FALSE(g.IsPartOf(sce, wing));
+  EXPECT_FALSE(g.IsPartOf(room, room));
+  EXPECT_EQ(g.Ancestors(room),
+            (std::vector<LocationId>{wing, sce, g.root()}));
+}
+
+TEST(GraphTest, EntryDesignationAndExpansion) {
+  MultilevelLocationGraph g("NTU");
+  ASSERT_OK_AND_ASSIGN(LocationId sce, g.AddComposite("SCE", g.root()));
+  ASSERT_OK_AND_ASSIGN(LocationId go, g.AddPrimitive("GO", sce));
+  ASSERT_OK_AND_ASSIGN(LocationId lab, g.AddPrimitive("Lab", sce));
+  ASSERT_OK(g.AddEdge(go, lab));
+  ASSERT_OK(g.SetEntry(go));
+  ASSERT_OK(g.SetEntry(sce));  // SCE is an entry of NTU's graph.
+  EXPECT_EQ(g.EntryLocations(sce), std::vector<LocationId>{go});
+  EXPECT_EQ(g.EntryLocations(g.root()), std::vector<LocationId>{sce});
+  // Entry primitives expand recursively: the doors of NTU are SCE's doors.
+  EXPECT_EQ(g.EntryPrimitives(g.root()), std::vector<LocationId>{go});
+  EXPECT_EQ(g.EntryPrimitives(go), std::vector<LocationId>{go});
+  // Clearing works.
+  ASSERT_OK(g.SetEntry(go, false));
+  EXPECT_TRUE(g.EntryLocations(sce).empty());
+  // The root itself cannot be an entry.
+  EXPECT_TRUE(g.SetEntry(g.root()).IsInvalidArgument());
+}
+
+TEST(GraphTest, PrimitivesWithin) {
+  MultilevelLocationGraph g;
+  ASSERT_OK_AND_ASSIGN(LocationId b1, g.AddComposite("B1", g.root()));
+  ASSERT_OK_AND_ASSIGN(LocationId r1, g.AddPrimitive("R1", b1));
+  ASSERT_OK_AND_ASSIGN(LocationId r2, g.AddPrimitive("R2", b1));
+  ASSERT_OK_AND_ASSIGN(LocationId r3, g.AddPrimitive("R3", g.root()));
+  std::vector<LocationId> within_b1 = g.PrimitivesWithin(b1);
+  std::sort(within_b1.begin(), within_b1.end());
+  EXPECT_EQ(within_b1, (std::vector<LocationId>{r1, r2}));
+  std::vector<LocationId> all = g.PrimitivesWithin(g.root());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<LocationId>{r1, r2, r3}));
+  EXPECT_EQ(g.PrimitivesWithin(r3), std::vector<LocationId>{r3});
+}
+
+TEST(GraphTest, EffectiveNeighborsExpandComposites) {
+  // Two buildings joined at the campus level: the doors become adjacent.
+  MultilevelLocationGraph g("Campus");
+  ASSERT_OK_AND_ASSIGN(LocationId b1, g.AddComposite("B1", g.root()));
+  ASSERT_OK_AND_ASSIGN(LocationId b2, g.AddComposite("B2", g.root()));
+  ASSERT_OK_AND_ASSIGN(LocationId d1, g.AddPrimitive("D1", b1));
+  ASSERT_OK_AND_ASSIGN(LocationId r1, g.AddPrimitive("R1", b1));
+  ASSERT_OK_AND_ASSIGN(LocationId d2, g.AddPrimitive("D2", b2));
+  ASSERT_OK(g.AddEdge(d1, r1));
+  ASSERT_OK(g.SetEntry(d1));
+  ASSERT_OK(g.SetEntry(d2));
+  ASSERT_OK(g.AddEdge(b1, b2));
+  const std::vector<LocationId>& n1 = g.EffectiveNeighbors(d1);
+  EXPECT_NE(std::find(n1.begin(), n1.end(), r1), n1.end());
+  EXPECT_NE(std::find(n1.begin(), n1.end(), d2), n1.end());
+  EXPECT_EQ(g.EffectiveNeighbors(d2), std::vector<LocationId>{d1});
+  // Non-entry rooms do not become cross-building adjacent.
+  EXPECT_EQ(g.EffectiveNeighbors(r1), std::vector<LocationId>{d1});
+}
+
+TEST(GraphTest, EffectiveNeighborsCacheInvalidation) {
+  MultilevelLocationGraph g;
+  ASSERT_OK_AND_ASSIGN(LocationId a, g.AddPrimitive("a", g.root()));
+  ASSERT_OK_AND_ASSIGN(LocationId b, g.AddPrimitive("b", g.root()));
+  EXPECT_TRUE(g.EffectiveNeighbors(a).empty());
+  ASSERT_OK(g.AddEdge(a, b));
+  EXPECT_EQ(g.EffectiveNeighbors(a), std::vector<LocationId>{b});
+}
+
+TEST(GraphTest, MaxDegree) {
+  MultilevelLocationGraph g;
+  ASSERT_OK_AND_ASSIGN(LocationId hub, g.AddPrimitive("hub", g.root()));
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK_AND_ASSIGN(LocationId spoke,
+                         g.AddPrimitive("s" + std::to_string(i), g.root()));
+    ASSERT_OK(g.AddEdge(hub, spoke));
+  }
+  EXPECT_EQ(g.MaxDegree(), 5u);
+}
+
+TEST(GraphTest, BoundaryAndDescription) {
+  MultilevelLocationGraph g;
+  ASSERT_OK_AND_ASSIGN(LocationId r, g.AddPrimitive("R", g.root()));
+  ASSERT_OK(g.SetBoundary(r, Polygon::Rect(0, 0, 5, 5)));
+  ASSERT_OK(g.SetDescription(r, "server room"));
+  EXPECT_TRUE(g.location(r).boundary.has_value());
+  EXPECT_EQ(g.location(r).description, "server room");
+  EXPECT_TRUE(g.SetBoundary(999, Polygon::Rect(0, 0, 1, 1)).IsNotFound());
+}
+
+TEST(GraphTest, ToStringShowsTree) {
+  MultilevelLocationGraph g("NTU");
+  ASSERT_OK_AND_ASSIGN(LocationId sce, g.AddComposite("SCE", g.root()));
+  ASSERT_OK_AND_ASSIGN(LocationId go, g.AddPrimitive("GO", sce));
+  ASSERT_OK(g.SetEntry(go));
+  std::string dump = g.ToString();
+  EXPECT_NE(dump.find("NTU (composite)"), std::string::npos);
+  EXPECT_NE(dump.find("SCE (composite)"), std::string::npos);
+  EXPECT_NE(dump.find("GO (primitive, entry)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ltam

@@ -1,0 +1,51 @@
+// Copyright 2026 The LTAM Authors.
+
+#include <gtest/gtest.h>
+
+#include "graph/multilevel_graph.h"
+#include "sim/graph_gen.h"
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+TEST(GraphvizTest, EmitsClustersAndDoubleCircledEntries) {
+  ASSERT_OK_AND_ASSIGN(MultilevelLocationGraph g, MakeNtuCampusGraph());
+  std::string dot = g.ToDot();
+  EXPECT_NE(dot.find("graph \"NTU\" {"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph \"cluster_SCE\""), std::string::npos);
+  EXPECT_NE(dot.find("subgraph \"cluster_EEE\""), std::string::npos);
+  // Entry locations use doublecircle (Figure 2's double-line notation).
+  EXPECT_NE(dot.find("\"SCE.GO\" [shape=doublecircle]"), std::string::npos);
+  EXPECT_NE(dot.find("\"CAIS\" [shape=ellipse]"), std::string::npos);
+  // Sibling primitive edge.
+  EXPECT_NE(dot.find("\"SCE.SectionB\" -- \"CAIS\""), std::string::npos);
+  // Composite-composite edges carry cluster anchors.
+  EXPECT_NE(dot.find("ltail=\"cluster_SCE\""), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(GraphvizTest, EscapesQuotes) {
+  MultilevelLocationGraph g("Root");
+  ASSERT_OK_AND_ASSIGN(LocationId r,
+                       g.AddPrimitive("Room \"A\"", g.root()));
+  (void)r;
+  std::string dot = g.ToDot();
+  EXPECT_NE(dot.find("\"Room \\\"A\\\"\""), std::string::npos);
+}
+
+TEST(GraphvizTest, Fig4Shape) {
+  ASSERT_OK_AND_ASSIGN(MultilevelLocationGraph g, MakeFig4Graph());
+  std::string dot = g.ToDot();
+  EXPECT_NE(dot.find("\"A\" [shape=doublecircle]"), std::string::npos);
+  // Four edges.
+  size_t count = 0;
+  for (size_t pos = dot.find(" -- "); pos != std::string::npos;
+       pos = dot.find(" -- ", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+}  // namespace
+}  // namespace ltam

@@ -1,0 +1,81 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "spatial/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace ltam {
+namespace {
+
+TEST(GridIndexTest, EmptyIndexFailsToBuild) {
+  GridIndex index;
+  EXPECT_TRUE(index.Build().IsFailedPrecondition());
+}
+
+TEST(GridIndexTest, FindContaining) {
+  GridIndex index(2.0);
+  BoundaryId a = index.Add(Polygon::Rect(0, 0, 10, 10));
+  BoundaryId b = index.Add(Polygon::Rect(20, 0, 30, 10));
+  ASSERT_OK(index.Build());
+  EXPECT_EQ(index.FindContaining({5, 5}), std::vector<BoundaryId>{a});
+  EXPECT_EQ(index.FindContaining({25, 5}), std::vector<BoundaryId>{b});
+  EXPECT_TRUE(index.FindContaining({15, 5}).empty());
+  EXPECT_TRUE(index.FindContaining({-5, -5}).empty());
+}
+
+TEST(GridIndexTest, OverlappingBoundariesSmallestWins) {
+  GridIndex index(4.0);
+  index.Add(Polygon::Rect(0, 0, 100, 100));  // Building envelope.
+  BoundaryId room = index.Add(Polygon::Rect(10, 10, 20, 20));
+  ASSERT_OK(index.Build());
+  EXPECT_EQ(index.FindContaining({15, 15}).size(), 2u);
+  auto best = index.FindBest({15, 15});
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(*best, room);
+  // Outside the room, the envelope wins.
+  auto best2 = index.FindBest({50, 50});
+  ASSERT_TRUE(best2.has_value());
+  EXPECT_EQ(*best2, 0u);
+  EXPECT_FALSE(index.FindBest({200, 200}).has_value());
+}
+
+TEST(GridIndexTest, AgreesWithBruteForceOnRandomQueries) {
+  GridIndex index(3.0);
+  Rng rng(99);
+  std::vector<Polygon> polys;
+  for (int i = 0; i < 40; ++i) {
+    double x = rng.UniformDouble() * 90;
+    double y = rng.UniformDouble() * 90;
+    double w = 1 + rng.UniformDouble() * 15;
+    double h = 1 + rng.UniformDouble() * 15;
+    Polygon p = Polygon::Rect(x, y, x + w, y + h);
+    polys.push_back(p);
+    index.Add(p);
+  }
+  ASSERT_OK(index.Build());
+  for (int q = 0; q < 500; ++q) {
+    Point pt{rng.UniformDouble() * 110 - 5, rng.UniformDouble() * 110 - 5};
+    std::vector<BoundaryId> got = index.FindContaining(pt);
+    std::vector<BoundaryId> want;
+    for (BoundaryId i = 0; i < polys.size(); ++i) {
+      if (polys[i].Contains(pt)) want.push_back(i);
+    }
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, want) << "at (" << pt.x << ", " << pt.y << ")";
+  }
+}
+
+TEST(GridIndexTest, TinyCellSizeStillCorrect) {
+  GridIndex index(0.5);
+  BoundaryId a = index.Add(Polygon::Rect(0, 0, 3, 3));
+  ASSERT_OK(index.Build());
+  auto best = index.FindBest({1.5, 1.5});
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(*best, a);
+}
+
+}  // namespace
+}  // namespace ltam

@@ -1,0 +1,179 @@
+// Copyright 2026 The LTAM Authors.
+// Property-based tests for Algorithm 1 over randomly generated graphs and
+// authorization workloads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/inaccessible.h"
+#include "sim/graph_gen.h"
+#include "sim/workload.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace ltam {
+namespace {
+
+struct RandomCase {
+  MultilevelLocationGraph graph;
+  UserProfileDatabase profiles;
+  AuthorizationDatabase auth_db;
+  SubjectId subject = kInvalidSubject;
+};
+
+RandomCase MakeCase(uint64_t seed, double coverage) {
+  Rng rng(seed);
+  RandomCase c;
+  uint32_t n = 8 + static_cast<uint32_t>(rng.Uniform(24));
+  uint32_t d = 2 + static_cast<uint32_t>(rng.Uniform(4));
+  Result<MultilevelLocationGraph> g = MakeRandomRegularGraph(n, d, &rng);
+  EXPECT_TRUE(g.ok()) << g.status().ToString();
+  c.graph = std::move(g).ValueOrDie();
+  std::vector<SubjectId> subjects = GenerateSubjects(&c.profiles, 1);
+  c.subject = subjects[0];
+  AuthWorkloadOptions opt;
+  opt.coverage = coverage;
+  opt.horizon = 200;
+  opt.min_len = 20;
+  opt.max_len = 120;
+  opt.max_slack = 80;
+  GenerateAuthorizations(c.graph, subjects, opt, &rng, &c.auth_db);
+  return c;
+}
+
+class InaccessiblePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InaccessiblePropertyTest, SweepAndWorklistAgree) {
+  RandomCase c = MakeCase(GetParam(), 0.6);
+  InaccessibleOptions sweep;
+  sweep.algorithm = InaccessibleAlgorithm::kSweep;
+  InaccessibleOptions worklist;
+  worklist.algorithm = InaccessibleAlgorithm::kWorklist;
+  ASSERT_OK_AND_ASSIGN(
+      InaccessibleResult rs,
+      FindInaccessible(c.graph, c.graph.root(), c.subject, c.auth_db, sweep));
+  ASSERT_OK_AND_ASSIGN(InaccessibleResult rw,
+                       FindInaccessible(c.graph, c.graph.root(), c.subject,
+                                        c.auth_db, worklist));
+  EXPECT_EQ(rs.inaccessible, rw.inaccessible);
+  // Not only the answer: the fixpoint durations must agree too.
+  ASSERT_EQ(rs.final_states.size(), rw.final_states.size());
+  for (size_t i = 0; i < rs.final_states.size(); ++i) {
+    EXPECT_EQ(rs.final_states[i].grant, rw.final_states[i].grant);
+    EXPECT_EQ(rs.final_states[i].departure, rw.final_states[i].departure);
+  }
+}
+
+TEST_P(InaccessiblePropertyTest, EntryWithAuthorizationIsAccessible) {
+  RandomCase c = MakeCase(GetParam(), 1.0);
+  ASSERT_OK_AND_ASSIGN(
+      InaccessibleResult r,
+      FindInaccessible(c.graph, c.graph.root(), c.subject, c.auth_db));
+  for (LocationId e : c.graph.EntryPrimitives(c.graph.root())) {
+    if (!c.auth_db.ForSubjectLocation(c.subject, e).empty()) {
+      EXPECT_FALSE(r.IsInaccessible(e))
+          << "authorized entry location must be accessible";
+    }
+  }
+}
+
+TEST_P(InaccessiblePropertyTest, AddingAuthorizationsNeverShrinksAccess) {
+  RandomCase c = MakeCase(GetParam(), 0.4);
+  ASSERT_OK_AND_ASSIGN(
+      InaccessibleResult before,
+      FindInaccessible(c.graph, c.graph.root(), c.subject, c.auth_db));
+  // Add blanket authorizations for three random rooms.
+  Rng rng(GetParam() * 31 + 7);
+  std::vector<LocationId> prims = c.graph.Primitives();
+  for (int i = 0; i < 3; ++i) {
+    LocationId l = prims[rng.Uniform(prims.size())];
+    c.auth_db.Add(LocationTemporalAuthorization::Make(
+                      TimeInterval(0, 500), TimeInterval(0, 600),
+                      LocationAuthorization{c.subject, l}, kUnlimitedEntries)
+                      .ValueOrDie());
+  }
+  ASSERT_OK_AND_ASSIGN(
+      InaccessibleResult after,
+      FindInaccessible(c.graph, c.graph.root(), c.subject, c.auth_db));
+  // Monotonicity: whatever was accessible stays accessible.
+  for (LocationId l : before.analyzed) {
+    if (!before.IsInaccessible(l)) {
+      EXPECT_FALSE(after.IsInaccessible(l))
+          << "location " << l << " lost access after adding authorizations";
+    }
+  }
+}
+
+TEST_P(InaccessiblePropertyTest, InaccessibleLocationsHaveNoAuthorizedRoute) {
+  // Cross-check against a direct route-feasibility search: a location the
+  // algorithm calls inaccessible must have no authorized route; one it
+  // calls accessible must have a grant window (sanity of T^g).
+  RandomCase c = MakeCase(GetParam(), 0.5);
+  ASSERT_OK_AND_ASSIGN(
+      InaccessibleResult r,
+      FindInaccessible(c.graph, c.graph.root(), c.subject, c.auth_db));
+  for (LocationId l : r.analyzed) {
+    const IntervalSet& grant =
+        r.final_states[std::lower_bound(r.analyzed.begin(), r.analyzed.end(),
+                                        l) -
+                       r.analyzed.begin()]
+            .grant;
+    EXPECT_EQ(r.IsInaccessible(l), grant.empty());
+    if (!grant.empty()) {
+      // Every grant chronon lies inside some entry duration of l.
+      IntervalSet entry = c.auth_db.EntryDurations(c.subject, l);
+      EXPECT_TRUE(entry.ContainsSet(grant));
+    }
+  }
+}
+
+TEST_P(InaccessiblePropertyTest, HierarchicalPruneSoundOnCampus) {
+  Rng rng(GetParam());
+  Result<MultilevelLocationGraph> g = MakeCampusGraph(
+      2 + static_cast<uint32_t>(rng.Uniform(4)),
+      2 + static_cast<uint32_t>(rng.Uniform(5)));
+  ASSERT_TRUE(g.ok());
+  MultilevelLocationGraph graph = std::move(g).ValueOrDie();
+  UserProfileDatabase profiles;
+  std::vector<SubjectId> subjects = GenerateSubjects(&profiles, 1);
+  AuthorizationDatabase db;
+  AuthWorkloadOptions opt;
+  opt.coverage = 0.5;
+  GenerateAuthorizations(graph, subjects, opt, &rng, &db);
+  ASSERT_OK_AND_ASSIGN(InaccessibleResult global,
+                       FindInaccessible(graph, graph.root(), subjects[0], db));
+  ASSERT_OK_AND_ASSIGN(std::vector<LocationId> pruned,
+                       HierarchicalInaccessiblePrune(graph, subjects[0], db));
+  // Lemma 1 soundness: locally inaccessible implies globally inaccessible.
+  for (LocationId l : pruned) {
+    EXPECT_TRUE(global.IsInaccessible(l));
+  }
+}
+
+TEST_P(InaccessiblePropertyTest, FullCoverageWithWideWindowsReachesAll) {
+  // With every room authorized over the whole horizon and generous exits,
+  // everything reachable in the graph must be accessible.
+  Rng rng(GetParam());
+  Result<MultilevelLocationGraph> g = MakeGridGraph(4, 4);
+  ASSERT_TRUE(g.ok());
+  MultilevelLocationGraph graph = std::move(g).ValueOrDie();
+  UserProfileDatabase profiles;
+  std::vector<SubjectId> subjects = GenerateSubjects(&profiles, 1);
+  AuthorizationDatabase db;
+  for (LocationId l : graph.Primitives()) {
+    db.Add(LocationTemporalAuthorization::Make(
+               TimeInterval(0, 1000), TimeInterval(0, 2000),
+               LocationAuthorization{subjects[0], l}, kUnlimitedEntries)
+               .ValueOrDie());
+  }
+  ASSERT_OK_AND_ASSIGN(InaccessibleResult r,
+                       FindInaccessible(graph, graph.root(), subjects[0], db));
+  EXPECT_TRUE(r.inaccessible.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, InaccessiblePropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace ltam

@@ -1,0 +1,175 @@
+// Copyright 2026 The LTAM Authors.
+// End-to-end integration: campus graph + rules + enforcement + queries +
+// persistence working together, following the paper's running scenario.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/conflict.h"
+#include "core/inaccessible.h"
+#include "core/rules/rule_engine.h"
+#include "engine/access_control_engine.h"
+#include "query/query_language.h"
+#include "sim/graph_gen.h"
+#include "storage/snapshot.h"
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(graph_, MakeNtuCampusGraph());
+    ASSERT_OK_AND_ASSIGN(alice_, profiles_.AddSubject("Alice"));
+    ASSERT_OK_AND_ASSIGN(bob_, profiles_.AddSubject("Bob"));
+    ASSERT_OK(profiles_.SetSupervisor(alice_, bob_));
+    ASSERT_OK_AND_ASSIGN(go_, graph_.Find("SCE.GO"));
+    ASSERT_OK_AND_ASSIGN(seca_, graph_.Find("SCE.SectionA"));
+    ASSERT_OK_AND_ASSIGN(secb_, graph_.Find("SCE.SectionB"));
+    ASSERT_OK_AND_ASSIGN(cais_, graph_.Find("CAIS"));
+  }
+
+  AuthId Grant(SubjectId s, LocationId l, Chronon es, Chronon ee, Chronon xs,
+               Chronon xe, int64_t n = kUnlimitedEntries) {
+    return auth_db_.Add(LocationTemporalAuthorization::Make(
+                            TimeInterval(es, ee), TimeInterval(xs, xe),
+                            LocationAuthorization{s, l}, n)
+                            .ValueOrDie());
+  }
+
+  MultilevelLocationGraph graph_;
+  UserProfileDatabase profiles_;
+  AuthorizationDatabase auth_db_;
+  MovementDatabase movement_db_;
+  SubjectId alice_ = kInvalidSubject;
+  SubjectId bob_ = kInvalidSubject;
+  LocationId go_ = kInvalidLocation;
+  LocationId seca_ = kInvalidLocation;
+  LocationId secb_ = kInvalidLocation;
+  LocationId cais_ = kInvalidLocation;
+};
+
+TEST_F(IntegrationTest, RuleDrivenAccessEndToEnd) {
+  // Base authorization on CAIS; a rule extends Alice's access to the
+  // whole GO -> CAIS corridor; the engine then admits her walking it.
+  AuthId base = Grant(alice_, cais_, 0, 100, 0, 200, 2);
+  RuleEngine rules(&auth_db_, &profiles_, &graph_);
+  AuthorizationRule corridor;
+  corridor.valid_from = 0;
+  corridor.base = base;
+  corridor.op_location = LocationOperatorPtr(new AllRouteFromOp("SCE.GO"));
+  ASSERT_OK(rules.AddRule(corridor).status());
+  // A second rule gives her supervisor the same CAIS rights.
+  AuthorizationRule sup;
+  sup.valid_from = 0;
+  sup.base = base;
+  sup.op_subject = SubjectOperatorPtr(new SupervisorOfOp());
+  ASSERT_OK(rules.AddRule(sup).status());
+  ASSERT_OK(rules.DeriveAll().status());
+
+  AccessControlEngine engine(&graph_, &auth_db_, &movement_db_, &profiles_);
+  EXPECT_TRUE(engine.RequestEntry(10, alice_, go_).granted);
+  EXPECT_TRUE(engine.RequestEntry(12, alice_, seca_).granted);
+  EXPECT_TRUE(engine.RequestEntry(14, alice_, secb_).granted);
+  EXPECT_TRUE(engine.RequestEntry(16, alice_, cais_).granted);
+  EXPECT_TRUE(engine.alerts().empty());
+  EXPECT_EQ(movement_db_.CurrentLocation(alice_), cais_);
+
+  // Bob got CAIS rights but no corridor: adjacency stops him at the door
+  // when approaching from outside (EEE.GO is an entry too, but CAIS is
+  // not adjacent to any site door).
+  EXPECT_EQ(engine.RequestEntry(20, bob_, cais_).reason,
+            DenyReason::kNotAdjacent);
+}
+
+TEST_F(IntegrationTest, InaccessibilityAuditFindsMissingCorridor) {
+  // The officer grants CAIS but forgets the corridor: the audit
+  // (Section 6) flags CAIS as inaccessible despite its authorization.
+  Grant(alice_, cais_, 0, 100, 0, 200);
+  ASSERT_OK_AND_ASSIGN(
+      InaccessibleResult r,
+      FindInaccessible(graph_, graph_.root(), alice_, auth_db_));
+  EXPECT_TRUE(r.IsInaccessible(cais_));
+  // Granting the corridor fixes the audit.
+  Grant(alice_, go_, 0, 100, 0, 200);
+  Grant(alice_, seca_, 0, 100, 0, 200);
+  Grant(alice_, secb_, 0, 100, 0, 200);
+  ASSERT_OK_AND_ASSIGN(
+      InaccessibleResult r2,
+      FindInaccessible(graph_, graph_.root(), alice_, auth_db_));
+  EXPECT_FALSE(r2.IsInaccessible(cais_));
+}
+
+TEST_F(IntegrationTest, QueryLanguageOverLiveSystem) {
+  Grant(alice_, go_, 0, 100, 0, 200);
+  Grant(alice_, seca_, 0, 100, 0, 200);
+  AccessControlEngine engine(&graph_, &auth_db_, &movement_db_, &profiles_);
+  ASSERT_TRUE(engine.RequestEntry(10, alice_, go_).granted);
+  ASSERT_TRUE(engine.RequestEntry(20, alice_, seca_).granted);
+
+  QueryEngine qe(&graph_, &auth_db_, &movement_db_, &profiles_);
+  QueryInterpreter interp(&qe, &graph_, &profiles_, &movement_db_,
+                          &auth_db_);
+  ASSERT_OK_AND_ASSIGN(QueryResult where,
+                       interp.Run("WHERE WAS Alice AT 15"));
+  EXPECT_EQ(where.rows[0][2], "SCE.GO");
+  ASSERT_OK_AND_ASSIGN(QueryResult route,
+                       interp.Run("ROUTE FOR Alice FROM SCE.GO TO "
+                                  "SCE.SectionA DURING [0, 100]"));
+  EXPECT_EQ(route.rows.size(), 2u);
+  ASSERT_OK_AND_ASSIGN(QueryResult hist, interp.Run("HISTORY OF Alice"));
+  EXPECT_EQ(hist.rows.size(), 2u);
+}
+
+TEST_F(IntegrationTest, ConflictsFromRulesDetectedAndMerged) {
+  // An explicit authorization and a rule-derived one overlap.
+  AuthId base = Grant(alice_, cais_, 0, 50, 0, 100);
+  Grant(alice_, cais_, 40, 90, 40, 150);
+  RuleEngine rules(&auth_db_, &profiles_, &graph_);
+  AuthorizationRule shift;
+  shift.valid_from = 0;
+  shift.base = base;
+  shift.op_entry = TemporalOperatorPtr(new ShiftOp(30));
+  shift.op_exit = TemporalOperatorPtr(new ShiftOp(30));
+  ASSERT_OK(rules.AddRule(shift).status());
+  ASSERT_OK(rules.DeriveAll().status());
+  std::vector<Conflict> conflicts = DetectConflicts(auth_db_);
+  EXPECT_FALSE(conflicts.empty());
+  ASSERT_OK_AND_ASSIGN(
+      ConflictResolutionReport report,
+      ResolveConflicts(&auth_db_, ConflictResolution::kMerge));
+  EXPECT_GT(report.merged_added, 0u);
+  EXPECT_TRUE(DetectConflicts(auth_db_).empty());
+}
+
+TEST_F(IntegrationTest, SnapshotPreservesLiveSystem) {
+  Grant(alice_, go_, 0, 100, 0, 200, 3);
+  AccessControlEngine engine(&graph_, &auth_db_, &movement_db_, &profiles_);
+  ASSERT_TRUE(engine.RequestEntry(10, alice_, go_).granted);
+
+  std::string path = ::testing::TempDir() + "/ltam_integration.snap";
+  std::remove(path.c_str());
+  SystemState state;
+  state.graph = std::move(graph_);
+  state.profiles = std::move(profiles_);
+  state.auth_db = std::move(auth_db_);
+  state.movements = std::move(movement_db_);
+  ASSERT_OK(SaveSnapshot(state, path));
+  ASSERT_OK_AND_ASSIGN(SystemState loaded, LoadSnapshot(path));
+  std::remove(path.c_str());
+
+  // The restored engine continues where the old one stopped: the ledger
+  // remembers one of three entries used.
+  MovementDatabase movements2 = std::move(loaded.movements);
+  AccessControlEngine engine2(&loaded.graph, &loaded.auth_db, &movements2,
+                              &loaded.profiles);
+  ASSERT_OK_AND_ASSIGN(SubjectId alice, loaded.profiles.Find("Alice"));
+  EXPECT_EQ(movements2.CurrentLocation(alice),
+            loaded.graph.Find("SCE.GO").ValueOrDie());
+  EXPECT_EQ(loaded.auth_db.record(0).entries_used, 1);
+}
+
+}  // namespace
+}  // namespace ltam

@@ -1,0 +1,253 @@
+// Copyright 2026 The LTAM Authors.
+// Tests for IntervalSet, including parameterized algebraic-law suites
+// over randomly generated sets — Algorithm 1's T^g/T^d computations
+// depend on this algebra being exactly right.
+
+#include "time/interval_set.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "test_util.h"
+#include "util/random.h"
+
+namespace ltam {
+namespace {
+
+TEST(IntervalSetTest, EmptyBehaves) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.Contains(0));
+  EXPECT_EQ(s.ToString(), "{}");
+  EXPECT_EQ(s.TotalSize(), 0);
+}
+
+TEST(IntervalSetTest, AddCoalescesOverlaps) {
+  IntervalSet s;
+  s.Add(TimeInterval(5, 10));
+  s.Add(TimeInterval(8, 20));
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals()[0], TimeInterval(5, 20));
+}
+
+TEST(IntervalSetTest, AddCoalescesAdjacency) {
+  IntervalSet s;
+  s.Add(TimeInterval(5, 10));
+  s.Add(TimeInterval(11, 20));
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals()[0], TimeInterval(5, 20));
+}
+
+TEST(IntervalSetTest, AddKeepsGaps) {
+  IntervalSet s{TimeInterval(5, 10), TimeInterval(20, 30)};
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.ToString(), "{[5, 10], [20, 30]}");
+}
+
+TEST(IntervalSetTest, AddBridgingIntervalMergesEverything) {
+  IntervalSet s{TimeInterval(5, 10), TimeInterval(20, 30),
+                TimeInterval(40, 50)};
+  s.Add(TimeInterval(9, 41));
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.intervals()[0], TimeInterval(5, 50));
+}
+
+TEST(IntervalSetTest, AddIgnoresInvalidInterval) {
+  IntervalSet s;
+  s.Add(TimeInterval(10, 5));  // Raw invalid interval = null contribution.
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSetTest, MinMax) {
+  IntervalSet s{TimeInterval(20, 30), TimeInterval(5, 10)};
+  EXPECT_EQ(s.Min(), 5);
+  EXPECT_EQ(s.Max(), 30);
+}
+
+TEST(IntervalSetTest, RemoveSplits) {
+  IntervalSet s(TimeInterval(0, 100));
+  s.Remove(TimeInterval(40, 60));
+  EXPECT_EQ(s.ToString(), "{[0, 39], [61, 100]}");
+  s.Remove(TimeInterval(0, 39));
+  EXPECT_EQ(s.ToString(), "{[61, 100]}");
+  s.Remove(TimeInterval(0, 200));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSetTest, ContainsPoint) {
+  IntervalSet s{TimeInterval(5, 10), TimeInterval(20, 30)};
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_TRUE(s.Contains(10));
+  EXPECT_TRUE(s.Contains(25));
+  EXPECT_FALSE(s.Contains(15));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_FALSE(s.Contains(31));
+}
+
+TEST(IntervalSetTest, ContainsIntervalAndSet) {
+  IntervalSet s{TimeInterval(5, 10), TimeInterval(20, 30)};
+  EXPECT_TRUE(s.Contains(TimeInterval(6, 9)));
+  EXPECT_FALSE(s.Contains(TimeInterval(9, 21)));
+  EXPECT_TRUE(s.ContainsSet(IntervalSet{TimeInterval(5, 6),
+                                        TimeInterval(29, 30)}));
+  EXPECT_FALSE(s.ContainsSet(IntervalSet(TimeInterval(10, 20))));
+  EXPECT_TRUE(s.ContainsSet(IntervalSet()));
+}
+
+TEST(IntervalSetTest, OverlapQueries) {
+  IntervalSet s{TimeInterval(5, 10), TimeInterval(20, 30)};
+  EXPECT_TRUE(s.Overlaps(TimeInterval(10, 12)));
+  EXPECT_FALSE(s.Overlaps(TimeInterval(11, 19)));
+  EXPECT_TRUE(s.Overlaps(IntervalSet(TimeInterval(15, 25))));
+  EXPECT_FALSE(s.Overlaps(IntervalSet(TimeInterval(11, 19))));
+  EXPECT_FALSE(s.Overlaps(IntervalSet()));
+}
+
+TEST(IntervalSetTest, UnionMatchesPaperNotation) {
+  // Table 2's final row: [2,35] u [20,35] = [2,35] and
+  // [20,50] u [30,50] = [20,50].
+  IntervalSet a(TimeInterval(2, 35));
+  EXPECT_EQ(a.Union(IntervalSet(TimeInterval(20, 35))),
+            IntervalSet(TimeInterval(2, 35)));
+  IntervalSet b(TimeInterval(20, 50));
+  EXPECT_EQ(b.Union(IntervalSet(TimeInterval(30, 50))),
+            IntervalSet(TimeInterval(20, 50)));
+}
+
+TEST(IntervalSetTest, IntersectSetAndInterval) {
+  IntervalSet s{TimeInterval(5, 10), TimeInterval(20, 30)};
+  EXPECT_EQ(s.Intersect(TimeInterval(8, 22)).ToString(), "{[8, 10], [20, 22]}");
+  IntervalSet t{TimeInterval(0, 6), TimeInterval(9, 21)};
+  EXPECT_EQ(s.Intersect(t).ToString(), "{[5, 6], [9, 10], [20, 21]}");
+  EXPECT_TRUE(s.Intersect(IntervalSet()).empty());
+}
+
+TEST(IntervalSetTest, DifferenceAndComplement) {
+  IntervalSet s(TimeInterval(0, 100));
+  IntervalSet holes{TimeInterval(10, 20), TimeInterval(50, 60)};
+  EXPECT_EQ(s.Difference(holes).ToString(),
+            "{[0, 9], [21, 49], [61, 100]}");
+  EXPECT_EQ(holes.Complement(TimeInterval(0, 100)).ToString(),
+            "{[0, 9], [21, 49], [61, 100]}");
+  // Complement of empty is the universe.
+  EXPECT_EQ(IntervalSet().Complement(TimeInterval(0, 5)).ToString(),
+            "{[0, 5]}");
+}
+
+TEST(IntervalSetTest, TotalSize) {
+  IntervalSet s{TimeInterval(5, 10), TimeInterval(20, 30)};
+  EXPECT_EQ(s.TotalSize(), 6 + 11);
+  EXPECT_EQ(IntervalSet(TimeInterval::From(0)).TotalSize(), kChrononMax);
+}
+
+TEST(IntervalSetTest, ParseRoundTrip) {
+  IntervalSet s{TimeInterval(5, 10), TimeInterval(20, 30)};
+  ASSERT_OK_AND_ASSIGN(IntervalSet parsed, IntervalSet::Parse(s.ToString()));
+  EXPECT_EQ(parsed, s);
+  ASSERT_OK_AND_ASSIGN(IntervalSet empty, IntervalSet::Parse("{}"));
+  EXPECT_TRUE(empty.empty());
+  ASSERT_OK_AND_ASSIGN(IntervalSet null1, IntervalSet::Parse("null"));
+  EXPECT_TRUE(null1.empty());
+  ASSERT_OK_AND_ASSIGN(IntervalSet bare, IntervalSet::Parse("[1, 2]"));
+  EXPECT_EQ(bare, IntervalSet(TimeInterval(1, 2)));
+  EXPECT_TRUE(IntervalSet::Parse("{[1, 2}").status().IsParseError());
+}
+
+// ---------------------------------------------------------------------------
+// Property-based algebra laws over random sets.
+// ---------------------------------------------------------------------------
+
+IntervalSet RandomSet(Rng* rng, int max_intervals = 6, Chronon span = 200) {
+  IntervalSet s;
+  int k = static_cast<int>(rng->Uniform(static_cast<uint64_t>(max_intervals) + 1));
+  for (int i = 0; i < k; ++i) {
+    Chronon a = rng->UniformRange(0, span);
+    Chronon b = rng->UniformRange(0, span);
+    if (a > b) std::swap(a, b);
+    s.Add(TimeInterval(a, b));
+  }
+  return s;
+}
+
+class IntervalSetAlgebraTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntervalSetAlgebraTest, NormalizationInvariant) {
+  Rng rng(GetParam());
+  IntervalSet s = RandomSet(&rng);
+  // Sorted, disjoint, non-adjacent.
+  for (size_t i = 0; i + 1 < s.intervals().size(); ++i) {
+    const TimeInterval& cur = s.intervals()[i];
+    const TimeInterval& nxt = s.intervals()[i + 1];
+    EXPECT_LT(cur.end(), nxt.start());
+    EXPECT_FALSE(cur.Mergeable(nxt)) << s.ToString();
+  }
+}
+
+TEST_P(IntervalSetAlgebraTest, UnionCommutativeAssociativeIdempotent) {
+  Rng rng(GetParam());
+  IntervalSet a = RandomSet(&rng);
+  IntervalSet b = RandomSet(&rng);
+  IntervalSet c = RandomSet(&rng);
+  EXPECT_EQ(a.Union(b), b.Union(a));
+  EXPECT_EQ(a.Union(b).Union(c), a.Union(b.Union(c)));
+  EXPECT_EQ(a.Union(a), a);
+  EXPECT_EQ(a.Union(IntervalSet()), a);
+}
+
+TEST_P(IntervalSetAlgebraTest, IntersectCommutativeAssociativeIdempotent) {
+  Rng rng(GetParam());
+  IntervalSet a = RandomSet(&rng);
+  IntervalSet b = RandomSet(&rng);
+  IntervalSet c = RandomSet(&rng);
+  EXPECT_EQ(a.Intersect(b), b.Intersect(a));
+  EXPECT_EQ(a.Intersect(b).Intersect(c), a.Intersect(b.Intersect(c)));
+  EXPECT_EQ(a.Intersect(a), a);
+  EXPECT_TRUE(a.Intersect(IntervalSet()).empty());
+}
+
+TEST_P(IntervalSetAlgebraTest, DistributivityAndDeMorgan) {
+  Rng rng(GetParam());
+  IntervalSet a = RandomSet(&rng);
+  IntervalSet b = RandomSet(&rng);
+  IntervalSet c = RandomSet(&rng);
+  // a n (b u c) == (a n b) u (a n c).
+  EXPECT_EQ(a.Intersect(b.Union(c)),
+            a.Intersect(b).Union(a.Intersect(c)));
+  // De Morgan within a bounded universe.
+  TimeInterval u(0, 300);
+  EXPECT_EQ(a.Union(b).Complement(u),
+            a.Complement(u).Intersect(b.Complement(u)));
+  EXPECT_EQ(a.Intersect(b).Complement(u),
+            a.Complement(u).Union(b.Complement(u)));
+}
+
+TEST_P(IntervalSetAlgebraTest, DifferenceLaws) {
+  Rng rng(GetParam());
+  IntervalSet a = RandomSet(&rng);
+  IntervalSet b = RandomSet(&rng);
+  IntervalSet diff = a.Difference(b);
+  EXPECT_TRUE(a.ContainsSet(diff));
+  EXPECT_FALSE(diff.Overlaps(b));
+  // diff u (a n b) == a.
+  EXPECT_EQ(diff.Union(a.Intersect(b)), a);
+}
+
+TEST_P(IntervalSetAlgebraTest, MembershipConsistency) {
+  Rng rng(GetParam());
+  IntervalSet a = RandomSet(&rng);
+  IntervalSet b = RandomSet(&rng);
+  IntervalSet u = a.Union(b);
+  IntervalSet x = a.Intersect(b);
+  for (Chronon t = 0; t <= 200; t += 7) {
+    EXPECT_EQ(u.Contains(t), a.Contains(t) || b.Contains(t));
+    EXPECT_EQ(x.Contains(t), a.Contains(t) && b.Contains(t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, IntervalSetAlgebraTest,
+                         ::testing::Range<uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace ltam

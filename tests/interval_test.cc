@@ -1,0 +1,132 @@
+// Copyright 2026 The LTAM Authors.
+// Tests for TimeInterval (Section 3.1 time model).
+
+#include "time/interval.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+TEST(ChrononTest, SaturatingArithmetic) {
+  EXPECT_EQ(ChrononAdd(kChrononMax, 1), kChrononMax);
+  EXPECT_EQ(ChrononAdd(kChrononMax, kChrononMax), kChrononMax);
+  EXPECT_EQ(ChrononAdd(kChrononMin, -1), kChrononMin);
+  EXPECT_EQ(ChrononAdd(5, 7), 12);
+  EXPECT_EQ(ChrononSub(5, 7), -2);
+  EXPECT_EQ(ChrononSub(0, kChrononMin), kChrononMax);
+}
+
+TEST(ChrononTest, Formatting) {
+  EXPECT_EQ(ChrononToString(42), "42");
+  EXPECT_EQ(ChrononToString(kChrononMax), "inf");
+  EXPECT_EQ(ChrononToString(kChrononMin), "-inf");
+}
+
+TEST(ChrononTest, Parsing) {
+  EXPECT_EQ(*ParseChronon("42"), 42);
+  EXPECT_EQ(*ParseChronon(" inf "), kChrononMax);
+  EXPECT_EQ(*ParseChronon("+inf"), kChrononMax);
+  EXPECT_EQ(*ParseChronon("oo"), kChrononMax);
+  EXPECT_EQ(*ParseChronon("-inf"), kChrononMin);
+  EXPECT_TRUE(ParseChronon("soon").status().IsParseError());
+}
+
+TEST(IntervalTest, MakeValidatesOrder) {
+  ASSERT_OK_AND_ASSIGN(TimeInterval iv, TimeInterval::Make(5, 40));
+  EXPECT_EQ(iv.start(), 5);
+  EXPECT_EQ(iv.end(), 40);
+  EXPECT_TRUE(TimeInterval::Make(41, 40).status().IsInvalidArgument());
+  EXPECT_TRUE(TimeInterval::Make(5, 5).ok());
+}
+
+TEST(IntervalTest, Factories) {
+  EXPECT_EQ(TimeInterval::At(7), TimeInterval(7, 7));
+  EXPECT_EQ(TimeInterval::From(3), TimeInterval(3, kChrononMax));
+  EXPECT_EQ(TimeInterval::All(), TimeInterval(kChrononMin, kChrononMax));
+}
+
+TEST(IntervalTest, Size) {
+  EXPECT_EQ(TimeInterval(5, 9).size(), 5);
+  EXPECT_EQ(TimeInterval(5, 5).size(), 1);
+  EXPECT_EQ(TimeInterval::From(0).size(), kChrononMax);
+}
+
+TEST(IntervalTest, ContainsInstant) {
+  TimeInterval iv(5, 40);
+  EXPECT_TRUE(iv.Contains(5));
+  EXPECT_TRUE(iv.Contains(40));
+  EXPECT_TRUE(iv.Contains(20));
+  EXPECT_FALSE(iv.Contains(4));
+  EXPECT_FALSE(iv.Contains(41));
+}
+
+TEST(IntervalTest, ContainsInterval) {
+  TimeInterval iv(5, 40);
+  EXPECT_TRUE(iv.Contains(TimeInterval(5, 40)));
+  EXPECT_TRUE(iv.Contains(TimeInterval(10, 20)));
+  EXPECT_FALSE(iv.Contains(TimeInterval(4, 20)));
+  EXPECT_FALSE(iv.Contains(TimeInterval(10, 41)));
+}
+
+TEST(IntervalTest, Overlaps) {
+  EXPECT_TRUE(TimeInterval(5, 10).Overlaps(TimeInterval(10, 20)));
+  EXPECT_FALSE(TimeInterval(5, 10).Overlaps(TimeInterval(11, 20)));
+  EXPECT_TRUE(TimeInterval(0, 100).Overlaps(TimeInterval(50, 60)));
+  EXPECT_TRUE(TimeInterval(50, 60).Overlaps(TimeInterval(0, 100)));
+}
+
+TEST(IntervalTest, MergeableIncludesAdjacency) {
+  EXPECT_TRUE(TimeInterval(5, 10).Mergeable(TimeInterval(11, 20)));
+  EXPECT_TRUE(TimeInterval(11, 20).Mergeable(TimeInterval(5, 10)));
+  EXPECT_FALSE(TimeInterval(5, 10).Mergeable(TimeInterval(12, 20)));
+  EXPECT_TRUE(TimeInterval(5, 10).Mergeable(TimeInterval(8, 20)));
+}
+
+TEST(IntervalTest, Intersect) {
+  // The paper's Example 2: [5, 20] n [10, 30] = [10, 20].
+  auto x = TimeInterval(5, 20).Intersect(TimeInterval(10, 30));
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(*x, TimeInterval(10, 20));
+  EXPECT_FALSE(TimeInterval(5, 9).Intersect(TimeInterval(10, 30)).has_value());
+  // Touching endpoints intersect in one instant.
+  auto y = TimeInterval(5, 10).Intersect(TimeInterval(10, 30));
+  ASSERT_TRUE(y.has_value());
+  EXPECT_EQ(*y, TimeInterval(10, 10));
+}
+
+TEST(IntervalTest, MergeWith) {
+  auto m = TimeInterval(5, 10).MergeWith(TimeInterval(11, 20));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m, TimeInterval(5, 20));
+  EXPECT_FALSE(TimeInterval(5, 10).MergeWith(TimeInterval(12, 20)).has_value());
+}
+
+TEST(IntervalTest, RoundTripFormatting) {
+  TimeInterval iv(5, 40);
+  EXPECT_EQ(iv.ToString(), "[5, 40]");
+  ASSERT_OK_AND_ASSIGN(TimeInterval parsed, TimeInterval::Parse("[5, 40]"));
+  EXPECT_EQ(parsed, iv);
+  ASSERT_OK_AND_ASSIGN(TimeInterval open, TimeInterval::Parse("[3, inf]"));
+  EXPECT_EQ(open, TimeInterval::From(3));
+  EXPECT_EQ(open.ToString(), "[3, inf]");
+}
+
+TEST(IntervalTest, ParseRejectsGarbage) {
+  EXPECT_TRUE(TimeInterval::Parse("5, 40").status().IsParseError());
+  EXPECT_TRUE(TimeInterval::Parse("[5 40]").status().IsParseError());
+  EXPECT_TRUE(TimeInterval::Parse("[5, 40, 50]").status().IsParseError());
+  EXPECT_TRUE(TimeInterval::Parse("[40, 5]").status().IsInvalidArgument());
+  EXPECT_TRUE(TimeInterval::Parse("").status().IsParseError());
+}
+
+TEST(IntervalTest, OrderingIsLexicographic) {
+  EXPECT_LT(TimeInterval(1, 5), TimeInterval(2, 3));
+  EXPECT_LT(TimeInterval(1, 3), TimeInterval(1, 5));
+  EXPECT_FALSE(TimeInterval(1, 5) < TimeInterval(1, 5));
+}
+
+}  // namespace
+}  // namespace ltam

@@ -1,0 +1,135 @@
+// Copyright 2026 The LTAM Authors.
+// Tests for location operators, including the exact Example 3 result.
+
+#include "core/rules/location_op.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/graph_gen.h"
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+using testing_util::Names;
+
+class LocationOpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(graph_, MakeNtuCampusGraph());
+    ASSERT_OK_AND_ASSIGN(cais_, graph_.Find("CAIS"));
+  }
+
+  std::vector<std::string> SortedNames(const std::vector<LocationId>& ids) {
+    std::vector<std::string> names = Names(graph_, ids);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  MultilevelLocationGraph graph_;
+  LocationId cais_ = kInvalidLocation;
+};
+
+TEST_F(LocationOpTest, Identity) {
+  IdentityLocationOp op;
+  ASSERT_OK_AND_ASSIGN(std::vector<LocationId> out, op.Apply(cais_, graph_));
+  EXPECT_EQ(out, std::vector<LocationId>{cais_});
+  EXPECT_TRUE(op.Apply(9999, graph_).status().IsNotFound());
+}
+
+TEST_F(LocationOpTest, AllRouteFromReproducesExample3) {
+  // "The location operator all_route_from returns all the locations on
+  // the route from source SCE.GO to destination CAIS, which are {SCE.GO,
+  // SCE.SectionA, SCE.SectionB, SCE.SectionC, SCE.CHIPES}."
+  AllRouteFromOp op("SCE.GO");
+  ASSERT_OK_AND_ASSIGN(std::vector<LocationId> out, op.Apply(cais_, graph_));
+  EXPECT_EQ(SortedNames(out),
+            (std::vector<std::string>{"CHIPES", "SCE.GO", "SCE.SectionA",
+                                      "SCE.SectionB", "SCE.SectionC"}));
+  EXPECT_EQ(op.ToString(), "all_route_from(SCE.GO)");
+}
+
+TEST_F(LocationOpTest, AllRouteFromErrors) {
+  AllRouteFromOp bad_src("Atlantis");
+  EXPECT_TRUE(bad_src.Apply(cais_, graph_).status().IsNotFound());
+  // No route between disconnected pieces cannot happen in a validated
+  // graph, but a base equal to the source still works (trivial route).
+  AllRouteFromOp self("CAIS");
+  ASSERT_OK_AND_ASSIGN(std::vector<LocationId> out, self.Apply(cais_, graph_));
+  EXPECT_TRUE(out.empty());  // Only the base itself, which is excluded.
+}
+
+TEST_F(LocationOpTest, ShortestRouteFrom) {
+  ShortestRouteFromOp op("SCE.GO");
+  ASSERT_OK_AND_ASSIGN(std::vector<LocationId> out, op.Apply(cais_, graph_));
+  EXPECT_EQ(Names(graph_, out),
+            (std::vector<std::string>{"SCE.GO", "SCE.SectionA",
+                                      "SCE.SectionB"}));
+}
+
+TEST_F(LocationOpTest, Neighbors) {
+  NeighborsOp op;
+  ASSERT_OK_AND_ASSIGN(std::vector<LocationId> out, op.Apply(cais_, graph_));
+  EXPECT_EQ(SortedNames(out),
+            (std::vector<std::string>{"CHIPES", "SCE.SectionB"}));
+  ASSERT_OK_AND_ASSIGN(LocationId sce, graph_.Find("SCE"));
+  EXPECT_TRUE(op.Apply(sce, graph_).status().IsInvalidArgument());
+}
+
+TEST_F(LocationOpTest, WithinComposite) {
+  WithinCompositeOp op("SCE");
+  ASSERT_OK_AND_ASSIGN(std::vector<LocationId> out, op.Apply(cais_, graph_));
+  EXPECT_EQ(out.size(), 7u);
+  WithinCompositeOp bad("CAIS");
+  EXPECT_TRUE(bad.Apply(cais_, graph_).status().IsInvalidArgument());
+  WithinCompositeOp missing("Atlantis");
+  EXPECT_TRUE(missing.Apply(cais_, graph_).status().IsNotFound());
+}
+
+TEST_F(LocationOpTest, EntriesOf) {
+  EntriesOfOp op("SCE");
+  ASSERT_OK_AND_ASSIGN(std::vector<LocationId> out, op.Apply(cais_, graph_));
+  EXPECT_EQ(SortedNames(out),
+            (std::vector<std::string>{"SCE.GO", "SCE.SectionC"}));
+  // Entries of the whole campus expand through the schools.
+  EntriesOfOp root("NTU");
+  ASSERT_OK_AND_ASSIGN(std::vector<LocationId> doors,
+                       root.Apply(cais_, graph_));
+  EXPECT_FALSE(doors.empty());
+}
+
+TEST_F(LocationOpTest, RegistryParsesBuiltins) {
+  LocationOperatorRegistry reg = LocationOperatorRegistry::Default();
+  ASSERT_OK_AND_ASSIGN(LocationOperatorPtr op,
+                       reg.Parse("all_route_from(SCE.GO)"));
+  ASSERT_OK_AND_ASSIGN(std::vector<LocationId> out, op->Apply(cais_, graph_));
+  EXPECT_EQ(out.size(), 5u);
+  ASSERT_OK_AND_ASSIGN(LocationOperatorPtr id, reg.Parse("identity"));
+  ASSERT_OK_AND_ASSIGN(std::vector<LocationId> self, id->Apply(cais_, graph_));
+  EXPECT_EQ(self, std::vector<LocationId>{cais_});
+  EXPECT_TRUE(reg.Parse("all_route_from").status().IsParseError());
+  EXPECT_TRUE(reg.Parse("teleport(CAIS)").status().IsNotFound());
+}
+
+TEST_F(LocationOpTest, RegistryCustomOperator) {
+  LocationOperatorRegistry reg = LocationOperatorRegistry::Default();
+  class NowhereOp : public LocationOperator {
+   public:
+    Result<std::vector<LocationId>> Apply(
+        LocationId, const MultilevelLocationGraph&) const override {
+      return std::vector<LocationId>{};
+    }
+    std::string ToString() const override { return "nowhere"; }
+  };
+  reg.Register("nowhere", [](const std::string&) -> Result<LocationOperatorPtr> {
+    return LocationOperatorPtr(new NowhereOp());
+  });
+  ASSERT_OK_AND_ASSIGN(LocationOperatorPtr op, reg.Parse("nowhere"));
+  ASSERT_OK_AND_ASSIGN(std::vector<LocationId> out, op->Apply(cais_, graph_));
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace ltam

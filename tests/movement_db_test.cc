@@ -1,0 +1,147 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "engine/movement_db.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+TEST(MovementDbTest, RecordAndCurrentLocation) {
+  MovementDatabase db;
+  EXPECT_EQ(db.CurrentLocation(0), kInvalidLocation);
+  ASSERT_OK(db.RecordMovement(10, 0, 5));
+  EXPECT_EQ(db.CurrentLocation(0), 5u);
+  ASSERT_OK_AND_ASSIGN(Chronon since, db.CurrentStaySince(0));
+  EXPECT_EQ(since, 10);
+  ASSERT_OK(db.RecordMovement(20, 0, 6));
+  EXPECT_EQ(db.CurrentLocation(0), 6u);
+  ASSERT_OK(db.RecordMovement(30, 0, kInvalidLocation));
+  EXPECT_EQ(db.CurrentLocation(0), kInvalidLocation);
+  EXPECT_TRUE(db.CurrentStaySince(0).status().IsNotFound());
+  EXPECT_EQ(db.history().size(), 3u);
+  EXPECT_EQ(db.tracked_subjects(), 0u);  // Nobody inside now.
+}
+
+TEST(MovementDbTest, RejectsNoOpAndOutOfOrder) {
+  MovementDatabase db;
+  ASSERT_OK(db.RecordMovement(10, 0, 5));
+  EXPECT_TRUE(db.RecordMovement(15, 0, 5).IsInvalidArgument());
+  EXPECT_TRUE(db.RecordMovement(5, 0, 6).IsFailedPrecondition());
+  // Equal time is allowed (movement within one chronon).
+  EXPECT_OK(db.RecordMovement(10, 0, 6));
+  EXPECT_TRUE(db.RecordMovement(0, 99, kInvalidLocation)
+                  .IsInvalidArgument());  // Exit while outside is a no-op.
+  EXPECT_TRUE(
+      db.RecordMovement(0, kInvalidSubject, 5).IsInvalidArgument());
+}
+
+TEST(MovementDbTest, LocationAtReconstructsHistory) {
+  MovementDatabase db;
+  ASSERT_OK(db.RecordMovement(10, 0, 5));
+  ASSERT_OK(db.RecordMovement(20, 0, 6));
+  ASSERT_OK(db.RecordMovement(30, 0, kInvalidLocation));
+  EXPECT_EQ(db.LocationAt(0, 9), kInvalidLocation);
+  EXPECT_EQ(db.LocationAt(0, 10), 5u);
+  EXPECT_EQ(db.LocationAt(0, 19), 5u);
+  EXPECT_EQ(db.LocationAt(0, 20), 6u);
+  EXPECT_EQ(db.LocationAt(0, 29), 6u);
+  EXPECT_EQ(db.LocationAt(0, 30), kInvalidLocation);
+  EXPECT_EQ(db.LocationAt(0, 1000), kInvalidLocation);
+  EXPECT_EQ(db.LocationAt(7, 10), kInvalidLocation);  // Unknown subject.
+}
+
+TEST(MovementDbTest, OccupantsAt) {
+  MovementDatabase db;
+  ASSERT_OK(db.RecordMovement(10, 0, 5));
+  ASSERT_OK(db.RecordMovement(15, 1, 5));
+  ASSERT_OK(db.RecordMovement(20, 0, kInvalidLocation));
+  EXPECT_EQ(db.OccupantsAt(5, 12), std::vector<SubjectId>{0});
+  EXPECT_EQ(db.OccupantsAt(5, 17), (std::vector<SubjectId>{0, 1}));
+  EXPECT_EQ(db.OccupantsAt(5, 25), std::vector<SubjectId>{1});
+  EXPECT_TRUE(db.OccupantsAt(9, 12).empty());
+  EXPECT_EQ(db.CurrentOccupants(5), std::vector<SubjectId>{1});
+}
+
+TEST(MovementDbTest, StaysOfAndStaysIn) {
+  MovementDatabase db;
+  ASSERT_OK(db.RecordMovement(10, 0, 5));
+  ASSERT_OK(db.RecordMovement(20, 0, 6));
+  ASSERT_OK(db.RecordMovement(30, 0, 5));
+  std::vector<Stay> stays = db.StaysOf(0);
+  ASSERT_EQ(stays.size(), 3u);
+  EXPECT_EQ(stays[0].location, 5u);
+  EXPECT_EQ(stays[0].enter_time, 10);
+  EXPECT_EQ(stays[0].exit_time, 20);
+  EXPECT_EQ(stays[2].exit_time, kChrononMax);  // Open stay.
+  std::vector<Stay> in5 = db.StaysIn(5);
+  ASSERT_EQ(in5.size(), 2u);
+  EXPECT_EQ(in5[0].exit_time, 20);
+  EXPECT_EQ(in5[1].exit_time, kChrononMax);
+  EXPECT_TRUE(db.StaysOf(9).empty());
+  EXPECT_TRUE(db.StaysIn(9).empty());
+}
+
+TEST(MovementDbTest, ContactsBasicOverlap) {
+  MovementDatabase db;
+  // Alice in room 5 during [10, 30); Bob in room 5 during [20, 40).
+  ASSERT_OK(db.RecordMovement(10, 0, 5));
+  ASSERT_OK(db.RecordMovement(20, 1, 5));
+  ASSERT_OK(db.RecordMovement(30, 0, kInvalidLocation));
+  ASSERT_OK(db.RecordMovement(40, 1, kInvalidLocation));
+  std::vector<MovementDatabase::Contact> contacts =
+      db.ContactsOf(0, TimeInterval(0, 100));
+  ASSERT_EQ(contacts.size(), 1u);
+  EXPECT_EQ(contacts[0].other, 1u);
+  EXPECT_EQ(contacts[0].location, 5u);
+  EXPECT_EQ(contacts[0].overlap_start, 20);
+  EXPECT_EQ(contacts[0].overlap_end, 29);
+  // Symmetric.
+  std::vector<MovementDatabase::Contact> rev =
+      db.ContactsOf(1, TimeInterval(0, 100));
+  ASSERT_EQ(rev.size(), 1u);
+  EXPECT_EQ(rev[0].other, 0u);
+}
+
+TEST(MovementDbTest, ContactsRespectWindowAndMinOverlap) {
+  MovementDatabase db;
+  ASSERT_OK(db.RecordMovement(10, 0, 5));
+  ASSERT_OK(db.RecordMovement(20, 1, 5));
+  ASSERT_OK(db.RecordMovement(30, 0, kInvalidLocation));
+  // Query window ends before the overlap starts.
+  EXPECT_TRUE(db.ContactsOf(0, TimeInterval(0, 15)).empty());
+  // Overlap is 10 chronons [20, 29]; min_overlap above that filters.
+  EXPECT_TRUE(db.ContactsOf(0, TimeInterval(0, 100), 11).empty());
+  EXPECT_EQ(db.ContactsOf(0, TimeInterval(0, 100), 10).size(), 1u);
+}
+
+TEST(MovementDbTest, ContactsAcrossDifferentRoomsNone) {
+  MovementDatabase db;
+  ASSERT_OK(db.RecordMovement(10, 0, 5));
+  ASSERT_OK(db.RecordMovement(10, 1, 6));
+  EXPECT_TRUE(db.ContactsOf(0, TimeInterval(0, 100)).empty());
+}
+
+TEST(MovementDbTest, ContactsWithOpenStays) {
+  MovementDatabase db;
+  ASSERT_OK(db.RecordMovement(10, 0, 5));
+  ASSERT_OK(db.RecordMovement(20, 1, 5));
+  // Both still inside: overlap runs to the window edge.
+  std::vector<MovementDatabase::Contact> contacts =
+      db.ContactsOf(0, TimeInterval(0, 50));
+  ASSERT_EQ(contacts.size(), 1u);
+  EXPECT_EQ(contacts[0].overlap_start, 20);
+  EXPECT_EQ(contacts[0].overlap_end, 50);
+}
+
+TEST(MovementDbTest, PerSubjectTimelinesIndependent) {
+  MovementDatabase db;
+  ASSERT_OK(db.RecordMovement(100, 0, 5));
+  // Another subject may record earlier times.
+  EXPECT_OK(db.RecordMovement(10, 1, 5));
+}
+
+}  // namespace
+}  // namespace ltam

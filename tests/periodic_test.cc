@@ -1,0 +1,111 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "time/periodic.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+TEST(PeriodicTest, MakeValidates) {
+  EXPECT_TRUE(PeriodicExpression::Make(0, 0, {TimeInterval(0, 1)})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(PeriodicExpression::Make(24, 0, {}).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(PeriodicExpression::Make(24, 0, {TimeInterval(9, 24)})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(PeriodicExpression::Make(24, 0, {TimeInterval(-1, 5)})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(PeriodicExpression::Make(24, 0, {TimeInterval(9, 17)}).ok());
+}
+
+TEST(PeriodicTest, ContainsOfficeHours) {
+  // Period 24 (one day of hour-chronons), window [9, 17].
+  ASSERT_OK_AND_ASSIGN(
+      PeriodicExpression office,
+      PeriodicExpression::Make(24, 0, {TimeInterval(9, 17)}));
+  EXPECT_TRUE(office.Contains(9));
+  EXPECT_TRUE(office.Contains(17));
+  EXPECT_FALSE(office.Contains(8));
+  EXPECT_FALSE(office.Contains(18));
+  // Next day.
+  EXPECT_TRUE(office.Contains(24 + 12));
+  EXPECT_FALSE(office.Contains(24 + 3));
+  // Negative time (before the anchor) still cycles correctly.
+  EXPECT_TRUE(office.Contains(-24 + 10));
+}
+
+TEST(PeriodicTest, AnchorShiftsPhase) {
+  ASSERT_OK_AND_ASSIGN(
+      PeriodicExpression expr,
+      PeriodicExpression::Make(10, 3, {TimeInterval(0, 1)}));
+  EXPECT_TRUE(expr.Contains(3));
+  EXPECT_TRUE(expr.Contains(4));
+  EXPECT_FALSE(expr.Contains(5));
+  EXPECT_TRUE(expr.Contains(13));
+}
+
+TEST(PeriodicTest, ExpandWithin) {
+  ASSERT_OK_AND_ASSIGN(
+      PeriodicExpression office,
+      PeriodicExpression::Make(24, 0, {TimeInterval(9, 17)}));
+  ASSERT_OK_AND_ASSIGN(IntervalSet days,
+                       office.ExpandWithin(TimeInterval(0, 72)));
+  EXPECT_EQ(days.ToString(), "{[9, 17], [33, 41], [57, 65]}");
+  // Clipping at the horizon edges.
+  ASSERT_OK_AND_ASSIGN(IntervalSet clipped,
+                       office.ExpandWithin(TimeInterval(10, 35)));
+  EXPECT_EQ(clipped.ToString(), "{[10, 17], [33, 35]}");
+}
+
+TEST(PeriodicTest, ExpandConsistentWithContains) {
+  ASSERT_OK_AND_ASSIGN(
+      PeriodicExpression expr,
+      PeriodicExpression::Make(7, 2, {TimeInterval(0, 1), TimeInterval(4, 4)}));
+  TimeInterval horizon(0, 100);
+  ASSERT_OK_AND_ASSIGN(IntervalSet expanded, expr.ExpandWithin(horizon));
+  for (Chronon t = 0; t <= 100; ++t) {
+    EXPECT_EQ(expanded.Contains(t), expr.Contains(t)) << "t=" << t;
+  }
+}
+
+TEST(PeriodicTest, ExpandRejectsUnboundedHorizon) {
+  ASSERT_OK_AND_ASSIGN(
+      PeriodicExpression expr,
+      PeriodicExpression::Make(24, 0, {TimeInterval(9, 17)}));
+  EXPECT_TRUE(expr.ExpandWithin(TimeInterval::From(0))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(PeriodicTest, ParseRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(
+      PeriodicExpression expr,
+      PeriodicExpression::Make(24, 5, {TimeInterval(9, 17)}));
+  EXPECT_EQ(expr.ToString(), "every 24 from 5 in {[9, 17]}");
+  ASSERT_OK_AND_ASSIGN(PeriodicExpression parsed,
+                       PeriodicExpression::Parse(expr.ToString()));
+  EXPECT_EQ(parsed.period(), 24);
+  EXPECT_EQ(parsed.anchor(), 5);
+  ASSERT_EQ(parsed.offsets().size(), 1u);
+  EXPECT_EQ(parsed.offsets()[0], TimeInterval(9, 17));
+}
+
+TEST(PeriodicTest, ParseRejectsGarbage) {
+  EXPECT_TRUE(
+      PeriodicExpression::Parse("sometimes").status().IsParseError());
+  EXPECT_TRUE(PeriodicExpression::Parse("every x from 0 in {[1,2]}")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(PeriodicExpression::Parse("every 24 from 0 in {}")
+                  .status()
+                  .IsParseError());
+}
+
+}  // namespace
+}  // namespace ltam

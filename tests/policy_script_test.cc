@@ -1,0 +1,160 @@
+// Copyright 2026 The LTAM Authors.
+// Tests for the policy-script front end.
+
+#include "storage/policy_script.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/rules/rule_engine.h"
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+constexpr const char kPolicy[] = R"(
+# A small campus.
+SITE NTU
+COMPOSITE SCE IN NTU
+ROOM SCE.GO IN SCE
+ROOM CAIS IN SCE
+EDGE SCE.GO CAIS
+ENTRY SCE.GO
+ENTRY SCE
+BOUNDARY SCE.GO 0 0 10 8
+DESCRIBE CAIS research centre
+
+SUBJECT Alice
+SUBJECT Bob
+SUPERVISOR Alice Bob
+GROUP Alice cais-lab
+ROLE Bob professor
+ATTR Alice office N4-02c
+
+AUTH Alice CAIS ENTER [5,20] EXIT [15,50] TIMES 2
+AUTH Alice SCE.GO ENTER [0,30]
+RULE FROM 7 BASE 0 SUBJECT Supervisor_Of COUNT min(n,2) LABEL r1
+)";
+
+TEST(PolicyScriptTest, ParsesFullExample) {
+  ASSERT_OK_AND_ASSIGN(SystemState state, ParsePolicyScript(kPolicy));
+  EXPECT_OK(state.graph.Validate());
+  EXPECT_EQ(state.graph.size(), 4u);
+  ASSERT_OK_AND_ASSIGN(LocationId go, state.graph.Find("SCE.GO"));
+  EXPECT_TRUE(state.graph.location(go).is_entry);
+  EXPECT_TRUE(state.graph.location(go).boundary.has_value());
+  ASSERT_OK_AND_ASSIGN(LocationId cais, state.graph.Find("CAIS"));
+  EXPECT_EQ(state.graph.location(cais).description, "research centre");
+
+  ASSERT_OK_AND_ASSIGN(SubjectId alice, state.profiles.Find("Alice"));
+  ASSERT_OK_AND_ASSIGN(SubjectId bob, state.profiles.Find("Bob"));
+  EXPECT_EQ(*state.profiles.SupervisorOf(alice), bob);
+  EXPECT_TRUE(state.profiles.IsInGroup(alice, "cais-lab"));
+  EXPECT_TRUE(state.profiles.HasRole(bob, "professor"));
+  EXPECT_EQ(*state.profiles.GetAttribute(alice, "office"), "N4-02c");
+
+  ASSERT_EQ(state.auth_db.size(), 2u);
+  const LocationTemporalAuthorization& a0 = state.auth_db.record(0).auth;
+  EXPECT_EQ(a0.entry_duration(), TimeInterval(5, 20));
+  EXPECT_EQ(a0.exit_duration(), TimeInterval(15, 50));
+  EXPECT_EQ(a0.max_entries(), 2);
+  // Default exit ([tis, inf]) and unlimited entries.
+  const LocationTemporalAuthorization& a1 = state.auth_db.record(1).auth;
+  EXPECT_EQ(a1.exit_duration(), TimeInterval(0, kChrononMax));
+  EXPECT_EQ(a1.max_entries(), kUnlimitedEntries);
+
+  ASSERT_EQ(state.rules.size(), 1u);
+  EXPECT_EQ(state.rules[0].valid_from, 7);
+  EXPECT_EQ(state.rules[0].base, 0u);
+  EXPECT_EQ(state.rules[0].label, "r1");
+  EXPECT_EQ(state.rules[0].op_subject->ToString(), "Supervisor_Of");
+  EXPECT_EQ(state.rules[0].exp_n->text(), "min(n,2)");
+}
+
+TEST(PolicyScriptTest, ScriptedRulesDeriveEndToEnd) {
+  ASSERT_OK_AND_ASSIGN(SystemState state, ParsePolicyScript(kPolicy));
+  RuleEngine rules(&state.auth_db, &state.profiles, &state.graph);
+  for (AuthorizationRule& rule : state.rules) {
+    ASSERT_OK(rules.AddRule(rule).status());
+  }
+  ASSERT_OK_AND_ASSIGN(DerivationReport report, rules.DeriveAll());
+  EXPECT_EQ(report.derived, 1u);
+  ASSERT_OK_AND_ASSIGN(SubjectId bob, state.profiles.Find("Bob"));
+  ASSERT_OK_AND_ASSIGN(LocationId cais, state.graph.Find("CAIS"));
+  EXPECT_TRUE(state.auth_db.CheckAccess(10, bob, cais).granted);
+}
+
+TEST(PolicyScriptTest, OperatorSpecsWithSpacesTokenize) {
+  std::string policy = R"(
+SITE G
+ROOM A IN G
+ROOM B IN G
+EDGE A B
+ENTRY A
+SUBJECT S
+AUTH S B ENTER [5, 20] EXIT [15, 50]
+RULE FROM 0 BASE 0 ENTRY INTERSECTION([10, 30]) LOCATION all_route_from(A)
+)";
+  ASSERT_OK_AND_ASSIGN(SystemState state, ParsePolicyScript(policy));
+  ASSERT_EQ(state.rules.size(), 1u);
+  EXPECT_EQ(state.rules[0].op_entry->ToString(), "INTERSECTION([10, 30])");
+  EXPECT_EQ(state.rules[0].op_location->ToString(), "all_route_from(A)");
+}
+
+TEST(PolicyScriptTest, ErrorsCarryLineNumbers) {
+  Status st = ParsePolicyScript("SITE G\nROOM A IN Nowhere\n").status();
+  ASSERT_TRUE(st.IsParseError());
+  EXPECT_NE(st.message().find("line 2"), std::string::npos);
+
+  st = ParsePolicyScript("ROOM A IN G\n").status();
+  EXPECT_NE(st.message().find("must start with SITE"), std::string::npos);
+
+  st = ParsePolicyScript("SITE G\nTELEPORT A B\n").status();
+  EXPECT_NE(st.message().find("unknown directive"), std::string::npos);
+
+  st = ParsePolicyScript("SITE G\nROOM A IN G\nENTRY A\nAUTH X A ENTER "
+                         "[0,1]\n")
+           .status();
+  EXPECT_NE(st.message().find("unknown subject"), std::string::npos);
+
+  // RULE BASE out of range.
+  st = ParsePolicyScript(
+           "SITE G\nROOM A IN G\nENTRY A\nSUBJECT S\nRULE FROM 0 BASE 3\n")
+           .status();
+  EXPECT_NE(st.message().find("BASE"), std::string::npos);
+}
+
+TEST(PolicyScriptTest, ValidationRunsAtEnd) {
+  // Two rooms without an edge: structurally invalid.
+  Status st = ParsePolicyScript(
+                  "SITE G\nROOM A IN G\nROOM B IN G\nENTRY A\n")
+                  .status();
+  EXPECT_TRUE(st.IsFailedPrecondition());
+}
+
+TEST(PolicyScriptTest, AuthViolatingDefinition4Rejected) {
+  Status st =
+      ParsePolicyScript(
+          "SITE G\nROOM A IN G\nENTRY A\nSUBJECT S\n"
+          "AUTH S A ENTER [10,20] EXIT [0,5]\n")
+          .status();
+  ASSERT_TRUE(st.IsParseError());
+  EXPECT_NE(st.message().find("line 5"), std::string::npos);
+}
+
+TEST(PolicyScriptTest, LoadFromFile) {
+  std::string path = ::testing::TempDir() + "/ltam_policy_test.ltam";
+  {
+    std::ofstream out(path);
+    out << kPolicy;
+  }
+  ASSERT_OK_AND_ASSIGN(SystemState state, LoadPolicyScript(path));
+  EXPECT_EQ(state.auth_db.size(), 2u);
+  std::remove(path.c_str());
+  EXPECT_TRUE(LoadPolicyScript("/nonexistent/x.ltam").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace ltam

@@ -1,0 +1,116 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "profile/user_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+TEST(ProfileTest, AddAndFind) {
+  UserProfileDatabase db;
+  ASSERT_OK_AND_ASSIGN(SubjectId alice, db.AddSubject("Alice"));
+  ASSERT_OK_AND_ASSIGN(SubjectId bob, db.AddSubject("Bob"));
+  EXPECT_EQ(*db.Find("Alice"), alice);
+  EXPECT_EQ(*db.Find("Bob"), bob);
+  EXPECT_TRUE(db.Find("Carol").status().IsNotFound());
+  EXPECT_TRUE(db.AddSubject("Alice").status().IsAlreadyExists());
+  EXPECT_TRUE(db.AddSubject("").status().IsInvalidArgument());
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.AllSubjects(), (std::vector<SubjectId>{alice, bob}));
+}
+
+TEST(ProfileTest, SupervisorRelation) {
+  UserProfileDatabase db;
+  ASSERT_OK_AND_ASSIGN(SubjectId alice, db.AddSubject("Alice"));
+  ASSERT_OK_AND_ASSIGN(SubjectId bob, db.AddSubject("Bob"));
+  EXPECT_TRUE(db.SupervisorOf(alice).status().IsNotFound());
+  ASSERT_OK(db.SetSupervisor(alice, bob));
+  EXPECT_EQ(*db.SupervisorOf(alice), bob);
+  EXPECT_EQ(db.SubordinatesOf(bob), std::vector<SubjectId>{alice});
+  // Clearing.
+  ASSERT_OK(db.SetSupervisor(alice, kInvalidSubject));
+  EXPECT_TRUE(db.SupervisorOf(alice).status().IsNotFound());
+}
+
+TEST(ProfileTest, SupervisorCyclesRejected) {
+  UserProfileDatabase db;
+  ASSERT_OK_AND_ASSIGN(SubjectId a, db.AddSubject("a"));
+  ASSERT_OK_AND_ASSIGN(SubjectId b, db.AddSubject("b"));
+  ASSERT_OK_AND_ASSIGN(SubjectId c, db.AddSubject("c"));
+  EXPECT_TRUE(db.SetSupervisor(a, a).IsInvalidArgument());
+  ASSERT_OK(db.SetSupervisor(b, a));
+  ASSERT_OK(db.SetSupervisor(c, b));
+  // a -> c would close the loop a <- b <- c <- a.
+  EXPECT_TRUE(db.SetSupervisor(a, c).IsInvalidArgument());
+  EXPECT_EQ(db.ManagementChain(c), (std::vector<SubjectId>{b, a}));
+}
+
+TEST(ProfileTest, Groups) {
+  UserProfileDatabase db;
+  ASSERT_OK_AND_ASSIGN(SubjectId alice, db.AddSubject("Alice"));
+  ASSERT_OK_AND_ASSIGN(SubjectId bob, db.AddSubject("Bob"));
+  ASSERT_OK(db.AddToGroup(alice, "staff"));
+  ASSERT_OK(db.AddToGroup(bob, "staff"));
+  ASSERT_OK(db.AddToGroup(alice, "admins"));
+  EXPECT_TRUE(db.IsInGroup(alice, "staff"));
+  EXPECT_FALSE(db.IsInGroup(bob, "admins"));
+  EXPECT_EQ(db.MembersOfGroup("staff"),
+            (std::vector<SubjectId>{alice, bob}));
+  ASSERT_OK(db.RemoveFromGroup(alice, "staff"));
+  EXPECT_EQ(db.MembersOfGroup("staff"), std::vector<SubjectId>{bob});
+  EXPECT_TRUE(db.MembersOfGroup("nobody").empty());
+  EXPECT_TRUE(db.AddToGroup(alice, "").IsInvalidArgument());
+}
+
+TEST(ProfileTest, Roles) {
+  UserProfileDatabase db;
+  ASSERT_OK_AND_ASSIGN(SubjectId alice, db.AddSubject("Alice"));
+  ASSERT_OK(db.AssignRole(alice, "guard"));
+  EXPECT_TRUE(db.HasRole(alice, "guard"));
+  EXPECT_EQ(db.SubjectsWithRole("guard"), std::vector<SubjectId>{alice});
+  ASSERT_OK(db.RevokeRole(alice, "guard"));
+  EXPECT_FALSE(db.HasRole(alice, "guard"));
+  EXPECT_TRUE(db.SubjectsWithRole("guard").empty());
+}
+
+TEST(ProfileTest, Attributes) {
+  UserProfileDatabase db;
+  ASSERT_OK_AND_ASSIGN(SubjectId alice, db.AddSubject("Alice"));
+  ASSERT_OK(db.SetAttribute(alice, "department", "SCE"));
+  EXPECT_EQ(*db.GetAttribute(alice, "department"), "SCE");
+  ASSERT_OK(db.SetAttribute(alice, "department", "EEE"));
+  EXPECT_EQ(*db.GetAttribute(alice, "department"), "EEE");
+  EXPECT_TRUE(db.GetAttribute(alice, "office").status().IsNotFound());
+  EXPECT_TRUE(db.SetAttribute(alice, "", "x").IsInvalidArgument());
+}
+
+TEST(ProfileTest, VersionBumpsOnMutation) {
+  UserProfileDatabase db;
+  uint64_t v0 = db.version();
+  ASSERT_OK_AND_ASSIGN(SubjectId alice, db.AddSubject("Alice"));
+  EXPECT_GT(db.version(), v0);
+  uint64_t v1 = db.version();
+  ASSERT_OK_AND_ASSIGN(SubjectId bob, db.AddSubject("Bob"));
+  ASSERT_OK(db.SetSupervisor(alice, bob));
+  EXPECT_GT(db.version(), v1);
+  uint64_t v2 = db.version();
+  ASSERT_OK(db.AddToGroup(alice, "staff"));
+  EXPECT_GT(db.version(), v2);
+}
+
+TEST(ProfileTest, OperationsOnUnknownSubjects) {
+  UserProfileDatabase db;
+  EXPECT_TRUE(db.SetSupervisor(7, kInvalidSubject).IsNotFound());
+  EXPECT_TRUE(db.AddToGroup(7, "g").IsNotFound());
+  EXPECT_TRUE(db.AssignRole(7, "r").IsNotFound());
+  EXPECT_TRUE(db.SetAttribute(7, "k", "v").IsNotFound());
+  EXPECT_TRUE(db.SupervisorOf(7).status().IsNotFound());
+  EXPECT_TRUE(db.SubordinatesOf(7).empty());
+  EXPECT_TRUE(db.ManagementChain(7).empty());
+}
+
+}  // namespace
+}  // namespace ltam

@@ -1,0 +1,164 @@
+// Copyright 2026 The LTAM Authors.
+// Tests for the query engine, including the authorized-route conditions
+// of Section 6.
+
+#include "query/query_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/graph_gen.h"
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(graph_, MakeFig4Graph());
+    ASSERT_OK_AND_ASSIGN(alice_, profiles_.AddSubject("Alice"));
+    ASSERT_OK_AND_ASSIGN(bob_, profiles_.AddSubject("Bob"));
+    ASSERT_OK_AND_ASSIGN(a_, graph_.Find("A"));
+    ASSERT_OK_AND_ASSIGN(b_, graph_.Find("B"));
+    ASSERT_OK_AND_ASSIGN(c_, graph_.Find("C"));
+    ASSERT_OK_AND_ASSIGN(d_, graph_.Find("D"));
+    // Table 1 authorizations for Alice.
+    Grant(alice_, a_, 2, 35, 20, 50);
+    Grant(alice_, b_, 40, 60, 55, 80);
+    Grant(alice_, c_, 38, 45, 70, 90);
+    Grant(alice_, d_, 5, 25, 10, 30);
+    engine_ = std::make_unique<QueryEngine>(&graph_, &auth_db_,
+                                            &movement_db_, &profiles_);
+  }
+
+  void Grant(SubjectId s, LocationId l, Chronon es, Chronon ee, Chronon xs,
+             Chronon xe) {
+    auth_db_.Add(LocationTemporalAuthorization::Make(
+                     TimeInterval(es, ee), TimeInterval(xs, xe),
+                     LocationAuthorization{s, l}, 1)
+                     .ValueOrDie());
+  }
+
+  MultilevelLocationGraph graph_;
+  UserProfileDatabase profiles_;
+  AuthorizationDatabase auth_db_;
+  MovementDatabase movement_db_;
+  std::unique_ptr<QueryEngine> engine_;
+  SubjectId alice_ = kInvalidSubject;
+  SubjectId bob_ = kInvalidSubject;
+  LocationId a_ = kInvalidLocation;
+  LocationId b_ = kInvalidLocation;
+  LocationId c_ = kInvalidLocation;
+  LocationId d_ = kInvalidLocation;
+};
+
+TEST_F(QueryEngineTest, CanAccess) {
+  EXPECT_TRUE(engine_->CanAccess(alice_, a_, 10).granted);
+  EXPECT_FALSE(engine_->CanAccess(alice_, a_, 36).granted);
+  EXPECT_FALSE(engine_->CanAccess(bob_, a_, 10).granted);
+}
+
+TEST_F(QueryEngineTest, AuthorizationsOf) {
+  EXPECT_EQ(engine_->AuthorizationsOf(alice_).size(), 4u);
+  EXPECT_TRUE(engine_->AuthorizationsOf(bob_).empty());
+}
+
+TEST_F(QueryEngineTest, WhoCanAccess) {
+  Grant(bob_, a_, 100, 200, 100, 300);
+  std::vector<SubjectId> who = engine_->WhoCanAccess(a_, TimeInterval(0, 50));
+  EXPECT_EQ(who, std::vector<SubjectId>{alice_});
+  who = engine_->WhoCanAccess(a_, TimeInterval(0, 150));
+  EXPECT_EQ(who, (std::vector<SubjectId>{alice_, bob_}));
+  EXPECT_TRUE(engine_->WhoCanAccess(c_, TimeInterval(0, 10)).empty());
+}
+
+TEST_F(QueryEngineTest, InaccessibleAndAccessibleAreComplements) {
+  ASSERT_OK_AND_ASSIGN(std::vector<LocationId> inaccessible,
+                       engine_->InaccessibleLocations(alice_));
+  EXPECT_EQ(inaccessible, std::vector<LocationId>{c_});
+  ASSERT_OK_AND_ASSIGN(std::vector<LocationId> accessible,
+                       engine_->AccessibleLocations(alice_));
+  EXPECT_EQ(accessible, (std::vector<LocationId>{a_, b_, d_}));
+}
+
+TEST_F(QueryEngineTest, CheckRouteAuthorizedChain) {
+  // Route <A, B> for Alice over [0, inf): grant_A = [2,35], departure_A =
+  // [20,50]; within [20,50], B's grant = [40,50] — authorized.
+  ASSERT_OK_AND_ASSIGN(
+      AuthorizedRoute route,
+      engine_->CheckRoute(alice_, {a_, b_}, TimeInterval(0, kChrononMax)));
+  ASSERT_EQ(route.grants.size(), 2u);
+  EXPECT_EQ(route.grants[0], TimeInterval(2, 35));
+  EXPECT_EQ(route.departures[0], TimeInterval(20, 50));
+  EXPECT_EQ(route.grants[1], TimeInterval(40, 50));
+}
+
+TEST_F(QueryEngineTest, CheckRouteUnauthorized) {
+  // Route <A, B, C>: from B's departure [55,80], C's entry [38,45] has
+  // passed — not authorized (that is why C is inaccessible).
+  EXPECT_TRUE(engine_->CheckRoute(alice_, {a_, b_, c_},
+                                  TimeInterval(0, kChrononMax))
+                  .status()
+                  .IsNotFound());
+  // Route <A, D, C>: from D's departure [20,30], C's entry [38,45] has
+  // not started — also not authorized.
+  EXPECT_TRUE(engine_->CheckRoute(alice_, {a_, d_, c_},
+                                  TimeInterval(0, kChrononMax))
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(QueryEngineTest, CheckRouteRejectsNonRoutes) {
+  EXPECT_TRUE(engine_->CheckRoute(alice_, {}, TimeInterval(0, 10))
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(engine_->CheckRoute(alice_, {a_, c_}, TimeInterval(0, 10))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(QueryEngineTest, CheckRouteWindowMatters) {
+  // Restricting the request window past A's entry duration kills the
+  // chain at the first step.
+  EXPECT_TRUE(engine_->CheckRoute(alice_, {a_, b_}, TimeInterval(36, 100))
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(QueryEngineTest, FindAuthorizedRoute) {
+  ASSERT_OK_AND_ASSIGN(
+      AuthorizedRoute route,
+      engine_->FindAuthorizedRoute(alice_, a_, b_,
+                                   TimeInterval(0, kChrononMax)));
+  EXPECT_EQ(route.route, (std::vector<LocationId>{a_, b_}));
+  // C is unreachable under any route.
+  EXPECT_TRUE(engine_->FindAuthorizedRoute(alice_, a_, c_,
+                                           TimeInterval(0, kChrononMax))
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(QueryEngineTest, MovementQueries) {
+  ASSERT_OK(movement_db_.RecordMovement(10, alice_, a_));
+  ASSERT_OK(movement_db_.RecordMovement(20, bob_, a_));
+  ASSERT_OK(movement_db_.RecordMovement(25, alice_, b_));
+  EXPECT_EQ(engine_->WhereWas(alice_, 15), a_);
+  EXPECT_EQ(engine_->WhereWas(alice_, 30), b_);
+  EXPECT_EQ(engine_->Occupants(a_, 22), (std::vector<SubjectId>{alice_, bob_}));
+  std::vector<MovementDatabase::Contact> contacts =
+      engine_->Contacts(alice_, TimeInterval(0, 100));
+  ASSERT_EQ(contacts.size(), 1u);
+  EXPECT_EQ(contacts[0].other, bob_);
+}
+
+TEST_F(QueryEngineTest, OverstayingAt) {
+  ASSERT_OK(movement_db_.RecordMovement(10, alice_, a_));
+  // Alice's only exit window for A is [20, 50].
+  EXPECT_TRUE(engine_->OverstayingAt(30).empty());
+  EXPECT_EQ(engine_->OverstayingAt(51), std::vector<SubjectId>{alice_});
+  // Bob (outside) never shows up.
+  EXPECT_EQ(engine_->OverstayingAt(51).size(), 1u);
+}
+
+}  // namespace
+}  // namespace ltam

@@ -1,0 +1,187 @@
+// Copyright 2026 The LTAM Authors.
+// Tests for the textual query language (the paper's future-work front
+// end).
+
+#include "query/query_language.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/graph_gen.h"
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+class QueryLanguageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(graph_, MakeFig4Graph());
+    ASSERT_OK_AND_ASSIGN(alice_, profiles_.AddSubject("Alice"));
+    ASSERT_OK_AND_ASSIGN(bob_, profiles_.AddSubject("Bob"));
+    ASSERT_OK_AND_ASSIGN(a_, graph_.Find("A"));
+    ASSERT_OK_AND_ASSIGN(b_, graph_.Find("B"));
+    Grant(alice_, a_, 2, 35, 20, 50);
+    Grant(alice_, b_, 40, 60, 55, 80);
+    ASSERT_OK(movement_db_.RecordMovement(10, alice_, a_));
+    ASSERT_OK(movement_db_.RecordMovement(12, bob_, a_));
+    engine_ = std::make_unique<QueryEngine>(&graph_, &auth_db_,
+                                            &movement_db_, &profiles_);
+    interp_ = std::make_unique<QueryInterpreter>(
+        engine_.get(), &graph_, &profiles_, &movement_db_, &auth_db_);
+  }
+
+  void Grant(SubjectId s, LocationId l, Chronon es, Chronon ee, Chronon xs,
+             Chronon xe) {
+    auth_db_.Add(LocationTemporalAuthorization::Make(
+                     TimeInterval(es, ee), TimeInterval(xs, xe),
+                     LocationAuthorization{s, l}, 2)
+                     .ValueOrDie());
+  }
+
+  QueryResult Run(const std::string& q) {
+    Result<QueryResult> r = interp_->Run(q);
+    EXPECT_TRUE(r.ok()) << q << " -> " << r.status().ToString();
+    return r.ok() ? *r : QueryResult{};
+  }
+
+  MultilevelLocationGraph graph_;
+  UserProfileDatabase profiles_;
+  AuthorizationDatabase auth_db_;
+  MovementDatabase movement_db_;
+  std::unique_ptr<QueryEngine> engine_;
+  std::unique_ptr<QueryInterpreter> interp_;
+  SubjectId alice_ = kInvalidSubject;
+  SubjectId bob_ = kInvalidSubject;
+  LocationId a_ = kInvalidLocation;
+  LocationId b_ = kInvalidLocation;
+};
+
+TEST_F(QueryLanguageTest, CanAccess) {
+  QueryResult r = Run("CAN Alice ACCESS A AT 10");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_NE(r.rows[0][3].find("granted"), std::string::npos);
+  r = Run("can Alice access A at 36");  // Keywords case-insensitive.
+  EXPECT_NE(r.rows[0][3].find("denied"), std::string::npos);
+}
+
+TEST_F(QueryLanguageTest, WhenCanAccess) {
+  // Alice's overall grant time for B: entry [40,60] clipped by A's
+  // departure window [20,50] -> [40,50].
+  QueryResult r = Run("WHEN CAN Alice ACCESS B");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], "[40, 50]");
+  r = Run("WHEN CAN Alice ACCESS A IN G");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], "[2, 35]");
+  // Bob has no authorizations: no windows.
+  QueryResult none = Run("WHEN CAN Bob ACCESS A");
+  EXPECT_TRUE(none.rows.empty());
+  // Composite locations are rejected.
+  EXPECT_TRUE(interp_->Run("WHEN CAN Alice ACCESS G")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(QueryLanguageTest, AuthsFor) {
+  QueryResult r = Run("AUTHS FOR Alice");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_NE(r.rows[0][1].find("(Alice, A)"), std::string::npos);
+  EXPECT_EQ(r.rows[0][2], "explicit");
+}
+
+TEST_F(QueryLanguageTest, WhoCanAccess) {
+  QueryResult r = Run("WHO CAN ACCESS A DURING [0, 100]");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], "Alice");
+}
+
+TEST_F(QueryLanguageTest, AccessibleAndInaccessible) {
+  QueryResult acc = Run("ACCESSIBLE FOR Alice");
+  // A and B accessible; C and D not.
+  ASSERT_EQ(acc.rows.size(), 2u);
+  EXPECT_EQ(acc.rows[0][0], "A");
+  EXPECT_EQ(acc.rows[1][0], "B");
+  QueryResult inacc = Run("INACCESSIBLE FOR Alice IN G");
+  ASSERT_EQ(inacc.rows.size(), 2u);
+  EXPECT_EQ(inacc.rows[0][0], "C");
+  EXPECT_EQ(inacc.rows[1][0], "D");
+}
+
+TEST_F(QueryLanguageTest, Route) {
+  QueryResult r = Run("ROUTE FOR Alice FROM A TO B");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][1], "A");
+  EXPECT_EQ(r.rows[1][1], "B");
+  EXPECT_EQ(r.rows[0][2], "[2, 35]");
+  // With an explicit impossible window the query errors.
+  EXPECT_TRUE(interp_->Run("ROUTE FOR Alice FROM A TO B DURING [90, 100]")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(QueryLanguageTest, WhereWasAndOccupants) {
+  QueryResult r = Run("WHERE WAS Alice AT 11");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][2], "A");
+  r = Run("WHERE WAS Alice AT 5");
+  EXPECT_EQ(r.rows[0][2], "outside");
+  r = Run("OCCUPANTS OF A AT 13");
+  ASSERT_EQ(r.rows.size(), 2u);
+}
+
+TEST_F(QueryLanguageTest, Contacts) {
+  QueryResult r = Run("CONTACTS OF Alice DURING [0, 100]");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], "Bob");
+  EXPECT_EQ(r.rows[0][1], "A");
+  // MIN filter.
+  QueryResult none = Run("CONTACTS OF Alice DURING [0, 100] MIN 10000");
+  EXPECT_TRUE(none.rows.empty());
+}
+
+TEST_F(QueryLanguageTest, Overstaying) {
+  QueryResult r = Run("OVERSTAYING AT 51");
+  // Alice's exit window for A ends at 50; Bob has no authorization at all
+  // (every window "closed"), so both are flagged.
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0][0], "Alice");
+  EXPECT_EQ(r.rows[1][0], "Bob");
+}
+
+TEST_F(QueryLanguageTest, History) {
+  QueryResult r = Run("HISTORY OF Alice");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0], "10");
+  EXPECT_EQ(r.rows[0][1], "(inside)");
+  EXPECT_EQ(r.rows[0][2], "A");
+}
+
+TEST_F(QueryLanguageTest, TableRendering) {
+  QueryResult r = Run("WHO CAN ACCESS A DURING [0, 100]");
+  std::string table = r.ToString();
+  EXPECT_NE(table.find("subject"), std::string::npos);
+  EXPECT_NE(table.find("Alice"), std::string::npos);
+  EXPECT_NE(table.find("---"), std::string::npos);
+  QueryResult empty = Run("WHO CAN ACCESS B DURING [0, 10]");
+  EXPECT_NE(empty.ToString().find("(no rows)"), std::string::npos);
+}
+
+TEST_F(QueryLanguageTest, ParseErrors) {
+  EXPECT_TRUE(interp_->Run("").status().IsParseError());
+  EXPECT_TRUE(interp_->Run("FROBNICATE EVERYTHING").status().IsParseError());
+  EXPECT_TRUE(interp_->Run("CAN Alice ACCESS A").status().IsParseError());
+  EXPECT_TRUE(interp_->Run("CAN Alice ACCESS A AT ten").status()
+                  .IsParseError());
+  EXPECT_TRUE(interp_->Run("WHO CAN ACCESS A DURING [0,").status()
+                  .IsParseError());
+  EXPECT_TRUE(interp_->Run("CAN Alice ACCESS A AT 10 EXTRA").status()
+                  .IsParseError());
+}
+
+TEST_F(QueryLanguageTest, NameResolutionErrors) {
+  EXPECT_TRUE(interp_->Run("CAN Carol ACCESS A AT 10").status().IsNotFound());
+  EXPECT_TRUE(interp_->Run("CAN Alice ACCESS Z AT 10").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace ltam

@@ -1,0 +1,105 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ltam {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformRangeSingleton) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.UniformRange(5, 5), 5);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  // Mean should be near 0.5.
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+  // Degenerate probabilities.
+  Rng rng2(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng2.Bernoulli(0.0));
+    EXPECT_TRUE(rng2.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng rng(42);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(rng.Next());
+  rng.Seed(42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.Next(), first[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng rng(0);
+  uint64_t v = rng.Next();
+  // Must not get stuck at zero.
+  EXPECT_NE(rng.Next(), v);
+}
+
+}  // namespace
+}  // namespace ltam

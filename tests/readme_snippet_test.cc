@@ -1,0 +1,47 @@
+// Copyright 2026 The LTAM Authors.
+// Keeps README.md honest: the quickstart snippet, compiled and executed
+// as written (modulo assertions replacing the comments).
+
+#include <gtest/gtest.h>
+
+#include "core/auth_database.h"
+#include "engine/access_control_engine.h"
+#include "graph/multilevel_graph.h"
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+TEST(ReadmeSnippetTest, QuickstartCompilesAndBehaves) {
+  // Layout (Definition 1): two rooms, CAIS is the entry location.
+  MultilevelLocationGraph graph("Lab");
+  LocationId cais = graph.AddPrimitive("CAIS", graph.root()).ValueOrDie();
+  LocationId chipes = graph.AddPrimitive("CHIPES", graph.root()).ValueOrDie();
+  ASSERT_OK(graph.AddEdge(cais, chipes));
+  ASSERT_OK(graph.SetEntry(cais));
+
+  // Subjects and a location-temporal authorization (Definition 4).
+  UserProfileDatabase profiles;
+  SubjectId alice = profiles.AddSubject("Alice").ValueOrDie();
+  AuthorizationDatabase auth_db;
+  auth_db.Add(LocationTemporalAuthorization::Make(
+                  TimeInterval(10, 20), TimeInterval(10, 50),
+                  LocationAuthorization{alice, cais}, 2)
+                  .ValueOrDie());
+
+  // Enforcement (Figure 3).
+  MovementDatabase movements;
+  AccessControlEngine engine(&graph, &auth_db, &movements, &profiles);
+  Decision d = engine.RequestEntry(/*t=*/10, alice, cais);
+  EXPECT_TRUE(d.granted);  // "granted"
+
+  engine.Tick(/*t=*/60);  // "Alice overstayed -> kOverstay alert"
+  bool overstay = false;
+  for (const Alert& alert : engine.alerts()) {
+    if (alert.type == AlertType::kOverstay) overstay = true;
+  }
+  EXPECT_TRUE(overstay);
+}
+
+}  // namespace
+}  // namespace ltam

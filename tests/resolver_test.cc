@@ -1,0 +1,90 @@
+// Copyright 2026 The LTAM Authors.
+// Tests for position-fix resolution and the engine's tracking pipeline.
+
+#include "engine/location_resolver.h"
+
+#include <gtest/gtest.h>
+
+#include "engine/access_control_engine.h"
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+class ResolverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two adjacent rooms with physical boundaries; A is the entry.
+    ASSERT_OK_AND_ASSIGN(a_, graph_.AddPrimitive("A", graph_.root()));
+    ASSERT_OK_AND_ASSIGN(b_, graph_.AddPrimitive("B", graph_.root()));
+    ASSERT_OK(graph_.AddEdge(a_, b_));
+    ASSERT_OK(graph_.SetEntry(a_));
+    ASSERT_OK(graph_.SetBoundary(a_, Polygon::Rect(0, 0, 10, 10)));
+    ASSERT_OK(graph_.SetBoundary(b_, Polygon::Rect(10, 0, 20, 10)));
+    ASSERT_OK_AND_ASSIGN(alice_, profiles_.AddSubject("Alice"));
+  }
+
+  MultilevelLocationGraph graph_{"Site"};
+  UserProfileDatabase profiles_;
+  AuthorizationDatabase auth_db_;
+  MovementDatabase movement_db_;
+  SubjectId alice_ = kInvalidSubject;
+  LocationId a_ = kInvalidLocation;
+  LocationId b_ = kInvalidLocation;
+};
+
+TEST_F(ResolverTest, ResolvesPointsToLocations) {
+  ASSERT_OK_AND_ASSIGN(LocationResolver resolver,
+                       LocationResolver::Build(graph_));
+  EXPECT_EQ(resolver.size(), 2u);
+  auto in_a = resolver.Resolve({5, 5});
+  ASSERT_TRUE(in_a.has_value());
+  EXPECT_EQ(*in_a, a_);
+  auto in_b = resolver.Resolve({15, 5});
+  ASSERT_TRUE(in_b.has_value());
+  EXPECT_EQ(*in_b, b_);
+  EXPECT_FALSE(resolver.Resolve({50, 50}).has_value());
+}
+
+TEST_F(ResolverTest, BuildFailsWithoutBoundaries) {
+  MultilevelLocationGraph bare("Bare");
+  ASSERT_OK_AND_ASSIGN(LocationId r, bare.AddPrimitive("R", bare.root()));
+  (void)r;
+  EXPECT_TRUE(LocationResolver::Build(bare).status().IsFailedPrecondition());
+}
+
+TEST_F(ResolverTest, EngineConsumesPositionFixes) {
+  auth_db_.Add(LocationTemporalAuthorization::Make(
+                   TimeInterval(0, 100), TimeInterval(0, 200),
+                   LocationAuthorization{alice_, a_}, kUnlimitedEntries)
+                   .ValueOrDie());
+  AccessControlEngine engine(&graph_, &auth_db_, &movement_db_, &profiles_);
+  ASSERT_OK_AND_ASSIGN(LocationResolver resolver,
+                       LocationResolver::Build(graph_));
+  engine.AttachResolver(std::move(resolver));
+
+  // Fix inside A: authorized, movement recorded, no alerts.
+  engine.HandlePositionFix({10, alice_, {5, 5}});
+  EXPECT_EQ(movement_db_.CurrentLocation(alice_), a_);
+  EXPECT_TRUE(engine.alerts().empty());
+
+  // Fix inside B: adjacent but unauthorized -> unauthorized presence.
+  engine.HandlePositionFix({20, alice_, {15, 5}});
+  EXPECT_EQ(movement_db_.CurrentLocation(alice_), b_);
+  ASSERT_EQ(engine.alerts().size(), 1u);
+  EXPECT_EQ(engine.alerts()[0].type, AlertType::kUnauthorizedPresence);
+
+  // Fix outside all boundaries: treated as leaving the site.
+  engine.HandlePositionFix({30, alice_, {100, 100}});
+  EXPECT_EQ(movement_db_.CurrentLocation(alice_), kInvalidLocation);
+}
+
+TEST_F(ResolverTest, FixWithoutResolverAlerts) {
+  AccessControlEngine engine(&graph_, &auth_db_, &movement_db_, &profiles_);
+  engine.HandlePositionFix({10, alice_, {5, 5}});
+  ASSERT_EQ(engine.alerts().size(), 1u);
+  EXPECT_EQ(engine.alerts()[0].type, AlertType::kImpossibleMovement);
+}
+
+}  // namespace
+}  // namespace ltam

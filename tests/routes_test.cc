@@ -1,0 +1,167 @@
+// Copyright 2026 The LTAM Authors.
+// Tests for route finding, including the paper's simple and complex route
+// examples over the NTU campus graph (Section 3.1).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/multilevel_graph.h"
+#include "sim/graph_gen.h"
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+using testing_util::Names;
+
+class NtuRoutesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(graph_, MakeNtuCampusGraph());
+  }
+
+  LocationId Id(const std::string& name) {
+    return graph_.Find(name).ValueOrDie();
+  }
+
+  MultilevelLocationGraph graph_;
+};
+
+TEST_F(NtuRoutesTest, PaperSimpleRouteIsValid) {
+  // <SCE.Dean's Office, SCE.SectionA, SCE.SectionB, CAIS> (Section 3.1).
+  std::vector<LocationId> route = {Id("SCE.DeanOffice"), Id("SCE.SectionA"),
+                                   Id("SCE.SectionB"), Id("CAIS")};
+  EXPECT_TRUE(graph_.IsRoute(route));
+  EXPECT_TRUE(graph_.IsSimpleRoute(route));
+}
+
+TEST_F(NtuRoutesTest, PaperComplexRouteIsValid) {
+  // <EEE.Dean's Office, EEE.SectionA, EEE.GO, SCE.GO, SCE.SectionA,
+  //  SCE.Dean's Office> (Section 3.1).
+  std::vector<LocationId> route = {Id("EEE.DeanOffice"), Id("EEE.SectionA"),
+                                   Id("EEE.GO"),        Id("SCE.GO"),
+                                   Id("SCE.SectionA"),  Id("SCE.DeanOffice")};
+  EXPECT_TRUE(graph_.IsRoute(route));
+  // It crosses two location graphs, so it is not simple.
+  EXPECT_FALSE(graph_.IsSimpleRoute(route));
+}
+
+TEST_F(NtuRoutesTest, FindRouteCrossSchool) {
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<LocationId> route,
+      graph_.FindRoute(Id("EEE.DeanOffice"), Id("SCE.DeanOffice")));
+  // BFS shortest: exactly the paper's complex route.
+  EXPECT_EQ(Names(graph_, route),
+            (std::vector<std::string>{"EEE.DeanOffice", "EEE.SectionA",
+                                      "EEE.GO", "SCE.GO", "SCE.SectionA",
+                                      "SCE.DeanOffice"}));
+}
+
+TEST_F(NtuRoutesTest, FindRouteWithinComposite) {
+  ASSERT_OK_AND_ASSIGN(LocationId sce, graph_.Find("SCE"));
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<LocationId> route,
+      graph_.FindRouteWithin(sce, Id("SCE.GO"), Id("CAIS")));
+  EXPECT_EQ(Names(graph_, route),
+            (std::vector<std::string>{"SCE.GO", "SCE.SectionA",
+                                      "SCE.SectionB", "CAIS"}));
+  // Restricting to EEE makes SCE rooms unreachable.
+  ASSERT_OK_AND_ASSIGN(LocationId eee, graph_.Find("EEE"));
+  EXPECT_TRUE(graph_.FindRouteWithin(eee, Id("EEE.GO"), Id("CAIS"))
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(NtuRoutesTest, TrivialRoute) {
+  ASSERT_OK_AND_ASSIGN(std::vector<LocationId> route,
+                       graph_.FindRoute(Id("CAIS"), Id("CAIS")));
+  EXPECT_EQ(route, std::vector<LocationId>{Id("CAIS")});
+  EXPECT_TRUE(graph_.IsRoute(route));
+  EXPECT_TRUE(graph_.IsSimpleRoute(route));
+}
+
+TEST_F(NtuRoutesTest, RoutesToCompositesAreRejected) {
+  ASSERT_OK_AND_ASSIGN(LocationId sce, graph_.Find("SCE"));
+  EXPECT_TRUE(graph_.FindRoute(Id("CAIS"), sce).status().IsInvalidArgument());
+}
+
+TEST_F(NtuRoutesTest, EnumerateRoutesGoToCais) {
+  // Example 3's two GO -> CAIS routes: via SectionB directly and via
+  // SectionC/CHIPES. Scoped to SCE — the unscoped enumeration also finds
+  // detours through the other schools (cross-school complex routes).
+  ASSERT_OK_AND_ASSIGN(LocationId sce, graph_.Find("SCE"));
+  std::vector<std::vector<LocationId>> routes =
+      graph_.EnumerateRoutesWithin(sce, Id("SCE.GO"), Id("CAIS"), 16, 16);
+  std::vector<std::vector<LocationId>> unscoped =
+      graph_.EnumerateRoutes(Id("SCE.GO"), Id("CAIS"), 64, 16);
+  EXPECT_GT(unscoped.size(), routes.size());
+  ASSERT_EQ(routes.size(), 2u);
+  std::vector<std::vector<std::string>> names;
+  for (const auto& r : routes) names.push_back(Names(graph_, r));
+  std::sort(names.begin(), names.end(),
+            [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  EXPECT_EQ(names[0],
+            (std::vector<std::string>{"SCE.GO", "SCE.SectionA",
+                                      "SCE.SectionB", "CAIS"}));
+  EXPECT_EQ(names[1],
+            (std::vector<std::string>{"SCE.GO", "SCE.SectionA",
+                                      "SCE.SectionB", "SCE.SectionC",
+                                      "CHIPES", "CAIS"}));
+}
+
+TEST_F(NtuRoutesTest, EnumerateRoutesRespectsCaps) {
+  EXPECT_TRUE(graph_.EnumerateRoutes(Id("SCE.GO"), Id("CAIS"), 0).empty());
+  EXPECT_EQ(graph_.EnumerateRoutes(Id("SCE.GO"), Id("CAIS"), 1).size(), 1u);
+  // Length cap below the shortest route length yields nothing.
+  EXPECT_TRUE(graph_.EnumerateRoutes(Id("SCE.GO"), Id("CAIS"), 16, 3).empty());
+}
+
+TEST_F(NtuRoutesTest, LowestCommonComposite) {
+  ASSERT_OK_AND_ASSIGN(LocationId sce, graph_.Find("SCE"));
+  ASSERT_OK_AND_ASSIGN(LocationId lca,
+                       graph_.LowestCommonComposite(Id("SCE.GO"), Id("CAIS")));
+  EXPECT_EQ(lca, sce);
+  // Cross-school pairs meet at the root.
+  ASSERT_OK_AND_ASSIGN(
+      LocationId root_lca,
+      graph_.LowestCommonComposite(Id("SCE.GO"), Id("EEE.GO")));
+  EXPECT_EQ(root_lca, graph_.root());
+  // A room and its own school.
+  ASSERT_OK_AND_ASSIGN(LocationId self_lca,
+                       graph_.LowestCommonComposite(Id("CAIS"), sce));
+  EXPECT_EQ(self_lca, sce);
+  EXPECT_TRUE(graph_.LowestCommonComposite(Id("CAIS"), 9999)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(NtuRoutesTest, IsRouteRejectsBrokenSequences) {
+  EXPECT_FALSE(graph_.IsRoute({}));
+  EXPECT_FALSE(graph_.IsRoute({Id("SCE.GO"), Id("CAIS")}));  // Not adjacent.
+  // Composite in the middle.
+  ASSERT_OK_AND_ASSIGN(LocationId sce, graph_.Find("SCE"));
+  EXPECT_FALSE(graph_.IsRoute({Id("SCE.GO"), sce}));
+}
+
+TEST(RouteGridTest, GridRoutesAreShortest) {
+  ASSERT_OK_AND_ASSIGN(MultilevelLocationGraph g, MakeGridGraph(5, 5));
+  ASSERT_OK_AND_ASSIGN(LocationId from, g.Find("R0_0"));
+  ASSERT_OK_AND_ASSIGN(LocationId to, g.Find("R4_4"));
+  ASSERT_OK_AND_ASSIGN(std::vector<LocationId> route, g.FindRoute(from, to));
+  // Manhattan distance 8 -> 9 locations.
+  EXPECT_EQ(route.size(), 9u);
+  EXPECT_TRUE(g.IsRoute(route));
+}
+
+TEST(RouteGridTest, DisconnectedEndpointsReportNotFound) {
+  // Two sibling rooms with no edge: unreachable (invalid as a location
+  // graph, but routing should still answer NotFound, not crash).
+  MultilevelLocationGraph g;
+  ASSERT_OK_AND_ASSIGN(LocationId a, g.AddPrimitive("a", g.root()));
+  ASSERT_OK_AND_ASSIGN(LocationId b, g.AddPrimitive("b", g.root()));
+  EXPECT_TRUE(g.FindRoute(a, b).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace ltam

@@ -1,0 +1,183 @@
+// Copyright 2026 The LTAM Authors.
+// Whole-system snapshot round-trip tests.
+
+#include "storage/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/inaccessible.h"
+#include "sim/graph_gen.h"
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/ltam_snap_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()) +
+            ".snap";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+SystemState MakeRichState() {
+  SystemState state;
+  state.graph = MakeNtuCampusGraph().ValueOrDie();
+  SubjectId alice = state.profiles.AddSubject("Alice").ValueOrDie();
+  SubjectId bob = state.profiles.AddSubject("Bob").ValueOrDie();
+  EXPECT_TRUE(state.profiles.SetSupervisor(alice, bob).ok());
+  EXPECT_TRUE(state.profiles.AddToGroup(alice, "cais-lab").ok());
+  EXPECT_TRUE(state.profiles.AssignRole(bob, "professor").ok());
+  EXPECT_TRUE(state.profiles.SetAttribute(alice, "office", "N4-02c").ok());
+
+  LocationId cais = state.graph.Find("CAIS").ValueOrDie();
+  LocationId go = state.graph.Find("SCE.GO").ValueOrDie();
+  EXPECT_TRUE(state.graph.SetBoundary(go, Polygon::Rect(0, 0, 10, 8)).ok());
+  EXPECT_TRUE(state.graph.SetDescription(cais, "research centre").ok());
+
+  AuthId a1 = state.auth_db.Add(
+      LocationTemporalAuthorization::Make(
+          TimeInterval(5, 20), TimeInterval(15, 50),
+          LocationAuthorization{alice, cais}, 2)
+          .ValueOrDie());
+  AuthId a2 = state.auth_db.AddDerived(
+      LocationTemporalAuthorization::Make(
+          TimeInterval(5, 20), TimeInterval(15, 50),
+          LocationAuthorization{bob, cais}, 2)
+          .ValueOrDie(),
+      0);
+  EXPECT_TRUE(state.auth_db.RecordEntry(a1).ok());
+  EXPECT_TRUE(state.auth_db.Revoke(a2).ok());
+
+  AuthorizationRule rule;
+  rule.id = 0;
+  rule.valid_from = 7;
+  rule.base = a1;
+  rule.op_entry = TemporalOperatorPtr(new IntersectionOp(TimeInterval(10, 30)));
+  rule.op_subject = SubjectOperatorPtr(new SupervisorOfOp());
+  rule.op_location = LocationOperatorPtr(new AllRouteFromOp("SCE.GO"));
+  rule.exp_n = CountExpr::Parse("min(n, 2)").ValueOrDie();
+  rule.label = "r2";
+  state.rules.push_back(rule);
+
+  EXPECT_TRUE(state.movements.RecordMovement(10, alice, go).ok());
+  EXPECT_TRUE(state.movements.RecordMovement(20, alice, kInvalidLocation).ok());
+  return state;
+}
+
+TEST_F(SnapshotTest, RoundTripPreservesEverything) {
+  SystemState state = MakeRichState();
+  ASSERT_OK(SaveSnapshot(state, path_));
+  ASSERT_OK_AND_ASSIGN(SystemState loaded, LoadSnapshot(path_));
+
+  // Graph.
+  EXPECT_EQ(loaded.graph.size(), state.graph.size());
+  EXPECT_OK(loaded.graph.Validate());
+  ASSERT_OK_AND_ASSIGN(LocationId cais, loaded.graph.Find("CAIS"));
+  EXPECT_EQ(loaded.graph.location(cais).description, "research centre");
+  ASSERT_OK_AND_ASSIGN(LocationId go, loaded.graph.Find("SCE.GO"));
+  EXPECT_TRUE(loaded.graph.location(go).boundary.has_value());
+  EXPECT_TRUE(loaded.graph.location(go).is_entry);
+  EXPECT_EQ(loaded.graph.Edges().size(), state.graph.Edges().size());
+
+  // Profiles.
+  ASSERT_OK_AND_ASSIGN(SubjectId alice, loaded.profiles.Find("Alice"));
+  ASSERT_OK_AND_ASSIGN(SubjectId bob, loaded.profiles.Find("Bob"));
+  EXPECT_EQ(*loaded.profiles.SupervisorOf(alice), bob);
+  EXPECT_TRUE(loaded.profiles.IsInGroup(alice, "cais-lab"));
+  EXPECT_TRUE(loaded.profiles.HasRole(bob, "professor"));
+  EXPECT_EQ(*loaded.profiles.GetAttribute(alice, "office"), "N4-02c");
+
+  // Authorizations: ids, ledger, revocation, provenance.
+  EXPECT_EQ(loaded.auth_db.size(), 2u);
+  EXPECT_EQ(loaded.auth_db.active_size(), 1u);
+  EXPECT_EQ(loaded.auth_db.record(0).entries_used, 1);
+  EXPECT_EQ(loaded.auth_db.record(0).auth, state.auth_db.record(0).auth);
+  EXPECT_TRUE(loaded.auth_db.record(1).revoked);
+  EXPECT_EQ(loaded.auth_db.record(1).origin, AuthOrigin::kDerived);
+  EXPECT_EQ(loaded.auth_db.record(1).source_rule, 0u);
+
+  // Rules reconstructed through the registries.
+  ASSERT_EQ(loaded.rules.size(), 1u);
+  EXPECT_EQ(loaded.rules[0].valid_from, 7);
+  EXPECT_EQ(loaded.rules[0].base, 0u);
+  EXPECT_EQ(loaded.rules[0].op_entry->ToString(), "INTERSECTION([10, 30])");
+  EXPECT_EQ(loaded.rules[0].op_subject->ToString(), "Supervisor_Of");
+  EXPECT_EQ(loaded.rules[0].op_location->ToString(),
+            "all_route_from(SCE.GO)");
+  EXPECT_EQ(loaded.rules[0].exp_n->text(), "min(n, 2)");
+  EXPECT_EQ(loaded.rules[0].label, "r2");
+
+  // Movements.
+  EXPECT_EQ(loaded.movements.history().size(), 2u);
+  EXPECT_EQ(loaded.movements.LocationAt(alice, 15), go);
+  EXPECT_EQ(loaded.movements.LocationAt(alice, 25), kInvalidLocation);
+}
+
+TEST_F(SnapshotTest, LoadedStateIsFunctionallyEquivalent) {
+  // The loaded system must compute the same inaccessible set.
+  SystemState state;
+  state.graph = MakeFig4Graph().ValueOrDie();
+  SubjectId alice = state.profiles.AddSubject("Alice").ValueOrDie();
+  auto grant = [&state, alice](const std::string& name, Chronon es,
+                               Chronon ee, Chronon xs, Chronon xe) {
+    state.auth_db.Add(LocationTemporalAuthorization::Make(
+                          TimeInterval(es, ee), TimeInterval(xs, xe),
+                          LocationAuthorization{
+                              alice, state.graph.Find(name).ValueOrDie()},
+                          1)
+                          .ValueOrDie());
+  };
+  grant("A", 2, 35, 20, 50);
+  grant("B", 40, 60, 55, 80);
+  grant("C", 38, 45, 70, 90);
+  grant("D", 5, 25, 10, 30);
+  ASSERT_OK(SaveSnapshot(state, path_));
+  ASSERT_OK_AND_ASSIGN(SystemState loaded, LoadSnapshot(path_));
+  ASSERT_OK_AND_ASSIGN(
+      InaccessibleResult before,
+      FindInaccessible(state.graph, state.graph.root(), alice,
+                       state.auth_db));
+  ASSERT_OK_AND_ASSIGN(
+      InaccessibleResult after,
+      FindInaccessible(loaded.graph, loaded.graph.root(), alice,
+                       loaded.auth_db));
+  EXPECT_EQ(before.inaccessible, after.inaccessible);
+}
+
+TEST_F(SnapshotTest, SaveToBadPathFails) {
+  SystemState state;
+  state.graph = MakeFig4Graph().ValueOrDie();
+  EXPECT_TRUE(SaveSnapshot(state, "/nonexistent/dir/x.snap").IsIOError());
+}
+
+TEST_F(SnapshotTest, LoadMissingFileFails) {
+  EXPECT_TRUE(LoadSnapshot("/nonexistent/x.snap").status().IsIOError());
+}
+
+TEST_F(SnapshotTest, LoadRejectsGarbage) {
+  {
+    std::ofstream out(path_);
+    out << "loc\t1\tX\tprimitive\t0\t0\t\n";  // Before graph-root.
+  }
+  EXPECT_TRUE(LoadSnapshot(path_).status().IsParseError());
+  {
+    std::ofstream out(path_, std::ios::trunc);
+    out << "graph-root\tG\n";
+    out << "mystery-record\t1\n";
+  }
+  EXPECT_TRUE(LoadSnapshot(path_).status().IsParseError());
+}
+
+}  // namespace
+}  // namespace ltam

@@ -1,0 +1,125 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "core/rules/subject_op.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+class SubjectOpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK_AND_ASSIGN(alice_, profiles_.AddSubject("Alice"));
+    ASSERT_OK_AND_ASSIGN(bob_, profiles_.AddSubject("Bob"));
+    ASSERT_OK_AND_ASSIGN(carol_, profiles_.AddSubject("Carol"));
+    ASSERT_OK(profiles_.SetSupervisor(alice_, bob_));
+    ASSERT_OK(profiles_.SetSupervisor(carol_, bob_));
+    ASSERT_OK(profiles_.AddToGroup(alice_, "cais-lab"));
+    ASSERT_OK(profiles_.AddToGroup(carol_, "cais-lab"));
+    ASSERT_OK(profiles_.AssignRole(bob_, "professor"));
+  }
+
+  UserProfileDatabase profiles_;
+  SubjectId alice_ = kInvalidSubject;
+  SubjectId bob_ = kInvalidSubject;
+  SubjectId carol_ = kInvalidSubject;
+};
+
+TEST_F(SubjectOpTest, Identity) {
+  IdentitySubjectOp op;
+  ASSERT_OK_AND_ASSIGN(std::vector<SubjectId> out,
+                       op.Apply(alice_, profiles_));
+  EXPECT_EQ(out, std::vector<SubjectId>{alice_});
+  EXPECT_TRUE(op.Apply(99, profiles_).status().IsNotFound());
+}
+
+TEST_F(SubjectOpTest, SupervisorOf) {
+  // Example 1: Supervisor_Of(Alice) = Bob.
+  SupervisorOfOp op;
+  ASSERT_OK_AND_ASSIGN(std::vector<SubjectId> out,
+                       op.Apply(alice_, profiles_));
+  EXPECT_EQ(out, std::vector<SubjectId>{bob_});
+  // Bob has no supervisor: derives nothing (not an error).
+  ASSERT_OK_AND_ASSIGN(std::vector<SubjectId> none,
+                       op.Apply(bob_, profiles_));
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(op.ToString(), "Supervisor_Of");
+}
+
+TEST_F(SubjectOpTest, SubordinatesOf) {
+  SubordinatesOfOp op;
+  ASSERT_OK_AND_ASSIGN(std::vector<SubjectId> out, op.Apply(bob_, profiles_));
+  EXPECT_EQ(out, (std::vector<SubjectId>{alice_, carol_}));
+  ASSERT_OK_AND_ASSIGN(std::vector<SubjectId> none,
+                       op.Apply(alice_, profiles_));
+  EXPECT_TRUE(none.empty());
+}
+
+TEST_F(SubjectOpTest, GroupMembers) {
+  GroupMembersOp op("cais-lab");
+  ASSERT_OK_AND_ASSIGN(std::vector<SubjectId> out, op.Apply(bob_, profiles_));
+  EXPECT_EQ(out, (std::vector<SubjectId>{alice_, carol_}));
+  GroupMembersOp empty("nobody");
+  ASSERT_OK_AND_ASSIGN(std::vector<SubjectId> none,
+                       empty.Apply(bob_, profiles_));
+  EXPECT_TRUE(none.empty());
+}
+
+TEST_F(SubjectOpTest, RoleHolders) {
+  RoleHoldersOp op("professor");
+  ASSERT_OK_AND_ASSIGN(std::vector<SubjectId> out,
+                       op.Apply(alice_, profiles_));
+  EXPECT_EQ(out, std::vector<SubjectId>{bob_});
+}
+
+TEST_F(SubjectOpTest, SameGroupAs) {
+  SameGroupAsOp op;
+  ASSERT_OK_AND_ASSIGN(std::vector<SubjectId> out,
+                       op.Apply(alice_, profiles_));
+  EXPECT_EQ(out, std::vector<SubjectId>{carol_});  // Excludes Alice.
+  ASSERT_OK_AND_ASSIGN(std::vector<SubjectId> none,
+                       op.Apply(bob_, profiles_));
+  EXPECT_TRUE(none.empty());
+}
+
+TEST_F(SubjectOpTest, RegistryParsesBuiltins) {
+  SubjectOperatorRegistry reg = SubjectOperatorRegistry::Default();
+  ASSERT_OK_AND_ASSIGN(SubjectOperatorPtr sup, reg.Parse("Supervisor_Of"));
+  ASSERT_OK_AND_ASSIGN(std::vector<SubjectId> out,
+                       sup->Apply(alice_, profiles_));
+  EXPECT_EQ(out, std::vector<SubjectId>{bob_});
+  ASSERT_OK_AND_ASSIGN(SubjectOperatorPtr grp,
+                       reg.Parse("group_members(cais-lab)"));
+  ASSERT_OK_AND_ASSIGN(std::vector<SubjectId> members,
+                       grp->Apply(bob_, profiles_));
+  EXPECT_EQ(members.size(), 2u);
+  EXPECT_TRUE(reg.Parse("Group_Members").status().IsParseError());
+  EXPECT_TRUE(reg.Parse("Frenemies_Of").status().IsNotFound());
+  EXPECT_TRUE(reg.Parse("bad(arg").status().IsParseError());
+}
+
+TEST_F(SubjectOpTest, RegistryCustomOperator) {
+  // "Customized operators can be defined as well" (Section 4).
+  SubjectOperatorRegistry reg = SubjectOperatorRegistry::Default();
+  class EveryoneOp : public SubjectOperator {
+   public:
+    Result<std::vector<SubjectId>> Apply(
+        SubjectId, const UserProfileDatabase& profiles) const override {
+      return profiles.AllSubjects();
+    }
+    std::string ToString() const override { return "Everyone"; }
+  };
+  reg.Register("everyone", [](const std::string&) -> Result<SubjectOperatorPtr> {
+    return SubjectOperatorPtr(new EveryoneOp());
+  });
+  ASSERT_OK_AND_ASSIGN(SubjectOperatorPtr op, reg.Parse("EVERYONE"));
+  ASSERT_OK_AND_ASSIGN(std::vector<SubjectId> out,
+                       op->Apply(alice_, profiles_));
+  EXPECT_EQ(out.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ltam

@@ -1,0 +1,115 @@
+// Copyright 2026 The LTAM Authors.
+// Tests for the temporal operators of Definition 5.
+
+#include "core/rules/temporal_op.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+TEST(WheneverTest, ReturnsInput) {
+  WheneverOp op;
+  ASSERT_OK_AND_ASSIGN(IntervalSet out, op.Apply(TimeInterval(5, 20), 7));
+  EXPECT_EQ(out, IntervalSet(TimeInterval(5, 20)));
+  EXPECT_EQ(op.ToString(), "WHENEVER");
+}
+
+TEST(WheneverNotTest, ComplementWithinRuleValidity) {
+  // "Given [t0, t1], returns [tr, t0-1] and [t1+1, inf]."
+  WheneverNotOp op;
+  ASSERT_OK_AND_ASSIGN(IntervalSet out, op.Apply(TimeInterval(10, 20), 3));
+  EXPECT_EQ(out.ToString(), "{[3, 9], [21, inf]}");
+}
+
+TEST(WheneverNotTest, EmptyLeftPieceDropped) {
+  WheneverNotOp op;
+  // tr = 10 == t0: no room before the interval.
+  ASSERT_OK_AND_ASSIGN(IntervalSet out, op.Apply(TimeInterval(10, 20), 10));
+  EXPECT_EQ(out.ToString(), "{[21, inf]}");
+  // tr inside the interval.
+  ASSERT_OK_AND_ASSIGN(IntervalSet mid, op.Apply(TimeInterval(10, 20), 15));
+  EXPECT_EQ(mid.ToString(), "{[21, inf]}");
+}
+
+TEST(WheneverNotTest, UnboundedInputLeavesOnlyLeftPiece) {
+  WheneverNotOp op;
+  ASSERT_OK_AND_ASSIGN(IntervalSet out,
+                       op.Apply(TimeInterval::From(100), 0));
+  EXPECT_EQ(out.ToString(), "{[0, 99]}");
+  // Fully unbounded input complements to nothing.
+  ASSERT_OK_AND_ASSIGN(IntervalSet none, op.Apply(TimeInterval::All(), 0));
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(UnionTest, MergesWhenOverlapping) {
+  // "UNION returns [t0,t3] if t2 <= t1."
+  UnionOp op(TimeInterval(15, 30));
+  ASSERT_OK_AND_ASSIGN(IntervalSet out, op.Apply(TimeInterval(5, 20), 0));
+  EXPECT_EQ(out.ToString(), "{[5, 30]}");
+  EXPECT_EQ(op.ToString(), "UNION([15, 30])");
+}
+
+TEST(UnionTest, KeepsBothWhenDisjoint) {
+  // "... or [t0,t1] and [t2,t3] if t2 > t1."
+  UnionOp op(TimeInterval(40, 50));
+  ASSERT_OK_AND_ASSIGN(IntervalSet out, op.Apply(TimeInterval(5, 20), 0));
+  EXPECT_EQ(out.ToString(), "{[5, 20], [40, 50]}");
+}
+
+TEST(IntersectionTest, PaperExample2) {
+  // INTERSECTION([10, 30]) applied to base entry [5, 20] yields [10, 20].
+  IntersectionOp op(TimeInterval(10, 30));
+  ASSERT_OK_AND_ASSIGN(IntervalSet out, op.Apply(TimeInterval(5, 20), 0));
+  EXPECT_EQ(out.ToString(), "{[10, 20]}");
+  EXPECT_EQ(op.ToString(), "INTERSECTION([10, 30])");
+}
+
+TEST(IntersectionTest, DisjointYieldsNull) {
+  IntersectionOp op(TimeInterval(30, 40));
+  ASSERT_OK_AND_ASSIGN(IntervalSet out, op.Apply(TimeInterval(5, 20), 0));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ShiftTest, TranslatesInterval) {
+  ShiftOp op(10);
+  ASSERT_OK_AND_ASSIGN(IntervalSet out, op.Apply(TimeInterval(5, 20), 0));
+  EXPECT_EQ(out.ToString(), "{[15, 30]}");
+  ShiftOp back(-5);
+  ASSERT_OK_AND_ASSIGN(IntervalSet out2, back.Apply(TimeInterval(5, 20), 0));
+  EXPECT_EQ(out2.ToString(), "{[0, 15]}");
+  // Infinity stays infinity.
+  ASSERT_OK_AND_ASSIGN(IntervalSet open, op.Apply(TimeInterval::From(5), 0));
+  EXPECT_EQ(open.ToString(), "{[15, inf]}");
+}
+
+TEST(ParseTemporalOperatorTest, AllForms) {
+  ASSERT_OK_AND_ASSIGN(TemporalOperatorPtr w,
+                       ParseTemporalOperator("whenever"));
+  EXPECT_EQ(w->ToString(), "WHENEVER");
+  ASSERT_OK_AND_ASSIGN(TemporalOperatorPtr wn,
+                       ParseTemporalOperator("WHENEVERNOT"));
+  EXPECT_EQ(wn->ToString(), "WHENEVERNOT");
+  ASSERT_OK_AND_ASSIGN(TemporalOperatorPtr u,
+                       ParseTemporalOperator("UNION([1, 2])"));
+  EXPECT_EQ(u->ToString(), "UNION([1, 2])");
+  ASSERT_OK_AND_ASSIGN(TemporalOperatorPtr i,
+                       ParseTemporalOperator("intersection([10, 30])"));
+  EXPECT_EQ(i->ToString(), "INTERSECTION([10, 30])");
+  ASSERT_OK_AND_ASSIGN(TemporalOperatorPtr s,
+                       ParseTemporalOperator("SHIFT(5)"));
+  EXPECT_EQ(s->ToString(), "SHIFT(5)");
+}
+
+TEST(ParseTemporalOperatorTest, Rejects) {
+  EXPECT_TRUE(ParseTemporalOperator("never").status().IsParseError());
+  EXPECT_TRUE(ParseTemporalOperator("UNION").status().IsParseError());
+  EXPECT_TRUE(ParseTemporalOperator("UNION([2, 1])").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(ParseTemporalOperator("SHIFT(x)").status().IsParseError());
+}
+
+}  // namespace
+}  // namespace ltam

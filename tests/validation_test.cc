@@ -1,0 +1,89 @@
+// Copyright 2026 The LTAM Authors.
+// Tests for the structural validation of Definitions 1-2.
+
+#include <gtest/gtest.h>
+
+#include "graph/multilevel_graph.h"
+#include "sim/graph_gen.h"
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+TEST(ValidationTest, EmptyCompositeRejected) {
+  MultilevelLocationGraph g;
+  EXPECT_TRUE(g.Validate().IsFailedPrecondition());  // Root is empty.
+}
+
+TEST(ValidationTest, MissingEntryRejected) {
+  MultilevelLocationGraph g;
+  ASSERT_OK_AND_ASSIGN(LocationId r, g.AddPrimitive("r", g.root()));
+  (void)r;
+  Status st = g.Validate();
+  EXPECT_TRUE(st.IsFailedPrecondition());
+  EXPECT_NE(st.message().find("no entry location"), std::string::npos);
+}
+
+TEST(ValidationTest, MinimalValidGraph) {
+  MultilevelLocationGraph g;
+  ASSERT_OK_AND_ASSIGN(LocationId r, g.AddPrimitive("r", g.root()));
+  ASSERT_OK(g.SetEntry(r));
+  EXPECT_OK(g.Validate());
+}
+
+TEST(ValidationTest, DisconnectedSiblingGraphRejected) {
+  MultilevelLocationGraph g;
+  ASSERT_OK_AND_ASSIGN(LocationId a, g.AddPrimitive("a", g.root()));
+  ASSERT_OK_AND_ASSIGN(LocationId b, g.AddPrimitive("b", g.root()));
+  (void)b;
+  ASSERT_OK(g.SetEntry(a));
+  Status st = g.Validate();
+  EXPECT_TRUE(st.IsFailedPrecondition());
+  EXPECT_NE(st.message().find("not connected"), std::string::npos);
+  ASSERT_OK(g.AddEdge("a", "b"));
+  EXPECT_OK(g.Validate());
+}
+
+TEST(ValidationTest, NestedCompositeNeedsItsOwnEntry) {
+  MultilevelLocationGraph g;
+  ASSERT_OK_AND_ASSIGN(LocationId b1, g.AddComposite("B1", g.root()));
+  ASSERT_OK_AND_ASSIGN(LocationId r1, g.AddPrimitive("R1", b1));
+  (void)r1;
+  ASSERT_OK(g.SetEntry(b1));
+  // B1 is the entry of the root but has no internal entry.
+  Status st = g.Validate();
+  EXPECT_TRUE(st.IsFailedPrecondition());
+  ASSERT_OK(g.SetEntry("R1"));
+  EXPECT_OK(g.Validate());
+}
+
+TEST(ValidationTest, CompositeEntryMustExpandToPrimitiveDoor) {
+  // Root entry is composite B1 whose own entry is composite B2 with no
+  // primitive entry: unusable.
+  MultilevelLocationGraph g;
+  ASSERT_OK_AND_ASSIGN(LocationId b1, g.AddComposite("B1", g.root()));
+  ASSERT_OK_AND_ASSIGN(LocationId b2, g.AddComposite("B2", b1));
+  ASSERT_OK_AND_ASSIGN(LocationId r, g.AddPrimitive("R", b2));
+  (void)r;
+  ASSERT_OK(g.SetEntry(b1));
+  ASSERT_OK(g.SetEntry(b2));
+  EXPECT_TRUE(g.Validate().IsFailedPrecondition());
+  ASSERT_OK(g.SetEntry("R"));
+  EXPECT_OK(g.Validate());
+}
+
+TEST(ValidationTest, GeneratedGraphsValidate) {
+  ASSERT_OK_AND_ASSIGN(MultilevelLocationGraph grid, MakeGridGraph(4, 3));
+  EXPECT_OK(grid.Validate());
+  ASSERT_OK_AND_ASSIGN(MultilevelLocationGraph tree, MakeTreeGraph(3, 4));
+  EXPECT_OK(tree.Validate());
+  ASSERT_OK_AND_ASSIGN(MultilevelLocationGraph campus, MakeCampusGraph(4, 5));
+  EXPECT_OK(campus.Validate());
+  ASSERT_OK_AND_ASSIGN(MultilevelLocationGraph ntu, MakeNtuCampusGraph());
+  EXPECT_OK(ntu.Validate());
+  ASSERT_OK_AND_ASSIGN(MultilevelLocationGraph fig4, MakeFig4Graph());
+  EXPECT_OK(fig4.Validate());
+}
+
+}  // namespace
+}  // namespace ltam

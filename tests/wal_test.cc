@@ -1,0 +1,109 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/ltam_wal_" +
+            std::to_string(::testing::UnitTest::GetInstance()
+                               ->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name() +
+            ".log";
+    std::remove(path_.c_str());
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(WalTest, AppendAndReplay) {
+  {
+    ASSERT_OK_AND_ASSIGN(WalWriter wal, WalWriter::Open(path_));
+    ASSERT_OK(wal.Append({"auth", {"1", "[5, 20]"}}));
+    ASSERT_OK(wal.Append({"move", {"10", "0", "5"}}));
+    ASSERT_OK(wal.Sync());
+    EXPECT_EQ(wal.appended(), 2u);
+  }
+  std::vector<Record> replayed;
+  ASSERT_OK(ReplayWal(path_, [&replayed](const Record& rec) {
+    replayed.push_back(rec);
+    return Status::OK();
+  }));
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[0].type, "auth");
+  EXPECT_EQ(replayed[1].type, "move");
+  EXPECT_EQ(replayed[1].fields, (std::vector<std::string>{"10", "0", "5"}));
+}
+
+TEST_F(WalTest, AppendIsDurableAcrossReopen) {
+  {
+    ASSERT_OK_AND_ASSIGN(WalWriter wal, WalWriter::Open(path_));
+    ASSERT_OK(wal.Append({"first", {}}));
+  }
+  {
+    ASSERT_OK_AND_ASSIGN(WalWriter wal, WalWriter::Open(path_));
+    ASSERT_OK(wal.Append({"second", {}}));
+  }
+  size_t count = 0;
+  ASSERT_OK(ReplayWal(path_, [&count](const Record&) {
+    ++count;
+    return Status::OK();
+  }));
+  EXPECT_EQ(count, 2u);
+}
+
+TEST_F(WalTest, TornFinalLineIgnored) {
+  {
+    ASSERT_OK_AND_ASSIGN(WalWriter wal, WalWriter::Open(path_));
+    ASSERT_OK(wal.Append({"good", {"1"}}));
+  }
+  {
+    // Simulate a crash mid-append: no trailing newline.
+    std::ofstream out(path_, std::ios::app | std::ios::binary);
+    out << "torn\trecord-without-newline";
+  }
+  std::vector<std::string> types;
+  ASSERT_OK(ReplayWal(path_, [&types](const Record& rec) {
+    types.push_back(rec.type);
+    return Status::OK();
+  }));
+  EXPECT_EQ(types, std::vector<std::string>{"good"});
+}
+
+TEST_F(WalTest, ReplayPropagatesApplyErrors) {
+  {
+    ASSERT_OK_AND_ASSIGN(WalWriter wal, WalWriter::Open(path_));
+    ASSERT_OK(wal.Append({"x", {}}));
+  }
+  Status st = ReplayWal(path_, [](const Record&) {
+    return Status::Internal("apply failed");
+  });
+  EXPECT_TRUE(st.IsInternal());
+}
+
+TEST_F(WalTest, ReplayMissingFileFails) {
+  EXPECT_TRUE(ReplayWal("/nonexistent/dir/wal.log", [](const Record&) {
+                return Status::OK();
+              }).IsIOError());
+}
+
+TEST_F(WalTest, OpenBadPathFails) {
+  EXPECT_TRUE(WalWriter::Open("/nonexistent/dir/wal.log").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace ltam

@@ -1,0 +1,113 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "sim/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/graph_gen.h"
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+TEST(WorkloadTest, GenerateSubjects) {
+  UserProfileDatabase profiles;
+  std::vector<SubjectId> subjects = GenerateSubjects(&profiles, 5);
+  EXPECT_EQ(subjects.size(), 5u);
+  EXPECT_EQ(profiles.size(), 5u);
+  EXPECT_EQ(profiles.subject(subjects[3]).name, "u3");
+  // Idempotent on a second call.
+  std::vector<SubjectId> again = GenerateSubjects(&profiles, 5);
+  EXPECT_EQ(again, subjects);
+  EXPECT_EQ(profiles.size(), 5u);
+}
+
+TEST(WorkloadTest, GenerateAuthorizationsFullCoverage) {
+  ASSERT_OK_AND_ASSIGN(MultilevelLocationGraph g, MakeGridGraph(3, 3));
+  UserProfileDatabase profiles;
+  std::vector<SubjectId> subjects = GenerateSubjects(&profiles, 2);
+  AuthorizationDatabase db;
+  Rng rng(1);
+  AuthWorkloadOptions opt;
+  opt.auths_per_location = 2;
+  size_t added = GenerateAuthorizations(g, subjects, opt, &rng, &db);
+  EXPECT_EQ(added, 2u * 9u * 2u);
+  EXPECT_EQ(db.size(), added);
+  // Every authorization satisfies Definition 4 by construction; spot
+  // check windows.
+  for (AuthId id : db.Active()) {
+    const LocationTemporalAuthorization& a = db.record(id).auth;
+    EXPECT_LE(a.entry_duration().start(), a.entry_duration().end());
+    EXPECT_GE(a.exit_duration().start(), a.entry_duration().start());
+    EXPECT_GE(a.exit_duration().end(), a.entry_duration().end());
+  }
+}
+
+TEST(WorkloadTest, CoverageControlsDensity) {
+  ASSERT_OK_AND_ASSIGN(MultilevelLocationGraph g, MakeGridGraph(8, 8));
+  UserProfileDatabase profiles;
+  std::vector<SubjectId> subjects = GenerateSubjects(&profiles, 1);
+  AuthorizationDatabase db;
+  Rng rng(2);
+  AuthWorkloadOptions opt;
+  opt.coverage = 0.25;
+  size_t added = GenerateAuthorizations(g, subjects, opt, &rng, &db);
+  // Binomial(64, 0.25): far from 0 and far from 64.
+  EXPECT_GT(added, 4u);
+  EXPECT_LT(added, 40u);
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  ASSERT_OK_AND_ASSIGN(MultilevelLocationGraph g, MakeGridGraph(4, 4));
+  UserProfileDatabase profiles;
+  std::vector<SubjectId> subjects = GenerateSubjects(&profiles, 2);
+  AuthorizationDatabase db1;
+  AuthorizationDatabase db2;
+  Rng rng1(9);
+  Rng rng2(9);
+  AuthWorkloadOptions opt;
+  GenerateAuthorizations(g, subjects, opt, &rng1, &db1);
+  GenerateAuthorizations(g, subjects, opt, &rng2, &db2);
+  ASSERT_EQ(db1.size(), db2.size());
+  for (AuthId id = 0; id < db1.size(); ++id) {
+    EXPECT_EQ(db1.record(id).auth, db2.record(id).auth);
+  }
+}
+
+TEST(WorkloadTest, BoundedEntryCounts) {
+  ASSERT_OK_AND_ASSIGN(MultilevelLocationGraph g, MakeGridGraph(3, 3));
+  UserProfileDatabase profiles;
+  std::vector<SubjectId> subjects = GenerateSubjects(&profiles, 1);
+  AuthorizationDatabase db;
+  Rng rng(3);
+  AuthWorkloadOptions opt;
+  opt.max_entries = 4;
+  GenerateAuthorizations(g, subjects, opt, &rng, &db);
+  for (AuthId id : db.Active()) {
+    int64_t n = db.record(id).auth.max_entries();
+    EXPECT_GE(n, 1);
+    EXPECT_LE(n, 4);
+  }
+}
+
+TEST(WorkloadTest, GenerateRequestsSortedWithinHorizon) {
+  ASSERT_OK_AND_ASSIGN(MultilevelLocationGraph g, MakeGridGraph(4, 4));
+  UserProfileDatabase profiles;
+  std::vector<SubjectId> subjects = GenerateSubjects(&profiles, 3);
+  Rng rng(5);
+  std::vector<AccessRequest> reqs =
+      GenerateRequests(g, subjects, 100, 500, &rng);
+  ASSERT_EQ(reqs.size(), 100u);
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_GE(reqs[i].time, 0);
+    EXPECT_LT(reqs[i].time, 500);
+    EXPECT_LT(reqs[i].subject, 3u);
+    if (i > 0) {
+      EXPECT_GE(reqs[i].time, reqs[i - 1].time);
+    }
+  }
+  EXPECT_TRUE(GenerateRequests(g, {}, 10, 500, &rng).empty());
+}
+
+}  // namespace
+}  // namespace ltam
