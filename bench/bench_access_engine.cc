@@ -6,7 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "engine/access_control_engine.h"
+#include "engine/sharded_engine.h"
 #include "sim/graph_gen.h"
 #include "sim/workload.h"
 #include "util/random.h"
@@ -124,6 +127,113 @@ void BM_CheckAndRecord(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_CheckAndRecord);
+
+// --- Batched multi-shard pipeline (campus workload) ------------------------
+//
+// The same pre-generated event batches are replayed through (a) one
+// sequential AccessControlEngine event-by-event and (b) the
+// ShardedDecisionEngine at 1..N shards. Decisions are identical by the
+// equivalence property (tests/sharded_engine_test.cc); these benchmarks
+// measure the throughput gap. On multicore hardware the sharded path
+// should clear 2x the sequential items/sec at 4+ shards; on a single
+// core it degenerates to the cv-handoff overhead.
+
+struct BatchWorld {
+  MultilevelLocationGraph graph;
+  UserProfileDatabase profiles;
+  AuthorizationDatabase auth_db;
+  std::vector<SubjectId> subjects;
+  std::vector<std::vector<AccessEvent>> batches;
+  size_t total_events = 0;
+};
+
+BatchWorld MakeBatchWorld() {
+  BatchWorld w;
+  // Campus of 16 buildings x 12 rooms, 256 subjects, dense coverage —
+  // the "whole campus under tracking" shape of Section 1.
+  w.graph = MakeCampusGraph(16, 12).ValueOrDie();
+  w.subjects = GenerateSubjects(&w.profiles, 256);
+  Rng rng(2026);
+  AuthWorkloadOptions auth_opt;
+  auth_opt.auths_per_location = 2;
+  auth_opt.coverage = 0.7;
+  auth_opt.horizon = 4000;
+  auth_opt.min_len = 100;
+  auth_opt.max_len = 800;
+  auth_opt.max_entries = 0;  // Unlimited: keeps replays ledger-independent.
+  GenerateAuthorizations(w.graph, w.subjects, auth_opt, &rng, &w.auth_db);
+  BatchWorkloadOptions batch_opt;
+  batch_opt.batch_size = 2048;
+  batch_opt.exit_fraction = 0.1;
+  batch_opt.observe_fraction = 0.1;
+  batch_opt.max_step = 3;
+  w.batches = GenerateEventBatches(w.graph, w.subjects, /*total_events=*/16384,
+                                   batch_opt, &rng);
+  for (const auto& b : w.batches) w.total_events += b.size();
+  return w;
+}
+
+EngineOptions QuietEngineOptions() {
+  EngineOptions opt;
+  opt.alert_on_denial = false;  // Keep alert buffers flat across replays.
+  return opt;
+}
+
+/// Sequential baseline: the full batch stream through one engine.
+void BM_BatchDecisionSequential(benchmark::State& state) {
+  BatchWorld w = MakeBatchWorld();
+  for (auto _ : state) {
+    state.PauseTiming();
+    MovementDatabase movements;
+    AccessControlEngine engine(&w.graph, &w.auth_db, &movements, &w.profiles,
+                               QuietEngineOptions());
+    state.ResumeTiming();
+    for (const auto& batch : w.batches) {
+      for (const AccessEvent& e : batch) {
+        benchmark::DoNotOptimize(ApplyAccessEvent(&engine, e));
+      }
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * w.total_events));
+}
+BENCHMARK(BM_BatchDecisionSequential)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Sharded pipeline at state.range(0) shards over the same stream.
+void BM_BatchDecisionSharded(benchmark::State& state) {
+  BatchWorld w = MakeBatchWorld();
+  ShardedEngineOptions opt;
+  opt.num_shards = static_cast<uint32_t>(state.range(0));
+  opt.engine = QuietEngineOptions();
+  for (auto _ : state) {
+    // Engine construction (thread spawn) and destruction (stop + join)
+    // both stay outside the timed region; only EvaluateBatch is measured.
+    state.PauseTiming();
+    auto engine = std::make_unique<ShardedDecisionEngine>(
+        &w.graph, &w.auth_db, &w.profiles, opt);
+    state.ResumeTiming();
+    for (const auto& batch : w.batches) {
+      benchmark::DoNotOptimize(engine->EvaluateBatch(batch));
+    }
+    state.PauseTiming();
+    engine.reset();
+    state.ResumeTiming();
+  }
+  state.counters["shards"] = static_cast<double>(opt.num_shards);
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * w.total_events));
+}
+// Real time, not CPU time: the work happens on the shard workers, and
+// the speedup claim is wall-clock throughput vs the sequential path.
+BENCHMARK(BM_BatchDecisionSharded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Copyright 2026 The LTAM Authors.
+#
+# CI entry point. Usage:
+#   ./ci.sh            # tier1 + asan + tsan
+#   ./ci.sh tier1      # plain build + full ctest suite (the tier-1 gate)
+#   ./ci.sh asan       # AddressSanitizer + UBSan build, full ctest suite
+#   ./ci.sh tsan       # ThreadSanitizer build, concurrency-relevant tests
+#
+# Every future PR is expected to pass `./ci.sh` locally; the tier-1 gate
+# is exactly the ROADMAP verify command.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${JOBS:-$(nproc)}"
+
+tier1() {
+  echo "=== tier1: build + full test suite ==="
+  cmake -B build -S .
+  cmake --build build -j"$JOBS"
+  ctest --test-dir build --output-on-failure -j"$JOBS"
+}
+
+asan() {
+  echo "=== asan: address+undefined sanitizers, full test suite ==="
+  cmake -B build-asan -S . -DLTAM_SANITIZE=address,undefined \
+    -DLTAM_BUILD_BENCHMARKS=OFF -DLTAM_BUILD_EXAMPLES=OFF
+  cmake --build build-asan -j"$JOBS"
+  ctest --test-dir build-asan --output-on-failure -j"$JOBS"
+}
+
+tsan() {
+  echo "=== tsan: thread sanitizer, concurrency tests ==="
+  cmake -B build-tsan -S . -DLTAM_SANITIZE=thread \
+    -DLTAM_BUILD_BENCHMARKS=OFF -DLTAM_BUILD_EXAMPLES=OFF
+  # The sharded pipeline and the caches it leans on are the concurrent
+  # surface; engine/movement tests ride along as single-threaded controls.
+  local targets=(sharded_engine_test auth_cache_test auth_database_test
+                 engine_test movement_db_test)
+  cmake --build build-tsan -j"$JOBS" --target "${targets[@]}"
+  for t in "${targets[@]}"; do
+    "./build-tsan/tests/$t"
+  done
+}
+
+case "${1:-all}" in
+  tier1) tier1 ;;
+  asan) asan ;;
+  tsan) tsan ;;
+  all)
+    tier1
+    asan
+    tsan
+    ;;
+  *)
+    echo "usage: $0 [tier1|asan|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "ci.sh: all requested jobs passed"

@@ -28,6 +28,8 @@ const char* DenyReasonToString(DenyReason reason) {
       return "unknown-subject";
     case DenyReason::kUnknownLocation:
       return "unknown-location";
+    case DenyReason::kExitRejected:
+      return "exit-rejected";
   }
   return "unknown";
 }

@@ -31,6 +31,8 @@ enum class DenyReason : uint8_t {
                            ///< the subject's current location in one step.
   kUnknownSubject = 5,     ///< Subject not registered.
   kUnknownLocation = 6,    ///< Location does not exist or is composite.
+  kExitRejected = 7,       ///< Exit request refused: the subject is not
+                           ///< inside, or the event is out of order.
 };
 
 /// Returns a stable lower-case name for a deny reason.

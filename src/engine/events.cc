@@ -16,6 +16,27 @@ std::string MovementEvent::ToString() const {
          ", " + loc(from) + " -> " + loc(to) + ")";
 }
 
+const char* AccessEventKindToString(AccessEventKind kind) {
+  switch (kind) {
+    case AccessEventKind::kRequestEntry:
+      return "entry";
+    case AccessEventKind::kRequestExit:
+      return "exit";
+    case AccessEventKind::kObserve:
+      return "observe";
+  }
+  return "unknown";
+}
+
+std::string AccessEvent::ToString() const {
+  std::string out = StrFormat("%s(%s, s%u", AccessEventKindToString(kind),
+                              ChrononToString(time).c_str(), subject);
+  if (kind != AccessEventKind::kRequestExit) {
+    out += ", l" + std::to_string(location);
+  }
+  return out + ")";
+}
+
 const char* AlertTypeToString(AlertType type) {
   switch (type) {
     case AlertType::kUnauthorizedPresence:

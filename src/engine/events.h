@@ -36,6 +36,38 @@ struct PositionFix {
   Point position;
 };
 
+/// What kind of engine entry point an AccessEvent drives.
+enum class AccessEventKind : uint8_t {
+  kRequestEntry = 0,  ///< Definition-6 access request (t, s, l).
+  kRequestExit = 1,   ///< Subject steps outside the site; `location` unused.
+  kObserve = 2,       ///< Tracking observation: s seen inside l.
+};
+
+const char* AccessEventKindToString(AccessEventKind kind);
+
+/// One timestamped event of the enforcement stream, in the shape batch
+/// pipelines consume (ShardedDecisionEngine::EvaluateBatch). Within a
+/// batch, events of the same subject must be in nondecreasing time order;
+/// events of different subjects are unordered relative to each other.
+struct AccessEvent {
+  AccessEventKind kind = AccessEventKind::kRequestEntry;
+  Chronon time = 0;
+  SubjectId subject = kInvalidSubject;
+  LocationId location = kInvalidLocation;
+
+  static AccessEvent Entry(Chronon t, SubjectId s, LocationId l) {
+    return AccessEvent{AccessEventKind::kRequestEntry, t, s, l};
+  }
+  static AccessEvent Exit(Chronon t, SubjectId s) {
+    return AccessEvent{AccessEventKind::kRequestExit, t, s, kInvalidLocation};
+  }
+  static AccessEvent Observe(Chronon t, SubjectId s, LocationId l) {
+    return AccessEvent{AccessEventKind::kObserve, t, s, l};
+  }
+
+  std::string ToString() const;
+};
+
 /// Kinds of security alerts the engine can raise.
 enum class AlertType : uint8_t {
   /// Subject observed inside a location with no active grant — e.g. a

@@ -1,0 +1,163 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "engine/sharded_engine.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ltam {
+
+Decision ApplyAccessEvent(AccessControlEngine* engine, const AccessEvent& e) {
+  switch (e.kind) {
+    case AccessEventKind::kRequestEntry:
+      return engine->RequestEntry(e.time, e.subject, e.location);
+    case AccessEventKind::kRequestExit: {
+      Status st = engine->RequestExit(e.time, e.subject);
+      return st.ok() ? Decision::Grant(kInvalidAuth)
+                     : Decision::Deny(DenyReason::kExitRejected);
+    }
+    case AccessEventKind::kObserve:
+      engine->ObservePresence(e.time, e.subject, e.location);
+      return Decision::Grant(kInvalidAuth);
+  }
+  return Decision::Deny(DenyReason::kNone);  // Unreachable.
+}
+
+ShardedDecisionEngine::Shard::Shard(const MultilevelLocationGraph* graph,
+                                    AuthorizationDatabase* auth_db,
+                                    const UserProfileDatabase* profiles,
+                                    const EngineOptions& options)
+    : movements(), engine(graph, auth_db, &movements, profiles, options) {}
+
+ShardedDecisionEngine::ShardedDecisionEngine(
+    const MultilevelLocationGraph* graph, AuthorizationDatabase* auth_db,
+    const UserProfileDatabase* profiles, ShardedEngineOptions options) {
+  LTAM_CHECK(graph != nullptr);
+  // Build the graph's lazy flattened-adjacency cache before any worker
+  // exists; adjacency checks on the shards then only read it.
+  graph->WarmEffectiveAdjacency();
+  uint32_t n = std::max<uint32_t>(1, options.num_shards);
+  shards_.reserve(n);
+  for (uint32_t k = 0; k < n; ++k) {
+    shards_.push_back(
+        std::make_unique<Shard>(graph, auth_db, profiles, options.engine));
+  }
+  for (auto& shard : shards_) {
+    shard->worker = std::thread([this, s = shard.get()] { WorkerLoop(s); });
+  }
+}
+
+ShardedDecisionEngine::~ShardedDecisionEngine() {
+  for (auto& shard : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->stop = true;
+    }
+    shard->cv.notify_one();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+uint32_t ShardedDecisionEngine::ShardOf(SubjectId s) const {
+  // Fibonacci-style mix so consecutive subject ids spread across shards.
+  uint64_t x = static_cast<uint64_t>(s) * 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 32;
+  return static_cast<uint32_t>(x % shards_.size());
+}
+
+const MovementDatabase& ShardedDecisionEngine::shard_movements(
+    uint32_t shard) const {
+  LTAM_CHECK(shard < shards_.size()) << "shard index out of range";
+  return shards_[shard]->movements;
+}
+
+void ShardedDecisionEngine::WorkerLoop(Shard* shard) {
+  std::unique_lock<std::mutex> lock(shard->mu);
+  while (true) {
+    shard->cv.wait(lock, [shard] { return shard->has_work || shard->stop; });
+    if (shard->stop && !shard->has_work) return;
+    // Per-subject batch order is preserved: todo holds this shard's event
+    // indices ascending, and every event of a given subject maps here.
+    for (size_t i : shard->todo) {
+      decisions_[i] = ApplyAccessEvent(&shard->engine, (*current_batch_)[i]);
+    }
+    shard->todo.clear();
+    shard->has_work = false;
+    {
+      std::lock_guard<std::mutex> done_lock(done_mu_);
+      if (--pending_shards_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+std::vector<Decision> ShardedDecisionEngine::EvaluateBatch(
+    const std::vector<AccessEvent>& batch) {
+  ++batches_evaluated_;
+  decisions_.assign(batch.size(), Decision());
+  current_batch_ = &batch;
+
+  std::vector<std::vector<size_t>> parts(shards_.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    parts[ShardOf(batch[i].subject)].push_back(i);
+  }
+  size_t active = 0;
+  for (const auto& p : parts) {
+    if (!p.empty()) ++active;
+  }
+  {
+    std::lock_guard<std::mutex> done_lock(done_mu_);
+    pending_shards_ = active;
+  }
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    if (parts[k].empty()) continue;
+    {
+      std::lock_guard<std::mutex> lock(shards_[k]->mu);
+      shards_[k]->todo = std::move(parts[k]);
+      shards_[k]->has_work = true;
+    }
+    shards_[k]->cv.notify_one();
+  }
+  if (active > 0) {
+    std::unique_lock<std::mutex> done_lock(done_mu_);
+    done_cv_.wait(done_lock, [this] { return pending_shards_ == 0; });
+  }
+  current_batch_ = nullptr;
+  return std::move(decisions_);
+}
+
+std::vector<Alert> ShardedDecisionEngine::DrainAlerts() {
+  std::vector<Alert> out;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    const std::vector<Alert>& alerts = shard->engine.alerts();
+    out.insert(out.end(), alerts.begin(), alerts.end());
+    shard->engine.ClearAlerts();
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Alert& a, const Alert& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     if (a.subject != b.subject) return a.subject < b.subject;
+                     if (a.location != b.location) {
+                       return a.location < b.location;
+                     }
+                     return static_cast<int>(a.type) < static_cast<int>(b.type);
+                   });
+  return out;
+}
+
+size_t ShardedDecisionEngine::requests_processed() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->engine.requests_processed();
+  return total;
+}
+
+size_t ShardedDecisionEngine::requests_granted() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->engine.requests_granted();
+  return total;
+}
+
+}  // namespace ltam

@@ -1,0 +1,146 @@
+// Copyright 2026 The LTAM Authors.
+// Sharded, batched access-decision pipeline.
+//
+// The single-threaded AccessControlEngine reproduces Figure 3 faithfully
+// but serializes every request through one movement database. At
+// production scale (the SARS-scenario deployment of Section 1 tracks a
+// whole campus) the event stream is naturally partitionable: every
+// decision for subject s depends only on s's authorizations, s's movement
+// history, and the read-only location graph — Definition 4 binds each
+// authorization to a single subject, so two subjects never contend on
+// ledger state.
+//
+// ShardedDecisionEngine exploits that: subjects are hash-partitioned
+// across N shards, each shard owns a private MovementDatabase view and a
+// private AccessControlEngine (hence a private alert buffer), and a
+// persistent worker thread per shard drains its slice of each batch.
+// Within a batch, events of one subject are processed in batch order on
+// one shard, so decisions are byte-identical to running the sequential
+// engine event-by-event (the equivalence property checked by
+// tests/sharded_engine_test.cc).
+//
+// The shared AuthorizationDatabase is safe under this discipline: reads
+// go through its subject-bucketed candidate cache, ledger updates touch
+// only records owned by the deciding shard's subjects, and mutations
+// (rule derivation, revocation) happen between batches on the control
+// thread.
+
+#ifndef LTAM_ENGINE_SHARDED_ENGINE_H_
+#define LTAM_ENGINE_SHARDED_ENGINE_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/access_control_engine.h"
+
+namespace ltam {
+
+/// Applies one AccessEvent to an engine and renders the outcome as a
+/// Decision:
+///  - kRequestEntry: the engine's Definition-7 decision, verbatim;
+///  - kRequestExit: grant with kInvalidAuth when the exit was recorded,
+///    Deny(kExitRejected) when it was refused (subject not inside, or an
+///    out-of-order event);
+///  - kObserve: always grant with kInvalidAuth (observations carry their
+///    outcome through alerts, not decisions).
+/// Both the sharded workers and sequential baselines use this function,
+/// so "identical decisions" is a property of the pipeline, not of
+/// per-event mapping choices.
+Decision ApplyAccessEvent(AccessControlEngine* engine, const AccessEvent& e);
+
+/// Tuning knobs for the sharded pipeline.
+struct ShardedEngineOptions {
+  /// Number of shards == number of worker threads. Clamped to >= 1.
+  uint32_t num_shards = 4;
+  /// Per-shard engine options.
+  EngineOptions engine;
+};
+
+/// A batch-oriented, subject-sharded front end over N AccessControlEngine
+/// instances.
+///
+/// Lifecycle: construct (spawns workers), call EvaluateBatch any number
+/// of times from one control thread, destroy (joins workers). Database
+/// mutations are only legal between EvaluateBatch calls.
+class ShardedDecisionEngine {
+ public:
+  /// Borrows all stores; they must outlive the engine.
+  ShardedDecisionEngine(const MultilevelLocationGraph* graph,
+                        AuthorizationDatabase* auth_db,
+                        const UserProfileDatabase* profiles,
+                        ShardedEngineOptions options = {});
+  ~ShardedDecisionEngine();
+
+  ShardedDecisionEngine(const ShardedDecisionEngine&) = delete;
+  ShardedDecisionEngine& operator=(const ShardedDecisionEngine&) = delete;
+
+  /// Evaluates a batch of events. Events of the same subject are applied
+  /// in batch order (their times must be nondecreasing, as the movement
+  /// database requires); events of different subjects may be interleaved
+  /// arbitrarily by the partition. Returns one Decision per event, in
+  /// input order.
+  std::vector<Decision> EvaluateBatch(const std::vector<AccessEvent>& batch);
+
+  /// Shard a subject maps to.
+  uint32_t ShardOf(SubjectId s) const;
+
+  /// Number of shards.
+  uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
+
+  /// The movement view owned by `shard` (subjects hashing to that shard).
+  const MovementDatabase& shard_movements(uint32_t shard) const;
+
+  /// Merged alerts from every shard so far, ordered by (time, subject,
+  /// location, type) for determinism, clearing the per-shard buffers.
+  std::vector<Alert> DrainAlerts();
+
+  /// Aggregate counters across shards.
+  size_t requests_processed() const;
+  size_t requests_granted() const;
+  /// Batches evaluated so far.
+  size_t batches_evaluated() const { return batches_evaluated_; }
+
+ private:
+  /// One shard: private movement view + engine, driven by one worker.
+  struct Shard {
+    explicit Shard(const MultilevelLocationGraph* graph,
+                   AuthorizationDatabase* auth_db,
+                   const UserProfileDatabase* profiles,
+                   const EngineOptions& options);
+
+    MovementDatabase movements;
+    AccessControlEngine engine;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    /// Indices into the current batch owned by this shard, batch order.
+    std::vector<size_t> todo;
+    bool has_work = false;
+    bool stop = false;
+    std::thread worker;
+  };
+
+  void WorkerLoop(Shard* shard);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Batch currently being evaluated; set by EvaluateBatch, read by
+  /// workers while the completion latch is open.
+  const std::vector<AccessEvent>* current_batch_ = nullptr;
+  /// Output slots; workers write disjoint indices.
+  std::vector<Decision> decisions_;
+
+  /// Completion latch for the in-flight batch.
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  size_t pending_shards_ = 0;
+
+  size_t batches_evaluated_ = 0;
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_ENGINE_SHARDED_ENGINE_H_

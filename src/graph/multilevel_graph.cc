@@ -269,6 +269,10 @@ void MultilevelLocationGraph::BuildEffectiveAdjacency() const {
   effective_valid_ = true;
 }
 
+void MultilevelLocationGraph::WarmEffectiveAdjacency() const {
+  if (!effective_valid_) BuildEffectiveAdjacency();
+}
+
 const std::vector<LocationId>& MultilevelLocationGraph::EffectiveNeighbors(
     LocationId l) const {
   LTAM_CHECK(Exists(l)) << "location id " << l << " out of range";

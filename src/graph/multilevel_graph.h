@@ -120,6 +120,14 @@ class MultilevelLocationGraph {
   /// primitives. Cached; invalidated by any mutation.
   const std::vector<LocationId>& EffectiveNeighbors(LocationId l) const;
 
+  /// Builds the flattened-adjacency cache now if it is stale. Call this
+  /// before sharing the graph across threads that query
+  /// EffectiveNeighbors concurrently (e.g. ShardedDecisionEngine does so
+  /// at construction): the lazy build inside that const accessor is not
+  /// thread-safe, but a pre-warmed cache is read-only until the next
+  /// graph mutation.
+  void WarmEffectiveAdjacency() const;
+
   /// Maximum effective degree over all primitives (the paper's Nd).
   size_t MaxDegree() const;
 

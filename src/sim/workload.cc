@@ -3,6 +3,7 @@
 #include "sim/workload.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -78,6 +79,60 @@ std::vector<AccessRequest> GenerateRequests(
             [](const AccessRequest& a, const AccessRequest& b) {
               return a.time < b.time;
             });
+  return out;
+}
+
+std::vector<std::vector<AccessEvent>> GenerateEventBatches(
+    const MultilevelLocationGraph& graph,
+    const std::vector<SubjectId>& subjects, size_t total_events,
+    const BatchWorkloadOptions& options, Rng* rng) {
+  LTAM_CHECK(rng != nullptr);
+  LTAM_CHECK(options.batch_size > 0) << "batch_size must be positive";
+  LTAM_CHECK(options.max_step >= 1) << "max_step must be positive";
+  std::vector<std::vector<AccessEvent>> out;
+  if (subjects.empty() || total_events == 0) return out;
+  std::vector<LocationId> prims = graph.Primitives();
+  if (prims.empty()) return out;
+
+  // Per-subject monotone clocks keep every subject's stream strictly
+  // increasing in time across the whole run.
+  std::unordered_map<SubjectId, Chronon> clock;
+  std::unordered_map<SubjectId, bool> inside;
+
+  size_t remaining = total_events;
+  while (remaining > 0) {
+    size_t size = std::min(options.batch_size, remaining);
+    remaining -= size;
+    std::vector<AccessEvent> batch;
+    batch.reserve(size);
+    for (size_t i = 0; i < size; ++i) {
+      SubjectId s = subjects[rng->Uniform(subjects.size())];
+      Chronon t = clock[s] + rng->UniformRange(1, options.max_step);
+      clock[s] = t;
+      bool& in = inside[s];
+      if (in && rng->Bernoulli(options.exit_fraction)) {
+        batch.push_back(AccessEvent::Exit(t, s));
+        in = false;
+        continue;
+      }
+      LocationId l = prims[rng->Uniform(prims.size())];
+      if (rng->Bernoulli(options.observe_fraction)) {
+        batch.push_back(AccessEvent::Observe(t, s, l));
+      } else {
+        batch.push_back(AccessEvent::Entry(t, s, l));
+      }
+      in = true;
+    }
+    // Sort by (time, subject); same-subject events have distinct times,
+    // so the per-subject order is by-time both here and in a sequential
+    // replay of the batch.
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const AccessEvent& a, const AccessEvent& b) {
+                       if (a.time != b.time) return a.time < b.time;
+                       return a.subject < b.subject;
+                     });
+    out.push_back(std::move(batch));
+  }
   return out;
 }
 

@@ -14,6 +14,7 @@
 
 #include "core/auth_database.h"
 #include "core/decision.h"
+#include "engine/events.h"
 #include "graph/multilevel_graph.h"
 #include "profile/user_profile.h"
 #include "util/random.h"
@@ -54,6 +55,32 @@ std::vector<AccessRequest> GenerateRequests(
     const MultilevelLocationGraph& graph,
     const std::vector<SubjectId>& subjects, size_t count, Chronon horizon,
     Rng* rng);
+
+/// Parameters for GenerateEventBatches (the batch-pipeline workload).
+struct BatchWorkloadOptions {
+  /// Events per batch (the final batch may be smaller).
+  size_t batch_size = 256;
+  /// Probability that a subject's next event is an exit request (only
+  /// emitted when the generator believes the subject is inside).
+  double exit_fraction = 0.1;
+  /// Probability that a subject's next event is a tracking observation
+  /// instead of an entry request.
+  double observe_fraction = 0.1;
+  /// Per-subject clocks advance by uniform [1, max_step] per event, so
+  /// every subject's events are strictly increasing in time — the
+  /// ordering EvaluateBatch and the movement database require.
+  Chronon max_step = 5;
+};
+
+/// Generates `total_events` events split into batches for the sharded
+/// pipeline. Each subject's events are strictly increasing in time, both
+/// within and across batches, and each batch is sorted by (time, subject)
+/// so a sequential event-by-event replay sees the same per-subject order
+/// as the sharded engine. Targets are random primitive locations.
+std::vector<std::vector<AccessEvent>> GenerateEventBatches(
+    const MultilevelLocationGraph& graph,
+    const std::vector<SubjectId>& subjects, size_t total_events,
+    const BatchWorkloadOptions& options, Rng* rng);
 
 }  // namespace ltam
 

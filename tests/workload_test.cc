@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+
 #include "sim/graph_gen.h"
 #include "test_util.h"
 
@@ -107,6 +109,63 @@ TEST(WorkloadTest, GenerateRequestsSortedWithinHorizon) {
     }
   }
   EXPECT_TRUE(GenerateRequests(g, {}, 10, 500, &rng).empty());
+}
+
+TEST(WorkloadTest, GenerateEventBatchesInvariants) {
+  ASSERT_OK_AND_ASSIGN(MultilevelLocationGraph g, MakeGridGraph(4, 4));
+  UserProfileDatabase profiles;
+  std::vector<SubjectId> subjects = GenerateSubjects(&profiles, 6);
+  Rng rng(9);
+  BatchWorkloadOptions opt;
+  opt.batch_size = 64;
+  opt.exit_fraction = 0.2;
+  opt.observe_fraction = 0.2;
+  std::vector<std::vector<AccessEvent>> batches =
+      GenerateEventBatches(g, subjects, 300, opt, &rng);
+
+  // 300 events in batches of 64: 4 full + 1 remainder.
+  ASSERT_EQ(batches.size(), 5u);
+  size_t total = 0;
+  std::unordered_map<SubjectId, Chronon> last_time;
+  for (const std::vector<AccessEvent>& batch : batches) {
+    total += batch.size();
+    EXPECT_LE(batch.size(), 64u);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const AccessEvent& e = batch[i];
+      EXPECT_LT(e.subject, 6u);
+      if (e.kind != AccessEventKind::kRequestExit) {
+        EXPECT_TRUE(g.Exists(e.location));
+        EXPECT_TRUE(g.location(e.location).IsPrimitive());
+      }
+      // Batches are time-sorted...
+      if (i > 0) {
+        EXPECT_GE(e.time, batch[i - 1].time);
+      }
+      // ...and every subject's stream is strictly increasing, across
+      // batch boundaries too (the movement database's requirement).
+      auto it = last_time.find(e.subject);
+      if (it != last_time.end()) {
+        EXPECT_GT(e.time, it->second);
+      }
+      last_time[e.subject] = e.time;
+    }
+  }
+  EXPECT_EQ(total, 300u);
+
+  // An exit is only generated for a subject previously sent inside.
+  std::unordered_map<SubjectId, bool> seen_entry;
+  for (const auto& batch : batches) {
+    for (const AccessEvent& e : batch) {
+      if (e.kind == AccessEventKind::kRequestExit) {
+        EXPECT_TRUE(seen_entry[e.subject])
+            << "exit for a subject that never entered";
+      } else {
+        seen_entry[e.subject] = true;
+      }
+    }
+  }
+
+  EXPECT_TRUE(GenerateEventBatches(g, {}, 10, opt, &rng).empty());
 }
 
 }  // namespace
