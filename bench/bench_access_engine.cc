@@ -6,12 +6,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
+#include <string>
 
 #include "engine/access_control_engine.h"
 #include "engine/sharded_engine.h"
 #include "sim/graph_gen.h"
 #include "sim/workload.h"
+#include "storage/durable_sharded_system.h"
+#include "storage/durable_system.h"
+#include "util/logging.h"
 #include "util/random.h"
 
 namespace {
@@ -230,6 +236,100 @@ void BM_BatchDecisionSharded(benchmark::State& state) {
 BENCHMARK(BM_BatchDecisionSharded)
     ->Arg(1)
     ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// --- Durable batch pipeline (WAL + group commit) ----------------------------
+//
+// The same stream as the in-memory BatchDecision benchmarks, but through
+// the crash-safe runtimes: every event is appended to a write-ahead log
+// before it is applied. The gap between BM_BatchDecision* and
+// BM_DurableBatch* is the price of durability; the sequential durable
+// runtime flushes per event while the sharded one group-commits one
+// fsync per shard per batch.
+
+std::string MakeBenchDir() {
+  std::string tmpl = std::filesystem::temp_directory_path().string() +
+                     "/ltam_bench_XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  LTAM_CHECK(made != nullptr) << "mkdtemp failed";
+  return tmpl;
+}
+
+/// Sequential durable runtime over the flattened stream.
+void BM_DurableBatchSequential(benchmark::State& state) {
+  BatchWorld w = MakeBatchWorld();
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string dir = MakeBenchDir();
+    SystemState init;
+    init.graph = w.graph;
+    init.profiles = w.profiles;
+    init.auth_db = w.auth_db;
+    auto sys = DurableSystem::Open(dir, std::move(init)).ValueOrDie();
+    state.ResumeTiming();
+    for (const auto& batch : w.batches) {
+      for (const AccessEvent& e : batch) {
+        switch (e.kind) {
+          case AccessEventKind::kRequestEntry:
+            benchmark::DoNotOptimize(
+                sys->RequestEntry(e.time, e.subject, e.location));
+            break;
+          case AccessEventKind::kRequestExit:
+            benchmark::DoNotOptimize(sys->RequestExit(e.time, e.subject));
+            break;
+          case AccessEventKind::kObserve:
+            benchmark::DoNotOptimize(
+                sys->ObservePresence(e.time, e.subject, e.location));
+            break;
+        }
+      }
+    }
+    state.PauseTiming();
+    sys.reset();
+    std::filesystem::remove_all(dir);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * w.total_events));
+}
+BENCHMARK(BM_DurableBatchSequential)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Sharded durable runtime: per-shard WALs appended on the workers, one
+/// group-commit fsync per shard per batch.
+void BM_DurableBatchSharded(benchmark::State& state) {
+  BatchWorld w = MakeBatchWorld();
+  DurableShardedOptions opt;
+  opt.num_shards = static_cast<uint32_t>(state.range(0));
+  opt.engine = QuietEngineOptions();
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string dir = MakeBenchDir();
+    SystemState init;
+    init.graph = w.graph;
+    init.profiles = w.profiles;
+    init.auth_db = w.auth_db;
+    auto sys =
+        DurableShardedSystem::Open(dir, std::move(init), opt).ValueOrDie();
+    state.ResumeTiming();
+    for (const auto& batch : w.batches) {
+      benchmark::DoNotOptimize(sys->EvaluateBatch(batch));
+    }
+    state.PauseTiming();
+    sys.reset();
+    std::filesystem::remove_all(dir);
+    state.ResumeTiming();
+  }
+  state.counters["shards"] = static_cast<double>(opt.num_shards);
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * w.total_events));
+}
+BENCHMARK(BM_DurableBatchSharded)
+    ->Arg(1)
     ->Arg(4)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)

@@ -2,13 +2,15 @@
 # Copyright 2026 The LTAM Authors.
 #
 # CI entry point. Usage:
-#   ./ci.sh            # tier1 + asan + tsan
+#   ./ci.sh            # tier1 + asan + tsan + bench
 #   ./ci.sh tier1      # plain build + full ctest suite (the tier-1 gate)
 #   ./ci.sh asan       # AddressSanitizer + UBSan build, full ctest suite
 #   ./ci.sh tsan       # ThreadSanitizer build, concurrency-relevant tests
+#   ./ci.sh bench      # batch/durable throughput -> BENCH_pr2.json
 #
 # Every future PR is expected to pass `./ci.sh` locally; the tier-1 gate
-# is exactly the ROADMAP verify command.
+# is exactly the ROADMAP verify command. For a quick pre-commit signal,
+# `ctest --test-dir build -L fast` skips the slow crash-matrix suites.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -34,27 +36,45 @@ tsan() {
   echo "=== tsan: thread sanitizer, concurrency tests ==="
   cmake -B build-tsan -S . -DLTAM_SANITIZE=thread \
     -DLTAM_BUILD_BENCHMARKS=OFF -DLTAM_BUILD_EXAMPLES=OFF
-  # The sharded pipeline and the caches it leans on are the concurrent
-  # surface; engine/movement tests ride along as single-threaded controls.
+  # The sharded pipeline, the caches it leans on, and the durable runtime
+  # (worker-thread WAL appends + parallel recovery replay) are the
+  # concurrent surface; engine/movement tests ride along as controls.
   local targets=(sharded_engine_test auth_cache_test auth_database_test
-                 engine_test movement_db_test)
+                 engine_test movement_db_test durable_sharded_test
+                 durable_equivalence_test)
   cmake --build build-tsan -j"$JOBS" --target "${targets[@]}"
   for t in "${targets[@]}"; do
     "./build-tsan/tests/$t"
   done
 }
 
+bench() {
+  echo "=== bench: batch/durable throughput -> BENCH_pr2.json ==="
+  cmake -B build -S .
+  if ! cmake --build build -j"$JOBS" --target bench_access_engine; then
+    echo "bench: google-benchmark not available; skipping" >&2
+    return 0
+  fi
+  ./build/bench/bench_access_engine \
+    --benchmark_filter='BatchDecision|DurableBatch' \
+    --benchmark_min_time=0.05 \
+    --benchmark_out=BENCH_pr2.json --benchmark_out_format=json
+  echo "bench: wrote $(pwd)/BENCH_pr2.json"
+}
+
 case "${1:-all}" in
   tier1) tier1 ;;
   asan) asan ;;
   tsan) tsan ;;
+  bench) bench ;;
   all)
     tier1
     asan
     tsan
+    bench
     ;;
   *)
-    echo "usage: $0 [tier1|asan|tsan|all]" >&2
+    echo "usage: $0 [tier1|asan|tsan|bench|all]" >&2
     exit 2
     ;;
 esac

@@ -30,6 +30,8 @@ const char* DenyReasonToString(DenyReason reason) {
       return "unknown-location";
     case DenyReason::kExitRejected:
       return "exit-rejected";
+    case DenyReason::kWalError:
+      return "wal-error";
   }
   return "unknown";
 }

@@ -33,6 +33,9 @@ enum class DenyReason : uint8_t {
   kUnknownLocation = 6,    ///< Location does not exist or is composite.
   kExitRejected = 7,       ///< Exit request refused: the subject is not
                            ///< inside, or the event is out of order.
+  kWalError = 8,           ///< Durability failure: the event could not be
+                           ///< appended to the write-ahead log, so it was
+                           ///< refused rather than applied unlogged.
 };
 
 /// Returns a stable lower-case name for a deny reason.

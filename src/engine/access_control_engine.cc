@@ -36,6 +36,12 @@ bool AccessControlEngine::AdjacencyOk(SubjectId s, LocationId l) const {
     std::vector<LocationId> doors = graph_->EntryPrimitives(graph_->root());
     return std::find(doors.begin(), doors.end(), l) != doors.end();
   }
+  if (!graph_->Exists(cur) || !graph_->location(cur).IsPrimitive()) {
+    // The movement database names a location the layout does not (a
+    // corrupted log replay, or a layout edit that removed the room).
+    // There is no legal step from nowhere.
+    return false;
+  }
   const std::vector<LocationId>& adj = graph_->EffectiveNeighbors(cur);
   return std::find(adj.begin(), adj.end(), l) != adj.end();
 }
@@ -112,6 +118,14 @@ void AccessControlEngine::ObservePresence(Chronon t, SubjectId s,
                                           LocationId l) {
   LocationId cur = movement_db_->CurrentLocation(s);
   if (cur == l) return;  // Observation agrees with the database.
+  if (!graph_->Exists(l) || !graph_->location(l).IsPrimitive()) {
+    // The tracking substrate named a location the layout does not have
+    // (sensor glitch or corrupted log). Never record it: a phantom
+    // current location would poison every later adjacency check.
+    RaiseAlert(t, s, l, AlertType::kImpossibleMovement,
+               "observation names an unknown location");
+    return;
+  }
 
   // The subject is somewhere the database does not expect: they moved
   // without a granted request.

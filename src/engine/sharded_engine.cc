@@ -24,11 +24,14 @@ Decision ApplyAccessEvent(AccessControlEngine* engine, const AccessEvent& e) {
   return Decision::Deny(DenyReason::kNone);  // Unreachable.
 }
 
-ShardedDecisionEngine::Shard::Shard(const MultilevelLocationGraph* graph,
+ShardedDecisionEngine::Shard::Shard(uint32_t index,
+                                    const MultilevelLocationGraph* graph,
                                     AuthorizationDatabase* auth_db,
                                     const UserProfileDatabase* profiles,
                                     const EngineOptions& options)
-    : movements(), engine(graph, auth_db, &movements, profiles, options) {}
+    : index(index),
+      movements(),
+      engine(graph, auth_db, &movements, profiles, options) {}
 
 ShardedDecisionEngine::ShardedDecisionEngine(
     const MultilevelLocationGraph* graph, AuthorizationDatabase* auth_db,
@@ -41,7 +44,7 @@ ShardedDecisionEngine::ShardedDecisionEngine(
   shards_.reserve(n);
   for (uint32_t k = 0; k < n; ++k) {
     shards_.push_back(
-        std::make_unique<Shard>(graph, auth_db, profiles, options.engine));
+        std::make_unique<Shard>(k, graph, auth_db, profiles, options.engine));
   }
   for (auto& shard : shards_) {
     shard->worker = std::thread([this, s = shard.get()] { WorkerLoop(s); });
@@ -61,17 +64,69 @@ ShardedDecisionEngine::~ShardedDecisionEngine() {
   }
 }
 
-uint32_t ShardedDecisionEngine::ShardOf(SubjectId s) const {
+uint32_t ShardedDecisionEngine::ShardOfSubject(SubjectId s,
+                                               uint32_t num_shards) {
+  LTAM_CHECK(num_shards > 0) << "partition needs at least one shard";
   // Fibonacci-style mix so consecutive subject ids spread across shards.
   uint64_t x = static_cast<uint64_t>(s) * 0x9e3779b97f4a7c15ULL;
   x ^= x >> 32;
-  return static_cast<uint32_t>(x % shards_.size());
+  return static_cast<uint32_t>(x % num_shards);
+}
+
+uint32_t ShardedDecisionEngine::ShardOf(SubjectId s) const {
+  return ShardOfSubject(s, static_cast<uint32_t>(shards_.size()));
 }
 
 const MovementDatabase& ShardedDecisionEngine::shard_movements(
     uint32_t shard) const {
   LTAM_CHECK(shard < shards_.size()) << "shard index out of range";
   return shards_[shard]->movements;
+}
+
+MovementDatabase& ShardedDecisionEngine::mutable_shard_movements(
+    uint32_t shard) {
+  LTAM_CHECK(shard < shards_.size()) << "shard index out of range";
+  return shards_[shard]->movements;
+}
+
+AccessControlEngine& ShardedDecisionEngine::shard_engine(uint32_t shard) {
+  LTAM_CHECK(shard < shards_.size()) << "shard index out of range";
+  return shards_[shard]->engine;
+}
+
+const AccessControlEngine& ShardedDecisionEngine::shard_engine(
+    uint32_t shard) const {
+  LTAM_CHECK(shard < shards_.size()) << "shard index out of range";
+  return shards_[shard]->engine;
+}
+
+void ShardedDecisionEngine::SetShardHooks(ShardHooks hooks) {
+  hooks_ = std::move(hooks);
+}
+
+Status ShardedDecisionEngine::TakeBatchError() {
+  std::lock_guard<std::mutex> lock(done_mu_);
+  Status out = std::move(batch_error_);
+  batch_error_ = Status::OK();
+  return out;
+}
+
+void ShardedDecisionEngine::RecordBatchError(Status status) {
+  std::lock_guard<std::mutex> lock(done_mu_);
+  if (batch_error_.ok()) batch_error_ = std::move(status);
+}
+
+void ShardedDecisionEngine::Tick(Chronon t) {
+  for (uint32_t k = 0; k < shards_.size(); ++k) TickShard(k, t);
+}
+
+void ShardedDecisionEngine::TickShard(uint32_t shard, Chronon t) {
+  LTAM_CHECK(shard < shards_.size()) << "shard index out of range";
+  // Control-phase: workers are parked between batches, so ticking the
+  // shard's engine here cannot race a batch slice (the per-shard lock is
+  // belt-and-braces, mirroring DrainAlerts).
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  shards_[shard]->engine.Tick(t);
 }
 
 void ShardedDecisionEngine::WorkerLoop(Shard* shard) {
@@ -82,7 +137,22 @@ void ShardedDecisionEngine::WorkerLoop(Shard* shard) {
     // Per-subject batch order is preserved: todo holds this shard's event
     // indices ascending, and every event of a given subject maps here.
     for (size_t i : shard->todo) {
-      decisions_[i] = ApplyAccessEvent(&shard->engine, (*current_batch_)[i]);
+      const AccessEvent& event = (*current_batch_)[i];
+      if (hooks_.before_apply) {
+        Status logged = hooks_.before_apply(shard->index, event);
+        if (!logged.ok()) {
+          // Write-ahead contract: an event that could not be logged is
+          // refused, never applied — state must not run ahead of the log.
+          decisions_[i] = Decision::Deny(DenyReason::kWalError);
+          RecordBatchError(std::move(logged));
+          continue;
+        }
+      }
+      decisions_[i] = ApplyAccessEvent(&shard->engine, event);
+    }
+    if (hooks_.after_batch) {
+      Status synced = hooks_.after_batch(shard->index);
+      if (!synced.ok()) RecordBatchError(std::move(synced));
     }
     shard->todo.clear();
     shard->has_work = false;

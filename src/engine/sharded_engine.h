@@ -29,6 +29,7 @@
 #define LTAM_ENGINE_SHARDED_ENGINE_H_
 
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -59,6 +60,23 @@ struct ShardedEngineOptions {
   EngineOptions engine;
 };
 
+/// Per-shard worker callbacks, the seam the durable runtime plugs into.
+/// Both run on the shard's worker thread.
+struct ShardHooks {
+  /// Invoked for every event before it is applied (write-ahead: append
+  /// the event to the shard's log here). A non-OK status refuses the
+  /// event — it is NOT applied and its decision becomes
+  /// Deny(kWalError) — so state never runs ahead of the log.
+  std::function<Status(uint32_t shard, const AccessEvent& event)> before_apply;
+  /// Invoked once per batch per participating shard, after its whole
+  /// slice has been appended and applied — the group-commit barrier
+  /// (e.g. one WalWriter::Sync instead of an fsync per event). A non-OK
+  /// status is reported through TakeBatchError but does NOT undo the
+  /// slice: the events are applied and logged, only their durability is
+  /// in doubt.
+  std::function<Status(uint32_t shard)> after_batch;
+};
+
 /// A batch-oriented, subject-sharded front end over N AccessControlEngine
 /// instances.
 ///
@@ -87,11 +105,44 @@ class ShardedDecisionEngine {
   /// Shard a subject maps to.
   uint32_t ShardOf(SubjectId s) const;
 
+  /// The partition function itself, usable without an engine instance
+  /// (recovery must route logged subjects identically across restarts —
+  /// the mapping is stable for a fixed `num_shards`).
+  static uint32_t ShardOfSubject(SubjectId s, uint32_t num_shards);
+
   /// Number of shards.
   uint32_t num_shards() const { return static_cast<uint32_t>(shards_.size()); }
 
   /// The movement view owned by `shard` (subjects hashing to that shard).
   const MovementDatabase& shard_movements(uint32_t shard) const;
+
+  // --- Control-phase surface (no batch may be in flight) -------------------
+
+  /// Installs worker callbacks (see ShardHooks). Replaces any previous
+  /// hooks; pass {} to detach.
+  void SetShardHooks(ShardHooks hooks);
+
+  /// First error any hook reported during the most recent EvaluateBatch,
+  /// cleared by the read. OK when every hook succeeded.
+  Status TakeBatchError();
+
+  /// Mutable access to one shard's movement view, for recovery seeding
+  /// (restoring a snapshot segment before the first batch).
+  MovementDatabase& mutable_shard_movements(uint32_t shard);
+
+  /// Direct access to one shard's engine, for recovery (ResumeStay,
+  /// replaying a log tail) and alert inspection between batches.
+  AccessControlEngine& shard_engine(uint32_t shard);
+  const AccessControlEngine& shard_engine(uint32_t shard) const;
+
+  /// Patrol tick fanned out to every shard's engine on the control
+  /// thread; overstay alerts land in the per-shard buffers.
+  void Tick(Chronon t);
+
+  /// Ticks a single shard's engine (the durable runtime ticks shard by
+  /// shard so a shard whose log append failed is skipped — its state
+  /// must not run ahead of its log).
+  void TickShard(uint32_t shard, Chronon t);
 
   /// Merged alerts from every shard so far, ordered by (time, subject,
   /// location, type) for determinism, clearing the per-shard buffers.
@@ -106,11 +157,12 @@ class ShardedDecisionEngine {
  private:
   /// One shard: private movement view + engine, driven by one worker.
   struct Shard {
-    explicit Shard(const MultilevelLocationGraph* graph,
+    explicit Shard(uint32_t index, const MultilevelLocationGraph* graph,
                    AuthorizationDatabase* auth_db,
                    const UserProfileDatabase* profiles,
                    const EngineOptions& options);
 
+    uint32_t index = 0;
     MovementDatabase movements;
     AccessControlEngine engine;
 
@@ -125,7 +177,14 @@ class ShardedDecisionEngine {
 
   void WorkerLoop(Shard* shard);
 
+  /// Records a hook failure for the in-flight batch (first error wins).
+  void RecordBatchError(Status status);
+
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Worker callbacks; written only between batches (SetShardHooks),
+  /// read by workers while a batch is in flight.
+  ShardHooks hooks_;
 
   /// Batch currently being evaluated; set by EvaluateBatch, read by
   /// workers while the completion latch is open.
@@ -137,6 +196,8 @@ class ShardedDecisionEngine {
   std::mutex done_mu_;
   std::condition_variable done_cv_;
   size_t pending_shards_ = 0;
+  /// First hook failure of the current batch; guarded by done_mu_.
+  Status batch_error_;
 
   size_t batches_evaluated_ = 0;
 };

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "engine/sharded_engine.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -134,6 +135,25 @@ std::vector<std::vector<AccessEvent>> GenerateEventBatches(
     out.push_back(std::move(batch));
   }
   return out;
+}
+
+SequentialReplay ReplayBatchesSequential(
+    const MultilevelLocationGraph& graph, AuthorizationDatabase* auth_db,
+    const UserProfileDatabase& profiles,
+    const std::vector<std::vector<AccessEvent>>& batches,
+    const EngineOptions& options) {
+  LTAM_CHECK(auth_db != nullptr);
+  SequentialReplay replay;
+  MovementDatabase movements;
+  AccessControlEngine engine(&graph, auth_db, &movements, &profiles, options);
+  for (const std::vector<AccessEvent>& batch : batches) {
+    for (const AccessEvent& event : batch) {
+      replay.decisions.push_back(ApplyAccessEvent(&engine, event));
+      ++replay.events;
+    }
+  }
+  replay.alerts = engine.alerts();
+  return replay;
 }
 
 }  // namespace ltam

@@ -14,6 +14,7 @@
 
 #include "core/auth_database.h"
 #include "core/decision.h"
+#include "engine/access_control_engine.h"
 #include "engine/events.h"
 #include "graph/multilevel_graph.h"
 #include "profile/user_profile.h"
@@ -81,6 +82,28 @@ std::vector<std::vector<AccessEvent>> GenerateEventBatches(
     const MultilevelLocationGraph& graph,
     const std::vector<SubjectId>& subjects, size_t total_events,
     const BatchWorkloadOptions& options, Rng* rng);
+
+/// Outcome of replaying an event-batch stream through one sequential
+/// AccessControlEngine — the reference the sharded and durable pipelines
+/// are equivalence-tested (and benchmarked) against.
+struct SequentialReplay {
+  /// One decision per event, flattened in batch order (the same mapping
+  /// ApplyAccessEvent uses: exits grant/deny, observations grant).
+  std::vector<Decision> decisions;
+  /// Alerts the reference engine raised, in raise order.
+  std::vector<Alert> alerts;
+  /// Total events replayed.
+  size_t events = 0;
+};
+
+/// Replays `batches` event-by-event through a fresh sequential engine
+/// over the given stores (a private MovementDatabase is used; `auth_db`
+/// ledger state is mutated exactly as a live run would).
+SequentialReplay ReplayBatchesSequential(
+    const MultilevelLocationGraph& graph, AuthorizationDatabase* auth_db,
+    const UserProfileDatabase& profiles,
+    const std::vector<std::vector<AccessEvent>>& batches,
+    const EngineOptions& options = {});
 
 }  // namespace ltam
 

@@ -1,0 +1,187 @@
+// Copyright 2026 The LTAM Authors.
+// Durable sharded LTAM runtime: the batch decision pipeline of
+// engine/sharded_engine.h made crash-safe.
+//
+// Layout of one durable directory (all names recorded in `MANIFEST`):
+//
+//   MANIFEST                    the committed checkpoint cut (see
+//                               storage/manifest.h; atomically renamed)
+//   base-<epoch>.snap           shared state: graph, profiles,
+//                               authorization ledger, rules
+//   shard-<k>-<epoch>.snap      shard k's movement history at the cut
+//   events-<k>-<epoch>.wal      shard k's log tail since the cut
+//
+// Durability discipline: each shard's worker thread appends every event
+// of its batch slice to its own WAL *before* applying it (write-ahead,
+// via ShardHooks::before_apply), then issues one group-commit fsync per
+// batch (ShardHooks::after_batch) instead of one per event — durability
+// costs one barrier per shard per batch, off the per-event hot path.
+//
+// Checkpoint() writes every segment of the next epoch, publishes them by
+// atomically renaming a fresh MANIFEST, then deletes the previous
+// epoch's files. A crash at any instant leaves a committed cut: either
+// the old manifest (new files are orphans, removed on the next
+// checkpoint's sweep) or the new one.
+//
+// Open() recovers by loading the manifest's base snapshot and shard
+// segments, rebuilding each shard's open-stay attribution exactly as the
+// sequential DurableSystem does (first in-window authorization wins),
+// then replaying every shard's log tail *in parallel* — safe because the
+// partition confines each subject's events to one shard, the same
+// discipline the live pipeline runs under. Recovered state is identical
+// to a sequential replay of the surviving log prefix (the property
+// tests/durable_sharded_test.cc enforces under crash injection).
+
+#ifndef LTAM_STORAGE_DURABLE_SHARDED_SYSTEM_H_
+#define LTAM_STORAGE_DURABLE_SHARDED_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/sharded_engine.h"
+#include "storage/manifest.h"
+#include "storage/snapshot.h"
+#include "storage/wal.h"
+
+namespace ltam {
+
+/// Tuning knobs for the durable sharded runtime.
+struct DurableShardedOptions {
+  /// Shard count for a *fresh* directory. Recovery always reuses the
+  /// manifest's count — the on-disk partition is fixed at creation.
+  uint32_t num_shards = 4;
+  /// Per-shard engine options.
+  EngineOptions engine;
+  /// Group-commit: fsync each shard's WAL once per batch (and per
+  /// tick). Disable only for throughput experiments where the OS page
+  /// cache is an acceptable durability boundary.
+  bool sync_every_batch = true;
+};
+
+/// A crash-safe, subject-sharded batch runtime rooted at one directory.
+///
+/// Lifecycle mirrors ShardedDecisionEngine: Open (recovers or
+/// initializes), EvaluateBatch/Tick/Checkpoint from one control thread,
+/// destroy (joins workers). Database mutations on base() are only legal
+/// between batches and are NOT logged — persist them via Checkpoint().
+class DurableShardedSystem {
+ public:
+  /// Opens (or creates) the runtime in `dir`. A fresh directory is
+  /// seeded from `initial` (its movement history is partitioned across
+  /// the shards) and immediately checkpointed as epoch 0, so recovery
+  /// never needs `initial` again; when a MANIFEST exists, `initial` is
+  /// ignored and state is recovered from the committed cut.
+  static Result<std::unique_ptr<DurableShardedSystem>> Open(
+      const std::string& dir, SystemState initial,
+      DurableShardedOptions options = {});
+
+  ~DurableShardedSystem();
+  DurableShardedSystem(const DurableShardedSystem&) = delete;
+  DurableShardedSystem& operator=(const DurableShardedSystem&) = delete;
+
+  // --- Logged entry points -------------------------------------------------
+
+  /// Logs and applies a batch: each shard's worker appends its slice to
+  /// its WAL before applying, then group-commits. Returns one decision
+  /// per event in input order. Durability failures surface as an error
+  /// status, with two distinct meanings: an *append* failure refused the
+  /// affected events (Deny(kWalError), never applied — do resubmit);
+  /// a *group-commit fsync* failure means the whole batch WAS applied
+  /// and logged but its durability is not yet guaranteed — do NOT
+  /// resubmit, treat it as applied-with-durability-in-doubt.
+  Result<std::vector<Decision>> EvaluateBatch(
+      const std::vector<AccessEvent>& batch);
+
+  /// Logs and applies a patrol tick on every shard.
+  Status Tick(Chronon t);
+
+  // --- Durability ----------------------------------------------------------
+
+  /// Persists the full state as a new epoch and truncates every shard's
+  /// log. Subsequent recovery starts from here.
+  Status Checkpoint();
+
+  /// Events appended across all shard logs through this instance (reset
+  /// by Checkpoint; a recovered tail replayed at Open is not counted).
+  size_t wal_events() const;
+
+  /// Current committed checkpoint epoch.
+  uint64_t epoch() const { return epoch_; }
+
+  // --- Introspection -------------------------------------------------------
+
+  /// Shared state (graph/profiles/auth ledger/rules). Movement state
+  /// lives in the per-shard views, not here.
+  const SystemState& base() const { return base_; }
+  SystemState& mutable_base() { return base_; }
+
+  const ShardedDecisionEngine& engine() const { return *engine_; }
+  ShardedDecisionEngine& engine() { return *engine_; }
+
+  uint32_t num_shards() const { return engine_->num_shards(); }
+  uint32_t ShardOf(SubjectId s) const { return engine_->ShardOf(s); }
+  const MovementDatabase& shard_movements(uint32_t shard) const {
+    return engine_->shard_movements(shard);
+  }
+
+  /// Merged alerts from every shard (deterministically ordered),
+  /// clearing the per-shard buffers.
+  std::vector<Alert> DrainAlerts() { return engine_->DrainAlerts(); }
+
+  /// Rebuilds one unified movement database from every shard's view
+  /// (history merged in time order; per-subject order is preserved since
+  /// each subject lives on exactly one shard). For cross-shard queries
+  /// and tests; cost is linear in total history.
+  MovementDatabase MergedMovements() const;
+
+ private:
+  DurableShardedSystem(std::string dir, DurableShardedOptions options);
+
+  std::string FilePath(const std::string& name) const;
+  std::string BaseSnapName(uint64_t epoch) const;
+  std::string ShardSnapName(uint32_t shard, uint64_t epoch) const;
+  std::string ShardWalName(uint32_t shard, uint64_t epoch) const;
+
+  /// Constructs the engine over base_ with `num_shards` shards.
+  void InitEngine(uint32_t num_shards);
+
+  /// Moves base_.movements into the per-shard views (partitioned by
+  /// subject, history order preserved), leaving base_.movements empty.
+  Status PartitionBaseMovements();
+
+  /// Re-registers open stays on shard `k`'s engine from its movement
+  /// view — the same first-in-window-authorization-wins choice the
+  /// sequential DurableSystem makes.
+  void RebuildShardStays(uint32_t k);
+
+  /// Replays every shard's WAL tail in parallel; `manifest` names the
+  /// files. Missing WAL files are treated as empty (a crash between
+  /// manifest publication and log creation loses no committed event).
+  Status ReplayShardLogs(const ShardManifest& manifest);
+
+  /// Writes every segment of `epoch` + its manifest and swaps in fresh
+  /// WAL writers. On success *out_manifest holds the committed cut.
+  Status WriteEpoch(uint64_t epoch, ShardManifest* out_manifest);
+
+  /// Installs the write-ahead hooks on the engine.
+  void InstallHooks();
+
+  /// Best-effort removal of a superseded epoch's files.
+  void RemoveEpochFiles(uint64_t epoch);
+
+  std::string dir_;
+  DurableShardedOptions options_;
+  /// Shared stores the engine borrows; movements stays empty (movement
+  /// state lives in the shard views).
+  SystemState base_;
+  std::unique_ptr<ShardedDecisionEngine> engine_;
+  /// One writer per shard; appended by that shard's worker during a
+  /// batch, and by the control thread for ticks between batches.
+  std::vector<std::unique_ptr<WalWriter>> wals_;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_STORAGE_DURABLE_SHARDED_SYSTEM_H_

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "storage/event_log.h"
 #include "util/string_util.h"
 
 namespace ltam {
@@ -46,6 +47,10 @@ Result<std::unique_ptr<DurableSystem>> DurableSystem::Open(
   LTAM_RETURN_IF_ERROR(sys->InitEngine());
   sys->RebuildActiveStays();
   if (FileExists(WalPath(dir))) {
+    // Drop a torn final record before replaying; otherwise the next
+    // append would merge with it into one garbage line.
+    LTAM_ASSIGN_OR_RETURN(size_t dropped, TruncateTornWalTail(WalPath(dir)));
+    (void)dropped;
     LTAM_RETURN_IF_ERROR(sys->ReplayLogTail());
   }
   LTAM_ASSIGN_OR_RETURN(WalWriter wal, WalWriter::Open(WalPath(dir)));
@@ -81,43 +86,10 @@ void DurableSystem::RebuildActiveStays() {
 
 Status DurableSystem::ReplayLogTail() {
   replaying_ = true;
+  // The shared logged-event codec (storage/event_log.h) decodes and
+  // re-applies each record; denials repeat deterministically.
   Status st = ReplayWal(WalPath(dir_), [this](const Record& rec) -> Status {
-    auto i64 = [&rec](size_t i) -> Result<int64_t> {
-      if (i >= rec.fields.size()) {
-        return Status::ParseError("WAL record '" + rec.type +
-                                  "' missing field " + std::to_string(i));
-      }
-      return ParseInt64(rec.fields[i]);
-    };
-    if (rec.type == "ev-entry") {
-      LTAM_ASSIGN_OR_RETURN(int64_t t, i64(0));
-      LTAM_ASSIGN_OR_RETURN(int64_t s, i64(1));
-      LTAM_ASSIGN_OR_RETURN(int64_t l, i64(2));
-      engine_->RequestEntry(t, static_cast<SubjectId>(s),
-                            static_cast<LocationId>(l));
-      return Status::OK();
-    }
-    if (rec.type == "ev-exit") {
-      LTAM_ASSIGN_OR_RETURN(int64_t t, i64(0));
-      LTAM_ASSIGN_OR_RETURN(int64_t s, i64(1));
-      Status ignored = engine_->RequestExit(t, static_cast<SubjectId>(s));
-      (void)ignored;  // Deterministic re-application; failures repeat.
-      return Status::OK();
-    }
-    if (rec.type == "ev-obs") {
-      LTAM_ASSIGN_OR_RETURN(int64_t t, i64(0));
-      LTAM_ASSIGN_OR_RETURN(int64_t s, i64(1));
-      LTAM_ASSIGN_OR_RETURN(int64_t l, i64(2));
-      engine_->ObservePresence(t, static_cast<SubjectId>(s),
-                               static_cast<LocationId>(l));
-      return Status::OK();
-    }
-    if (rec.type == "ev-tick") {
-      LTAM_ASSIGN_OR_RETURN(int64_t t, i64(0));
-      engine_->Tick(t);
-      return Status::OK();
-    }
-    return Status::ParseError("unknown WAL record '" + rec.type + "'");
+    return ApplyLoggedRecord(engine_.get(), rec);
   });
   replaying_ = false;
   return st;
@@ -134,28 +106,23 @@ Status DurableSystem::Log(const Record& record) {
 
 Result<Decision> DurableSystem::RequestEntry(Chronon t, SubjectId s,
                                              LocationId l) {
-  LTAM_RETURN_IF_ERROR(Log({"ev-entry",
-                            {std::to_string(t), std::to_string(s),
-                             std::to_string(l)}}));
+  LTAM_RETURN_IF_ERROR(Log(EncodeEventRecord(AccessEvent::Entry(t, s, l))));
   return engine_->RequestEntry(t, s, l);
 }
 
 Status DurableSystem::RequestExit(Chronon t, SubjectId s) {
-  LTAM_RETURN_IF_ERROR(
-      Log({"ev-exit", {std::to_string(t), std::to_string(s)}}));
+  LTAM_RETURN_IF_ERROR(Log(EncodeEventRecord(AccessEvent::Exit(t, s))));
   return engine_->RequestExit(t, s);
 }
 
 Status DurableSystem::ObservePresence(Chronon t, SubjectId s, LocationId l) {
-  LTAM_RETURN_IF_ERROR(Log({"ev-obs",
-                            {std::to_string(t), std::to_string(s),
-                             std::to_string(l)}}));
+  LTAM_RETURN_IF_ERROR(Log(EncodeEventRecord(AccessEvent::Observe(t, s, l))));
   engine_->ObservePresence(t, s, l);
   return Status::OK();
 }
 
 Status DurableSystem::Tick(Chronon t) {
-  LTAM_RETURN_IF_ERROR(Log({"ev-tick", {std::to_string(t)}}));
+  LTAM_RETURN_IF_ERROR(Log(EncodeTickRecord(t)));
   engine_->Tick(t);
   return Status::OK();
 }

@@ -1,0 +1,115 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "storage/event_log.h"
+
+#include <limits>
+
+#include "engine/sharded_engine.h"
+#include "util/string_util.h"
+
+namespace ltam {
+
+namespace {
+
+constexpr const char kEntryTag[] = "ev-entry";
+constexpr const char kExitTag[] = "ev-exit";
+constexpr const char kObserveTag[] = "ev-obs";
+constexpr const char kTickTag[] = "ev-tick";
+
+Result<int64_t> Field(const Record& rec, size_t i) {
+  if (i >= rec.fields.size()) {
+    return Status::ParseError("WAL record '" + rec.type + "' missing field " +
+                              std::to_string(i));
+  }
+  return ParseInt64(rec.fields[i]);
+}
+
+Status CheckFieldCount(const Record& rec, size_t expected) {
+  if (rec.fields.size() != expected) {
+    return Status::ParseError("WAL record '" + rec.type + "' has " +
+                              std::to_string(rec.fields.size()) +
+                              " fields, expected " + std::to_string(expected));
+  }
+  return Status::OK();
+}
+
+/// Ids are stored as decimal int64 but must round-trip through uint32.
+Result<uint32_t> CheckedId(int64_t v, const char* what) {
+  if (v < 0 || v > static_cast<int64_t>(std::numeric_limits<uint32_t>::max())) {
+    return Status::ParseError(std::string(what) + " id out of range: " +
+                              std::to_string(v));
+  }
+  return static_cast<uint32_t>(v);
+}
+
+}  // namespace
+
+Record EncodeEventRecord(const AccessEvent& event) {
+  switch (event.kind) {
+    case AccessEventKind::kRequestEntry:
+      return Record{kEntryTag,
+                    {std::to_string(event.time), std::to_string(event.subject),
+                     std::to_string(event.location)}};
+    case AccessEventKind::kRequestExit:
+      return Record{kExitTag,
+                    {std::to_string(event.time),
+                     std::to_string(event.subject)}};
+    case AccessEventKind::kObserve:
+      return Record{kObserveTag,
+                    {std::to_string(event.time), std::to_string(event.subject),
+                     std::to_string(event.location)}};
+  }
+  return Record{kTickTag, {std::to_string(event.time)}};  // Unreachable.
+}
+
+Record EncodeTickRecord(Chronon t) {
+  return Record{kTickTag, {std::to_string(t)}};
+}
+
+Result<LoggedEvent> DecodeEventRecord(const Record& record) {
+  LoggedEvent out;
+  if (record.type == kTickTag) {
+    LTAM_RETURN_IF_ERROR(CheckFieldCount(record, 1));
+    LTAM_ASSIGN_OR_RETURN(out.tick_time, Field(record, 0));
+    out.is_tick = true;
+    return out;
+  }
+  if (record.type == kEntryTag || record.type == kObserveTag) {
+    LTAM_RETURN_IF_ERROR(CheckFieldCount(record, 3));
+    LTAM_ASSIGN_OR_RETURN(int64_t t, Field(record, 0));
+    LTAM_ASSIGN_OR_RETURN(int64_t s, Field(record, 1));
+    LTAM_ASSIGN_OR_RETURN(int64_t l, Field(record, 2));
+    LTAM_ASSIGN_OR_RETURN(uint32_t subject, CheckedId(s, "subject"));
+    LTAM_ASSIGN_OR_RETURN(uint32_t location, CheckedId(l, "location"));
+    out.event = record.type == kEntryTag
+                    ? AccessEvent::Entry(t, subject, location)
+                    : AccessEvent::Observe(t, subject, location);
+    return out;
+  }
+  if (record.type == kExitTag) {
+    LTAM_RETURN_IF_ERROR(CheckFieldCount(record, 2));
+    LTAM_ASSIGN_OR_RETURN(int64_t t, Field(record, 0));
+    LTAM_ASSIGN_OR_RETURN(int64_t s, Field(record, 1));
+    LTAM_ASSIGN_OR_RETURN(uint32_t subject, CheckedId(s, "subject"));
+    out.event = AccessEvent::Exit(t, subject);
+    return out;
+  }
+  return Status::ParseError("unknown WAL record '" + record.type + "'");
+}
+
+void ApplyLoggedEvent(AccessControlEngine* engine, const LoggedEvent& event) {
+  if (event.is_tick) {
+    engine->Tick(event.tick_time);
+    return;
+  }
+  Decision ignored = ApplyAccessEvent(engine, event.event);
+  (void)ignored;  // Deterministic re-application; denials repeat.
+}
+
+Status ApplyLoggedRecord(AccessControlEngine* engine, const Record& record) {
+  LTAM_ASSIGN_OR_RETURN(LoggedEvent event, DecodeEventRecord(record));
+  ApplyLoggedEvent(engine, event);
+  return Status::OK();
+}
+
+}  // namespace ltam

@@ -1,0 +1,67 @@
+// Copyright 2026 The LTAM Authors.
+// The sharded runtime's checkpoint manifest.
+//
+// A `MANIFEST` file names the exact set of files that make up one
+// consistent checkpoint cut of a DurableShardedSystem directory: the
+// shared base snapshot (graph, profiles, authorizations, rules), one
+// movement-snapshot segment per shard, and one write-ahead log per shard.
+// Checkpointing writes every segment first, then publishes the new cut by
+// atomically renaming a fresh manifest over the old one — the rename is
+// the commit point, so a crash at any instant leaves either the old cut
+// or the new one, never a mix.
+//
+// Format (line-oriented codec records):
+//
+//   manifest <format-version> <epoch> <num-shards>
+//   base <file>
+//   shard <k> <snapshot-file> <wal-file>     (one per shard, k ascending)
+//   commit <record-count>
+//
+// The trailing `commit` record carries the number of records before it;
+// a manifest without a matching commit record (torn write, truncation)
+// is rejected, as is any record after it. File names are validated to be
+// plain names (no path separators) so a corrupted manifest can never
+// point recovery outside its own directory.
+
+#ifndef LTAM_STORAGE_MANIFEST_H_
+#define LTAM_STORAGE_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace ltam {
+
+/// One checkpoint cut of a sharded durable directory.
+struct ShardManifest {
+  /// Monotonically increasing checkpoint number; file names embed it.
+  uint64_t epoch = 0;
+  /// Fixed at directory creation; the subject partition depends on it.
+  uint32_t num_shards = 1;
+  /// Shared state snapshot (graph/profiles/authorizations/rules).
+  std::string base_snapshot;
+  struct ShardFiles {
+    std::string snapshot;  ///< Per-shard movement segment.
+    std::string wal;       ///< Per-shard log tail.
+  };
+  /// Indexed by shard; size() == num_shards after a successful load.
+  std::vector<ShardFiles> shards;
+};
+
+/// Canonical manifest file name inside a durable directory.
+inline const char* ManifestFileName() { return "MANIFEST"; }
+
+/// Serializes `manifest` to `path` durably: writes `<path>.tmp`, fsyncs
+/// it, renames it over `path`, and fsyncs the parent directory.
+Status SaveManifest(const ShardManifest& manifest, const std::string& path);
+
+/// Parses and validates a manifest file. Errors on unknown records,
+/// duplicate or missing shard entries, bad counts, path-escaping file
+/// names, or a missing/incorrect commit record.
+Result<ShardManifest> LoadManifest(const std::string& path);
+
+}  // namespace ltam
+
+#endif  // LTAM_STORAGE_MANIFEST_H_

@@ -2,6 +2,7 @@
 
 #include "storage/snapshot.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 
@@ -29,6 +30,30 @@ Result<std::string> F_Str(const Record& rec, size_t i) {
                               std::to_string(i));
   }
   return rec.fields[i];
+}
+
+Record MoveRecord(const MovementEvent& ev) {
+  return Record{"move",
+                {I64(ev.time), U32(ev.subject),
+                 ev.to == kInvalidLocation ? "out" : U32(ev.to)}};
+}
+
+Status ApplyMoveRecord(const Record& rec, MovementDatabase* movements) {
+  LTAM_ASSIGN_OR_RETURN(int64_t t, F_I64(rec, 0));
+  LTAM_ASSIGN_OR_RETURN(int64_t s, F_I64(rec, 1));
+  LTAM_ASSIGN_OR_RETURN(std::string to, F_Str(rec, 2));
+  if (s < 0 || s > static_cast<int64_t>(UINT32_MAX)) {
+    return Status::ParseError("move subject id out of range");
+  }
+  LocationId dest = kInvalidLocation;
+  if (to != "out") {
+    LTAM_ASSIGN_OR_RETURN(int64_t l, ParseInt64(to));
+    if (l < 0 || l > static_cast<int64_t>(UINT32_MAX)) {
+      return Status::ParseError("move location id out of range");
+    }
+    dest = static_cast<LocationId>(l);
+  }
+  return movements->RecordMovement(t, static_cast<SubjectId>(s), dest);
 }
 
 }  // namespace
@@ -114,8 +139,7 @@ Status SaveSnapshot(const SystemState& state, const std::string& path) {
 
   // --- Movements -----------------------------------------------------------------
   for (const MovementEvent& ev : state.movements.history()) {
-    emit({"move", {I64(ev.time), U32(ev.subject),
-                   ev.to == kInvalidLocation ? "out" : U32(ev.to)}});
+    emit(MoveRecord(ev));
   }
 
   out.flush();
@@ -301,22 +325,59 @@ Result<SystemState> LoadSnapshot(
       continue;
     }
     if (rec.type == "move") {
-      LTAM_ASSIGN_OR_RETURN(int64_t t, F_I64(rec, 0));
-      LTAM_ASSIGN_OR_RETURN(int64_t s, F_I64(rec, 1));
-      LTAM_ASSIGN_OR_RETURN(std::string to, F_Str(rec, 2));
-      LocationId dest = kInvalidLocation;
-      if (to != "out") {
-        LTAM_ASSIGN_OR_RETURN(int64_t l, ParseInt64(to));
-        dest = static_cast<LocationId>(l);
-      }
-      LTAM_RETURN_IF_ERROR(state.movements.RecordMovement(
-          t, static_cast<SubjectId>(s), dest));
+      LTAM_RETURN_IF_ERROR(ApplyMoveRecord(rec, &state.movements));
       continue;
     }
     return Status::ParseError("unknown snapshot record type '" + rec.type +
                               "'");
   }
   return state;
+}
+
+Status SaveMovements(const MovementDatabase& movements,
+                     const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open movement segment '" + path +
+                           "' for write");
+  }
+  for (const MovementEvent& ev : movements.history()) {
+    out << EncodeRecord(MoveRecord(ev)) << '\n';
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("movement segment write failed");
+  return Status::OK();
+}
+
+Result<MovementDatabase> LoadMovements(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open movement segment '" + path + "'");
+  }
+  MovementDatabase movements;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    Result<Record> rec_or = DecodeRecord(line);
+    if (!rec_or.ok()) {
+      return rec_or.status().WithContext("movement segment line " +
+                                         std::to_string(line_no));
+    }
+    if (rec_or->type != "move") {
+      return Status::ParseError("movement segment line " +
+                                std::to_string(line_no) +
+                                " has unexpected record '" + rec_or->type +
+                                "'");
+    }
+    Status applied = ApplyMoveRecord(*rec_or, &movements);
+    if (!applied.ok()) {
+      return applied.WithContext("movement segment line " +
+                                 std::to_string(line_no));
+    }
+  }
+  return movements;
 }
 
 }  // namespace ltam

@@ -44,6 +44,15 @@ Result<SystemState> LoadSnapshot(const std::string& path,
                                  const SubjectOperatorRegistry& subject_ops,
                                  const LocationOperatorRegistry& location_ops);
 
+/// Serializes one movement database to `path` (overwrites) as a stream
+/// of `move` records — the per-shard snapshot segments of the sharded
+/// durable runtime persist each shard's movement view this way.
+Status SaveMovements(const MovementDatabase& movements,
+                     const std::string& path);
+
+/// Loads a movement segment written by SaveMovements.
+Result<MovementDatabase> LoadMovements(const std::string& path);
+
 }  // namespace ltam
 
 #endif  // LTAM_STORAGE_SNAPSHOT_H_

@@ -2,6 +2,7 @@
 
 #include "storage/wal.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -14,6 +15,15 @@ Result<WalWriter> WalWriter::Open(const std::string& path) {
   std::FILE* file = std::fopen(path.c_str(), "ab");
   if (file == nullptr) {
     return Status::IOError("cannot open WAL '" + path +
+                           "': " + std::strerror(errno));
+  }
+  return WalWriter(file);
+}
+
+Result<WalWriter> WalWriter::Create(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("cannot create WAL '" + path +
                            "': " + std::strerror(errno));
   }
   return WalWriter(file);
@@ -87,6 +97,53 @@ Status ReplayWal(const std::string& path,
     LTAM_RETURN_IF_ERROR(apply(*rec));
   }
   return Status::OK();
+}
+
+Result<size_t> TruncateTornWalTail(const std::string& path) {
+  std::string contents;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+      return Status::IOError("cannot open WAL '" + path +
+                             "' for tail repair");
+    }
+    contents.assign((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  }
+  size_t last_nl = contents.find_last_of('\n');
+  size_t keep = last_nl == std::string::npos ? 0 : last_nl + 1;
+  if (keep == contents.size()) return size_t{0};
+  if (::truncate(path.c_str(), static_cast<off_t>(keep)) != 0) {
+    return Status::IOError("cannot truncate torn tail of WAL '" + path +
+                           "': " + std::strerror(errno));
+  }
+  return contents.size() - keep;
+}
+
+namespace {
+
+Status SyncFd(const std::string& path, int flags) {
+  int fd = ::open(path.c_str(), flags);
+  if (fd < 0) {
+    return Status::IOError("cannot open '" + path +
+                           "' for fsync: " + std::strerror(errno));
+  }
+  int rc = ::fsync(fd);
+  int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync '" + path +
+                           "' failed: " + std::strerror(saved));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SyncFile(const std::string& path) { return SyncFd(path, O_RDONLY); }
+
+Status SyncDir(const std::string& path) {
+  return SyncFd(path, O_RDONLY | O_DIRECTORY);
 }
 
 }  // namespace ltam

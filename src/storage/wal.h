@@ -23,6 +23,11 @@ class WalWriter {
   /// Opens (creating or appending) the log at `path`.
   static Result<WalWriter> Open(const std::string& path);
 
+  /// Creates (truncating any leftover) the log at `path`. Used when a
+  /// checkpoint rotates to a fresh epoch: an orphaned file from a crashed
+  /// earlier attempt at the same epoch must not leak stale records.
+  static Result<WalWriter> Create(const std::string& path);
+
   WalWriter(WalWriter&& other) noexcept;
   WalWriter& operator=(WalWriter&& other) noexcept;
   WalWriter(const WalWriter&) = delete;
@@ -51,6 +56,21 @@ class WalWriter {
 /// leave one).
 Status ReplayWal(const std::string& path,
                  const std::function<Status(const Record&)>& apply);
+
+/// Truncates a torn final record (bytes after the last newline, left by
+/// a crash mid-append) so subsequent appends start on a fresh line —
+/// otherwise the next append would merge with the torn bytes into one
+/// garbage record and poison the following recovery. Returns the number
+/// of bytes dropped (0 when the log ends cleanly).
+Result<size_t> TruncateTornWalTail(const std::string& path);
+
+/// fsyncs an existing file by path (durability barrier for snapshots and
+/// manifests written through buffered streams).
+Status SyncFile(const std::string& path);
+
+/// fsyncs a directory, making completed renames/creates inside it
+/// durable.
+Status SyncDir(const std::string& path);
 
 }  // namespace ltam
 

@@ -1,0 +1,209 @@
+// Copyright 2026 The LTAM Authors.
+// The durability equivalence property (satellite of the sharded-WAL PR):
+// for randomized GenerateEventBatches workloads with interleaved
+// Checkpoint() and Tick() calls, the DurableShardedSystem's decisions —
+// live and after crash recovery — are identical to the sequential
+// DurableSystem fed the same stream event-by-event, and their
+// post-recovery alert/movement/ledger state matches exactly.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sim/graph_gen.h"
+#include "sim/workload.h"
+#include "storage/durable_sharded_system.h"
+#include "storage/durable_system.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace ltam {
+namespace {
+
+namespace fs = std::filesystem;
+
+SystemState MakeInitialState(uint64_t seed,
+                             std::vector<SubjectId>* out_subjects = nullptr) {
+  SystemState state;
+  state.graph = MakeGridGraph(6, 6).ValueOrDie();
+  std::vector<SubjectId> ids = GenerateSubjects(&state.profiles, 24);
+  Rng rng(seed);
+  AuthWorkloadOptions opt;
+  opt.coverage = 0.55;
+  opt.horizon = 500;
+  opt.min_len = 20;
+  opt.max_len = 150;
+  opt.max_entries = 3;
+  GenerateAuthorizations(state.graph, ids, opt, &rng, &state.auth_db);
+  if (out_subjects != nullptr) *out_subjects = ids;
+  return state;
+}
+
+/// Feeds one event to the sequential durable runtime using the same
+/// outcome mapping as ApplyAccessEvent, so decisions are comparable.
+Decision ApplyToDurable(DurableSystem* sys, const AccessEvent& e) {
+  switch (e.kind) {
+    case AccessEventKind::kRequestEntry: {
+      Result<Decision> d = sys->RequestEntry(e.time, e.subject, e.location);
+      EXPECT_TRUE(d.ok()) << d.status().ToString();
+      return d.ok() ? *d : Decision::Deny(DenyReason::kWalError);
+    }
+    case AccessEventKind::kRequestExit: {
+      Status st = sys->RequestExit(e.time, e.subject);
+      return st.ok() ? Decision::Grant(kInvalidAuth)
+                     : Decision::Deny(DenyReason::kExitRejected);
+    }
+    case AccessEventKind::kObserve: {
+      Status st = sys->ObservePresence(e.time, e.subject, e.location);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+      return Decision::Grant(kInvalidAuth);
+    }
+  }
+  return Decision::Deny(DenyReason::kNone);  // Unreachable.
+}
+
+using AlertKey = std::tuple<Chronon, SubjectId, LocationId, int, std::string>;
+
+std::multiset<AlertKey> AlertMultiset(const std::vector<Alert>& alerts) {
+  std::multiset<AlertKey> out;
+  for (const Alert& a : alerts) {
+    out.insert(std::make_tuple(a.time, a.subject, a.location,
+                               static_cast<int>(a.type), a.detail));
+  }
+  return out;
+}
+
+/// Per-subject movement traces (the order that matters: each subject's
+/// own history; cross-subject interleaving is shard-dependent).
+std::map<SubjectId, std::vector<std::string>> TracesOf(
+    const std::vector<MovementEvent>& history) {
+  std::map<SubjectId, std::vector<std::string>> out;
+  for (const MovementEvent& ev : history) {
+    out[ev.subject].push_back(ev.ToString());
+  }
+  return out;
+}
+
+class DurableEquivalenceTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/ltam_deq_" +
+            std::to_string(GetParam());
+    fs::remove_all(root_);
+    fs::create_directories(root_ + "/seq");
+    fs::create_directories(root_ + "/sharded");
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string root_;
+};
+
+TEST_P(DurableEquivalenceTest, ShardedMatchesSequentialAcrossCheckpoints) {
+  const uint64_t seed = GetParam();
+  std::vector<SubjectId> subjects;
+  SystemState gen_state = MakeInitialState(seed, &subjects);
+
+  Rng rng(seed * 7919 + 1);
+  BatchWorkloadOptions batch_opt;
+  batch_opt.batch_size = 120;
+  batch_opt.exit_fraction = 0.15;
+  batch_opt.observe_fraction = 0.15;
+  auto batches = GenerateEventBatches(gen_state.graph, subjects,
+                                      /*total_events=*/900, batch_opt, &rng);
+
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<DurableSystem> seq,
+      DurableSystem::Open(root_ + "/seq", MakeInitialState(seed)));
+  DurableShardedOptions opt;
+  opt.num_shards = 5;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<DurableShardedSystem> sharded,
+                       DurableShardedSystem::Open(root_ + "/sharded",
+                                                  MakeInitialState(seed),
+                                                  opt));
+
+  // Live equivalence, with checkpoints and ticks interleaved at the same
+  // stream positions on both sides.
+  Chronon clock = 0;
+  for (size_t i = 0; i < batches.size(); ++i) {
+    for (const AccessEvent& e : batches[i]) {
+      clock = std::max(clock, e.time);
+    }
+    ASSERT_OK_AND_ASSIGN(std::vector<Decision> sharded_decisions,
+                         sharded->EvaluateBatch(batches[i]));
+    ASSERT_EQ(sharded_decisions.size(), batches[i].size());
+    for (size_t j = 0; j < batches[i].size(); ++j) {
+      Decision seq_decision = ApplyToDurable(seq.get(), batches[i][j]);
+      EXPECT_EQ(sharded_decisions[j].ToString(), seq_decision.ToString())
+          << "batch " << i << ", event " << j;
+    }
+    if (i % 2 == 1) {
+      ASSERT_OK(seq->Tick(clock));
+      ASSERT_OK(sharded->Tick(clock));
+    }
+    if (i % 3 == 2) {
+      ASSERT_OK(seq->Checkpoint());
+      ASSERT_OK(sharded->Checkpoint());
+    }
+  }
+
+  // Live alert equivalence (both buffers drained up to here).
+  EXPECT_EQ(AlertMultiset(sharded->DrainAlerts()),
+            AlertMultiset(seq->engine().alerts()));
+
+  // "Crash" both runtimes (no final checkpoint) and recover.
+  seq.reset();
+  sharded.reset();
+  ASSERT_OK_AND_ASSIGN(
+      seq, DurableSystem::Open(root_ + "/seq", MakeInitialState(seed)));
+  ASSERT_OK_AND_ASSIGN(sharded,
+                       DurableShardedSystem::Open(root_ + "/sharded",
+                                                  MakeInitialState(seed),
+                                                  opt));
+
+  // Post-recovery state equivalence: per-subject movement traces...
+  EXPECT_EQ(TracesOf(sharded->MergedMovements().history()),
+            TracesOf(seq->state().movements.history()));
+  // ...the shared ledger...
+  const AuthorizationDatabase& seq_db = seq->state().auth_db;
+  const AuthorizationDatabase& sharded_db = sharded->base().auth_db;
+  ASSERT_EQ(sharded_db.size(), seq_db.size());
+  for (AuthId id = 0; id < seq_db.size(); ++id) {
+    EXPECT_EQ(sharded_db.record(id).entries_used,
+              seq_db.record(id).entries_used)
+        << "auth " << id;
+  }
+  // ...and the alerts the two recoveries re-raised replaying their tails.
+  EXPECT_EQ(AlertMultiset(sharded->DrainAlerts()),
+            AlertMultiset(seq->engine().alerts()));
+  seq->engine().ClearAlerts();
+
+  // The recovered runtimes stay equivalent on fresh traffic.
+  Rng probe_rng(seed * 104729 + 3);
+  auto probe = GenerateEventBatches(gen_state.graph, subjects, 200, batch_opt,
+                                    &probe_rng);
+  for (auto& batch : probe) {
+    for (AccessEvent& e : batch) e.time += 100000;
+    ASSERT_OK_AND_ASSIGN(std::vector<Decision> sharded_decisions,
+                         sharded->EvaluateBatch(batch));
+    for (size_t j = 0; j < batch.size(); ++j) {
+      Decision seq_decision = ApplyToDurable(seq.get(), batch[j]);
+      EXPECT_EQ(sharded_decisions[j].ToString(), seq_decision.ToString());
+    }
+  }
+  ASSERT_OK(seq->Tick(200001));
+  ASSERT_OK(sharded->Tick(200001));
+  EXPECT_EQ(AlertMultiset(sharded->DrainAlerts()),
+            AlertMultiset(seq->engine().alerts()));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, DurableEquivalenceTest,
+                         ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace ltam

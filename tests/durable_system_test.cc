@@ -142,6 +142,37 @@ TEST_F(DurableSystemTest, RepeatedRecoveryIsIdempotent) {
   }
 }
 
+TEST_F(DurableSystemTest, TornTailIsTruncatedBeforeNewAppends) {
+  SubjectId alice = 0;
+  LocationId a = kInvalidLocation;
+  LocationId b = kInvalidLocation;
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<DurableSystem> sys,
+                         DurableSystem::Open(dir_, FreshState()));
+    a = sys->state().graph.Find("A").ValueOrDie();
+    b = sys->state().graph.Find("B").ValueOrDie();
+    ASSERT_OK(sys->RequestEntry(10, alice, a).status());
+    ASSERT_OK(sys->RequestEntry(20, alice, b).status());
+  }
+  // Simulate a crash mid-append: chop the final record's tail bytes.
+  const std::string wal = dir_ + "/events.wal";
+  uintmax_t size = std::filesystem::file_size(wal);
+  std::filesystem::resize_file(wal, size - 3);
+  {
+    // Recovery tolerates the torn record (replays event@10 only) and
+    // must truncate it so this append starts on a fresh line...
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<DurableSystem> sys,
+                         DurableSystem::Open(dir_, FreshState()));
+    EXPECT_EQ(sys->state().movements.history().size(), 1u);
+    ASSERT_OK(sys->RequestEntry(30, alice, b).status());
+  }
+  // ...otherwise this second recovery would hit a merged garbage record.
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<DurableSystem> sys,
+                       DurableSystem::Open(dir_, FreshState()));
+  EXPECT_EQ(sys->state().movements.history().size(), 2u);
+  EXPECT_EQ(sys->state().movements.CurrentLocation(alice), b);
+}
+
 TEST_F(DurableSystemTest, OpenRejectsMissingDirectory) {
   EXPECT_TRUE(DurableSystem::Open("/nonexistent/ltam", FreshState())
                   .status()

@@ -64,26 +64,12 @@ std::string DecisionKey(const Decision& d) {
 }
 
 /// Replays the batches sequentially through one AccessControlEngine (the
-/// reference implementation) and returns per-event decisions + alerts.
-struct SequentialRun {
-  std::vector<Decision> decisions;
-  std::vector<Alert> alerts;
-};
-
-SequentialRun RunSequential(World* w,
-                            const std::vector<std::vector<AccessEvent>>& bs,
-                            const EngineOptions& options) {
-  SequentialRun run;
-  MovementDatabase movements;
-  AccessControlEngine engine(&w->graph, &w->auth_db, &movements, &w->profiles,
-                             options);
-  for (const std::vector<AccessEvent>& batch : bs) {
-    for (const AccessEvent& e : batch) {
-      run.decisions.push_back(ApplyAccessEvent(&engine, e));
-    }
-  }
-  run.alerts = engine.alerts();
-  return run;
+/// reference implementation; see sim/workload.h).
+SequentialReplay RunSequential(World* w,
+                               const std::vector<std::vector<AccessEvent>>& bs,
+                               const EngineOptions& options) {
+  return ReplayBatchesSequential(w->graph, &w->auth_db, w->profiles, bs,
+                                 options);
 }
 
 /// The headline equivalence property (acceptance criterion): for random
@@ -99,7 +85,7 @@ TEST(ShardedEngineTest, DecisionsMatchSequentialEngine) {
                                /*batch_size=*/256, /*seed=*/22);
     ASSERT_GE(batches.size(), 5u);
 
-    SequentialRun reference =
+    SequentialReplay reference =
         RunSequential(&sequential_world, batches, EngineOptions{});
 
     ShardedEngineOptions opt;
@@ -134,7 +120,7 @@ TEST(ShardedEngineTest, AlertsMatchSequentialEngineUpToOrder) {
   World sharded_world = MakeWorld(6, 32, /*seed=*/33, /*coverage=*/0.4);
   auto batches = MakeBatches(sequential_world, 1200, 200, /*seed=*/44);
 
-  SequentialRun reference =
+  SequentialReplay reference =
       RunSequential(&sequential_world, batches, EngineOptions{});
 
   ShardedEngineOptions opt;
@@ -224,7 +210,7 @@ TEST(ShardedEngineTest, SingleShardDegeneratesToSequential) {
   World sharded_world = MakeWorld(5, 16, /*seed=*/99);
   auto batches = MakeBatches(sequential_world, 400, 80, /*seed=*/101);
 
-  SequentialRun reference =
+  SequentialReplay reference =
       RunSequential(&sequential_world, batches, EngineOptions{});
 
   ShardedEngineOptions opt;
