@@ -1,8 +1,14 @@
 // Copyright 2026 The LTAM Authors.
 //
 // Enforcement-path benchmarks (Figure 3): Definition-7 decision latency
-// as the authorization database grows, and full engine request throughput
-// including adjacency checks, ledger, and movement recording.
+// as the authorization database grows, full engine request throughput
+// including adjacency checks, ledger, and movement recording, and the
+// AccessRuntime facade against the raw engines it wraps.
+//
+// The harness drives the production surface (AccessRuntime) wherever a
+// workload is measured end to end; the raw-engine benchmarks that remain
+// (BM_BatchDecision*, BM_MergedMovementsCopy) are kept deliberately as
+// the direct-engine baselines the facade numbers are compared against.
 
 #include <benchmark/benchmark.h>
 
@@ -13,10 +19,11 @@
 
 #include "engine/access_control_engine.h"
 #include "engine/sharded_engine.h"
+#include "query/movement_view.h"
+#include "runtime/access_runtime.h"
 #include "sim/graph_gen.h"
 #include "sim/workload.h"
 #include "storage/durable_sharded_system.h"
-#include "storage/durable_system.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -241,14 +248,71 @@ BENCHMARK(BM_BatchDecisionSharded)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
-// --- Durable batch pipeline (WAL + group commit) ----------------------------
+// --- AccessRuntime facade (in-memory) ---------------------------------------
 //
-// The same stream as the in-memory BatchDecision benchmarks, but through
-// the crash-safe runtimes: every event is appended to a write-ahead log
-// before it is applied. The gap between BM_BatchDecision* and
-// BM_DurableBatch* is the price of durability; the sequential durable
-// runtime flushes per event while the sharded one group-commits one
-// fsync per shard per batch.
+// The same stream as BM_BatchDecision*, but through the AccessRuntime
+// facade. The gap between BM_BatchDecision{Sequential,Sharded} (direct
+// engine) and BM_FacadeBatch{Sequential,Sharded} is the facade overhead:
+// one virtual dispatch + alert drain per batch.
+
+SystemState InitStateOf(const BatchWorld& w) {
+  SystemState init;
+  init.graph = w.graph;
+  init.profiles = w.profiles;
+  init.auth_db = w.auth_db;
+  return init;
+}
+
+void RunFacadeBatches(benchmark::State& state, RuntimeOptions options,
+                      const BatchWorld& w) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto rt = AccessRuntime::Open(InitStateOf(w), options).ValueOrDie();
+    state.ResumeTiming();
+    for (const auto& batch : w.batches) {
+      benchmark::DoNotOptimize(rt->ApplyBatch(batch));
+    }
+    state.PauseTiming();
+    rt.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * w.total_events));
+}
+
+void BM_FacadeBatchSequential(benchmark::State& state) {
+  BatchWorld w = MakeBatchWorld();
+  RuntimeOptions options;
+  options.engine = QuietEngineOptions();
+  RunFacadeBatches(state, options, w);
+}
+BENCHMARK(BM_FacadeBatchSequential)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_FacadeBatchSharded(benchmark::State& state) {
+  BatchWorld w = MakeBatchWorld();
+  RuntimeOptions options;
+  options.num_shards = static_cast<uint32_t>(state.range(0));
+  options.engine = QuietEngineOptions();
+  state.counters["shards"] = static_cast<double>(options.num_shards);
+  RunFacadeBatches(state, options, w);
+}
+BENCHMARK(BM_FacadeBatchSharded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// --- Durable batch pipeline (WAL + group commit), via the facade ------------
+//
+// The same stream as the in-memory benchmarks, but crash-safe: every
+// event is appended to a write-ahead log before it is applied, with one
+// group-commit fsync per runtime (per shard, sharded) per batch. The gap
+// between BM_FacadeBatch* and BM_DurableBatch* is the price of
+// durability.
 
 std::string MakeBenchDir() {
   std::string tmpl = std::filesystem::temp_directory_path().string() +
@@ -258,75 +322,43 @@ std::string MakeBenchDir() {
   return tmpl;
 }
 
-/// Sequential durable runtime over the flattened stream.
-void BM_DurableBatchSequential(benchmark::State& state) {
-  BatchWorld w = MakeBatchWorld();
+void RunDurableBatches(benchmark::State& state, RuntimeOptions options,
+                       const BatchWorld& w) {
   for (auto _ : state) {
     state.PauseTiming();
     std::string dir = MakeBenchDir();
-    SystemState init;
-    init.graph = w.graph;
-    init.profiles = w.profiles;
-    init.auth_db = w.auth_db;
-    auto sys = DurableSystem::Open(dir, std::move(init)).ValueOrDie();
+    options.durable_dir = dir;
+    auto rt = AccessRuntime::Open(InitStateOf(w), options).ValueOrDie();
     state.ResumeTiming();
     for (const auto& batch : w.batches) {
-      for (const AccessEvent& e : batch) {
-        switch (e.kind) {
-          case AccessEventKind::kRequestEntry:
-            benchmark::DoNotOptimize(
-                sys->RequestEntry(e.time, e.subject, e.location));
-            break;
-          case AccessEventKind::kRequestExit:
-            benchmark::DoNotOptimize(sys->RequestExit(e.time, e.subject));
-            break;
-          case AccessEventKind::kObserve:
-            benchmark::DoNotOptimize(
-                sys->ObservePresence(e.time, e.subject, e.location));
-            break;
-        }
-      }
+      benchmark::DoNotOptimize(rt->ApplyBatch(batch));
     }
     state.PauseTiming();
-    sys.reset();
+    rt.reset();
     std::filesystem::remove_all(dir);
     state.ResumeTiming();
   }
   state.SetItemsProcessed(
       static_cast<int64_t>(state.iterations() * w.total_events));
 }
+
+void BM_DurableBatchSequential(benchmark::State& state) {
+  BatchWorld w = MakeBatchWorld();
+  RuntimeOptions options;
+  options.engine = QuietEngineOptions();
+  RunDurableBatches(state, options, w);
+}
 BENCHMARK(BM_DurableBatchSequential)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
-/// Sharded durable runtime: per-shard WALs appended on the workers, one
-/// group-commit fsync per shard per batch.
 void BM_DurableBatchSharded(benchmark::State& state) {
   BatchWorld w = MakeBatchWorld();
-  DurableShardedOptions opt;
-  opt.num_shards = static_cast<uint32_t>(state.range(0));
-  opt.engine = QuietEngineOptions();
-  for (auto _ : state) {
-    state.PauseTiming();
-    std::string dir = MakeBenchDir();
-    SystemState init;
-    init.graph = w.graph;
-    init.profiles = w.profiles;
-    init.auth_db = w.auth_db;
-    auto sys =
-        DurableShardedSystem::Open(dir, std::move(init), opt).ValueOrDie();
-    state.ResumeTiming();
-    for (const auto& batch : w.batches) {
-      benchmark::DoNotOptimize(sys->EvaluateBatch(batch));
-    }
-    state.PauseTiming();
-    sys.reset();
-    std::filesystem::remove_all(dir);
-    state.ResumeTiming();
-  }
-  state.counters["shards"] = static_cast<double>(opt.num_shards);
-  state.SetItemsProcessed(
-      static_cast<int64_t>(state.iterations() * w.total_events));
+  RuntimeOptions options;
+  options.num_shards = static_cast<uint32_t>(state.range(0));
+  options.engine = QuietEngineOptions();
+  state.counters["shards"] = static_cast<double>(options.num_shards);
+  RunDurableBatches(state, options, w);
 }
 BENCHMARK(BM_DurableBatchSharded)
     ->Arg(1)
@@ -334,6 +366,100 @@ BENCHMARK(BM_DurableBatchSharded)
     ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+
+// --- Cross-shard queries: MovementView fan-out vs MergedMovements copy ------
+//
+// Answering movement queries over a sharded runtime used to require
+// materializing one merged MovementDatabase (cost linear in the whole
+// history) before the first answer. The MovementView fans each query out
+// over the per-shard views instead. Both benchmarks run the identical
+// query mix over identical state; the copy side pays the merge on every
+// refresh (any batch in between invalidates a cached copy).
+
+size_t RunQueryMix(const MovementView& view, const BatchWorld& w) {
+  size_t sink = 0;
+  for (size_t i = 0; i < w.subjects.size(); i += 7) {
+    SubjectId s = w.subjects[i];
+    sink += view.CurrentLocation(s);
+    sink += view.LocationAt(s, 2000);
+    sink += view.StaysOf(s).size();
+  }
+  const std::vector<LocationId> prims = w.graph.Primitives();
+  for (size_t i = 0; i < prims.size(); i += 17) {
+    sink += view.OccupantsAt(prims[i], 2000).size();
+    sink += view.CurrentOccupants(prims[i]).size();
+  }
+  sink += view.ContactsOf(w.subjects[0], TimeInterval(0, 4000), 1).size();
+  return sink;
+}
+
+struct QueryBenchWorld {
+  BatchWorld batch;
+  std::string dir;
+  std::unique_ptr<DurableShardedSystem> sys;
+
+  static std::unique_ptr<QueryBenchWorld> Make(uint32_t shards) {
+    auto q = std::make_unique<QueryBenchWorld>();
+    q->batch = MakeBatchWorld();
+    q->dir = MakeBenchDir();
+    DurableShardedOptions opt;
+    opt.num_shards = shards;
+    opt.engine = QuietEngineOptions();
+    opt.sync_every_batch = false;  // Query benchmarks, not durability.
+    SystemState init;
+    init.graph = q->batch.graph;
+    init.profiles = q->batch.profiles;
+    init.auth_db = q->batch.auth_db;
+    q->sys = DurableShardedSystem::Open(q->dir, std::move(init), opt)
+                 .ValueOrDie();
+    for (const auto& b : q->batch.batches) {
+      q->sys->EvaluateBatch(b).ValueOrDie();
+    }
+    return q;
+  }
+
+  ~QueryBenchWorld() {
+    sys.reset();
+    if (!dir.empty()) std::filesystem::remove_all(dir);
+  }
+};
+
+/// The stopgap this PR retires from the query path: merge-copy the full
+/// history, then answer.
+void BM_MergedMovementsCopy(benchmark::State& state) {
+  std::unique_ptr<QueryBenchWorld> q =
+      QueryBenchWorld::Make(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    MovementDatabase merged = q->sys->MergedMovements();
+    MovementDatabaseView view(&merged);
+    benchmark::DoNotOptimize(RunQueryMix(view, q->batch));
+  }
+  state.counters["shards"] = static_cast<double>(state.range(0));
+  state.counters["history"] =
+      static_cast<double>(q->sys->MergedMovements().history().size());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MergedMovementsCopy)->Arg(4)->Unit(benchmark::kMicrosecond);
+
+/// The replacement: fan the same queries out over the live shard views.
+void BM_MovementViewFanout(benchmark::State& state) {
+  std::unique_ptr<QueryBenchWorld> q =
+      QueryBenchWorld::Make(static_cast<uint32_t>(state.range(0)));
+  std::vector<const MovementDatabase*> shards;
+  const uint32_t n = q->sys->num_shards();
+  for (uint32_t k = 0; k < n; ++k) {
+    shards.push_back(&q->sys->shard_movements(k));
+  }
+  ShardedMovementView view(std::move(shards), [n](SubjectId s) {
+    return ShardedDecisionEngine::ShardOfSubject(s, n);
+  });
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunQueryMix(view, q->batch));
+  }
+  state.counters["shards"] = static_cast<double>(state.range(0));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MovementViewFanout)->Arg(4)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -2,11 +2,12 @@
 # Copyright 2026 The LTAM Authors.
 #
 # CI entry point. Usage:
-#   ./ci.sh            # tier1 + asan + tsan + bench
+#   ./ci.sh            # tier1 + asan + tsan + examples + bench
 #   ./ci.sh tier1      # plain build + full ctest suite (the tier-1 gate)
 #   ./ci.sh asan       # AddressSanitizer + UBSan build, full ctest suite
 #   ./ci.sh tsan       # ThreadSanitizer build, concurrency-relevant tests
-#   ./ci.sh bench      # batch/durable throughput -> BENCH_pr2.json
+#   ./ci.sh examples   # build + run every example binary (facade surface)
+#   ./ci.sh bench      # batch/durable/facade throughput -> BENCH_pr3.json
 #
 # Every future PR is expected to pass `./ci.sh` locally; the tier-1 gate
 # is exactly the ROADMAP verify command. For a quick pre-commit signal,
@@ -36,45 +37,68 @@ tsan() {
   echo "=== tsan: thread sanitizer, concurrency tests ==="
   cmake -B build-tsan -S . -DLTAM_SANITIZE=thread \
     -DLTAM_BUILD_BENCHMARKS=OFF -DLTAM_BUILD_EXAMPLES=OFF
-  # The sharded pipeline, the caches it leans on, and the durable runtime
-  # (worker-thread WAL appends + parallel recovery replay) are the
-  # concurrent surface; engine/movement tests ride along as controls.
+  # The sharded pipeline, the caches it leans on, the durable runtime
+  # (worker-thread WAL appends + parallel recovery replay), and the
+  # facade that drives them are the concurrent surface; engine/movement
+  # tests ride along as controls.
   local targets=(sharded_engine_test auth_cache_test auth_database_test
                  engine_test movement_db_test durable_sharded_test
-                 durable_equivalence_test)
+                 durable_equivalence_test access_runtime_test
+                 movement_view_test)
   cmake --build build-tsan -j"$JOBS" --target "${targets[@]}"
   for t in "${targets[@]}"; do
     "./build-tsan/tests/$t"
   done
 }
 
+examples() {
+  echo "=== examples: build + run every example binary ==="
+  cmake -B build -S .
+  cmake --build build -j"$JOBS" --target \
+    quickstart ltam_shell ntu_campus hospital_tracking building_security
+  ./build/examples/quickstart > /dev/null
+  ./build/examples/ntu_campus > /dev/null
+  ./build/examples/hospital_tracking > /dev/null
+  ./build/examples/building_security > /dev/null
+  printf 'WHEN CAN Alice ACCESS CAIS\nquit\n' \
+    | ./build/examples/ltam_shell > /dev/null
+  echo "examples: all ran clean"
+}
+
 bench() {
-  echo "=== bench: batch/durable throughput -> BENCH_pr2.json ==="
+  echo "=== bench: batch/durable/facade throughput -> BENCH_pr3.json ==="
   cmake -B build -S .
   if ! cmake --build build -j"$JOBS" --target bench_access_engine; then
     echo "bench: google-benchmark not available; skipping" >&2
     return 0
   fi
+  # BatchDecision* are the direct-engine baselines; FacadeBatch* the same
+  # stream through AccessRuntime (facade overhead); DurableBatch* the
+  # crash-safe runtimes via the facade; MovementViewFanout vs
+  # MergedMovementsCopy the cross-shard query path with and without the
+  # full-history copy.
   ./build/bench/bench_access_engine \
-    --benchmark_filter='BatchDecision|DurableBatch' \
+    --benchmark_filter='BatchDecision|DurableBatch|FacadeBatch|MovementViewFanout|MergedMovementsCopy' \
     --benchmark_min_time=0.05 \
-    --benchmark_out=BENCH_pr2.json --benchmark_out_format=json
-  echo "bench: wrote $(pwd)/BENCH_pr2.json"
+    --benchmark_out=BENCH_pr3.json --benchmark_out_format=json
+  echo "bench: wrote $(pwd)/BENCH_pr3.json"
 }
 
 case "${1:-all}" in
   tier1) tier1 ;;
   asan) asan ;;
   tsan) tsan ;;
+  examples) examples ;;
   bench) bench ;;
   all)
     tier1
     asan
     tsan
+    examples
     bench
     ;;
   *)
-    echo "usage: $0 [tier1|asan|tsan|bench|all]" >&2
+    echo "usage: $0 [tier1|asan|tsan|examples|bench|all]" >&2
     exit 2
     ;;
 esac

@@ -5,18 +5,22 @@
 //
 //   1. define the layout and the access policy;
 //   2. audit it with the inaccessible-location analysis (Section 6) and
-//      fix the gap it finds;
+//      fix the gap it finds — through the runtime's mutation window;
 //   3. run live enforcement against simulated movement with injected
 //      tailgating and overstays, comparing LTAM's detections against the
 //      card-reader baseline;
-//   4. investigate with the query language.
+//   4. investigate with the query language over the MovementView.
+//
+// Enforcement runs through the AccessRuntime facade: flipping
+// options.num_shards (or adding options.durable_dir) moves the same
+// workflow onto the sharded or crash-safe runtimes unchanged.
 //
 // Run: ./build/examples/building_security
 
 #include <cstdio>
 
-#include "core/inaccessible.h"
 #include "query/query_language.h"
+#include "runtime/access_runtime.h"
 #include "sim/graph_gen.h"
 #include "sim/movement_sim.h"
 #include "sim/workload.h"
@@ -25,51 +29,79 @@
 int main() {
   using namespace ltam;  // NOLINT: example brevity.
 
-  // 1. Layout: a 4-building campus, 6 rooms per building.
-  MultilevelLocationGraph graph = MakeCampusGraph(4, 6).ValueOrDie();
-  UserProfileDatabase profiles;
-  std::vector<SubjectId> staff = GenerateSubjects(&profiles, 12);
+  // 1. Layout: a 4-building campus, 6 rooms per building; 12 staff.
+  SystemState state;
+  state.graph = MakeCampusGraph(4, 6).ValueOrDie();
+  std::vector<SubjectId> staff = GenerateSubjects(&state.profiles, 12);
 
   // Policy: everyone may use building 0; only the first four staff may
   // enter building 1's secure lab (room B1.R5) and the corridor to it.
-  AuthorizationDatabase auth_db;
-  auto grant = [&](SubjectId s, const std::string& room) {
-    auth_db.Add(LocationTemporalAuthorization::Make(
-                    TimeInterval(0, 300), TimeInterval(0, 360),
-                    LocationAuthorization{s, graph.Find(room).ValueOrDie()},
-                    kUnlimitedEntries)
-                    .ValueOrDie());
+  auto grant = [](const MultilevelLocationGraph& graph,
+                  AuthorizationDatabase* db, SubjectId s,
+                  const std::string& room) {
+    db->Add(LocationTemporalAuthorization::Make(
+                TimeInterval(0, 300), TimeInterval(0, 360),
+                LocationAuthorization{s, graph.Find(room).ValueOrDie()},
+                kUnlimitedEntries)
+                .ValueOrDie());
   };
   for (SubjectId s : staff) {
     for (uint32_t r = 0; r < 6; ++r) {
-      grant(s, "B0.R" + std::to_string(r));
+      grant(state.graph, &state.auth_db, s, "B0.R" + std::to_string(r));
     }
   }
   for (size_t i = 0; i < 4; ++i) {
     // Oops: the officer grants the lab but forgets room B1.R4 on the way.
     for (uint32_t r = 0; r < 4; ++r) {
-      grant(staff[i], "B1.R" + std::to_string(r));
+      grant(state.graph, &state.auth_db, staff[i],
+            "B1.R" + std::to_string(r));
     }
-    grant(staff[i], "B1.R5");
+    grant(state.graph, &state.auth_db, staff[i], "B1.R5");
   }
 
+  // The movement simulator walks the layout; keep a copy it can use
+  // independently of the runtime's borrowed stores.
+  MultilevelLocationGraph graph_copy = state.graph;
+
+  // Open the enforcement runtime: 2 shards, to show the same workflow
+  // runs unchanged on the batch pipeline.
+  RuntimeOptions options;
+  options.num_shards = 2;
+  Result<std::unique_ptr<AccessRuntime>> opened =
+      AccessRuntime::Open(std::move(state), options);
+  LTAM_CHECK(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<AccessRuntime> runtime = std::move(opened).ValueOrDie();
+
   // 2. Audit (Section 6): is the lab actually reachable?
-  LocationId lab = graph.Find("B1.R5").ValueOrDie();
-  InaccessibleResult audit =
-      FindInaccessible(graph, graph.root(), staff[0], auth_db).ValueOrDie();
-  std::printf("audit for %s: %zu of %zu locations inaccessible\n",
-              profiles.subject(staff[0]).name.c_str(),
-              audit.inaccessible.size(), audit.analyzed.size());
-  if (audit.IsInaccessible(lab)) {
+  LocationId lab = runtime->graph().Find("B1.R5").ValueOrDie();
+  Result<std::vector<LocationId>> audit =
+      runtime->query().InaccessibleLocations(staff[0]);
+  LTAM_CHECK(audit.ok()) << audit.status().ToString();
+  auto is_inaccessible = [&](const std::vector<LocationId>& ids) {
+    for (LocationId l : ids) {
+      if (l == lab) return true;
+    }
+    return false;
+  };
+  std::printf("audit for %s: %zu locations inaccessible\n",
+              runtime->profiles().subject(staff[0]).name.c_str(),
+              audit->size());
+  if (is_inaccessible(*audit)) {
     std::printf(
         "  -> B1.R5 is granted but UNREACHABLE (missing corridor room); "
         "fixing.\n");
-    for (size_t i = 0; i < 4; ++i) grant(staff[i], "B1.R4");
+    Status fixed = runtime->Mutate([&](const MutableStores& stores) {
+      for (size_t i = 0; i < 4; ++i) {
+        grant(stores.graph, &stores.auth_db, staff[i], "B1.R4");
+      }
+      return Status::OK();
+    });
+    LTAM_CHECK(fixed.ok()) << fixed.ToString();
   }
-  audit =
-      FindInaccessible(graph, graph.root(), staff[0], auth_db).ValueOrDie();
+  audit = runtime->query().InaccessibleLocations(staff[0]);
+  LTAM_CHECK(audit.ok()) << audit.status().ToString();
   std::printf("after fix: lab inaccessible? %s\n\n",
-              audit.IsInaccessible(lab) ? "yes" : "no");
+              is_inaccessible(*audit) ? "yes" : "no");
 
   // 3. Live enforcement vs the card-reader baseline on one simulated day
   //    with misbehaving users.
@@ -78,14 +110,14 @@ int main() {
   sim.tailgate_prob = 0.15;
   sim.overstay_prob = 0.05;
   Rng rng(2026);
-  Scenario day = SimulateMovement(graph, auth_db, staff, sim, &rng);
+  Scenario day =
+      SimulateMovement(graph_copy, runtime->auth_db(), staff, sim, &rng);
 
-  MovementDatabase movements;
-  AccessControlEngine ltam_engine(&graph, &auth_db, &movements, &profiles);
-  ReplayOnEngine(day, &ltam_engine);
-  DetectionStats ltam_stats = ScoreDetections(day, ltam_engine.alerts());
+  std::vector<Alert> ltam_alerts = ReplayOnRuntime(day, runtime.get());
+  DetectionStats ltam_stats = ScoreDetections(day, ltam_alerts);
 
-  AuthorizationDatabase card_db = auth_db;  // Same policy, separate ledger.
+  AuthorizationDatabase card_db =
+      runtime->auth_db();  // Same policy, separate ledger.
   CardReaderBaseline card(&card_db);
   ReplayOnBaseline(day, &card);
   DetectionStats card_stats = ScoreDetections(day, card.alerts());
@@ -97,9 +129,11 @@ int main() {
               "card-reader baseline:", card_stats.detected,
               100.0 * card_stats.recall());
 
-  // 4. Investigate with the query language.
-  QueryEngine qe(&graph, &auth_db, &movements, &profiles);
-  QueryInterpreter interp(&qe, &graph, &profiles, &movements, &auth_db);
+  // 4. Investigate with the query language (over the MovementView —
+  //    cross-shard answers fan out per shard, no merged copy).
+  QueryInterpreter interp(&runtime->query(), &runtime->graph(),
+                          &runtime->profiles(), &runtime->movements(),
+                          &runtime->auth_db());
   for (const char* q : {
            "WHO CAN ACCESS B1.R5 DURING [0, 300]",
            "ACCESSIBLE FOR u0 IN B1",

@@ -5,17 +5,19 @@
 // users who were in contact with diagnosed SARS patients could be traced
 // and placed in quarantine."
 //
-// This example builds a small hospital, simulates staff and patient
-// movement through the enforcement engine (position fixes resolved
-// through room boundaries stand in for the RFID substrate), then runs the
-// contact-tracing query when one patient is diagnosed.
+// This example builds a small hospital, feeds raw position fixes to an
+// AccessRuntime (the facade resolves them through the room boundaries —
+// the stand-in for the RFID substrate — and routes them down the uniform
+// event path), then runs the contact-tracing query when one patient is
+// diagnosed. The runtime here is sharded across 2 workers; the same
+// program runs unchanged on any RuntimeOptions configuration.
 //
 // Run: ./build/examples/hospital_tracking
 
 #include <cstdio>
 
-#include "engine/access_control_engine.h"
 #include "query/query_language.h"
+#include "runtime/access_runtime.h"
 #include "util/logging.h"
 
 namespace {
@@ -49,22 +51,21 @@ MultilevelLocationGraph BuildHospital() {
 }  // namespace
 
 int main() {
-  MultilevelLocationGraph graph = BuildHospital();
-  UserProfileDatabase profiles;
-  SubjectId nurse = profiles.AddSubject("nurse.Tan").ValueOrDie();
-  SubjectId doctor = profiles.AddSubject("dr.Lim").ValueOrDie();
-  SubjectId patient1 = profiles.AddSubject("patient.Wong").ValueOrDie();
-  SubjectId patient2 = profiles.AddSubject("patient.Ng").ValueOrDie();
+  SystemState state;
+  state.graph = BuildHospital();
+  SubjectId nurse = state.profiles.AddSubject("nurse.Tan").ValueOrDie();
+  SubjectId doctor = state.profiles.AddSubject("dr.Lim").ValueOrDie();
+  SubjectId patient1 = state.profiles.AddSubject("patient.Wong").ValueOrDie();
+  SubjectId patient2 = state.profiles.AddSubject("patient.Ng").ValueOrDie();
 
   // Staff may go anywhere all day; patients only lobby/triage/their ward.
-  AuthorizationDatabase auth_db;
   auto grant = [&](SubjectId s, const char* room) {
-    auth_db.Add(LocationTemporalAuthorization::Make(
-                    TimeInterval(0, 480), TimeInterval(0, 540),
-                    LocationAuthorization{
-                        s, graph.Find(room).ValueOrDie()},
-                    kUnlimitedEntries)
-                    .ValueOrDie());
+    state.auth_db.Add(LocationTemporalAuthorization::Make(
+                          TimeInterval(0, 480), TimeInterval(0, 540),
+                          LocationAuthorization{
+                              s, state.graph.Find(room).ValueOrDie()},
+                          kUnlimitedEntries)
+                          .ValueOrDie());
   };
   for (SubjectId staff : {nurse, doctor}) {
     for (const char* room : {"Lobby", "Triage", "WardA", "WardB", "ICU"}) {
@@ -77,9 +78,12 @@ int main() {
   grant(patient1, "WardA");
   grant(patient2, "WardB");
 
-  MovementDatabase movements;
-  AccessControlEngine engine(&graph, &auth_db, &movements, &profiles);
-  engine.AttachResolver(LocationResolver::Build(graph).ValueOrDie());
+  RuntimeOptions options;
+  options.num_shards = 2;  // Tracking fan-in sharded across 2 workers.
+  Result<std::unique_ptr<AccessRuntime>> opened =
+      AccessRuntime::Open(std::move(state), options);
+  LTAM_CHECK(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<AccessRuntime> runtime = std::move(opened).ValueOrDie();
 
   // A morning of position fixes from the tracking substrate (one chronon
   // = one minute). patient.Wong incubates in WardA; nurse.Tan overlaps
@@ -105,14 +109,18 @@ int main() {
       {95, patient2, 30, 16},  // ... WardB (overlaps nurse there).
   };
   for (const Fix& fix : kFixes) {
-    engine.HandlePositionFix({fix.t, fix.who, {fix.x, fix.y}});
+    Status applied = runtime->ApplyFix({fix.t, fix.who, {fix.x, fix.y}});
+    LTAM_CHECK(applied.ok()) << applied.ToString();
   }
-  std::printf("tracked %zu movements, %zu alerts\n",
-              movements.history().size(), engine.alerts().size());
+  std::printf("tracked %zu movements, %zu alerts pending\n",
+              runtime->movements().history_size(),
+              runtime->Stats().pending_alerts);
 
-  // t=120: patient.Wong is diagnosed. Trace every contact of the morning.
-  QueryEngine qe(&graph, &auth_db, &movements, &profiles);
-  QueryInterpreter interp(&qe, &graph, &profiles, &movements, &auth_db);
+  // t=120: patient.Wong is diagnosed. Trace every contact of the morning
+  // through the runtime's movement view (sharded fan-out, no copy).
+  QueryInterpreter interp(&runtime->query(), &runtime->graph(),
+                          &runtime->profiles(), &runtime->movements(),
+                          &runtime->auth_db());
   std::printf("\n> CONTACTS OF patient.Wong DURING [0, 120]\n");
   std::printf("%s",
               interp.Run("CONTACTS OF patient.Wong DURING [0, 120]")

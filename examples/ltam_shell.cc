@@ -1,9 +1,10 @@
 // Copyright 2026 The LTAM Authors.
 //
 // An administrator shell: loads a policy script (path as argv[1], or a
-// built-in demo policy), derives the rules, then evaluates query-language
+// built-in demo policy) into an AccessRuntime, derives the rules inside
+// the runtime's mutation window, then evaluates query-language
 // statements from stdin — the interactive face of Figure 3's query
-// engine.
+// engine, answering over the runtime's MovementView.
 //
 // Run: ./build/examples/ltam_shell [policy.ltam]  (then type queries;
 //      e.g. "WHEN CAN Alice ACCESS CAIS", "INACCESSIBLE FOR Bob")
@@ -14,6 +15,7 @@
 
 #include "core/rules/rule_engine.h"
 #include "query/query_language.h"
+#include "runtime/access_runtime.h"
 #include "storage/policy_script.h"
 
 namespace {
@@ -57,34 +59,42 @@ int main(int argc, char** argv) {
                  state_or.status().ToString().c_str());
     return 1;
   }
-  SystemState state = std::move(state_or).ValueOrDie();
 
-  // Register and derive the scripted rules.
-  RuleEngine rules(&state.auth_db, &state.profiles, &state.graph);
-  for (AuthorizationRule& rule : state.rules) {
-    Result<RuleId> added = rules.AddRule(rule);
-    if (!added.ok()) {
-      std::fprintf(stderr, "rule error: %s\n",
-                   added.status().ToString().c_str());
-      return 1;
-    }
+  Result<std::unique_ptr<AccessRuntime>> opened =
+      AccessRuntime::Open(std::move(state_or).ValueOrDie());
+  if (!opened.ok()) {
+    std::fprintf(stderr, "runtime error: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
   }
-  Result<DerivationReport> report = rules.DeriveAll();
-  if (!report.ok()) {
-    std::fprintf(stderr, "derivation error: %s\n",
-                 report.status().ToString().c_str());
+  std::unique_ptr<AccessRuntime> runtime = std::move(opened).ValueOrDie();
+
+  // Register and derive the scripted rules — database mutations go
+  // through the runtime's mutation window.
+  size_t derived = 0;
+  Status mutated = runtime->Mutate([&](const MutableStores& stores) {
+    RuleEngine rules(&stores.auth_db, &stores.profiles, &stores.graph);
+    for (AuthorizationRule& rule : stores.rules) {
+      LTAM_ASSIGN_OR_RETURN(RuleId id, rules.AddRule(rule));
+      (void)id;
+    }
+    LTAM_ASSIGN_OR_RETURN(DerivationReport report, rules.DeriveAll());
+    derived = report.derived;
+    return Status::OK();
+  });
+  if (!mutated.ok()) {
+    std::fprintf(stderr, "rule error: %s\n", mutated.ToString().c_str());
     return 1;
   }
   std::printf(
       "loaded: %zu locations, %zu subjects, %zu authorizations "
       "(%zu rule-derived)\n",
-      state.graph.size(), state.profiles.size(),
-      state.auth_db.active_size(), report->derived);
+      runtime->graph().size(), runtime->profiles().size(),
+      runtime->auth_db().active_size(), derived);
 
-  QueryEngine qe(&state.graph, &state.auth_db, &state.movements,
-                 &state.profiles);
-  QueryInterpreter interp(&qe, &state.graph, &state.profiles,
-                          &state.movements, &state.auth_db);
+  QueryInterpreter interp(&runtime->query(), &runtime->graph(),
+                          &runtime->profiles(), &runtime->movements(),
+                          &runtime->auth_db());
   std::printf("query> ");
   std::fflush(stdout);
   std::string line;

@@ -3,13 +3,18 @@
 // The paper's running example end to end: the NTU campus of Figures 1-2,
 // the simple/complex routes of Section 3.1, and the authorization rules
 // r1/r2/r3 of Section 4 (Examples 1-3), including automatic re-derivation
-// when Alice's supervisor changes.
+// when Alice's supervisor changes — all administered through the
+// AccessRuntime facade (rule derivation and the supervisor change are
+// mutations, so they run inside the runtime's enforced mutation window),
+// with the Section 5 request timeline enforced at the end.
 //
 // Run: ./build/examples/ntu_campus
 
 #include <cstdio>
+#include <memory>
 
 #include "core/rules/rule_engine.h"
+#include "runtime/access_runtime.h"
 #include "sim/graph_gen.h"
 #include "util/logging.h"
 
@@ -34,8 +39,20 @@ void PrintDerived(const ltam::AuthorizationDatabase& db,
 int main() {
   using namespace ltam;  // NOLINT: example brevity.
 
-  // Figure 2's multilevel location graph.
-  MultilevelLocationGraph graph = MakeNtuCampusGraph().ValueOrDie();
+  // Figure 2's multilevel location graph, plus subjects and the base
+  // authorization a1 (Section 4): Alice works in CAIS; Bob supervises.
+  SystemState state;
+  state.graph = MakeNtuCampusGraph().ValueOrDie();
+  SubjectId alice = state.profiles.AddSubject("Alice").ValueOrDie();
+  SubjectId bob = state.profiles.AddSubject("Bob").ValueOrDie();
+  LTAM_CHECK(state.profiles.SetSupervisor(alice, bob).ok());
+
+  Result<std::unique_ptr<AccessRuntime>> opened =
+      AccessRuntime::Open(std::move(state));
+  LTAM_CHECK(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<AccessRuntime> rt = std::move(opened).ValueOrDie();
+
+  const MultilevelLocationGraph& graph = rt->graph();
   std::printf("NTU multilevel location graph (Figure 2):\n%s\n",
               graph.ToString().c_str());
 
@@ -56,67 +73,97 @@ int main() {
   }
   std::printf("\n\n");
 
-  // Subjects: Alice works in CAIS; Bob supervises her.
-  UserProfileDatabase profiles;
-  SubjectId alice = profiles.AddSubject("Alice").ValueOrDie();
-  SubjectId bob = profiles.AddSubject("Bob").ValueOrDie();
-  LTAM_CHECK(profiles.SetSupervisor(alice, bob).ok());
+  // Rule administration happens inside the mutation window. The rule
+  // engine outlives one window (Example 1 re-derives in a later one), so
+  // it is built on the first mutation and reused by the rest.
+  std::unique_ptr<RuleEngine> rules;
+  AuthId a1 = kInvalidAuth;
+  RuleId r1_id = kInvalidRule;
+  RuleId r2_id = kInvalidRule;
+  RuleId r3_id = kInvalidRule;
+  Status administered = rt->Mutate([&](const MutableStores& stores) {
+    a1 = stores.auth_db.Add(LocationTemporalAuthorization::Make(
+                                TimeInterval(5, 20), TimeInterval(15, 50),
+                                LocationAuthorization{alice, id("CAIS")}, 2)
+                                .ValueOrDie());
+    rules = std::make_unique<RuleEngine>(&stores.auth_db, &stores.profiles,
+                                         &stores.graph);
 
-  // Base authorization a1 (Section 4).
-  AuthorizationDatabase auth_db;
-  AuthId a1 = auth_db.Add(LocationTemporalAuthorization::Make(
-                              TimeInterval(5, 20), TimeInterval(15, 50),
-                              LocationAuthorization{alice, id("CAIS")}, 2)
-                              .ValueOrDie());
+    // r1: the supervisor gets Alice's CAIS rights (Example 1).
+    AuthorizationRule r1;
+    r1.valid_from = 7;
+    r1.base = a1;
+    r1.op_subject = SubjectOperatorPtr(new SupervisorOfOp());
+    r1.label = "r1";
+    LTAM_ASSIGN_OR_RETURN(r1_id, rules->AddRule(r1));
+
+    // r2: ... but only during [10, 30] (Example 2).
+    AuthorizationRule r2;
+    r2.valid_from = 7;
+    r2.base = a1;
+    r2.op_entry =
+        TemporalOperatorPtr(new IntersectionOp(TimeInterval(10, 30)));
+    r2.op_subject = SubjectOperatorPtr(new SupervisorOfOp());
+    r2.label = "r2";
+    LTAM_ASSIGN_OR_RETURN(r2_id, rules->AddRule(r2));
+
+    // r3: Alice may walk every GO -> CAIS corridor room (Example 3).
+    AuthorizationRule r3;
+    r3.valid_from = 7;
+    r3.base = a1;
+    r3.op_location = LocationOperatorPtr(new AllRouteFromOp("SCE.GO"));
+    r3.label = "r3";
+    LTAM_ASSIGN_OR_RETURN(r3_id, rules->AddRule(r3));
+    return Status::OK();
+  });
+  LTAM_CHECK(administered.ok()) << administered.ToString();
+
   std::printf("a1 = %s\n\n",
-              auth_db.record(a1).auth.ToString(profiles, graph).c_str());
-
-  RuleEngine rules(&auth_db, &profiles, &graph);
-
-  // r1: the supervisor gets Alice's CAIS rights (Example 1).
-  AuthorizationRule r1;
-  r1.valid_from = 7;
-  r1.base = a1;
-  r1.op_subject = SubjectOperatorPtr(new SupervisorOfOp());
-  r1.label = "r1";
-  RuleId r1_id = rules.AddRule(r1).ValueOrDie();
-
-  // r2: ... but only during [10, 30] (Example 2).
-  AuthorizationRule r2;
-  r2.valid_from = 7;
-  r2.base = a1;
-  r2.op_entry = TemporalOperatorPtr(new IntersectionOp(TimeInterval(10, 30)));
-  r2.op_subject = SubjectOperatorPtr(new SupervisorOfOp());
-  r2.label = "r2";
-  RuleId r2_id = rules.AddRule(r2).ValueOrDie();
-
-  // r3: Alice may walk every GO -> CAIS corridor room (Example 3).
-  AuthorizationRule r3;
-  r3.valid_from = 7;
-  r3.base = a1;
-  r3.op_location = LocationOperatorPtr(new AllRouteFromOp("SCE.GO"));
-  r3.label = "r3";
-  RuleId r3_id = rules.AddRule(r3).ValueOrDie();
-
-  for (const AuthorizationRule& rule : rules.rules()) {
+              rt->auth_db().record(a1).auth.ToString(rt->profiles(), graph)
+                  .c_str());
+  for (const AuthorizationRule& rule : rules->rules()) {
     std::printf("%s: %s\n", rule.label.c_str(), rule.ToString().c_str());
   }
-  DerivationReport report = rules.DeriveAll().ValueOrDie();
+
+  DerivationReport report;
+  LTAM_CHECK(rt->Mutate([&](const MutableStores&) {
+                 LTAM_ASSIGN_OR_RETURN(report, rules->DeriveAll());
+                 return Status::OK();
+               })
+                 .ok());
   std::printf("\nderivation: %zu rules -> %zu authorizations\n",
               report.rules_evaluated, report.derived);
-  PrintDerived(auth_db, profiles, graph, r1_id, "r1 (Example 1)");
-  PrintDerived(auth_db, profiles, graph, r2_id, "r2 (Example 2)");
-  PrintDerived(auth_db, profiles, graph, r3_id, "r3 (Example 3)");
+  PrintDerived(rt->auth_db(), rt->profiles(), graph, r1_id, "r1 (Example 1)");
+  PrintDerived(rt->auth_db(), rt->profiles(), graph, r2_id, "r2 (Example 2)");
+  PrintDerived(rt->auth_db(), rt->profiles(), graph, r3_id, "r3 (Example 3)");
 
   // Example 1's punchline: reassign the supervisor and re-derive.
-  SubjectId carol = profiles.AddSubject("Carol").ValueOrDie();
-  LTAM_CHECK(profiles.SetSupervisor(alice, carol).ok());
-  report = rules.RefreshIfProfilesChanged().ValueOrDie();
+  LTAM_CHECK(rt->Mutate([&](const MutableStores& stores) {
+                 LTAM_ASSIGN_OR_RETURN(SubjectId carol,
+                                       stores.profiles.AddSubject("Carol"));
+                 LTAM_RETURN_IF_ERROR(
+                     stores.profiles.SetSupervisor(alice, carol));
+                 LTAM_ASSIGN_OR_RETURN(report,
+                                       rules->RefreshIfProfilesChanged());
+                 return Status::OK();
+               })
+                 .ok());
   std::printf(
       "\nAlice's supervisor is now Carol: re-derivation revoked %zu and "
       "derived %zu\n",
       report.revoked, report.derived);
-  PrintDerived(auth_db, profiles, graph, r1_id, "r1 after the change");
+  PrintDerived(rt->auth_db(), rt->profiles(), graph, r1_id,
+               "r1 after the change");
+
+  // Section 5, enforced: Alice's derived corridor rights let her walk
+  // GO -> SectionA -> SectionB -> CAIS within the entry windows.
+  std::printf("\nSection 5 timeline through the runtime:\n");
+  for (const char* name :
+       {"SCE.GO", "SCE.SectionA", "SCE.SectionB", "CAIS"}) {
+    Result<Decision> d = rt->Apply(AccessEvent::Entry(10, alice, id(name)));
+    LTAM_CHECK(d.ok()) << d.status().ToString();
+    std::printf("  (10, Alice, %-13s) -> %s\n", name, d->ToString().c_str());
+  }
 
   // Export the campus for graphviz rendering.
   std::printf("\nGraphviz DOT of Figure 2 (first lines):\n");

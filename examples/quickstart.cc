@@ -1,19 +1,21 @@
 // Copyright 2026 The LTAM Authors.
 //
-// Quickstart: the smallest useful LTAM deployment.
+// Quickstart: the smallest useful LTAM deployment, through the unified
+// AccessRuntime facade.
 //
 // Builds a two-room site, grants the Section 5 authorizations
 //   A1: ([10, 20], [10, 50], (Alice, CAIS), 2)
 //   A2: ([5, 35], [20, 100], (Bob, CHIPES), 1)
 // and replays the paper's request timeline, printing each decision, then
-// shows an overstay alert being raised by the monitor.
+// shows an overstay alert being raised by the monitor. Switching this
+// deployment to a sharded or crash-safe runtime is a RuntimeOptions
+// change, not a rewrite.
 //
 // Run: ./build/examples/quickstart
 
 #include <cstdio>
 
-#include "engine/access_control_engine.h"
-#include "graph/multilevel_graph.h"
+#include "runtime/access_runtime.h"
 #include "util/logging.h"
 
 namespace {
@@ -27,65 +29,68 @@ void Print(const char* what, const ltam::Decision& d) {
 int main() {
   using namespace ltam;  // NOLINT: example brevity.
 
-  // 1. Describe the location layout (Definition 1): one location graph
-  //    with two rooms; CAIS is the entry location.
-  MultilevelLocationGraph graph("Lab");
-  LocationId cais = graph.AddPrimitive("CAIS", graph.root()).ValueOrDie();
-  LocationId chipes = graph.AddPrimitive("CHIPES", graph.root()).ValueOrDie();
-  LTAM_CHECK(graph.AddEdge(cais, chipes).ok());
-  LTAM_CHECK(graph.SetEntry(cais).ok());
-  LTAM_CHECK(graph.Validate().ok());
+  // 1. Describe the system state: the location layout (Definition 1),
+  //    the subjects, and the location-temporal authorizations
+  //    (Definition 4).
+  SystemState state;
+  state.graph = MultilevelLocationGraph("Lab");
+  LocationId cais =
+      state.graph.AddPrimitive("CAIS", state.graph.root()).ValueOrDie();
+  LocationId chipes =
+      state.graph.AddPrimitive("CHIPES", state.graph.root()).ValueOrDie();
+  LTAM_CHECK(state.graph.AddEdge(cais, chipes).ok());
+  LTAM_CHECK(state.graph.SetEntry(cais).ok());
+  LTAM_CHECK(state.graph.Validate().ok());
 
-  // 2. Register the subjects.
-  UserProfileDatabase profiles;
-  SubjectId alice = profiles.AddSubject("Alice").ValueOrDie();
-  SubjectId bob = profiles.AddSubject("Bob").ValueOrDie();
+  SubjectId alice = state.profiles.AddSubject("Alice").ValueOrDie();
+  SubjectId bob = state.profiles.AddSubject("Bob").ValueOrDie();
 
-  // 3. Create the location-temporal authorizations (Definition 4).
-  AuthorizationDatabase auth_db;
-  auth_db.Add(LocationTemporalAuthorization::Make(
-                  TimeInterval(10, 20), TimeInterval(10, 50),
-                  LocationAuthorization{alice, cais}, 2)
-                  .ValueOrDie());
-  auth_db.Add(LocationTemporalAuthorization::Make(
-                  TimeInterval(5, 35), TimeInterval(20, 100),
-                  LocationAuthorization{bob, chipes}, 1)
-                  .ValueOrDie());
+  state.auth_db.Add(LocationTemporalAuthorization::Make(
+                        TimeInterval(10, 20), TimeInterval(10, 50),
+                        LocationAuthorization{alice, cais}, 2)
+                        .ValueOrDie());
+  state.auth_db.Add(LocationTemporalAuthorization::Make(
+                        TimeInterval(5, 35), TimeInterval(20, 100),
+                        LocationAuthorization{bob, chipes}, 1)
+                        .ValueOrDie());
 
-  // 4. Enforce (Figure 3): the engine checks Definition 7 plus physical
-  //    adjacency and monitors movement continuously.
-  MovementDatabase movements;
-  AccessControlEngine engine(&graph, &auth_db, &movements, &profiles);
+  // 2. Open the enforcement runtime (Figure 3) over that state. CHIPES
+  //    is not a site door, so Bob walks in through CAIS's door... but he
+  //    holds no CAIS authorization: his direct request would be denied
+  //    twice over. Disable adjacency for the paper-faithful timeline.
+  RuntimeOptions options;
+  options.engine.enforce_adjacency = false;
+  Result<std::unique_ptr<AccessRuntime>> opened =
+      AccessRuntime::Open(std::move(state), options);
+  LTAM_CHECK(opened.ok()) << opened.status().ToString();
+  std::unique_ptr<AccessRuntime> runtime = std::move(opened).ValueOrDie();
 
   std::printf("Section 5 request timeline:\n");
-  // CHIPES is not a site door, so Bob walks in through CAIS's door... but
-  // he holds no CAIS authorization: his direct request is denied twice
-  // over. Disable adjacency for the paper-faithful timeline.
-  EngineOptions open_doors;
-  open_doors.enforce_adjacency = false;
-  MovementDatabase movements2;
-  AccessControlEngine paper_engine(&graph, &auth_db, &movements2, &profiles,
-                                   open_doors);
-  Print("(10, Alice, CAIS)", paper_engine.RequestEntry(10, alice, cais));
-  Print("(15, Bob,   CAIS)", paper_engine.RequestEntry(15, bob, cais));
-  Print("(16, Bob,   CHIPES)", paper_engine.RequestEntry(16, bob, chipes));
-  std::printf("  (20, Bob exits)\n");
-  LTAM_CHECK(paper_engine.RequestExit(20, bob).ok());
-  Print("(30, Bob,   CHIPES)", paper_engine.RequestEntry(30, bob, chipes));
+  auto apply = [&](const char* label, const AccessEvent& e) {
+    Result<Decision> d = runtime->Apply(e);
+    LTAM_CHECK(d.ok()) << d.status().ToString();
+    Print(label, *d);
+  };
+  apply("(10, Alice, CAIS)", AccessEvent::Entry(10, alice, cais));
+  apply("(15, Bob,   CAIS)", AccessEvent::Entry(15, bob, cais));
+  apply("(16, Bob,   CHIPES)", AccessEvent::Entry(16, bob, chipes));
+  apply("(20, Bob exits)", AccessEvent::Exit(20, bob));
+  apply("(30, Bob,   CHIPES)", AccessEvent::Entry(30, bob, chipes));
 
-  // 5. Continuous monitoring: Alice must leave CAIS by t=50.
+  // 3. Continuous monitoring: Alice must leave CAIS by t=50.
   std::printf("\nMonitoring:\n");
-  paper_engine.Tick(60);
-  for (const Alert& alert : paper_engine.alerts()) {
+  LTAM_CHECK(runtime->Tick(60).ok());
+  for (const Alert& alert : runtime->DrainAlerts()) {
     if (alert.type != AlertType::kAccessDenied) {
       std::printf("  ALERT %s\n", alert.ToString().c_str());
     }
   }
 
+  // 4. The read side: movement history through the MovementView.
   std::printf("\nMovement record of Alice:\n");
-  for (const Stay& stay : movements2.StaysOf(alice)) {
+  for (const Stay& stay : runtime->movements().StaysOf(alice)) {
     std::printf("  in %s from t=%lld%s\n",
-                graph.location(stay.location).name.c_str(),
+                runtime->graph().location(stay.location).name.c_str(),
                 static_cast<long long>(stay.enter_time),
                 stay.exit_time == kChrononMax ? " (still inside)" : "");
   }

@@ -32,12 +32,17 @@ const char* DenyReasonToString(DenyReason reason) {
       return "exit-rejected";
     case DenyReason::kWalError:
       return "wal-error";
+    case DenyReason::kObservationRejected:
+      return "observation-rejected";
   }
   return "unknown";
 }
 
 std::string Decision::ToString() const {
   if (granted) {
+    // Exits and accepted observations grant without a backing
+    // authorization; print them without a meaningless auth id.
+    if (auth == kInvalidAuth) return "granted";
     return StrFormat("granted (auth #%u)", auth);
   }
   return std::string("denied (") + DenyReasonToString(reason) + ")";

@@ -36,6 +36,9 @@ enum class DenyReason : uint8_t {
   kWalError = 8,           ///< Durability failure: the event could not be
                            ///< appended to the write-ahead log, so it was
                            ///< refused rather than applied unlogged.
+  kObservationRejected = 9,  ///< Tracking observation refused: it names an
+                             ///< unknown/composite location or arrives out
+                             ///< of time order, so nothing was recorded.
 };
 
 /// Returns a stable lower-case name for a deny reason.

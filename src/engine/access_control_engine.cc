@@ -114,17 +114,18 @@ Status AccessControlEngine::RequestExit(Chronon t, SubjectId s) {
   return movement_db_->RecordMovement(t, s, kInvalidLocation);
 }
 
-void AccessControlEngine::ObservePresence(Chronon t, SubjectId s,
-                                          LocationId l) {
+Status AccessControlEngine::ObservePresence(Chronon t, SubjectId s,
+                                            LocationId l) {
   LocationId cur = movement_db_->CurrentLocation(s);
-  if (cur == l) return;  // Observation agrees with the database.
+  if (cur == l) return Status::OK();  // Observation agrees with the database.
   if (!graph_->Exists(l) || !graph_->location(l).IsPrimitive()) {
     // The tracking substrate named a location the layout does not have
     // (sensor glitch or corrupted log). Never record it: a phantom
     // current location would poison every later adjacency check.
     RaiseAlert(t, s, l, AlertType::kImpossibleMovement,
                "observation names an unknown location");
-    return;
+    return Status::InvalidArgument(
+        "observation names an unknown or composite location");
   }
 
   // The subject is somewhere the database does not expect: they moved
@@ -149,25 +150,29 @@ void AccessControlEngine::ObservePresence(Chronon t, SubjectId s,
       CheckExitWindow(t, s, it->second);
     }
     Status st = movement_db_->RecordMovement(t, s, l);
-    if (st.ok()) {
-      if (hypothetical.granted) {
-        Status ledger = auth_db_->RecordEntry(hypothetical.auth);
-        LTAM_CHECK(ledger.ok())
-            << "ledger update failed: " << ledger.ToString();
-        active_[s] = ActiveStay{l, hypothetical.auth, t, false};
-      } else {
-        active_[s] = ActiveStay{l, kInvalidAuth, t, false};
-      }
+    if (!st.ok()) {
+      // Out-of-order observation: refused, nothing recorded.
+      return st;
+    }
+    if (hypothetical.granted) {
+      Status ledger = auth_db_->RecordEntry(hypothetical.auth);
+      LTAM_CHECK(ledger.ok())
+          << "ledger update failed: " << ledger.ToString();
+      active_[s] = ActiveStay{l, hypothetical.auth, t, false};
+    } else {
+      active_[s] = ActiveStay{l, kInvalidAuth, t, false};
     }
   }
+  return Status::OK();
 }
 
-void AccessControlEngine::HandlePositionFix(const PositionFix& fix) {
+Status AccessControlEngine::HandlePositionFix(const PositionFix& fix) {
   if (!resolver_.has_value()) {
     RaiseAlert(fix.time, fix.subject, kInvalidLocation,
                AlertType::kImpossibleMovement,
                "position fix received but no resolver attached");
-    return;
+    return Status::FailedPrecondition(
+        "position fix received but no resolver attached");
   }
   std::optional<LocationId> l = resolver_->Resolve(fix.position);
   if (!l.has_value()) {
@@ -180,13 +185,12 @@ void AccessControlEngine::HandlePositionFix(const PositionFix& fix) {
         CheckExitWindow(fix.time, fix.subject, it->second);
         active_.erase(it);
       }
-      Status st =
-          movement_db_->RecordMovement(fix.time, fix.subject, kInvalidLocation);
-      (void)st;
+      return movement_db_->RecordMovement(fix.time, fix.subject,
+                                          kInvalidLocation);
     }
-    return;
+    return Status::OK();
   }
-  ObservePresence(fix.time, fix.subject, *l);
+  return ObservePresence(fix.time, fix.subject, *l);
 }
 
 void AccessControlEngine::AttachResolver(LocationResolver resolver) {
@@ -209,6 +213,26 @@ void AccessControlEngine::Tick(Chronon t) {
                      exit_window.ToString());
       stay.overstay_alerted = true;
     }
+  }
+}
+
+void ResumeOpenStays(AccessControlEngine* engine,
+                     const MovementDatabase& movements,
+                     const AuthorizationDatabase& auth_db,
+                     const std::vector<SubjectId>& subjects) {
+  for (SubjectId s : subjects) {
+    LocationId cur = movements.CurrentLocation(s);
+    if (cur == kInvalidLocation) continue;
+    Result<Chronon> since = movements.CurrentStaySince(s);
+    if (!since.ok()) continue;
+    AuthId chosen = kInvalidAuth;
+    for (AuthId id : auth_db.ForSubjectLocation(s, cur)) {
+      if (auth_db.record(id).auth.entry_duration().Contains(*since)) {
+        chosen = id;
+        break;
+      }
+    }
+    engine->ResumeStay(s, cur, chosen, *since);
   }
 }
 

@@ -70,13 +70,19 @@ class AccessControlEngine {
   /// If that contradicts the movement database, raises alerts
   /// (kUnauthorizedPresence when s has no usable authorization covering
   /// t, kImpossibleMovement when the jump skips the graph) and, per
-  /// options, records the corrected movement.
-  void ObservePresence(Chronon t, SubjectId s, LocationId l);
+  /// options, records the corrected movement. Returns non-OK when the
+  /// observation itself was refused — it names an unknown/composite
+  /// location (kInvalidArgument) or arrives out of time order for the
+  /// subject (kFailedPrecondition) — so callers with a uniform error
+  /// contract never lose the refusal. Alerts are raised either way.
+  Status ObservePresence(Chronon t, SubjectId s, LocationId l);
 
   /// Raw position fix; resolved through `resolver` (set via
   /// AttachResolver) then forwarded to ObservePresence. Fixes outside
   /// every boundary are treated as "outside" and close open stays.
-  void HandlePositionFix(const PositionFix& fix);
+  /// Returns kFailedPrecondition when no resolver is attached, and
+  /// forwards ObservePresence's refusals.
+  Status HandlePositionFix(const PositionFix& fix);
 
   /// Attaches a spatial resolver (required for HandlePositionFix).
   void AttachResolver(LocationResolver resolver);
@@ -132,6 +138,18 @@ class AccessControlEngine {
   size_t requests_processed_ = 0;
   size_t requests_granted_ = 0;
 };
+
+/// Re-registers every open stay recorded in `movements` on `engine`
+/// (restricted to `subjects`): each inside subject resumes under the
+/// first active in-window authorization for (s, current location) — the
+/// same preference order CheckAccess uses, so overstay tracking survives
+/// recovery and pre-seeded histories. Shared by every runtime that
+/// rebuilds an engine over an existing movement history (the durable
+/// runtimes' recovery, the facade's seeding of in-memory backends).
+void ResumeOpenStays(AccessControlEngine* engine,
+                     const MovementDatabase& movements,
+                     const AuthorizationDatabase& auth_db,
+                     const std::vector<SubjectId>& subjects);
 
 }  // namespace ltam
 

@@ -2,6 +2,8 @@
 
 #include "engine/events.h"
 
+#include <algorithm>
+
 #include "time/interval.h"
 #include "util/string_util.h"
 
@@ -58,6 +60,18 @@ std::string Alert::ToString() const {
                    ChrononToString(time).c_str(), AlertTypeToString(type),
                    subject, location, detail.empty() ? "" : " - ",
                    detail.c_str());
+}
+
+void SortAlerts(std::vector<Alert>* alerts) {
+  std::stable_sort(alerts->begin(), alerts->end(),
+                   [](const Alert& a, const Alert& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     if (a.subject != b.subject) return a.subject < b.subject;
+                     if (a.location != b.location) {
+                       return a.location < b.location;
+                     }
+                     return static_cast<int>(a.type) < static_cast<int>(b.type);
+                   });
 }
 
 }  // namespace ltam

@@ -9,6 +9,7 @@
 #define LTAM_ENGINE_EVENTS_H_
 
 #include <string>
+#include <vector>
 
 #include "core/decision.h"
 #include "graph/location.h"
@@ -99,6 +100,12 @@ struct Alert {
 
   std::string ToString() const;
 };
+
+/// The canonical deterministic alert ordering — stable by (time,
+/// subject, location, type). Every surface that merges or reports alert
+/// buffers (the sharded drain, the runtime facade) sorts with this one
+/// helper so orderings can never drift apart.
+void SortAlerts(std::vector<Alert>* alerts);
 
 }  // namespace ltam
 

@@ -130,9 +130,13 @@ std::vector<Stay> MovementDatabase::StaysOf(SubjectId s) const {
 }
 
 std::vector<Stay> MovementDatabase::StaysIn(LocationId l) const {
+  return StaysInIndex(l);
+}
+
+const std::vector<Stay>& MovementDatabase::StaysInIndex(LocationId l) const {
+  static const std::vector<Stay> kEmpty;
   auto it = stays_by_location_.find(l);
-  if (it == stays_by_location_.end()) return {};
-  return it->second;
+  return it == stays_by_location_.end() ? kEmpty : it->second;
 }
 
 std::vector<MovementDatabase::Contact> MovementDatabase::ContactsOf(
@@ -141,36 +145,53 @@ std::vector<MovementDatabase::Contact> MovementDatabase::ContactsOf(
   auto it = stays_by_subject_.find(s);
   if (it == stays_by_subject_.end()) return out;
   for (const Stay& mine : it->second) {
-    // Clip my stay to the query window. Stays are [enter, exit) but we
-    // treat the closed overlap on chronons.
-    Chronon my_start = std::max(mine.enter_time, window.start());
-    Chronon my_end = std::min(
-        mine.exit_time == kChrononMax ? kChrononMax
-                                      : ChrononSub(mine.exit_time, 1),
-        window.end());
-    if (my_start > my_end) continue;
     auto loc_it = stays_by_location_.find(mine.location);
     if (loc_it == stays_by_location_.end()) continue;
-    for (const Stay& theirs : loc_it->second) {
-      if (theirs.subject == s) continue;
-      Chronon their_end = theirs.exit_time == kChrononMax
-                              ? kChrononMax
-                              : ChrononSub(theirs.exit_time, 1);
-      Chronon ov_start = std::max(my_start, theirs.enter_time);
-      Chronon ov_end = std::min(my_end, their_end);
-      if (ov_start > ov_end) continue;
-      Chronon overlap = ChrononAdd(ChrononSub(ov_end, ov_start), 1);
-      if (overlap < min_overlap) continue;
-      out.push_back(Contact{theirs.subject, mine.location, ov_start, ov_end});
-    }
+    AppendStayContacts(mine, window, min_overlap, loc_it->second, &out);
   }
-  std::sort(out.begin(), out.end(), [](const Contact& a, const Contact& b) {
-    if (a.overlap_start != b.overlap_start) {
-      return a.overlap_start < b.overlap_start;
-    }
-    return a.other < b.other;
-  });
+  SortContacts(&out);
   return out;
+}
+
+void AppendStayContacts(const Stay& mine, const TimeInterval& window,
+                        Chronon min_overlap,
+                        const std::vector<Stay>& candidates,
+                        std::vector<MovementDatabase::Contact>* out) {
+  // Clip my stay to the query window. Stays are [enter, exit) but we
+  // treat the closed overlap on chronons.
+  Chronon my_start = std::max(mine.enter_time, window.start());
+  Chronon my_end = std::min(
+      mine.exit_time == kChrononMax ? kChrononMax
+                                    : ChrononSub(mine.exit_time, 1),
+      window.end());
+  if (my_start > my_end) return;
+  for (const Stay& theirs : candidates) {
+    if (theirs.subject == mine.subject) continue;
+    if (theirs.location != mine.location) continue;
+    Chronon their_end = theirs.exit_time == kChrononMax
+                            ? kChrononMax
+                            : ChrononSub(theirs.exit_time, 1);
+    Chronon ov_start = std::max(my_start, theirs.enter_time);
+    Chronon ov_end = std::min(my_end, their_end);
+    if (ov_start > ov_end) continue;
+    Chronon overlap = ChrononAdd(ChrononSub(ov_end, ov_start), 1);
+    if (overlap < min_overlap) continue;
+    out->push_back(MovementDatabase::Contact{theirs.subject, mine.location,
+                                             ov_start, ov_end});
+  }
+}
+
+void SortContacts(std::vector<MovementDatabase::Contact>* contacts) {
+  std::sort(contacts->begin(), contacts->end(),
+            [](const MovementDatabase::Contact& a,
+               const MovementDatabase::Contact& b) {
+              if (a.overlap_start != b.overlap_start) {
+                return a.overlap_start < b.overlap_start;
+              }
+              if (a.other != b.other) return a.other < b.other;
+              if (a.location != b.location) return a.location < b.location;
+              return a.overlap_end < b.overlap_end;
+            });
 }
 
 }  // namespace ltam

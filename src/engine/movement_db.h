@@ -61,6 +61,12 @@ class MovementDatabase {
   /// Every stay in `l`, in time order.
   std::vector<Stay> StaysIn(LocationId l) const;
 
+  /// Borrowed view of the per-location stay index (an empty vector when
+  /// `l` has no stays) — the allocation-free counterpart of StaysIn for
+  /// hot read paths like the cross-shard contact fan-out. Valid until
+  /// the next RecordMovement.
+  const std::vector<Stay>& StaysInIndex(LocationId l) const;
+
   /// Contact query (the SARS scenario of Section 1): every (subject,
   /// location, overlap) triple where `other` shared a location with `s`
   /// for at least `min_overlap` chronons during `window`.
@@ -91,6 +97,21 @@ class MovementDatabase {
   /// Patches the open stay copy in stays_by_location_ when it closes.
   void CloseLocationStay(SubjectId s, LocationId l, Chronon exit_time);
 };
+
+/// Appends to `out` every contact between `mine` (one stay of the probe
+/// subject, clipped to `window`) and the stays in `candidates` that share
+/// its location for at least `min_overlap` chronons. Candidates of the
+/// probe subject itself are skipped. Shared by MovementDatabase::ContactsOf
+/// and the sharded MovementView fan-out so both produce identical
+/// contact sets.
+void AppendStayContacts(const Stay& mine, const TimeInterval& window,
+                        Chronon min_overlap,
+                        const std::vector<Stay>& candidates,
+                        std::vector<MovementDatabase::Contact>* out);
+
+/// Deterministic contact ordering: (overlap_start, other, location,
+/// overlap_end). Shared final sort of every ContactsOf implementation.
+void SortContacts(std::vector<MovementDatabase::Contact>* contacts);
 
 }  // namespace ltam
 

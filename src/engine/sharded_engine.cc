@@ -17,9 +17,11 @@ Decision ApplyAccessEvent(AccessControlEngine* engine, const AccessEvent& e) {
       return st.ok() ? Decision::Grant(kInvalidAuth)
                      : Decision::Deny(DenyReason::kExitRejected);
     }
-    case AccessEventKind::kObserve:
-      engine->ObservePresence(e.time, e.subject, e.location);
-      return Decision::Grant(kInvalidAuth);
+    case AccessEventKind::kObserve: {
+      Status st = engine->ObservePresence(e.time, e.subject, e.location);
+      return st.ok() ? Decision::Grant(kInvalidAuth)
+                     : Decision::Deny(DenyReason::kObservationRejected);
+    }
   }
   return Decision::Deny(DenyReason::kNone);  // Unreachable.
 }
@@ -104,16 +106,33 @@ void ShardedDecisionEngine::SetShardHooks(ShardHooks hooks) {
   hooks_ = std::move(hooks);
 }
 
-Status ShardedDecisionEngine::TakeBatchError() {
-  std::lock_guard<std::mutex> lock(done_mu_);
-  Status out = std::move(batch_error_);
-  batch_error_ = Status::OK();
-  return out;
+Status ComposeDurabilityError(Status append_error, Status sync_error) {
+  if (!sync_error.ok()) {
+    return append_error.ok()
+               ? sync_error
+               : sync_error.WithContext("batch also refused events (" +
+                                        append_error.ToString() + ")");
+  }
+  return append_error;
 }
 
-void ShardedDecisionEngine::RecordBatchError(Status status) {
+Status ShardedDecisionEngine::TakeBatchError() {
+  std::lock_guard<std::mutex> lock(done_mu_);
+  Status append = std::move(batch_error_);
+  batch_error_ = Status::OK();
+  Status sync = std::move(sync_error_);
+  sync_error_ = Status::OK();
+  return ComposeDurabilityError(std::move(append), std::move(sync));
+}
+
+void ShardedDecisionEngine::RecordAppendError(Status status) {
   std::lock_guard<std::mutex> lock(done_mu_);
   if (batch_error_.ok()) batch_error_ = std::move(status);
+}
+
+void ShardedDecisionEngine::RecordSyncError(Status status) {
+  std::lock_guard<std::mutex> lock(done_mu_);
+  if (sync_error_.ok()) sync_error_ = std::move(status);
 }
 
 void ShardedDecisionEngine::Tick(Chronon t) {
@@ -137,14 +156,14 @@ void ShardedDecisionEngine::WorkerLoop(Shard* shard) {
     // Per-subject batch order is preserved: todo holds this shard's event
     // indices ascending, and every event of a given subject maps here.
     for (size_t i : shard->todo) {
-      const AccessEvent& event = (*current_batch_)[i];
+      const AccessEvent& event = current_batch_[i];
       if (hooks_.before_apply) {
         Status logged = hooks_.before_apply(shard->index, event);
         if (!logged.ok()) {
           // Write-ahead contract: an event that could not be logged is
           // refused, never applied — state must not run ahead of the log.
           decisions_[i] = Decision::Deny(DenyReason::kWalError);
-          RecordBatchError(std::move(logged));
+          RecordAppendError(std::move(logged));
           continue;
         }
       }
@@ -152,7 +171,7 @@ void ShardedDecisionEngine::WorkerLoop(Shard* shard) {
     }
     if (hooks_.after_batch) {
       Status synced = hooks_.after_batch(shard->index);
-      if (!synced.ok()) RecordBatchError(std::move(synced));
+      if (!synced.ok()) RecordSyncError(std::move(synced));
     }
     shard->todo.clear();
     shard->has_work = false;
@@ -164,10 +183,10 @@ void ShardedDecisionEngine::WorkerLoop(Shard* shard) {
 }
 
 std::vector<Decision> ShardedDecisionEngine::EvaluateBatch(
-    const std::vector<AccessEvent>& batch) {
+    Span<const AccessEvent> batch) {
   ++batches_evaluated_;
   decisions_.assign(batch.size(), Decision());
-  current_batch_ = &batch;
+  current_batch_ = batch;
 
   std::vector<std::vector<size_t>> parts(shards_.size());
   for (size_t i = 0; i < batch.size(); ++i) {
@@ -194,7 +213,7 @@ std::vector<Decision> ShardedDecisionEngine::EvaluateBatch(
     std::unique_lock<std::mutex> done_lock(done_mu_);
     done_cv_.wait(done_lock, [this] { return pending_shards_ == 0; });
   }
-  current_batch_ = nullptr;
+  current_batch_ = Span<const AccessEvent>();
   return std::move(decisions_);
 }
 
@@ -206,15 +225,7 @@ std::vector<Alert> ShardedDecisionEngine::DrainAlerts() {
     out.insert(out.end(), alerts.begin(), alerts.end());
     shard->engine.ClearAlerts();
   }
-  std::stable_sort(out.begin(), out.end(),
-                   [](const Alert& a, const Alert& b) {
-                     if (a.time != b.time) return a.time < b.time;
-                     if (a.subject != b.subject) return a.subject < b.subject;
-                     if (a.location != b.location) {
-                       return a.location < b.location;
-                     }
-                     return static_cast<int>(a.type) < static_cast<int>(b.type);
-                   });
+  SortAlerts(&out);
   return out;
 }
 
@@ -228,6 +239,29 @@ size_t ShardedDecisionEngine::requests_granted() const {
   size_t total = 0;
   for (const auto& shard : shards_) total += shard->engine.requests_granted();
   return total;
+}
+
+Status PartitionMovementsIntoShards(const MovementDatabase& seed,
+                                    ShardedDecisionEngine* engine) {
+  for (const MovementEvent& ev : seed.history()) {
+    uint32_t k = engine->ShardOf(ev.subject);
+    Status recorded = engine->mutable_shard_movements(k).RecordMovement(
+        ev.time, ev.subject, ev.to);
+    if (!recorded.ok()) {
+      return recorded.WithContext("partitioning initial movement history");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<SubjectId> SubjectsOnShard(const UserProfileDatabase& profiles,
+                                       const ShardedDecisionEngine& engine,
+                                       uint32_t shard) {
+  std::vector<SubjectId> owned;
+  for (SubjectId s : profiles.AllSubjects()) {
+    if (engine.ShardOf(s) == shard) owned.push_back(s);
+  }
+  return owned;
 }
 
 }  // namespace ltam

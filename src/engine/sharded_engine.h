@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "engine/access_control_engine.h"
+#include "util/span.h"
 
 namespace ltam {
 
@@ -45,8 +46,10 @@ namespace ltam {
 ///  - kRequestExit: grant with kInvalidAuth when the exit was recorded,
 ///    Deny(kExitRejected) when it was refused (subject not inside, or an
 ///    out-of-order event);
-///  - kObserve: always grant with kInvalidAuth (observations carry their
-///    outcome through alerts, not decisions).
+///  - kObserve: grant with kInvalidAuth when the observation was accepted
+///    (its security outcome travels through alerts, not decisions);
+///    Deny(kObservationRejected) when the engine refused it outright
+///    (unknown location, out-of-order time).
 /// Both the sharded workers and sequential baselines use this function,
 /// so "identical decisions" is a property of the pipeline, not of
 /// per-event mapping choices.
@@ -59,6 +62,15 @@ struct ShardedEngineOptions {
   /// Per-shard engine options.
   EngineOptions engine;
 };
+
+/// Composes a batch's durability outcome from its first append
+/// (write-ahead refusal) and first group-commit (fsync) failures. The
+/// group-commit failure outranks the append error — applied events'
+/// durability is in doubt, which must never be masked by a mere refusal
+/// (refusals stay visible as Deny(kWalError) decisions) — and carries
+/// the append error in its context when both occurred. Shared by every
+/// durable batch surface so error reporting cannot drift per backend.
+Status ComposeDurabilityError(Status append_error, Status sync_error);
 
 /// Per-shard worker callbacks, the seam the durable runtime plugs into.
 /// Both run on the shard's worker thread.
@@ -99,8 +111,9 @@ class ShardedDecisionEngine {
   /// in batch order (their times must be nondecreasing, as the movement
   /// database requires); events of different subjects may be interleaved
   /// arbitrarily by the partition. Returns one Decision per event, in
-  /// input order.
-  std::vector<Decision> EvaluateBatch(const std::vector<AccessEvent>& batch);
+  /// input order. The viewed storage must stay alive (and unmodified)
+  /// for the duration of the call.
+  std::vector<Decision> EvaluateBatch(Span<const AccessEvent> batch);
 
   /// Shard a subject maps to.
   uint32_t ShardOf(SubjectId s) const;
@@ -122,8 +135,12 @@ class ShardedDecisionEngine {
   /// hooks; pass {} to detach.
   void SetShardHooks(ShardHooks hooks);
 
-  /// First error any hook reported during the most recent EvaluateBatch,
-  /// cleared by the read. OK when every hook succeeded.
+  /// The batch's durability outcome, cleared by the read. OK when every
+  /// hook succeeded. Append (before_apply) and group-commit
+  /// (after_batch) failures are tracked separately and a group-commit
+  /// failure takes precedence — it means applied events' durability is
+  /// in doubt, which must never be masked by a mere append refusal
+  /// (those are already visible as Deny(kWalError) decisions).
   Status TakeBatchError();
 
   /// Mutable access to one shard's movement view, for recovery seeding
@@ -177,8 +194,13 @@ class ShardedDecisionEngine {
 
   void WorkerLoop(Shard* shard);
 
-  /// Records a hook failure for the in-flight batch (first error wins).
-  void RecordBatchError(Status status);
+  /// Records a before_apply (append) failure for the in-flight batch
+  /// (first error wins within the category).
+  void RecordAppendError(Status status);
+
+  /// Records an after_batch (group-commit) failure (first error wins
+  /// within the category; the category outranks append errors).
+  void RecordSyncError(Status status);
 
   std::vector<std::unique_ptr<Shard>> shards_;
 
@@ -188,7 +210,7 @@ class ShardedDecisionEngine {
 
   /// Batch currently being evaluated; set by EvaluateBatch, read by
   /// workers while the completion latch is open.
-  const std::vector<AccessEvent>* current_batch_ = nullptr;
+  Span<const AccessEvent> current_batch_;
   /// Output slots; workers write disjoint indices.
   std::vector<Decision> decisions_;
 
@@ -196,11 +218,26 @@ class ShardedDecisionEngine {
   std::mutex done_mu_;
   std::condition_variable done_cv_;
   size_t pending_shards_ = 0;
-  /// First hook failure of the current batch; guarded by done_mu_.
+  /// First append / group-commit failure of the current batch, tracked
+  /// separately so neither masks the other; guarded by done_mu_.
   Status batch_error_;
+  Status sync_error_;
 
   size_t batches_evaluated_ = 0;
 };
+
+/// Moves every event of `seed`'s history into the engine's per-shard
+/// movement views (partitioned by subject, per-subject order
+/// preserved). The seeding step every sharded runtime performs when
+/// starting from an existing movement history.
+Status PartitionMovementsIntoShards(const MovementDatabase& seed,
+                                    ShardedDecisionEngine* engine);
+
+/// The subjects of `profiles` owned by `shard` under the engine's
+/// partition.
+std::vector<SubjectId> SubjectsOnShard(const UserProfileDatabase& profiles,
+                                       const ShardedDecisionEngine& engine,
+                                       uint32_t shard);
 
 }  // namespace ltam
 

@@ -1,0 +1,188 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "query/movement_view.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace ltam {
+
+// --- MovementDatabaseView ----------------------------------------------------
+
+LocationId MovementDatabaseView::CurrentLocation(SubjectId s) const {
+  return db_->CurrentLocation(s);
+}
+
+Result<Chronon> MovementDatabaseView::CurrentStaySince(SubjectId s) const {
+  return db_->CurrentStaySince(s);
+}
+
+LocationId MovementDatabaseView::LocationAt(SubjectId s, Chronon t) const {
+  return db_->LocationAt(s, t);
+}
+
+std::vector<SubjectId> MovementDatabaseView::OccupantsAt(LocationId l,
+                                                         Chronon t) const {
+  return db_->OccupantsAt(l, t);
+}
+
+std::vector<SubjectId> MovementDatabaseView::CurrentOccupants(
+    LocationId l) const {
+  return db_->CurrentOccupants(l);
+}
+
+std::vector<Stay> MovementDatabaseView::StaysOf(SubjectId s) const {
+  return db_->StaysOf(s);
+}
+
+std::vector<Stay> MovementDatabaseView::StaysIn(LocationId l) const {
+  return db_->StaysIn(l);
+}
+
+std::vector<MovementDatabase::Contact> MovementDatabaseView::ContactsOf(
+    SubjectId s, const TimeInterval& window, Chronon min_overlap) const {
+  return db_->ContactsOf(s, window, min_overlap);
+}
+
+size_t MovementDatabaseView::tracked_subjects() const {
+  return db_->tracked_subjects();
+}
+
+size_t MovementDatabaseView::history_size() const {
+  return db_->history().size();
+}
+
+// --- ShardedMovementView -----------------------------------------------------
+
+ShardedMovementView::ShardedMovementView(
+    std::vector<const MovementDatabase*> shards, ShardRouter route)
+    : shards_(std::move(shards)), route_(std::move(route)) {
+  LTAM_CHECK(!shards_.empty()) << "sharded view needs at least one shard";
+  for (const MovementDatabase* db : shards_) {
+    LTAM_CHECK(db != nullptr) << "sharded view over a null shard";
+  }
+}
+
+const MovementDatabase* ShardedMovementView::OwnerShard(SubjectId s) const {
+  if (!route_) return nullptr;
+  uint32_t k = route_(s);
+  LTAM_CHECK(k < shards_.size()) << "router mapped subject out of range";
+  return shards_[k];
+}
+
+LocationId ShardedMovementView::CurrentLocation(SubjectId s) const {
+  if (const MovementDatabase* owner = OwnerShard(s)) {
+    return owner->CurrentLocation(s);
+  }
+  for (const MovementDatabase* db : shards_) {
+    LocationId l = db->CurrentLocation(s);
+    if (l != kInvalidLocation) return l;
+  }
+  return kInvalidLocation;
+}
+
+Result<Chronon> ShardedMovementView::CurrentStaySince(SubjectId s) const {
+  if (const MovementDatabase* owner = OwnerShard(s)) {
+    return owner->CurrentStaySince(s);
+  }
+  for (const MovementDatabase* db : shards_) {
+    Result<Chronon> since = db->CurrentStaySince(s);
+    if (since.ok()) return since;
+  }
+  return Status::NotFound("subject is not inside any location");
+}
+
+LocationId ShardedMovementView::LocationAt(SubjectId s, Chronon t) const {
+  if (const MovementDatabase* owner = OwnerShard(s)) {
+    return owner->LocationAt(s, t);
+  }
+  for (const MovementDatabase* db : shards_) {
+    LocationId l = db->LocationAt(s, t);
+    if (l != kInvalidLocation) return l;
+  }
+  return kInvalidLocation;
+}
+
+std::vector<SubjectId> ShardedMovementView::OccupantsAt(LocationId l,
+                                                        Chronon t) const {
+  std::vector<SubjectId> out;
+  for (const MovementDatabase* db : shards_) {
+    std::vector<SubjectId> part = db->OccupantsAt(l, t);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  // Each shard already sorted + deduplicated its part; subjects are
+  // disjoint across shards, so a global sort restores the contract.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<SubjectId> ShardedMovementView::CurrentOccupants(
+    LocationId l) const {
+  std::vector<SubjectId> out;
+  for (const MovementDatabase* db : shards_) {
+    std::vector<SubjectId> part = db->CurrentOccupants(l);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Stay> ShardedMovementView::StaysOf(SubjectId s) const {
+  if (const MovementDatabase* owner = OwnerShard(s)) {
+    return owner->StaysOf(s);
+  }
+  for (const MovementDatabase* db : shards_) {
+    std::vector<Stay> stays = db->StaysOf(s);
+    if (!stays.empty()) return stays;
+  }
+  return {};
+}
+
+std::vector<Stay> ShardedMovementView::StaysIn(LocationId l) const {
+  std::vector<Stay> out;
+  for (const MovementDatabase* db : shards_) {
+    std::vector<Stay> part = db->StaysIn(l);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  // Per-shard lists are in per-shard arrival (enter-time) order; the
+  // cross-subject interleaving of one global database is not
+  // reconstructible, so normalize to (enter_time, subject, exit_time).
+  std::stable_sort(out.begin(), out.end(), [](const Stay& a, const Stay& b) {
+    if (a.enter_time != b.enter_time) return a.enter_time < b.enter_time;
+    if (a.subject != b.subject) return a.subject < b.subject;
+    return a.exit_time < b.exit_time;
+  });
+  return out;
+}
+
+std::vector<MovementDatabase::Contact> ShardedMovementView::ContactsOf(
+    SubjectId s, const TimeInterval& window, Chronon min_overlap) const {
+  // The probe subject's stays live on one shard; the co-located stays
+  // live anywhere. For each of the probe's stays, fan the location scan
+  // out over every shard — the same (stay x candidate-stay) pairs the
+  // sequential ContactsOf enumerates, via the shared matcher.
+  std::vector<MovementDatabase::Contact> out;
+  for (const Stay& mine : StaysOf(s)) {
+    for (const MovementDatabase* db : shards_) {
+      AppendStayContacts(mine, window, min_overlap,
+                         db->StaysInIndex(mine.location), &out);
+    }
+  }
+  SortContacts(&out);
+  return out;
+}
+
+size_t ShardedMovementView::tracked_subjects() const {
+  size_t total = 0;
+  for (const MovementDatabase* db : shards_) total += db->tracked_subjects();
+  return total;
+}
+
+size_t ShardedMovementView::history_size() const {
+  size_t total = 0;
+  for (const MovementDatabase* db : shards_) total += db->history().size();
+  return total;
+}
+
+}  // namespace ltam

@@ -11,11 +11,26 @@ namespace ltam {
 
 QueryEngine::QueryEngine(const MultilevelLocationGraph* graph,
                          const AuthorizationDatabase* auth_db,
+                         const MovementView* movements,
+                         const UserProfileDatabase* profiles)
+    : graph_(graph),
+      auth_db_(auth_db),
+      local_view_(nullptr),
+      external_view_(movements),
+      profiles_(profiles) {
+  LTAM_CHECK(graph != nullptr);
+  LTAM_CHECK(auth_db != nullptr);
+  LTAM_CHECK(movements != nullptr);
+  LTAM_CHECK(profiles != nullptr);
+}
+
+QueryEngine::QueryEngine(const MultilevelLocationGraph* graph,
+                         const AuthorizationDatabase* auth_db,
                          const MovementDatabase* movement_db,
                          const UserProfileDatabase* profiles)
     : graph_(graph),
       auth_db_(auth_db),
-      movement_db_(movement_db),
+      local_view_(movement_db),
       profiles_(profiles) {
   LTAM_CHECK(graph != nullptr);
   LTAM_CHECK(auth_db != nullptr);
@@ -154,22 +169,22 @@ Result<AuthorizedRoute> QueryEngine::FindAuthorizedRoute(
 }
 
 LocationId QueryEngine::WhereWas(SubjectId s, Chronon t) const {
-  return movement_db_->LocationAt(s, t);
+  return movements().LocationAt(s, t);
 }
 
 std::vector<SubjectId> QueryEngine::Occupants(LocationId l, Chronon t) const {
-  return movement_db_->OccupantsAt(l, t);
+  return movements().OccupantsAt(l, t);
 }
 
 std::vector<MovementDatabase::Contact> QueryEngine::Contacts(
     SubjectId s, const TimeInterval& window, Chronon min_overlap) const {
-  return movement_db_->ContactsOf(s, window, min_overlap);
+  return movements().ContactsOf(s, window, min_overlap);
 }
 
 std::vector<SubjectId> QueryEngine::OverstayingAt(Chronon t) const {
   std::vector<SubjectId> out;
   for (SubjectId s : profiles_->AllSubjects()) {
-    LocationId cur = movement_db_->CurrentLocation(s);
+    LocationId cur = movements().CurrentLocation(s);
     if (cur == kInvalidLocation) continue;
     // Overstaying iff every authorization's exit window has closed.
     std::vector<AuthId> auths = auth_db_->ForSubjectLocation(s, cur);

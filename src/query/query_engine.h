@@ -17,6 +17,7 @@
 #include "engine/movement_db.h"
 #include "graph/multilevel_graph.h"
 #include "profile/user_profile.h"
+#include "query/movement_view.h"
 
 namespace ltam {
 
@@ -32,8 +33,20 @@ struct AuthorizedRoute {
 };
 
 /// Read-only analytical queries over the four stores of Figure 3.
+///
+/// Movement questions are answered through a MovementView, so the same
+/// engine serves a single sequential MovementDatabase or a sharded
+/// runtime's per-shard views (fan-out, no merged copy) unchanged.
 class QueryEngine {
  public:
+  /// Over an explicit movement view (borrowed; must outlive the engine).
+  QueryEngine(const MultilevelLocationGraph* graph,
+              const AuthorizationDatabase* auth_db,
+              const MovementView* movements,
+              const UserProfileDatabase* profiles);
+
+  /// Convenience: over one concrete movement database (wrapped in an
+  /// internally owned sequential view).
   QueryEngine(const MultilevelLocationGraph* graph,
               const AuthorizationDatabase* auth_db,
               const MovementDatabase* movement_db,
@@ -100,9 +113,16 @@ class QueryEngine {
   std::vector<SubjectId> OverstayingAt(Chronon t) const;
 
  private:
+  /// The active view: the external one when set, else the internal
+  /// wrapper (kept copy-safe by resolving at call time).
+  const MovementView& movements() const {
+    return external_view_ != nullptr ? *external_view_ : local_view_;
+  }
+
   const MultilevelLocationGraph* graph_;
   const AuthorizationDatabase* auth_db_;
-  const MovementDatabase* movement_db_;
+  MovementDatabaseView local_view_;
+  const MovementView* external_view_ = nullptr;
   const UserProfileDatabase* profiles_;
 };
 

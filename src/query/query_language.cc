@@ -134,12 +134,24 @@ class Cursor {
 QueryInterpreter::QueryInterpreter(const QueryEngine* engine,
                                    const MultilevelLocationGraph* graph,
                                    const UserProfileDatabase* profiles,
+                                   const MovementView* movements,
+                                   const AuthorizationDatabase* auth_db)
+    : engine_(engine),
+      graph_(graph),
+      profiles_(profiles),
+      local_view_(nullptr),
+      external_view_(movements),
+      auth_db_(auth_db) {}
+
+QueryInterpreter::QueryInterpreter(const QueryEngine* engine,
+                                   const MultilevelLocationGraph* graph,
+                                   const UserProfileDatabase* profiles,
                                    const MovementDatabase* movement_db,
                                    const AuthorizationDatabase* auth_db)
     : engine_(engine),
       graph_(graph),
       profiles_(profiles),
-      movement_db_(movement_db),
+      local_view_(movement_db),
       auth_db_(auth_db) {}
 
 Result<QueryResult> QueryInterpreter::Run(const std::string& statement) const {
@@ -353,7 +365,7 @@ Result<QueryResult> QueryInterpreter::Run(const std::string& statement) const {
     out.columns = {"subject", "location"};
     for (SubjectId s : engine_->OverstayingAt(t)) {
       out.rows.push_back({subj_name(s),
-                          loc_name(movement_db_->CurrentLocation(s))});
+                          loc_name(movements().CurrentLocation(s))});
     }
     return out;
   }
@@ -366,7 +378,7 @@ Result<QueryResult> QueryInterpreter::Run(const std::string& statement) const {
     LTAM_ASSIGN_OR_RETURN(SubjectId s, profiles_->Find(sname));
     QueryResult out;
     out.columns = {"enter", "exit", "location"};
-    for (const Stay& stay : movement_db_->StaysOf(s)) {
+    for (const Stay& stay : movements().StaysOf(s)) {
       out.rows.push_back({ChrononToString(stay.enter_time),
                           stay.exit_time == kChrononMax
                               ? "(inside)"

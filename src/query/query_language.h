@@ -44,7 +44,16 @@ struct QueryResult {
 /// Parses and evaluates query-language statements.
 class QueryInterpreter {
  public:
-  /// Borrows the engine and the name-resolution stores.
+  /// Borrows the engine and the name-resolution stores; movement facts
+  /// come through a backend-agnostic MovementView.
+  QueryInterpreter(const QueryEngine* engine,
+                   const MultilevelLocationGraph* graph,
+                   const UserProfileDatabase* profiles,
+                   const MovementView* movements,
+                   const AuthorizationDatabase* auth_db);
+
+  /// Convenience: over one concrete movement database (wrapped in an
+  /// internally owned sequential view).
   QueryInterpreter(const QueryEngine* engine,
                    const MultilevelLocationGraph* graph,
                    const UserProfileDatabase* profiles,
@@ -55,10 +64,15 @@ class QueryInterpreter {
   Result<QueryResult> Run(const std::string& statement) const;
 
  private:
+  const MovementView& movements() const {
+    return external_view_ != nullptr ? *external_view_ : local_view_;
+  }
+
   const QueryEngine* engine_;
   const MultilevelLocationGraph* graph_;
   const UserProfileDatabase* profiles_;
-  const MovementDatabase* movement_db_;
+  MovementDatabaseView local_view_;
+  const MovementView* external_view_ = nullptr;
   const AuthorizationDatabase* auth_db_;
 };
 

@@ -1,0 +1,599 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "runtime/access_runtime.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "engine/sharded_engine.h"
+#include "storage/durable_sharded_system.h"
+#include "storage/durable_system.h"
+#include "storage/manifest.h"
+#include "storage/wal.h"
+#include "util/logging.h"
+
+namespace ltam {
+
+namespace {
+
+std::unique_ptr<MovementView> MakeShardedView(
+    const ShardedDecisionEngine& engine) {
+  std::vector<const MovementDatabase*> shards;
+  const uint32_t n = engine.num_shards();
+  shards.reserve(n);
+  for (uint32_t k = 0; k < n; ++k) shards.push_back(&engine.shard_movements(k));
+  return std::make_unique<ShardedMovementView>(
+      std::move(shards), [n](SubjectId s) {
+        return ShardedDecisionEngine::ShardOfSubject(s, n);
+      });
+}
+
+size_t PendingShardAlerts(const ShardedDecisionEngine& engine) {
+  size_t total = 0;
+  for (uint32_t k = 0; k < engine.num_shards(); ++k) {
+    total += engine.shard_engine(k).alerts().size();
+  }
+  return total;
+}
+
+}  // namespace
+
+// --- Backend interface -------------------------------------------------------
+
+class AccessRuntime::Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Applies `batch`, one decision per event in input order. Durability
+  /// trouble (append refusals already visible as Deny(kWalError),
+  /// group-commit failures) lands in *durability, first error wins;
+  /// in-memory backends leave it OK.
+  virtual Result<std::vector<Decision>> ApplyBatch(Span<const AccessEvent> batch,
+                                                   Status* durability) = 0;
+  virtual Status Tick(Chronon t) = 0;
+  /// Pending alerts in the canonical SortAlerts order, cleared.
+  virtual std::vector<Alert> DrainAlerts() = 0;
+  virtual size_t pending_alerts() const = 0;
+  virtual Status Checkpoint() = 0;
+  virtual MutableStores Stores() = 0;
+  /// Restores invariants a mutation may have broken (e.g. re-warms the
+  /// graph's flattened adjacency cache before workers read it again).
+  virtual void AfterMutate() {}
+  virtual const MultilevelLocationGraph& graph() const = 0;
+  virtual const UserProfileDatabase& profiles() const = 0;
+  virtual const AuthorizationDatabase& auth_db() const = 0;
+  virtual std::unique_ptr<MovementView> MakeView() const = 0;
+  virtual void FillStats(RuntimeStats* stats) const = 0;
+};
+
+// --- In-memory sequential ----------------------------------------------------
+
+class AccessRuntime::SequentialBackend final : public Backend {
+ public:
+  SequentialBackend(SystemState state, const EngineOptions& options)
+      : state_(std::move(state)),
+        engine_(&state_.graph, &state_.auth_db, &state_.movements,
+                &state_.profiles, options) {
+    // Pre-seeded histories resume their open stays exactly as durable
+    // recovery would, so overstay tracking starts correct.
+    ResumeOpenStays(&engine_, state_.movements, state_.auth_db,
+                    state_.profiles.AllSubjects());
+  }
+
+  Result<std::vector<Decision>> ApplyBatch(Span<const AccessEvent> batch,
+                                           Status* /*durability*/) override {
+    std::vector<Decision> out;
+    out.reserve(batch.size());
+    for (const AccessEvent& e : batch) {
+      out.push_back(ApplyAccessEvent(&engine_, e));
+    }
+    return out;
+  }
+
+  Status Tick(Chronon t) override {
+    engine_.Tick(t);
+    return Status::OK();
+  }
+
+  std::vector<Alert> DrainAlerts() override {
+    std::vector<Alert> out = engine_.alerts();
+    engine_.ClearAlerts();
+    SortAlerts(&out);
+    return out;
+  }
+
+  size_t pending_alerts() const override { return engine_.alerts().size(); }
+
+  Status Checkpoint() override { return Status::OK(); }
+
+  MutableStores Stores() override {
+    return MutableStores{state_.graph, state_.profiles, state_.auth_db,
+                         state_.rules};
+  }
+
+  const MultilevelLocationGraph& graph() const override {
+    return state_.graph;
+  }
+  const UserProfileDatabase& profiles() const override {
+    return state_.profiles;
+  }
+  const AuthorizationDatabase& auth_db() const override {
+    return state_.auth_db;
+  }
+
+  std::unique_ptr<MovementView> MakeView() const override {
+    return std::make_unique<MovementDatabaseView>(&state_.movements);
+  }
+
+  void FillStats(RuntimeStats* stats) const override {
+    stats->num_shards = 1;
+    stats->requests_processed = engine_.requests_processed();
+    stats->requests_granted = engine_.requests_granted();
+  }
+
+ private:
+  SystemState state_;
+  AccessControlEngine engine_;
+};
+
+// --- In-memory sharded -------------------------------------------------------
+
+class AccessRuntime::ShardedBackend final : public Backend {
+ public:
+  ShardedBackend(SystemState state, const RuntimeOptions& options)
+      : state_(std::move(state)) {
+    ShardedEngineOptions engine_options;
+    engine_options.num_shards = options.num_shards;
+    engine_options.engine = options.engine;
+    engine_ = std::make_unique<ShardedDecisionEngine>(
+        &state_.graph, &state_.auth_db, &state_.profiles, engine_options);
+  }
+
+  /// Partitions any pre-seeded movement history across the shards and
+  /// resumes open stays — the same seeding DurableShardedSystem performs
+  /// on a fresh directory, so backends stay interchangeable.
+  Status Init() {
+    MovementDatabase seed = std::move(state_.movements);
+    state_.movements = MovementDatabase();
+    LTAM_RETURN_IF_ERROR(PartitionMovementsIntoShards(seed, engine_.get()));
+    for (uint32_t k = 0; k < engine_->num_shards(); ++k) {
+      ResumeOpenStays(&engine_->shard_engine(k), engine_->shard_movements(k),
+                      state_.auth_db,
+                      SubjectsOnShard(state_.profiles, *engine_, k));
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<Decision>> ApplyBatch(Span<const AccessEvent> batch,
+                                           Status* /*durability*/) override {
+    return engine_->EvaluateBatch(batch);
+  }
+
+  Status Tick(Chronon t) override {
+    engine_->Tick(t);
+    return Status::OK();
+  }
+
+  std::vector<Alert> DrainAlerts() override { return engine_->DrainAlerts(); }
+
+  size_t pending_alerts() const override {
+    return PendingShardAlerts(*engine_);
+  }
+
+  Status Checkpoint() override { return Status::OK(); }
+
+  MutableStores Stores() override {
+    return MutableStores{state_.graph, state_.profiles, state_.auth_db,
+                         state_.rules};
+  }
+
+  void AfterMutate() override { state_.graph.WarmEffectiveAdjacency(); }
+
+  const MultilevelLocationGraph& graph() const override {
+    return state_.graph;
+  }
+  const UserProfileDatabase& profiles() const override {
+    return state_.profiles;
+  }
+  const AuthorizationDatabase& auth_db() const override {
+    return state_.auth_db;
+  }
+
+  std::unique_ptr<MovementView> MakeView() const override {
+    return MakeShardedView(*engine_);
+  }
+
+  void FillStats(RuntimeStats* stats) const override {
+    stats->num_shards = engine_->num_shards();
+    stats->requests_processed = engine_->requests_processed();
+    stats->requests_granted = engine_->requests_granted();
+  }
+
+ private:
+  SystemState state_;
+  std::unique_ptr<ShardedDecisionEngine> engine_;
+};
+
+// --- Durable sequential ------------------------------------------------------
+
+class AccessRuntime::DurableSequentialBackend final : public Backend {
+ public:
+  DurableSequentialBackend(std::unique_ptr<DurableSystem> sys,
+                           bool sync_every_batch, bool shard_override)
+      : sys_(std::move(sys)),
+        sync_every_batch_(sync_every_batch),
+        shard_override_(shard_override) {}
+
+  Result<std::vector<Decision>> ApplyBatch(Span<const AccessEvent> batch,
+                                           Status* durability) override {
+    std::vector<Decision> out;
+    out.reserve(batch.size());
+    Status append_error;
+    for (const AccessEvent& e : batch) {
+      Result<Decision> decision = sys_->Apply(e);
+      if (decision.ok()) {
+        out.push_back(*decision);
+      } else {
+        // Write-ahead contract: an event that could not be logged is
+        // refused, never applied (same as the sharded workers).
+        out.push_back(Decision::Deny(DenyReason::kWalError));
+        if (append_error.ok()) append_error = decision.status();
+      }
+    }
+    Status sync_error;
+    if (sync_every_batch_) sync_error = sys_->Sync();
+    *durability = ComposeDurabilityError(std::move(append_error),
+                                         std::move(sync_error));
+    return out;
+  }
+
+  Status Tick(Chronon t) override {
+    Status ticked = sys_->Tick(t);
+    if (sync_every_batch_) {
+      Status synced = sys_->Sync();
+      if (!synced.ok() && ticked.ok()) return synced;
+    }
+    return ticked;
+  }
+
+  std::vector<Alert> DrainAlerts() override {
+    std::vector<Alert> out = sys_->engine().alerts();
+    sys_->engine().ClearAlerts();
+    SortAlerts(&out);
+    return out;
+  }
+
+  size_t pending_alerts() const override {
+    return sys_->engine().alerts().size();
+  }
+
+  Status Checkpoint() override { return sys_->Checkpoint(); }
+
+  MutableStores Stores() override {
+    SystemState& state = sys_->mutable_state();
+    return MutableStores{state.graph, state.profiles, state.auth_db,
+                         state.rules};
+  }
+
+  const MultilevelLocationGraph& graph() const override {
+    return sys_->state().graph;
+  }
+  const UserProfileDatabase& profiles() const override {
+    return sys_->state().profiles;
+  }
+  const AuthorizationDatabase& auth_db() const override {
+    return sys_->state().auth_db;
+  }
+
+  std::unique_ptr<MovementView> MakeView() const override {
+    return std::make_unique<MovementDatabaseView>(&sys_->state().movements);
+  }
+
+  void FillStats(RuntimeStats* stats) const override {
+    stats->num_shards = 1;
+    stats->durable = true;
+    stats->shard_count_overridden = shard_override_;
+    stats->wal_events = sys_->wal_events();
+    stats->requests_processed = sys_->engine().requests_processed();
+    stats->requests_granted = sys_->engine().requests_granted();
+  }
+
+ private:
+  std::unique_ptr<DurableSystem> sys_;
+  bool sync_every_batch_;
+  /// True when the caller asked for >1 shard but the directory holds a
+  /// committed sequential state (which wins).
+  bool shard_override_;
+};
+
+// --- Durable sharded ---------------------------------------------------------
+
+class AccessRuntime::DurableShardedBackend final : public Backend {
+ public:
+  explicit DurableShardedBackend(std::unique_ptr<DurableShardedSystem> sys)
+      : sys_(std::move(sys)) {}
+
+  Result<std::vector<Decision>> ApplyBatch(Span<const AccessEvent> batch,
+                                           Status* durability) override {
+    return sys_->EvaluateBatchWithStatus(batch, durability);
+  }
+
+  Status Tick(Chronon t) override { return sys_->Tick(t); }
+
+  std::vector<Alert> DrainAlerts() override { return sys_->DrainAlerts(); }
+
+  size_t pending_alerts() const override {
+    return PendingShardAlerts(sys_->engine());
+  }
+
+  Status Checkpoint() override { return sys_->Checkpoint(); }
+
+  MutableStores Stores() override {
+    SystemState& base = sys_->mutable_base();
+    return MutableStores{base.graph, base.profiles, base.auth_db, base.rules};
+  }
+
+  void AfterMutate() override {
+    sys_->base().graph.WarmEffectiveAdjacency();
+  }
+
+  const MultilevelLocationGraph& graph() const override {
+    return sys_->base().graph;
+  }
+  const UserProfileDatabase& profiles() const override {
+    return sys_->base().profiles;
+  }
+  const AuthorizationDatabase& auth_db() const override {
+    return sys_->base().auth_db;
+  }
+
+  std::unique_ptr<MovementView> MakeView() const override {
+    return MakeShardedView(sys_->engine());
+  }
+
+  void FillStats(RuntimeStats* stats) const override {
+    stats->num_shards = sys_->num_shards();
+    stats->durable = true;
+    stats->shard_count_overridden = sys_->shard_count_overridden();
+    stats->epoch = sys_->epoch();
+    stats->wal_events = sys_->wal_events();
+    stats->requests_processed = sys_->engine().requests_processed();
+    stats->requests_granted = sys_->engine().requests_granted();
+  }
+
+ private:
+  std::unique_ptr<DurableShardedSystem> sys_;
+};
+
+// --- AccessRuntime -----------------------------------------------------------
+
+AccessRuntime::AccessRuntime(RuntimeOptions options)
+    : options_(std::move(options)) {}
+
+AccessRuntime::~AccessRuntime() = default;
+
+Result<std::unique_ptr<AccessRuntime>> AccessRuntime::Open(
+    SystemState initial, RuntimeOptions options) {
+  options.num_shards = std::max<uint32_t>(1, options.num_shards);
+  std::unique_ptr<AccessRuntime> rt(new AccessRuntime(options));
+  if (!options.durable_dir.has_value()) {
+    if (options.num_shards == 1) {
+      rt->backend_ = std::make_unique<SequentialBackend>(std::move(initial),
+                                                         options.engine);
+    } else {
+      auto backend =
+          std::make_unique<ShardedBackend>(std::move(initial), options);
+      LTAM_RETURN_IF_ERROR(backend->Init());
+      rt->backend_ = std::move(backend);
+    }
+  } else {
+    const std::string& dir = *options.durable_dir;
+    // Sniff any committed state so an existing directory is never opened
+    // through the wrong engine (a sharded MANIFEST must not be shadowed
+    // by a fresh sequential runtime, and vice versa). The directory's
+    // own shape wins over num_shards; Stats() reports the override.
+    const bool has_manifest = FileExists(dir + "/" + ManifestFileName());
+    const bool has_sequential =
+        FileExists(dir + "/" + DurableSystem::SnapshotFileName()) ||
+        FileExists(dir + "/" + DurableSystem::WalFileName());
+    const bool want_sharded = options.num_shards > 1;
+    if (has_manifest || (want_sharded && !has_sequential)) {
+      DurableShardedOptions sharded_options;
+      sharded_options.num_shards = options.num_shards;
+      sharded_options.engine = options.engine;
+      sharded_options.sync_every_batch = options.sync_every_batch;
+      LTAM_ASSIGN_OR_RETURN(
+          std::unique_ptr<DurableShardedSystem> sys,
+          DurableShardedSystem::Open(dir, std::move(initial),
+                                     sharded_options));
+      rt->backend_ = std::make_unique<DurableShardedBackend>(std::move(sys));
+    } else {
+      LTAM_ASSIGN_OR_RETURN(
+          std::unique_ptr<DurableSystem> sys,
+          DurableSystem::Open(dir, std::move(initial), options.engine));
+      if (!has_sequential) {
+        // Fresh directory: commit the seed immediately so recovery never
+        // needs `initial` again — the same contract the sharded runtime
+        // establishes with its epoch-0 checkpoint.
+        LTAM_RETURN_IF_ERROR(sys->Checkpoint());
+      }
+      rt->backend_ = std::make_unique<DurableSequentialBackend>(
+          std::move(sys), options.sync_every_batch,
+          /*shard_override=*/want_sharded);
+      if (want_sharded) {
+        LTAM_LOG_WARNING << "durable directory '" << dir
+                         << "' holds a sequential runtime; requested "
+                         << options.num_shards << " shards ignored";
+      }
+    }
+  }
+  rt->view_ = rt->backend_->MakeView();
+  rt->query_ = std::make_unique<QueryEngine>(
+      &rt->backend_->graph(), &rt->backend_->auth_db(), rt->view_.get(),
+      &rt->backend_->profiles());
+  return rt;
+}
+
+Result<Decision> AccessRuntime::Apply(const AccessEvent& event) {
+  if (in_mutate_) {
+    return Status::FailedPrecondition(
+        "Apply called inside Mutate: events may only be applied between "
+        "mutation windows");
+  }
+  Status durability;
+  LTAM_ASSIGN_OR_RETURN(
+      std::vector<Decision> decisions,
+      backend_->ApplyBatch(Span<const AccessEvent>(&event, 1), &durability));
+  LTAM_CHECK(decisions.size() == 1);
+  ++events_applied_;
+  if (!durability.ok()) {
+    if (!decisions[0].granted &&
+        decisions[0].reason == DenyReason::kWalError) {
+      return durability.WithContext(
+          "event refused before application (resubmit is safe)");
+    }
+    return durability.WithContext(
+        "event applied but group commit failed: durability in doubt, do "
+        "not resubmit");
+  }
+  return decisions[0];
+}
+
+Result<BatchResult> AccessRuntime::ApplyBatch(Span<const AccessEvent> batch) {
+  if (in_mutate_) {
+    return Status::FailedPrecondition(
+        "ApplyBatch called inside Mutate: events may only be applied "
+        "between mutation windows");
+  }
+  BatchResult out;
+  Status durability;
+  LTAM_ASSIGN_OR_RETURN(out.decisions,
+                        backend_->ApplyBatch(batch, &durability));
+  out.durability = std::move(durability);
+  out.alerts = TakePendingAlerts();
+  ++batches_applied_;
+  events_applied_ += batch.size();
+  return out;
+}
+
+Status AccessRuntime::ApplyFix(const PositionFix& fix) {
+  if (in_mutate_) {
+    return Status::FailedPrecondition(
+        "ApplyFix called inside Mutate: events may only be applied between "
+        "mutation windows");
+  }
+  if (!resolver_.has_value()) {
+    Result<LocationResolver> built = LocationResolver::Build(graph());
+    if (!built.ok()) {
+      return built.status().WithContext("building the position resolver");
+    }
+    resolver_.emplace(std::move(built).ValueOrDie());
+  }
+  std::optional<LocationId> located = resolver_->Resolve(fix.position);
+  AccessEvent event;
+  if (located.has_value()) {
+    event = AccessEvent::Observe(fix.time, fix.subject, *located);
+  } else {
+    // Outside every boundary: if the subject is recorded inside, they
+    // left without an exit request — close the stay; otherwise ignore.
+    if (movements().CurrentLocation(fix.subject) == kInvalidLocation) {
+      return Status::OK();
+    }
+    event = AccessEvent::Exit(fix.time, fix.subject);
+  }
+  Result<Decision> decision = Apply(event);
+  if (!decision.ok()) return decision.status();
+  if (!decision->granted &&
+      (decision->reason == DenyReason::kObservationRejected ||
+       decision->reason == DenyReason::kExitRejected)) {
+    return Status::FailedPrecondition(
+        std::string("position fix refused: ") +
+        DenyReasonToString(decision->reason));
+  }
+  return Status::OK();
+}
+
+Status AccessRuntime::Tick(Chronon t) {
+  if (in_mutate_) {
+    return Status::FailedPrecondition(
+        "Tick called inside Mutate: events may only be applied between "
+        "mutation windows");
+  }
+  return backend_->Tick(t);
+}
+
+std::vector<Alert> AccessRuntime::DrainAlerts() { return TakePendingAlerts(); }
+
+std::vector<Alert> AccessRuntime::TakePendingAlerts() {
+  // Every backend drains in the canonical SortAlerts order already.
+  return backend_->DrainAlerts();
+}
+
+Status AccessRuntime::Mutate(
+    const std::function<Status(const MutableStores&)>& fn) {
+  if (in_mutate_) {
+    return Status::FailedPrecondition("reentrant Mutate");
+  }
+  // RAII so a throwing callback cannot leave the runtime latched shut
+  // (fn is arbitrary user code; exceptions must not wedge enforcement).
+  struct WindowGuard {
+    AccessRuntime* rt;
+    ~WindowGuard() {
+      rt->in_mutate_ = false;
+      rt->backend_->AfterMutate();
+      // The layout may have changed; rebuild the fix resolver on demand.
+      rt->resolver_.reset();
+    }
+  };
+  Status status;
+  {
+    in_mutate_ = true;
+    WindowGuard guard{this};
+    status = fn(backend_->Stores());
+  }
+  if (options_.durable_dir.has_value() && options_.checkpoint_after_mutate) {
+    // Mutations are not write-ahead logged and are applied in place, so
+    // even a failed callback may have mutated the stores — checkpoint
+    // unconditionally to keep recovery equivalent to the live state.
+    Status checkpointed = backend_->Checkpoint();
+    if (!checkpointed.ok()) {
+      return status.ok()
+                 ? checkpointed.WithContext("checkpointing after a mutation")
+                 : status.WithContext("additionally, the post-mutation "
+                                      "checkpoint failed: " +
+                                      checkpointed.ToString());
+    }
+  }
+  return status;
+}
+
+Status AccessRuntime::Checkpoint() {
+  if (in_mutate_) {
+    return Status::FailedPrecondition("Checkpoint called inside Mutate");
+  }
+  return backend_->Checkpoint();
+}
+
+RuntimeStats AccessRuntime::Stats() const {
+  RuntimeStats stats;
+  stats.requested_shards = options_.num_shards;
+  backend_->FillStats(&stats);
+  stats.batches_applied = batches_applied_;
+  stats.events_applied = events_applied_;
+  stats.pending_alerts = backend_->pending_alerts();
+  return stats;
+}
+
+const MultilevelLocationGraph& AccessRuntime::graph() const {
+  return backend_->graph();
+}
+
+const UserProfileDatabase& AccessRuntime::profiles() const {
+  return backend_->profiles();
+}
+
+const AuthorizationDatabase& AccessRuntime::auth_db() const {
+  return backend_->auth_db();
+}
+
+}  // namespace ltam

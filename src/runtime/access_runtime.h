@@ -1,0 +1,243 @@
+// Copyright 2026 The LTAM Authors.
+// AccessRuntime: the one front door over every LTAM enforcement engine.
+//
+// The repo grew four ways to "apply LTAM events" — AccessControlEngine
+// (per-event, in-memory), ShardedDecisionEngine (batch, in-memory),
+// DurableSystem (per-event, crash-safe), DurableShardedSystem (batch,
+// crash-safe) — each with its own construction dance, alert draining,
+// mutation-window fine print, and error conventions. This facade selects
+// one of them from RuntimeOptions and exposes a single uniform,
+// Result/Status-only surface, in the spirit of the paper's layered
+// Figure-3 architecture: callers program against the model, not against
+// a particular scaling/durability point.
+//
+// Uniformity contract (equivalence-tested across all four backends by
+// tests/access_runtime_test.cc):
+//  - Apply/ApplyBatch produce byte-identical decision streams for the
+//    same event stream, whatever the backend;
+//  - ApplyBatch returns decisions + drained alerts + durability outcome
+//    in one BatchResult (no separate TakeAlerts/TakeBatchError calls);
+//  - alerts are deterministically ordered by (time, subject, location,
+//    type) on every backend;
+//  - Mutate() is the only door to the mutable stores, so the "mutations
+//    only between batches" rule is enforced, not documented: applying
+//    events from inside Mutate fails with kFailedPrecondition, and
+//    shared caches (the graph's flattened adjacency) are re-warmed when
+//    the mutation ends;
+//  - the read side is a MovementView: sequential backends expose their
+//    one database, sharded backends fan queries out over the per-shard
+//    views — no merged full copy — and the built-in QueryEngine answers
+//    over it.
+
+#ifndef LTAM_RUNTIME_ACCESS_RUNTIME_H_
+#define LTAM_RUNTIME_ACCESS_RUNTIME_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/access_control_engine.h"
+#include "engine/events.h"
+#include "engine/location_resolver.h"
+#include "query/movement_view.h"
+#include "query/query_engine.h"
+#include "storage/snapshot.h"
+#include "util/result.h"
+#include "util/span.h"
+
+namespace ltam {
+
+/// Which engine the facade runs on and how.
+struct RuntimeOptions {
+  /// 1 = the sequential engine; >1 = the subject-sharded batch pipeline
+  /// with one worker thread per shard.
+  uint32_t num_shards = 1;
+  /// When set, the runtime is crash-safe and rooted at this existing
+  /// directory (write-ahead logging + snapshots/checkpoints). When the
+  /// directory already holds a committed state, that state wins over
+  /// `initial` — and a sharded directory's pinned shard count wins over
+  /// `num_shards` (see RuntimeStats::shard_count_overridden).
+  std::optional<std::string> durable_dir;
+  /// Per-engine decision/monitoring knobs.
+  EngineOptions engine;
+  /// Durable backends: fsync the log(s) once per Apply/ApplyBatch/Tick
+  /// (group commit). Disable only where the OS page cache is an
+  /// acceptable durability boundary.
+  bool sync_every_batch = true;
+  /// Durable backends: Checkpoint() automatically after every Mutate()
+  /// — even one whose callback failed, since mutations are applied in
+  /// place and a partial mutation is still the live state. Mutations
+  /// are not write-ahead logged, so without a checkpoint a crash would
+  /// replay the log against the pre-mutation stores and recover a state
+  /// that diverges from the live one. Disable only to batch several
+  /// mutation windows per checkpoint — an explicit Checkpoint() before
+  /// relying on recovery is then on the caller.
+  bool checkpoint_after_mutate = true;
+};
+
+/// Everything one ApplyBatch call produced.
+struct BatchResult {
+  /// One decision per event, in input order. An event the durable layer
+  /// refused to log is Deny(kWalError) and was never applied.
+  std::vector<Decision> decisions;
+  /// Every alert pending after the batch (including ones buffered by
+  /// earlier Apply/Tick calls), ordered by (time, subject, location,
+  /// type). Draining is built in — there is no separate TakeAlerts.
+  std::vector<Alert> alerts;
+  /// Durability outcome. OK on in-memory backends. The two failure
+  /// classes are decoupled: refused events are ALWAYS identifiable by
+  /// their Deny(kWalError) decisions (never applied — resubmitting them
+  /// is safe), while a non-OK status of IO kind signals a failed
+  /// group-commit fsync — every applied event's durability is in doubt,
+  /// so do NOT resubmit those. When both happen in one batch the fsync
+  /// failure wins the status (with the append error in its context), so
+  /// the more severe outcome is never masked.
+  Status durability;
+};
+
+/// A point-in-time snapshot of runtime counters and configuration.
+struct RuntimeStats {
+  /// Shards actually in effect (1 = sequential backend).
+  uint32_t num_shards = 1;
+  /// Shards the caller asked for.
+  uint32_t requested_shards = 1;
+  /// True when the backend persists (durable_dir was set).
+  bool durable = false;
+  /// True when the durable directory's committed state pinned a shard
+  /// count different from the requested one (the directory wins).
+  bool shard_count_overridden = false;
+  /// Durable backends: committed checkpoint epoch (sharded only) and
+  /// events appended to the current log tail(s).
+  uint64_t epoch = 0;
+  size_t wal_events = 0;
+  /// Engine counters, aggregated across shards.
+  size_t requests_processed = 0;
+  size_t requests_granted = 0;
+  /// Facade counters.
+  size_t batches_applied = 0;
+  size_t events_applied = 0;
+  /// Alerts raised but not yet drained.
+  size_t pending_alerts = 0;
+};
+
+/// The mutable stores handed to Mutate() callbacks. Movement state is
+/// deliberately absent: it belongs to the engines (and, sharded, to the
+/// per-shard views); mutating it out from under them would corrupt
+/// enforcement. Read it through movements().
+struct MutableStores {
+  MultilevelLocationGraph& graph;
+  UserProfileDatabase& profiles;
+  AuthorizationDatabase& auth_db;
+  std::vector<AuthorizationRule>& rules;
+};
+
+/// One backend-polymorphic enforcement runtime. All methods must be
+/// called from one control thread (the same discipline every underlying
+/// engine already required); sharded backends parallelize internally.
+class AccessRuntime {
+ public:
+  /// Opens a runtime over `initial` (graph, profiles, authorizations,
+  /// rules, and optionally pre-seeded movement history — open stays are
+  /// resumed exactly as durable recovery would). With durable_dir set,
+  /// an existing committed state in the directory supersedes `initial`.
+  static Result<std::unique_ptr<AccessRuntime>> Open(
+      SystemState initial, RuntimeOptions options = {});
+
+  ~AccessRuntime();
+  AccessRuntime(const AccessRuntime&) = delete;
+  AccessRuntime& operator=(const AccessRuntime&) = delete;
+
+  // --- Event surface -------------------------------------------------------
+
+  /// Applies one event (logged first on durable backends) and returns
+  /// its decision. Alerts it raises stay buffered for the next
+  /// ApplyBatch/DrainAlerts. Non-OK when the event was refused by the
+  /// durability layer (not applied — safe to resubmit), when a
+  /// group-commit fsync failed (applied, durability in doubt — the
+  /// message says do not resubmit), or when called from inside Mutate.
+  Result<Decision> Apply(const AccessEvent& event);
+
+  /// Applies a batch (fanned out across shards on sharded backends;
+  /// events of one subject must be in nondecreasing time order) and
+  /// returns decisions, drained alerts, and the durability outcome in
+  /// one struct. Non-OK only for contract violations (inside Mutate).
+  Result<BatchResult> ApplyBatch(Span<const AccessEvent> batch);
+
+  /// Resolves a raw position fix through the graph's boundary polygons
+  /// (the resolver is built lazily and rebuilt after Mutate) and applies
+  /// the resulting event: an observation when the fix lands inside some
+  /// boundary, a site exit when it lands outside while the subject is
+  /// recorded inside, nothing otherwise. A refused observation or exit
+  /// surfaces as kFailedPrecondition carrying the deny reason in its
+  /// message (the uniform event path folds the engine's finer-grained
+  /// refusal codes into the decision, unlike the raw
+  /// AccessControlEngine::HandlePositionFix).
+  Status ApplyFix(const PositionFix& fix);
+
+  /// Patrol tick on every shard (logged on durable backends): raises
+  /// overstay alerts into the pending buffer.
+  Status Tick(Chronon t);
+
+  /// Pending alerts in deterministic (time, subject, location, type)
+  /// order, clearing the buffer. Per-event flows use this; ApplyBatch
+  /// drains implicitly.
+  std::vector<Alert> DrainAlerts();
+
+  // --- Control surface -----------------------------------------------------
+
+  /// Runs `fn` over the mutable stores between batches — the only legal
+  /// mutation window, now enforced: event application from inside `fn`
+  /// fails, reentrant Mutate fails, and shared read caches are re-warmed
+  /// after `fn` returns. Durable backends do not write-ahead log
+  /// mutations, so a successful `fn` is followed by an automatic
+  /// Checkpoint() (see RuntimeOptions::checkpoint_after_mutate) to keep
+  /// recovery equivalent to the live state.
+  Status Mutate(const std::function<Status(const MutableStores&)>& fn);
+
+  /// Durable backends: persist the full state (a new epoch on sharded
+  /// directories) and truncate the log(s). In-memory backends: a no-op
+  /// returning OK.
+  Status Checkpoint();
+
+  /// Counters and effective configuration.
+  RuntimeStats Stats() const;
+
+  // --- Read surface --------------------------------------------------------
+
+  const MultilevelLocationGraph& graph() const;
+  const UserProfileDatabase& profiles() const;
+  const AuthorizationDatabase& auth_db() const;
+  /// The movement read side: one database sequentially, per-shard
+  /// fan-out on sharded backends. Valid between event applications.
+  const MovementView& movements() const { return *view_; }
+  /// A query engine wired over this runtime's stores and movement view.
+  const QueryEngine& query() const { return *query_; }
+
+ private:
+  class Backend;
+  class SequentialBackend;
+  class ShardedBackend;
+  class DurableSequentialBackend;
+  class DurableShardedBackend;
+
+  explicit AccessRuntime(RuntimeOptions options);
+
+  /// Collects + deterministically orders the backend's pending alerts.
+  std::vector<Alert> TakePendingAlerts();
+
+  RuntimeOptions options_;
+  std::unique_ptr<Backend> backend_;
+  std::unique_ptr<MovementView> view_;
+  std::unique_ptr<QueryEngine> query_;
+  /// Lazily built from the graph's boundaries; reset by Mutate.
+  std::optional<LocationResolver> resolver_;
+  bool in_mutate_ = false;
+  size_t batches_applied_ = 0;
+  size_t events_applied_ = 0;
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_RUNTIME_ACCESS_RUNTIME_H_

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "runtime/access_runtime.h"
 #include "util/logging.h"
 
 namespace ltam {
@@ -142,6 +143,45 @@ void ReplayOnEngine(const Scenario& scenario, AccessControlEngine* engine) {
         break;
     }
   }
+}
+
+std::vector<Alert> ReplayOnRuntime(const Scenario& scenario,
+                                   AccessRuntime* runtime) {
+  LTAM_CHECK(runtime != nullptr);
+  for (const SimEvent& ev : scenario.events) {
+    switch (ev.kind) {
+      case SimEvent::Kind::kRequest: {
+        Result<Decision> d =
+            runtime->Apply(AccessEvent::Entry(ev.time, ev.subject,
+                                              ev.location));
+        (void)d;  // Denials are part of the measurement.
+        break;
+      }
+      case SimEvent::Kind::kSneak:
+        // Invisible at the door; the subsequent observation (if tracking
+        // is on) reveals it.
+        break;
+      case SimEvent::Kind::kObserve: {
+        Result<Decision> d = runtime->Apply(
+            AccessEvent::Observe(ev.time, ev.subject, ev.location));
+        (void)d;
+        break;
+      }
+      case SimEvent::Kind::kExit: {
+        Result<Decision> d =
+            runtime->Apply(AccessEvent::Exit(ev.time, ev.subject));
+        (void)d;  // Exits of subjects never admitted are refused; that
+                  // mismatch is part of the measurement.
+        break;
+      }
+      case SimEvent::Kind::kTick: {
+        Status ticked = runtime->Tick(ev.time);
+        (void)ticked;
+        break;
+      }
+    }
+  }
+  return runtime->DrainAlerts();
 }
 
 void ReplayOnBaseline(const Scenario& scenario,

@@ -80,6 +80,15 @@ Scenario SimulateMovement(const MultilevelLocationGraph& graph,
 /// Replays a scenario against the LTAM engine.
 void ReplayOnEngine(const Scenario& scenario, AccessControlEngine* engine);
 
+class AccessRuntime;
+
+/// Replays a scenario against an AccessRuntime (any backend) and
+/// returns every alert it raised, drained. Event mapping matches
+/// ReplayOnEngine: sneaks are invisible at the door, refused exits are
+/// part of the measurement.
+std::vector<Alert> ReplayOnRuntime(const Scenario& scenario,
+                                   AccessRuntime* runtime);
+
 /// Replays a scenario against the card-reader baseline (which ignores
 /// sneaks/observations/ticks by construction).
 void ReplayOnBaseline(const Scenario& scenario, CardReaderBaseline* baseline);

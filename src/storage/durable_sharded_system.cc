@@ -10,17 +10,9 @@
 #include <utility>
 
 #include "storage/event_log.h"
+#include "util/logging.h"
 
 namespace ltam {
-
-namespace {
-
-bool FileExists(const std::string& path) {
-  struct stat st;
-  return ::stat(path.c_str(), &st) == 0;
-}
-
-}  // namespace
 
 DurableShardedSystem::DurableShardedSystem(std::string dir,
                                            DurableShardedOptions options)
@@ -63,39 +55,16 @@ void DurableShardedSystem::InitEngine(uint32_t num_shards) {
 Status DurableShardedSystem::PartitionBaseMovements() {
   MovementDatabase seed = std::move(base_.movements);
   base_.movements = MovementDatabase();
-  for (const MovementEvent& ev : seed.history()) {
-    uint32_t k = engine_->ShardOf(ev.subject);
-    Status recorded =
-        engine_->mutable_shard_movements(k).RecordMovement(ev.time, ev.subject,
-                                                           ev.to);
-    if (!recorded.ok()) {
-      return recorded.WithContext("partitioning initial movement history");
-    }
-  }
-  return Status::OK();
+  return PartitionMovementsIntoShards(seed, engine_.get());
 }
 
 void DurableShardedSystem::RebuildShardStays(uint32_t k) {
   // Each inside subject resumes their stay under the first active
   // in-window authorization for (s, current location) — the same choice
   // CheckAccess (and the sequential DurableSystem's recovery) makes.
-  const MovementDatabase& movements = engine_->shard_movements(k);
-  AccessControlEngine& shard_engine = engine_->shard_engine(k);
-  for (SubjectId s : base_.profiles.AllSubjects()) {
-    if (engine_->ShardOf(s) != k) continue;
-    LocationId cur = movements.CurrentLocation(s);
-    if (cur == kInvalidLocation) continue;
-    Result<Chronon> since = movements.CurrentStaySince(s);
-    if (!since.ok()) continue;
-    AuthId chosen = kInvalidAuth;
-    for (AuthId id : base_.auth_db.ForSubjectLocation(s, cur)) {
-      if (base_.auth_db.record(id).auth.entry_duration().Contains(*since)) {
-        chosen = id;
-        break;
-      }
-    }
-    shard_engine.ResumeStay(s, cur, chosen, *since);
-  }
+  ResumeOpenStays(&engine_->shard_engine(k), engine_->shard_movements(k),
+                  base_.auth_db,
+                  SubjectsOnShard(base_.profiles, *engine_, k));
 }
 
 Status DurableShardedSystem::ReplayShardLogs(const ShardManifest& manifest) {
@@ -214,10 +183,21 @@ Result<std::unique_ptr<DurableShardedSystem>> DurableShardedSystem::Open(
   options.num_shards = std::max<uint32_t>(1, options.num_shards);
   std::unique_ptr<DurableShardedSystem> sys(
       new DurableShardedSystem(dir, options));
+  sys->requested_shards_ = options.num_shards;
   const std::string manifest_path = sys->FilePath(ManifestFileName());
   if (FileExists(manifest_path)) {
     LTAM_ASSIGN_OR_RETURN(ShardManifest manifest,
                           LoadManifest(manifest_path));
+    if (manifest.num_shards != options.num_shards) {
+      // The on-disk partition always wins — the logged subjects were
+      // routed under it — but callers asked for something else, so say
+      // so explicitly instead of letting them guess from behavior.
+      sys->shard_count_overridden_ = true;
+      LTAM_LOG_WARNING << "durable directory '" << dir << "' pins "
+                       << manifest.num_shards << " shards; requested "
+                       << options.num_shards
+                       << " ignored (partition is fixed at creation)";
+    }
     LTAM_ASSIGN_OR_RETURN(SystemState recovered,
                           LoadSnapshot(sys->FilePath(manifest.base_snapshot)));
     if (!recovered.movements.history().empty()) {
@@ -264,12 +244,19 @@ Result<std::unique_ptr<DurableShardedSystem>> DurableShardedSystem::Open(
   return sys;
 }
 
-Result<std::vector<Decision>> DurableShardedSystem::EvaluateBatch(
-    const std::vector<AccessEvent>& batch) {
+std::vector<Decision> DurableShardedSystem::EvaluateBatchWithStatus(
+    Span<const AccessEvent> batch, Status* durability) {
   std::vector<Decision> decisions = engine_->EvaluateBatch(batch);
-  Status logged = engine_->TakeBatchError();
-  if (!logged.ok()) {
-    return logged.WithContext("durable batch");
+  *durability = engine_->TakeBatchError();
+  return decisions;
+}
+
+Result<std::vector<Decision>> DurableShardedSystem::EvaluateBatch(
+    Span<const AccessEvent> batch) {
+  Status durability;
+  std::vector<Decision> decisions = EvaluateBatchWithStatus(batch, &durability);
+  if (!durability.ok()) {
+    return durability.WithContext("durable batch");
   }
   return decisions;
 }

@@ -49,7 +49,9 @@ namespace ltam {
 /// Tuning knobs for the durable sharded runtime.
 struct DurableShardedOptions {
   /// Shard count for a *fresh* directory. Recovery always reuses the
-  /// manifest's count — the on-disk partition is fixed at creation.
+  /// manifest's count — the on-disk partition is fixed at creation. When
+  /// a recovered manifest pins a different count the mismatch is logged
+  /// and surfaced through shard_count_overridden(), never guessed away.
   uint32_t num_shards = 4;
   /// Per-shard engine options.
   EngineOptions engine;
@@ -84,14 +86,21 @@ class DurableShardedSystem {
 
   /// Logs and applies a batch: each shard's worker appends its slice to
   /// its WAL before applying, then group-commits. Returns one decision
-  /// per event in input order. Durability failures surface as an error
-  /// status, with two distinct meanings: an *append* failure refused the
-  /// affected events (Deny(kWalError), never applied — do resubmit);
-  /// a *group-commit fsync* failure means the whole batch WAS applied
-  /// and logged but its durability is not yet guaranteed — do NOT
-  /// resubmit, treat it as applied-with-durability-in-doubt.
-  Result<std::vector<Decision>> EvaluateBatch(
-      const std::vector<AccessEvent>& batch);
+  /// per event in input order; *durability receives the batch's
+  /// durability outcome (composed by ComposeDurabilityError: refused
+  /// events are visible as Deny(kWalError) decisions and safe to
+  /// resubmit, while a group-commit fsync failure — which outranks
+  /// refusals in the status — means applied events' durability is in
+  /// doubt and they must NOT be resubmitted). The decisions always
+  /// survive, so a partial failure never hides which events applied.
+  std::vector<Decision> EvaluateBatchWithStatus(Span<const AccessEvent> batch,
+                                                Status* durability);
+
+  /// Legacy convenience over EvaluateBatchWithStatus: folds any
+  /// durability trouble into an error Result, DISCARDING the decisions.
+  /// Callers that must know which events applied (anything that might
+  /// resubmit) should use EvaluateBatchWithStatus instead.
+  Result<std::vector<Decision>> EvaluateBatch(Span<const AccessEvent> batch);
 
   /// Logs and applies a patrol tick on every shard.
   Status Tick(Chronon t);
@@ -121,6 +130,16 @@ class DurableShardedSystem {
 
   uint32_t num_shards() const { return engine_->num_shards(); }
   uint32_t ShardOf(SubjectId s) const { return engine_->ShardOf(s); }
+
+  /// True when Open() recovered a MANIFEST whose shard count differs
+  /// from the one the caller requested — the manifest always wins (the
+  /// on-disk partition is fixed at creation), and callers that care can
+  /// detect the override here instead of comparing counts by hand.
+  bool shard_count_overridden() const { return shard_count_overridden_; }
+
+  /// The shard count the caller asked Open() for (num_shards() is the
+  /// count actually in effect).
+  uint32_t requested_shards() const { return requested_shards_; }
   const MovementDatabase& shard_movements(uint32_t shard) const {
     return engine_->shard_movements(shard);
   }
@@ -180,6 +199,10 @@ class DurableShardedSystem {
   /// batch, and by the control thread for ticks between batches.
   std::vector<std::unique_ptr<WalWriter>> wals_;
   uint64_t epoch_ = 0;
+  /// Shard count requested at Open (clamped); differs from num_shards()
+  /// iff a recovered manifest pinned another count.
+  uint32_t requested_shards_ = 0;
+  bool shard_count_overridden_ = false;
 };
 
 }  // namespace ltam

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "engine/sharded_engine.h"
 #include "storage/event_log.h"
 #include "util/string_util.h"
 
@@ -21,18 +22,20 @@ std::string SnapPath(const std::string& dir) {
 }
 std::string WalPath(const std::string& dir) { return dir + "/" + kWalFile; }
 
-bool FileExists(const std::string& path) {
-  struct stat st;
-  return ::stat(path.c_str(), &st) == 0;
-}
-
 }  // namespace
 
-DurableSystem::DurableSystem(std::string dir, SystemState state)
-    : dir_(std::move(dir)), state_(std::move(state)) {}
+DurableSystem::DurableSystem(std::string dir, SystemState state,
+                             EngineOptions engine_options)
+    : dir_(std::move(dir)),
+      state_(std::move(state)),
+      engine_options_(engine_options) {}
+
+const char* DurableSystem::SnapshotFileName() { return kSnapshotFile; }
+const char* DurableSystem::WalFileName() { return kWalFile; }
 
 Result<std::unique_ptr<DurableSystem>> DurableSystem::Open(
-    const std::string& dir, SystemState initial) {
+    const std::string& dir, SystemState initial,
+    EngineOptions engine_options) {
   struct stat st;
   if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
     return Status::IOError("'" + dir + "' is not a directory");
@@ -40,9 +43,9 @@ Result<std::unique_ptr<DurableSystem>> DurableSystem::Open(
   std::unique_ptr<DurableSystem> sys;
   if (FileExists(SnapPath(dir))) {
     LTAM_ASSIGN_OR_RETURN(SystemState recovered, LoadSnapshot(SnapPath(dir)));
-    sys.reset(new DurableSystem(dir, std::move(recovered)));
+    sys.reset(new DurableSystem(dir, std::move(recovered), engine_options));
   } else {
-    sys.reset(new DurableSystem(dir, std::move(initial)));
+    sys.reset(new DurableSystem(dir, std::move(initial), engine_options));
   }
   LTAM_RETURN_IF_ERROR(sys->InitEngine());
   sys->RebuildActiveStays();
@@ -60,28 +63,14 @@ Result<std::unique_ptr<DurableSystem>> DurableSystem::Open(
 
 Status DurableSystem::InitEngine() {
   engine_ = std::make_unique<AccessControlEngine>(
-      &state_.graph, &state_.auth_db, &state_.movements, &state_.profiles);
+      &state_.graph, &state_.auth_db, &state_.movements, &state_.profiles,
+      engine_options_);
   return Status::OK();
 }
 
 void DurableSystem::RebuildActiveStays() {
-  // Each subject currently inside resumes their stay under the first
-  // active in-window authorization for (s, current location) — the same
-  // preference order CheckAccess uses.
-  for (SubjectId s : state_.profiles.AllSubjects()) {
-    LocationId cur = state_.movements.CurrentLocation(s);
-    if (cur == kInvalidLocation) continue;
-    Result<Chronon> since = state_.movements.CurrentStaySince(s);
-    if (!since.ok()) continue;
-    AuthId chosen = kInvalidAuth;
-    for (AuthId id : state_.auth_db.ForSubjectLocation(s, cur)) {
-      if (state_.auth_db.record(id).auth.entry_duration().Contains(*since)) {
-        chosen = id;
-        break;
-      }
-    }
-    engine_->ResumeStay(s, cur, chosen, *since);
-  }
+  ResumeOpenStays(engine_.get(), state_.movements, state_.auth_db,
+                  state_.profiles.AllSubjects());
 }
 
 Status DurableSystem::ReplayLogTail() {
@@ -104,6 +93,11 @@ Status DurableSystem::Log(const Record& record) {
   return Status::OK();
 }
 
+Result<Decision> DurableSystem::Apply(const AccessEvent& event) {
+  LTAM_RETURN_IF_ERROR(Log(EncodeEventRecord(event)));
+  return ApplyAccessEvent(engine_.get(), event);
+}
+
 Result<Decision> DurableSystem::RequestEntry(Chronon t, SubjectId s,
                                              LocationId l) {
   LTAM_RETURN_IF_ERROR(Log(EncodeEventRecord(AccessEvent::Entry(t, s, l))));
@@ -117,14 +111,20 @@ Status DurableSystem::RequestExit(Chronon t, SubjectId s) {
 
 Status DurableSystem::ObservePresence(Chronon t, SubjectId s, LocationId l) {
   LTAM_RETURN_IF_ERROR(Log(EncodeEventRecord(AccessEvent::Observe(t, s, l))));
-  engine_->ObservePresence(t, s, l);
-  return Status::OK();
+  return engine_->ObservePresence(t, s, l);
 }
 
 Status DurableSystem::Tick(Chronon t) {
   LTAM_RETURN_IF_ERROR(Log(EncodeTickRecord(t)));
   engine_->Tick(t);
   return Status::OK();
+}
+
+Status DurableSystem::Sync() {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("runtime is not open");
+  }
+  return wal_->Sync();
 }
 
 Status DurableSystem::Checkpoint() {

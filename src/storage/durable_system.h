@@ -34,10 +34,27 @@ class DurableSystem {
   /// Opens (or creates) the runtime in `dir`. When `dir` has no
   /// snapshot, starts from `initial` (e.g. a freshly parsed policy
   /// script); otherwise `initial` is ignored and state is recovered.
-  static Result<std::unique_ptr<DurableSystem>> Open(const std::string& dir,
-                                                     SystemState initial);
+  /// `engine_options` tune the wrapped engine; they affect decisions,
+  /// so recovery must reopen with the options the log was written under.
+  static Result<std::unique_ptr<DurableSystem>> Open(
+      const std::string& dir, SystemState initial,
+      EngineOptions engine_options = {});
+
+  /// Canonical file names inside a sequential durable directory (used by
+  /// callers that need to sniff what kind of runtime a directory holds).
+  static const char* SnapshotFileName();
+  static const char* WalFileName();
 
   // --- Logged event entry points -------------------------------------------
+
+  /// Logs and applies one AccessEvent with the uniform decision mapping
+  /// of ApplyAccessEvent (entries verbatim; exits grant or
+  /// Deny(kExitRejected); observations grant or
+  /// Deny(kObservationRejected) when refused outright) — the entry
+  /// point batch-shaped callers (the AccessRuntime facade) use so
+  /// decisions compare byte-identically across backends. Non-OK only
+  /// when the event could not be logged (it is then not applied).
+  Result<Decision> Apply(const AccessEvent& event);
 
   /// Logs and applies an access request.
   Result<Decision> RequestEntry(Chronon t, SubjectId s, LocationId l);
@@ -57,6 +74,10 @@ class DurableSystem {
   /// starts from here.
   Status Checkpoint();
 
+  /// fsyncs the log (group-commit barrier for batch-shaped callers;
+  /// individual appends only flush to the OS).
+  Status Sync();
+
   /// Number of events appended to the current log tail.
   size_t wal_events() const { return wal_events_; }
 
@@ -68,7 +89,8 @@ class DurableSystem {
   AccessControlEngine& engine() { return *engine_; }
 
  private:
-  DurableSystem(std::string dir, SystemState state);
+  DurableSystem(std::string dir, SystemState state,
+                EngineOptions engine_options);
 
   Status InitEngine();
   Status ReplayLogTail();
@@ -77,6 +99,7 @@ class DurableSystem {
 
   std::string dir_;
   SystemState state_;
+  EngineOptions engine_options_;
   std::unique_ptr<AccessControlEngine> engine_;
   std::unique_ptr<WalWriter> wal_;
   size_t wal_events_ = 0;

@@ -3,6 +3,7 @@
 #include "storage/wal.h"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -139,6 +140,11 @@ Status SyncFd(const std::string& path, int flags) {
 }
 
 }  // namespace
+
+bool FileExists(const std::string& path) {
+  struct ::stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
 
 Status SyncFile(const std::string& path) { return SyncFd(path, O_RDONLY); }
 

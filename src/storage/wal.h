@@ -64,6 +64,11 @@ Status ReplayWal(const std::string& path,
 /// of bytes dropped (0 when the log ends cleanly).
 Result<size_t> TruncateTornWalTail(const std::string& path);
 
+/// True iff `path` exists (stat succeeds). The one existence probe every
+/// durable runtime (and the facade's directory sniffing) shares, so
+/// their notions of "committed state present" can never drift apart.
+bool FileExists(const std::string& path);
+
 /// fsyncs an existing file by path (durability barrier for snapshots and
 /// manifests written through buffered streams).
 Status SyncFile(const std::string& path);

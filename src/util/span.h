@@ -1,0 +1,60 @@
+// Copyright 2026 The LTAM Authors.
+// Span<T>: a non-owning read-only view over a contiguous sequence.
+//
+// C++17 predates std::span; this is the minimal slice the batch APIs
+// need — pointer + length, implicitly constructible from a vector or an
+// array so existing call sites keep compiling while the engines stop
+// requiring a concrete std::vector.
+
+#ifndef LTAM_UTIL_SPAN_H_
+#define LTAM_UTIL_SPAN_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <type_traits>
+#include <vector>
+
+namespace ltam {
+
+/// Read-only view over `size` contiguous `T`s. The viewed storage must
+/// outlive the span (batch APIs only hold one for the duration of the
+/// call).
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(const T* data, size_t size) : data_(data), size_(size) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): vectors are the common
+  // batch container; implicit conversion keeps call sites unchanged
+  // (Span<const T> views a std::vector<T>).
+  Span(const std::vector<std::remove_const_t<T>>& v)
+      : data_(v.data()), size_(v.size()) {}
+  template <size_t N>
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  constexpr Span(const T (&arr)[N]) : data_(arr), size_(N) {}
+  /// Braced-list batches (`Apply({...})`). The backing array lives until
+  /// the end of the full expression — long enough for the synchronous
+  /// batch APIs, but never store such a span (which is exactly what the
+  /// suppressed lifetime warning would flag).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winit-list-lifetime"
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  constexpr Span(std::initializer_list<std::remove_const_t<T>> il)
+      : data_(il.begin()), size_(il.size()) {}
+#pragma GCC diagnostic pop
+
+  constexpr const T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr const T& operator[](size_t i) const { return data_[i]; }
+  constexpr const T* begin() const { return data_; }
+  constexpr const T* end() const { return data_ + size_; }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_UTIL_SPAN_H_

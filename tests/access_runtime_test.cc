@@ -1,0 +1,585 @@
+// Copyright 2026 The LTAM Authors.
+// The AccessRuntime facade: the same event stream through every
+// RuntimeOptions configuration (1/N shards x in-memory/durable) must
+// yield byte-identical decisions, equal alert sets, and equal query
+// answers through the MovementView — plus the facade-only contracts:
+// the enforced mutation window, BatchResult draining, shard-count
+// override reporting, and position-fix routing.
+
+#include "runtime/access_runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "sim/graph_gen.h"
+#include "sim/workload.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace ltam {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct World {
+  MultilevelLocationGraph graph;
+  UserProfileDatabase profiles;
+  AuthorizationDatabase auth_db;
+  std::vector<SubjectId> subjects;
+};
+
+World MakeWorld(uint64_t seed, uint32_t subject_count = 24) {
+  World w;
+  w.graph = MakeGridGraph(5, 5).ValueOrDie();
+  w.subjects = GenerateSubjects(&w.profiles, subject_count);
+  Rng rng(seed);
+  AuthWorkloadOptions opt;
+  opt.coverage = 0.6;
+  opt.horizon = 400;
+  opt.min_len = 20;
+  opt.max_len = 120;
+  opt.max_entries = 3;  // Exercise the ledger/exhaustion path.
+  GenerateAuthorizations(w.graph, w.subjects, opt, &rng, &w.auth_db);
+  return w;
+}
+
+SystemState StateOf(const World& w) {
+  SystemState state;
+  state.graph = w.graph;
+  state.profiles = w.profiles;
+  state.auth_db = w.auth_db;
+  return state;
+}
+
+std::vector<std::vector<AccessEvent>> MakeBatches(const World& w,
+                                                  size_t total_events,
+                                                  uint64_t seed) {
+  Rng rng(seed);
+  BatchWorkloadOptions opt;
+  opt.batch_size = 96;
+  opt.exit_fraction = 0.15;
+  opt.observe_fraction = 0.15;
+  return GenerateEventBatches(w.graph, w.subjects, total_events, opt, &rng);
+}
+
+std::string DecisionString(const Decision& d) { return d.ToString(); }
+
+using AlertKey = std::tuple<Chronon, SubjectId, LocationId, int, std::string>;
+
+std::multiset<AlertKey> AlertMultiset(const std::vector<Alert>& alerts) {
+  std::multiset<AlertKey> out;
+  for (const Alert& a : alerts) {
+    out.insert(std::make_tuple(a.time, a.subject, a.location,
+                               static_cast<int>(a.type), a.detail));
+  }
+  return out;
+}
+
+using StayKey = std::tuple<SubjectId, LocationId, Chronon, Chronon>;
+
+std::vector<StayKey> StayKeys(const std::vector<Stay>& stays) {
+  std::vector<StayKey> out;
+  out.reserve(stays.size());
+  for (const Stay& s : stays) {
+    out.push_back(
+        std::make_tuple(s.subject, s.location, s.enter_time, s.exit_time));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+/// Everything one configuration produced, in comparable form.
+struct RunOutcome {
+  std::vector<std::string> decisions;
+  std::multiset<AlertKey> alerts;
+  /// Query answers through the MovementView, keyed by a description.
+  std::map<std::string, std::string> queries;
+  size_t granted = 0;
+};
+
+RunOutcome RunConfig(const World& w,
+                     const std::vector<std::vector<AccessEvent>>& batches,
+                     RuntimeOptions options) {
+  RunOutcome out;
+  Result<std::unique_ptr<AccessRuntime>> opened =
+      AccessRuntime::Open(StateOf(w), options);
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  if (!opened.ok()) return out;
+  std::unique_ptr<AccessRuntime> rt = std::move(opened).ValueOrDie();
+
+  for (const auto& batch : batches) {
+    Result<BatchResult> r = rt->ApplyBatch(batch);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (!r.ok()) continue;
+    EXPECT_OK(r->durability);
+    for (const Decision& d : r->decisions) {
+      out.decisions.push_back(DecisionString(d));
+    }
+    for (const Alert& a : r->alerts) {
+      out.alerts.insert(std::make_tuple(a.time, a.subject, a.location,
+                                        static_cast<int>(a.type), a.detail));
+    }
+  }
+  EXPECT_OK(rt->Tick(500));
+  for (const Alert& a : rt->DrainAlerts()) {
+    out.alerts.insert(std::make_tuple(a.time, a.subject, a.location,
+                                      static_cast<int>(a.type), a.detail));
+  }
+  out.granted = rt->Stats().requests_granted;
+
+  // Query the movement view: per-subject facts and location scans.
+  const MovementView& view = rt->movements();
+  for (SubjectId s : w.subjects) {
+    out.queries["cur/" + std::to_string(s)] =
+        std::to_string(view.CurrentLocation(s));
+    for (Chronon t : {50, 150, 250, 350}) {
+      out.queries["at/" + std::to_string(s) + "/" + std::to_string(t)] =
+          std::to_string(view.LocationAt(s, t));
+    }
+    std::string stays;
+    for (const StayKey& key : StayKeys(view.StaysOf(s))) {
+      stays += std::to_string(std::get<1>(key)) + ":" +
+               std::to_string(std::get<2>(key)) + "-" +
+               std::to_string(std::get<3>(key)) + ";";
+    }
+    out.queries["stays/" + std::to_string(s)] = stays;
+    std::string contacts;
+    for (const MovementDatabase::Contact& c :
+         view.ContactsOf(s, TimeInterval(0, 400), 1)) {
+      contacts += std::to_string(c.other) + "@" + std::to_string(c.location) +
+                  ":" + std::to_string(c.overlap_start) + "-" +
+                  std::to_string(c.overlap_end) + ";";
+    }
+    out.queries["contacts/" + std::to_string(s)] = contacts;
+  }
+  for (LocationId l : w.graph.Primitives()) {
+    for (Chronon t : {100, 300}) {
+      std::string occ;
+      for (SubjectId s : view.OccupantsAt(l, t)) {
+        occ += std::to_string(s) + ",";
+      }
+      out.queries["occ/" + std::to_string(l) + "/" + std::to_string(t)] = occ;
+    }
+    std::string stays;
+    for (const StayKey& key : StayKeys(view.StaysIn(l))) {
+      stays += std::to_string(std::get<0>(key)) + ":" +
+               std::to_string(std::get<2>(key)) + "-" +
+               std::to_string(std::get<3>(key)) + ";";
+    }
+    out.queries["staysin/" + std::to_string(l)] = stays;
+  }
+  out.queries["tracked"] = std::to_string(view.tracked_subjects());
+  out.queries["history"] = std::to_string(view.history_size());
+
+  // And through the built-in query engine (which consumes the view).
+  for (SubjectId s : w.subjects) {
+    out.queries["qe-where/" + std::to_string(s)] =
+        std::to_string(rt->query().WhereWas(s, 200));
+  }
+  return out;
+}
+
+class AccessRuntimeEquivalenceTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/ltam_facade_" +
+            std::to_string(GetParam());
+    fs::remove_all(root_);
+    fs::create_directories(root_ + "/seq");
+    fs::create_directories(root_ + "/sharded");
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string root_;
+};
+
+TEST_P(AccessRuntimeEquivalenceTest, AllFourBackendsAgree) {
+  const uint64_t seed = GetParam();
+  World w = MakeWorld(seed);
+  std::vector<std::vector<AccessEvent>> batches =
+      MakeBatches(w, /*total_events=*/1500, seed + 7);
+
+  RuntimeOptions sequential;  // 1 shard, in-memory.
+  RuntimeOptions sharded;
+  sharded.num_shards = 3;
+  RuntimeOptions durable_seq;
+  durable_seq.durable_dir = root_ + "/seq";
+  RuntimeOptions durable_sharded;
+  durable_sharded.num_shards = 3;
+  durable_sharded.durable_dir = root_ + "/sharded";
+
+  RunOutcome reference = RunConfig(w, batches, sequential);
+  ASSERT_FALSE(reference.decisions.empty());
+  struct Config {
+    const char* name;
+    RuntimeOptions options;
+  };
+  const Config configs[] = {{"sharded", sharded},
+                            {"durable-seq", durable_seq},
+                            {"durable-sharded", durable_sharded}};
+  for (const Config& config : configs) {
+    SCOPED_TRACE(config.name);
+    RunOutcome outcome = RunConfig(w, batches, config.options);
+    ASSERT_EQ(reference.decisions.size(), outcome.decisions.size());
+    for (size_t i = 0; i < reference.decisions.size(); ++i) {
+      ASSERT_EQ(reference.decisions[i], outcome.decisions[i])
+          << "decision " << i << " diverged";
+    }
+    EXPECT_EQ(reference.granted, outcome.granted);
+    EXPECT_TRUE(reference.alerts == outcome.alerts)
+        << "alert sets diverged (" << reference.alerts.size() << " vs "
+        << outcome.alerts.size() << ")";
+    ASSERT_EQ(reference.queries.size(), outcome.queries.size());
+    for (const auto& [key, value] : reference.queries) {
+      auto it = outcome.queries.find(key);
+      ASSERT_TRUE(it != outcome.queries.end()) << key;
+      EXPECT_EQ(value, it->second) << "query '" << key << "' diverged";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccessRuntimeEquivalenceTest,
+                         ::testing::Values(1ull, 2026ull, 424242ull));
+
+TEST(AccessRuntimeTest, EngineOptionsReachEveryBackend) {
+  // Non-default engine knobs must reach all four backends (the durable
+  // sequential one historically dropped them) — and must actually
+  // change behavior relative to the defaults.
+  World w = MakeWorld(61);
+  std::vector<std::vector<AccessEvent>> batches = MakeBatches(w, 800, 67);
+  std::string root = ::testing::TempDir() + "/ltam_facade_engopts";
+  fs::remove_all(root);
+  fs::create_directories(root + "/seq");
+  fs::create_directories(root + "/sharded");
+
+  EngineOptions open_doors;
+  open_doors.enforce_adjacency = false;
+  open_doors.alert_on_denial = false;
+
+  RuntimeOptions sequential;
+  sequential.engine = open_doors;
+  RuntimeOptions sharded = sequential;
+  sharded.num_shards = 3;
+  RuntimeOptions durable_seq = sequential;
+  durable_seq.durable_dir = root + "/seq";
+  RuntimeOptions durable_sharded = sharded;
+  durable_sharded.durable_dir = root + "/sharded";
+
+  RunOutcome reference = RunConfig(w, batches, sequential);
+  for (const RuntimeOptions& options :
+       {sharded, durable_seq, durable_sharded}) {
+    RunOutcome outcome = RunConfig(w, batches, options);
+    ASSERT_EQ(reference.decisions, outcome.decisions);
+  }
+  // Sanity: the knobs changed something vs the defaults.
+  RunOutcome defaults = RunConfig(w, batches, RuntimeOptions{});
+  EXPECT_NE(defaults.decisions, reference.decisions);
+  fs::remove_all(root);
+}
+
+TEST(AccessRuntimeTest, PerEventApplyMatchesBatch) {
+  World w = MakeWorld(11);
+  std::vector<std::vector<AccessEvent>> batches = MakeBatches(w, 400, 13);
+
+  for (uint32_t shards : {1u, 3u}) {
+    SCOPED_TRACE(shards);
+    RuntimeOptions options;
+    options.num_shards = shards;
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> batched,
+                         AccessRuntime::Open(StateOf(w), options));
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> per_event,
+                         AccessRuntime::Open(StateOf(w), options));
+    for (const auto& batch : batches) {
+      ASSERT_OK_AND_ASSIGN(BatchResult br, batched->ApplyBatch(batch));
+      for (size_t i = 0; i < batch.size(); ++i) {
+        ASSERT_OK_AND_ASSIGN(Decision d, per_event->Apply(batch[i]));
+        EXPECT_EQ(br.decisions[i].ToString(), d.ToString());
+      }
+      EXPECT_TRUE(AlertMultiset(br.alerts) ==
+                  AlertMultiset(per_event->DrainAlerts()));
+    }
+    EXPECT_EQ(batched->Stats().events_applied,
+              per_event->Stats().events_applied);
+  }
+}
+
+TEST(AccessRuntimeTest, ObservationRefusalsSurfaceUniformly) {
+  World w = MakeWorld(17, /*subject_count=*/4);
+  const LocationId bogus = 9999;
+  for (uint32_t shards : {1u, 3u}) {
+    SCOPED_TRACE(shards);
+    RuntimeOptions options;
+    options.num_shards = shards;
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                         AccessRuntime::Open(StateOf(w), options));
+    ASSERT_OK_AND_ASSIGN(
+        Decision d, rt->Apply(AccessEvent::Observe(10, w.subjects[0], bogus)));
+    EXPECT_FALSE(d.granted);
+    EXPECT_EQ(DenyReason::kObservationRejected, d.reason);
+    // The refusal also raised the impossible-movement alert.
+    std::vector<Alert> alerts = rt->DrainAlerts();
+    ASSERT_EQ(1u, alerts.size());
+    EXPECT_EQ(AlertType::kImpossibleMovement, alerts[0].type);
+  }
+}
+
+TEST(AccessRuntimeTest, MutationWindowIsEnforced) {
+  World w = MakeWorld(23, /*subject_count=*/4);
+  RuntimeOptions options;
+  options.num_shards = 2;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                       AccessRuntime::Open(StateOf(w), options));
+
+  // Applying events from inside the mutation window must fail.
+  Status inside = rt->Mutate([&](const MutableStores& stores) {
+    Result<Decision> refused =
+        rt->Apply(AccessEvent::Entry(5, w.subjects[0], 1));
+    EXPECT_FALSE(refused.ok());
+    EXPECT_TRUE(refused.status().IsFailedPrecondition());
+    Result<BatchResult> batch_refused = rt->ApplyBatch(
+        std::vector<AccessEvent>{AccessEvent::Entry(5, w.subjects[0], 1)});
+    EXPECT_FALSE(batch_refused.ok());
+    Status reentrant = rt->Mutate(
+        [](const MutableStores&) { return Status::OK(); });
+    EXPECT_TRUE(reentrant.IsFailedPrecondition());
+    (void)stores;
+    return Status::OK();
+  });
+  ASSERT_OK(inside);
+
+  // A real mutation takes effect: grant a fresh subject a blanket
+  // authorization and watch the decision flip.
+  SubjectId newcomer = kInvalidSubject;
+  LocationId door = rt->graph().EntryPrimitives(rt->graph().root())[0];
+  ASSERT_OK(rt->Mutate([&](const MutableStores& stores) {
+    LTAM_ASSIGN_OR_RETURN(newcomer, stores.profiles.AddSubject("newcomer"));
+    LTAM_ASSIGN_OR_RETURN(
+        LocationTemporalAuthorization auth,
+        LocationTemporalAuthorization::Make(
+            TimeInterval(0, 100), TimeInterval(0, 200),
+            LocationAuthorization{newcomer, door}, kUnlimitedEntries));
+    stores.auth_db.Add(auth);
+    return Status::OK();
+  }));
+  ASSERT_OK_AND_ASSIGN(Decision granted,
+                       rt->Apply(AccessEvent::Entry(10, newcomer, door)));
+  EXPECT_TRUE(granted.granted);
+}
+
+class AccessRuntimeDurableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/ltam_facade_durable";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(AccessRuntimeDurableTest, ShardCountOverrideIsReported) {
+  World w = MakeWorld(31, /*subject_count=*/8);
+  {
+    RuntimeOptions options;
+    options.num_shards = 3;
+    options.durable_dir = dir_;
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                         AccessRuntime::Open(StateOf(w), options));
+    RuntimeStats stats = rt->Stats();
+    EXPECT_EQ(3u, stats.num_shards);
+    EXPECT_EQ(3u, stats.requested_shards);
+    EXPECT_FALSE(stats.shard_count_overridden);
+    EXPECT_TRUE(stats.durable);
+  }
+  // Reopen asking for a different count: the directory's pinned
+  // partition wins and the override is visible, not guessed.
+  {
+    RuntimeOptions options;
+    options.num_shards = 5;
+    options.durable_dir = dir_;
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                         AccessRuntime::Open(SystemState(), options));
+    RuntimeStats stats = rt->Stats();
+    EXPECT_EQ(3u, stats.num_shards);
+    EXPECT_EQ(5u, stats.requested_shards);
+    EXPECT_TRUE(stats.shard_count_overridden);
+  }
+  // Even requesting a sequential runtime over a sharded directory must
+  // route to the sharded backend (never shadow the committed state).
+  {
+    RuntimeOptions options;
+    options.num_shards = 1;
+    options.durable_dir = dir_;
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                         AccessRuntime::Open(SystemState(), options));
+    RuntimeStats stats = rt->Stats();
+    EXPECT_EQ(3u, stats.num_shards);
+    EXPECT_TRUE(stats.shard_count_overridden);
+  }
+}
+
+TEST_F(AccessRuntimeDurableTest, SequentialDirectoryWinsOverShardRequest) {
+  World w = MakeWorld(37, /*subject_count=*/6);
+  LocationId door = w.graph.EntryPrimitives(w.graph.root())[0];
+  w.auth_db.Add(LocationTemporalAuthorization::Make(
+                    TimeInterval(0, 100), TimeInterval(0, 200),
+                    LocationAuthorization{w.subjects[0], door},
+                    kUnlimitedEntries)
+                    .ValueOrDie());
+  {
+    RuntimeOptions options;  // Sequential durable.
+    options.durable_dir = dir_;
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                         AccessRuntime::Open(StateOf(w), options));
+    ASSERT_OK_AND_ASSIGN(Decision d,
+                         rt->Apply(AccessEvent::Entry(5, w.subjects[0], door)));
+    ASSERT_TRUE(d.granted) << d.ToString();
+  }
+  RuntimeOptions options;
+  options.num_shards = 4;
+  options.durable_dir = dir_;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                       AccessRuntime::Open(SystemState(), options));
+  RuntimeStats stats = rt->Stats();
+  EXPECT_EQ(1u, stats.num_shards);
+  EXPECT_EQ(4u, stats.requested_shards);
+  EXPECT_TRUE(stats.shard_count_overridden);
+  // The logged entry survived into the reopened runtime.
+  EXPECT_EQ(door, rt->movements().CurrentLocation(w.subjects[0]));
+}
+
+TEST_F(AccessRuntimeDurableTest, MutationsSurviveReopenWithoutExplicitCheckpoint) {
+  // Mutations are not write-ahead logged; the facade checkpoints after
+  // Mutate (checkpoint_after_mutate default) so a crash right after
+  // still recovers the mutated stores — and replays post-mutation
+  // events against them.
+  World w = MakeWorld(71, /*subject_count=*/8);
+  RuntimeOptions options;
+  options.num_shards = 3;
+  options.durable_dir = dir_;
+  SubjectId newcomer = kInvalidSubject;
+  LocationId door = kInvalidLocation;
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                         AccessRuntime::Open(StateOf(w), options));
+    door = rt->graph().EntryPrimitives(rt->graph().root())[0];
+    ASSERT_OK(rt->Mutate([&](const MutableStores& stores) {
+      LTAM_ASSIGN_OR_RETURN(newcomer, stores.profiles.AddSubject("late-hire"));
+      LTAM_ASSIGN_OR_RETURN(
+          LocationTemporalAuthorization auth,
+          LocationTemporalAuthorization::Make(
+              TimeInterval(0, 100), TimeInterval(0, 200),
+              LocationAuthorization{newcomer, door}, kUnlimitedEntries));
+      stores.auth_db.Add(auth);
+      return Status::OK();
+    }));
+    ASSERT_OK_AND_ASSIGN(Decision d,
+                         rt->Apply(AccessEvent::Entry(10, newcomer, door)));
+    ASSERT_TRUE(d.granted) << d.ToString();
+    // No explicit Checkpoint(): drop the runtime as a crash stand-in.
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                       AccessRuntime::Open(SystemState(), options));
+  EXPECT_TRUE(rt->profiles().Exists(newcomer));
+  EXPECT_EQ(door, rt->movements().CurrentLocation(newcomer));
+}
+
+TEST_F(AccessRuntimeDurableTest, StateSurvivesReopenAndCheckpoint) {
+  World w = MakeWorld(41);
+  std::vector<std::vector<AccessEvent>> batches = MakeBatches(w, 600, 43);
+  RuntimeOptions options;
+  options.num_shards = 3;
+  options.durable_dir = dir_;
+
+  std::map<SubjectId, LocationId> live;
+  {
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                         AccessRuntime::Open(StateOf(w), options));
+    size_t i = 0;
+    for (const auto& batch : batches) {
+      ASSERT_OK_AND_ASSIGN(BatchResult r, rt->ApplyBatch(batch));
+      EXPECT_OK(r.durability);
+      if (++i == batches.size() / 2) ASSERT_OK(rt->Checkpoint());
+    }
+    EXPECT_GE(rt->Stats().epoch, 1u);
+    for (SubjectId s : w.subjects) {
+      live[s] = rt->movements().CurrentLocation(s);
+    }
+  }
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                       AccessRuntime::Open(SystemState(), options));
+  for (SubjectId s : w.subjects) {
+    EXPECT_EQ(live[s], rt->movements().CurrentLocation(s)) << "subject " << s;
+  }
+}
+
+TEST(AccessRuntimeTest, ApplyFixRoutesThroughBoundaries) {
+  // Two rooms with boundaries; fixes inside record observations, a fix
+  // outside closes the open stay — HandlePositionFix semantics through
+  // the uniform (and, durable, logged) event path.
+  SystemState state;
+  state.graph = MultilevelLocationGraph("Site");
+  LocationId a =
+      state.graph.AddPrimitive("A", state.graph.root()).ValueOrDie();
+  LocationId b =
+      state.graph.AddPrimitive("B", state.graph.root()).ValueOrDie();
+  ASSERT_OK(state.graph.AddEdge(a, b));
+  ASSERT_OK(state.graph.SetEntry(a));
+  ASSERT_OK(state.graph.SetBoundary(a, Polygon::Rect(0, 0, 10, 10)));
+  ASSERT_OK(state.graph.SetBoundary(b, Polygon::Rect(10, 0, 20, 10)));
+  ASSERT_OK(state.graph.Validate());
+  SubjectId alice = state.profiles.AddSubject("Alice").ValueOrDie();
+  for (LocationId l : {a, b}) {
+    state.auth_db.Add(LocationTemporalAuthorization::Make(
+                          TimeInterval(0, 100), TimeInterval(0, 200),
+                          LocationAuthorization{alice, l}, kUnlimitedEntries)
+                          .ValueOrDie());
+  }
+
+  for (uint32_t shards : {1u, 2u}) {
+    SCOPED_TRACE(shards);
+    RuntimeOptions options;
+    options.num_shards = shards;
+    SystemState copy = state;
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                         AccessRuntime::Open(std::move(copy), options));
+    ASSERT_OK(rt->ApplyFix({5, alice, {3, 3}}));    // Inside A.
+    EXPECT_EQ(a, rt->movements().CurrentLocation(alice));
+    ASSERT_OK(rt->ApplyFix({10, alice, {15, 5}}));  // Inside B.
+    EXPECT_EQ(b, rt->movements().CurrentLocation(alice));
+    ASSERT_OK(rt->ApplyFix({20, alice, {50, 50}}));  // Outside: exit.
+    EXPECT_EQ(kInvalidLocation, rt->movements().CurrentLocation(alice));
+    // Outside while already outside: a clean no-op.
+    ASSERT_OK(rt->ApplyFix({25, alice, {60, 60}}));
+  }
+}
+
+TEST(AccessRuntimeTest, StatsCountersTrack) {
+  World w = MakeWorld(53, /*subject_count=*/6);
+  RuntimeOptions options;
+  options.num_shards = 2;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                       AccessRuntime::Open(StateOf(w), options));
+  std::vector<std::vector<AccessEvent>> batches = MakeBatches(w, 200, 59);
+  size_t events = 0;
+  for (const auto& batch : batches) {
+    ASSERT_OK_AND_ASSIGN(BatchResult r, rt->ApplyBatch(batch));
+    events += batch.size();
+  }
+  RuntimeStats stats = rt->Stats();
+  EXPECT_EQ(batches.size(), stats.batches_applied);
+  EXPECT_EQ(events, stats.events_applied);
+  EXPECT_EQ(2u, stats.num_shards);
+  EXPECT_FALSE(stats.durable);
+  EXPECT_EQ(0u, stats.pending_alerts);  // ApplyBatch drains.
+}
+
+}  // namespace
+}  // namespace ltam

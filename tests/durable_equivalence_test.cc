@@ -60,9 +60,11 @@ Decision ApplyToDurable(DurableSystem* sys, const AccessEvent& e) {
                      : Decision::Deny(DenyReason::kExitRejected);
     }
     case AccessEventKind::kObserve: {
+      // ObservePresence now reports refusals (unknown location,
+      // out-of-order time); mirror ApplyAccessEvent's mapping.
       Status st = sys->ObservePresence(e.time, e.subject, e.location);
-      EXPECT_TRUE(st.ok()) << st.ToString();
-      return Decision::Grant(kInvalidAuth);
+      return st.ok() ? Decision::Grant(kInvalidAuth)
+                     : Decision::Deny(DenyReason::kObservationRejected);
     }
   }
   return Decision::Deny(DenyReason::kNone);  // Unreachable.

@@ -4,43 +4,50 @@
 
 #include <gtest/gtest.h>
 
-#include "core/auth_database.h"
-#include "engine/access_control_engine.h"
-#include "graph/multilevel_graph.h"
+#include "runtime/access_runtime.h"
 #include "test_util.h"
 
 namespace ltam {
 namespace {
 
 TEST(ReadmeSnippetTest, QuickstartCompilesAndBehaves) {
-  // Layout (Definition 1): two rooms, CAIS is the entry location.
-  MultilevelLocationGraph graph("Lab");
-  LocationId cais = graph.AddPrimitive("CAIS", graph.root()).ValueOrDie();
-  LocationId chipes = graph.AddPrimitive("CHIPES", graph.root()).ValueOrDie();
-  ASSERT_OK(graph.AddEdge(cais, chipes));
-  ASSERT_OK(graph.SetEntry(cais));
+  // Layout (Definition 1), subjects, and a location-temporal
+  // authorization (Definition 4), gathered into one SystemState.
+  SystemState state;
+  state.graph = MultilevelLocationGraph("Lab");
+  LocationId cais =
+      state.graph.AddPrimitive("CAIS", state.graph.root()).ValueOrDie();
+  LocationId chipes =
+      state.graph.AddPrimitive("CHIPES", state.graph.root()).ValueOrDie();
+  ASSERT_OK(state.graph.AddEdge(cais, chipes));
+  ASSERT_OK(state.graph.SetEntry(cais));
+  SubjectId alice = state.profiles.AddSubject("Alice").ValueOrDie();
+  state.auth_db.Add(LocationTemporalAuthorization::Make(
+                        TimeInterval(10, 20), TimeInterval(10, 50),
+                        LocationAuthorization{alice, cais}, 2)
+                        .ValueOrDie());
 
-  // Subjects and a location-temporal authorization (Definition 4).
-  UserProfileDatabase profiles;
-  SubjectId alice = profiles.AddSubject("Alice").ValueOrDie();
-  AuthorizationDatabase auth_db;
-  auth_db.Add(LocationTemporalAuthorization::Make(
-                  TimeInterval(10, 20), TimeInterval(10, 50),
-                  LocationAuthorization{alice, cais}, 2)
-                  .ValueOrDie());
+  // Enforcement (Figure 3) through the facade; "options.num_shards = 2"
+  // and "options.durable_dir" from the README select other backends.
+  RuntimeOptions options;
+  options.num_shards = 2;
+  std::unique_ptr<AccessRuntime> runtime =
+      AccessRuntime::Open(std::move(state), options).ValueOrDie();
 
-  // Enforcement (Figure 3).
-  MovementDatabase movements;
-  AccessControlEngine engine(&graph, &auth_db, &movements, &profiles);
-  Decision d = engine.RequestEntry(/*t=*/10, alice, cais);
+  Decision d =
+      runtime->Apply(AccessEvent::Entry(12, alice, cais)).ValueOrDie();
   EXPECT_TRUE(d.granted);  // "granted"
 
-  engine.Tick(/*t=*/60);  // "Alice overstayed -> kOverstay alert"
+  ASSERT_OK(runtime->Tick(60));  // "Alice overstayed -> kOverstay alert"
+  std::vector<Alert> alerts = runtime->DrainAlerts();
   bool overstay = false;
-  for (const Alert& alert : engine.alerts()) {
+  for (const Alert& alert : alerts) {
     if (alert.type == AlertType::kOverstay) overstay = true;
   }
   EXPECT_TRUE(overstay);
+
+  LocationId where = runtime->movements().CurrentLocation(alice);
+  EXPECT_EQ(cais, where);  // "CAIS"
 }
 
 }  // namespace
