@@ -1,0 +1,120 @@
+// Copyright 2026 The LTAM Authors.
+//
+// ltam_serve: the LTAM enforcement runtime as a network service. Loads
+// a policy script (or the built-in demo policy) into an AccessRuntime,
+// derives the scripted rules, and serves the wire protocol on TCP:
+// remote clients stream access events (coalesced across connections
+// into shared batches) and movement queries, and get back the same
+// decisions, alerts, and answers a local caller would see.
+//
+// Run: ./build/examples/ltam_serve [flags]
+//   --port=N          TCP port (default 7447; 0 picks one and prints it)
+//   --host=ADDR       listen address (default 127.0.0.1)
+//   --shards=N        worker shards for the batch pipeline (default 1)
+//   --durable=DIR     crash-safe runtime rooted at DIR (must exist)
+//   --policy=FILE     policy script (default: built-in demo policy)
+//   --max-batch=N     per-ApplyBatch event ceiling (default 65536)
+//
+// Shutdown discipline (shared with ltam_shell): SIGINT/SIGTERM stop the
+// server, then a durable runtime checkpoints before the process exits,
+// so the next open recovers the serving state instead of replaying the
+// whole WAL tail.
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <memory>
+#include <string>
+
+#include "runtime/access_runtime.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "service/shutdown.h"
+#include "storage/policy_script.h"
+
+int main(int argc, char** argv) {
+  using namespace ltam;  // NOLINT: example brevity.
+
+  InstallShutdownSignalHandlers();
+
+  std::string policy_path;
+  RuntimeOptions runtime_options;
+  runtime_options.max_batch_events = kMaxWireBatchEvents;
+  ServerOptions server_options;
+  server_options.port = 7447;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&arg](size_t prefix) { return arg.substr(prefix); };
+    if (arg.rfind("--port=", 0) == 0) {
+      server_options.port =
+          static_cast<uint16_t>(std::atoi(value(7).c_str()));
+    } else if (arg.rfind("--host=", 0) == 0) {
+      server_options.host = value(7);
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      runtime_options.num_shards = static_cast<uint32_t>(
+          std::max(1, std::atoi(value(9).c_str())));
+    } else if (arg.rfind("--durable=", 0) == 0) {
+      runtime_options.durable_dir = value(10);
+    } else if (arg.rfind("--policy=", 0) == 0) {
+      policy_path = value(9);
+    } else if (arg.rfind("--max-batch=", 0) == 0) {
+      runtime_options.max_batch_events =
+          static_cast<size_t>(std::atoll(value(12).c_str()));
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag '%s'\nusage: ltam_serve [--port=N] "
+                   "[--host=ADDR] [--shards=N] [--durable=DIR] "
+                   "[--policy=FILE] [--max-batch=N]\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  Result<SystemState> state_or = policy_path.empty()
+                                     ? ParsePolicyScript(DemoPolicyScript())
+                                     : LoadPolicyScript(policy_path);
+  if (!state_or.ok()) {
+    std::fprintf(stderr, "policy error: %s\n",
+                 state_or.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::unique_ptr<AccessRuntime>> opened =
+      AccessRuntime::Open(std::move(state_or).ValueOrDie(), runtime_options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "runtime error: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<AccessRuntime> runtime = std::move(opened).ValueOrDie();
+  Status rules = RegisterAndDeriveScriptedRules(runtime.get());
+  if (!rules.ok()) {
+    std::fprintf(stderr, "rule error: %s\n", rules.ToString().c_str());
+    return 1;
+  }
+
+  ServiceServer server(runtime.get(), server_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  RuntimeStats stats = runtime->Stats();
+  std::printf("ltam_serve: listening on %s:%u (%u shard%s, %s)\n",
+              server_options.host.c_str(), server.bound_port(),
+              stats.num_shards, stats.num_shards == 1 ? "" : "s",
+              stats.durable ? "durable" : "in-memory");
+  std::fflush(stdout);
+
+  // Park until SIGINT/SIGTERM; the handler latches the flag and this
+  // loop notices within a beat.
+  while (!ShutdownRequested()) {
+    struct timespec nap = {0, 50 * 1000 * 1000};  // 50ms.
+    nanosleep(&nap, nullptr);
+  }
+
+  std::printf("ltam_serve: shutting down\n");
+  server.Stop();
+  if (!CheckpointBeforeExit(runtime.get()).ok()) return 1;
+  std::printf("ltam_serve: bye\n");
+  return 0;
+}

@@ -1,59 +1,83 @@
 // Copyright 2026 The LTAM Authors.
 //
-// An administrator shell: loads a policy script (path as argv[1], or a
-// built-in demo policy) into an AccessRuntime, derives the rules inside
-// the runtime's mutation window, then evaluates query-language
-// statements from stdin — the interactive face of Figure 3's query
-// engine, answering over the runtime's MovementView.
+// An administrator shell: loads a policy script (or the built-in demo
+// policy) into an AccessRuntime, derives the scripted rules inside the
+// runtime's mutation window, then evaluates query-language statements
+// from stdin — the interactive face of Figure 3's query engine,
+// answering over the runtime's MovementView.
 //
-// Run: ./build/examples/ltam_shell [policy.ltam]  (then type queries;
-//      e.g. "WHEN CAN Alice ACCESS CAIS", "INACCESSIBLE FOR Bob")
+// Run: ./build/examples/ltam_shell [policy.ltam] [--durable=DIR] [--shards=N]
+//
+// Shell commands besides query statements:
+//   connect <host:port>   switch to remote mode: statements are sent to
+//                         an ltam_serve endpoint over the wire protocol
+//   disconnect            back to the local runtime
+//   stats                 runtime counters (local or remote — the same
+//                         numbers either way; the wire carries the
+//                         runtime's own RuntimeStats)
+//   checkpoint            persist the runtime (local or remote)
+//   quit / exit           leave (Ctrl-C and EOF behave the same)
+//
+// Shutdown discipline: Ctrl-C, SIGTERM, EOF, and quit all fall out of
+// the input loop and checkpoint a durable runtime before exiting, so
+// the next open recovers the exit state instead of replaying the WAL.
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 
-#include "core/rules/rule_engine.h"
-#include "query/query_language.h"
 #include "runtime/access_runtime.h"
+#include "query/query_language.h"
+#include "service/client.h"
+#include "service/shutdown.h"
 #include "storage/policy_script.h"
 
 namespace {
 
-constexpr const char kDemoPolicy[] = R"(
-# Demo policy: a slice of the paper's NTU campus.
-SITE NTU
-COMPOSITE SCE IN NTU
-ROOM SCE.GO IN SCE
-ROOM SCE.SectionA IN SCE
-ROOM SCE.SectionB IN SCE
-ROOM CAIS IN SCE
-EDGE SCE.GO SCE.SectionA
-EDGE SCE.SectionA SCE.SectionB
-EDGE SCE.SectionB CAIS
-ENTRY SCE.GO
-ENTRY SCE
+using namespace ltam;  // NOLINT: example brevity.
 
-SUBJECT Alice
-SUBJECT Bob
-SUPERVISOR Alice Bob
-
-AUTH Alice CAIS ENTER [5,20] EXIT [15,50] TIMES 2
-AUTH Alice SCE.GO ENTER [0,30] EXIT [0,60]
-AUTH Alice SCE.SectionA ENTER [0,30] EXIT [0,60]
-AUTH Alice SCE.SectionB ENTER [0,40] EXIT [0,60]
-
-# Bob inherits Alice's CAIS rights (Example 1).
-RULE FROM 7 BASE 0 SUBJECT Supervisor_Of LABEL r1
-)";
+/// Splits "host:port"; false on malformed input.
+bool ParseEndpoint(const std::string& arg, std::string* host,
+                   uint16_t* port) {
+  size_t colon = arg.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= arg.size()) {
+    return false;
+  }
+  *host = arg.substr(0, colon);
+  try {
+    int parsed = std::stoi(arg.substr(colon + 1));
+    if (parsed <= 0 || parsed > 65535) return false;
+    *port = static_cast<uint16_t>(parsed);
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  using namespace ltam;  // NOLINT: example brevity.
+  InstallShutdownSignalHandlers();
 
-  Result<SystemState> state_or =
-      argc > 1 ? LoadPolicyScript(argv[1]) : ParsePolicyScript(kDemoPolicy);
+  std::string policy_path;
+  RuntimeOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--durable=", 0) == 0) {
+      options.durable_dir = arg.substr(10);
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      options.num_shards = static_cast<uint32_t>(
+          std::max(1, std::atoi(arg.c_str() + 9)));
+    } else {
+      policy_path = arg;
+    }
+  }
+
+  Result<SystemState> state_or = policy_path.empty()
+                                     ? ParsePolicyScript(DemoPolicyScript())
+                                     : LoadPolicyScript(policy_path);
   if (!state_or.ok()) {
     std::fprintf(stderr, "policy error: %s\n",
                  state_or.status().ToString().c_str());
@@ -61,7 +85,7 @@ int main(int argc, char** argv) {
   }
 
   Result<std::unique_ptr<AccessRuntime>> opened =
-      AccessRuntime::Open(std::move(state_or).ValueOrDie());
+      AccessRuntime::Open(std::move(state_or).ValueOrDie(), options);
   if (!opened.ok()) {
     std::fprintf(stderr, "runtime error: %s\n",
                  opened.status().ToString().c_str());
@@ -69,19 +93,8 @@ int main(int argc, char** argv) {
   }
   std::unique_ptr<AccessRuntime> runtime = std::move(opened).ValueOrDie();
 
-  // Register and derive the scripted rules — database mutations go
-  // through the runtime's mutation window.
   size_t derived = 0;
-  Status mutated = runtime->Mutate([&](const MutableStores& stores) {
-    RuleEngine rules(&stores.auth_db, &stores.profiles, &stores.graph);
-    for (AuthorizationRule& rule : stores.rules) {
-      LTAM_ASSIGN_OR_RETURN(RuleId id, rules.AddRule(rule));
-      (void)id;
-    }
-    LTAM_ASSIGN_OR_RETURN(DerivationReport report, rules.DeriveAll());
-    derived = report.derived;
-    return Status::OK();
-  });
+  Status mutated = RegisterAndDeriveScriptedRules(runtime.get(), &derived);
   if (!mutated.ok()) {
     std::fprintf(stderr, "rule error: %s\n", mutated.ToString().c_str());
     return 1;
@@ -95,22 +108,67 @@ int main(int argc, char** argv) {
   QueryInterpreter interp(&runtime->query(), &runtime->graph(),
                           &runtime->profiles(), &runtime->movements(),
                           &runtime->auth_db());
+  std::unique_ptr<ServiceClient> remote;
+
   std::printf("query> ");
   std::fflush(stdout);
   std::string line;
-  while (std::getline(std::cin, line)) {
+  while (!ShutdownRequested() && std::getline(std::cin, line)) {
     if (line == "quit" || line == "exit") break;
-    if (!line.empty()) {
-      Result<QueryResult> result = interp.Run(line);
+    if (line == "disconnect") {
+      if (remote != nullptr) {
+        remote.reset();
+        std::printf("back to the local runtime\n");
+      }
+    } else if (line.rfind("connect ", 0) == 0) {
+      std::string host;
+      uint16_t port = 0;
+      if (!ParseEndpoint(line.substr(8), &host, &port)) {
+        std::printf("error: usage: connect <host:port>\n");
+      } else {
+        Result<std::unique_ptr<ServiceClient>> connected =
+            ServiceClient::Connect(host, port);
+        if (connected.ok()) {
+          remote = std::move(connected).ValueOrDie();
+          std::printf("connected to %s:%u; statements now run remotely\n",
+                      host.c_str(), port);
+        } else {
+          std::printf("error: %s\n",
+                      connected.status().ToString().c_str());
+        }
+      }
+    } else if (line == "stats") {
+      if (remote != nullptr) {
+        Result<RuntimeStats> stats = remote->Stats();
+        if (stats.ok()) {
+          std::printf("%s", RuntimeStatsToString(*stats).c_str());
+        } else {
+          std::printf("error: %s\n", stats.status().ToString().c_str());
+        }
+      } else {
+        std::printf("%s", RuntimeStatsToString(runtime->Stats()).c_str());
+      }
+    } else if (line == "checkpoint") {
+      Status st = remote != nullptr ? remote->Checkpoint()
+                                    : runtime->Checkpoint();
+      std::printf("%s\n", st.ok() ? "checkpointed" : st.ToString().c_str());
+    } else if (!line.empty()) {
+      Result<QueryResult> result =
+          remote != nullptr ? remote->Query(line) : interp.Run(line);
       if (result.ok()) {
         std::printf("%s", result->ToString().c_str());
       } else {
         std::printf("error: %s\n", result.status().ToString().c_str());
       }
     }
+    if (ShutdownRequested()) break;
     std::printf("query> ");
     std::fflush(stdout);
   }
   std::printf("\n");
+
+  // Ctrl-C, SIGTERM, EOF, and quit all exit through here: a durable
+  // runtime checkpoints so recovery restarts from this state.
+  if (!CheckpointBeforeExit(runtime.get()).ok()) return 1;
   return 0;
 }

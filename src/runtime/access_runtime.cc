@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/rules/rule_engine.h"
 #include "engine/sharded_engine.h"
 #include "storage/durable_sharded_system.h"
 #include "storage/durable_system.h"
@@ -26,6 +27,19 @@ std::unique_ptr<MovementView> MakeShardedView(
       std::move(shards), [n](SubjectId s) {
         return ShardedDecisionEngine::ShardOfSubject(s, n);
       });
+}
+
+/// Deny(kWalError) decisions mark events the durability layer refused.
+/// They can only exist when the batch's durability status is non-OK, so
+/// the scan is skipped on the happy path.
+size_t CountRefusedEvents(const std::vector<Decision>& decisions,
+                          const Status& durability) {
+  if (durability.ok()) return 0;
+  size_t refused = 0;
+  for (const Decision& d : decisions) {
+    if (!d.granted && d.reason == DenyReason::kWalError) ++refused;
+  }
+  return refused;
 }
 
 size_t PendingShardAlerts(const ShardedDecisionEngine& engine) {
@@ -446,6 +460,7 @@ Result<Decision> AccessRuntime::Apply(const AccessEvent& event) {
       backend_->ApplyBatch(Span<const AccessEvent>(&event, 1), &durability));
   LTAM_CHECK(decisions.size() == 1);
   ++events_applied_;
+  events_refused_ += CountRefusedEvents(decisions, durability);
   if (!durability.ok()) {
     if (!decisions[0].granted &&
         decisions[0].reason == DenyReason::kWalError) {
@@ -461,9 +476,19 @@ Result<Decision> AccessRuntime::Apply(const AccessEvent& event) {
 
 Result<BatchResult> AccessRuntime::ApplyBatch(Span<const AccessEvent> batch) {
   if (in_mutate_) {
+    ++batches_rejected_;
     return Status::FailedPrecondition(
         "ApplyBatch called inside Mutate: events may only be applied "
         "between mutation windows");
+  }
+  if (options_.max_batch_events > 0 &&
+      batch.size() > options_.max_batch_events) {
+    ++batches_rejected_;
+    return Status::InvalidArgument(
+        "ApplyBatch of " + std::to_string(batch.size()) +
+        " events exceeds max_batch_events=" +
+        std::to_string(options_.max_batch_events) +
+        "; nothing was applied");
   }
   BatchResult out;
   Status durability;
@@ -473,6 +498,7 @@ Result<BatchResult> AccessRuntime::ApplyBatch(Span<const AccessEvent> batch) {
   out.alerts = TakePendingAlerts();
   ++batches_applied_;
   events_applied_ += batch.size();
+  events_refused_ += CountRefusedEvents(out.decisions, out.durability);
   return out;
 }
 
@@ -580,6 +606,8 @@ RuntimeStats AccessRuntime::Stats() const {
   backend_->FillStats(&stats);
   stats.batches_applied = batches_applied_;
   stats.events_applied = events_applied_;
+  stats.events_refused = events_refused_;
+  stats.batches_rejected = batches_rejected_;
   stats.pending_alerts = backend_->pending_alerts();
   return stats;
 }
@@ -594,6 +622,46 @@ const UserProfileDatabase& AccessRuntime::profiles() const {
 
 const AuthorizationDatabase& AccessRuntime::auth_db() const {
   return backend_->auth_db();
+}
+
+std::string RuntimeStatsToString(const RuntimeStats& stats) {
+  std::string out;
+  auto line = [&out](const char* name, const std::string& value) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += '\n';
+  };
+  line("shards", std::to_string(stats.num_shards) + " (requested " +
+                     std::to_string(stats.requested_shards) +
+                     (stats.shard_count_overridden ? ", overridden)" : ")"));
+  line("durable", stats.durable ? "yes" : "no");
+  if (stats.durable) {
+    line("epoch", std::to_string(stats.epoch));
+    line("wal-events", std::to_string(stats.wal_events));
+  }
+  line("requests-processed", std::to_string(stats.requests_processed));
+  line("requests-granted", std::to_string(stats.requests_granted));
+  line("batches-applied", std::to_string(stats.batches_applied));
+  line("events-applied", std::to_string(stats.events_applied));
+  line("events-refused", std::to_string(stats.events_refused));
+  line("batches-rejected", std::to_string(stats.batches_rejected));
+  line("pending-alerts", std::to_string(stats.pending_alerts));
+  return out;
+}
+
+Status RegisterAndDeriveScriptedRules(AccessRuntime* runtime,
+                                      size_t* derived) {
+  return runtime->Mutate([derived](const MutableStores& stores) {
+    RuleEngine rules(&stores.auth_db, &stores.profiles, &stores.graph);
+    for (AuthorizationRule& rule : stores.rules) {
+      LTAM_ASSIGN_OR_RETURN(RuleId id, rules.AddRule(rule));
+      (void)id;
+    }
+    LTAM_ASSIGN_OR_RETURN(DerivationReport report, rules.DeriveAll());
+    if (derived != nullptr) *derived = report.derived;
+    return Status::OK();
+  });
 }
 
 }  // namespace ltam

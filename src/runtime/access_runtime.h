@@ -66,6 +66,12 @@ struct RuntimeOptions {
   /// (group commit). Disable only where the OS page cache is an
   /// acceptable durability boundary.
   bool sync_every_batch = true;
+  /// Ceiling on events per ApplyBatch call (0 = unlimited). An oversized
+  /// batch is rejected whole with kInvalidArgument — nothing is applied —
+  /// and counted in RuntimeStats::batches_rejected. Network front ends
+  /// set this so a remote client cannot stall every shard with one
+  /// giant frame.
+  size_t max_batch_events = 0;
   /// Durable backends: Checkpoint() automatically after every Mutate()
   /// — even one whose callback failed, since mutations are applied in
   /// place and a partial mutation is still the live state. Mutations
@@ -115,9 +121,17 @@ struct RuntimeStats {
   /// Engine counters, aggregated across shards.
   size_t requests_processed = 0;
   size_t requests_granted = 0;
-  /// Facade counters.
+  /// Facade ingest counters. Every front end (the library caller, the
+  /// ltam-serve /stats endpoint, the shell) reports these same numbers —
+  /// there is no side channel to count ingestion twice.
   size_t batches_applied = 0;
   size_t events_applied = 0;
+  /// Events the durability layer refused (their decisions carry
+  /// Deny(kWalError); they were never applied).
+  size_t events_refused = 0;
+  /// ApplyBatch calls rejected whole before application: oversized per
+  /// RuntimeOptions::max_batch_events, or issued inside Mutate().
+  size_t batches_rejected = 0;
   /// Alerts raised but not yet drained.
   size_t pending_alerts = 0;
 };
@@ -236,7 +250,22 @@ class AccessRuntime {
   bool in_mutate_ = false;
   size_t batches_applied_ = 0;
   size_t events_applied_ = 0;
+  size_t events_refused_ = 0;
+  size_t batches_rejected_ = 0;
 };
+
+/// Renders stats as aligned "name: value" lines — the one rendering the
+/// shell uses for both a local runtime's Stats() and a remote server's
+/// (the wire carries the struct verbatim, so the reports match).
+std::string RuntimeStatsToString(const RuntimeStats& stats);
+
+/// Registers the runtime's scripted rules (SystemState::rules, e.g. from
+/// a policy script) with a RuleEngine and derives the implied
+/// authorizations, inside one Mutate window. `derived`, when non-null,
+/// receives the number of derived authorizations. Shared by every host
+/// that boots a runtime from a policy script.
+Status RegisterAndDeriveScriptedRules(AccessRuntime* runtime,
+                                      size_t* derived = nullptr);
 
 }  // namespace ltam
 

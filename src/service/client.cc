@@ -1,0 +1,235 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ltam {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+Status WriteAll(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ServiceClient::ServiceClient(int fd) : fd_(fd) {}
+
+ServiceClient::~ServiceClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<ServiceClient>> ServiceClient::Connect(
+    const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("unparseable host '" + host + "'");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Errno("connect");
+    ::close(fd);
+    return st.WithContext("connecting to " + host + ":" +
+                          std::to_string(port));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<ServiceClient>(new ServiceClient(fd));
+}
+
+Status ServiceClient::SendFrame(MessageType type, uint32_t request_id,
+                                const std::string& payload) {
+  // A sync call flushes any pipelined backlog first so frames leave in
+  // submission order.
+  send_buffer_ += EncodeFrame(type, request_id, payload);
+  return Flush();
+}
+
+Result<Frame> ServiceClient::ReceiveFrame() {
+  while (true) {
+    Result<std::optional<Frame>> next = assembler_.Next();
+    if (!next.ok()) return next.status();
+    if (next->has_value()) return std::move(**next);
+    char buf[64 * 1024];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      assembler_.Append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::IOError("server closed the connection");
+    }
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
+}
+
+Result<Frame> ServiceClient::ReceiveResponse(uint32_t request_id,
+                                             MessageType expected_type) {
+  LTAM_ASSIGN_OR_RETURN(Frame frame, ReceiveFrame());
+  if (frame.header.request_id != request_id) {
+    return Status::Internal(
+        "response for request " + std::to_string(frame.header.request_id) +
+        " while waiting for " + std::to_string(request_id) +
+        " (sync calls must not interleave with unreceived pipelined "
+        "submissions)");
+  }
+  if (frame.header.type == MessageType::kError) {
+    Status error;
+    LTAM_RETURN_IF_ERROR(DecodeErrorResult(frame.payload, &error));
+    return error;
+  }
+  if (frame.header.type != expected_type) {
+    return Status::Internal(std::string("expected a ") +
+                            MessageTypeToString(expected_type) +
+                            " response, got " +
+                            MessageTypeToString(frame.header.type));
+  }
+  return frame;
+}
+
+Status ServiceClient::Ping() {
+  const uint32_t id = next_request_id_++;
+  LTAM_RETURN_IF_ERROR(SendFrame(MessageType::kPing, id, ""));
+  LTAM_ASSIGN_OR_RETURN(Frame frame,
+                        ReceiveResponse(id, MessageType::kPong));
+  if (!frame.payload.empty()) {
+    return Status::ParseError("pong: unexpected payload");
+  }
+  return Status::OK();
+}
+
+Result<WireBatchResult> ServiceClient::Apply(const AccessEvent& event) {
+  const uint32_t id = next_request_id_++;
+  LTAM_RETURN_IF_ERROR(
+      SendFrame(MessageType::kApply, id, EncodeApplyRequest(event)));
+  LTAM_ASSIGN_OR_RETURN(Frame frame,
+                        ReceiveResponse(id, MessageType::kApplyResult));
+  LTAM_ASSIGN_OR_RETURN(WireBatchResult result,
+                        DecodeBatchResult(frame.payload));
+  if (result.decisions.size() != 1) {
+    return Status::ParseError("apply-result: expected exactly one decision");
+  }
+  return result;
+}
+
+Result<WireBatchResult> ServiceClient::ApplyBatch(
+    Span<const AccessEvent> events) {
+  if (events.size() > kMaxWireBatchEvents) {
+    return Status::InvalidArgument(
+        "batch of " + std::to_string(events.size()) + " events over the " +
+        std::to_string(kMaxWireBatchEvents) + " per-frame wire ceiling");
+  }
+  const uint32_t id = next_request_id_++;
+  LTAM_RETURN_IF_ERROR(SendFrame(MessageType::kApplyBatch, id,
+                                 EncodeApplyBatchRequest(events)));
+  LTAM_ASSIGN_OR_RETURN(Frame frame,
+                        ReceiveResponse(id, MessageType::kBatchResult));
+  LTAM_ASSIGN_OR_RETURN(WireBatchResult result,
+                        DecodeBatchResult(frame.payload));
+  if (result.decisions.size() != events.size()) {
+    return Status::ParseError("batch-result: decision count mismatch");
+  }
+  return result;
+}
+
+Result<WireFixResult> ServiceClient::ApplyFix(const PositionFix& fix) {
+  const uint32_t id = next_request_id_++;
+  LTAM_RETURN_IF_ERROR(
+      SendFrame(MessageType::kApplyFix, id, EncodeApplyFixRequest(fix)));
+  LTAM_ASSIGN_OR_RETURN(Frame frame,
+                        ReceiveResponse(id, MessageType::kFixResult));
+  return DecodeFixResult(frame.payload);
+}
+
+Result<QueryResult> ServiceClient::Query(const std::string& statement) {
+  const uint32_t id = next_request_id_++;
+  LTAM_RETURN_IF_ERROR(
+      SendFrame(MessageType::kQuery, id, EncodeQueryRequest(statement)));
+  LTAM_ASSIGN_OR_RETURN(Frame frame,
+                        ReceiveResponse(id, MessageType::kQueryResult));
+  return DecodeQueryResult(frame.payload);
+}
+
+Status ServiceClient::Checkpoint() {
+  const uint32_t id = next_request_id_++;
+  LTAM_RETURN_IF_ERROR(SendFrame(MessageType::kCheckpoint, id, ""));
+  LTAM_ASSIGN_OR_RETURN(
+      Frame frame, ReceiveResponse(id, MessageType::kCheckpointResult));
+  if (!frame.payload.empty()) {
+    return Status::ParseError("checkpoint-result: unexpected payload");
+  }
+  return Status::OK();
+}
+
+Result<RuntimeStats> ServiceClient::Stats() {
+  const uint32_t id = next_request_id_++;
+  LTAM_RETURN_IF_ERROR(SendFrame(MessageType::kStats, id, ""));
+  LTAM_ASSIGN_OR_RETURN(Frame frame,
+                        ReceiveResponse(id, MessageType::kStatsResult));
+  return DecodeStatsResult(frame.payload);
+}
+
+Result<uint32_t> ServiceClient::SubmitBatch(Span<const AccessEvent> events) {
+  if (events.size() > kMaxWireBatchEvents) {
+    return Status::InvalidArgument(
+        "batch of " + std::to_string(events.size()) + " events over the " +
+        std::to_string(kMaxWireBatchEvents) + " per-frame wire ceiling");
+  }
+  const uint32_t id = next_request_id_++;
+  send_buffer_ += EncodeFrame(MessageType::kApplyBatch, id,
+                              EncodeApplyBatchRequest(events));
+  return id;
+}
+
+Status ServiceClient::Flush() {
+  if (send_buffer_.empty()) return Status::OK();
+  Status written = WriteAll(fd_, send_buffer_);
+  send_buffer_.clear();
+  return written;
+}
+
+Result<ServiceClient::PipelinedBatch> ServiceClient::ReceiveBatchResult() {
+  LTAM_ASSIGN_OR_RETURN(Frame frame, ReceiveFrame());
+  if (frame.header.type == MessageType::kError) {
+    Status error;
+    LTAM_RETURN_IF_ERROR(DecodeErrorResult(frame.payload, &error));
+    return error.WithContext("request " +
+                             std::to_string(frame.header.request_id));
+  }
+  if (frame.header.type != MessageType::kBatchResult) {
+    return Status::Internal(std::string("expected a batch-result, got ") +
+                            MessageTypeToString(frame.header.type));
+  }
+  PipelinedBatch out;
+  out.request_id = frame.header.request_id;
+  LTAM_ASSIGN_OR_RETURN(out.result, DecodeBatchResult(frame.payload));
+  return out;
+}
+
+}  // namespace ltam

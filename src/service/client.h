@@ -1,0 +1,115 @@
+// Copyright 2026 The LTAM Authors.
+// ltam-serve client library.
+//
+// Two usage styles over one blocking TCP connection:
+//
+//  - Synchronous: every call sends one request frame and blocks until
+//    its response arrives. One outstanding request at a time; a server
+//    error response surfaces as the decoded Status.
+//  - Pipelined batches: SubmitBatch() buffers request frames locally,
+//    Flush() writes them all, ReceiveBatchResult() reads responses in
+//    submission order (the server's ingest path is FIFO per
+//    connection). Keeping several frames in flight is what feeds the
+//    server's ingest coalescer from a single connection.
+//
+// Do not interleave synchronous calls with unreceived pipelined
+// submissions — the synchronous call would consume the pipelined
+// responses. A ServiceClient is not thread-safe; use one per thread
+// (many connections is the point of the server).
+
+#ifndef LTAM_SERVICE_CLIENT_H_
+#define LTAM_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "service/protocol.h"
+#include "util/result.h"
+
+namespace ltam {
+
+class ServiceClient {
+ public:
+  /// Connects to an ltam-serve endpoint ("127.0.0.1", 7447).
+  static Result<std::unique_ptr<ServiceClient>> Connect(
+      const std::string& host, uint16_t port);
+
+  ~ServiceClient();
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  // --- Synchronous calls -----------------------------------------------------
+
+  /// Round-trip liveness check (answered on the server's I/O thread,
+  /// so it succeeds even while ingestion is busy).
+  Status Ping();
+
+  /// One event through the server's ingest path. The result carries the
+  /// decision (decisions.size() == 1), the alerts the server attributed
+  /// to this frame, and the durability outcome.
+  Result<WireBatchResult> Apply(const AccessEvent& event);
+
+  /// One batch (at most kMaxWireBatchEvents events, per-subject
+  /// nondecreasing time order within the batch).
+  Result<WireBatchResult> ApplyBatch(Span<const AccessEvent> events);
+
+  /// One raw position fix, resolved server-side.
+  Result<WireFixResult> ApplyFix(const PositionFix& fix);
+
+  /// A query-language statement, answered over the server runtime's
+  /// MovementView.
+  Result<QueryResult> Query(const std::string& statement);
+
+  /// Persists the server runtime (a no-op for in-memory servers).
+  Status Checkpoint();
+
+  /// The server runtime's own counters — byte-identical to what a local
+  /// Stats() call on the server's runtime returns.
+  Result<RuntimeStats> Stats();
+
+  // --- Pipelined batches -----------------------------------------------------
+
+  /// Buffers an ApplyBatch frame locally and returns its request id.
+  /// Nothing is written until Flush().
+  Result<uint32_t> SubmitBatch(Span<const AccessEvent> events);
+
+  /// Writes every buffered frame to the socket.
+  Status Flush();
+
+  /// One pipelined response, in submission order.
+  struct PipelinedBatch {
+    uint32_t request_id = 0;
+    WireBatchResult result;
+  };
+
+  /// Blocks for the next pipelined batch response. Flush() first; a
+  /// server-refused frame surfaces as the decoded error Status.
+  Result<PipelinedBatch> ReceiveBatchResult();
+
+ private:
+  explicit ServiceClient(int fd);
+
+  /// Sends one frame immediately (flushing any pipelined backlog first,
+  /// which is why sync calls must not run with unreceived submissions).
+  Status SendFrame(MessageType type, uint32_t request_id,
+                   const std::string& payload);
+
+  /// Blocks until one complete frame arrives.
+  Result<Frame> ReceiveFrame();
+
+  /// Blocks for the response to `request_id`; decodes kError frames
+  /// into their carried Status. Any other request id on the wire is a
+  /// protocol violation (sync discipline: one outstanding request).
+  Result<Frame> ReceiveResponse(uint32_t request_id,
+                                MessageType expected_type);
+
+  int fd_;
+  uint32_t next_request_id_ = 1;
+  std::string send_buffer_;
+  FrameAssembler assembler_;
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_SERVICE_CLIENT_H_

@@ -1,0 +1,196 @@
+// Copyright 2026 The LTAM Authors.
+// ltam-serve wire protocol: length-prefixed, versioned binary frames.
+//
+// Every message on the wire is one frame:
+//
+//   magic      u32le  0x4D41544C ("LTAM")
+//   version    u8     kWireVersion
+//   type       u8     MessageType
+//   reserved   u16le  must be zero
+//   request_id u32le  echoed verbatim in the response (pipelining demux)
+//   length     u32le  payload byte count, <= kMaxFramePayload
+//   payload    <length> bytes, encoding per MessageType
+//
+// Requests cover the whole AccessRuntime event/read surface — ApplyBatch,
+// Apply, ApplyFix, Query (a query-language string answered over the
+// MovementView), Checkpoint, Stats, Ping — and responses carry decisions,
+// drained alerts, the batch durability outcome, query tables, runtime
+// stats, or a structured error mapped from Status.
+//
+// Decoding follows the storage/event_log.h discipline: every integer is
+// bounds-checked, every enum value validated, every string length checked
+// against the remaining payload before it is read, and a payload must be
+// consumed exactly — a truncated, oversized, or corrupt frame surfaces as
+// a ParseError, never as a crash, an over-read, or an id wrapped into
+// nonsense (tests/service_protocol_fuzz_test.cc hammers this contract).
+
+#ifndef LTAM_SERVICE_PROTOCOL_H_
+#define LTAM_SERVICE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/events.h"
+#include "query/query_language.h"
+#include "runtime/access_runtime.h"
+#include "util/result.h"
+
+namespace ltam {
+
+/// Protocol version this build speaks. Frames with any other version are
+/// rejected (there is exactly one deployed version so far).
+inline constexpr uint8_t kWireVersion = 1;
+
+/// "LTAM" as a little-endian u32 ('L' is the first byte on the wire).
+inline constexpr uint32_t kWireMagic = 0x4D41544Cu;
+
+/// Hard ceiling on one frame's payload. Large enough for a 64k-event
+/// batch or a wide query table; small enough that a corrupt length field
+/// can never drive allocation.
+inline constexpr uint32_t kMaxFramePayload = 8u << 20;
+
+/// Protocol-level ceiling on events per ApplyBatch frame (a server may
+/// enforce a tighter one via RuntimeOptions::max_batch_events).
+inline constexpr uint32_t kMaxWireBatchEvents = 1u << 16;
+
+/// Frame header size on the wire.
+inline constexpr size_t kFrameHeaderBytes = 16;
+
+/// Every message type of the protocol. Requests and responses share the
+/// numbering space; responses start at 32.
+enum class MessageType : uint8_t {
+  // Requests.
+  kPing = 1,
+  kApply = 2,
+  kApplyBatch = 3,
+  kApplyFix = 4,
+  kQuery = 5,
+  kCheckpoint = 6,
+  kStats = 7,
+  // Responses.
+  kPong = 32,
+  kApplyResult = 33,
+  kBatchResult = 34,
+  kFixResult = 35,
+  kQueryResult = 36,
+  kCheckpointResult = 37,
+  kStatsResult = 38,
+  kError = 39,
+};
+
+/// True for the request half of the numbering space.
+bool IsRequestType(MessageType type);
+
+/// Stable lower-case name ("apply-batch", "stats-result", ...).
+const char* MessageTypeToString(MessageType type);
+
+/// One decoded frame header.
+struct FrameHeader {
+  uint8_t version = kWireVersion;
+  MessageType type = MessageType::kPing;
+  uint32_t request_id = 0;
+  uint32_t payload_length = 0;
+};
+
+/// One complete frame.
+struct Frame {
+  FrameHeader header;
+  std::string payload;
+};
+
+/// Encodes a complete frame (header + payload).
+std::string EncodeFrame(MessageType type, uint32_t request_id,
+                        const std::string& payload);
+
+/// Decodes the 16 header bytes. ParseError on bad magic, unknown
+/// version, unknown type, nonzero reserved bits, or a length above
+/// kMaxFramePayload. Requires `size >= kFrameHeaderBytes`.
+Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t size);
+
+/// Incremental frame extraction for a byte stream (the read side of a
+/// socket). Append raw bytes as they arrive; Next() yields complete
+/// frames in order. A malformed header is a sticky error — the stream
+/// can no longer be framed and the connection must be dropped.
+class FrameAssembler {
+ public:
+  /// Appends raw stream bytes.
+  void Append(const char* data, size_t size);
+
+  /// Returns the next complete frame, nullopt when more bytes are
+  /// needed, or ParseError once the stream is unframeable.
+  Result<std::optional<Frame>> Next();
+
+  /// Bytes buffered but not yet returned as frames.
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;
+  Status error_;
+};
+
+// --- Request payloads --------------------------------------------------------
+
+/// Ping / Checkpoint / Stats requests and the Pong / CheckpointResult
+/// responses carry no payload; encode with EncodeFrame(type, id, "").
+
+std::string EncodeApplyRequest(const AccessEvent& event);
+Result<AccessEvent> DecodeApplyRequest(const std::string& payload);
+
+std::string EncodeApplyBatchRequest(Span<const AccessEvent> events);
+Result<std::vector<AccessEvent>> DecodeApplyBatchRequest(
+    const std::string& payload);
+
+std::string EncodeApplyFixRequest(const PositionFix& fix);
+Result<PositionFix> DecodeApplyFixRequest(const std::string& payload);
+
+std::string EncodeQueryRequest(const std::string& statement);
+Result<std::string> DecodeQueryRequest(const std::string& payload);
+
+// --- Response payloads -------------------------------------------------------
+
+/// What one Apply/ApplyBatch produced, as seen through the wire: the
+/// per-event decisions, the alerts the server attributed to this frame
+/// (routed by subject out of the coalesced batch), and the durability
+/// outcome of the underlying AccessRuntime::ApplyBatch.
+struct WireBatchResult {
+  std::vector<Decision> decisions;
+  std::vector<Alert> alerts;
+  Status durability;
+};
+
+/// kApplyResult and kBatchResult share this payload encoding (an Apply
+/// is a one-event batch server-side).
+std::string EncodeBatchResult(const WireBatchResult& result);
+Result<WireBatchResult> DecodeBatchResult(const std::string& payload);
+
+/// kFixResult: the ApplyFix status plus the alerts the fix raised.
+struct WireFixResult {
+  Status status;
+  std::vector<Alert> alerts;
+};
+
+std::string EncodeFixResult(const WireFixResult& result);
+Result<WireFixResult> DecodeFixResult(const std::string& payload);
+
+/// kQueryResult reuses the interpreter's tabular QueryResult.
+std::string EncodeQueryResult(const QueryResult& result);
+Result<QueryResult> DecodeQueryResult(const std::string& payload);
+
+/// kStatsResult carries the runtime's own counters verbatim — the remote
+/// Stats() answer is the same struct a local caller sees.
+std::string EncodeStatsResult(const RuntimeStats& stats);
+Result<RuntimeStats> DecodeStatsResult(const std::string& payload);
+
+/// kError: a Status by value (code + message). OK is not a valid error
+/// payload — encoding it is a programming error, decoding it a
+/// ParseError. The returned status is the decode outcome; the carried
+/// error lands in *error (untouched on decode failure).
+std::string EncodeErrorResult(const Status& status);
+Status DecodeErrorResult(const std::string& payload, Status* error);
+
+}  // namespace ltam
+
+#endif  // LTAM_SERVICE_PROTOCOL_H_

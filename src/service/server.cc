@@ -1,0 +1,792 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "query/query_language.h"
+#include "service/protocol.h"
+#include "util/logging.h"
+
+namespace ltam {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+bool SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// One accepted connection. The I/O thread owns the socket and the
+/// frame assembler; worker threads only append response bytes under
+/// out_mu and never touch the fd.
+struct Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  const int fd;
+  FrameAssembler assembler;  // I/O thread only.
+  std::mutex out_mu;
+  std::string out;               // Guarded by out_mu.
+  bool close_after_flush = false;  // Guarded by out_mu.
+};
+
+using ConnectionPtr = std::shared_ptr<Connection>;
+
+/// One frame bound for the coalescer.
+struct IngestJob {
+  ConnectionPtr conn;
+  uint32_t request_id = 0;
+  MessageType type = MessageType::kApply;
+  std::vector<AccessEvent> events;  // kApply (size 1) / kApplyBatch.
+  PositionFix fix;                  // kApplyFix.
+};
+
+/// One frame bound for the read pool.
+struct ReadJob {
+  ConnectionPtr conn;
+  uint32_t request_id = 0;
+  MessageType type = MessageType::kQuery;
+  std::string statement;  // kQuery.
+};
+
+}  // namespace
+
+class ServiceServer::Impl {
+ public:
+  Impl(AccessRuntime* runtime, ServerOptions options)
+      : runtime_(runtime), options_(options) {}
+
+  ~Impl() { Stop(); }
+
+  Status Start() {
+    if (started_) return Status::FailedPrecondition("server already started");
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return Errno("socket");
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+      CloseListen();
+      return Status::InvalidArgument("unparseable listen host '" +
+                                     options_.host + "'");
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      Status st = Errno("bind");
+      CloseListen();
+      return st;
+    }
+    if (::listen(listen_fd_, options_.listen_backlog) != 0) {
+      Status st = Errno("listen");
+      CloseListen();
+      return st;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+        0) {
+      Status st = Errno("getsockname");
+      CloseListen();
+      return st;
+    }
+    bound_port_ = ntohs(addr.sin_port);
+    if (!SetNonBlocking(listen_fd_)) {
+      Status st = Errno("fcntl(listen)");
+      CloseListen();
+      return st;
+    }
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+      Status st = Errno("pipe");
+      CloseListen();
+      return st;
+    }
+    wake_read_fd_ = pipe_fds[0];
+    wake_write_fd_ = pipe_fds[1];
+    SetNonBlocking(wake_read_fd_);
+    SetNonBlocking(wake_write_fd_);
+
+    // The one interpreter every read worker shares: its referents (the
+    // runtime's stores and MovementView) are stable for the runtime's
+    // lifetime, and workers only run it under the shared runtime lock.
+    interpreter_ = std::make_unique<QueryInterpreter>(
+        &runtime_->query(), &runtime_->graph(), &runtime_->profiles(),
+        &runtime_->movements(), &runtime_->auth_db());
+
+    stopping_ = false;
+    started_ = true;
+    io_thread_ = std::thread([this] { IoLoop(); });
+    coalescer_thread_ = std::thread([this] { CoalescerLoop(); });
+    const uint32_t workers = std::max(1u, options_.read_workers);
+    read_threads_.reserve(workers);
+    for (uint32_t i = 0; i < workers; ++i) {
+      read_threads_.emplace_back([this] { ReadLoop(); });
+    }
+    return Status::OK();
+  }
+
+  void Stop() {
+    if (!started_) return;
+    stopping_ = true;
+    Wake();
+    io_thread_.join();
+    {
+      std::lock_guard<std::mutex> lock(queues_mu_);
+      queues_cv_.notify_all();
+    }
+    coalescer_thread_.join();
+    for (std::thread& t : read_threads_) t.join();
+    read_threads_.clear();
+    connections_.clear();
+    ingest_queue_.clear();
+    read_queue_.clear();
+    queued_units_ = 0;
+    CloseListen();
+    if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
+    if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
+    wake_read_fd_ = wake_write_fd_ = -1;
+    started_ = false;
+  }
+
+  uint16_t bound_port() const { return bound_port_; }
+
+  CoalescerStats coalescer_stats() const {
+    std::lock_guard<std::mutex> lock(coalescer_stats_mu_);
+    return coalescer_stats_;
+  }
+
+ private:
+  void CloseListen() {
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+
+  /// Nudges the I/O thread out of poll() (worker enqueued output, or
+  /// Stop() was called).
+  void Wake() {
+    char byte = 1;
+    ssize_t ignored = ::write(wake_write_fd_, &byte, 1);
+    (void)ignored;
+  }
+
+  // --- I/O thread ------------------------------------------------------------
+
+  void IoLoop() {
+    std::vector<pollfd> fds;
+    std::vector<ConnectionPtr> polled;
+    while (!stopping_) {
+      fds.clear();
+      polled.clear();
+      fds.push_back({wake_read_fd_, POLLIN, 0});
+      fds.push_back({listen_fd_, POLLIN, 0});
+      for (auto& [fd, conn] : connections_) {
+        short events = 0;
+        {
+          std::lock_guard<std::mutex> lock(conn->out_mu);
+          if (!conn->close_after_flush) events |= POLLIN;
+          if (!conn->out.empty()) events |= POLLOUT;
+        }
+        fds.push_back({fd, events, 0});
+        polled.push_back(conn);
+      }
+      if (::poll(fds.data(), fds.size(), /*timeout_ms=*/200) < 0) {
+        if (errno == EINTR) continue;
+        LTAM_LOG_ERROR << "server poll failed: " << std::strerror(errno);
+        break;
+      }
+      if (fds[0].revents & POLLIN) DrainWakePipe();
+      if (fds[1].revents & POLLIN) AcceptPending();
+      for (size_t i = 0; i < polled.size(); ++i) {
+        const pollfd& pfd = fds[i + 2];
+        ConnectionPtr conn = polled[i];
+        bool drop = false;
+        {
+          std::lock_guard<std::mutex> lock(conn->out_mu);
+          // A client that writes requests but never reads responses
+          // cannot buffer without bound; and a connection marked for
+          // close whose output already drained is done.
+          if (conn->out.size() > options_.max_connection_backlog_bytes ||
+              (conn->close_after_flush && conn->out.empty())) {
+            drop = true;
+          }
+        }
+        if (!drop && (pfd.revents & (POLLERR | POLLHUP | POLLNVAL))) {
+          drop = true;
+        }
+        if (!drop && (pfd.revents & POLLIN)) drop = !ReadFrom(conn);
+        if (!drop && (pfd.revents & POLLOUT)) drop = !FlushTo(conn);
+        if (drop) connections_.erase(conn->fd);
+      }
+    }
+    // Closing the sockets here (not in Stop) keeps all socket access on
+    // this thread; queued responses for these connections are dropped.
+    connections_.clear();
+  }
+
+  void DrainWakePipe() {
+    char buf[256];
+    while (::read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+    }
+  }
+
+  void AcceptPending() {
+    while (true) {
+      int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;
+      if (!SetNonBlocking(fd)) {
+        ::close(fd);
+        continue;
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      connections_.emplace(fd, std::make_shared<Connection>(fd));
+    }
+  }
+
+  /// Reads everything available; false when the connection is done.
+  bool ReadFrom(const ConnectionPtr& conn) {
+    char buf[64 * 1024];
+    while (true) {
+      ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn->assembler.Append(buf, static_cast<size_t>(n));
+        if (!DrainFrames(conn)) return false;
+        continue;
+      }
+      if (n == 0) return false;  // Peer closed.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+  }
+
+  /// Extracts complete frames and dispatches them; false to drop the
+  /// connection (unframeable stream).
+  bool DrainFrames(const ConnectionPtr& conn) {
+    while (true) {
+      Result<std::optional<Frame>> next = conn->assembler.Next();
+      if (!next.ok()) {
+        // The stream can no longer be framed: queue one final error
+        // (request id 0 — no frame to attribute it to) and mark the
+        // connection close-after-flush, so the error actually reaches
+        // the peer before the close instead of being dropped when the
+        // socket buffer is momentarily full.
+        std::lock_guard<std::mutex> lock(conn->out_mu);
+        if (!conn->close_after_flush) {
+          conn->out += EncodeFrame(MessageType::kError, 0,
+                                   EncodeErrorResult(next.status()));
+          conn->close_after_flush = true;
+        }
+        return true;
+      }
+      if (!next->has_value()) return true;
+      Dispatch(conn, **next);
+    }
+  }
+
+  void Dispatch(const ConnectionPtr& conn, Frame frame) {
+    const uint32_t id = frame.header.request_id;
+    switch (frame.header.type) {
+      case MessageType::kPing:
+        // No runtime state involved: answered inline on the I/O thread.
+        Respond(conn, MessageType::kPong, id, "");
+        return;
+      case MessageType::kApply: {
+        Result<AccessEvent> event = DecodeApplyRequest(frame.payload);
+        if (!event.ok()) {
+          Respond(conn, MessageType::kError, id,
+                  EncodeErrorResult(event.status()));
+          return;
+        }
+        IngestJob job;
+        job.conn = conn;
+        job.request_id = id;
+        job.type = MessageType::kApply;
+        job.events.push_back(*event);
+        EnqueueIngest(std::move(job));
+        return;
+      }
+      case MessageType::kApplyBatch: {
+        Result<std::vector<AccessEvent>> events =
+            DecodeApplyBatchRequest(frame.payload);
+        if (!events.ok()) {
+          Respond(conn, MessageType::kError, id,
+                  EncodeErrorResult(events.status()));
+          return;
+        }
+        IngestJob job;
+        job.conn = conn;
+        job.request_id = id;
+        job.type = MessageType::kApplyBatch;
+        job.events = std::move(*events);
+        EnqueueIngest(std::move(job));
+        return;
+      }
+      case MessageType::kApplyFix: {
+        Result<PositionFix> fix = DecodeApplyFixRequest(frame.payload);
+        if (!fix.ok()) {
+          Respond(conn, MessageType::kError, id,
+                  EncodeErrorResult(fix.status()));
+          return;
+        }
+        IngestJob job;
+        job.conn = conn;
+        job.request_id = id;
+        job.type = MessageType::kApplyFix;
+        job.fix = *fix;
+        EnqueueIngest(std::move(job));
+        return;
+      }
+      case MessageType::kCheckpoint: {
+        if (!frame.payload.empty()) {
+          Respond(conn, MessageType::kError, id,
+                  EncodeErrorResult(Status::ParseError(
+                      "checkpoint: unexpected payload")));
+          return;
+        }
+        IngestJob job;
+        job.conn = conn;
+        job.request_id = id;
+        job.type = MessageType::kCheckpoint;
+        EnqueueIngest(std::move(job));
+        return;
+      }
+      case MessageType::kQuery: {
+        Result<std::string> statement = DecodeQueryRequest(frame.payload);
+        if (!statement.ok()) {
+          Respond(conn, MessageType::kError, id,
+                  EncodeErrorResult(statement.status()));
+          return;
+        }
+        ReadJob job;
+        job.conn = conn;
+        job.request_id = id;
+        job.type = MessageType::kQuery;
+        job.statement = std::move(*statement);
+        EnqueueRead(std::move(job));
+        return;
+      }
+      case MessageType::kStats: {
+        if (!frame.payload.empty()) {
+          Respond(conn, MessageType::kError, id,
+                  EncodeErrorResult(
+                      Status::ParseError("stats: unexpected payload")));
+          return;
+        }
+        ReadJob job;
+        job.conn = conn;
+        job.request_id = id;
+        job.type = MessageType::kStats;
+        EnqueueRead(std::move(job));
+        return;
+      }
+      default:
+        Respond(conn, MessageType::kError, id,
+                EncodeErrorResult(Status::InvalidArgument(
+                    std::string("server received a response frame (") +
+                    MessageTypeToString(frame.header.type) + ")")));
+        return;
+    }
+  }
+
+  /// Flushes pending output; false when the connection is done.
+  bool FlushTo(const ConnectionPtr& conn) {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    while (!conn->out.empty()) {
+      ssize_t n = ::send(conn->fd, conn->out.data(), conn->out.size(),
+                         MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->out.erase(0, static_cast<size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    return !conn->close_after_flush;
+  }
+
+  /// Appends one response frame to the connection's output buffer. Safe
+  /// from any thread; the I/O thread performs the actual write. A
+  /// payload over the wire ceiling (e.g. a query whose table outgrew
+  /// 8 MiB) degrades to a structured error — it must never reach
+  /// EncodeFrame's fatal check and take the whole service down.
+  void Respond(const ConnectionPtr& conn, MessageType type, uint32_t id,
+               const std::string& payload) {
+    std::string frame;
+    if (payload.size() > kMaxFramePayload) {
+      frame = EncodeFrame(
+          MessageType::kError, id,
+          EncodeErrorResult(Status::OutOfRange(
+              std::string(MessageTypeToString(type)) + " response of " +
+              std::to_string(payload.size()) +
+              " bytes exceeds the frame ceiling; narrow the request")));
+    } else {
+      frame = EncodeFrame(type, id, payload);
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      conn->out += frame;
+    }
+    Wake();
+  }
+
+  // --- Queues ----------------------------------------------------------------
+
+  /// One queue unit per event, minimum one per frame — so event-free
+  /// frames (Checkpoint, empty batches) are bounded too.
+  static size_t UnitsOf(const IngestJob& job) {
+    return std::max<size_t>(1, job.events.size());
+  }
+
+  void EnqueueIngest(IngestJob job) {
+    const size_t units = UnitsOf(job);
+    {
+      std::lock_guard<std::mutex> lock(queues_mu_);
+      if (queued_units_ + units > options_.max_queued_events) {
+        Respond(job.conn, MessageType::kError, job.request_id,
+                EncodeErrorResult(Status::FailedPrecondition(
+                    "ingest queue full (" + std::to_string(queued_units_) +
+                    " events queued); retry later")));
+        return;
+      }
+      queued_units_ += units;
+      ingest_queue_.push_back(std::move(job));
+    }
+    queues_cv_.notify_all();
+  }
+
+  void EnqueueRead(ReadJob job) {
+    {
+      std::lock_guard<std::mutex> lock(queues_mu_);
+      if (read_queue_.size() >= options_.max_queued_reads) {
+        Respond(job.conn, MessageType::kError, job.request_id,
+                EncodeErrorResult(Status::FailedPrecondition(
+                    "read queue full (" +
+                    std::to_string(read_queue_.size()) +
+                    " queries queued); retry later")));
+        return;
+      }
+      read_queue_.push_back(std::move(job));
+    }
+    queues_cv_.notify_all();
+  }
+
+  // --- Ingest coalescer ------------------------------------------------------
+
+  void CoalescerLoop() {
+    while (true) {
+      std::vector<IngestJob> group;
+      {
+        std::unique_lock<std::mutex> lock(queues_mu_);
+        queues_cv_.wait(lock, [this] {
+          return stopping_ || !ingest_queue_.empty();
+        });
+        if (ingest_queue_.empty()) {
+          if (stopping_) return;  // Queue drained; done.
+          continue;
+        }
+        // Coalescing selects at most ONE Apply/ApplyBatch frame per
+        // connection per merged batch (the earliest queued), bounded by
+        // max_coalesced_events. Merging across connections is the whole
+        // point — it amortizes the sharded fan-out and group commit —
+        // while one-frame-per-connection keeps batch-scoped alert
+        // attribution exact: every alert a merged batch raises for a
+        // connection's subjects was raised by that connection's one
+        // frame in it. Per-connection FIFO is preserved (a connection's
+        // later frames are skipped, never overtaken by its own), and
+        // ApplyFix/Checkpoint act as per-connection barriers, applied
+        // alone when they reach the front.
+        IngestJob& front = ingest_queue_.front();
+        if (front.type == MessageType::kApplyFix ||
+            front.type == MessageType::kCheckpoint) {
+          queued_units_ -= UnitsOf(front);
+          group.push_back(std::move(front));
+          ingest_queue_.pop_front();
+        } else {
+          size_t events = 0;
+          size_t units = 0;
+          std::unordered_set<const Connection*> in_group;
+          std::unordered_set<const Connection*> blocked;
+          for (auto it = ingest_queue_.begin();
+               it != ingest_queue_.end();) {
+            const Connection* conn = it->conn.get();
+            const bool barrier = it->type == MessageType::kApplyFix ||
+                                 it->type == MessageType::kCheckpoint;
+            if (barrier || blocked.count(conn) > 0 ||
+                in_group.count(conn) > 0) {
+              // This connection contributes nothing more this round.
+              blocked.insert(conn);
+              ++it;
+              continue;
+            }
+            if (!group.empty() &&
+                events + it->events.size() >
+                    options_.max_coalesced_events) {
+              break;
+            }
+            events += it->events.size();
+            units += UnitsOf(*it);
+            in_group.insert(conn);
+            group.push_back(std::move(*it));
+            it = ingest_queue_.erase(it);
+          }
+          queued_units_ -= units;
+        }
+      }
+      const MessageType head = group.front().type;
+      if (head == MessageType::kApplyFix) {
+        ProcessFix(group.front());
+      } else if (head == MessageType::kCheckpoint) {
+        ProcessCheckpoint(group.front());
+      } else {
+        ProcessMergedBatch(&group);
+      }
+    }
+  }
+
+  void ProcessMergedBatch(std::vector<IngestJob>* group) {
+    // Merge: each frame's events stay contiguous in arrival order, so
+    // every connection's (hence every subject's, when subjects are not
+    // shared across connections) time order is preserved.
+    std::vector<AccessEvent> merged;
+    std::vector<size_t> offsets;
+    offsets.reserve(group->size());
+    for (const IngestJob& job : *group) {
+      offsets.push_back(merged.size());
+      merged.insert(merged.end(), job.events.begin(), job.events.end());
+    }
+
+    Result<BatchResult> result = [&]() -> Result<BatchResult> {
+      std::unique_lock<std::shared_mutex> lock(runtime_mu_);
+      return runtime_->ApplyBatch(merged);
+    }();
+    {
+      std::lock_guard<std::mutex> lock(coalescer_stats_mu_);
+      ++coalescer_stats_.merged_batches;
+      coalescer_stats_.merged_frames += group->size();
+      coalescer_stats_.max_frames_per_batch = std::max(
+          coalescer_stats_.max_frames_per_batch, group->size());
+      coalescer_stats_.merged_events += merged.size();
+    }
+    if (!result.ok()) {
+      // A whole-batch refusal: nothing was applied. A MERGED refusal can
+      // be the coalescer's own doing (individually-legal frames summing
+      // past the runtime's max_batch_events), so degrade to applying
+      // each frame alone — every frame then gets its own accurate
+      // verdict instead of inheriting its neighbors'. A single frame's
+      // refusal is final.
+      if (group->size() > 1) {
+        for (IngestJob& job : *group) {
+          std::vector<IngestJob> alone;
+          alone.push_back(std::move(job));
+          ProcessMergedBatch(&alone);
+        }
+        return;
+      }
+      const IngestJob& job = group->front();
+      Respond(job.conn, MessageType::kError, job.request_id,
+              EncodeErrorResult(result.status().WithContext(
+                  "batch refused; nothing applied")));
+      return;
+    }
+
+    // Demux decisions back to their frames by offset, and route alerts
+    // by subject: an alert belongs to the first frame of this merge that
+    // touched its subject. Alerts for subjects no frame touched (e.g.
+    // raised by an earlier ApplyFix whose subject went quiet) wait in
+    // pending_alerts_ for a later opportunity.
+    std::unordered_map<SubjectId, size_t> owner;
+    for (size_t i = 0; i < group->size(); ++i) {
+      for (const AccessEvent& e : (*group)[i].events) {
+        owner.emplace(e.subject, i);
+      }
+    }
+    std::vector<std::vector<Alert>> routed(group->size());
+    std::vector<Alert> still_pending;
+    auto route = [&](std::vector<Alert>& alerts) {
+      for (Alert& alert : alerts) {
+        auto it = owner.find(alert.subject);
+        if (it != owner.end()) {
+          routed[it->second].push_back(std::move(alert));
+        } else {
+          still_pending.push_back(std::move(alert));
+        }
+      }
+    };
+    route(pending_alerts_);
+    route(result->alerts);
+    pending_alerts_ = std::move(still_pending);
+
+    for (size_t i = 0; i < group->size(); ++i) {
+      const IngestJob& job = (*group)[i];
+      WireBatchResult wire;
+      const size_t begin = offsets[i];
+      const size_t end = begin + job.events.size();
+      wire.decisions.assign(result->decisions.begin() + begin,
+                            result->decisions.begin() + end);
+      wire.alerts = std::move(routed[i]);
+      SortAlerts(&wire.alerts);
+      wire.durability = result->durability;
+      const MessageType type = job.type == MessageType::kApply
+                                   ? MessageType::kApplyResult
+                                   : MessageType::kBatchResult;
+      Respond(job.conn, type, job.request_id, EncodeBatchResult(wire));
+    }
+  }
+
+  void ProcessFix(const IngestJob& job) {
+    WireFixResult wire;
+    {
+      std::unique_lock<std::shared_mutex> lock(runtime_mu_);
+      wire.status = runtime_->ApplyFix(job.fix);
+      std::vector<Alert> alerts = runtime_->DrainAlerts();
+      for (Alert& alert : alerts) {
+        if (alert.subject == job.fix.subject) {
+          wire.alerts.push_back(std::move(alert));
+        } else {
+          pending_alerts_.push_back(std::move(alert));
+        }
+      }
+    }
+    Respond(job.conn, MessageType::kFixResult, job.request_id,
+            EncodeFixResult(wire));
+  }
+
+  void ProcessCheckpoint(const IngestJob& job) {
+    Status status;
+    {
+      std::unique_lock<std::shared_mutex> lock(runtime_mu_);
+      status = runtime_->Checkpoint();
+    }
+    if (status.ok()) {
+      Respond(job.conn, MessageType::kCheckpointResult, job.request_id, "");
+    } else {
+      Respond(job.conn, MessageType::kError, job.request_id,
+              EncodeErrorResult(status));
+    }
+  }
+
+  // --- Read workers ----------------------------------------------------------
+
+  void ReadLoop() {
+    while (true) {
+      ReadJob job;
+      {
+        std::unique_lock<std::mutex> lock(queues_mu_);
+        queues_cv_.wait(lock, [this] {
+          return stopping_ || !read_queue_.empty();
+        });
+        if (read_queue_.empty()) {
+          if (stopping_) return;
+          continue;
+        }
+        job = std::move(read_queue_.front());
+        read_queue_.pop_front();
+      }
+      if (job.type == MessageType::kStats) {
+        RuntimeStats stats;
+        {
+          std::shared_lock<std::shared_mutex> lock(runtime_mu_);
+          stats = runtime_->Stats();
+        }
+        Respond(job.conn, MessageType::kStatsResult, job.request_id,
+                EncodeStatsResult(stats));
+        continue;
+      }
+      Result<QueryResult> result = [&]() -> Result<QueryResult> {
+        std::shared_lock<std::shared_mutex> lock(runtime_mu_);
+        return interpreter_->Run(job.statement);
+      }();
+      if (result.ok()) {
+        Respond(job.conn, MessageType::kQueryResult, job.request_id,
+                EncodeQueryResult(*result));
+      } else {
+        Respond(job.conn, MessageType::kError, job.request_id,
+                EncodeErrorResult(result.status()));
+      }
+    }
+  }
+
+  AccessRuntime* const runtime_;
+  const ServerOptions options_;
+  std::unique_ptr<QueryInterpreter> interpreter_;
+
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  uint16_t bound_port_ = 0;
+
+  std::thread io_thread_;
+  std::thread coalescer_thread_;
+  std::vector<std::thread> read_threads_;
+
+  /// I/O-thread-only connection table.
+  std::unordered_map<int, ConnectionPtr> connections_;
+
+  /// Writers (coalescer) take it exclusive; readers (query/stats
+  /// workers) take it shared. This is the entire concurrency contract
+  /// between the runtime's single-control-thread discipline and the
+  /// server's parallel read path.
+  std::shared_mutex runtime_mu_;
+
+  std::mutex queues_mu_;
+  std::condition_variable queues_cv_;
+  std::deque<IngestJob> ingest_queue_;
+  std::deque<ReadJob> read_queue_;
+  /// Queue units pending in ingest_queue_ (see UnitsOf).
+  size_t queued_units_ = 0;
+
+  /// Coalescer-thread-only: alerts drained but not yet attributable to
+  /// a frame (no frame in the merge touched their subject).
+  std::vector<Alert> pending_alerts_;
+
+  mutable std::mutex coalescer_stats_mu_;
+  CoalescerStats coalescer_stats_;
+};
+
+ServiceServer::ServiceServer(AccessRuntime* runtime, ServerOptions options)
+    : impl_(std::make_unique<Impl>(runtime, options)) {}
+
+ServiceServer::~ServiceServer() = default;
+
+Status ServiceServer::Start() { return impl_->Start(); }
+
+void ServiceServer::Stop() { impl_->Stop(); }
+
+uint16_t ServiceServer::bound_port() const { return impl_->bound_port(); }
+
+CoalescerStats ServiceServer::coalescer_stats() const {
+  return impl_->coalescer_stats();
+}
+
+}  // namespace ltam

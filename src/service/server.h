@@ -1,0 +1,123 @@
+// Copyright 2026 The LTAM Authors.
+// ltam-serve: the TCP front end over one AccessRuntime.
+//
+// AccessRuntime demands single-threaded event application (the same
+// discipline every engine below it requires), so a server cannot simply
+// hand each connection its own runtime calls. ServiceServer instead runs
+// three thread groups around one runtime:
+//
+//  - an I/O thread: poll()-driven acceptor + reader/writer for every
+//    connection. It assembles frames, answers Ping inline, and routes
+//    everything else to the queues below; it is the only thread that
+//    touches sockets.
+//  - the ingest coalescer: ONE thread that owns event application. It
+//    drains the ingest queue and merges Apply/ApplyBatch frames — at
+//    most one per connection per round, each frame's events contiguous
+//    and in order, so per-subject time order within a connection is
+//    preserved — into a single AccessRuntime::ApplyBatch call, then
+//    demultiplexes the decisions back to their originating frames by
+//    offset and routes the drained alerts to frames by subject (exact,
+//    because one round holds one frame per connection). This is the
+//    scaling mechanism: the sharded fan-out and the per-shard
+//    group-commit fsync are paid once per merged batch, not once per
+//    connection. ApplyFix and Checkpoint frames are per-connection
+//    barriers, applied alone when they reach the front of the queue.
+//  - read workers: a small pool answering Query (the query language over
+//    the runtime's MovementView) and Stats concurrently — they take the
+//    runtime lock shared, so reads run in parallel with each other and
+//    with all network I/O, and only exclude the coalescer's exclusive
+//    application window.
+//
+// Responses preserve per-connection order within the ingest path (the
+// coalescer is FIFO) but reads may overtake writes; every response
+// echoes its request_id, so pipelined clients demultiplex by id.
+
+#ifndef LTAM_SERVICE_SERVER_H_
+#define LTAM_SERVICE_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "runtime/access_runtime.h"
+#include "util/result.h"
+
+namespace ltam {
+
+/// Knobs for one ServiceServer.
+struct ServerOptions {
+  /// Listen address. Loopback by default: exposing an enforcement
+  /// runtime beyond the host is a deliberate decision.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 picks an ephemeral port (see bound_port()).
+  uint16_t port = 0;
+  /// Read worker pool size (Query/Stats concurrency).
+  uint32_t read_workers = 2;
+  /// Ceiling on events merged into one coalesced ApplyBatch. The
+  /// coalescer always takes at least one frame, so a single frame at the
+  /// wire maximum still applies.
+  size_t max_coalesced_events = 8192;
+  /// Ingest-queue backpressure: frames arriving while this many queue
+  /// units (one per event, minimum one per frame — so event-free
+  /// Checkpoint floods are bounded too) are already queued are refused
+  /// with kFailedPrecondition instead of buffering without bound.
+  size_t max_queued_events = 1u << 20;
+  /// Read-queue backpressure: Query/Stats frames beyond this many
+  /// queued are refused with kFailedPrecondition.
+  size_t max_queued_reads = 4096;
+  /// A connection whose unread response backlog exceeds this many bytes
+  /// (a client writing requests but never reading responses) is
+  /// dropped.
+  size_t max_connection_backlog_bytes = 64u << 20;
+  /// listen(2) backlog.
+  int listen_backlog = 64;
+};
+
+/// Counters describing what the coalescer actually merged — the
+/// observable proof that concurrent connections amortize into shared
+/// batches (asserted by tests, reported by benches).
+struct CoalescerStats {
+  /// Merged ApplyBatch calls issued to the runtime.
+  size_t merged_batches = 0;
+  /// Ingest frames those calls served.
+  size_t merged_frames = 0;
+  /// Largest number of frames served by one merged call.
+  size_t max_frames_per_batch = 0;
+  /// Events those calls carried.
+  size_t merged_events = 0;
+};
+
+/// One TCP server over one AccessRuntime. The runtime is borrowed: the
+/// caller keeps it alive for the server's lifetime and must not apply
+/// events to it concurrently (queries through rt->query() remain safe
+/// only before Start() and after Stop()).
+class ServiceServer {
+ public:
+  ServiceServer(AccessRuntime* runtime, ServerOptions options);
+  ~ServiceServer();
+  ServiceServer(const ServiceServer&) = delete;
+  ServiceServer& operator=(const ServiceServer&) = delete;
+
+  /// Binds, listens, and spawns the thread groups. kFailedPrecondition
+  /// when already started; IOError for socket failures.
+  Status Start();
+
+  /// Stops accepting, drains the ingest queue (queued frames still get
+  /// their responses' best effort), closes every connection, and joins
+  /// all threads. Idempotent.
+  void Stop();
+
+  /// The port actually bound (== options.port unless it was 0).
+  uint16_t bound_port() const;
+
+  /// Live coalescing counters.
+  CoalescerStats coalescer_stats() const;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_SERVICE_SERVER_H_

@@ -1,0 +1,50 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "service/shutdown.h"
+
+#include <csignal>
+
+#include <atomic>
+
+#include "util/logging.h"
+
+namespace ltam {
+
+namespace {
+
+std::atomic<bool> g_shutdown_requested{false};
+
+void HandleShutdownSignal(int /*signum*/) {
+  g_shutdown_requested.store(true, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void InstallShutdownSignalHandlers() {
+  struct sigaction action {};
+  action.sa_handler = HandleShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // No SA_RESTART: blocking reads must wake up.
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
+bool ShutdownRequested() {
+  return g_shutdown_requested.load(std::memory_order_relaxed);
+}
+
+void RequestShutdown(bool requested) {
+  g_shutdown_requested.store(requested, std::memory_order_relaxed);
+}
+
+Status CheckpointBeforeExit(AccessRuntime* runtime) {
+  if (runtime == nullptr || !runtime->Stats().durable) return Status::OK();
+  Status checkpointed = runtime->Checkpoint();
+  if (!checkpointed.ok()) {
+    LTAM_LOG_ERROR << "shutdown checkpoint failed: "
+                   << checkpointed.ToString();
+  }
+  return checkpointed;
+}
+
+}  // namespace ltam

@@ -297,4 +297,33 @@ Result<SystemState> LoadPolicyScript(const std::string& path) {
   return ParsePolicyScript(contents);
 }
 
+const char* DemoPolicyScript() {
+  return R"(
+# Demo policy: a slice of the paper's NTU campus.
+SITE NTU
+COMPOSITE SCE IN NTU
+ROOM SCE.GO IN SCE
+ROOM SCE.SectionA IN SCE
+ROOM SCE.SectionB IN SCE
+ROOM CAIS IN SCE
+EDGE SCE.GO SCE.SectionA
+EDGE SCE.SectionA SCE.SectionB
+EDGE SCE.SectionB CAIS
+ENTRY SCE.GO
+ENTRY SCE
+
+SUBJECT Alice
+SUBJECT Bob
+SUPERVISOR Alice Bob
+
+AUTH Alice CAIS ENTER [5,20] EXIT [15,50] TIMES 2
+AUTH Alice SCE.GO ENTER [0,30] EXIT [0,60]
+AUTH Alice SCE.SectionA ENTER [0,30] EXIT [0,60]
+AUTH Alice SCE.SectionB ENTER [0,40] EXIT [0,60]
+
+# Bob inherits Alice's CAIS rights (Example 1).
+RULE FROM 7 BASE 0 SUBJECT Supervisor_Of LABEL r1
+)";
+}
+
 }  // namespace ltam

@@ -53,6 +53,11 @@ Result<SystemState> ParsePolicyScript(const std::string& script);
 /// Reads and parses a policy script file.
 Result<SystemState> LoadPolicyScript(const std::string& path);
 
+/// The built-in demo policy (a slice of the paper's NTU campus with
+/// Alice, Bob, and Example 1's supervisor rule) that interactive hosts
+/// (ltam_shell, ltam_serve) fall back to when no script is given.
+const char* DemoPolicyScript();
+
 }  // namespace ltam
 
 #endif  // LTAM_STORAGE_POLICY_SCRIPT_H_

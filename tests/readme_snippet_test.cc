@@ -1,10 +1,12 @@
 // Copyright 2026 The LTAM Authors.
-// Keeps README.md honest: the quickstart snippet, compiled and executed
-// as written (modulo assertions replacing the comments).
+// Keeps README.md honest: the quickstart and serving snippets, compiled
+// and executed as written (modulo assertions replacing the comments).
 
 #include <gtest/gtest.h>
 
 #include "runtime/access_runtime.h"
+#include "service/client.h"
+#include "service/server.h"
 #include "test_util.h"
 
 namespace ltam {
@@ -48,6 +50,43 @@ TEST(ReadmeSnippetTest, QuickstartCompilesAndBehaves) {
 
   LocationId where = runtime->movements().CurrentLocation(alice);
   EXPECT_EQ(cais, where);  // "CAIS"
+}
+
+TEST(ReadmeSnippetTest, ServingSnippetCompilesAndBehaves) {
+  // The same world as the quickstart, served over loopback TCP.
+  SystemState state;
+  state.graph = MultilevelLocationGraph("Lab");
+  LocationId cais =
+      state.graph.AddPrimitive("CAIS", state.graph.root()).ValueOrDie();
+  ASSERT_OK(state.graph.SetEntry(cais));
+  SubjectId alice = state.profiles.AddSubject("Alice").ValueOrDie();
+  state.auth_db.Add(LocationTemporalAuthorization::Make(
+                        TimeInterval(10, 20), TimeInterval(10, 50),
+                        LocationAuthorization{alice, cais}, 2)
+                        .ValueOrDie());
+  std::unique_ptr<AccessRuntime> runtime =
+      AccessRuntime::Open(std::move(state)).ValueOrDie();
+  std::vector<AccessEvent> batch = {AccessEvent::Entry(12, alice, cais)};
+
+  // --- The README "Serving" snippet, as written. ---
+  ServiceServer server(runtime.get(), ServerOptions{});  // port 0: pick one
+  ASSERT_OK(server.Start());
+
+  auto client =
+      ServiceClient::Connect("127.0.0.1", server.bound_port()).ValueOrDie();
+  WireBatchResult r = client->ApplyBatch(batch).ValueOrDie();
+  QueryResult table = client->Query("OCCUPANTS OF CAIS AT 12").ValueOrDie();
+  RuntimeStats stats = client->Stats().ValueOrDie();
+  server.Stop();
+  // --- End of snippet. ---
+
+  ASSERT_EQ(1u, r.decisions.size());
+  EXPECT_TRUE(r.decisions[0].granted);
+  EXPECT_OK(r.durability);
+  ASSERT_EQ(1u, table.rows.size());
+  EXPECT_EQ("Alice", table.rows[0][0]);
+  EXPECT_EQ(1u, stats.events_applied);
+  EXPECT_EQ(1u, stats.batches_applied);
 }
 
 }  // namespace

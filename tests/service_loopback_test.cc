@@ -1,0 +1,475 @@
+// Copyright 2026 The LTAM Authors.
+// The ltam-serve loopback equivalence contract: the decision/alert
+// stream observed through the server from N concurrent client
+// connections is byte-identical to replaying the same per-subject
+// streams directly on AccessRuntime — for in-memory and
+// durable-sharded configurations — even though the server's ingest
+// coalescer merges the connections' frames into shared batches.
+// (Connections own disjoint subjects, the same independence property
+// the subject-sharded pipeline exploits, so interleaving cannot change
+// any decision.) Also under test: the pipelined client API actually
+// feeding the coalescer, remote queries/stats against the live server,
+// and the error paths (refused oversized batches, malformed queries).
+//
+// The whole suite is part of the TSan CI job: client threads, the I/O
+// thread, read workers, and the coalescer exercise every lock in
+// service/server.cc.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/access_runtime.h"
+#include "service/client.h"
+#include "service/server.h"
+#include "sim/graph_gen.h"
+#include "sim/workload.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace ltam {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr size_t kConnections = 4;
+
+struct World {
+  MultilevelLocationGraph graph;
+  UserProfileDatabase profiles;
+  AuthorizationDatabase auth_db;
+  std::vector<SubjectId> subjects;
+};
+
+World MakeWorld(uint64_t seed) {
+  World w;
+  w.graph = MakeGridGraph(5, 5).ValueOrDie();
+  w.subjects = GenerateSubjects(&w.profiles, 24);
+  Rng rng(seed);
+  AuthWorkloadOptions opt;
+  opt.coverage = 0.6;
+  opt.horizon = 400;
+  opt.min_len = 20;
+  opt.max_len = 120;
+  opt.max_entries = 3;
+  GenerateAuthorizations(w.graph, w.subjects, opt, &rng, &w.auth_db);
+  return w;
+}
+
+SystemState StateOf(const World& w) {
+  SystemState state;
+  state.graph = w.graph;
+  state.profiles = w.profiles;
+  state.auth_db = w.auth_db;
+  return state;
+}
+
+/// Per-connection workloads over DISJOINT subject sets (connection i
+/// owns subjects with index % kConnections == i).
+std::vector<std::vector<std::vector<AccessEvent>>> MakeConnectionStreams(
+    const World& w, uint64_t seed) {
+  std::vector<std::vector<std::vector<AccessEvent>>> streams(kConnections);
+  for (size_t c = 0; c < kConnections; ++c) {
+    std::vector<SubjectId> mine;
+    for (size_t i = c; i < w.subjects.size(); i += kConnections) {
+      mine.push_back(w.subjects[i]);
+    }
+    Rng rng(seed + c * 1000);
+    BatchWorkloadOptions opt;
+    opt.batch_size = 48;
+    opt.exit_fraction = 0.15;
+    opt.observe_fraction = 0.15;
+    streams[c] =
+        GenerateEventBatches(w.graph, mine, /*total_events=*/1200, opt, &rng);
+  }
+  return streams;
+}
+
+/// What one connection observed, batch by batch, rendered to bytes.
+struct ConnectionOutcome {
+  /// decisions[k] concatenates batch k's decision strings.
+  std::vector<std::string> decisions;
+  /// alerts[k] concatenates batch k's alert strings.
+  std::vector<std::string> alerts;
+};
+
+std::string DecisionBytes(const std::vector<Decision>& decisions) {
+  std::string out;
+  for (const Decision& d : decisions) {
+    out += d.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string AlertBytes(const std::vector<Alert>& alerts) {
+  std::string out;
+  for (const Alert& a : alerts) {
+    out += a.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+void PushOutcome(ConnectionOutcome* out, const WireBatchResult& r) {
+  out->decisions.push_back(DecisionBytes(r.decisions));
+  out->alerts.push_back(AlertBytes(r.alerts));
+}
+
+/// The reference: the same per-subject streams applied directly on the
+/// facade, round-robin across connections (any interleaving yields the
+/// same per-subject decisions — that independence is what makes the
+/// server's coalescing sound).
+std::vector<ConnectionOutcome> RunDirect(
+    const World& w,
+    const std::vector<std::vector<std::vector<AccessEvent>>>& streams,
+    RuntimeOptions options) {
+  std::vector<ConnectionOutcome> outcomes(streams.size());
+  Result<std::unique_ptr<AccessRuntime>> opened =
+      AccessRuntime::Open(StateOf(w), options);
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  if (!opened.ok()) return outcomes;
+  std::unique_ptr<AccessRuntime> rt = std::move(opened).ValueOrDie();
+  size_t max_batches = 0;
+  for (const auto& stream : streams) {
+    max_batches = std::max(max_batches, stream.size());
+  }
+  for (size_t k = 0; k < max_batches; ++k) {
+    for (size_t c = 0; c < streams.size(); ++c) {
+      if (k >= streams[c].size()) continue;
+      Result<BatchResult> r = rt->ApplyBatch(streams[c][k]);
+      EXPECT_TRUE(r.ok()) << r.status().ToString();
+      if (!r.ok()) continue;
+      EXPECT_OK(r->durability);
+      outcomes[c].decisions.push_back(DecisionBytes(r->decisions));
+      outcomes[c].alerts.push_back(AlertBytes(r->alerts));
+    }
+  }
+  return outcomes;
+}
+
+/// The system under test: one server, `streams.size()` concurrent
+/// client threads, each synchronously streaming its batches.
+std::vector<ConnectionOutcome> RunThroughServer(
+    const World& w,
+    const std::vector<std::vector<std::vector<AccessEvent>>>& streams,
+    RuntimeOptions options, CoalescerStats* coalescing = nullptr) {
+  std::vector<ConnectionOutcome> outcomes(streams.size());
+  Result<std::unique_ptr<AccessRuntime>> opened =
+      AccessRuntime::Open(StateOf(w), options);
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  if (!opened.ok()) return outcomes;
+  std::unique_ptr<AccessRuntime> rt = std::move(opened).ValueOrDie();
+  ServiceServer server(rt.get(), ServerOptions{});
+  Status started = server.Start();
+  EXPECT_TRUE(started.ok()) << started.ToString();
+  if (!started.ok()) return outcomes;
+  const uint16_t port = server.bound_port();
+
+  std::vector<std::thread> clients;
+  clients.reserve(streams.size());
+  for (size_t c = 0; c < streams.size(); ++c) {
+    clients.emplace_back([&, c] {
+      Result<std::unique_ptr<ServiceClient>> connected =
+          ServiceClient::Connect("127.0.0.1", port);
+      ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+      std::unique_ptr<ServiceClient> client =
+          std::move(connected).ValueOrDie();
+      for (const auto& batch : streams[c]) {
+        Result<WireBatchResult> r = client->ApplyBatch(batch);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        EXPECT_OK(r->durability);
+        outcomes[c].decisions.push_back(DecisionBytes(r->decisions));
+        outcomes[c].alerts.push_back(AlertBytes(r->alerts));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  if (coalescing != nullptr) *coalescing = server.coalescer_stats();
+  server.Stop();
+  return outcomes;
+}
+
+void ExpectByteIdentical(const std::vector<ConnectionOutcome>& expected,
+                         const std::vector<ConnectionOutcome>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t c = 0; c < expected.size(); ++c) {
+    SCOPED_TRACE("connection " + std::to_string(c));
+    ASSERT_EQ(expected[c].decisions.size(), actual[c].decisions.size());
+    for (size_t k = 0; k < expected[c].decisions.size(); ++k) {
+      ASSERT_EQ(expected[c].decisions[k], actual[c].decisions[k])
+          << "decision stream diverged at batch " << k;
+      ASSERT_EQ(expected[c].alerts[k], actual[c].alerts[k])
+          << "alert stream diverged at batch " << k;
+    }
+  }
+}
+
+class ServiceLoopbackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/ltam_service_loopback";
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string root_;
+};
+
+TEST_F(ServiceLoopbackTest, ConcurrentClientsMatchDirectFacadeInMemory) {
+  World w = MakeWorld(211);
+  auto streams = MakeConnectionStreams(w, 223);
+  RuntimeOptions options;
+  options.num_shards = 3;
+  std::vector<ConnectionOutcome> direct = RunDirect(w, streams, options);
+  CoalescerStats coalescing;
+  std::vector<ConnectionOutcome> served =
+      RunThroughServer(w, streams, options, &coalescing);
+  ExpectByteIdentical(direct, served);
+  // Every ingest frame went through a merged runtime batch.
+  size_t frames = 0;
+  for (const auto& stream : streams) frames += stream.size();
+  EXPECT_EQ(frames, coalescing.merged_frames);
+  EXPECT_GE(frames, coalescing.merged_batches);
+}
+
+TEST_F(ServiceLoopbackTest, ConcurrentClientsMatchDirectFacadeDurable) {
+  World w = MakeWorld(307);
+  auto streams = MakeConnectionStreams(w, 311);
+  fs::create_directories(root_ + "/direct");
+  fs::create_directories(root_ + "/served");
+  RuntimeOptions direct_options;
+  direct_options.num_shards = 3;
+  direct_options.durable_dir = root_ + "/direct";
+  RuntimeOptions served_options;
+  served_options.num_shards = 3;
+  served_options.durable_dir = root_ + "/served";
+  std::vector<ConnectionOutcome> direct =
+      RunDirect(w, streams, direct_options);
+  std::vector<ConnectionOutcome> served =
+      RunThroughServer(w, streams, served_options);
+  ExpectByteIdentical(direct, served);
+
+  // The durable directory the server wrote must recover to the same
+  // movement state the direct run reached.
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<AccessRuntime> direct_rt,
+      AccessRuntime::Open(SystemState(), direct_options));
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<AccessRuntime> served_rt,
+      AccessRuntime::Open(SystemState(), served_options));
+  for (SubjectId s : w.subjects) {
+    EXPECT_EQ(direct_rt->movements().CurrentLocation(s),
+              served_rt->movements().CurrentLocation(s))
+        << "subject " << s;
+  }
+}
+
+TEST_F(ServiceLoopbackTest, PipelinedBatchesFeedTheCoalescer) {
+  World w = MakeWorld(401);
+  auto streams = MakeConnectionStreams(w, 409);
+  RuntimeOptions options;
+  options.num_shards = 2;
+  std::vector<ConnectionOutcome> direct = RunDirect(w, streams, options);
+
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                       AccessRuntime::Open(StateOf(w), options));
+  ServiceServer server(rt.get(), ServerOptions{});
+  ASSERT_OK(server.Start());
+  std::vector<ConnectionOutcome> served(streams.size());
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < streams.size(); ++c) {
+    clients.emplace_back([&, c] {
+      Result<std::unique_ptr<ServiceClient>> connected =
+          ServiceClient::Connect("127.0.0.1", server.bound_port());
+      ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+      std::unique_ptr<ServiceClient> client =
+          std::move(connected).ValueOrDie();
+      // All batches in flight at once; responses come back in
+      // submission order (the ingest path is FIFO per connection).
+      std::vector<uint32_t> ids;
+      for (const auto& batch : streams[c]) {
+        Result<uint32_t> id = client->SubmitBatch(batch);
+        ASSERT_TRUE(id.ok()) << id.status().ToString();
+        ids.push_back(*id);
+      }
+      ASSERT_OK(client->Flush());
+      for (uint32_t id : ids) {
+        Result<ServiceClient::PipelinedBatch> r =
+            client->ReceiveBatchResult();
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        EXPECT_EQ(id, r->request_id);
+        PushOutcome(&served[c], r->result);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  CoalescerStats coalescing = server.coalescer_stats();
+  server.Stop();
+  ExpectByteIdentical(direct, served);
+  // A pipelined flood must actually coalesce: fewer runtime batches
+  // than ingest frames (each connection keeps ~25 frames in flight).
+  EXPECT_LT(coalescing.merged_batches, coalescing.merged_frames);
+  EXPECT_GE(coalescing.max_frames_per_batch, 2u);
+}
+
+TEST_F(ServiceLoopbackTest, RemoteQueriesAndStatsAnswerOverLiveRuntime) {
+  World w = MakeWorld(503);
+  RuntimeOptions options;
+  options.num_shards = 2;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                       AccessRuntime::Open(StateOf(w), options));
+  ServiceServer server(rt.get(), ServerOptions{});
+  ASSERT_OK(server.Start());
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<ServiceClient> client,
+      ServiceClient::Connect("127.0.0.1", server.bound_port()));
+
+  ASSERT_OK(client->Ping());
+
+  // Ingest through the wire, then read back through the wire: the
+  // query engine answers over the live MovementView.
+  LocationId door = w.graph.EntryPrimitives(w.graph.root())[0];
+  std::vector<AccessEvent> batch;
+  batch.push_back(AccessEvent::Observe(50, w.subjects[0], door));
+  ASSERT_OK_AND_ASSIGN(WireBatchResult applied, client->ApplyBatch(batch));
+  ASSERT_EQ(1u, applied.decisions.size());
+
+  ASSERT_OK_AND_ASSIGN(
+      QueryResult where,
+      client->Query("WHERE WAS u0 AT 60"));
+  ASSERT_EQ(1u, where.rows.size());
+  EXPECT_EQ(w.graph.location(door).name, where.rows[0][2]);
+
+  // A malformed statement maps to a structured error, not a dropped
+  // connection.
+  Result<QueryResult> bad = client->Query("FROBNICATE the pod bay doors");
+  EXPECT_FALSE(bad.ok());
+
+  // Stats through the wire equal the runtime's own counters.
+  ASSERT_OK_AND_ASSIGN(RuntimeStats remote, client->Stats());
+  RuntimeStats local = rt->Stats();  // Safe: no batch in flight.
+  EXPECT_EQ(local.num_shards, remote.num_shards);
+  EXPECT_EQ(local.batches_applied, remote.batches_applied);
+  EXPECT_EQ(local.events_applied, remote.events_applied);
+  EXPECT_EQ(local.requests_processed, remote.requests_processed);
+  EXPECT_EQ(1u, remote.events_applied);
+
+  server.Stop();
+}
+
+TEST_F(ServiceLoopbackTest, OversizedBatchIsRefusedAndCounted) {
+  World w = MakeWorld(601);
+  RuntimeOptions options;
+  options.max_batch_events = 4;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                       AccessRuntime::Open(StateOf(w), options));
+  ServiceServer server(rt.get(), ServerOptions{});
+  ASSERT_OK(server.Start());
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<ServiceClient> client,
+      ServiceClient::Connect("127.0.0.1", server.bound_port()));
+
+  std::vector<AccessEvent> oversized;
+  for (int i = 0; i < 8; ++i) {
+    oversized.push_back(AccessEvent::Entry(i + 1, w.subjects[0], 1));
+  }
+  Result<WireBatchResult> refused = client->ApplyBatch(oversized);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsInvalidArgument())
+      << refused.status().ToString();
+
+  // The refusal is visible in the runtime's own counters — the same
+  // numbers the shell and the /stats endpoint report.
+  ASSERT_OK_AND_ASSIGN(RuntimeStats stats, client->Stats());
+  EXPECT_EQ(1u, stats.batches_rejected);
+  EXPECT_EQ(0u, stats.batches_applied);
+
+  // A fitting batch still applies afterwards.
+  std::vector<AccessEvent> small(oversized.begin(), oversized.begin() + 2);
+  ASSERT_OK_AND_ASSIGN(WireBatchResult ok, client->ApplyBatch(small));
+  EXPECT_EQ(2u, ok.decisions.size());
+
+  server.Stop();
+}
+
+TEST_F(ServiceLoopbackTest, CoalescedOverflowFallsBackToPerFrameBatches) {
+  // Individually-legal frames must not be refused just because the
+  // coalescer merged them past the runtime's max_batch_events: the
+  // server degrades to per-frame application. Two pipelined
+  // connections flood 3-event frames at a 4-event runtime ceiling, so
+  // any merge of two frames (6 events) would trip it.
+  World w = MakeWorld(809);
+  RuntimeOptions options;
+  options.max_batch_events = 4;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                       AccessRuntime::Open(StateOf(w), options));
+  ServiceServer server(rt.get(), ServerOptions{});
+  ASSERT_OK(server.Start());
+  constexpr size_t kFrames = 20;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      Result<std::unique_ptr<ServiceClient>> connected =
+          ServiceClient::Connect("127.0.0.1", server.bound_port());
+      ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+      std::unique_ptr<ServiceClient> client =
+          std::move(connected).ValueOrDie();
+      SubjectId mine = w.subjects[c];
+      std::vector<uint32_t> ids;
+      for (size_t k = 0; k < kFrames; ++k) {
+        std::vector<AccessEvent> batch;
+        for (int i = 0; i < 3; ++i) {
+          batch.push_back(AccessEvent::Entry(
+              static_cast<Chronon>(k * 3 + i + 1), mine, 1));
+        }
+        Result<uint32_t> id = client->SubmitBatch(batch);
+        ASSERT_TRUE(id.ok()) << id.status().ToString();
+        ids.push_back(*id);
+      }
+      ASSERT_OK(client->Flush());
+      for (uint32_t id : ids) {
+        Result<ServiceClient::PipelinedBatch> r =
+            client->ReceiveBatchResult();
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        EXPECT_EQ(id, r->request_id);
+        EXPECT_EQ(3u, r->result.decisions.size());
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.Stop();
+  // Every event applied; no frame inherited a neighbor's refusal.
+  RuntimeStats stats = rt->Stats();
+  EXPECT_EQ(2 * kFrames * 3, stats.events_applied);
+}
+
+TEST_F(ServiceLoopbackTest, RemoteCheckpointAdvancesTheEpoch) {
+  World w = MakeWorld(701);
+  fs::create_directories(root_ + "/ckpt");
+  RuntimeOptions options;
+  options.num_shards = 2;
+  options.durable_dir = root_ + "/ckpt";
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                       AccessRuntime::Open(StateOf(w), options));
+  ServiceServer server(rt.get(), ServerOptions{});
+  ASSERT_OK(server.Start());
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<ServiceClient> client,
+      ServiceClient::Connect("127.0.0.1", server.bound_port()));
+
+  ASSERT_OK_AND_ASSIGN(RuntimeStats before, client->Stats());
+  ASSERT_OK(client->Checkpoint());
+  ASSERT_OK_AND_ASSIGN(RuntimeStats after, client->Stats());
+  EXPECT_TRUE(after.durable);
+  EXPECT_GT(after.epoch, before.epoch);
+
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace ltam
