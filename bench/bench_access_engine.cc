@@ -160,7 +160,8 @@ struct BatchWorld {
   size_t total_events = 0;
 };
 
-BatchWorld MakeBatchWorld() {
+BatchWorld MakeBatchWorld(size_t batch_size = 2048,
+                          size_t total_events = 16384) {
   BatchWorld w;
   // Campus of 16 buildings x 12 rooms, 256 subjects, dense coverage —
   // the "whole campus under tracking" shape of Section 1.
@@ -176,11 +177,11 @@ BatchWorld MakeBatchWorld() {
   auth_opt.max_entries = 0;  // Unlimited: keeps replays ledger-independent.
   GenerateAuthorizations(w.graph, w.subjects, auth_opt, &rng, &w.auth_db);
   BatchWorkloadOptions batch_opt;
-  batch_opt.batch_size = 2048;
+  batch_opt.batch_size = batch_size;
   batch_opt.exit_fraction = 0.1;
   batch_opt.observe_fraction = 0.1;
   batch_opt.max_step = 3;
-  w.batches = GenerateEventBatches(w.graph, w.subjects, /*total_events=*/16384,
+  w.batches = GenerateEventBatches(w.graph, w.subjects, total_events,
                                    batch_opt, &rng);
   for (const auto& b : w.batches) w.total_events += b.size();
   return w;
@@ -333,6 +334,11 @@ void RunDurableBatches(benchmark::State& state, RuntimeOptions options,
     for (const auto& batch : w.batches) {
       benchmark::DoNotOptimize(rt->ApplyBatch(batch));
     }
+    // Same durability for every mode: a pipelined run must land its
+    // in-flight fsyncs inside the timed region, or the comparison
+    // against sync mode would be flattering fiction.
+    Status durable = rt->WaitDurable();
+    benchmark::DoNotOptimize(durable);
     state.PauseTiming();
     rt.reset();
     std::filesystem::remove_all(dir);
@@ -352,8 +358,14 @@ BENCHMARK(BM_DurableBatchSequential)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Args: {shards, batch_size}. The 2048-event batches are the
+// compute-bound shape (a handful of fsyncs per run); the 128-event
+// batches are the fsync-bound shape — 128 batches, each paying one
+// group commit per shard in sync mode — where the sync discipline is
+// what the benchmark measures.
+
 void BM_DurableBatchSharded(benchmark::State& state) {
-  BatchWorld w = MakeBatchWorld();
+  BatchWorld w = MakeBatchWorld(static_cast<size_t>(state.range(1)));
   RuntimeOptions options;
   options.num_shards = static_cast<uint32_t>(state.range(0));
   options.engine = QuietEngineOptions();
@@ -361,9 +373,53 @@ void BM_DurableBatchSharded(benchmark::State& state) {
   RunDurableBatches(state, options, w);
 }
 BENCHMARK(BM_DurableBatchSharded)
-    ->Arg(1)
-    ->Arg(4)
-    ->Arg(8)
+    ->Args({1, 2048})
+    ->Args({4, 2048})
+    ->Args({1, 128})
+    ->Args({4, 128})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Commit pipelining: same stream, same crash-safety data path, but the
+// per-shard fsync moves off the batch's critical path onto a dedicated
+// log thread (kPipelined: bounded by pipeline_depth/max_unsynced_bytes;
+// kInterval: timed). Every iteration ends with WaitDurable(), so the
+// measured work includes full durability — the win is amortizing fsyncs
+// across batches and overlapping them with the next batch's appends,
+// and it shows on the fsync-bound (small-batch) configurations.
+
+void BM_DurableBatchShardedPipelined(benchmark::State& state) {
+  BatchWorld w = MakeBatchWorld(static_cast<size_t>(state.range(1)));
+  RuntimeOptions options;
+  options.num_shards = static_cast<uint32_t>(state.range(0));
+  options.engine = QuietEngineOptions();
+  options.durability.mode = SyncMode::kPipelined;
+  state.counters["shards"] = static_cast<double>(options.num_shards);
+  RunDurableBatches(state, options, w);
+}
+BENCHMARK(BM_DurableBatchShardedPipelined)
+    ->Args({1, 2048})
+    ->Args({4, 2048})
+    ->Args({1, 128})
+    ->Args({4, 128})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_DurableBatchShardedInterval(benchmark::State& state) {
+  BatchWorld w = MakeBatchWorld(static_cast<size_t>(state.range(1)));
+  RuntimeOptions options;
+  options.num_shards = static_cast<uint32_t>(state.range(0));
+  options.engine = QuietEngineOptions();
+  options.durability.mode = SyncMode::kInterval;
+  options.durability.sync_interval_ms = 5;
+  state.counters["shards"] = static_cast<double>(options.num_shards);
+  RunDurableBatches(state, options, w);
+}
+BENCHMARK(BM_DurableBatchShardedInterval)
+    ->Args({1, 2048})
+    ->Args({4, 2048})
+    ->Args({1, 128})
+    ->Args({4, 128})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -183,6 +185,104 @@ void BM_ServiceLoopbackBatch(benchmark::State& state) {
 BENCHMARK(BM_ServiceLoopbackBatch)
     ->Arg(1)
     ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// --- Durable serving: group commit on vs off the critical path --------------
+//
+// The same loopback flood against a crash-safe runtime. In batch mode
+// every merged batch pays its per-shard fsync before the ack; in
+// pipelined mode the coalescer acks as soon as the decisions are out
+// and merges the next round while the log threads fsync the last one.
+// Each iteration ends with a Checkpoint-free WaitDurable barrier via
+// server Stop + runtime reset (the log destructors drain and sync), so
+// both modes deliver identical durability.
+
+std::string MakeServiceBenchDir() {
+  std::string tmpl = std::filesystem::temp_directory_path().string() +
+                     "/ltam_svc_bench_XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  if (made == nullptr) std::abort();
+  return tmpl;
+}
+
+void RunServiceLoopbackDurable(benchmark::State& state, SyncMode mode) {
+  ServiceWorld w = MakeServiceWorld();
+  const uint32_t shards = 4;
+  state.counters["shards"] = static_cast<double>(shards);
+  state.counters["connections"] = static_cast<double>(kStreams);
+  size_t merged_batches = 0;
+  size_t merged_frames = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string dir = MakeServiceBenchDir();
+    RuntimeOptions options = QuietOptions(shards);
+    options.durable_dir = dir;
+    options.durability.mode = mode;
+    auto rt = AccessRuntime::Open(InitStateOf(w), options).ValueOrDie();
+    ServiceServer server(rt.get(), ServerOptions{});
+    if (!server.Start().ok()) {
+      state.SkipWithError("server failed to start");
+      return;
+    }
+    std::vector<std::unique_ptr<ServiceClient>> clients;
+    for (size_t c = 0; c < w.streams.size(); ++c) {
+      auto client = ServiceClient::Connect("127.0.0.1", server.bound_port());
+      if (!client.ok()) {
+        state.SkipWithError("client failed to connect");
+        return;
+      }
+      clients.push_back(std::move(client).ValueOrDie());
+    }
+    state.ResumeTiming();
+    std::vector<std::thread> threads;
+    threads.reserve(clients.size());
+    for (size_t c = 0; c < clients.size(); ++c) {
+      threads.emplace_back([&, c] {
+        ServiceClient* client = clients[c].get();
+        size_t submitted = 0;
+        for (const auto& batch : w.streams[c]) {
+          if (client->SubmitBatch(batch).ok()) ++submitted;
+        }
+        if (!client->Flush().ok()) return;
+        for (size_t i = 0; i < submitted; ++i) {
+          if (!client->ReceiveBatchResult().ok()) return;
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    // Equalize durability across modes before the clock stops.
+    benchmark::DoNotOptimize(rt->WaitDurable());
+    state.PauseTiming();
+    CoalescerStats stats = server.coalescer_stats();
+    merged_batches += stats.merged_batches;
+    merged_frames += stats.merged_frames;
+    server.Stop();
+    clients.clear();
+    rt.reset();
+    std::filesystem::remove_all(dir);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * w.total_events));
+  if (merged_batches > 0) {
+    state.counters["frames_per_merge"] =
+        static_cast<double>(merged_frames) /
+        static_cast<double>(merged_batches);
+  }
+}
+
+void BM_ServiceLoopbackBatchDurable(benchmark::State& state) {
+  RunServiceLoopbackDurable(state, SyncMode::kBatch);
+}
+BENCHMARK(BM_ServiceLoopbackBatchDurable)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ServiceLoopbackBatchPipelined(benchmark::State& state) {
+  RunServiceLoopbackDurable(state, SyncMode::kPipelined);
+}
+BENCHMARK(BM_ServiceLoopbackBatchPipelined)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

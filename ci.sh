@@ -8,7 +8,8 @@
 #   ./ci.sh tsan       # ThreadSanitizer build, concurrency-relevant tests
 #   ./ci.sh examples   # build + run every example binary (facade surface)
 #   ./ci.sh service    # ltam_serve round-trip + concurrent smoke + shutdown
-#   ./ci.sh bench      # facade vs loopback-server throughput -> BENCH_pr4.json
+#   ./ci.sh bench      # facade vs loopback-server throughput -> BENCH_pr4.json,
+#                      # durable sync vs pipelined vs interval -> BENCH_pr5.json
 #
 # Every future PR is expected to pass `./ci.sh` locally; the tier-1 gate
 # is exactly the ROADMAP verify command. For a quick pre-commit signal,
@@ -46,7 +47,8 @@ tsan() {
   local targets=(sharded_engine_test auth_cache_test auth_database_test
                  engine_test movement_db_test durable_sharded_test
                  durable_equivalence_test access_runtime_test
-                 movement_view_test service_loopback_test)
+                 movement_view_test service_loopback_test
+                 log_pipeline_test)
   cmake --build build-tsan -j"$JOBS" --target "${targets[@]}"
   for t in "${targets[@]}"; do
     "./build-tsan/tests/$t"
@@ -111,9 +113,9 @@ service() {
 }
 
 bench() {
-  echo "=== bench: facade vs loopback-server throughput -> BENCH_pr4.json ==="
+  echo "=== bench: loopback overhead -> BENCH_pr4.json, durability modes -> BENCH_pr5.json ==="
   cmake -B build -S .
-  if ! cmake --build build -j"$JOBS" --target bench_service; then
+  if ! cmake --build build -j"$JOBS" --target bench_service bench_access_engine; then
     echo "bench: google-benchmark not available; skipping" >&2
     return 0
   fi
@@ -123,10 +125,39 @@ bench() {
   # the gap is the network + coalescing overhead, and frames_per_merge
   # reports how much the coalescer amortizes.
   ./build/bench/bench_service \
-    --benchmark_filter='FacadeBatch|ServiceLoopbackBatch' \
+    --benchmark_filter='FacadeBatch|ServiceLoopbackBatch$' \
     --benchmark_min_time=0.05 \
     --benchmark_out=BENCH_pr4.json --benchmark_out_format=json
   echo "bench: wrote $(pwd)/BENCH_pr4.json"
+  # PR 5: the durable write path's three sync modes on the identical
+  # stream (every iteration ends at the same durability barrier, so the
+  # comparison is honest), plus the durable loopback server in batch vs
+  # pipelined mode. Pipelined throughput must be >= sync mode.
+  # Longer min time than the service benches: the durable modes differ
+  # by tens of percent with ~10% run-to-run noise at 1-2 iterations.
+  ./build/bench/bench_access_engine \
+    --benchmark_filter='BM_DurableBatch' \
+    --benchmark_min_time=0.2 \
+    --benchmark_out=BENCH_pr5_durable.json --benchmark_out_format=json
+  ./build/bench/bench_service \
+    --benchmark_filter='ServiceLoopbackBatch(Durable|Pipelined)' \
+    --benchmark_min_time=0.05 \
+    --benchmark_out=BENCH_pr5_service.json --benchmark_out_format=json
+  python3 - <<'EOF'
+import json
+out = None
+for path in ("BENCH_pr5_durable.json", "BENCH_pr5_service.json"):
+    with open(path) as f:
+        part = json.load(f)
+    if out is None:
+        out = part
+    else:
+        out["benchmarks"].extend(part["benchmarks"])
+with open("BENCH_pr5.json", "w") as f:
+    json.dump(out, f, indent=1)
+EOF
+  rm -f BENCH_pr5_durable.json BENCH_pr5_service.json
+  echo "bench: wrote $(pwd)/BENCH_pr5.json"
 }
 
 case "${1:-all}" in

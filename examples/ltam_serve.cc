@@ -14,6 +14,13 @@
 //   --durable=DIR     crash-safe runtime rooted at DIR (must exist)
 //   --policy=FILE     policy script (default: built-in demo policy)
 //   --max-batch=N     per-ApplyBatch event ceiling (default 65536)
+//   --sync-mode=M     durable write path: batch (fsync per batch, the
+//                     default), pipelined (per-shard log threads batch
+//                     fsyncs across merged batches), interval (timed
+//                     fsyncs)
+//   --pipeline-depth=N   pipelined: batches per fsync (default 4)
+//   --sync-interval-ms=N interval: fsync cadence (default 5)
+//   --wal-segment-mb=N   rotate WAL segments at N MiB (default 64)
 //
 // Shutdown discipline (shared with ltam_shell): SIGINT/SIGTERM stop the
 // server, then a durable runtime checkpoints before the process exits,
@@ -60,11 +67,30 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--max-batch=", 0) == 0) {
       runtime_options.max_batch_events =
           static_cast<size_t>(std::atoll(value(12).c_str()));
+    } else if (arg.rfind("--sync-mode=", 0) == 0) {
+      Result<SyncMode> mode = ParseSyncMode(value(12));
+      if (!mode.ok()) {
+        std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
+        return 2;
+      }
+      runtime_options.durability.mode = *mode;
+    } else if (arg.rfind("--pipeline-depth=", 0) == 0) {
+      runtime_options.durability.pipeline_depth =
+          static_cast<size_t>(std::max(1, std::atoi(value(17).c_str())));
+    } else if (arg.rfind("--sync-interval-ms=", 0) == 0) {
+      runtime_options.durability.sync_interval_ms = static_cast<uint32_t>(
+          std::max(1, std::atoi(value(19).c_str())));
+    } else if (arg.rfind("--wal-segment-mb=", 0) == 0) {
+      runtime_options.durability.segment_max_bytes =
+          static_cast<size_t>(std::max(1, std::atoi(value(17).c_str())))
+          << 20;
     } else {
       std::fprintf(stderr,
                    "unknown flag '%s'\nusage: ltam_serve [--port=N] "
                    "[--host=ADDR] [--shards=N] [--durable=DIR] "
-                   "[--policy=FILE] [--max-batch=N]\n",
+                   "[--policy=FILE] [--max-batch=N] [--sync-mode=M] "
+                   "[--pipeline-depth=N] [--sync-interval-ms=N] "
+                   "[--wal-segment-mb=N]\n",
                    arg.c_str());
       return 2;
     }
@@ -99,10 +125,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   RuntimeStats stats = runtime->Stats();
-  std::printf("ltam_serve: listening on %s:%u (%u shard%s, %s)\n",
+  std::printf("ltam_serve: listening on %s:%u (%u shard%s, %s, %s sync)\n",
               server_options.host.c_str(), server.bound_port(),
               stats.num_shards, stats.num_shards == 1 ? "" : "s",
-              stats.durable ? "durable" : "in-memory");
+              stats.durable ? "durable" : "in-memory",
+              SyncModeToString(runtime_options.durability.mode));
   std::fflush(stdout);
 
   // Park until SIGINT/SIGTERM; the handler latches the flag and this

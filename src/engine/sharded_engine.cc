@@ -158,20 +158,24 @@ void ShardedDecisionEngine::WorkerLoop(Shard* shard) {
     for (size_t i : shard->todo) {
       const AccessEvent& event = current_batch_[i];
       if (hooks_.before_apply) {
-        Status logged = hooks_.before_apply(shard->index, event);
+        Result<CommitTicket> logged = hooks_.before_apply(shard->index, event);
         if (!logged.ok()) {
           // Write-ahead contract: an event that could not be logged is
           // refused, never applied — state must not run ahead of the log.
           decisions_[i] = Decision::Deny(DenyReason::kWalError);
-          RecordAppendError(std::move(logged));
+          RecordAppendError(logged.status());
           continue;
         }
       }
       decisions_[i] = ApplyAccessEvent(&shard->engine, event);
     }
     if (hooks_.after_batch) {
-      Status synced = hooks_.after_batch(shard->index);
-      if (!synced.ok()) RecordSyncError(std::move(synced));
+      Result<CommitTicket> boundary = hooks_.after_batch(shard->index);
+      if (boundary.ok()) {
+        batch_tickets_[shard->index] = *boundary;
+      } else {
+        RecordSyncError(boundary.status());
+      }
     }
     shard->todo.clear();
     shard->has_work = false;
@@ -186,6 +190,7 @@ std::vector<Decision> ShardedDecisionEngine::EvaluateBatch(
     Span<const AccessEvent> batch) {
   ++batches_evaluated_;
   decisions_.assign(batch.size(), Decision());
+  batch_tickets_.assign(shards_.size(), CommitTicket{});
   current_batch_ = batch;
 
   std::vector<std::vector<size_t>> parts(shards_.size());

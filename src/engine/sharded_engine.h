@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "engine/access_control_engine.h"
+#include "storage/log_pipeline.h"
 #include "util/span.h"
 
 namespace ltam {
@@ -74,19 +75,30 @@ Status ComposeDurabilityError(Status append_error, Status sync_error);
 
 /// Per-shard worker callbacks, the seam the durable runtime plugs into.
 /// Both run on the shard's worker thread.
+///
+/// Both hooks return a CommitTicket instead of blocking on durability:
+/// a synchronous group-commit implementation may return only after its
+/// fsync (the ticket is then already durable), while a pipelined log
+/// returns the record's sequence number immediately and lets the shard's
+/// log thread make it durable later — the caller redeems the ticket
+/// through the log's WaitDurable.
 struct ShardHooks {
   /// Invoked for every event before it is applied (write-ahead: append
   /// the event to the shard's log here). A non-OK status refuses the
   /// event — it is NOT applied and its decision becomes
-  /// Deny(kWalError) — so state never runs ahead of the log.
-  std::function<Status(uint32_t shard, const AccessEvent& event)> before_apply;
+  /// Deny(kWalError) — so state never runs ahead of the *accepted* log.
+  /// Pipelined logs never refuse here (acceptance happened; failures
+  /// surface through the durability watermark instead).
+  std::function<Result<CommitTicket>(uint32_t shard, const AccessEvent& event)>
+      before_apply;
   /// Invoked once per batch per participating shard, after its whole
-  /// slice has been appended and applied — the group-commit barrier
-  /// (e.g. one WalWriter::Sync instead of an fsync per event). A non-OK
-  /// status is reported through TakeBatchError but does NOT undo the
-  /// slice: the events are applied and logged, only their durability is
-  /// in doubt.
-  std::function<Status(uint32_t shard)> after_batch;
+  /// slice has been appended and applied — the group-commit boundary
+  /// (one fsync in batch mode; a pipeline-group mark otherwise). The
+  /// ticket covers the shard's whole slice and is recorded per shard
+  /// (see batch_tickets()). A non-OK status is reported through
+  /// TakeBatchError but does NOT undo the slice: the events are applied,
+  /// only their durability is in doubt.
+  std::function<Result<CommitTicket>(uint32_t shard)> after_batch;
 };
 
 /// A batch-oriented, subject-sharded front end over N AccessControlEngine
@@ -142,6 +154,13 @@ class ShardedDecisionEngine {
   /// in doubt, which must never be masked by a mere append refusal
   /// (those are already visible as Deny(kWalError) decisions).
   Status TakeBatchError();
+
+  /// The last batch's per-shard commit tickets, indexed by shard (seq 0
+  /// for shards that contributed nothing or whose boundary hook
+  /// failed). Valid until the next EvaluateBatch.
+  const std::vector<CommitTicket>& batch_tickets() const {
+    return batch_tickets_;
+  }
 
   /// Mutable access to one shard's movement view, for recovery seeding
   /// (restoring a snapshot segment before the first batch).
@@ -213,6 +232,9 @@ class ShardedDecisionEngine {
   Span<const AccessEvent> current_batch_;
   /// Output slots; workers write disjoint indices.
   std::vector<Decision> decisions_;
+  /// Per-shard commit tickets of the in-flight batch; each worker
+  /// writes only its own slot.
+  std::vector<CommitTicket> batch_tickets_;
 
   /// Completion latch for the in-flight batch.
   std::mutex done_mu_;

@@ -3,6 +3,7 @@
 #include "runtime/access_runtime.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "core/rules/rule_engine.h"
@@ -69,6 +70,13 @@ class AccessRuntime::Backend {
   virtual std::vector<Alert> DrainAlerts() = 0;
   virtual size_t pending_alerts() const = 0;
   virtual Status Checkpoint() = 0;
+  /// Durability barrier (no-op on in-memory backends, which are always
+  /// "durable" to the extent they can be).
+  virtual Status WaitDurable() { return Status::OK(); }
+  /// Records accepted vs fsynced. In-memory backends return nothing;
+  /// the facade substitutes its applied-event counter (durable ==
+  /// applied by definition there).
+  virtual DurabilityWatermark Watermark() const { return {}; }
   virtual MutableStores Stores() = 0;
   /// Restores invariants a mutation may have broken (e.g. re-warms the
   /// graph's flattened adjacency cache before workers read it again).
@@ -233,10 +241,12 @@ class AccessRuntime::ShardedBackend final : public Backend {
 class AccessRuntime::DurableSequentialBackend final : public Backend {
  public:
   DurableSequentialBackend(std::unique_ptr<DurableSystem> sys,
-                           bool sync_every_batch, bool shard_override)
+                           const RuntimeOptions& options, bool shard_override)
       : sys_(std::move(sys)),
-        sync_every_batch_(sync_every_batch),
-        shard_override_(shard_override) {}
+        durability_(options.durability),
+        sync_every_batch_(options.sync_every_batch),
+        shard_override_(shard_override),
+        last_sync_(std::chrono::steady_clock::now()) {}
 
   Result<std::vector<Decision>> ApplyBatch(Span<const AccessEvent> batch,
                                            Status* durability) override {
@@ -254,8 +264,7 @@ class AccessRuntime::DurableSequentialBackend final : public Backend {
         if (append_error.ok()) append_error = decision.status();
       }
     }
-    Status sync_error;
-    if (sync_every_batch_) sync_error = sys_->Sync();
+    Status sync_error = SyncPerPolicy();
     *durability = ComposeDurabilityError(std::move(append_error),
                                          std::move(sync_error));
     return out;
@@ -263,10 +272,8 @@ class AccessRuntime::DurableSequentialBackend final : public Backend {
 
   Status Tick(Chronon t) override {
     Status ticked = sys_->Tick(t);
-    if (sync_every_batch_) {
-      Status synced = sys_->Sync();
-      if (!synced.ok() && ticked.ok()) return synced;
-    }
+    Status synced = SyncPerPolicy();
+    if (!synced.ok() && ticked.ok()) return synced;
     return ticked;
   }
 
@@ -282,6 +289,17 @@ class AccessRuntime::DurableSequentialBackend final : public Backend {
   }
 
   Status Checkpoint() override { return sys_->Checkpoint(); }
+
+  Status WaitDurable() override {
+    if (sys_->total_synced() >= sys_->total_appended()) return Status::OK();
+    Status synced = sys_->Sync();
+    if (synced.ok()) ResetSyncPolicy();
+    return synced;
+  }
+
+  DurabilityWatermark Watermark() const override {
+    return DurabilityWatermark{sys_->total_appended(), sys_->total_synced()};
+  }
 
   MutableStores Stores() override {
     SystemState& state = sys_->mutable_state();
@@ -310,14 +328,53 @@ class AccessRuntime::DurableSequentialBackend final : public Backend {
     stats->wal_events = sys_->wal_events();
     stats->requests_processed = sys_->engine().requests_processed();
     stats->requests_granted = sys_->engine().requests_granted();
+    stats->wal_append_failures = sys_->wal_append_failures();
+    stats->wal_sync_failures = sys_->wal_sync_failures();
   }
 
  private:
+  /// The sequential runtime has no log thread; pipelined modes are
+  /// emulated by deferring the group commit — every pipeline_depth
+  /// batches (kPipelined) or sync_interval_ms (kInterval) — with the
+  /// same watermark and barrier semantics as the sharded pipeline.
+  Status SyncPerPolicy() {
+    switch (durability_.mode) {
+      case SyncMode::kBatch:
+        if (!sync_every_batch_) return Status::OK();
+        break;
+      case SyncMode::kPipelined:
+        if (++batches_since_sync_ <
+            std::max<size_t>(1, durability_.pipeline_depth)) {
+          return Status::OK();
+        }
+        break;
+      case SyncMode::kInterval: {
+        auto interval = std::chrono::milliseconds(
+            std::max<uint32_t>(1, durability_.sync_interval_ms));
+        if (std::chrono::steady_clock::now() - last_sync_ < interval) {
+          return Status::OK();
+        }
+        break;
+      }
+    }
+    Status synced = sys_->Sync();
+    if (synced.ok()) ResetSyncPolicy();
+    return synced;
+  }
+
+  void ResetSyncPolicy() {
+    batches_since_sync_ = 0;
+    last_sync_ = std::chrono::steady_clock::now();
+  }
+
   std::unique_ptr<DurableSystem> sys_;
+  DurabilityOptions durability_;
   bool sync_every_batch_;
   /// True when the caller asked for >1 shard but the directory holds a
   /// committed sequential state (which wins).
   bool shard_override_;
+  size_t batches_since_sync_ = 0;
+  std::chrono::steady_clock::time_point last_sync_;
 };
 
 // --- Durable sharded ---------------------------------------------------------
@@ -341,6 +398,10 @@ class AccessRuntime::DurableShardedBackend final : public Backend {
   }
 
   Status Checkpoint() override { return sys_->Checkpoint(); }
+
+  Status WaitDurable() override { return sys_->WaitDurable(); }
+
+  DurabilityWatermark Watermark() const override { return sys_->Watermark(); }
 
   MutableStores Stores() override {
     SystemState& base = sys_->mutable_base();
@@ -373,6 +434,8 @@ class AccessRuntime::DurableShardedBackend final : public Backend {
     stats->wal_events = sys_->wal_events();
     stats->requests_processed = sys_->engine().requests_processed();
     stats->requests_granted = sys_->engine().requests_granted();
+    stats->wal_append_failures = sys_->wal_append_failures();
+    stats->wal_sync_failures = sys_->wal_sync_failures();
   }
 
  private:
@@ -416,6 +479,7 @@ Result<std::unique_ptr<AccessRuntime>> AccessRuntime::Open(
       sharded_options.num_shards = options.num_shards;
       sharded_options.engine = options.engine;
       sharded_options.sync_every_batch = options.sync_every_batch;
+      sharded_options.durability = options.durability;
       LTAM_ASSIGN_OR_RETURN(
           std::unique_ptr<DurableShardedSystem> sys,
           DurableShardedSystem::Open(dir, std::move(initial),
@@ -432,8 +496,7 @@ Result<std::unique_ptr<AccessRuntime>> AccessRuntime::Open(
         LTAM_RETURN_IF_ERROR(sys->Checkpoint());
       }
       rt->backend_ = std::make_unique<DurableSequentialBackend>(
-          std::move(sys), options.sync_every_batch,
-          /*shard_override=*/want_sharded);
+          std::move(sys), options, /*shard_override=*/want_sharded);
       if (want_sharded) {
         LTAM_LOG_WARNING << "durable directory '" << dir
                          << "' holds a sequential runtime; requested "
@@ -499,6 +562,7 @@ Result<BatchResult> AccessRuntime::ApplyBatch(Span<const AccessEvent> batch) {
   ++batches_applied_;
   events_applied_ += batch.size();
   events_refused_ += CountRefusedEvents(out.decisions, out.durability);
+  out.watermark = Watermark();
   return out;
 }
 
@@ -600,6 +664,17 @@ Status AccessRuntime::Checkpoint() {
   return backend_->Checkpoint();
 }
 
+Status AccessRuntime::WaitDurable() { return backend_->WaitDurable(); }
+
+DurabilityWatermark AccessRuntime::Watermark() const {
+  if (!options_.durable_dir.has_value()) {
+    // In-memory: every applied event is as durable as it will ever be.
+    const uint64_t applied = static_cast<uint64_t>(events_applied_);
+    return DurabilityWatermark{applied, applied};
+  }
+  return backend_->Watermark();
+}
+
 RuntimeStats AccessRuntime::Stats() const {
   RuntimeStats stats;
   stats.requested_shards = options_.num_shards;
@@ -609,6 +684,9 @@ RuntimeStats AccessRuntime::Stats() const {
   stats.events_refused = events_refused_;
   stats.batches_rejected = batches_rejected_;
   stats.pending_alerts = backend_->pending_alerts();
+  const DurabilityWatermark mark = Watermark();
+  stats.applied_offset = mark.applied;
+  stats.durable_offset = mark.durable;
   return stats;
 }
 
@@ -639,7 +717,12 @@ std::string RuntimeStatsToString(const RuntimeStats& stats) {
   if (stats.durable) {
     line("epoch", std::to_string(stats.epoch));
     line("wal-events", std::to_string(stats.wal_events));
+    line("wal-append-failures", std::to_string(stats.wal_append_failures));
+    line("wal-sync-failures", std::to_string(stats.wal_sync_failures));
   }
+  line("durability-watermark", std::to_string(stats.durable_offset) + "/" +
+                                   std::to_string(stats.applied_offset) +
+                                   " durable/applied");
   line("requests-processed", std::to_string(stats.requests_processed));
   line("requests-granted", std::to_string(stats.requests_granted));
   line("batches-applied", std::to_string(stats.batches_applied));

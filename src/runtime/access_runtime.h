@@ -43,6 +43,7 @@
 #include "engine/location_resolver.h"
 #include "query/movement_view.h"
 #include "query/query_engine.h"
+#include "storage/log_pipeline.h"
 #include "storage/snapshot.h"
 #include "util/result.h"
 #include "util/span.h"
@@ -62,10 +63,23 @@ struct RuntimeOptions {
   std::optional<std::string> durable_dir;
   /// Per-engine decision/monitoring knobs.
   EngineOptions engine;
-  /// Durable backends: fsync the log(s) once per Apply/ApplyBatch/Tick
-  /// (group commit). Disable only where the OS page cache is an
-  /// acceptable durability boundary.
+  /// Durable backends, SyncMode::kBatch only: fsync the log(s) once per
+  /// Apply/ApplyBatch/Tick (group commit). Disable only where the OS
+  /// page cache is an acceptable durability boundary. Pipelined modes
+  /// ignore it — their cadence comes from `durability`.
   bool sync_every_batch = true;
+  /// Durable backends: the write path's sync mode and pipelining
+  /// bounds. kBatch (the default) keeps the fsync on each batch's
+  /// critical path and is byte-identical to the pre-pipelining
+  /// behavior; kPipelined/kInterval move it to per-shard log threads —
+  /// ApplyBatch then returns before its fsync lands, and callers choose
+  /// latency vs durability per call via BatchResult::watermark and
+  /// WaitDurable(). Also carries the WAL segment rotation threshold.
+  /// The sequential durable backend emulates the pipelined modes by
+  /// deferring its group commit (every `pipeline_depth` batches /
+  /// `sync_interval_ms`) — it has no log thread, but the watermark and
+  /// barrier semantics are identical.
+  DurabilityOptions durability;
   /// Ceiling on events per ApplyBatch call (0 = unlimited). An oversized
   /// batch is rejected whole with kInvalidArgument — nothing is applied —
   /// and counted in RuntimeStats::batches_rejected. Network front ends
@@ -101,6 +115,12 @@ struct BatchResult {
   /// failure wins the status (with the append error in its context), so
   /// the more severe outcome is never masked.
   Status durability;
+  /// The runtime's durability position after this batch: log records
+  /// accepted (events applied) vs fsynced. In-memory backends and
+  /// kBatch+sync_every_batch report durable == applied; pipelined modes
+  /// may trail until the log threads catch up (or WaitDurable forces
+  /// it).
+  DurabilityWatermark watermark;
 };
 
 /// A point-in-time snapshot of runtime counters and configuration.
@@ -134,6 +154,16 @@ struct RuntimeStats {
   size_t batches_rejected = 0;
   /// Alerts raised but not yet drained.
   size_t pending_alerts = 0;
+  /// The durability watermark: records accepted (events applied) vs
+  /// fsynced. Equal on in-memory backends and in sync-every-batch mode;
+  /// durable trails applied while pipelined fsyncs are in flight.
+  uint64_t applied_offset = 0;
+  uint64_t durable_offset = 0;
+  /// Physical log failures observed (see BatchResult::durability for
+  /// the per-batch view): appends that refused or lost records, fsyncs
+  /// that failed. Zero on in-memory backends.
+  uint64_t wal_append_failures = 0;
+  uint64_t wal_sync_failures = 0;
 };
 
 /// The mutable stores handed to Mutate() callbacks. Movement state is
@@ -209,6 +239,17 @@ class AccessRuntime {
   /// Checkpoint() (see RuntimeOptions::checkpoint_after_mutate) to keep
   /// recovery equivalent to the live state.
   Status Mutate(const std::function<Status(const MutableStores&)>& fn);
+
+  /// Durability barrier: blocks until every accepted log record is
+  /// fsynced (forcing the flush on pipelined backends), or returns the
+  /// log's sticky error. In-memory backends and kBatch+sync_every_batch
+  /// runtimes return OK immediately. Checkpoint() is the stronger
+  /// barrier (it also persists snapshots and truncates the logs).
+  Status WaitDurable();
+
+  /// The current durability position (see BatchResult::watermark).
+  /// In-memory backends report durable == applied.
+  DurabilityWatermark Watermark() const;
 
   /// Durable backends: persist the full state (a new epoch on sharded
   /// directories) and truncate the log(s). In-memory backends: a no-op

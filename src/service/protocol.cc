@@ -472,6 +472,8 @@ std::string EncodeBatchResult(const WireBatchResult& result) {
   PutU32(&out, static_cast<uint32_t>(result.alerts.size()));
   for (const Alert& a : result.alerts) PutAlert(&out, a);
   PutStatus(&out, result.durability);
+  PutU64(&out, result.watermark.applied);
+  PutU64(&out, result.watermark.durable);
   return out;
 }
 
@@ -502,6 +504,11 @@ Result<WireBatchResult> DecodeBatchResult(const std::string& payload) {
   }
   if (!ReadStatus(&r, &result.durability)) {
     return Status::ParseError("batch-result: malformed durability status");
+  }
+  if (!r.ReadU64(&result.watermark.applied) ||
+      !r.ReadU64(&result.watermark.durable) ||
+      result.watermark.durable > result.watermark.applied) {
+    return Status::ParseError("batch-result: malformed durability watermark");
   }
   LTAM_RETURN_IF_ERROR(r.Finish("batch-result"));
   return result;
@@ -596,6 +603,10 @@ std::string EncodeStatsResult(const RuntimeStats& stats) {
   PutU64(&out, stats.events_refused);
   PutU64(&out, stats.batches_rejected);
   PutU64(&out, stats.pending_alerts);
+  PutU64(&out, stats.applied_offset);
+  PutU64(&out, stats.durable_offset);
+  PutU64(&out, stats.wal_append_failures);
+  PutU64(&out, stats.wal_sync_failures);
   return out;
 }
 
@@ -610,8 +621,12 @@ Result<RuntimeStats> DecodeStatsResult(const std::string& payload) {
       !r.ReadU64(&stats.epoch) || !r.ReadU64(&wal_events) ||
       !r.ReadU64(&processed) || !r.ReadU64(&granted) ||
       !r.ReadU64(&batches) || !r.ReadU64(&events) || !r.ReadU64(&refused) ||
-      !r.ReadU64(&rejected) || !r.ReadU64(&pending) || durable > 1 ||
-      overridden > 1) {
+      !r.ReadU64(&rejected) || !r.ReadU64(&pending) ||
+      !r.ReadU64(&stats.applied_offset) ||
+      !r.ReadU64(&stats.durable_offset) ||
+      !r.ReadU64(&stats.wal_append_failures) ||
+      !r.ReadU64(&stats.wal_sync_failures) || durable > 1 ||
+      overridden > 1 || stats.durable_offset > stats.applied_offset) {
     return Status::ParseError("stats-result: malformed stats");
   }
   LTAM_RETURN_IF_ERROR(r.Finish("stats-result"));

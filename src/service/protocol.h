@@ -40,8 +40,11 @@
 namespace ltam {
 
 /// Protocol version this build speaks. Frames with any other version are
-/// rejected (there is exactly one deployed version so far).
-inline constexpr uint8_t kWireVersion = 1;
+/// rejected — that rejection is the ONLY compatibility mechanism, so any
+/// payload-shape change must bump this. v1 was the PR-4 protocol; v2
+/// added the durability watermark to batch results and the
+/// watermark/WAL-failure fields to stats results.
+inline constexpr uint8_t kWireVersion = 2;
 
 /// "LTAM" as a little-endian u32 ('L' is the first byte on the wire).
 inline constexpr uint32_t kWireMagic = 0x4D41544Cu;
@@ -153,12 +156,16 @@ Result<std::string> DecodeQueryRequest(const std::string& payload);
 
 /// What one Apply/ApplyBatch produced, as seen through the wire: the
 /// per-event decisions, the alerts the server attributed to this frame
-/// (routed by subject out of the coalesced batch), and the durability
-/// outcome of the underlying AccessRuntime::ApplyBatch.
+/// (routed by subject out of the coalesced batch), the durability
+/// outcome of the underlying AccessRuntime::ApplyBatch, and the
+/// runtime's durability watermark at that moment (under a pipelined
+/// server the ack arrives before the fsync — durable < applied tells
+/// the client exactly how far the crash-proof prefix reaches).
 struct WireBatchResult {
   std::vector<Decision> decisions;
   std::vector<Alert> alerts;
   Status durability;
+  DurabilityWatermark watermark;
 };
 
 /// kApplyResult and kBatchResult share this payload encoding (an Apply

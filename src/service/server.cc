@@ -168,6 +168,7 @@ class ServiceServer::Impl {
     ingest_queue_.clear();
     read_queue_.clear();
     queued_units_ = 0;
+    conn_queued_units_.clear();
     CloseListen();
     if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
     if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
@@ -477,10 +478,37 @@ class ServiceServer::Impl {
                     " events queued); retry later")));
         return;
       }
+      // Per-connection quota: one flooding client is refused on ITS
+      // share long before it can exhaust the global budget and starve
+      // every other connection.
+      size_t& conn_units = conn_queued_units_[job.conn.get()];
+      if (conn_units + units > options_.max_connection_queued_events) {
+        if (conn_units == 0) conn_queued_units_.erase(job.conn.get());
+        {
+          std::lock_guard<std::mutex> stats_lock(coalescer_stats_mu_);
+          ++coalescer_stats_.connection_quota_refusals;
+        }
+        Respond(job.conn, MessageType::kError, job.request_id,
+                EncodeErrorResult(Status::FailedPrecondition(
+                    "connection ingest quota full (" +
+                    std::to_string(conn_units) +
+                    " events queued on this connection); read responses or "
+                    "retry later")));
+        return;
+      }
+      conn_units += units;
       queued_units_ += units;
       ingest_queue_.push_back(std::move(job));
     }
     queues_cv_.notify_all();
+  }
+
+  /// Returns `units` of quota for `conn`. Caller holds queues_mu_.
+  void ReleaseConnUnits(const Connection* conn, size_t units) {
+    auto it = conn_queued_units_.find(conn);
+    if (it == conn_queued_units_.end()) return;
+    it->second -= std::min(it->second, units);
+    if (it->second == 0) conn_queued_units_.erase(it);
   }
 
   void EnqueueRead(ReadJob job) {
@@ -527,7 +555,9 @@ class ServiceServer::Impl {
         IngestJob& front = ingest_queue_.front();
         if (front.type == MessageType::kApplyFix ||
             front.type == MessageType::kCheckpoint) {
-          queued_units_ -= UnitsOf(front);
+          const size_t front_units = UnitsOf(front);
+          queued_units_ -= front_units;
+          ReleaseConnUnits(front.conn.get(), front_units);
           group.push_back(std::move(front));
           ingest_queue_.pop_front();
         } else {
@@ -554,6 +584,7 @@ class ServiceServer::Impl {
             }
             events += it->events.size();
             units += UnitsOf(*it);
+            ReleaseConnUnits(conn, UnitsOf(*it));
             in_group.insert(conn);
             group.push_back(std::move(*it));
             it = ingest_queue_.erase(it);
@@ -655,6 +686,7 @@ class ServiceServer::Impl {
       wire.alerts = std::move(routed[i]);
       SortAlerts(&wire.alerts);
       wire.durability = result->durability;
+      wire.watermark = result->watermark;
       const MessageType type = job.type == MessageType::kApply
                                    ? MessageType::kApplyResult
                                    : MessageType::kBatchResult;
@@ -765,6 +797,10 @@ class ServiceServer::Impl {
   std::deque<ReadJob> read_queue_;
   /// Queue units pending in ingest_queue_ (see UnitsOf).
   size_t queued_units_ = 0;
+  /// Per-connection share of queued_units_, for the connection quota.
+  /// Guarded by queues_mu_; keyed by raw pointer (jobs hold the
+  /// ConnectionPtr alive until they leave the queue).
+  std::unordered_map<const Connection*, size_t> conn_queued_units_;
 
   /// Coalescer-thread-only: alerts drained but not yet attributable to
   /// a frame (no frame in the merge touched their subject).

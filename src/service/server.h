@@ -31,6 +31,16 @@
 // Responses preserve per-connection order within the ingest path (the
 // coalescer is FIFO) but reads may overtake writes; every response
 // echoes its request_id, so pipelined clients demultiplex by id.
+//
+// Commit pipelining (RuntimeOptions::durability, ltam_serve
+// --sync-mode=pipelined|interval): ApplyBatch on a pipelined runtime
+// returns as soon as the decisions are computed and the log records
+// queued — the fsync happens on the runtime's per-shard log threads. The
+// coalescer therefore acks each frame's decisions immediately and merges
+// the NEXT round while the previous round's fsync is still in flight;
+// clients that need the stronger guarantee read the durability watermark
+// echoed in every batch result (and in Stats) or issue a Checkpoint
+// barrier.
 
 #ifndef LTAM_SERVICE_SERVER_H_
 #define LTAM_SERVICE_SERVER_H_
@@ -62,6 +72,12 @@ struct ServerOptions {
   /// Checkpoint floods are bounded too) are already queued are refused
   /// with kFailedPrecondition instead of buffering without bound.
   size_t max_queued_events = 1u << 20;
+  /// Per-connection ingest quota, in the same queue units: one client
+  /// flooding pipelined frames is refused once ITS queued share crosses
+  /// this, long before it can exhaust the global budget and starve
+  /// every other connection. Refusals are counted in
+  /// CoalescerStats::connection_quota_refusals.
+  size_t max_connection_queued_events = 1u << 16;
   /// Read-queue backpressure: Query/Stats frames beyond this many
   /// queued are refused with kFailedPrecondition.
   size_t max_queued_reads = 4096;
@@ -85,6 +101,10 @@ struct CoalescerStats {
   size_t max_frames_per_batch = 0;
   /// Events those calls carried.
   size_t merged_events = 0;
+  /// Ingest frames refused because their connection's queued share
+  /// exceeded ServerOptions::max_connection_queued_events (the global
+  /// max_queued_events refusals are not counted here).
+  size_t connection_quota_refusals = 0;
 };
 
 /// One TCP server over one AccessRuntime. The runtime is borrowed: the

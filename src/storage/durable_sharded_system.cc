@@ -14,14 +14,56 @@
 
 namespace ltam {
 
+namespace {
+
+Result<uint64_t> SizeOfFile(const std::string& path) {
+  struct ::stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IOError("cannot stat '" + path + "'");
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+/// True when the file is empty or ends with a newline — i.e. no torn
+/// final record. Non-final rotated segments were fully fsynced before
+/// their successor existed, so a torn tail there is data loss, not a
+/// crash window.
+Result<bool> SegmentEndsClean(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open segment '" + path + "'");
+  }
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IOError("cannot seek segment '" + path + "'");
+  }
+  long size = std::ftell(f);
+  if (size <= 0) {
+    std::fclose(f);
+    return size == 0 ? Result<bool>(true)
+                     : Result<bool>(Status::IOError("cannot size segment '" +
+                                                    path + "'"));
+  }
+  if (std::fseek(f, -1, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IOError("cannot seek segment '" + path + "'");
+  }
+  int last = std::fgetc(f);
+  std::fclose(f);
+  return last == '\n';
+}
+
+}  // namespace
+
 DurableShardedSystem::DurableShardedSystem(std::string dir,
                                            DurableShardedOptions options)
     : dir_(std::move(dir)), options_(options) {}
 
 DurableShardedSystem::~DurableShardedSystem() {
-  // Join the workers before the WAL writers they append through go away.
+  // Join the workers before the logs they append through go away; the
+  // log destructors then drain + best-effort-sync their queues.
   engine_.reset();
-  wals_.clear();
+  logs_.clear();
 }
 
 std::string DurableShardedSystem::FilePath(const std::string& name) const {
@@ -38,10 +80,12 @@ std::string DurableShardedSystem::ShardSnapName(uint32_t shard,
          ".snap";
 }
 
-std::string DurableShardedSystem::ShardWalName(uint32_t shard,
-                                               uint64_t epoch) const {
-  return "events-" + std::to_string(shard) + "-" + std::to_string(epoch) +
-         ".wal";
+std::string DurableShardedSystem::ShardWalName(uint32_t shard, uint64_t epoch,
+                                               uint32_t segment) const {
+  std::string name =
+      "events-" + std::to_string(shard) + "-" + std::to_string(epoch);
+  if (segment > 0) name += "-" + std::to_string(segment);
+  return name + ".wal";
 }
 
 void DurableShardedSystem::InitEngine(uint32_t num_shards) {
@@ -67,45 +111,105 @@ void DurableShardedSystem::RebuildShardStays(uint32_t k) {
                   SubjectsOnShard(base_.profiles, *engine_, k));
 }
 
+Result<WalWriter> DurableShardedSystem::RotateShardSegment(
+    uint32_t shard, uint32_t next_segment) {
+  // Serialized against rotations on other shards' log threads and
+  // against Checkpoint's WriteEpoch (all republish the shared
+  // manifest). Ordering makes the overlap with Checkpoint unreachable
+  // anyway: a log finishes rotating before its sync advertises
+  // durability, so a barrier-woken Checkpoint never finds a rotation
+  // mid-flight — the mutex keeps the MANIFEST path single-writer even
+  // if that reasoning ever rots.
+  std::lock_guard<std::mutex> lock(manifest_mu_);
+  const std::string name = ShardWalName(shard, manifest_.epoch, next_segment);
+  LTAM_ASSIGN_OR_RETURN(WalWriter writer, WalWriter::Create(FilePath(name)));
+  LTAM_RETURN_IF_ERROR(SyncDir(dir_));
+  // Commit the extended segment list BEFORE any append reaches the new
+  // file: a record in a segment the manifest does not name would be
+  // durable on disk yet invisible to recovery.
+  ShardManifest next = manifest_;
+  next.shards[shard].wals.push_back(name);
+  LTAM_RETURN_IF_ERROR(SaveManifest(next, FilePath(ManifestFileName())));
+  manifest_ = std::move(next);
+  return writer;
+}
+
+std::unique_ptr<ShardLog> DurableShardedSystem::MakeShardLog(
+    uint32_t shard, WalWriter writer, uint64_t writer_bytes,
+    uint32_t segment_index) {
+  return std::make_unique<ShardLog>(
+      std::move(writer), writer_bytes, segment_index, options_.durability,
+      options_.sync_every_batch,
+      [this, shard](uint32_t next_segment) {
+        return RotateShardSegment(shard, next_segment);
+      });
+}
+
 Status DurableShardedSystem::ReplayShardLogs(const ShardManifest& manifest) {
   const uint32_t n = engine_->num_shards();
   std::vector<Status> results(n, Status::OK());
   std::vector<std::thread> replayers;
   replayers.reserve(n);
   for (uint32_t k = 0; k < n; ++k) {
-    const std::string path = FilePath(manifest.shards[k].wal);
-    if (!FileExists(path)) {
-      // WriteEpoch creates every WAL before the manifest rename commits
-      // them, so a committed cut whose log vanished is data loss, not a
-      // crash window — refuse to silently drop the shard's tail.
-      results[k] = Status::IOError("shard WAL '" + path +
+    const std::vector<std::string>& segments = manifest.shards[k].wals;
+    Status prepared;
+    for (size_t s = 0; s < segments.size() && prepared.ok(); ++s) {
+      const std::string path = FilePath(segments[s]);
+      if (!FileExists(path)) {
+        // Every committed segment was created (and the directory
+        // fsynced) before the manifest named it, so a committed cut
+        // whose log vanished is data loss, not a crash window — refuse
+        // to silently drop the shard's tail.
+        prepared = Status::IOError("shard WAL segment '" + path +
                                    "' named by the manifest is missing");
-      continue;
-    }
-    // Repair a torn final record now, before replay and before any new
-    // append lands on the same line as the torn bytes.
-    Result<size_t> dropped = TruncateTornWalTail(path);
-    if (!dropped.ok()) {
-      results[k] = dropped.status();
-      continue;
-    }
-    // Parallel replay is safe under the live pipeline's discipline: each
-    // log holds only its own shard's subjects (validated below), so no
-    // two replayers ever touch the same subject's records.
-    replayers.emplace_back([this, k, path, &results] {
-      AccessControlEngine& shard_engine = engine_->shard_engine(k);
-      results[k] = ReplayWal(path, [&](const Record& rec) -> Status {
-        LTAM_ASSIGN_OR_RETURN(LoggedEvent event, DecodeEventRecord(rec));
-        if (!event.is_tick &&
-            engine_->ShardOf(event.event.subject) != k) {
-          return Status::ParseError(
-              "log for shard " + std::to_string(k) +
-              " contains foreign subject " +
-              std::to_string(event.event.subject));
+        break;
+      }
+      if (s + 1 < segments.size()) {
+        // Rotation fsyncs a segment before its successor exists, so a
+        // non-final segment must end on a record boundary.
+        Result<bool> clean = SegmentEndsClean(path);
+        if (!clean.ok()) {
+          prepared = clean.status();
+        } else if (!*clean) {
+          prepared = Status::IOError(
+              "rotated WAL segment '" + path +
+              "' has a torn tail but is not the final segment (data loss)");
         }
-        ApplyLoggedEvent(&shard_engine, event);
-        return Status::OK();
-      });
+      } else {
+        // Repair the final segment's torn record now, before replay and
+        // before any new append lands on the same line as the torn
+        // bytes.
+        Result<size_t> dropped = TruncateTornWalTail(path);
+        if (!dropped.ok()) prepared = dropped.status();
+      }
+    }
+    if (!prepared.ok()) {
+      results[k] = std::move(prepared);
+      continue;
+    }
+    // Parallel replay across shards is safe under the live pipeline's
+    // discipline: each log holds only its own shard's subjects
+    // (validated below), so no two replayers ever touch the same
+    // subject's records. Within a shard, segments replay incrementally
+    // in committed order.
+    replayers.emplace_back([this, k, segments, &results] {
+      AccessControlEngine& shard_engine = engine_->shard_engine(k);
+      for (const std::string& segment : segments) {
+        results[k] =
+            ReplayWal(FilePath(segment), [&](const Record& rec) -> Status {
+              LTAM_ASSIGN_OR_RETURN(LoggedEvent event, DecodeEventRecord(rec));
+              if (!event.is_tick &&
+                  engine_->ShardOf(event.event.subject) != k) {
+                return Status::ParseError(
+                    "log for shard " + std::to_string(k) +
+                    " contains foreign subject " +
+                    std::to_string(event.event.subject));
+              }
+              ApplyLoggedEvent(&shard_engine, event);
+              return Status::OK();
+            });
+        if (!results[k].ok()) return;
+      }
     });
   }
   for (std::thread& t : replayers) t.join();
@@ -117,8 +221,7 @@ Status DurableShardedSystem::ReplayShardLogs(const ShardManifest& manifest) {
   return Status::OK();
 }
 
-Status DurableShardedSystem::WriteEpoch(uint64_t epoch,
-                                        ShardManifest* out_manifest) {
+Status DurableShardedSystem::WriteEpoch(uint64_t epoch) {
   const uint32_t n = engine_->num_shards();
   ShardManifest m;
   m.epoch = epoch;
@@ -127,8 +230,9 @@ Status DurableShardedSystem::WriteEpoch(uint64_t epoch,
   LTAM_RETURN_IF_ERROR(SaveSnapshot(base_, FilePath(m.base_snapshot)));
   LTAM_RETURN_IF_ERROR(SyncFile(FilePath(m.base_snapshot)));
   for (uint32_t k = 0; k < n; ++k) {
-    ShardManifest::ShardFiles files{ShardSnapName(k, epoch),
-                                    ShardWalName(k, epoch)};
+    ShardManifest::ShardFiles files;
+    files.snapshot = ShardSnapName(k, epoch);
+    files.wals = {ShardWalName(k, epoch)};
     LTAM_RETURN_IF_ERROR(
         SaveMovements(engine_->shard_movements(k), FilePath(files.snapshot)));
     LTAM_RETURN_IF_ERROR(SyncFile(FilePath(files.snapshot)));
@@ -136,40 +240,58 @@ Status DurableShardedSystem::WriteEpoch(uint64_t epoch,
   }
   // Fresh, empty logs for the new epoch (truncating any orphan a crashed
   // earlier attempt at this epoch left behind).
-  std::vector<std::unique_ptr<WalWriter>> fresh;
+  std::vector<WalWriter> fresh;
   fresh.reserve(n);
   for (uint32_t k = 0; k < n; ++k) {
     LTAM_ASSIGN_OR_RETURN(WalWriter wal,
-                          WalWriter::Create(FilePath(m.shards[k].wal)));
-    fresh.push_back(std::make_unique<WalWriter>(std::move(wal)));
+                          WalWriter::Create(FilePath(m.shards[k].wals[0])));
+    fresh.push_back(std::move(wal));
   }
   // The commit point: everything above becomes the recovered state the
-  // instant this rename lands.
-  LTAM_RETURN_IF_ERROR(SaveManifest(m, FilePath(ManifestFileName())));
-  wals_ = std::move(fresh);
-  *out_manifest = std::move(m);
+  // instant this rename lands. Published under manifest_mu_ so it can
+  // never interleave with a rotation's republication on a log thread
+  // (rotation also completes before a sync advertises durability, so a
+  // barrier-woken Checkpoint cannot overlap one — the lock is
+  // belt-and-braces for the shared MANIFEST/MANIFEST.tmp path).
+  {
+    std::lock_guard<std::mutex> lock(manifest_mu_);
+    LTAM_RETURN_IF_ERROR(SaveManifest(m, FilePath(ManifestFileName())));
+    manifest_ = std::move(m);
+  }
+  // Retire the old log generation: everything it accepted is durable
+  // now (the snapshot carries the live state, lost pipelined tails
+  // included), and its counters must survive the swap.
+  for (const std::unique_ptr<ShardLog>& log : logs_) {
+    retired_records_ += log->appended_seq();
+    retired_append_failures_ += log->append_failures();
+    retired_sync_failures_ += log->sync_failures();
+  }
+  logs_.clear();  // Joins the old log threads before their files go.
+  for (uint32_t k = 0; k < n; ++k) {
+    logs_.push_back(MakeShardLog(k, std::move(fresh[k]), /*writer_bytes=*/0,
+                                 /*segment_index=*/0));
+  }
   return Status::OK();
 }
 
-void DurableShardedSystem::RemoveEpochFiles(uint64_t epoch) {
-  const uint32_t n = engine_->num_shards();
-  std::remove(FilePath(BaseSnapName(epoch)).c_str());
-  for (uint32_t k = 0; k < n; ++k) {
-    std::remove(FilePath(ShardSnapName(k, epoch)).c_str());
-    std::remove(FilePath(ShardWalName(k, epoch)).c_str());
+void DurableShardedSystem::RemoveEpochFiles(const ShardManifest& old_manifest) {
+  std::remove(FilePath(old_manifest.base_snapshot).c_str());
+  for (const ShardManifest::ShardFiles& files : old_manifest.shards) {
+    std::remove(FilePath(files.snapshot).c_str());
+    for (const std::string& wal : files.wals) {
+      std::remove(FilePath(wal).c_str());
+    }
   }
 }
 
 void DurableShardedSystem::InstallHooks() {
   ShardHooks hooks;
   hooks.before_apply = [this](uint32_t shard, const AccessEvent& event) {
-    return wals_[shard]->Append(EncodeEventRecord(event));
+    return logs_[shard]->Append(EncodeEventRecord(event));
   };
-  if (options_.sync_every_batch) {
-    hooks.after_batch = [this](uint32_t shard) {
-      return wals_[shard]->Sync();
-    };
-  }
+  hooks.after_batch = [this](uint32_t shard) {
+    return logs_[shard]->BatchBoundary();
+  };
   engine_->SetShardHooks(std::move(hooks));
 }
 
@@ -222,12 +344,18 @@ Result<std::unique_ptr<DurableShardedSystem>> DurableShardedSystem::Open(
       sys->RebuildShardStays(k);
     }
     LTAM_RETURN_IF_ERROR(sys->ReplayShardLogs(manifest));
-    for (uint32_t k = 0; k < manifest.num_shards; ++k) {
-      LTAM_ASSIGN_OR_RETURN(
-          WalWriter wal, WalWriter::Open(sys->FilePath(manifest.shards[k].wal)));
-      sys->wals_.push_back(std::make_unique<WalWriter>(std::move(wal)));
-    }
     sys->epoch_ = manifest.epoch;
+    sys->manifest_ = std::move(manifest);
+    // Appends resume on each shard's final committed segment.
+    for (uint32_t k = 0; k < sys->manifest_.num_shards; ++k) {
+      const std::vector<std::string>& segments = sys->manifest_.shards[k].wals;
+      const std::string tail = sys->FilePath(segments.back());
+      LTAM_ASSIGN_OR_RETURN(WalWriter wal, WalWriter::Open(tail));
+      LTAM_ASSIGN_OR_RETURN(uint64_t bytes, SizeOfFile(tail));
+      sys->logs_.push_back(sys->MakeShardLog(
+          k, std::move(wal), bytes,
+          static_cast<uint32_t>(segments.size() - 1)));
+    }
   } else {
     sys->base_ = std::move(initial);
     sys->InitEngine(options.num_shards);
@@ -236,8 +364,7 @@ Result<std::unique_ptr<DurableShardedSystem>> DurableShardedSystem::Open(
       sys->RebuildShardStays(k);
     }
     // Checkpoint the seed immediately: recovery never needs `initial`.
-    ShardManifest manifest;
-    LTAM_RETURN_IF_ERROR(sys->WriteEpoch(0, &manifest));
+    LTAM_RETURN_IF_ERROR(sys->WriteEpoch(0));
     sys->epoch_ = 0;
   }
   sys->InstallHooks();
@@ -265,38 +392,85 @@ Status DurableShardedSystem::Tick(Chronon t) {
   const Record record = EncodeTickRecord(t);
   Status first_error;
   for (uint32_t k = 0; k < num_shards(); ++k) {
-    Status logged = wals_[k]->Append(record);
-    if (!logged.ok()) {
+    Result<CommitTicket> appended = logs_[k]->Append(record);
+    if (!appended.ok()) {
       // Write-ahead per shard: a shard whose tick could not be logged is
       // not ticked, so its live state never diverges from what recovery
-      // would replay.
-      if (first_error.ok()) first_error = std::move(logged);
+      // would replay (pipelined logs never refuse here).
+      if (first_error.ok()) first_error = appended.status();
       continue;
     }
     engine_->TickShard(k, t);
-    if (options_.sync_every_batch) {
-      Status synced = wals_[k]->Sync();
-      // A failed fsync leaves the tick appended and applied (consistent);
-      // only its durability is in doubt — report it.
-      if (!synced.ok() && first_error.ok()) first_error = std::move(synced);
-    }
+    Result<CommitTicket> boundary = logs_[k]->BatchBoundary();
+    // A failed boundary leaves the tick appended and applied
+    // (consistent); only its durability is in doubt — report it.
+    if (!boundary.ok() && first_error.ok()) first_error = boundary.status();
   }
   return first_error;
 }
 
+Status DurableShardedSystem::WaitDurable() {
+  Status first_error;
+  for (const std::unique_ptr<ShardLog>& log : logs_) {
+    Status flushed = log->Flush();
+    if (!flushed.ok() && first_error.ok()) first_error = std::move(flushed);
+  }
+  return first_error;
+}
+
+DurabilityWatermark DurableShardedSystem::Watermark() const {
+  DurabilityWatermark mark;
+  mark.applied = retired_records_;
+  mark.durable = retired_records_;
+  for (const std::unique_ptr<ShardLog>& log : logs_) {
+    mark.applied += log->appended_seq();
+    mark.durable += log->durable_seq();
+  }
+  return mark;
+}
+
+uint64_t DurableShardedSystem::wal_append_failures() const {
+  uint64_t total = retired_append_failures_;
+  for (const std::unique_ptr<ShardLog>& log : logs_) {
+    total += log->append_failures();
+  }
+  return total;
+}
+
+uint64_t DurableShardedSystem::wal_sync_failures() const {
+  uint64_t total = retired_sync_failures_;
+  for (const std::unique_ptr<ShardLog>& log : logs_) {
+    total += log->sync_failures();
+  }
+  return total;
+}
+
 Status DurableShardedSystem::Checkpoint() {
-  const uint64_t old_epoch = epoch_;
-  ShardManifest manifest;
-  LTAM_RETURN_IF_ERROR(WriteEpoch(old_epoch + 1, &manifest));
-  epoch_ = old_epoch + 1;
-  RemoveEpochFiles(old_epoch);
+  // Quiesce the write path. A sticky-failed pipelined log cannot flush,
+  // but the checkpoint REPAIRS it: the snapshot persists the live state
+  // (which includes every event whose log bytes were lost), and the new
+  // epoch starts with fresh, healthy logs.
+  Status flushed = WaitDurable();
+  if (!flushed.ok()) {
+    LTAM_LOG_WARNING << "checkpoint proceeding over a failed log flush "
+                        "(the snapshot supersedes the lost tail): "
+                     << flushed.ToString();
+  }
+  ShardManifest old_manifest;
+  {
+    std::lock_guard<std::mutex> lock(manifest_mu_);
+    old_manifest = manifest_;
+  }
+  LTAM_RETURN_IF_ERROR(WriteEpoch(epoch_ + 1));
+  epoch_ += 1;
+  RemoveEpochFiles(old_manifest);
   return Status::OK();
 }
 
 size_t DurableShardedSystem::wal_events() const {
   size_t total = 0;
-  for (const std::unique_ptr<WalWriter>& wal : wals_) {
-    total += wal->appended();
+  for (const std::unique_ptr<ShardLog>& log : logs_) {
+    total += static_cast<size_t>(log->appended());
   }
   return total;
 }

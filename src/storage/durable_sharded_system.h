@@ -10,36 +10,63 @@
 //                               authorization ledger, rules
 //   shard-<k>-<epoch>.snap      shard k's movement history at the cut
 //   events-<k>-<epoch>.wal      shard k's log tail since the cut
+//   events-<k>-<epoch>-<s>.wal  rotated log segments (s >= 1), created
+//                               once the previous segment crossed
+//                               DurabilityOptions::segment_max_bytes;
+//                               each rotation republishes the MANIFEST
+//                               with the extended segment list
 //
 // Durability discipline: each shard's worker thread appends every event
-// of its batch slice to its own WAL *before* applying it (write-ahead,
-// via ShardHooks::before_apply), then issues one group-commit fsync per
-// batch (ShardHooks::after_batch) instead of one per event — durability
-// costs one barrier per shard per batch, off the per-event hot path.
+// of its batch slice to its own log *before* applying it (write-ahead,
+// via ShardHooks::before_apply), then marks the group-commit boundary
+// (ShardHooks::after_batch). What the boundary costs depends on
+// DurabilityOptions::mode:
 //
-// Checkpoint() writes every segment of the next epoch, publishes them by
-// atomically renaming a fresh MANIFEST, then deletes the previous
-// epoch's files. A crash at any instant leaves a committed cut: either
-// the old manifest (new files are orphans, removed on the next
-// checkpoint's sweep) or the new one.
+//   kBatch      one fsync per shard per batch, on the batch's critical
+//               path — the original PR-2 discipline, byte-identical
+//               to it (and the strongest per-batch guarantee).
+//   kPipelined  appends go to an in-memory commit queue; a dedicated
+//               log thread per shard writes them and batches fsyncs
+//               across multiple engine batches (commit pipelining,
+//               bounded by pipeline_depth / max_unsynced_bytes). The
+//               batch returns before its fsync lands; WaitDurable()
+//               and the (applied, durable) watermark close the gap.
+//   kInterval   like kPipelined, but the log thread fsyncs on a timer
+//               (sync_interval_ms).
+//
+// Decision streams are byte-identical across all three modes (pipelined
+// failures surface through the watermark and failure counters, never by
+// rewriting decisions) — the property the equivalence matrix enforces.
+//
+// Checkpoint() flushes every log (restoring durable == applied, even
+// for a sticky-failed pipelined log, whose lost tail the snapshot
+// supersedes), writes every segment of the next epoch, publishes them
+// by atomically renaming a fresh MANIFEST, then deletes the previous
+// epoch's files. A crash at any instant leaves a committed cut.
 //
 // Open() recovers by loading the manifest's base snapshot and shard
 // segments, rebuilding each shard's open-stay attribution exactly as the
 // sequential DurableSystem does (first in-window authorization wins),
-// then replaying every shard's log tail *in parallel* — safe because the
-// partition confines each subject's events to one shard, the same
-// discipline the live pipeline runs under. Recovered state is identical
-// to a sequential replay of the surviving log prefix (the property
-// tests/durable_sharded_test.cc enforces under crash injection).
+// then replaying every shard's log segments — in committed order within
+// a shard, and across shards *in parallel* — safe because the partition
+// confines each subject's events to one shard. Only the final segment
+// of a shard may carry a torn tail (rotation fsyncs a segment before
+// its successor exists); a short tail on an earlier segment is data
+// loss and recovery refuses it. Recovered state is identical to a
+// sequential replay of the surviving log prefix (the property
+// tests/durable_sharded_test.cc enforces under crash injection, now
+// across rotated segments and pipelined commits).
 
 #ifndef LTAM_STORAGE_DURABLE_SHARDED_SYSTEM_H_
 #define LTAM_STORAGE_DURABLE_SHARDED_SYSTEM_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "engine/sharded_engine.h"
+#include "storage/log_pipeline.h"
 #include "storage/manifest.h"
 #include "storage/snapshot.h"
 #include "storage/wal.h"
@@ -55,18 +82,23 @@ struct DurableShardedOptions {
   uint32_t num_shards = 4;
   /// Per-shard engine options.
   EngineOptions engine;
-  /// Group-commit: fsync each shard's WAL once per batch (and per
+  /// kBatch mode only: fsync each shard's log once per batch (and per
   /// tick). Disable only for throughput experiments where the OS page
-  /// cache is an acceptable durability boundary.
+  /// cache is an acceptable durability boundary. Pipelined modes ignore
+  /// it (their cadence comes from `durability`).
   bool sync_every_batch = true;
+  /// The write path's sync mode, pipelining bounds, segment rotation
+  /// threshold, and (tests only) fault injection.
+  DurabilityOptions durability;
 };
 
 /// A crash-safe, subject-sharded batch runtime rooted at one directory.
 ///
 /// Lifecycle mirrors ShardedDecisionEngine: Open (recovers or
 /// initializes), EvaluateBatch/Tick/Checkpoint from one control thread,
-/// destroy (joins workers). Database mutations on base() are only legal
-/// between batches and are NOT logged — persist them via Checkpoint().
+/// destroy (joins workers, then log threads). Database mutations on
+/// base() are only legal between batches and are NOT logged — persist
+/// them via Checkpoint().
 class DurableShardedSystem {
  public:
   /// Opens (or creates) the runtime in `dir`. A fresh directory is
@@ -85,14 +117,16 @@ class DurableShardedSystem {
   // --- Logged entry points -------------------------------------------------
 
   /// Logs and applies a batch: each shard's worker appends its slice to
-  /// its WAL before applying, then group-commits. Returns one decision
-  /// per event in input order; *durability receives the batch's
-  /// durability outcome (composed by ComposeDurabilityError: refused
-  /// events are visible as Deny(kWalError) decisions and safe to
-  /// resubmit, while a group-commit fsync failure — which outranks
-  /// refusals in the status — means applied events' durability is in
-  /// doubt and they must NOT be resubmitted). The decisions always
-  /// survive, so a partial failure never hides which events applied.
+  /// its log before applying, then marks the group-commit boundary.
+  /// Returns one decision per event in input order; *durability receives
+  /// the batch's durability outcome (composed by ComposeDurabilityError:
+  /// refused events are visible as Deny(kWalError) decisions and safe to
+  /// resubmit, while a boundary/fsync failure — which outranks refusals
+  /// in the status — means applied events' durability is in doubt and
+  /// they must NOT be resubmitted; in pipelined modes a sticky log
+  /// failure keeps reporting here until a Checkpoint repairs it). The
+  /// decisions always survive, so a partial failure never hides which
+  /// events applied.
   std::vector<Decision> EvaluateBatchWithStatus(Span<const AccessEvent> batch,
                                                 Status* durability);
 
@@ -108,8 +142,25 @@ class DurableShardedSystem {
   // --- Durability ----------------------------------------------------------
 
   /// Persists the full state as a new epoch and truncates every shard's
-  /// log. Subsequent recovery starts from here.
+  /// log (all rotated segments swept with it). Subsequent recovery
+  /// starts from here. Restores durable == applied: the snapshot
+  /// supersedes any tail a sticky-failed pipelined log lost.
   Status Checkpoint();
+
+  /// Durability barrier: blocks until every accepted log record is
+  /// fsynced (forcing the flush), or returns the first log's sticky
+  /// error. A no-op in kBatch + sync_every_batch mode, where every
+  /// batch already synced.
+  Status WaitDurable();
+
+  /// The runtime's durability position: log records accepted (their
+  /// events applied) vs fsynced, monotonic across checkpoints.
+  DurabilityWatermark Watermark() const;
+
+  /// Physical log failures observed since Open (appends that refused or
+  /// lost records, fsyncs that failed), monotonic across checkpoints.
+  uint64_t wal_append_failures() const;
+  uint64_t wal_sync_failures() const;
 
   /// Events appended across all shard logs through this instance (reset
   /// by Checkpoint; a recovered tail replayed at Open is not counted).
@@ -144,6 +195,9 @@ class DurableShardedSystem {
     return engine_->shard_movements(shard);
   }
 
+  /// One shard's log (watermark/segment introspection for tests).
+  const ShardLog& shard_log(uint32_t shard) const { return *logs_[shard]; }
+
   /// Merged alerts from every shard (deterministically ordered),
   /// clearing the per-shard buffers.
   std::vector<Alert> DrainAlerts() { return engine_->DrainAlerts(); }
@@ -160,7 +214,10 @@ class DurableShardedSystem {
   std::string FilePath(const std::string& name) const;
   std::string BaseSnapName(uint64_t epoch) const;
   std::string ShardSnapName(uint32_t shard, uint64_t epoch) const;
-  std::string ShardWalName(uint32_t shard, uint64_t epoch) const;
+  /// Segment 0 keeps the legacy name events-<k>-<epoch>.wal; rotated
+  /// segments are events-<k>-<epoch>-<seg>.wal.
+  std::string ShardWalName(uint32_t shard, uint64_t epoch,
+                           uint32_t segment = 0) const;
 
   /// Constructs the engine over base_ with `num_shards` shards.
   void InitEngine(uint32_t num_shards);
@@ -174,20 +231,32 @@ class DurableShardedSystem {
   /// sequential DurableSystem makes.
   void RebuildShardStays(uint32_t k);
 
-  /// Replays every shard's WAL tail in parallel; `manifest` names the
-  /// files. Missing WAL files are treated as empty (a crash between
-  /// manifest publication and log creation loses no committed event).
+  /// Wraps an open segment writer in this shard's ShardLog (wiring the
+  /// rotation callback and durability options).
+  std::unique_ptr<ShardLog> MakeShardLog(uint32_t shard, WalWriter writer,
+                                         uint64_t writer_bytes,
+                                         uint32_t segment_index);
+
+  /// Rotation callback body: creates the next numbered segment, commits
+  /// the extended segment list to the manifest, returns the new writer.
+  /// Runs on shard `shard`'s log thread.
+  Result<WalWriter> RotateShardSegment(uint32_t shard, uint32_t next_segment);
+
+  /// Replays every shard's committed WAL segments (parallel across
+  /// shards, ordered within one) and installs the tail writers;
+  /// `manifest` names the files.
   Status ReplayShardLogs(const ShardManifest& manifest);
 
   /// Writes every segment of `epoch` + its manifest and swaps in fresh
-  /// WAL writers. On success *out_manifest holds the committed cut.
-  Status WriteEpoch(uint64_t epoch, ShardManifest* out_manifest);
+  /// logs. On success the committed cut is in manifest_.
+  Status WriteEpoch(uint64_t epoch);
 
   /// Installs the write-ahead hooks on the engine.
   void InstallHooks();
 
-  /// Best-effort removal of a superseded epoch's files.
-  void RemoveEpochFiles(uint64_t epoch);
+  /// Best-effort removal of a superseded epoch's files (as named by its
+  /// manifest, so rotated segments are swept too).
+  void RemoveEpochFiles(const ShardManifest& old_manifest);
 
   std::string dir_;
   DurableShardedOptions options_;
@@ -195,10 +264,21 @@ class DurableShardedSystem {
   /// state lives in the shard views).
   SystemState base_;
   std::unique_ptr<ShardedDecisionEngine> engine_;
-  /// One writer per shard; appended by that shard's worker during a
-  /// batch, and by the control thread for ticks between batches.
-  std::vector<std::unique_ptr<WalWriter>> wals_;
+  /// One log per shard; appended by that shard's worker during a batch,
+  /// by the control thread for ticks between batches, and flushed by
+  /// its own log thread in pipelined modes.
+  std::vector<std::unique_ptr<ShardLog>> logs_;
+  /// The committed cut (segment lists grow under rotation). Guarded by
+  /// manifest_mu_: rotation runs on log threads while the control
+  /// thread may be reading; Checkpoint republishes it wholesale.
+  ShardManifest manifest_;
+  mutable std::mutex manifest_mu_;
   uint64_t epoch_ = 0;
+  /// Watermark/counter accumulators for log generations retired by
+  /// Checkpoint (their records are all durable via the snapshot).
+  uint64_t retired_records_ = 0;
+  uint64_t retired_append_failures_ = 0;
+  uint64_t retired_sync_failures_ = 0;
   /// Shard count requested at Open (clamped); differs from num_shards()
   /// iff a recovered manifest pinned another count.
   uint32_t requested_shards_ = 0;

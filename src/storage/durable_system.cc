@@ -88,8 +88,13 @@ Status DurableSystem::Log(const Record& record) {
   if (wal_ == nullptr) {
     return Status::FailedPrecondition("runtime is not open");
   }
-  LTAM_RETURN_IF_ERROR(wal_->Append(record));
+  Status appended = wal_->Append(record);
+  if (!appended.ok()) {
+    ++append_failures_;
+    return appended;
+  }
   ++wal_events_;
+  ++total_appended_;
   return Status::OK();
 }
 
@@ -124,7 +129,13 @@ Status DurableSystem::Sync() {
   if (wal_ == nullptr) {
     return Status::FailedPrecondition("runtime is not open");
   }
-  return wal_->Sync();
+  Status synced = wal_->Sync();
+  if (!synced.ok()) {
+    ++sync_failures_;
+    return synced;
+  }
+  total_synced_ = total_appended_;
+  return Status::OK();
 }
 
 Status DurableSystem::Checkpoint() {
@@ -138,6 +149,8 @@ Status DurableSystem::Checkpoint() {
   LTAM_ASSIGN_OR_RETURN(WalWriter wal, WalWriter::Open(WalPath(dir_)));
   wal_ = std::make_unique<WalWriter>(std::move(wal));
   wal_events_ = 0;
+  // The snapshot supersedes the log: everything accepted is durable.
+  total_synced_ = total_appended_;
   return Status::OK();
 }
 

@@ -18,6 +18,7 @@
 #ifndef LTAM_STORAGE_DURABLE_SYSTEM_H_
 #define LTAM_STORAGE_DURABLE_SYSTEM_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -81,6 +82,17 @@ class DurableSystem {
   /// Number of events appended to the current log tail.
   size_t wal_events() const { return wal_events_; }
 
+  /// The durability watermark's inputs, monotonic across checkpoints:
+  /// records accepted into the log vs records made crash-proof (by an
+  /// fsync or by a checkpoint's snapshot, which supersedes the log).
+  uint64_t total_appended() const { return total_appended_; }
+  uint64_t total_synced() const { return total_synced_; }
+
+  /// Physical log failures observed since Open: appends that refused an
+  /// event, fsyncs that failed.
+  uint64_t wal_append_failures() const { return append_failures_; }
+  uint64_t wal_sync_failures() const { return sync_failures_; }
+
   // --- Introspection -----------------------------------------------------------
 
   const SystemState& state() const { return state_; }
@@ -103,6 +115,10 @@ class DurableSystem {
   std::unique_ptr<AccessControlEngine> engine_;
   std::unique_ptr<WalWriter> wal_;
   size_t wal_events_ = 0;
+  uint64_t total_appended_ = 0;
+  uint64_t total_synced_ = 0;
+  uint64_t append_failures_ = 0;
+  uint64_t sync_failures_ = 0;
   bool replaying_ = false;
 };
 

@@ -17,6 +17,10 @@ namespace {
 constexpr uint32_t kFormatVersion = 1;
 /// Generous ceiling; a corrupted shard count must not drive allocation.
 constexpr uint32_t kMaxShards = 4096;
+/// Ceiling on rotated WAL segments named by one shard record — far
+/// above anything rotation produces between checkpoints, small enough
+/// that a corrupt record cannot drive allocation.
+constexpr size_t kMaxWalSegments = 65536;
 
 Result<int64_t> Field(const Record& rec, size_t i) {
   if (i >= rec.fields.size()) {
@@ -52,7 +56,12 @@ Status SaveManifest(const ShardManifest& manifest, const std::string& path) {
   LTAM_RETURN_IF_ERROR(CheckFileName(manifest.base_snapshot));
   for (const ShardManifest::ShardFiles& files : manifest.shards) {
     LTAM_RETURN_IF_ERROR(CheckFileName(files.snapshot));
-    LTAM_RETURN_IF_ERROR(CheckFileName(files.wal));
+    if (files.wals.empty()) {
+      return Status::InvalidArgument("manifest shard has no WAL segments");
+    }
+    for (const std::string& wal : files.wals) {
+      LTAM_RETURN_IF_ERROR(CheckFileName(wal));
+    }
   }
 
   const std::string tmp = path + ".tmp";
@@ -71,9 +80,11 @@ Status SaveManifest(const ShardManifest& manifest, const std::string& path) {
            std::to_string(manifest.num_shards)}});
     emit({"base", {manifest.base_snapshot}});
     for (uint32_t k = 0; k < manifest.num_shards; ++k) {
-      emit({"shard",
-            {std::to_string(k), manifest.shards[k].snapshot,
-             manifest.shards[k].wal}});
+      std::vector<std::string> fields{std::to_string(k),
+                                      manifest.shards[k].snapshot};
+      fields.insert(fields.end(), manifest.shards[k].wals.begin(),
+                    manifest.shards[k].wals.end());
+      emit({"shard", std::move(fields)});
     }
     emit({"commit", {std::to_string(records)}});
     out.flush();
@@ -165,7 +176,9 @@ Result<ShardManifest> LoadManifest(const std::string& path) {
       continue;
     }
     if (rec.type == "shard") {
-      if (rec.fields.size() != 3) {
+      // <k> <snapshot> and at least one WAL segment; rotation may have
+      // committed more (replayed in record order).
+      if (rec.fields.size() < 3 || rec.fields.size() > 3 + kMaxWalSegments) {
         return Status::ParseError("shard record field count");
       }
       LTAM_ASSIGN_OR_RETURN(int64_t k, Field(rec, 0));
@@ -178,9 +191,13 @@ Result<ShardManifest> LoadManifest(const std::string& path) {
                                   std::to_string(k));
       }
       LTAM_RETURN_IF_ERROR(CheckFileName(rec.fields[1]));
-      LTAM_RETURN_IF_ERROR(CheckFileName(rec.fields[2]));
-      out.shards[static_cast<size_t>(k)] =
-          ShardManifest::ShardFiles{rec.fields[1], rec.fields[2]};
+      ShardManifest::ShardFiles files;
+      files.snapshot = rec.fields[1];
+      for (size_t i = 2; i < rec.fields.size(); ++i) {
+        LTAM_RETURN_IF_ERROR(CheckFileName(rec.fields[i]));
+        files.wals.push_back(rec.fields[i]);
+      }
+      out.shards[static_cast<size_t>(k)] = std::move(files);
       saw_shard[static_cast<size_t>(k)] = true;
       ++records;
       continue;

@@ -14,8 +14,15 @@
 //
 //   manifest <format-version> <epoch> <num-shards>
 //   base <file>
-//   shard <k> <snapshot-file> <wal-file>     (one per shard, k ascending)
+//   shard <k> <snapshot-file> <wal-seg-0> [<wal-seg-1> ...]
+//                                            (one per shard, k ascending)
 //   commit <record-count>
+//
+// A shard's WAL may span several rotated segments within one epoch
+// (`events-<k>-<epoch>.wal`, then `events-<k>-<epoch>-<seg>.wal` once
+// the size threshold trips); the shard record commits the ordered
+// segment list, and rotation republishes the manifest so a crash at any
+// instant still names exactly the files recovery must replay, in order.
 //
 // The trailing `commit` record carries the number of records before it;
 // a manifest without a matching commit record (torn write, truncation)
@@ -44,7 +51,10 @@ struct ShardManifest {
   std::string base_snapshot;
   struct ShardFiles {
     std::string snapshot;  ///< Per-shard movement segment.
-    std::string wal;       ///< Per-shard log tail.
+    /// Per-shard log tail, in replay order: the first entry is the
+    /// segment the checkpoint created, later entries were committed by
+    /// rotation. Never empty after a successful load.
+    std::vector<std::string> wals;
   };
   /// Indexed by shard; size() == num_shards after a successful load.
   std::vector<ShardFiles> shards;

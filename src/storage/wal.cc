@@ -50,9 +50,13 @@ WalWriter::~WalWriter() {
 }
 
 Status WalWriter::Append(const Record& record) {
-  if (file_ == nullptr) return Status::FailedPrecondition("WAL moved-from");
   std::string line = EncodeRecord(record);
   line += '\n';
+  return AppendEncoded(line);
+}
+
+Status WalWriter::AppendEncoded(const std::string& line) {
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL moved-from");
   if (std::fwrite(line.data(), 1, line.size(), file_) != line.size()) {
     return Status::IOError("short WAL write");
   }

@@ -37,6 +37,11 @@ class WalWriter {
   /// Appends one record (one line) and flushes to the OS.
   Status Append(const Record& record);
 
+  /// Appends an already-encoded line (must end in '\n') and flushes to
+  /// the OS. The pipelined log encodes on the worker thread and hands
+  /// finished lines to its flusher, so the writer must not re-encode.
+  Status AppendEncoded(const std::string& line);
+
   /// fsyncs the file (durability barrier).
   Status Sync();
 

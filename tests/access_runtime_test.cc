@@ -193,6 +193,9 @@ class AccessRuntimeEquivalenceTest : public ::testing::TestWithParam<uint64_t> {
     fs::remove_all(root_);
     fs::create_directories(root_ + "/seq");
     fs::create_directories(root_ + "/sharded");
+    fs::create_directories(root_ + "/seq-pipelined");
+    fs::create_directories(root_ + "/sharded-pipelined");
+    fs::create_directories(root_ + "/sharded-interval");
   }
   void TearDown() override { fs::remove_all(root_); }
 
@@ -213,6 +216,19 @@ TEST_P(AccessRuntimeEquivalenceTest, AllFourBackendsAgree) {
   RuntimeOptions durable_sharded;
   durable_sharded.num_shards = 3;
   durable_sharded.durable_dir = root_ + "/sharded";
+  // The pipelined/interval write paths must be invisible to decisions,
+  // alerts, and queries — durability timing is their only difference.
+  RuntimeOptions durable_seq_pipelined = durable_seq;
+  durable_seq_pipelined.durable_dir = root_ + "/seq-pipelined";
+  durable_seq_pipelined.durability.mode = SyncMode::kPipelined;
+  RuntimeOptions durable_sharded_pipelined = durable_sharded;
+  durable_sharded_pipelined.durable_dir = root_ + "/sharded-pipelined";
+  durable_sharded_pipelined.durability.mode = SyncMode::kPipelined;
+  durable_sharded_pipelined.durability.segment_max_bytes = 4096;  // Rotate.
+  RuntimeOptions durable_sharded_interval = durable_sharded;
+  durable_sharded_interval.durable_dir = root_ + "/sharded-interval";
+  durable_sharded_interval.durability.mode = SyncMode::kInterval;
+  durable_sharded_interval.durability.sync_interval_ms = 1;
 
   RunOutcome reference = RunConfig(w, batches, sequential);
   ASSERT_FALSE(reference.decisions.empty());
@@ -220,9 +236,13 @@ TEST_P(AccessRuntimeEquivalenceTest, AllFourBackendsAgree) {
     const char* name;
     RuntimeOptions options;
   };
-  const Config configs[] = {{"sharded", sharded},
-                            {"durable-seq", durable_seq},
-                            {"durable-sharded", durable_sharded}};
+  const Config configs[] = {
+      {"sharded", sharded},
+      {"durable-seq", durable_seq},
+      {"durable-sharded", durable_sharded},
+      {"durable-seq-pipelined", durable_seq_pipelined},
+      {"durable-sharded-pipelined", durable_sharded_pipelined},
+      {"durable-sharded-interval", durable_sharded_interval}};
   for (const Config& config : configs) {
     SCOPED_TRACE(config.name);
     RunOutcome outcome = RunConfig(w, batches, config.options);
@@ -579,6 +599,83 @@ TEST(AccessRuntimeTest, StatsCountersTrack) {
   EXPECT_EQ(2u, stats.num_shards);
   EXPECT_FALSE(stats.durable);
   EXPECT_EQ(0u, stats.pending_alerts);  // ApplyBatch drains.
+}
+
+TEST(AccessRuntimeTest, InMemoryWatermarkEqualsApplied) {
+  World w = MakeWorld(71);
+  for (uint32_t shards : {1u, 3u}) {
+    SCOPED_TRACE(shards);
+    RuntimeOptions options;
+    options.num_shards = shards;
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                         AccessRuntime::Open(StateOf(w), options));
+    std::vector<std::vector<AccessEvent>> batches = MakeBatches(w, 200, 73);
+    size_t events = 0;
+    for (const auto& batch : batches) {
+      ASSERT_OK_AND_ASSIGN(BatchResult r, rt->ApplyBatch(batch));
+      events += batch.size();
+      EXPECT_EQ(r.watermark.applied, r.watermark.durable)
+          << "in-memory backends are always 'durable'";
+      EXPECT_EQ(r.watermark.applied, events);
+    }
+    ASSERT_OK(rt->WaitDurable());
+    RuntimeStats stats = rt->Stats();
+    EXPECT_EQ(stats.applied_offset, events);
+    EXPECT_EQ(stats.durable_offset, events);
+    EXPECT_EQ(stats.wal_append_failures, 0u);
+    EXPECT_EQ(stats.wal_sync_failures, 0u);
+  }
+}
+
+TEST(AccessRuntimeTest, PipelinedWatermarkAndWaitDurable) {
+  // Both durable backends under every sync mode: the watermark must
+  // cover every accepted record after WaitDurable, and the batch-mode
+  // configuration must report durable == applied on every batch.
+  World w = MakeWorld(79);
+  std::vector<std::vector<AccessEvent>> batches = MakeBatches(w, 400, 83);
+  struct Case {
+    const char* name;
+    uint32_t shards;
+    SyncMode mode;
+  };
+  const Case cases[] = {{"seq-batch", 1, SyncMode::kBatch},
+                        {"seq-pipelined", 1, SyncMode::kPipelined},
+                        {"seq-interval", 1, SyncMode::kInterval},
+                        {"sharded-batch", 3, SyncMode::kBatch},
+                        {"sharded-pipelined", 3, SyncMode::kPipelined},
+                        {"sharded-interval", 3, SyncMode::kInterval}};
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    const std::string dir =
+        ::testing::TempDir() + "/ltam_facade_wm_" + c.name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    RuntimeOptions options;
+    options.num_shards = c.shards;
+    options.durable_dir = dir;
+    options.durability.mode = c.mode;
+    options.durability.sync_interval_ms = 1;
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                         AccessRuntime::Open(StateOf(w), options));
+    for (const auto& batch : batches) {
+      ASSERT_OK_AND_ASSIGN(BatchResult r, rt->ApplyBatch(batch));
+      ASSERT_OK(r.durability);
+      EXPECT_LE(r.watermark.durable, r.watermark.applied);
+      if (c.mode == SyncMode::kBatch) {
+        EXPECT_EQ(r.watermark.durable, r.watermark.applied)
+            << "sync-every-batch must never trail";
+      }
+    }
+    ASSERT_OK(rt->WaitDurable());
+    RuntimeStats stats = rt->Stats();
+    EXPECT_EQ(stats.durable_offset, stats.applied_offset)
+        << "WaitDurable must close the gap";
+    EXPECT_GT(stats.applied_offset, 0u);
+    EXPECT_EQ(stats.wal_append_failures, 0u);
+    EXPECT_EQ(stats.wal_sync_failures, 0u);
+    rt.reset();
+    fs::remove_all(dir);
+  }
 }
 
 }  // namespace

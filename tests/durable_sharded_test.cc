@@ -520,6 +520,336 @@ TEST_F(DurableShardedTest, MissingShardWalIsARecoveryError) {
   EXPECT_TRUE(reopened.status().IsIOError()) << reopened.status().ToString();
 }
 
+DurableShardedOptions PipelinedOptions(SyncMode mode,
+                                       size_t segment_max_bytes = 0) {
+  DurableShardedOptions opt;
+  opt.num_shards = kShards;
+  opt.durability.mode = mode;
+  opt.durability.pipeline_depth = 3;
+  opt.durability.sync_interval_ms = 1;
+  if (segment_max_bytes > 0) {
+    opt.durability.segment_max_bytes = segment_max_bytes;
+  }
+  return opt;
+}
+
+/// The tentpole equivalence gate: the pipelined and interval write
+/// paths must produce decision streams (and alerts) byte-identical to
+/// the synchronous group-commit mode — durability timing is the ONLY
+/// difference — and a reopened directory must recover the same state.
+TEST_F(DurableShardedTest, PipelinedDecisionStreamMatchesSyncMode) {
+  const uint64_t kWorldSeed = 211;
+  std::vector<SubjectId> subjects;
+  SystemState probe = MakeInitialState(kWorldSeed, 24, &subjects);
+  auto batches = MakeBatches(probe, subjects, 500, 80, 223);
+
+  struct ModeRun {
+    const char* name;
+    DurableShardedOptions options;
+    std::vector<std::string> decisions;
+    std::multiset<AlertKey> alerts;
+  };
+  std::vector<ModeRun> runs;
+  runs.push_back({"sync", Options(), {}, {}});
+  // Tiny segments so the pipelined run also exercises rotation.
+  runs.push_back(
+      {"pipelined", PipelinedOptions(SyncMode::kPipelined, 4096), {}, {}});
+  runs.push_back({"interval", PipelinedOptions(SyncMode::kInterval), {}, {}});
+
+  for (ModeRun& run : runs) {
+    SCOPED_TRACE(run.name);
+    const std::string mode_dir = dir_ + "/" + run.name;
+    fs::create_directories(mode_dir);
+    ASSERT_OK_AND_ASSIGN(
+        std::unique_ptr<DurableShardedSystem> sys,
+        DurableShardedSystem::Open(mode_dir, MakeInitialState(kWorldSeed),
+                                   run.options));
+    for (const auto& batch : batches) {
+      Status durability;
+      std::vector<Decision> decisions =
+          sys->EvaluateBatchWithStatus(batch, &durability);
+      ASSERT_OK(durability);
+      for (const Decision& d : decisions) {
+        run.decisions.push_back(d.ToString());
+      }
+    }
+    ASSERT_OK(sys->Tick(500));
+    run.alerts = AlertMultiset(sys->DrainAlerts());
+    // The durability barrier closes the watermark gap in every mode.
+    ASSERT_OK(sys->WaitDurable());
+    DurabilityWatermark mark = sys->Watermark();
+    EXPECT_EQ(mark.durable, mark.applied) << "barrier left a gap";
+    EXPECT_EQ(sys->wal_append_failures(), 0u);
+    EXPECT_EQ(sys->wal_sync_failures(), 0u);
+  }
+  for (size_t i = 1; i < runs.size(); ++i) {
+    SCOPED_TRACE(runs[i].name);
+    ASSERT_EQ(runs[0].decisions.size(), runs[i].decisions.size());
+    for (size_t d = 0; d < runs[0].decisions.size(); ++d) {
+      ASSERT_EQ(runs[0].decisions[d], runs[i].decisions[d])
+          << "decision " << d << " diverged from sync mode";
+    }
+    EXPECT_TRUE(runs[0].alerts == runs[i].alerts) << "alert sets diverged";
+  }
+
+  // Recovery equivalence: every directory reopens (in plain sync mode —
+  // the log format is mode-independent) to the same state.
+  std::unique_ptr<DurableShardedSystem> reference;
+  for (const ModeRun& run : runs) {
+    SCOPED_TRACE(std::string("reopen ") + run.name);
+    ASSERT_OK_AND_ASSIGN(
+        std::unique_ptr<DurableShardedSystem> sys,
+        DurableShardedSystem::Open(dir_ + "/" + run.name,
+                                   MakeInitialState(kWorldSeed), Options()));
+    if (reference == nullptr) {
+      reference = std::move(sys);
+      continue;
+    }
+    for (uint32_t k = 0; k < kShards; ++k) {
+      const auto& got = sys->shard_movements(k).history();
+      const auto& want = reference->shard_movements(k).history();
+      ASSERT_EQ(got.size(), want.size()) << "shard " << k;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(MovementKey(got[i]), MovementKey(want[i]))
+            << "shard " << k << ", movement " << i;
+      }
+    }
+  }
+}
+
+/// Crash injection across rotated segments: a pipelined run with tiny
+/// segments leaves a multi-segment WAL chain per shard; a simulated
+/// crash (directory copy + truncation of each shard's FINAL segment —
+/// rotation fsyncs a segment before its successor exists, so only the
+/// final one can tear) must recover exactly the surviving prefix, and
+/// never less than the reported durable watermark.
+TEST_F(DurableShardedTest, CrashInjectionAcrossRotatedSegments) {
+  const uint64_t kWorldSeed = 307;
+  std::vector<SubjectId> subjects;
+  SystemState probe = MakeInitialState(kWorldSeed, 24, &subjects);
+  const std::string golden = dir_ + "/golden";
+  fs::create_directories(golden);
+  DurabilityWatermark watermark;
+  {
+    ASSERT_OK_AND_ASSIGN(
+        std::unique_ptr<DurableShardedSystem> sys,
+        DurableShardedSystem::Open(
+            golden, MakeInitialState(kWorldSeed),
+            PipelinedOptions(SyncMode::kPipelined, /*segment_max_bytes=*/2048)));
+    auto batches = MakeBatches(probe, subjects, 600, 100, 311);
+    for (const auto& batch : batches) {
+      Status durability;
+      (void)sys->EvaluateBatchWithStatus(batch, &durability);
+      ASSERT_OK(durability);
+    }
+    ASSERT_OK(sys->Tick(600));
+    ASSERT_OK(sys->WaitDurable());
+    watermark = sys->Watermark();
+    ASSERT_EQ(watermark.durable, watermark.applied);
+    // Rotation must actually have happened for this test to bite.
+    size_t total_segments = 0;
+    for (uint32_t k = 0; k < kShards; ++k) {
+      total_segments += sys->shard_log(k).segment_index() + 1;
+    }
+    ASSERT_GT(total_segments, kShards)
+        << "no shard rotated; shrink segment_max_bytes";
+    // "Crash": the object goes away without a checkpoint.
+  }
+
+  Rng rng(6464);
+  for (int trial = 0; trial < 6; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const std::string trial_dir = dir_ + "/rot" + std::to_string(trial);
+    fs::remove_all(trial_dir);
+    fs::copy(golden, trial_dir);
+
+    ASSERT_OK_AND_ASSIGN(ShardManifest manifest,
+                         LoadManifest(trial_dir + "/MANIFEST"));
+    ASSERT_EQ(manifest.num_shards, kShards);
+    // Trial 0 pins the no-loss boundary case; the rest tear the final
+    // segment at random offsets (earlier segments are durable by
+    // construction: rotation synced them before their successor
+    // existed).
+    uint64_t surviving_records = 0;
+    for (uint32_t k = 0; k < kShards; ++k) {
+      ASSERT_GE(manifest.shards[k].wals.size(), 1u);
+      const fs::path tail =
+          fs::path(trial_dir) / manifest.shards[k].wals.back();
+      uintmax_t size = fs::file_size(tail);
+      if (trial > 0) {
+        fs::resize_file(tail, rng.Uniform(size + 1));
+      }
+      for (const std::string& wal : manifest.shards[k].wals) {
+        // Count whole surviving records for the watermark check.
+        Status counted =
+            ReplayWal((fs::path(trial_dir) / wal).string(),
+                      [&surviving_records](const Record&) {
+                        ++surviving_records;
+                        return Status::OK();
+                      });
+        ASSERT_OK(counted);
+      }
+    }
+    if (trial == 0) {
+      // Everything was durable at the crash: nothing may be missing.
+      EXPECT_GE(surviving_records, watermark.durable);
+    }
+
+    ASSERT_OK_AND_ASSIGN(
+        std::unique_ptr<DurableShardedSystem> sys,
+        DurableShardedSystem::Open(trial_dir, MakeInitialState(kWorldSeed),
+                                   Options()));
+
+    // Reference: sequential replay of exactly the surviving segment
+    // chains, in committed order.
+    ReferenceShards reference(MakeInitialState(kWorldSeed));
+    for (uint32_t k = 0; k < kShards; ++k) {
+      for (const std::string& wal : manifest.shards[k].wals) {
+        ASSERT_OK(reference.ReplaySurvivingLog(
+            k, (fs::path(trial_dir) / wal).string()));
+      }
+    }
+    ExpectStateEquals(*sys, reference, "rotated-segment crash trial");
+    EXPECT_EQ(AlertMultiset(sys->DrainAlerts()),
+              AlertMultiset(reference.MergedAlerts()));
+  }
+}
+
+/// A mid-chain segment with a torn tail is data loss (rotation synced
+/// it before its successor existed) — recovery must refuse, not replay
+/// around the hole.
+TEST_F(DurableShardedTest, TornNonFinalSegmentIsARecoveryError) {
+  const uint64_t kWorldSeed = 331;
+  std::vector<SubjectId> subjects;
+  SystemState probe = MakeInitialState(kWorldSeed, 24, &subjects);
+  {
+    ASSERT_OK_AND_ASSIGN(
+        std::unique_ptr<DurableShardedSystem> sys,
+        DurableShardedSystem::Open(
+            dir_, MakeInitialState(kWorldSeed),
+            PipelinedOptions(SyncMode::kPipelined, /*segment_max_bytes=*/1024)));
+    auto batches = MakeBatches(probe, subjects, 600, 100, 337);
+    for (const auto& batch : batches) {
+      Status durability;
+      (void)sys->EvaluateBatchWithStatus(batch, &durability);
+      ASSERT_OK(durability);
+    }
+    ASSERT_OK(sys->WaitDurable());
+  }
+  ASSERT_OK_AND_ASSIGN(ShardManifest manifest,
+                       LoadManifest(dir_ + "/MANIFEST"));
+  uint32_t victim = kShards;
+  for (uint32_t k = 0; k < kShards; ++k) {
+    if (manifest.shards[k].wals.size() >= 2) {
+      victim = k;
+      break;
+    }
+  }
+  ASSERT_LT(victim, kShards) << "no shard rotated; shrink segment_max_bytes";
+  const fs::path mid = fs::path(dir_) / manifest.shards[victim].wals[0];
+  uintmax_t size = fs::file_size(mid);
+  ASSERT_GT(size, 2u);
+  fs::resize_file(mid, size - 1);  // Chop the trailing newline: torn.
+  Result<std::unique_ptr<DurableShardedSystem>> reopened =
+      DurableShardedSystem::Open(dir_, MakeInitialState(kWorldSeed),
+                                 Options());
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsIOError()) << reopened.status().ToString();
+}
+
+/// Fault injection on the pipelined path: failing the Nth append (and
+/// every fsync after it) must never change a single decision — the
+/// failure surfaces exclusively through the batch durability status,
+/// the frozen watermark, and the failure counters — and a checkpoint
+/// repairs the log (the snapshot supersedes the lost tail).
+TEST_F(DurableShardedTest, PipelinedFaultsSurfaceInWatermarkNotDecisions) {
+  const uint64_t kWorldSeed = 401;
+  std::vector<SubjectId> subjects;
+  SystemState probe = MakeInitialState(kWorldSeed, 24, &subjects);
+  auto batches = MakeBatches(probe, subjects, 400, 80, 409);
+
+  // Healthy sync-mode reference.
+  std::vector<std::string> want_decisions;
+  {
+    const std::string ref_dir = dir_ + "/ref";
+    fs::create_directories(ref_dir);
+    ASSERT_OK_AND_ASSIGN(
+        std::unique_ptr<DurableShardedSystem> sys,
+        DurableShardedSystem::Open(ref_dir, MakeInitialState(kWorldSeed),
+                                   Options()));
+    for (const auto& batch : batches) {
+      Status durability;
+      for (const Decision& d :
+           sys->EvaluateBatchWithStatus(batch, &durability)) {
+        want_decisions.push_back(d.ToString());
+      }
+      ASSERT_OK(durability);
+    }
+  }
+
+  const std::string faulty_dir = dir_ + "/faulty";
+  fs::create_directories(faulty_dir);
+  DurableShardedOptions faulty = PipelinedOptions(SyncMode::kPipelined);
+  // Every shard log fails its 20th append and every subsequent one.
+  faulty.durability.fault_injector = [](const char* op, uint64_t count) {
+    if (std::string(op) == "append" && count >= 20) {
+      return Status::IOError("injected append failure");
+    }
+    return Status::OK();
+  };
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<DurableShardedSystem> sys,
+      DurableShardedSystem::Open(faulty_dir, MakeInitialState(kWorldSeed),
+                                 faulty));
+  std::vector<std::string> got_decisions;
+  bool saw_durability_error = false;
+  for (const auto& batch : batches) {
+    Status durability;
+    for (const Decision& d :
+         sys->EvaluateBatchWithStatus(batch, &durability)) {
+      got_decisions.push_back(d.ToString());
+    }
+    if (!durability.ok()) saw_durability_error = true;
+  }
+  ASSERT_EQ(want_decisions.size(), got_decisions.size());
+  for (size_t i = 0; i < want_decisions.size(); ++i) {
+    ASSERT_EQ(want_decisions[i], got_decisions[i])
+        << "decision " << i << " changed under fault injection";
+  }
+  EXPECT_FALSE(sys->WaitDurable().ok()) << "the barrier must report the loss";
+  saw_durability_error =
+      saw_durability_error || !sys->WaitDurable().ok();
+  EXPECT_TRUE(saw_durability_error);
+  DurabilityWatermark frozen = sys->Watermark();
+  EXPECT_LT(frozen.durable, frozen.applied) << "watermark must freeze";
+  EXPECT_GT(sys->wal_append_failures(), 0u);
+
+  // Checkpoint repairs: the snapshot persists the live state (including
+  // every event whose log bytes were lost) and fresh logs start clean —
+  // but only until the injector trips again, so drop it first the way a
+  // recovered disk would.
+  const uint64_t failures_before = sys->wal_append_failures();
+  ASSERT_OK(sys->Checkpoint());
+  EXPECT_EQ(sys->wal_append_failures(), failures_before)
+      << "failure history must survive the checkpoint";
+  DurabilityWatermark repaired = sys->Watermark();
+  EXPECT_EQ(repaired.durable, repaired.applied)
+      << "checkpoint must restore durable == applied";
+
+  // And the checkpointed state equals the healthy reference's.
+  sys.reset();
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<DurableShardedSystem> recovered,
+      DurableShardedSystem::Open(faulty_dir, MakeInitialState(kWorldSeed),
+                                 Options()));
+  ReferenceShards reference(MakeInitialState(kWorldSeed));
+  for (const auto& batch : batches) {
+    for (const AccessEvent& e : batch) reference.ApplyEvent(e);
+  }
+  ExpectStateEquals(*recovered, reference,
+                    "post-checkpoint fault recovery");
+}
+
 /// Crash injection across a checkpoint: pre-checkpoint state comes from
 /// the snapshot cut, only the tail is at the mercy of the truncation.
 TEST_F(DurableShardedTest, CrashInjectionAfterCheckpoint) {

@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -446,6 +447,143 @@ TEST_F(ServiceLoopbackTest, CoalescedOverflowFallsBackToPerFrameBatches) {
   // Every event applied; no frame inherited a neighbor's refusal.
   RuntimeStats stats = rt->Stats();
   EXPECT_EQ(2 * kFrames * 3, stats.events_applied);
+}
+
+TEST_F(ServiceLoopbackTest, PipelinedSyncModeServerMatchesDirectSyncReplay) {
+  // The serving-path acceptance gate for commit pipelining: a server
+  // whose durable runtime runs --sync-mode=pipelined (log threads, WAL
+  // rotation) must stream decisions/alerts byte-identical to a direct
+  // synchronous-group-commit replay, and its directory must recover the
+  // same state.
+  World w = MakeWorld(907);
+  auto streams = MakeConnectionStreams(w, 911);
+  fs::create_directories(root_ + "/direct-sync");
+  fs::create_directories(root_ + "/served-pipelined");
+  RuntimeOptions direct_options;
+  direct_options.num_shards = 3;
+  direct_options.durable_dir = root_ + "/direct-sync";
+  RuntimeOptions served_options;
+  served_options.num_shards = 3;
+  served_options.durable_dir = root_ + "/served-pipelined";
+  served_options.durability.mode = SyncMode::kPipelined;
+  served_options.durability.segment_max_bytes = 8192;  // Exercise rotation.
+  std::vector<ConnectionOutcome> direct =
+      RunDirect(w, streams, direct_options);
+  std::vector<ConnectionOutcome> served =
+      RunThroughServer(w, streams, served_options);
+  ExpectByteIdentical(direct, served);
+
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<AccessRuntime> direct_rt,
+      AccessRuntime::Open(SystemState(), direct_options));
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<AccessRuntime> served_rt,
+      AccessRuntime::Open(SystemState(), served_options));
+  for (SubjectId s : w.subjects) {
+    EXPECT_EQ(direct_rt->movements().CurrentLocation(s),
+              served_rt->movements().CurrentLocation(s))
+        << "subject " << s;
+  }
+}
+
+TEST_F(ServiceLoopbackTest, BatchResultsCarryTheDurabilityWatermark) {
+  World w = MakeWorld(919);
+  fs::create_directories(root_ + "/wm");
+  RuntimeOptions options;
+  options.num_shards = 2;
+  options.durable_dir = root_ + "/wm";
+  options.durability.mode = SyncMode::kPipelined;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                       AccessRuntime::Open(StateOf(w), options));
+  ServiceServer server(rt.get(), ServerOptions{});
+  ASSERT_OK(server.Start());
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<ServiceClient> client,
+      ServiceClient::Connect("127.0.0.1", server.bound_port()));
+  std::vector<AccessEvent> batch;
+  for (int i = 0; i < 4; ++i) {
+    batch.push_back(AccessEvent::Entry(i + 1, w.subjects[0], 1));
+  }
+  ASSERT_OK_AND_ASSIGN(WireBatchResult r, client->ApplyBatch(batch));
+  EXPECT_GE(r.watermark.applied, 4u) << "acked events count as applied";
+  EXPECT_LE(r.watermark.durable, r.watermark.applied);
+  // The remote watermark is the runtime's own (Stats carries it too).
+  ASSERT_OK_AND_ASSIGN(RuntimeStats stats, client->Stats());
+  EXPECT_GE(stats.applied_offset, 4u);
+  EXPECT_LE(stats.durable_offset, stats.applied_offset);
+  server.Stop();
+}
+
+TEST_F(ServiceLoopbackTest, PerConnectionQuotaRefusesFloodingClient) {
+  // One client pipelining hundreds of frames against a 1-unit
+  // per-connection quota must see refusals long before the global
+  // budget is touched — and a polite second connection must be
+  // unaffected.
+  World w = MakeWorld(1009);
+  RuntimeOptions options;
+  options.num_shards = 2;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                       AccessRuntime::Open(StateOf(w), options));
+  ServerOptions server_options;
+  server_options.max_connection_queued_events = 1;
+  ServiceServer server(rt.get(), server_options);
+  ASSERT_OK(server.Start());
+
+  constexpr size_t kFrames = 200;
+  size_t accepted = 0;
+  size_t refused = 0;
+  {
+    ASSERT_OK_AND_ASSIGN(
+        std::unique_ptr<ServiceClient> flooder,
+        ServiceClient::Connect("127.0.0.1", server.bound_port()));
+    std::vector<uint32_t> ids;
+    for (size_t k = 0; k < kFrames; ++k) {
+      std::vector<AccessEvent> batch;
+      batch.push_back(AccessEvent::Entry(static_cast<Chronon>(k + 1),
+                                         w.subjects[0], 1));
+      ASSERT_OK_AND_ASSIGN(uint32_t id, flooder->SubmitBatch(batch));
+      ids.push_back(id);
+    }
+    ASSERT_OK(flooder->Flush());
+    // Quota refusals are answered by the I/O thread the moment the
+    // frame is dispatched, while accepted frames answer after the
+    // coalescer applies them — so responses arrive out of submission
+    // order here; match accepted ones back by request id.
+    std::set<uint32_t> submitted(ids.begin(), ids.end());
+    for (size_t k = 0; k < ids.size(); ++k) {
+      Result<ServiceClient::PipelinedBatch> r =
+          flooder->ReceiveBatchResult();
+      if (r.ok()) {
+        EXPECT_EQ(submitted.erase(r->request_id), 1u)
+            << "duplicate or unknown response id " << r->request_id;
+        ++accepted;
+      } else {
+        EXPECT_TRUE(r.status().IsFailedPrecondition())
+            << r.status().ToString();
+        EXPECT_NE(r.status().ToString().find("connection"),
+                  std::string::npos)
+            << "the refusal must name the connection quota, got: "
+            << r.status().ToString();
+        ++refused;
+      }
+    }
+  }
+  EXPECT_EQ(accepted + refused, kFrames);
+  EXPECT_GE(accepted, 1u) << "the first frame always fits the quota";
+  EXPECT_GE(refused, 1u) << "a 200-frame flood against a 1-unit quota "
+                            "cannot be fully absorbed";
+  EXPECT_EQ(server.coalescer_stats().connection_quota_refusals, refused);
+
+  // The quota is per connection: a fresh client sails through.
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<ServiceClient> polite,
+      ServiceClient::Connect("127.0.0.1", server.bound_port()));
+  std::vector<AccessEvent> one;
+  one.push_back(AccessEvent::Entry(5000, w.subjects[1], 1));
+  ASSERT_OK_AND_ASSIGN(WireBatchResult ok, polite->ApplyBatch(one));
+  EXPECT_EQ(1u, ok.decisions.size());
+
+  server.Stop();
 }
 
 TEST_F(ServiceLoopbackTest, RemoteCheckpointAdvancesTheEpoch) {
