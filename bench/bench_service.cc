@@ -6,7 +6,7 @@
 // the ingest coalescer claws back by merging connections' frames into
 // shared runtime batches (one sharded fan-out and, durable, one
 // group-commit per merged batch instead of per frame). CI captures both
-// series in BENCH_pr4.json so the overhead is tracked PR over PR.
+// series in BENCH_pr6.json so the overhead is tracked PR over PR.
 
 #include <benchmark/benchmark.h>
 
@@ -122,19 +122,25 @@ BENCHMARK(BM_FacadeBatch)
 
 /// The same streams through a loopback server: kStreams concurrent
 /// connections, each pipelining its whole stream so the coalescer has
-/// frames from many connections in flight at once.
+/// frames from many connections in flight at once. Args: {shards,
+/// io_threads} — the second axis spreads the connections over per-thread
+/// epoll loops (a wash on 1-core CI, a read-path win with real cores).
 void BM_ServiceLoopbackBatch(benchmark::State& state) {
   ServiceWorld w = MakeServiceWorld();
   const uint32_t shards = static_cast<uint32_t>(state.range(0));
+  const uint32_t io_threads = static_cast<uint32_t>(state.range(1));
   state.counters["shards"] = static_cast<double>(shards);
+  state.counters["io_threads"] = static_cast<double>(io_threads);
   state.counters["connections"] = static_cast<double>(kStreams);
+  ServerOptions server_options;
+  server_options.io_threads = io_threads;
   size_t merged_batches = 0;
   size_t merged_frames = 0;
   for (auto _ : state) {
     state.PauseTiming();
     auto rt =
         AccessRuntime::Open(InitStateOf(w), QuietOptions(shards)).ValueOrDie();
-    ServiceServer server(rt.get(), ServerOptions{});
+    ServiceServer server(rt.get(), server_options);
     if (!server.Start().ok()) {
       state.SkipWithError("server failed to start");
       return;
@@ -183,8 +189,10 @@ void BM_ServiceLoopbackBatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ServiceLoopbackBatch)
-    ->Arg(1)
-    ->Arg(4)
+    ->Args({1, 1})
+    ->Args({1, 4})
+    ->Args({4, 1})
+    ->Args({4, 4})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

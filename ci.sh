@@ -8,7 +8,8 @@
 #   ./ci.sh tsan       # ThreadSanitizer build, concurrency-relevant tests
 #   ./ci.sh examples   # build + run every example binary (facade surface)
 #   ./ci.sh service    # ltam_serve round-trip + concurrent smoke + shutdown
-#   ./ci.sh bench      # facade vs loopback-server throughput -> BENCH_pr4.json,
+#   ./ci.sh bench      # facade vs loopback-server throughput (io-thread
+#                      # matrix) -> BENCH_pr6.json,
 #                      # durable sync vs pipelined vs interval -> BENCH_pr5.json
 #
 # Every future PR is expected to pass `./ci.sh` locally; the tier-1 gate
@@ -84,12 +85,14 @@ service() {
   local port=$((20000 + RANDOM % 20000))
   local log
   log="$(mktemp)"
-  ./build/examples/ltam_serve --port="$port" > "$log" 2>&1 &
+  ./build/examples/ltam_serve --port="$port" --io-threads=2 > "$log" 2>&1 &
   local server_pid=$!
   for _ in $(seq 1 50); do
     grep -q "listening" "$log" && break
     sleep 0.1
   done
+  grep -q "2 io-threads" "$log" \
+    || { echo "service: banner missing the io-thread count" >&2; kill "$server_pid"; exit 1; }
   # Capture the shell output (no grep -q on the live pipe: the early
   # close would SIGPIPE the shell under pipefail) and demand the
   # remote-mode banner — a failed connect falls back to local mode,
@@ -113,7 +116,7 @@ service() {
 }
 
 bench() {
-  echo "=== bench: loopback overhead -> BENCH_pr4.json, durability modes -> BENCH_pr5.json ==="
+  echo "=== bench: loopback overhead -> BENCH_pr6.json, durability modes -> BENCH_pr5.json ==="
   cmake -B build -S .
   if ! cmake --build build -j"$JOBS" --target bench_service bench_access_engine; then
     echo "bench: google-benchmark not available; skipping" >&2
@@ -121,14 +124,19 @@ bench() {
   fi
   # BM_FacadeBatch is the direct AccessRuntime baseline on the service
   # workload; BM_ServiceLoopbackBatch drives the identical per-stream
-  # batches through a loopback ltam-serve with 4 pipelined connections —
-  # the gap is the network + coalescing overhead, and frames_per_merge
-  # reports how much the coalescer amortizes.
+  # batches through a loopback ltam-serve with 4 pipelined connections
+  # at io_threads={1,4} — the gap is the network + coalescing overhead,
+  # and frames_per_merge reports how much the coalescer amortizes. The
+  # filter is deliberately unanchored: the io-thread matrix suffixes
+  # benchmark names with their args ("BM_ServiceLoopbackBatch/1/4"), so
+  # a '$'-anchored filter would silently drop every loopback row. On
+  # 1-core CI containers the io_threads=4 rows measure scheduling
+  # overhead, not parallelism — compare them only on multi-core hosts.
   ./build/bench/bench_service \
-    --benchmark_filter='FacadeBatch|ServiceLoopbackBatch$' \
+    --benchmark_filter='FacadeBatch|ServiceLoopbackBatch/' \
     --benchmark_min_time=0.05 \
-    --benchmark_out=BENCH_pr4.json --benchmark_out_format=json
-  echo "bench: wrote $(pwd)/BENCH_pr4.json"
+    --benchmark_out=BENCH_pr6.json --benchmark_out_format=json
+  echo "bench: wrote $(pwd)/BENCH_pr6.json"
   # PR 5: the durable write path's three sync modes on the identical
   # stream (every iteration ends at the same durability barrier, so the
   # comparison is honest), plus the durable loopback server in batch vs

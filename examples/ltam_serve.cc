@@ -11,6 +11,8 @@
 //   --port=N          TCP port (default 7447; 0 picks one and prints it)
 //   --host=ADDR       listen address (default 127.0.0.1)
 //   --shards=N        worker shards for the batch pipeline (default 1)
+//   --io-threads=N    epoll I/O loops; connections are spread across
+//                     them round-robin (default 1)
 //   --durable=DIR     crash-safe runtime rooted at DIR (must exist)
 //   --policy=FILE     policy script (default: built-in demo policy)
 //   --max-batch=N     per-ApplyBatch event ceiling (default 65536)
@@ -60,6 +62,9 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--shards=", 0) == 0) {
       runtime_options.num_shards = static_cast<uint32_t>(
           std::max(1, std::atoi(value(9).c_str())));
+    } else if (arg.rfind("--io-threads=", 0) == 0) {
+      server_options.io_threads = static_cast<uint32_t>(
+          std::max(1, std::atoi(value(13).c_str())));
     } else if (arg.rfind("--durable=", 0) == 0) {
       runtime_options.durable_dir = value(10);
     } else if (arg.rfind("--policy=", 0) == 0) {
@@ -87,7 +92,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "unknown flag '%s'\nusage: ltam_serve [--port=N] "
-                   "[--host=ADDR] [--shards=N] [--durable=DIR] "
+                   "[--host=ADDR] [--shards=N] [--io-threads=N] "
+                   "[--durable=DIR] "
                    "[--policy=FILE] [--max-batch=N] [--sync-mode=M] "
                    "[--pipeline-depth=N] [--sync-interval-ms=N] "
                    "[--wal-segment-mb=N]\n",
@@ -125,11 +131,14 @@ int main(int argc, char** argv) {
     return 1;
   }
   RuntimeStats stats = runtime->Stats();
-  std::printf("ltam_serve: listening on %s:%u (%u shard%s, %s, %s sync)\n",
-              server_options.host.c_str(), server.bound_port(),
-              stats.num_shards, stats.num_shards == 1 ? "" : "s",
-              stats.durable ? "durable" : "in-memory",
-              SyncModeToString(runtime_options.durability.mode));
+  std::printf(
+      "ltam_serve: listening on %s:%u (%u shard%s, %u io-thread%s, %s, "
+      "%s sync)\n",
+      server_options.host.c_str(), server.bound_port(), stats.num_shards,
+      stats.num_shards == 1 ? "" : "s", server_options.io_threads,
+      server_options.io_threads == 1 ? "" : "s",
+      stats.durable ? "durable" : "in-memory",
+      SyncModeToString(runtime_options.durability.mode));
   std::fflush(stdout);
 
   // Park until SIGINT/SIGTERM; the handler latches the flag and this

@@ -4,6 +4,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 #include <utility>
 
 #include "core/rules/rule_engine.h"
@@ -246,10 +249,32 @@ class AccessRuntime::DurableSequentialBackend final : public Backend {
         durability_(options.durability),
         sync_every_batch_(options.sync_every_batch),
         shard_override_(shard_override),
-        last_sync_(std::chrono::steady_clock::now()) {}
+        last_sync_(std::chrono::steady_clock::now()) {
+    // The pipelined modes get a real timer thread (the sharded runtime
+    // has per-shard log threads for this): without one, an idle
+    // kInterval runtime would violate sync_interval_ms unboundedly —
+    // the deferred group commit only ran when the NEXT batch arrived —
+    // and an idle kPipelined runtime would never converge to
+    // durable == applied.
+    if (durability_.mode != SyncMode::kBatch) {
+      timer_ = std::thread([this] { TimerLoop(); });
+    }
+  }
+
+  ~DurableSequentialBackend() override {
+    if (timer_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(sys_mu_);
+        timer_stop_ = true;
+      }
+      timer_cv_.notify_all();
+      timer_.join();
+    }
+  }
 
   Result<std::vector<Decision>> ApplyBatch(Span<const AccessEvent> batch,
                                            Status* durability) override {
+    std::lock_guard<std::mutex> lock(sys_mu_);
     std::vector<Decision> out;
     out.reserve(batch.size());
     Status append_error;
@@ -264,15 +289,16 @@ class AccessRuntime::DurableSequentialBackend final : public Backend {
         if (append_error.ok()) append_error = decision.status();
       }
     }
-    Status sync_error = SyncPerPolicy();
+    Status sync_error = SyncPerPolicyLocked();
     *durability = ComposeDurabilityError(std::move(append_error),
                                          std::move(sync_error));
     return out;
   }
 
   Status Tick(Chronon t) override {
+    std::lock_guard<std::mutex> lock(sys_mu_);
     Status ticked = sys_->Tick(t);
-    Status synced = SyncPerPolicy();
+    Status synced = SyncPerPolicyLocked();
     if (!synced.ok() && ticked.ok()) return synced;
     return ticked;
   }
@@ -288,16 +314,21 @@ class AccessRuntime::DurableSequentialBackend final : public Backend {
     return sys_->engine().alerts().size();
   }
 
-  Status Checkpoint() override { return sys_->Checkpoint(); }
+  Status Checkpoint() override {
+    std::lock_guard<std::mutex> lock(sys_mu_);
+    Status ok = sys_->Checkpoint();
+    if (ok.ok()) ResetSyncPolicyLocked();
+    return ok;
+  }
 
   Status WaitDurable() override {
+    std::lock_guard<std::mutex> lock(sys_mu_);
     if (sys_->total_synced() >= sys_->total_appended()) return Status::OK();
-    Status synced = sys_->Sync();
-    if (synced.ok()) ResetSyncPolicy();
-    return synced;
+    return SyncNowLocked();
   }
 
   DurabilityWatermark Watermark() const override {
+    std::lock_guard<std::mutex> lock(sys_mu_);
     return DurabilityWatermark{sys_->total_appended(), sys_->total_synced()};
   }
 
@@ -322,6 +353,7 @@ class AccessRuntime::DurableSequentialBackend final : public Backend {
   }
 
   void FillStats(RuntimeStats* stats) const override {
+    std::lock_guard<std::mutex> lock(sys_mu_);
     stats->num_shards = 1;
     stats->durable = true;
     stats->shard_count_overridden = shard_override_;
@@ -329,15 +361,18 @@ class AccessRuntime::DurableSequentialBackend final : public Backend {
     stats->requests_processed = sys_->engine().requests_processed();
     stats->requests_granted = sys_->engine().requests_granted();
     stats->wal_append_failures = sys_->wal_append_failures();
-    stats->wal_sync_failures = sys_->wal_sync_failures();
+    stats->wal_sync_failures =
+        sys_->wal_sync_failures() + injected_sync_failures_;
+    stats->shard_watermarks = {
+        DurabilityWatermark{sys_->total_appended(), sys_->total_synced()}};
   }
 
  private:
-  /// The sequential runtime has no log thread; pipelined modes are
-  /// emulated by deferring the group commit — every pipeline_depth
-  /// batches (kPipelined) or sync_interval_ms (kInterval) — with the
-  /// same watermark and barrier semantics as the sharded pipeline.
-  Status SyncPerPolicy() {
+  /// The deferred-group-commit policy: every pipeline_depth batches
+  /// (kPipelined) or sync_interval_ms (kInterval) the event path syncs
+  /// inline; between batches the timer thread covers the idle gaps.
+  /// Caller holds sys_mu_.
+  Status SyncPerPolicyLocked() {
     switch (durability_.mode) {
       case SyncMode::kBatch:
         if (!sync_every_batch_) return Status::OK();
@@ -357,14 +392,61 @@ class AccessRuntime::DurableSequentialBackend final : public Backend {
         break;
       }
     }
+    return SyncNowLocked();
+  }
+
+  /// One group commit, honoring the test fault injector the same way
+  /// the sharded ShardLog does ("sync", 1-based attempt count). Caller
+  /// holds sys_mu_.
+  Status SyncNowLocked() {
+    if (durability_.fault_injector) {
+      Status injected = durability_.fault_injector("sync", ++sync_attempts_);
+      if (!injected.ok()) {
+        ++injected_sync_failures_;
+        return injected;
+      }
+    }
     Status synced = sys_->Sync();
-    if (synced.ok()) ResetSyncPolicy();
+    if (synced.ok()) ResetSyncPolicyLocked();
     return synced;
   }
 
-  void ResetSyncPolicy() {
+  void ResetSyncPolicyLocked() {
     batches_since_sync_ = 0;
     last_sync_ = std::chrono::steady_clock::now();
+  }
+
+  /// kInterval: sync whenever unsynced work is older than the interval.
+  /// kPipelined: sync once the log has gone idle for a tick (no new
+  /// appends since the last look) — the sharded pipeline's
+  /// "queue-drained" convergence, approximated on a timer. Failures are
+  /// counted (and retried next tick); WaitDurable surfaces them to
+  /// callers who need the barrier.
+  void TimerLoop() {
+    const auto tick = std::chrono::milliseconds(
+        std::max<uint32_t>(1, durability_.sync_interval_ms));
+    std::unique_lock<std::mutex> lock(sys_mu_);
+    while (!timer_stop_) {
+      timer_cv_.wait_for(lock, tick, [this] { return timer_stop_; });
+      if (timer_stop_) return;
+      const uint64_t appended = sys_->total_appended();
+      if (sys_->total_synced() >= appended) {
+        last_seen_appended_ = appended;
+        continue;
+      }
+      bool due = false;
+      if (durability_.mode == SyncMode::kInterval) {
+        due = std::chrono::steady_clock::now() - last_sync_ >= tick;
+      } else {
+        due = appended == last_seen_appended_;
+      }
+      last_seen_appended_ = appended;
+      if (due) {
+        // Failures were counted; the next tick (or WaitDurable) retries.
+        Status ignored = SyncNowLocked();
+        (void)ignored;
+      }
+    }
   }
 
   std::unique_ptr<DurableSystem> sys_;
@@ -373,7 +455,17 @@ class AccessRuntime::DurableSequentialBackend final : public Backend {
   /// True when the caller asked for >1 shard but the directory holds a
   /// committed sequential state (which wins).
   bool shard_override_;
+  /// Serializes the WAL surface of sys_ (appends, syncs, counters)
+  /// between the control thread and the timer thread. Engine state and
+  /// alerts stay control-thread-only — the timer never touches them.
+  mutable std::mutex sys_mu_;
+  std::condition_variable timer_cv_;
+  std::thread timer_;
+  bool timer_stop_ = false;
   size_t batches_since_sync_ = 0;
+  uint64_t sync_attempts_ = 0;
+  uint64_t injected_sync_failures_ = 0;
+  uint64_t last_seen_appended_ = 0;
   std::chrono::steady_clock::time_point last_sync_;
 };
 
@@ -436,6 +528,10 @@ class AccessRuntime::DurableShardedBackend final : public Backend {
     stats->requests_granted = sys_->engine().requests_granted();
     stats->wal_append_failures = sys_->wal_append_failures();
     stats->wal_sync_failures = sys_->wal_sync_failures();
+    stats->shard_watermarks.reserve(sys_->num_shards());
+    for (uint32_t k = 0; k < sys_->num_shards(); ++k) {
+      stats->shard_watermarks.push_back(sys_->ShardWatermark(k));
+    }
   }
 
  private:
@@ -723,6 +819,16 @@ std::string RuntimeStatsToString(const RuntimeStats& stats) {
   line("durability-watermark", std::to_string(stats.durable_offset) + "/" +
                                    std::to_string(stats.applied_offset) +
                                    " durable/applied");
+  if (!stats.shard_watermarks.empty()) {
+    std::string marks;
+    for (size_t k = 0; k < stats.shard_watermarks.size(); ++k) {
+      const DurabilityWatermark& w = stats.shard_watermarks[k];
+      if (k > 0) marks += ' ';
+      marks += std::to_string(k) + ":" + std::to_string(w.durable) + "/" +
+               std::to_string(w.applied);
+    }
+    line("shard-watermarks", marks + " durable/applied");
+  }
   line("requests-processed", std::to_string(stats.requests_processed));
   line("requests-granted", std::to_string(stats.requests_granted));
   line("batches-applied", std::to_string(stats.batches_applied));

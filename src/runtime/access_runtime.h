@@ -77,8 +77,11 @@ struct RuntimeOptions {
   /// WaitDurable(). Also carries the WAL segment rotation threshold.
   /// The sequential durable backend emulates the pipelined modes by
   /// deferring its group commit (every `pipeline_depth` batches /
-  /// `sync_interval_ms`) — it has no log thread, but the watermark and
-  /// barrier semantics are identical.
+  /// `sync_interval_ms`) and runs a timer thread so the deferral is
+  /// bounded in time, not just in traffic: an idle kInterval runtime
+  /// still syncs within `sync_interval_ms`, and an idle kPipelined one
+  /// converges to durable == applied — the same guarantees the sharded
+  /// log threads give.
   DurabilityOptions durability;
   /// Ceiling on events per ApplyBatch call (0 = unlimited). An oversized
   /// batch is rejected whole with kInvalidArgument — nothing is applied —
@@ -164,6 +167,13 @@ struct RuntimeStats {
   /// that failed. Zero on in-memory backends.
   uint64_t wal_append_failures = 0;
   uint64_t wal_sync_failures = 0;
+  /// Durable backends: one (applied, durable) watermark per shard log,
+  /// monotonic across checkpoints — the aggregate applied/durable_offset
+  /// above is their sum, so a single stuck shard log is visible here
+  /// rather than drowned in global lag. Sequential durable backends
+  /// report one entry; in-memory backends report none. Carried over the
+  /// wire verbatim (protocol v3).
+  std::vector<DurabilityWatermark> shard_watermarks;
 };
 
 /// The mutable stores handed to Mutate() callbacks. Movement state is

@@ -10,6 +10,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <iterator>
 
 namespace ltam {
 
@@ -70,7 +71,7 @@ Status ServiceClient::SendFrame(MessageType type, uint32_t request_id,
   return Flush();
 }
 
-Result<Frame> ServiceClient::ReceiveFrame() {
+Result<Frame> ServiceClient::ReceiveFrameRaw() {
   while (true) {
     Result<std::optional<Frame>> next = assembler_.Next();
     if (!next.ok()) return next.status();
@@ -86,6 +87,21 @@ Result<Frame> ServiceClient::ReceiveFrame() {
     }
     if (errno == EINTR) continue;
     return Errno("recv");
+  }
+}
+
+Result<Frame> ServiceClient::ReceiveFrame() {
+  while (true) {
+    LTAM_ASSIGN_OR_RETURN(Frame frame, ReceiveFrameRaw());
+    if (frame.header.type != MessageType::kAlertPush) return frame;
+    // A server-initiated alert push (its shutdown drain) can land
+    // between any request and its response; stash it for
+    // TakePushedAlerts instead of confusing the caller.
+    LTAM_ASSIGN_OR_RETURN(std::vector<Alert> alerts,
+                          DecodeAlertPush(frame.payload));
+    pushed_alerts_.insert(pushed_alerts_.end(),
+                          std::make_move_iterator(alerts.begin()),
+                          std::make_move_iterator(alerts.end()));
   }
 }
 
@@ -230,6 +246,22 @@ Result<ServiceClient::PipelinedBatch> ServiceClient::ReceiveBatchResult() {
   out.request_id = frame.header.request_id;
   LTAM_ASSIGN_OR_RETURN(out.result, DecodeBatchResult(frame.payload));
   return out;
+}
+
+std::vector<Alert> ServiceClient::TakePushedAlerts() {
+  std::vector<Alert> out = std::move(pushed_alerts_);
+  pushed_alerts_.clear();
+  return out;
+}
+
+Result<std::vector<Alert>> ServiceClient::ReceiveAlertPush() {
+  if (!pushed_alerts_.empty()) return TakePushedAlerts();
+  LTAM_ASSIGN_OR_RETURN(Frame frame, ReceiveFrameRaw());
+  if (frame.header.type != MessageType::kAlertPush) {
+    return Status::Internal(std::string("expected an alert-push, got ") +
+                            MessageTypeToString(frame.header.type));
+  }
+  return DecodeAlertPush(frame.payload);
 }
 
 }  // namespace ltam

@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "service/protocol.h"
 #include "util/result.h"
@@ -87,6 +88,18 @@ class ServiceClient {
   /// server-refused frame surfaces as the decoded error Status.
   Result<PipelinedBatch> ReceiveBatchResult();
 
+  // --- Server-pushed alerts --------------------------------------------------
+
+  /// A server shutting down pushes alerts it could not attach to any
+  /// response as kAlertPush frames (request_id 0). The receive loops
+  /// above stash such frames instead of failing; this returns (and
+  /// clears) the stash.
+  std::vector<Alert> TakePushedAlerts();
+
+  /// Blocks until one kAlertPush frame arrives (or returns the stash if
+  /// one already did). For clients that expect the shutdown drain.
+  Result<std::vector<Alert>> ReceiveAlertPush();
+
  private:
   explicit ServiceClient(int fd);
 
@@ -95,7 +108,12 @@ class ServiceClient {
   Status SendFrame(MessageType type, uint32_t request_id,
                    const std::string& payload);
 
-  /// Blocks until one complete frame arrives.
+  /// Blocks until one complete frame arrives, kAlertPush included.
+  Result<Frame> ReceiveFrameRaw();
+
+  /// Blocks until one complete frame arrives. kAlertPush frames are
+  /// stashed in pushed_alerts_ and skipped — callers only ever see
+  /// request/response traffic.
   Result<Frame> ReceiveFrame();
 
   /// Blocks for the response to `request_id`; decodes kError frames
@@ -108,6 +126,7 @@ class ServiceClient {
   uint32_t next_request_id_ = 1;
   std::string send_buffer_;
   FrameAssembler assembler_;
+  std::vector<Alert> pushed_alerts_;
 };
 
 }  // namespace ltam

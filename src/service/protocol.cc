@@ -2,6 +2,7 @@
 
 #include "service/protocol.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/logging.h"
@@ -49,13 +50,21 @@ void PutString(std::string* out, const std::string& s) {
   out->append(s);
 }
 
+/// Reads a u32le in place (caller guarantees 4 readable bytes).
+uint32_t PeekU32(const char* p) {
+  const uint8_t* d = reinterpret_cast<const uint8_t*>(p);
+  return static_cast<uint32_t>(d[0]) | (static_cast<uint32_t>(d[1]) << 8) |
+         (static_cast<uint32_t>(d[2]) << 16) |
+         (static_cast<uint32_t>(d[3]) << 24);
+}
+
 /// Strict bounds-checked cursor over one payload. Every Read* checks the
 /// remaining byte count before touching memory; a failed read latches
 /// `ok_` false and every later read keeps failing, so decoders can chain
 /// reads and check once.
 class Reader {
  public:
-  explicit Reader(const std::string& payload)
+  explicit Reader(std::string_view payload)
       : data_(reinterpret_cast<const uint8_t*>(payload.data())),
         size_(payload.size()) {}
 
@@ -236,6 +245,8 @@ bool ReadCount(Reader* r, size_t min_element_bytes, uint32_t* count) {
   return static_cast<uint64_t>(*count) * min_element_bytes <= r->remaining();
 }
 
+constexpr size_t kWireAlertMinBytes = 8 + 4 + 4 + 1 + 4;
+
 }  // namespace
 
 // --- Frame layer -------------------------------------------------------------
@@ -272,6 +283,7 @@ const char* MessageTypeToString(MessageType type) {
     case MessageType::kCheckpointResult: return "checkpoint-result";
     case MessageType::kStatsResult: return "stats-result";
     case MessageType::kError: return "error";
+    case MessageType::kAlertPush: return "alert-push";
   }
   return "unknown";
 }
@@ -281,7 +293,7 @@ namespace {
 bool IsKnownType(uint8_t type) {
   return IsRequestType(static_cast<MessageType>(type)) ||
          (type >= static_cast<uint8_t>(MessageType::kPong) &&
-          type <= static_cast<uint8_t>(MessageType::kError));
+          type <= static_cast<uint8_t>(MessageType::kAlertPush));
 }
 
 }  // namespace
@@ -304,8 +316,8 @@ std::string EncodeFrame(MessageType type, uint32_t request_id,
 
 Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t size) {
   LTAM_CHECK(size >= kFrameHeaderBytes);
-  std::string view(reinterpret_cast<const char*>(data), kFrameHeaderBytes);
-  Reader r(view);
+  Reader r(std::string_view(reinterpret_cast<const char*>(data),
+                            kFrameHeaderBytes));
   uint32_t magic = 0, request_id = 0, length = 0;
   uint8_t version = 0, type = 0;
   uint16_t reserved = 0;
@@ -343,36 +355,112 @@ Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t size) {
   return header;
 }
 
-void FrameAssembler::Append(const char* data, size_t size) {
-  // Compact lazily: only when the consumed prefix dominates the buffer.
-  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
-    buffer_.erase(0, consumed_);
-    consumed_ = 0;
+char* FrameAssembler::BeginFill(size_t min_bytes, size_t* capacity) {
+  // A chunk pinned by an outstanding FrameView must never reallocate, so
+  // append only while this assembler is the sole owner; otherwise open a
+  // fresh chunk.
+  if (chunks_.empty() || !Appendable(chunks_.back())) {
+    chunks_.push_back(std::make_shared<std::string>());
+    chunks_.back()->reserve(std::max(min_bytes, kChunkBytes));
   }
-  buffer_.append(data, size);
+  std::string& tail = *chunks_.back();
+  fill_base_ = tail.size();
+  const size_t cap = std::max(min_bytes, tail.capacity() - tail.size());
+  tail.resize(fill_base_ + cap);
+  *capacity = cap;
+  return &tail[fill_base_];
 }
 
-Result<std::optional<Frame>> FrameAssembler::Next() {
-  if (!error_.ok()) return error_;
-  if (buffer_.size() - consumed_ < kFrameHeaderBytes) {
-    return std::optional<Frame>();
+void FrameAssembler::CommitFill(size_t filled) {
+  LTAM_CHECK(!chunks_.empty());
+  chunks_.back()->resize(fill_base_ + filled);
+  buffered_ += filled;
+}
+
+void FrameAssembler::Append(const char* data, size_t size) {
+  if (size == 0) return;
+  size_t cap = 0;
+  char* dst = BeginFill(size, &cap);
+  std::memcpy(dst, data, size);
+  CommitFill(size);
+}
+
+size_t FrameAssembler::PeekBytes(char* dst, size_t n) const {
+  size_t copied = 0;
+  size_t offset = front_consumed_;
+  for (const std::shared_ptr<std::string>& chunk : chunks_) {
+    if (copied == n) break;
+    const size_t take = std::min(chunk->size() - offset, n - copied);
+    std::memcpy(dst + copied, chunk->data() + offset, take);
+    copied += take;
+    offset = 0;
   }
-  Result<FrameHeader> header = DecodeFrameHeader(
-      reinterpret_cast<const uint8_t*>(buffer_.data()) + consumed_,
-      buffer_.size() - consumed_);
+  return copied;
+}
+
+void FrameAssembler::Consume(size_t n) {
+  LTAM_CHECK(n <= buffered_);
+  buffered_ -= n;
+  while (n > 0) {
+    std::string& front = *chunks_.front();
+    const size_t take = std::min(front.size() - front_consumed_, n);
+    front_consumed_ += take;
+    n -= take;
+    if (front_consumed_ < front.size()) break;
+    if (chunks_.size() == 1 && Appendable(chunks_.front())) {
+      // Sole remaining chunk with no pins: recycle its capacity.
+      front.clear();
+      front_consumed_ = 0;
+      break;
+    }
+    chunks_.pop_front();
+    front_consumed_ = 0;
+  }
+}
+
+Result<std::optional<FrameView>> FrameAssembler::NextView() {
+  if (!error_.ok()) return error_;
+  if (buffered_ < kFrameHeaderBytes) return std::optional<FrameView>();
+  uint8_t head[kFrameHeaderBytes];
+  PeekBytes(reinterpret_cast<char*>(head), kFrameHeaderBytes);
+  Result<FrameHeader> header = DecodeFrameHeader(head, kFrameHeaderBytes);
   if (!header.ok()) {
     error_ = header.status();
     return error_;
   }
-  if (buffer_.size() - consumed_ <
-      kFrameHeaderBytes + header->payload_length) {
-    return std::optional<Frame>();
+  const size_t total = kFrameHeaderBytes + header->payload_length;
+  if (buffered_ < total) return std::optional<FrameView>();
+  FrameView view;
+  view.header = *header;
+  std::shared_ptr<std::string> front = chunks_.front();
+  if (front->size() - front_consumed_ >= total) {
+    // Whole frame inside the front chunk: view it in place.
+    view.payload = std::string_view(
+        front->data() + front_consumed_ + kFrameHeaderBytes,
+        header->payload_length);
+    view.pin = std::move(front);
+    Consume(total);
+  } else {
+    // Straddles chunks: coalesce the payload into a dedicated
+    // exact-size chunk (the one copy on this path).
+    Consume(kFrameHeaderBytes);
+    auto owned = std::make_shared<std::string>();
+    owned->resize(header->payload_length);
+    const size_t copied = PeekBytes(owned->data(), header->payload_length);
+    LTAM_CHECK(copied == header->payload_length);
+    Consume(header->payload_length);
+    view.payload = std::string_view(owned->data(), owned->size());
+    view.pin = std::move(owned);
   }
+  return std::optional<FrameView>(std::move(view));
+}
+
+Result<std::optional<Frame>> FrameAssembler::Next() {
+  LTAM_ASSIGN_OR_RETURN(std::optional<FrameView> view, NextView());
+  if (!view.has_value()) return std::optional<Frame>();
   Frame frame;
-  frame.header = *header;
-  frame.payload.assign(buffer_, consumed_ + kFrameHeaderBytes,
-                       header->payload_length);
-  consumed_ += kFrameHeaderBytes + header->payload_length;
+  frame.header = view->header;
+  frame.payload.assign(view->payload.data(), view->payload.size());
   return std::optional<Frame>(std::move(frame));
 }
 
@@ -384,7 +472,7 @@ std::string EncodeApplyRequest(const AccessEvent& event) {
   return out;
 }
 
-Result<AccessEvent> DecodeApplyRequest(const std::string& payload) {
+Result<AccessEvent> DecodeApplyRequest(std::string_view payload) {
   Reader r(payload);
   AccessEvent event;
   if (!ReadEvent(&r, &event)) {
@@ -404,26 +492,78 @@ std::string EncodeApplyBatchRequest(Span<const AccessEvent> events) {
   return out;
 }
 
-Result<std::vector<AccessEvent>> DecodeApplyBatchRequest(
-    const std::string& payload) {
-  Reader r(payload);
-  uint32_t count = 0;
-  if (!ReadCount(&r, kWireEventBytes, &count)) {
+Result<uint32_t> PeekApplyEventCount(MessageType type,
+                                     std::string_view payload) {
+  if (type == MessageType::kApply) {
+    if (payload.size() != kWireEventBytes) {
+      return Status::ParseError("apply: malformed event");
+    }
+    return 1u;
+  }
+  LTAM_CHECK(type == MessageType::kApplyBatch);
+  if (payload.size() < 4) {
     return Status::ParseError("apply-batch: malformed event count");
   }
+  const uint32_t count = PeekU32(payload.data());
   if (count > kMaxWireBatchEvents) {
     return Status::ParseError("apply-batch: " + std::to_string(count) +
                               " events over the " +
                               std::to_string(kMaxWireBatchEvents) +
                               " per-frame ceiling");
   }
-  std::vector<AccessEvent> events(count);
-  for (AccessEvent& e : events) {
-    if (!ReadEvent(&r, &e)) {
-      return Status::ParseError("apply-batch: malformed event");
-    }
+  if (payload.size() != 4 + static_cast<size_t>(count) * kWireEventBytes) {
+    return Status::ParseError("apply-batch: payload size does not match " +
+                              std::to_string(count) + " events");
   }
-  LTAM_RETURN_IF_ERROR(r.Finish("apply-batch"));
+  return count;
+}
+
+std::optional<SubjectId> PeekFirstSubject(MessageType type,
+                                          std::string_view payload) {
+  // The subject sits after the kind (u8) and time (i64) of the first
+  // event; PeekApplyEventCount already vouched for the payload shape.
+  if (type == MessageType::kApply) {
+    return PeekU32(payload.data() + 1 + 8);
+  }
+  LTAM_CHECK(type == MessageType::kApplyBatch);
+  if (PeekU32(payload.data()) == 0) return std::nullopt;
+  return PeekU32(payload.data() + 4 + 1 + 8);
+}
+
+Status DecodeApplyEventsInto(MessageType type, std::string_view payload,
+                             std::vector<AccessEvent>* out) {
+  Reader r(payload);
+  uint32_t count = 1;
+  if (type == MessageType::kApplyBatch) {
+    if (!ReadCount(&r, kWireEventBytes, &count)) {
+      return Status::ParseError("apply-batch: malformed event count");
+    }
+    if (count > kMaxWireBatchEvents) {
+      return Status::ParseError("apply-batch: " + std::to_string(count) +
+                                " events over the " +
+                                std::to_string(kMaxWireBatchEvents) +
+                                " per-frame ceiling");
+    }
+  } else {
+    LTAM_CHECK(type == MessageType::kApply);
+  }
+  const char* what = type == MessageType::kApply ? "apply" : "apply-batch";
+  out->reserve(out->size() + count);
+  for (uint32_t i = 0; i < count; ++i) {
+    AccessEvent e;
+    if (!ReadEvent(&r, &e)) {
+      return Status::ParseError(std::string(what) + ": malformed event");
+    }
+    out->push_back(e);
+  }
+  return r.Finish(what);
+}
+
+Result<std::vector<AccessEvent>> DecodeApplyBatchRequest(
+    std::string_view payload) {
+  std::vector<AccessEvent> events;
+  LTAM_RETURN_IF_ERROR(
+      DecodeApplyEventsInto(MessageType::kApplyBatch, payload, &events));
   return events;
 }
 
@@ -436,7 +576,7 @@ std::string EncodeApplyFixRequest(const PositionFix& fix) {
   return out;
 }
 
-Result<PositionFix> DecodeApplyFixRequest(const std::string& payload) {
+Result<PositionFix> DecodeApplyFixRequest(std::string_view payload) {
   Reader r(payload);
   PositionFix fix;
   if (!r.ReadI64(&fix.time) || !r.ReadU32(&fix.subject) ||
@@ -453,7 +593,7 @@ std::string EncodeQueryRequest(const std::string& statement) {
   return out;
 }
 
-Result<std::string> DecodeQueryRequest(const std::string& payload) {
+Result<std::string> DecodeQueryRequest(std::string_view payload) {
   Reader r(payload);
   std::string statement;
   if (!r.ReadString(&statement)) {
@@ -477,9 +617,8 @@ std::string EncodeBatchResult(const WireBatchResult& result) {
   return out;
 }
 
-Result<WireBatchResult> DecodeBatchResult(const std::string& payload) {
+Result<WireBatchResult> DecodeBatchResult(std::string_view payload) {
   constexpr size_t kWireDecisionBytes = 1 + 4 + 1;
-  constexpr size_t kWireAlertMinBytes = 8 + 4 + 4 + 1 + 4;
   Reader r(payload);
   WireBatchResult result;
   uint32_t decisions = 0;
@@ -522,8 +661,7 @@ std::string EncodeFixResult(const WireFixResult& result) {
   return out;
 }
 
-Result<WireFixResult> DecodeFixResult(const std::string& payload) {
-  constexpr size_t kWireAlertMinBytes = 8 + 4 + 4 + 1 + 4;
+Result<WireFixResult> DecodeFixResult(std::string_view payload) {
   Reader r(payload);
   WireFixResult result;
   if (!ReadStatus(&r, &result.status)) {
@@ -556,7 +694,7 @@ std::string EncodeQueryResult(const QueryResult& result) {
   return out;
 }
 
-Result<QueryResult> DecodeQueryResult(const std::string& payload) {
+Result<QueryResult> DecodeQueryResult(std::string_view payload) {
   Reader r(payload);
   QueryResult result;
   uint32_t columns = 0;
@@ -607,10 +745,16 @@ std::string EncodeStatsResult(const RuntimeStats& stats) {
   PutU64(&out, stats.durable_offset);
   PutU64(&out, stats.wal_append_failures);
   PutU64(&out, stats.wal_sync_failures);
+  // v3: per-shard durability watermarks (empty for in-memory runtimes).
+  PutU32(&out, static_cast<uint32_t>(stats.shard_watermarks.size()));
+  for (const DurabilityWatermark& w : stats.shard_watermarks) {
+    PutU64(&out, w.applied);
+    PutU64(&out, w.durable);
+  }
   return out;
 }
 
-Result<RuntimeStats> DecodeStatsResult(const std::string& payload) {
+Result<RuntimeStats> DecodeStatsResult(std::string_view payload) {
   Reader r(payload);
   RuntimeStats stats;
   uint8_t durable = 0, overridden = 0;
@@ -629,6 +773,17 @@ Result<RuntimeStats> DecodeStatsResult(const std::string& payload) {
       overridden > 1 || stats.durable_offset > stats.applied_offset) {
     return Status::ParseError("stats-result: malformed stats");
   }
+  uint32_t shard_count = 0;
+  if (!ReadCount(&r, 16, &shard_count)) {
+    return Status::ParseError("stats-result: malformed shard watermark count");
+  }
+  stats.shard_watermarks.resize(shard_count);
+  for (DurabilityWatermark& w : stats.shard_watermarks) {
+    if (!r.ReadU64(&w.applied) || !r.ReadU64(&w.durable) ||
+        w.durable > w.applied) {
+      return Status::ParseError("stats-result: malformed shard watermark");
+    }
+  }
   LTAM_RETURN_IF_ERROR(r.Finish("stats-result"));
   stats.durable = durable == 1;
   stats.shard_count_overridden = overridden == 1;
@@ -643,6 +798,29 @@ Result<RuntimeStats> DecodeStatsResult(const std::string& payload) {
   return stats;
 }
 
+std::string EncodeAlertPush(Span<const Alert> alerts) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(alerts.size()));
+  for (const Alert& a : alerts) PutAlert(&out, a);
+  return out;
+}
+
+Result<std::vector<Alert>> DecodeAlertPush(std::string_view payload) {
+  Reader r(payload);
+  uint32_t count = 0;
+  if (!ReadCount(&r, kWireAlertMinBytes, &count)) {
+    return Status::ParseError("alert-push: malformed alert count");
+  }
+  std::vector<Alert> alerts(count);
+  for (Alert& a : alerts) {
+    if (!ReadAlert(&r, &a)) {
+      return Status::ParseError("alert-push: malformed alert");
+    }
+  }
+  LTAM_RETURN_IF_ERROR(r.Finish("alert-push"));
+  return alerts;
+}
+
 std::string EncodeErrorResult(const Status& status) {
   LTAM_CHECK(!status.ok()) << "an OK status is not an error payload";
   std::string out;
@@ -650,7 +828,7 @@ std::string EncodeErrorResult(const Status& status) {
   return out;
 }
 
-Status DecodeErrorResult(const std::string& payload, Status* error) {
+Status DecodeErrorResult(std::string_view payload, Status* error) {
   Reader r(payload);
   Status status;
   if (!ReadStatus(&r, &status)) {

@@ -15,7 +15,9 @@
 // Apply, ApplyFix, Query (a query-language string answered over the
 // MovementView), Checkpoint, Stats, Ping — and responses carry decisions,
 // drained alerts, the batch durability outcome, query tables, runtime
-// stats, or a structured error mapped from Status.
+// stats, or a structured error mapped from Status. One frame — AlertPush —
+// travels server-to-client outside any request: the shutdown drain of
+// alerts no response could carry.
 //
 // Decoding follows the storage/event_log.h discipline: every integer is
 // bounds-checked, every enum value validated, every string length checked
@@ -28,8 +30,11 @@
 #define LTAM_SERVICE_PROTOCOL_H_
 
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "engine/events.h"
@@ -43,8 +48,9 @@ namespace ltam {
 /// rejected — that rejection is the ONLY compatibility mechanism, so any
 /// payload-shape change must bump this. v1 was the PR-4 protocol; v2
 /// added the durability watermark to batch results and the
-/// watermark/WAL-failure fields to stats results.
-inline constexpr uint8_t kWireVersion = 2;
+/// watermark/WAL-failure fields to stats results; v3 added the per-shard
+/// watermark list to stats results and the alert-push frame.
+inline constexpr uint8_t kWireVersion = 3;
 
 /// "LTAM" as a little-endian u32 ('L' is the first byte on the wire).
 inline constexpr uint32_t kWireMagic = 0x4D41544Cu;
@@ -81,6 +87,9 @@ enum class MessageType : uint8_t {
   kCheckpointResult = 37,
   kStatsResult = 38,
   kError = 39,
+  /// Server-initiated (request_id 0): alerts the server could not attach
+  /// to any response before shutting down. Payload = EncodeAlertPush.
+  kAlertPush = 40,
 };
 
 /// True for the request half of the numbering space.
@@ -97,10 +106,22 @@ struct FrameHeader {
   uint32_t payload_length = 0;
 };
 
-/// One complete frame.
+/// One complete frame, payload owned.
 struct Frame {
   FrameHeader header;
   std::string payload;
+};
+
+/// One complete frame viewed in place: `payload` points into a read
+/// chunk still owned by the FrameAssembler, and `pin` keeps that chunk
+/// alive (and immutable) for as long as the view exists. This is the
+/// zero-copy ingest path — a server can hold the view across queueing
+/// and decode the events exactly once, straight into the coalescer's
+/// merge buffer.
+struct FrameView {
+  FrameHeader header;
+  std::string_view payload;
+  std::shared_ptr<const std::string> pin;
 };
 
 /// Encodes a complete frame (header + payload).
@@ -113,24 +134,61 @@ std::string EncodeFrame(MessageType type, uint32_t request_id,
 Result<FrameHeader> DecodeFrameHeader(const uint8_t* data, size_t size);
 
 /// Incremental frame extraction for a byte stream (the read side of a
-/// socket). Append raw bytes as they arrive; Next() yields complete
-/// frames in order. A malformed header is a sticky error — the stream
-/// can no longer be framed and the connection must be dropped.
+/// socket). Append raw stream bytes as they arrive (or recv straight
+/// into the buffer via BeginFill/CommitFill); Next()/NextView() yield
+/// complete frames in order. A malformed header is a sticky error — the
+/// stream can no longer be framed and the connection must be dropped.
+///
+/// Storage is a chain of reference-counted chunks. NextView() hands out
+/// frames as views pinning their chunk; a pinned chunk is never mutated
+/// or reallocated, so the view stays valid however long the caller keeps
+/// it — at the cost of holding the whole chunk (up to ~64 KiB) until the
+/// last view into it dies. Frames that straddle a chunk boundary are
+/// coalesced into a dedicated exact-size chunk (the one copy on that
+/// path).
 class FrameAssembler {
  public:
-  /// Appends raw stream bytes.
+  /// Appends raw stream bytes (copying them into the current chunk).
   void Append(const char* data, size_t size);
 
-  /// Returns the next complete frame, nullopt when more bytes are
-  /// needed, or ParseError once the stream is unframeable.
+  /// Zero-copy fill: returns a writable region of at least `min_bytes`
+  /// (capacity reported via *capacity) to recv into, then CommitFill()
+  /// publishes how many bytes actually landed. The pair must be used
+  /// back-to-back — no Next()/Append() between them.
+  char* BeginFill(size_t min_bytes, size_t* capacity);
+  void CommitFill(size_t filled);
+
+  /// Returns the next complete frame (payload copied out), nullopt when
+  /// more bytes are needed, or ParseError once the stream is unframeable.
   Result<std::optional<Frame>> Next();
 
+  /// Like Next(), but the payload is a view pinning its chunk — no copy
+  /// unless the frame straddled a chunk boundary.
+  Result<std::optional<FrameView>> NextView();
+
   /// Bytes buffered but not yet returned as frames.
-  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+  size_t buffered_bytes() const { return buffered_; }
 
  private:
-  std::string buffer_;
-  size_t consumed_ = 0;
+  /// A chunk may be appended to only while the assembler is its sole
+  /// owner (no outstanding FrameView pins it).
+  static bool Appendable(const std::shared_ptr<std::string>& chunk) {
+    return chunk.use_count() == 1;
+  }
+
+  /// Copies up to `n` unconsumed bytes into dst without consuming them;
+  /// returns the count actually copied.
+  size_t PeekBytes(char* dst, size_t n) const;
+
+  /// Consumes `n` buffered bytes (requires n <= buffered_).
+  void Consume(size_t n);
+
+  static constexpr size_t kChunkBytes = 64 * 1024;
+
+  std::deque<std::shared_ptr<std::string>> chunks_;
+  size_t front_consumed_ = 0;  // consumed prefix of chunks_.front()
+  size_t buffered_ = 0;        // unconsumed bytes across all chunks
+  size_t fill_base_ = 0;       // tail size at BeginFill, for CommitFill
   Status error_;
 };
 
@@ -140,17 +198,38 @@ class FrameAssembler {
 /// responses carry no payload; encode with EncodeFrame(type, id, "").
 
 std::string EncodeApplyRequest(const AccessEvent& event);
-Result<AccessEvent> DecodeApplyRequest(const std::string& payload);
+Result<AccessEvent> DecodeApplyRequest(std::string_view payload);
 
 std::string EncodeApplyBatchRequest(Span<const AccessEvent> events);
 Result<std::vector<AccessEvent>> DecodeApplyBatchRequest(
-    const std::string& payload);
+    std::string_view payload);
+
+/// O(1) shape check of an apply/apply-batch payload: validates the event
+/// count against the payload size and the wire ceiling without touching
+/// the events themselves, and returns that count. This is what an I/O
+/// thread runs per frame — full event validation is deferred to
+/// DecodeApplyEventsInto at merge time.
+Result<uint32_t> PeekApplyEventCount(MessageType type,
+                                     std::string_view payload);
+
+/// The routing key: the subject of the payload's first event, read in
+/// place. Requires PeekApplyEventCount to have accepted the payload;
+/// nullopt for an empty batch.
+std::optional<SubjectId> PeekFirstSubject(MessageType type,
+                                          std::string_view payload);
+
+/// Single-pass decode of an apply/apply-batch payload, appending the
+/// events to *out (no intermediate vector — the zero-copy server decodes
+/// straight into its merge buffer). Strict like the owning decoders:
+/// exact consumption, every event kind validated.
+Status DecodeApplyEventsInto(MessageType type, std::string_view payload,
+                             std::vector<AccessEvent>* out);
 
 std::string EncodeApplyFixRequest(const PositionFix& fix);
-Result<PositionFix> DecodeApplyFixRequest(const std::string& payload);
+Result<PositionFix> DecodeApplyFixRequest(std::string_view payload);
 
 std::string EncodeQueryRequest(const std::string& statement);
-Result<std::string> DecodeQueryRequest(const std::string& payload);
+Result<std::string> DecodeQueryRequest(std::string_view payload);
 
 // --- Response payloads -------------------------------------------------------
 
@@ -171,7 +250,7 @@ struct WireBatchResult {
 /// kApplyResult and kBatchResult share this payload encoding (an Apply
 /// is a one-event batch server-side).
 std::string EncodeBatchResult(const WireBatchResult& result);
-Result<WireBatchResult> DecodeBatchResult(const std::string& payload);
+Result<WireBatchResult> DecodeBatchResult(std::string_view payload);
 
 /// kFixResult: the ApplyFix status plus the alerts the fix raised.
 struct WireFixResult {
@@ -180,23 +259,29 @@ struct WireFixResult {
 };
 
 std::string EncodeFixResult(const WireFixResult& result);
-Result<WireFixResult> DecodeFixResult(const std::string& payload);
+Result<WireFixResult> DecodeFixResult(std::string_view payload);
 
 /// kQueryResult reuses the interpreter's tabular QueryResult.
 std::string EncodeQueryResult(const QueryResult& result);
-Result<QueryResult> DecodeQueryResult(const std::string& payload);
+Result<QueryResult> DecodeQueryResult(std::string_view payload);
 
 /// kStatsResult carries the runtime's own counters verbatim — the remote
-/// Stats() answer is the same struct a local caller sees.
+/// Stats() answer is the same struct a local caller sees (since v3
+/// including the per-shard watermarks).
 std::string EncodeStatsResult(const RuntimeStats& stats);
-Result<RuntimeStats> DecodeStatsResult(const std::string& payload);
+Result<RuntimeStats> DecodeStatsResult(std::string_view payload);
+
+/// kAlertPush: alerts delivered outside any request/response pair (the
+/// server's shutdown drain of otherwise-stranded alerts).
+std::string EncodeAlertPush(Span<const Alert> alerts);
+Result<std::vector<Alert>> DecodeAlertPush(std::string_view payload);
 
 /// kError: a Status by value (code + message). OK is not a valid error
 /// payload — encoding it is a programming error, decoding it a
 /// ParseError. The returned status is the decode outcome; the carried
 /// error lands in *error (untouched on decode failure).
 std::string EncodeErrorResult(const Status& status);
-Status DecodeErrorResult(const std::string& payload, Status* error);
+Status DecodeErrorResult(std::string_view payload, Status* error);
 
 }  // namespace ltam
 

@@ -6,12 +6,14 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
-#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -19,9 +21,9 @@
 #include <shared_mutex>
 #include <thread>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "engine/sharded_engine.h"
 #include "query/query_language.h"
 #include "service/protocol.h"
 #include "util/logging.h"
@@ -39,31 +41,79 @@ bool SetNonBlocking(int fd) {
   return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
 }
 
-/// One accepted connection. The I/O thread owns the socket and the
-/// frame assembler; worker threads only append response bytes under
-/// out_mu and never touch the fd.
+/// One accepted connection. The owning I/O loop (index `owner`) has
+/// exclusive use of the socket's read side, the frame assembler, the
+/// sequence counter, and the epoll interest; any thread may append (or
+/// directly send) response bytes under out_mu.
 struct Connection {
-  explicit Connection(int fd_in) : fd(fd_in) {}
+  Connection(int fd_in, uint64_t id_in, uint32_t owner_in)
+      : fd(fd_in), id(id_in), owner(owner_in) {}
   ~Connection() {
-    if (fd >= 0) ::close(fd);
+    if (!fd_closed) ::close(fd);
   }
 
   const int fd;
-  FrameAssembler assembler;  // I/O thread only.
+  const uint64_t id;     // Unique forever (keys coalescer state safely
+                         // across address reuse).
+  const uint32_t owner;  // Owning I/O loop index.
+
+  // Owner-loop-only state.
+  FrameAssembler assembler;
+  uint64_t next_seq = 0;  // Ingest sequence numbers handed out.
+
+  /// This connection's share of the global ingest quota, in queue
+  /// units. Charged by the owner loop, released by the coalescer.
+  std::atomic<size_t> queued_units{0};
+
+  /// True once the connection is torn down; set under out_mu, readable
+  /// without it. Responders drop their bytes instead of touching a
+  /// closed (possibly reused) fd.
+  std::atomic<bool> dead{false};
+
+  /// Dedups attention signals to the owner loop.
+  std::atomic<bool> attention_pending{false};
+
   std::mutex out_mu;
-  std::string out;               // Guarded by out_mu.
-  bool close_after_flush = false;  // Guarded by out_mu.
+  std::string out;                 // Unsent response bytes.
+  bool want_attention = false;     // Set with out growth off-loop.
+  bool write_armed = false;        // EPOLLOUT currently registered.
+  bool close_after_flush = false;  // Drop once out drains.
+  bool io_failed = false;          // Hard send error or backlog overflow.
+  bool fd_closed = false;          // fd already closed by the owner loop.
 };
 
 using ConnectionPtr = std::shared_ptr<Connection>;
 
-/// One frame bound for the coalescer.
+bool IsBarrier(MessageType type) {
+  return type == MessageType::kApplyFix || type == MessageType::kCheckpoint;
+}
+
+/// One ingest frame queued for the coalescer. Apply/ApplyBatch frames
+/// carry their payload as a pinned zero-copy view — the events are
+/// decoded exactly once, at merge time.
 struct IngestJob {
   ConnectionPtr conn;
+  uint64_t seq = 0;
   uint32_t request_id = 0;
   MessageType type = MessageType::kApply;
-  std::vector<AccessEvent> events;  // kApply (size 1) / kApplyBatch.
-  PositionFix fix;                  // kApplyFix.
+  FrameView frame;          // kApply / kApplyBatch payload view.
+  uint32_t event_count = 0; // Validated by PeekApplyEventCount.
+  PositionFix fix;          // kApplyFix.
+  size_t units = 0;         // Quota units charged for this frame.
+};
+
+/// Node of one per-shard MPSC ingest queue (a Treiber stack: I/O
+/// threads CAS-push, the coalescer exchanges the whole head off and
+/// reverses it back into arrival order).
+struct IngestNode {
+  explicit IngestNode(IngestJob job_in) : job(std::move(job_in)) {}
+  IngestJob job;
+  IngestNode* next = nullptr;
+};
+
+struct ShardQueue {
+  std::atomic<IngestNode*> head{nullptr};
+  std::atomic<uint64_t> frames{0};  // Accepted frames, for stats.
 };
 
 /// One frame bound for the read pool.
@@ -72,6 +122,16 @@ struct ReadJob {
   uint32_t request_id = 0;
   MessageType type = MessageType::kQuery;
   std::string statement;  // kQuery.
+};
+
+/// An alert no in-flight frame could carry by subject. Held until the
+/// bounded deadline: attached to the preferred connection's next frame
+/// immediately, to ANY frame of a merge once a full coalescer round has
+/// passed, or pushed as kAlertPush at shutdown.
+struct PendingAlert {
+  Alert alert;
+  uint64_t parked_round = 0;
+  std::weak_ptr<Connection> preferred;  // Last toucher of the subject.
 };
 
 }  // namespace
@@ -122,16 +182,38 @@ class ServiceServer::Impl {
       CloseListen();
       return st;
     }
-    int pipe_fds[2];
-    if (::pipe(pipe_fds) != 0) {
-      Status st = Errno("pipe");
-      CloseListen();
-      return st;
+
+    // One ingest queue per runtime shard: frames are routed by the
+    // shard of their first event, so a shard's frames arrive already
+    // grouped for the runtime's fan-out.
+    nshards_ = std::max<uint32_t>(1, runtime_->Stats().num_shards);
+    shard_queues_ = std::make_unique<ShardQueue[]>(nshards_);
+
+    const uint32_t nloops = std::max(1u, options_.io_threads);
+    loops_.clear();
+    loops_.reserve(nloops);
+    for (uint32_t i = 0; i < nloops; ++i) {
+      auto loop = std::make_unique<IoLoop>();
+      loop->index = i;
+      loop->epoll_fd = ::epoll_create1(0);
+      loop->event_fd = ::eventfd(0, EFD_NONBLOCK);
+      if (loop->epoll_fd < 0 || loop->event_fd < 0) {
+        Status st = Errno(loop->epoll_fd < 0 ? "epoll_create1" : "eventfd");
+        loops_.push_back(std::move(loop));  // So TeardownLoops sees it.
+        TeardownLoops();
+        CloseListen();
+        return st;
+      }
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = loop->event_fd;
+      ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->event_fd, &ev);
+      if (i == 0) {
+        ev.data.fd = listen_fd_;
+        ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &ev);
+      }
+      loops_.push_back(std::move(loop));
     }
-    wake_read_fd_ = pipe_fds[0];
-    wake_write_fd_ = pipe_fds[1];
-    SetNonBlocking(wake_read_fd_);
-    SetNonBlocking(wake_write_fd_);
 
     // The one interpreter every read worker shares: its referents (the
     // runtime's stores and MovementView) are stable for the runtime's
@@ -141,8 +223,12 @@ class ServiceServer::Impl {
         &runtime_->movements(), &runtime_->auth_db());
 
     stopping_ = false;
+    coal_stop_ = false;
     started_ = true;
-    io_thread_ = std::thread([this] { IoLoop(); });
+    for (auto& loop : loops_) {
+      IoLoop* raw = loop.get();
+      loop->thread = std::thread([this, raw] { IoLoopRun(raw); });
+    }
     coalescer_thread_ = std::thread([this] { CoalescerLoop(); });
     const uint32_t workers = std::max(1u, options_.read_workers);
     read_threads_.reserve(workers);
@@ -154,111 +240,253 @@ class ServiceServer::Impl {
 
   void Stop() {
     if (!started_) return;
+    // Phase 1: stop the I/O loops. Connections stay open — queued
+    // frames still owe responses.
     stopping_ = true;
-    Wake();
-    io_thread_.join();
+    for (auto& loop : loops_) SignalLoop(loop.get());
+    for (auto& loop : loops_) {
+      if (loop->thread.joinable()) loop->thread.join();
+    }
+    // Phase 2: the producers are gone, so the coalescer can drain every
+    // queue (and every held reorder gap resolves) before exiting.
+    coal_stop_ = true;
     {
-      std::lock_guard<std::mutex> lock(queues_mu_);
-      queues_cv_.notify_all();
+      std::lock_guard<std::mutex> lock(coal_mu_);
+      coal_cv_.notify_all();
     }
     coalescer_thread_.join();
+    // Phase 3: read workers drain the remaining Query/Stats jobs.
+    {
+      std::lock_guard<std::mutex> lock(reads_mu_);
+      reads_cv_.notify_all();
+    }
     for (std::thread& t : read_threads_) t.join();
     read_threads_.clear();
-    connections_.clear();
-    ingest_queue_.clear();
+    // Phase 4: whatever alerts are still held get pushed to a live
+    // connection — the tail of the delivery guarantee.
+    DrainStrandedAlerts();
+    // Phase 5: best-effort blocking flush, then teardown.
+    FinalFlush();
+    for (auto& loop : loops_) loop->connections.clear();
+    TeardownLoops();
+    CloseListen();
+    states_.clear();
+    last_toucher_.clear();
+    pending_alerts_.clear();
     read_queue_.clear();
     queued_units_ = 0;
-    conn_queued_units_.clear();
-    CloseListen();
-    if (wake_read_fd_ >= 0) ::close(wake_read_fd_);
-    if (wake_write_fd_ >= 0) ::close(wake_write_fd_);
-    wake_read_fd_ = wake_write_fd_ = -1;
     started_ = false;
   }
 
   uint16_t bound_port() const { return bound_port_; }
 
   CoalescerStats coalescer_stats() const {
-    std::lock_guard<std::mutex> lock(coalescer_stats_mu_);
-    return coalescer_stats_;
+    CoalescerStats out;
+    {
+      std::lock_guard<std::mutex> lock(coalescer_stats_mu_);
+      out = coalescer_stats_;
+    }
+    out.shard_queue_frames.resize(nshards_);
+    for (uint32_t k = 0; k < nshards_; ++k) {
+      out.shard_queue_frames[k] =
+          shard_queues_[k].frames.load(std::memory_order_relaxed);
+    }
+    out.io_thread_connections.reserve(loops_.size());
+    for (const auto& loop : loops_) {
+      out.io_thread_connections.push_back(
+          loop->accepted.load(std::memory_order_relaxed));
+    }
+    return out;
   }
 
  private:
+  /// One epoll I/O loop. `connections` and all epoll interest mutation
+  /// belong to the loop's own thread; `pending_adds` / `attention` are
+  /// the handoff from other threads, guarded by pending_mu and signaled
+  /// via event_fd.
+  struct IoLoop {
+    uint32_t index = 0;
+    int epoll_fd = -1;
+    int event_fd = -1;
+    std::thread thread;
+    std::unordered_map<int, ConnectionPtr> connections;
+    std::mutex pending_mu;
+    std::vector<ConnectionPtr> pending_adds;
+    std::vector<ConnectionPtr> attention;
+    std::atomic<size_t> accepted{0};
+  };
+
+  /// Per-connection reorder state on the coalescer: per-shard queues
+  /// deliver a connection's frames possibly out of order (a drain can
+  /// catch shard A after frame n+1 landed there but before frame n
+  /// reached shard B), and the sequence numbers restore FIFO here.
+  struct ConnState {
+    std::weak_ptr<Connection> wconn;
+    uint64_t next_seq = 0;
+    std::unordered_map<uint64_t, IngestJob> held;
+    std::deque<IngestJob> ready;
+  };
+
   void CloseListen() {
     if (listen_fd_ >= 0) ::close(listen_fd_);
     listen_fd_ = -1;
   }
 
-  /// Nudges the I/O thread out of poll() (worker enqueued output, or
-  /// Stop() was called).
-  void Wake() {
-    char byte = 1;
-    ssize_t ignored = ::write(wake_write_fd_, &byte, 1);
+  void TeardownLoops() {
+    for (auto& loop : loops_) {
+      if (loop->epoll_fd >= 0) ::close(loop->epoll_fd);
+      if (loop->event_fd >= 0) ::close(loop->event_fd);
+      loop->epoll_fd = loop->event_fd = -1;
+    }
+    loops_.clear();
+  }
+
+  void SignalLoop(IoLoop* loop) {
+    uint64_t one = 1;
+    ssize_t ignored = ::write(loop->event_fd, &one, sizeof(one));
     (void)ignored;
   }
 
-  // --- I/O thread ------------------------------------------------------------
+  /// Queues `conn` for its owner loop's attention (output to arm, or a
+  /// failure to reap) and wakes the loop. Deduped per connection.
+  void SignalAttention(const ConnectionPtr& conn) {
+    if (conn->attention_pending.exchange(true, std::memory_order_acq_rel)) {
+      return;
+    }
+    IoLoop* loop = loops_[conn->owner].get();
+    {
+      std::lock_guard<std::mutex> lock(loop->pending_mu);
+      loop->attention.push_back(conn);
+    }
+    SignalLoop(loop);
+  }
 
-  void IoLoop() {
-    std::vector<pollfd> fds;
-    std::vector<ConnectionPtr> polled;
+  // --- I/O loops -------------------------------------------------------------
+
+  void IoLoopRun(IoLoop* loop) {
+    epoll_event events[64];
     while (!stopping_) {
-      fds.clear();
-      polled.clear();
-      fds.push_back({wake_read_fd_, POLLIN, 0});
-      fds.push_back({listen_fd_, POLLIN, 0});
-      for (auto& [fd, conn] : connections_) {
-        short events = 0;
-        {
-          std::lock_guard<std::mutex> lock(conn->out_mu);
-          if (!conn->close_after_flush) events |= POLLIN;
-          if (!conn->out.empty()) events |= POLLOUT;
-        }
-        fds.push_back({fd, events, 0});
-        polled.push_back(conn);
-      }
-      if (::poll(fds.data(), fds.size(), /*timeout_ms=*/200) < 0) {
+      int n = ::epoll_wait(loop->epoll_fd, events, 64, /*timeout_ms=*/200);
+      if (n < 0) {
         if (errno == EINTR) continue;
-        LTAM_LOG_ERROR << "server poll failed: " << std::strerror(errno);
+        LTAM_LOG_ERROR << "server epoll_wait failed: " << std::strerror(errno);
         break;
       }
-      if (fds[0].revents & POLLIN) DrainWakePipe();
-      if (fds[1].revents & POLLIN) AcceptPending();
-      for (size_t i = 0; i < polled.size(); ++i) {
-        const pollfd& pfd = fds[i + 2];
-        ConnectionPtr conn = polled[i];
+      for (int i = 0; i < n; ++i) {
+        const int fd = events[i].data.fd;
+        const uint32_t ev = events[i].events;
+        if (fd == loop->event_fd) {
+          DrainEventFd(loop);
+          HandleAttention(loop);
+          continue;
+        }
+        if (fd == listen_fd_) {
+          AcceptPending(loop);
+          continue;
+        }
+        auto it = loop->connections.find(fd);
+        if (it == loop->connections.end()) continue;  // Dropped this batch.
+        ConnectionPtr conn = it->second;
         bool drop = false;
         {
           std::lock_guard<std::mutex> lock(conn->out_mu);
-          // A client that writes requests but never reads responses
-          // cannot buffer without bound; and a connection marked for
-          // close whose output already drained is done.
-          if (conn->out.size() > options_.max_connection_backlog_bytes ||
-              (conn->close_after_flush && conn->out.empty())) {
+          if (conn->io_failed ||
+              conn->out.size() > options_.max_connection_backlog_bytes) {
             drop = true;
           }
         }
-        if (!drop && (pfd.revents & (POLLERR | POLLHUP | POLLNVAL))) {
-          drop = true;
-        }
-        if (!drop && (pfd.revents & POLLIN)) drop = !ReadFrom(conn);
-        if (!drop && (pfd.revents & POLLOUT)) drop = !FlushTo(conn);
-        if (drop) connections_.erase(conn->fd);
+        if (!drop && (ev & (EPOLLERR | EPOLLHUP))) drop = true;
+        if (!drop && (ev & EPOLLIN)) drop = !ReadFrom(loop, conn);
+        if (!drop && (ev & EPOLLOUT)) drop = !FlushTo(loop, conn);
+        if (drop) Drop(loop, conn);
       }
     }
-    // Closing the sockets here (not in Stop) keeps all socket access on
-    // this thread; queued responses for these connections are dropped.
-    connections_.clear();
+    // Leave connections intact: Stop() still owes them queued responses
+    // and the final flush.
   }
 
-  void DrainWakePipe() {
-    char buf[256];
-    while (::read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+  void DrainEventFd(IoLoop* loop) {
+    uint64_t count = 0;
+    while (::read(loop->event_fd, &count, sizeof(count)) > 0) {
     }
   }
 
-  void AcceptPending() {
-    while (true) {
+  void HandleAttention(IoLoop* loop) {
+    std::vector<ConnectionPtr> adds;
+    std::vector<ConnectionPtr> attention;
+    {
+      std::lock_guard<std::mutex> lock(loop->pending_mu);
+      adds.swap(loop->pending_adds);
+      attention.swap(loop->attention);
+    }
+    for (ConnectionPtr& conn : adds) Register(loop, std::move(conn));
+    for (const ConnectionPtr& conn : attention) {
+      conn->attention_pending.store(false, std::memory_order_release);
+      if (conn->dead.load(std::memory_order_acquire)) continue;
+      bool drop = false;
+      bool arm = false;
+      {
+        std::lock_guard<std::mutex> lock(conn->out_mu);
+        if (conn->io_failed ||
+            conn->out.size() > options_.max_connection_backlog_bytes) {
+          drop = true;
+        } else if (!conn->out.empty() && !conn->write_armed) {
+          conn->write_armed = true;
+          arm = true;
+        } else if (conn->out.empty() && conn->close_after_flush) {
+          drop = true;
+        }
+      }
+      if (drop) {
+        Drop(loop, conn);
+      } else if (arm) {
+        UpdateInterest(loop, conn, /*want_read=*/true, /*want_write=*/true);
+      }
+    }
+  }
+
+  void Register(IoLoop* loop, ConnectionPtr conn) {
+    const int fd = conn->fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      conn->dead.store(true, std::memory_order_release);
+      conn->fd_closed = true;
+      ::close(fd);
+      return;
+    }
+    loop->connections.emplace(fd, std::move(conn));
+  }
+
+  void UpdateInterest(IoLoop* loop, const ConnectionPtr& conn, bool want_read,
+                      bool want_write) {
+    epoll_event ev{};
+    ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = conn->fd;
+    ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+  }
+
+  /// Tears a connection down: marks it dead (responders drop their
+  /// bytes), then closes the fd. The dead store happens under out_mu so
+  /// no responder can be mid-send on the fd when it closes.
+  void Drop(IoLoop* loop, const ConnectionPtr& conn) {
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      conn->dead.store(true, std::memory_order_release);
+      conn->out.clear();
+      if (!conn->fd_closed) {
+        ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+        ::close(conn->fd);
+        conn->fd_closed = true;
+      }
+    }
+    loop->connections.erase(conn->fd);
+  }
+
+  void AcceptPending(IoLoop* loop0) {
+    while (!stopping_) {
       int fd = ::accept(listen_fd_, nullptr, nullptr);
       if (fd < 0) return;
       if (!SetNonBlocking(fd)) {
@@ -267,20 +495,47 @@ class ServiceServer::Impl {
       }
       int one = 1;
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      connections_.emplace(fd, std::make_shared<Connection>(fd));
+      // Round-robin steering: each loop owns its connections for life.
+      const uint32_t target =
+          next_loop_.fetch_add(1, std::memory_order_relaxed) %
+          static_cast<uint32_t>(loops_.size());
+      auto conn = std::make_shared<Connection>(
+          fd, next_conn_id_.fetch_add(1, std::memory_order_relaxed), target);
+      loops_[target]->accepted.fetch_add(1, std::memory_order_relaxed);
+      if (target == loop0->index) {
+        Register(loop0, std::move(conn));
+      } else {
+        IoLoop* peer = loops_[target].get();
+        {
+          std::lock_guard<std::mutex> lock(peer->pending_mu);
+          peer->pending_adds.push_back(std::move(conn));
+        }
+        SignalLoop(peer);
+      }
     }
   }
 
-  /// Reads everything available; false when the connection is done.
-  bool ReadFrom(const ConnectionPtr& conn) {
-    char buf[64 * 1024];
+  /// Reads what the socket has; false when the connection is done.
+  /// recv() lands straight in the assembler's chunk (BeginFill), so the
+  /// bytes are copied exactly once off the kernel.
+  bool ReadFrom(IoLoop* loop, const ConnectionPtr& conn) {
     while (true) {
-      ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+      size_t capacity = 0;
+      char* dst = conn->assembler.BeginFill(4096, &capacity);
+      ssize_t n = ::recv(conn->fd, dst, capacity, 0);
       if (n > 0) {
-        conn->assembler.Append(buf, static_cast<size_t>(n));
-        if (!DrainFrames(conn)) return false;
+        conn->assembler.CommitFill(static_cast<size_t>(n));
+        if (!DrainFrames(loop, conn)) return false;
+        {
+          std::lock_guard<std::mutex> lock(conn->out_mu);
+          if (conn->close_after_flush) return true;  // Stop reading.
+        }
+        // A partial fill means the socket buffer is drained — skip the
+        // recv that would only return EAGAIN.
+        if (static_cast<size_t>(n) < capacity) return true;
         continue;
       }
+      conn->assembler.CommitFill(0);
       if (n == 0) return false;  // Peer closed.
       if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
       if (errno == EINTR) continue;
@@ -288,66 +543,69 @@ class ServiceServer::Impl {
     }
   }
 
-  /// Extracts complete frames and dispatches them; false to drop the
-  /// connection (unframeable stream).
-  bool DrainFrames(const ConnectionPtr& conn) {
+  /// Extracts complete frames as zero-copy views and dispatches them;
+  /// false to drop the connection now.
+  bool DrainFrames(IoLoop* loop, const ConnectionPtr& conn) {
     while (true) {
-      Result<std::optional<Frame>> next = conn->assembler.Next();
+      Result<std::optional<FrameView>> next = conn->assembler.NextView();
       if (!next.ok()) {
-        // The stream can no longer be framed: queue one final error
-        // (request id 0 — no frame to attribute it to) and mark the
-        // connection close-after-flush, so the error actually reaches
-        // the peer before the close instead of being dropped when the
-        // socket buffer is momentarily full.
-        std::lock_guard<std::mutex> lock(conn->out_mu);
-        if (!conn->close_after_flush) {
-          conn->out += EncodeFrame(MessageType::kError, 0,
-                                   EncodeErrorResult(next.status()));
+        // The stream can no longer be framed: send one final error
+        // (request id 0 — no frame to attribute it to) and close once
+        // it flushes.
+        Respond(conn, MessageType::kError, 0,
+                EncodeErrorResult(next.status()));
+        bool drop_now = false;
+        {
+          std::lock_guard<std::mutex> lock(conn->out_mu);
           conn->close_after_flush = true;
+          if (conn->out.empty()) {
+            drop_now = true;  // The error already went out.
+          } else if (!conn->write_armed) {
+            conn->write_armed = true;
+          }
         }
-        return true;
+        if (!drop_now) {
+          UpdateInterest(loop, conn, /*want_read=*/false, /*want_write=*/true);
+        }
+        return !drop_now;
       }
       if (!next->has_value()) return true;
-      Dispatch(conn, **next);
+      Dispatch(conn, std::move(**next));
     }
   }
 
-  void Dispatch(const ConnectionPtr& conn, Frame frame) {
+  void Dispatch(const ConnectionPtr& conn, FrameView frame) {
     const uint32_t id = frame.header.request_id;
-    switch (frame.header.type) {
+    const MessageType type = frame.header.type;
+    switch (type) {
       case MessageType::kPing:
         // No runtime state involved: answered inline on the I/O thread.
         Respond(conn, MessageType::kPong, id, "");
         return;
-      case MessageType::kApply: {
-        Result<AccessEvent> event = DecodeApplyRequest(frame.payload);
-        if (!event.ok()) {
-          Respond(conn, MessageType::kError, id,
-                  EncodeErrorResult(event.status()));
-          return;
-        }
-        IngestJob job;
-        job.conn = conn;
-        job.request_id = id;
-        job.type = MessageType::kApply;
-        job.events.push_back(*event);
-        EnqueueIngest(std::move(job));
-        return;
-      }
+      case MessageType::kApply:
       case MessageType::kApplyBatch: {
-        Result<std::vector<AccessEvent>> events =
-            DecodeApplyBatchRequest(frame.payload);
-        if (!events.ok()) {
+        // O(1) shape check only — the events are decoded once, at merge
+        // time, straight from this pinned view.
+        Result<uint32_t> count = PeekApplyEventCount(type, frame.payload);
+        if (!count.ok()) {
           Respond(conn, MessageType::kError, id,
-                  EncodeErrorResult(events.status()));
+                  EncodeErrorResult(count.status()));
           return;
         }
         IngestJob job;
         job.conn = conn;
         job.request_id = id;
-        job.type = MessageType::kApplyBatch;
-        job.events = std::move(*events);
-        EnqueueIngest(std::move(job));
+        job.type = type;
+        job.event_count = *count;
+        job.units = std::max<size_t>(1, *count);
+        std::optional<SubjectId> subject =
+            PeekFirstSubject(type, frame.payload);
+        job.frame = std::move(frame);
+        const uint32_t shard =
+            subject.has_value()
+                ? ShardedDecisionEngine::ShardOfSubject(*subject, nshards_)
+                : 0;
+        EnqueueIngest(std::move(job), shard);
         return;
       }
       case MessageType::kApplyFix: {
@@ -362,7 +620,10 @@ class ServiceServer::Impl {
         job.request_id = id;
         job.type = MessageType::kApplyFix;
         job.fix = *fix;
-        EnqueueIngest(std::move(job));
+        job.units = 1;
+        EnqueueIngest(std::move(job),
+                      ShardedDecisionEngine::ShardOfSubject(fix->subject,
+                                                            nshards_));
         return;
       }
       case MessageType::kCheckpoint: {
@@ -376,7 +637,8 @@ class ServiceServer::Impl {
         job.conn = conn;
         job.request_id = id;
         job.type = MessageType::kCheckpoint;
-        EnqueueIngest(std::move(job));
+        job.units = 1;
+        EnqueueIngest(std::move(job), 0);
         return;
       }
       case MessageType::kQuery: {
@@ -412,30 +674,49 @@ class ServiceServer::Impl {
         Respond(conn, MessageType::kError, id,
                 EncodeErrorResult(Status::InvalidArgument(
                     std::string("server received a response frame (") +
-                    MessageTypeToString(frame.header.type) + ")")));
+                    MessageTypeToString(type) + ")")));
         return;
     }
   }
 
-  /// Flushes pending output; false when the connection is done.
-  bool FlushTo(const ConnectionPtr& conn) {
-    std::lock_guard<std::mutex> lock(conn->out_mu);
-    while (!conn->out.empty()) {
-      ssize_t n = ::send(conn->fd, conn->out.data(), conn->out.size(),
-                         MSG_NOSIGNAL);
-      if (n > 0) {
-        conn->out.erase(0, static_cast<size_t>(n));
-        continue;
+  /// Flushes pending output from the owner loop; false when the
+  /// connection is done.
+  bool FlushTo(IoLoop* loop, const ConnectionPtr& conn) {
+    bool disarm = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      size_t off = 0;
+      while (off < conn->out.size()) {
+        ssize_t n = ::send(conn->fd, conn->out.data() + off,
+                           conn->out.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+          off += static_cast<size_t>(n);
+          continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        conn->out.erase(0, off);
+        return false;
       }
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
-      if (n < 0 && errno == EINTR) continue;
-      return false;
+      conn->out.erase(0, off);
+      if (conn->out.empty()) {
+        if (conn->close_after_flush) return false;
+        if (conn->write_armed) {
+          conn->write_armed = false;
+          disarm = true;
+        }
+      }
     }
-    return !conn->close_after_flush;
+    if (disarm) {
+      UpdateInterest(loop, conn, /*want_read=*/true, /*want_write=*/false);
+    }
+    return true;
   }
 
-  /// Appends one response frame to the connection's output buffer. Safe
-  /// from any thread; the I/O thread performs the actual write. A
+  /// Sends one response frame. Safe from any thread: when the
+  /// connection's buffer is empty the frame goes straight to the socket
+  /// (the common case — no wakeup, no extra epoll round-trip); only a
+  /// short write leaves residue for the owner loop's EPOLLOUT. A
   /// payload over the wire ceiling (e.g. a query whose table outgrew
   /// 8 MiB) degrades to a structured error — it must never reach
   /// EncodeFrame's fatal check and take the whole service down.
@@ -452,68 +733,101 @@ class ServiceServer::Impl {
     } else {
       frame = EncodeFrame(type, id, payload);
     }
+    bool need_attention = false;
     {
       std::lock_guard<std::mutex> lock(conn->out_mu);
-      conn->out += frame;
-    }
-    Wake();
-  }
-
-  // --- Queues ----------------------------------------------------------------
-
-  /// One queue unit per event, minimum one per frame — so event-free
-  /// frames (Checkpoint, empty batches) are bounded too.
-  static size_t UnitsOf(const IngestJob& job) {
-    return std::max<size_t>(1, job.events.size());
-  }
-
-  void EnqueueIngest(IngestJob job) {
-    const size_t units = UnitsOf(job);
-    {
-      std::lock_guard<std::mutex> lock(queues_mu_);
-      if (queued_units_ + units > options_.max_queued_events) {
-        Respond(job.conn, MessageType::kError, job.request_id,
-                EncodeErrorResult(Status::FailedPrecondition(
-                    "ingest queue full (" + std::to_string(queued_units_) +
-                    " events queued); retry later")));
-        return;
-      }
-      // Per-connection quota: one flooding client is refused on ITS
-      // share long before it can exhaust the global budget and starve
-      // every other connection.
-      size_t& conn_units = conn_queued_units_[job.conn.get()];
-      if (conn_units + units > options_.max_connection_queued_events) {
-        if (conn_units == 0) conn_queued_units_.erase(job.conn.get());
-        {
-          std::lock_guard<std::mutex> stats_lock(coalescer_stats_mu_);
-          ++coalescer_stats_.connection_quota_refusals;
+      if (conn->dead.load(std::memory_order_acquire)) return;
+      if (conn->io_failed) return;
+      if (conn->out.empty()) {
+        size_t off = 0;
+        while (off < frame.size()) {
+          ssize_t n = ::send(conn->fd, frame.data() + off, frame.size() - off,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+          if (n > 0) {
+            off += static_cast<size_t>(n);
+            continue;
+          }
+          if (n < 0 && errno == EINTR) continue;
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          conn->io_failed = true;  // Hard error: owner loop reaps it.
+          need_attention = true;
+          break;
         }
-        Respond(job.conn, MessageType::kError, job.request_id,
-                EncodeErrorResult(Status::FailedPrecondition(
-                    "connection ingest quota full (" +
-                    std::to_string(conn_units) +
-                    " events queued on this connection); read responses or "
-                    "retry later")));
-        return;
+        if (!conn->io_failed && off < frame.size()) {
+          conn->out.assign(frame, off, std::string::npos);
+          need_attention = !conn->write_armed;
+        }
+      } else {
+        conn->out += frame;
+        need_attention = !conn->write_armed;
+        if (conn->out.size() > options_.max_connection_backlog_bytes) {
+          // A client writing requests but never reading responses
+          // cannot buffer without bound.
+          conn->io_failed = true;
+          need_attention = true;
+        }
       }
-      conn_units += units;
-      queued_units_ += units;
-      ingest_queue_.push_back(std::move(job));
     }
-    queues_cv_.notify_all();
+    if (need_attention) SignalAttention(conn);
   }
 
-  /// Returns `units` of quota for `conn`. Caller holds queues_mu_.
-  void ReleaseConnUnits(const Connection* conn, size_t units) {
-    auto it = conn_queued_units_.find(conn);
-    if (it == conn_queued_units_.end()) return;
-    it->second -= std::min(it->second, units);
-    if (it->second == 0) conn_queued_units_.erase(it);
+  // --- Ingest queues ---------------------------------------------------------
+
+  /// Quota check (global budget first, then the per-connection share),
+  /// then a lock-free push onto the frame's shard queue. The sequence
+  /// number is assigned only after acceptance, so the coalescer's
+  /// reorder never waits on a refused frame.
+  void EnqueueIngest(IngestJob job, uint32_t shard) {
+    const size_t units = job.units;
+    const size_t global_before =
+        queued_units_.fetch_add(units, std::memory_order_acq_rel);
+    if (global_before + units > options_.max_queued_events) {
+      queued_units_.fetch_sub(units, std::memory_order_acq_rel);
+      Respond(job.conn, MessageType::kError, job.request_id,
+              EncodeErrorResult(Status::FailedPrecondition(
+                  "ingest queue full (" + std::to_string(global_before) +
+                  " events queued); retry later")));
+      return;
+    }
+    // Per-connection quota: one flooding client is refused on ITS share
+    // long before it can exhaust the global budget and starve every
+    // other connection.
+    const size_t conn_before =
+        job.conn->queued_units.fetch_add(units, std::memory_order_acq_rel);
+    if (conn_before + units > options_.max_connection_queued_events) {
+      job.conn->queued_units.fetch_sub(units, std::memory_order_acq_rel);
+      queued_units_.fetch_sub(units, std::memory_order_acq_rel);
+      {
+        std::lock_guard<std::mutex> lock(coalescer_stats_mu_);
+        ++coalescer_stats_.connection_quota_refusals;
+      }
+      Respond(job.conn, MessageType::kError, job.request_id,
+              EncodeErrorResult(Status::FailedPrecondition(
+                  "connection ingest quota full (" +
+                  std::to_string(conn_before) +
+                  " events queued on this connection); read responses or "
+                  "retry later")));
+      return;
+    }
+    job.seq = job.conn->next_seq++;
+    ShardQueue& q = shard_queues_[shard];
+    auto* node = new IngestNode(std::move(job));
+    IngestNode* head = q.head.load(std::memory_order_relaxed);
+    do {
+      node->next = head;
+    } while (!q.head.compare_exchange_weak(head, node,
+                                           std::memory_order_release,
+                                           std::memory_order_relaxed));
+    q.frames.fetch_add(1, std::memory_order_relaxed);
+    if (coalescer_idle_.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lock(coal_mu_);
+      coal_cv_.notify_one();
+    }
   }
 
   void EnqueueRead(ReadJob job) {
     {
-      std::lock_guard<std::mutex> lock(queues_mu_);
+      std::lock_guard<std::mutex> lock(reads_mu_);
       if (read_queue_.size() >= options_.max_queued_reads) {
         Respond(job.conn, MessageType::kError, job.request_id,
                 EncodeErrorResult(Status::FailedPrecondition(
@@ -524,108 +838,193 @@ class ServiceServer::Impl {
       }
       read_queue_.push_back(std::move(job));
     }
-    queues_cv_.notify_all();
+    reads_cv_.notify_all();
   }
 
   // --- Ingest coalescer ------------------------------------------------------
 
+  bool AnyQueueNonEmpty() const {
+    for (uint32_t k = 0; k < nshards_; ++k) {
+      if (shard_queues_[k].head.load(std::memory_order_acquire) != nullptr) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool AnyStateHasWork() const {
+    for (const auto& [id, st] : states_) {
+      if (!st.ready.empty() || !st.held.empty()) return true;
+    }
+    return false;
+  }
+
   void CoalescerLoop() {
     while (true) {
-      std::vector<IngestJob> group;
-      {
-        std::unique_lock<std::mutex> lock(queues_mu_);
-        queues_cv_.wait(lock, [this] {
-          return stopping_ || !ingest_queue_.empty();
-        });
-        if (ingest_queue_.empty()) {
-          if (stopping_) return;  // Queue drained; done.
-          continue;
-        }
-        // Coalescing selects at most ONE Apply/ApplyBatch frame per
-        // connection per merged batch (the earliest queued), bounded by
-        // max_coalesced_events. Merging across connections is the whole
-        // point — it amortizes the sharded fan-out and group commit —
-        // while one-frame-per-connection keeps batch-scoped alert
-        // attribution exact: every alert a merged batch raises for a
-        // connection's subjects was raised by that connection's one
-        // frame in it. Per-connection FIFO is preserved (a connection's
-        // later frames are skipped, never overtaken by its own), and
-        // ApplyFix/Checkpoint act as per-connection barriers, applied
-        // alone when they reach the front.
-        IngestJob& front = ingest_queue_.front();
-        if (front.type == MessageType::kApplyFix ||
-            front.type == MessageType::kCheckpoint) {
-          const size_t front_units = UnitsOf(front);
-          queued_units_ -= front_units;
-          ReleaseConnUnits(front.conn.get(), front_units);
-          group.push_back(std::move(front));
-          ingest_queue_.pop_front();
-        } else {
-          size_t events = 0;
-          size_t units = 0;
-          std::unordered_set<const Connection*> in_group;
-          std::unordered_set<const Connection*> blocked;
-          for (auto it = ingest_queue_.begin();
-               it != ingest_queue_.end();) {
-            const Connection* conn = it->conn.get();
-            const bool barrier = it->type == MessageType::kApplyFix ||
-                                 it->type == MessageType::kCheckpoint;
-            if (barrier || blocked.count(conn) > 0 ||
-                in_group.count(conn) > 0) {
-              // This connection contributes nothing more this round.
-              blocked.insert(conn);
-              ++it;
-              continue;
-            }
-            if (!group.empty() &&
-                events + it->events.size() >
-                    options_.max_coalesced_events) {
-              break;
-            }
-            events += it->events.size();
-            units += UnitsOf(*it);
-            ReleaseConnUnits(conn, UnitsOf(*it));
-            in_group.insert(conn);
-            group.push_back(std::move(*it));
-            it = ingest_queue_.erase(it);
-          }
-          queued_units_ -= units;
-        }
+      const bool did_work = RoundOnce();
+      if (coal_stop_.load(std::memory_order_acquire)) {
+        // Drain to empty: the producers joined before coal_stop_, so
+        // every pushed frame is reachable and every reorder gap closes.
+        if (!did_work && !AnyQueueNonEmpty() && !AnyStateHasWork()) return;
+        continue;
       }
-      const MessageType head = group.front().type;
-      if (head == MessageType::kApplyFix) {
-        ProcessFix(group.front());
-      } else if (head == MessageType::kCheckpoint) {
-        ProcessCheckpoint(group.front());
-      } else {
-        ProcessMergedBatch(&group);
+      if (did_work) continue;
+      std::unique_lock<std::mutex> lock(coal_mu_);
+      coalescer_idle_.store(true, std::memory_order_seq_cst);
+      if (AnyQueueNonEmpty() || coal_stop_.load(std::memory_order_acquire)) {
+        coalescer_idle_.store(false, std::memory_order_seq_cst);
+        continue;
       }
+      coal_cv_.wait_for(lock, std::chrono::milliseconds(100));
+      coalescer_idle_.store(false, std::memory_order_seq_cst);
     }
   }
 
-  void ProcessMergedBatch(std::vector<IngestJob>* group) {
-    // Merge: each frame's events stay contiguous in arrival order, so
-    // every connection's (hence every subject's, when subjects are not
-    // shared across connections) time order is preserved.
-    std::vector<AccessEvent> merged;
-    std::vector<size_t> offsets;
-    offsets.reserve(group->size());
-    for (const IngestJob& job : *group) {
-      offsets.push_back(merged.size());
-      merged.insert(merged.end(), job.events.begin(), job.events.end());
+  /// One coalescer round: drain the shard queues into per-connection
+  /// FIFO state, apply any leading barriers, merge one apply frame per
+  /// connection into a single runtime batch, then GC dead connections.
+  /// Returns whether anything moved.
+  bool RoundOnce() {
+    bool any = DrainShardQueues();
+    // Barriers: ApplyFix/Checkpoint apply alone, in their connection's
+    // FIFO position.
+    for (auto& [id, st] : states_) {
+      while (!st.ready.empty() && IsBarrier(st.ready.front().type)) {
+        IngestJob job = std::move(st.ready.front());
+        st.ready.pop_front();
+        ReleaseUnits(job);
+        if (job.type == MessageType::kApplyFix) {
+          ProcessFix(job);
+        } else {
+          ProcessCheckpoint(job);
+        }
+        any = true;
+      }
     }
+    // Merge group: at most ONE Apply/ApplyBatch frame per connection
+    // (the earliest queued), bounded by max_coalesced_events. Merging
+    // across connections is the whole point — it amortizes the sharded
+    // fan-out and group commit — while one-frame-per-connection keeps
+    // batch-scoped alert attribution exact and preserves every
+    // connection's (hence every subject's, when subjects are not shared
+    // across connections) time order.
+    group_.clear();
+    size_t events = 0;
+    for (auto& [id, st] : states_) {
+      if (st.ready.empty()) continue;
+      IngestJob& front = st.ready.front();
+      if (IsBarrier(front.type)) continue;  // Arrived during this loop? No —
+                                            // but cheap to keep exact.
+      if (!group_.empty() &&
+          events + front.event_count > options_.max_coalesced_events) {
+        continue;  // Over budget this round; a smaller frame may still fit.
+      }
+      events += front.event_count;
+      ReleaseUnits(front);
+      group_.push_back(std::move(front));
+      st.ready.pop_front();
+      any = true;
+    }
+    if (!group_.empty()) ProcessMergedBatch(&group_);
+    for (auto it = states_.begin(); it != states_.end();) {
+      if (it->second.wconn.expired() && it->second.ready.empty() &&
+          it->second.held.empty()) {
+        it = states_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return any;
+  }
+
+  bool DrainShardQueues() {
+    bool any = false;
+    for (uint32_t k = 0; k < nshards_; ++k) {
+      IngestNode* node =
+          shard_queues_[k].head.exchange(nullptr, std::memory_order_acquire);
+      // The stack pops newest-first; reverse back to arrival order.
+      IngestNode* ordered = nullptr;
+      while (node != nullptr) {
+        IngestNode* next = node->next;
+        node->next = ordered;
+        ordered = node;
+        node = next;
+      }
+      while (ordered != nullptr) {
+        Feed(std::move(ordered->job));
+        IngestNode* next = ordered->next;
+        delete ordered;
+        ordered = next;
+        any = true;
+      }
+    }
+    return any;
+  }
+
+  /// Restores per-connection FIFO: in-sequence frames go to `ready`,
+  /// early arrivals wait in `held` until their gap closes.
+  void Feed(IngestJob job) {
+    ConnState& st = states_[job.conn->id];
+    if (st.wconn.expired()) st.wconn = job.conn;
+    if (job.seq == st.next_seq) {
+      st.ready.push_back(std::move(job));
+      ++st.next_seq;
+      auto it = st.held.find(st.next_seq);
+      while (it != st.held.end()) {
+        st.ready.push_back(std::move(it->second));
+        st.held.erase(it);
+        ++st.next_seq;
+        it = st.held.find(st.next_seq);
+      }
+    } else {
+      st.held.emplace(job.seq, std::move(job));
+    }
+  }
+
+  /// Returns the frame's quota units (charged at dispatch) as its
+  /// processing begins — this bounds queued + in-flight memory.
+  void ReleaseUnits(const IngestJob& job) {
+    job.conn->queued_units.fetch_sub(job.units, std::memory_order_acq_rel);
+    queued_units_.fetch_sub(job.units, std::memory_order_acq_rel);
+  }
+
+  void ProcessMergedBatch(std::vector<IngestJob>* group) {
+    // The ONE event decode: straight from each frame's pinned view into
+    // the reused merge buffer, each frame's events contiguous in
+    // arrival order. A frame that fails validation here gets its error
+    // now and drops out of the merge.
+    merged_.clear();
+    const size_t n = group->size();
+    std::vector<size_t> offsets(n, 0);
+    std::vector<bool> live(n, false);
+    size_t live_count = 0;
+    for (size_t i = 0; i < n; ++i) {
+      IngestJob& job = (*group)[i];
+      offsets[i] = merged_.size();
+      Status decoded =
+          DecodeApplyEventsInto(job.type, job.frame.payload, &merged_);
+      if (!decoded.ok()) {
+        merged_.resize(offsets[i]);
+        Respond(job.conn, MessageType::kError, job.request_id,
+                EncodeErrorResult(decoded));
+        continue;
+      }
+      live[i] = true;
+      ++live_count;
+    }
+    if (live_count == 0) return;
 
     Result<BatchResult> result = [&]() -> Result<BatchResult> {
       std::unique_lock<std::shared_mutex> lock(runtime_mu_);
-      return runtime_->ApplyBatch(merged);
+      return runtime_->ApplyBatch(merged_);
     }();
     {
       std::lock_guard<std::mutex> lock(coalescer_stats_mu_);
       ++coalescer_stats_.merged_batches;
-      coalescer_stats_.merged_frames += group->size();
-      coalescer_stats_.max_frames_per_batch = std::max(
-          coalescer_stats_.max_frames_per_batch, group->size());
-      coalescer_stats_.merged_events += merged.size();
+      coalescer_stats_.merged_frames += live_count;
+      coalescer_stats_.max_frames_per_batch =
+          std::max(coalescer_stats_.max_frames_per_batch, live_count);
+      coalescer_stats_.merged_events += merged_.size();
     }
     if (!result.ok()) {
       // A whole-batch refusal: nothing was applied. A MERGED refusal can
@@ -634,53 +1033,56 @@ class ServiceServer::Impl {
       // each frame alone — every frame then gets its own accurate
       // verdict instead of inheriting its neighbors'. A single frame's
       // refusal is final.
-      if (group->size() > 1) {
-        for (IngestJob& job : *group) {
+      if (live_count > 1) {
+        for (size_t i = 0; i < n; ++i) {
+          if (!live[i]) continue;
           std::vector<IngestJob> alone;
-          alone.push_back(std::move(job));
+          alone.push_back(std::move((*group)[i]));
           ProcessMergedBatch(&alone);
         }
         return;
       }
-      const IngestJob& job = group->front();
-      Respond(job.conn, MessageType::kError, job.request_id,
-              EncodeErrorResult(result.status().WithContext(
-                  "batch refused; nothing applied")));
+      for (size_t i = 0; i < n; ++i) {
+        if (!live[i]) continue;
+        const IngestJob& job = (*group)[i];
+        Respond(job.conn, MessageType::kError, job.request_id,
+                EncodeErrorResult(result.status().WithContext(
+                    "batch refused; nothing applied")));
+      }
       return;
     }
 
+    ++round_;
+
     // Demux decisions back to their frames by offset, and route alerts
-    // by subject: an alert belongs to the first frame of this merge that
-    // touched its subject. Alerts for subjects no frame touched (e.g.
-    // raised by an earlier ApplyFix whose subject went quiet) wait in
-    // pending_alerts_ for a later opportunity.
+    // by subject: an alert belongs to the first frame of this merge
+    // that touched its subject. Alerts for subjects no frame touched
+    // (e.g. raised by an earlier ApplyFix whose subject went quiet) are
+    // parked with a bounded deadline — see RouteAlerts.
     std::unordered_map<SubjectId, size_t> owner;
-    for (size_t i = 0; i < group->size(); ++i) {
-      for (const AccessEvent& e : (*group)[i].events) {
-        owner.emplace(e.subject, i);
+    std::unordered_map<const Connection*, size_t> conn_index;
+    size_t first_live = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (!live[i]) continue;
+      if (first_live == n) first_live = i;
+      conn_index.emplace((*group)[i].conn.get(), i);
+      const size_t end =
+          i + 1 < n ? offsets[i + 1] : merged_.size();
+      for (size_t e = offsets[i]; e < end; ++e) {
+        owner.emplace(merged_[e].subject, i);
+        last_toucher_[merged_[e].subject] = (*group)[i].conn;
       }
     }
-    std::vector<std::vector<Alert>> routed(group->size());
-    std::vector<Alert> still_pending;
-    auto route = [&](std::vector<Alert>& alerts) {
-      for (Alert& alert : alerts) {
-        auto it = owner.find(alert.subject);
-        if (it != owner.end()) {
-          routed[it->second].push_back(std::move(alert));
-        } else {
-          still_pending.push_back(std::move(alert));
-        }
-      }
-    };
-    route(pending_alerts_);
-    route(result->alerts);
-    pending_alerts_ = std::move(still_pending);
 
-    for (size_t i = 0; i < group->size(); ++i) {
+    std::vector<std::vector<Alert>> routed(n);
+    RouteAlerts(owner, conn_index, first_live, &result->alerts, &routed);
+
+    for (size_t i = 0; i < n; ++i) {
+      if (!live[i]) continue;
       const IngestJob& job = (*group)[i];
       WireBatchResult wire;
       const size_t begin = offsets[i];
-      const size_t end = begin + job.events.size();
+      const size_t end = i + 1 < n ? offsets[i + 1] : merged_.size();
       wire.decisions.assign(result->decisions.begin() + begin,
                             result->decisions.begin() + end);
       wire.alerts = std::move(routed[i]);
@@ -694,6 +1096,60 @@ class ServiceServer::Impl {
     }
   }
 
+  /// Routes this merge's fresh alerts and the parked backlog. Exact
+  /// subject attribution when a frame of the merge touched the subject;
+  /// otherwise the alert is parked and delivered on a bounded deadline:
+  /// to the subject's last toucher as soon as that connection has a
+  /// frame in a merge, or to ANY frame once a full round has passed.
+  void RouteAlerts(const std::unordered_map<SubjectId, size_t>& owner,
+                   const std::unordered_map<const Connection*, size_t>&
+                       conn_index,
+                   size_t first_live, std::vector<Alert>* fresh,
+                   std::vector<std::vector<Alert>>* routed) {
+    size_t stranded = 0;
+    std::vector<PendingAlert> still_pending;
+    for (PendingAlert& pa : pending_alerts_) {
+      auto it = owner.find(pa.alert.subject);
+      if (it != owner.end()) {
+        (*routed)[it->second].push_back(std::move(pa.alert));
+        continue;  // A frame touched the subject: exact, not stranded.
+      }
+      if (ConnectionPtr pref = pa.preferred.lock()) {
+        auto ci = conn_index.find(pref.get());
+        if (ci != conn_index.end()) {
+          (*routed)[ci->second].push_back(std::move(pa.alert));
+          ++stranded;
+          continue;
+        }
+      }
+      if (pa.parked_round < round_) {
+        // Waited a full round with no better carrier: any frame will do.
+        (*routed)[first_live].push_back(std::move(pa.alert));
+        ++stranded;
+        continue;
+      }
+      still_pending.push_back(std::move(pa));
+    }
+    pending_alerts_ = std::move(still_pending);
+    for (Alert& alert : *fresh) {
+      auto it = owner.find(alert.subject);
+      if (it != owner.end()) {
+        (*routed)[it->second].push_back(std::move(alert));
+        continue;
+      }
+      PendingAlert pa;
+      pa.parked_round = round_;
+      auto lt = last_toucher_.find(alert.subject);
+      if (lt != last_toucher_.end()) pa.preferred = lt->second;
+      pa.alert = std::move(alert);
+      pending_alerts_.push_back(std::move(pa));
+    }
+    if (stranded > 0) {
+      std::lock_guard<std::mutex> lock(coalescer_stats_mu_);
+      coalescer_stats_.stranded_alerts_delivered += stranded;
+    }
+  }
+
   void ProcessFix(const IngestJob& job) {
     WireFixResult wire;
     {
@@ -704,10 +1160,16 @@ class ServiceServer::Impl {
         if (alert.subject == job.fix.subject) {
           wire.alerts.push_back(std::move(alert));
         } else {
-          pending_alerts_.push_back(std::move(alert));
+          // Orphaned by this fix: prefer its connection as the carrier.
+          PendingAlert pa;
+          pa.parked_round = round_;
+          pa.preferred = job.conn;
+          pa.alert = std::move(alert);
+          pending_alerts_.push_back(std::move(pa));
         }
       }
     }
+    last_toucher_[job.fix.subject] = job.conn;
     Respond(job.conn, MessageType::kFixResult, job.request_id,
             EncodeFixResult(wire));
   }
@@ -726,15 +1188,89 @@ class ServiceServer::Impl {
     }
   }
 
+  // --- Shutdown tail ---------------------------------------------------------
+
+  /// Delivers whatever pending_alerts_ still holds as kAlertPush frames
+  /// (request_id 0): each alert goes to its preferred connection when
+  /// that socket is still live, else to the first live connection. Only
+  /// when NO connection survives is an alert truly undeliverable.
+  void DrainStrandedAlerts() {
+    if (pending_alerts_.empty()) return;
+    ConnectionPtr fallback;
+    for (const auto& loop : loops_) {
+      for (const auto& [fd, conn] : loop->connections) {
+        if (!conn->dead.load(std::memory_order_acquire)) {
+          fallback = conn;
+          break;
+        }
+      }
+      if (fallback) break;
+    }
+    std::unordered_map<Connection*, std::vector<Alert>> buckets;
+    std::unordered_map<Connection*, ConnectionPtr> keepalive;
+    size_t delivered = 0;
+    for (PendingAlert& pa : pending_alerts_) {
+      ConnectionPtr target = pa.preferred.lock();
+      if (!target || target->dead.load(std::memory_order_acquire)) {
+        target = fallback;
+      }
+      if (!target) continue;  // No live connection at all.
+      keepalive.emplace(target.get(), target);
+      buckets[target.get()].push_back(std::move(pa.alert));
+      ++delivered;
+    }
+    pending_alerts_.clear();
+    for (auto& [raw, alerts] : buckets) {
+      SortAlerts(&alerts);
+      Respond(keepalive[raw], MessageType::kAlertPush, 0,
+              EncodeAlertPush(alerts));
+    }
+    if (delivered > 0) {
+      std::lock_guard<std::mutex> lock(coalescer_stats_mu_);
+      coalescer_stats_.stranded_alerts_delivered += delivered;
+    }
+  }
+
+  /// Best-effort blocking flush of every surviving connection's buffer
+  /// (bounded by a send timeout) so final responses and alert pushes
+  /// actually reach peers before the sockets close.
+  void FinalFlush() {
+    for (const auto& loop : loops_) {
+      for (const auto& [fd, conn] : loop->connections) {
+        std::lock_guard<std::mutex> lock(conn->out_mu);
+        if (conn->dead.load(std::memory_order_acquire) || conn->out.empty()) {
+          continue;
+        }
+        int flags = ::fcntl(conn->fd, F_GETFL, 0);
+        if (flags >= 0) ::fcntl(conn->fd, F_SETFL, flags & ~O_NONBLOCK);
+        timeval tv{};
+        tv.tv_usec = 500 * 1000;
+        ::setsockopt(conn->fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+        size_t off = 0;
+        while (off < conn->out.size()) {
+          ssize_t sent = ::send(conn->fd, conn->out.data() + off,
+                                conn->out.size() - off, MSG_NOSIGNAL);
+          if (sent > 0) {
+            off += static_cast<size_t>(sent);
+            continue;
+          }
+          if (sent < 0 && errno == EINTR) continue;
+          break;
+        }
+        conn->out.clear();
+      }
+    }
+  }
+
   // --- Read workers ----------------------------------------------------------
 
   void ReadLoop() {
     while (true) {
       ReadJob job;
       {
-        std::unique_lock<std::mutex> lock(queues_mu_);
-        queues_cv_.wait(lock, [this] {
-          return stopping_ || !read_queue_.empty();
+        std::unique_lock<std::mutex> lock(reads_mu_);
+        reads_cv_.wait(lock, [this] {
+          return stopping_.load() || !read_queue_.empty();
         });
         if (read_queue_.empty()) {
           if (stopping_) return;
@@ -774,16 +1310,15 @@ class ServiceServer::Impl {
   bool started_ = false;
   std::atomic<bool> stopping_{false};
   int listen_fd_ = -1;
-  int wake_read_fd_ = -1;
-  int wake_write_fd_ = -1;
   uint16_t bound_port_ = 0;
+  uint32_t nshards_ = 0;
 
-  std::thread io_thread_;
+  std::vector<std::unique_ptr<IoLoop>> loops_;
+  std::atomic<uint32_t> next_loop_{0};
+  std::atomic<uint64_t> next_conn_id_{1};
+
   std::thread coalescer_thread_;
   std::vector<std::thread> read_threads_;
-
-  /// I/O-thread-only connection table.
-  std::unordered_map<int, ConnectionPtr> connections_;
 
   /// Writers (coalescer) take it exclusive; readers (query/stats
   /// workers) take it shared. This is the entire concurrency contract
@@ -791,20 +1326,31 @@ class ServiceServer::Impl {
   /// server's parallel read path.
   std::shared_mutex runtime_mu_;
 
-  std::mutex queues_mu_;
-  std::condition_variable queues_cv_;
-  std::deque<IngestJob> ingest_queue_;
-  std::deque<ReadJob> read_queue_;
-  /// Queue units pending in ingest_queue_ (see UnitsOf).
-  size_t queued_units_ = 0;
-  /// Per-connection share of queued_units_, for the connection quota.
-  /// Guarded by queues_mu_; keyed by raw pointer (jobs hold the
-  /// ConnectionPtr alive until they leave the queue).
-  std::unordered_map<const Connection*, size_t> conn_queued_units_;
+  /// Per-shard MPSC ingest queues (size nshards_).
+  std::unique_ptr<ShardQueue[]> shard_queues_;
+  /// Queue units pending across all shard queues and the coalescer's
+  /// ready/held frames (released as processing begins).
+  std::atomic<size_t> queued_units_{0};
 
-  /// Coalescer-thread-only: alerts drained but not yet attributable to
-  /// a frame (no frame in the merge touched their subject).
-  std::vector<Alert> pending_alerts_;
+  /// Coalescer sleep/wake handshake: producers notify only when the
+  /// idle flag is up; the coalescer re-checks the queue heads after
+  /// raising it, so a push can never slip between check and wait.
+  std::mutex coal_mu_;
+  std::condition_variable coal_cv_;
+  std::atomic<bool> coalescer_idle_{false};
+  std::atomic<bool> coal_stop_{false};
+
+  std::mutex reads_mu_;
+  std::condition_variable reads_cv_;
+  std::deque<ReadJob> read_queue_;
+
+  // Coalescer-thread-only state (Stop() touches it after the join).
+  std::unordered_map<uint64_t, ConnState> states_;  // By Connection::id.
+  std::vector<IngestJob> group_;
+  std::vector<AccessEvent> merged_;
+  uint64_t round_ = 0;
+  std::vector<PendingAlert> pending_alerts_;
+  std::unordered_map<SubjectId, std::weak_ptr<Connection>> last_toucher_;
 
   mutable std::mutex coalescer_stats_mu_;
   CoalescerStats coalescer_stats_;

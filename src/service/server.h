@@ -6,22 +6,35 @@
 // hand each connection its own runtime calls. ServiceServer instead runs
 // three thread groups around one runtime:
 //
-//  - an I/O thread: poll()-driven acceptor + reader/writer for every
-//    connection. It assembles frames, answers Ping inline, and routes
-//    everything else to the queues below; it is the only thread that
-//    touches sockets.
+//  - N I/O threads (ServerOptions::io_threads): each runs its own
+//    epoll(7) readiness loop with an eventfd wakeup. Accepted
+//    connections are steered round-robin across the loops, and each
+//    loop owns its connections' reads, writes, and epoll interest for
+//    their whole lifetime — no socket is ever touched by two I/O
+//    threads. Frames are received straight into the connection's
+//    FrameAssembler chunks and dispatched as zero-copy FrameViews: the
+//    I/O thread validates an Apply/ApplyBatch payload's shape in O(1)
+//    (count vs size), never decodes the events, and enqueues the pinned
+//    view. Response bytes are written directly from whichever thread
+//    produced them when the socket is writable (the common loopback
+//    case); only a short write falls back to the owner loop's EPOLLOUT.
 //  - the ingest coalescer: ONE thread that owns event application. It
-//    drains the ingest queue and merges Apply/ApplyBatch frames — at
-//    most one per connection per round, each frame's events contiguous
-//    and in order, so per-subject time order within a connection is
-//    preserved — into a single AccessRuntime::ApplyBatch call, then
-//    demultiplexes the decisions back to their originating frames by
-//    offset and routes the drained alerts to frames by subject (exact,
-//    because one round holds one frame per connection). This is the
-//    scaling mechanism: the sharded fan-out and the per-shard
-//    group-commit fsync are paid once per merged batch, not once per
-//    connection. ApplyFix and Checkpoint frames are per-connection
-//    barriers, applied alone when they reach the front of the queue.
+//    drains per-shard lock-free MPSC ingest queues (frames are routed
+//    by ShardOfSubject of their first event; per-connection sequence
+//    numbers restore per-connection FIFO at the consumer) and merges
+//    Apply/ApplyBatch frames — at most one per connection per round,
+//    each frame's events contiguous and in order, so per-subject time
+//    order within a connection is preserved — into a single
+//    AccessRuntime::ApplyBatch call. The merge is also where the ONE
+//    event decode happens, straight from the pinned frame views into
+//    the reused merge buffer. Decisions are demultiplexed back to their
+//    originating frames by offset and drained alerts are routed to
+//    frames by subject (exact, because one round holds one frame per
+//    connection). This is the scaling mechanism: the sharded fan-out
+//    and the per-shard group-commit fsync are paid once per merged
+//    batch, not once per connection. ApplyFix and Checkpoint frames are
+//    per-connection barriers, applied alone when they reach the front
+//    of their connection's queue.
 //  - read workers: a small pool answering Query (the query language over
 //    the runtime's MovementView) and Stats concurrently — they take the
 //    runtime lock shared, so reads run in parallel with each other and
@@ -29,8 +42,16 @@
 //    application window.
 //
 // Responses preserve per-connection order within the ingest path (the
-// coalescer is FIFO) but reads may overtake writes; every response
-// echoes its request_id, so pipelined clients demultiplex by id.
+// coalescer is FIFO per connection) but reads may overtake writes; every
+// response echoes its request_id, so pipelined clients demultiplex by id.
+//
+// Alert delivery guarantee: an alert whose subject no in-flight frame
+// touched (e.g. raised by a Tick or an ApplyFix for an idle subject) is
+// held, then attached to the next merged response — preferring the
+// connection that most recently touched that subject, falling back to
+// any frame of the merge after one coalescer round — and whatever is
+// still held at Stop() is pushed to a live connection as a kAlertPush
+// frame before the sockets close. No alert is silently dropped.
 //
 // Commit pipelining (RuntimeOptions::durability, ltam_serve
 // --sync-mode=pipelined|interval): ApplyBatch on a pipelined runtime
@@ -48,6 +69,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "runtime/access_runtime.h"
 #include "util/result.h"
@@ -61,6 +83,11 @@ struct ServerOptions {
   std::string host = "127.0.0.1";
   /// TCP port; 0 picks an ephemeral port (see bound_port()).
   uint16_t port = 0;
+  /// Number of epoll I/O loops. Accepted connections are steered
+  /// round-robin; each loop owns its connections exclusively. 1 is
+  /// right for a handful of connections; scale up with connection
+  /// count and core count.
+  uint32_t io_threads = 1;
   /// Read worker pool size (Query/Stats concurrency).
   uint32_t read_workers = 2;
   /// Ceiling on events merged into one coalesced ApplyBatch. The
@@ -105,6 +132,17 @@ struct CoalescerStats {
   /// exceeded ServerOptions::max_connection_queued_events (the global
   /// max_queued_events refusals are not counted here).
   size_t connection_quota_refusals = 0;
+  /// Alerts no response could carry by subject, delivered via the
+  /// bounded-deadline fallback or the shutdown alert-push drain (see
+  /// the alert delivery guarantee above). Zero means every alert was
+  /// attributed exactly.
+  size_t stranded_alerts_delivered = 0;
+  /// Frames accepted into each per-shard ingest queue (index = runtime
+  /// shard; quota-refused frames are not counted).
+  std::vector<size_t> shard_queue_frames;
+  /// Connections each I/O loop has accepted over the server's lifetime
+  /// (index = I/O thread; round-robin steering makes these near-equal).
+  std::vector<size_t> io_thread_connections;
 };
 
 /// One TCP server over one AccessRuntime. The runtime is borrowed: the
@@ -122,9 +160,10 @@ class ServiceServer {
   /// when already started; IOError for socket failures.
   Status Start();
 
-  /// Stops accepting, drains the ingest queue (queued frames still get
-  /// their responses' best effort), closes every connection, and joins
-  /// all threads. Idempotent.
+  /// Stops accepting, drains the ingest queues (queued frames still get
+  /// their responses), pushes any still-held alerts to a live
+  /// connection, flushes what the sockets will take, closes every
+  /// connection, and joins all threads. Idempotent.
   void Stop();
 
   /// The port actually bound (== options.port unless it was 0).

@@ -261,8 +261,11 @@ Status DurableShardedSystem::WriteEpoch(uint64_t epoch) {
   // Retire the old log generation: everything it accepted is durable
   // now (the snapshot carries the live state, lost pipelined tails
   // included), and its counters must survive the swap.
-  for (const std::unique_ptr<ShardLog>& log : logs_) {
+  retired_records_per_shard_.resize(logs_.size(), 0);
+  for (size_t k = 0; k < logs_.size(); ++k) {
+    const std::unique_ptr<ShardLog>& log = logs_[k];
     retired_records_ += log->appended_seq();
+    retired_records_per_shard_[k] += log->appended_seq();
     retired_append_failures_ += log->append_failures();
     retired_sync_failures_ += log->sync_failures();
   }
@@ -426,6 +429,17 @@ DurabilityWatermark DurableShardedSystem::Watermark() const {
     mark.applied += log->appended_seq();
     mark.durable += log->durable_seq();
   }
+  return mark;
+}
+
+DurabilityWatermark DurableShardedSystem::ShardWatermark(
+    uint32_t shard) const {
+  const uint64_t retired = shard < retired_records_per_shard_.size()
+                               ? retired_records_per_shard_[shard]
+                               : 0;
+  DurabilityWatermark mark;
+  mark.applied = retired + logs_[shard]->appended_seq();
+  mark.durable = retired + logs_[shard]->durable_seq();
   return mark;
 }
 

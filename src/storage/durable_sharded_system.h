@@ -157,6 +157,11 @@ class DurableShardedSystem {
   /// events applied) vs fsynced, monotonic across checkpoints.
   DurabilityWatermark Watermark() const;
 
+  /// One shard log's durability position, monotonic across checkpoints
+  /// (retired generations are accumulated per shard). The aggregate
+  /// Watermark() is the sum over shards.
+  DurabilityWatermark ShardWatermark(uint32_t shard) const;
+
   /// Physical log failures observed since Open (appends that refused or
   /// lost records, fsyncs that failed), monotonic across checkpoints.
   uint64_t wal_append_failures() const;
@@ -279,6 +284,9 @@ class DurableShardedSystem {
   uint64_t retired_records_ = 0;
   uint64_t retired_append_failures_ = 0;
   uint64_t retired_sync_failures_ = 0;
+  /// Per-shard slice of retired_records_, so ShardWatermark stays
+  /// monotonic across checkpoints too.
+  std::vector<uint64_t> retired_records_per_shard_;
   /// Shard count requested at Open (clamped); differs from num_shards()
   /// iff a recovered manifest pinned another count.
   uint32_t requested_shards_ = 0;

@@ -10,10 +10,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -676,6 +678,90 @@ TEST(AccessRuntimeTest, PipelinedWatermarkAndWaitDurable) {
     rt.reset();
     fs::remove_all(dir);
   }
+}
+
+/// Polls the durability watermark until durable == applied or the
+/// deadline passes. The point: NO further traffic and NO WaitDurable —
+/// only the backend's own timer may close the gap.
+bool WatermarkConvergesUnprompted(AccessRuntime* rt,
+                                  std::chrono::milliseconds deadline) {
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < until) {
+    RuntimeStats stats = rt->Stats();
+    if (stats.durable_offset == stats.applied_offset) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  RuntimeStats stats = rt->Stats();
+  return stats.durable_offset == stats.applied_offset;
+}
+
+TEST(AccessRuntimeTest, IntervalSyncDeadlineHoldsWithoutTraffic) {
+  // The interval-mode bugfix on the sequential durable backend: the
+  // sync deadline used to be checked only on the next Apply/Tick, so a
+  // runtime that went quiet kept unsynced records (and a stale
+  // watermark) indefinitely. The backend now runs a timer thread, so
+  // durable must catch up to applied within ~sync_interval_ms of the
+  // last batch even when nothing else happens. Pipelined mode on the
+  // same backend gets the identical idle-convergence guarantee.
+  World w = MakeWorld(997);
+  std::vector<std::vector<AccessEvent>> batches = MakeBatches(w, 60, 991);
+  for (SyncMode mode : {SyncMode::kInterval, SyncMode::kPipelined}) {
+    SCOPED_TRACE(mode == SyncMode::kInterval ? "interval" : "pipelined");
+    const std::string dir = ::testing::TempDir() + "/ltam_timer_sync";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    RuntimeOptions options;
+    options.num_shards = 1;  // The sequential backend is the fixed one.
+    options.durable_dir = dir;
+    options.durability.mode = mode;
+    options.durability.sync_interval_ms = 5;
+    ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                         AccessRuntime::Open(StateOf(w), options));
+    for (const auto& batch : batches) {
+      ASSERT_OK(rt->ApplyBatch(batch).status());
+    }
+    EXPECT_TRUE(
+        WatermarkConvergesUnprompted(rt.get(), std::chrono::seconds(5)))
+        << "the timer thread never synced the tail";
+    rt.reset();
+    fs::remove_all(dir);
+  }
+}
+
+TEST(AccessRuntimeTest, IntervalTimerRetriesThroughInjectedSyncFailures) {
+  // Fault injection through the timer path: the first few fsyncs fail,
+  // the failures are counted in wal_sync_failures, and a later timer
+  // tick (not a manual WaitDurable) still converges the watermark.
+  World w = MakeWorld(1013);
+  std::vector<std::vector<AccessEvent>> batches = MakeBatches(w, 40, 1019);
+  const std::string dir = ::testing::TempDir() + "/ltam_timer_faults";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  RuntimeOptions options;
+  options.num_shards = 1;
+  options.durable_dir = dir;
+  options.durability.mode = SyncMode::kInterval;
+  options.durability.sync_interval_ms = 5;
+  options.durability.fault_injector = [](const char* op, uint64_t count) {
+    if (std::string(op) == "sync" && count <= 3) {
+      return Status::IOError("injected sync failure");
+    }
+    return Status::OK();
+  };
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                       AccessRuntime::Open(StateOf(w), options));
+  for (const auto& batch : batches) {
+    ASSERT_OK(rt->ApplyBatch(batch).status());
+  }
+  EXPECT_TRUE(
+      WatermarkConvergesUnprompted(rt.get(), std::chrono::seconds(5)))
+      << "the timer must retry past the injected failures";
+  RuntimeStats stats = rt->Stats();
+  EXPECT_GE(stats.wal_sync_failures, 3u)
+      << "every injected failure is visible in the stats";
+  EXPECT_EQ(stats.wal_append_failures, 0u);
+  rt.reset();
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -198,6 +199,54 @@ TEST(ServiceProtocolTest, ResultPayloadsRoundTrip) {
   EXPECT_TRUE(error == decoded_error);
 }
 
+TEST(ServiceProtocolTest, StatsShardWatermarksRoundTrip) {
+  RuntimeStats stats;
+  stats.num_shards = 3;
+  stats.durable = true;
+  stats.applied_offset = 60;
+  stats.durable_offset = 55;
+  stats.shard_watermarks = {{20, 20}, {25, 21}, {15, 14}};
+  ASSERT_OK_AND_ASSIGN(RuntimeStats decoded,
+                       DecodeStatsResult(EncodeStatsResult(stats)));
+  ASSERT_EQ(3u, decoded.shard_watermarks.size());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(stats.shard_watermarks[i].applied,
+              decoded.shard_watermarks[i].applied);
+    EXPECT_EQ(stats.shard_watermarks[i].durable,
+              decoded.shard_watermarks[i].durable);
+  }
+  // In-memory runtimes carry none, and that round-trips too.
+  stats.shard_watermarks.clear();
+  ASSERT_OK_AND_ASSIGN(decoded, DecodeStatsResult(EncodeStatsResult(stats)));
+  EXPECT_TRUE(decoded.shard_watermarks.empty());
+
+  // durable > applied is corruption, not a legal watermark.
+  stats.shard_watermarks = {{5, 9}};
+  EXPECT_FALSE(DecodeStatsResult(EncodeStatsResult(stats)).ok());
+}
+
+TEST(ServiceProtocolTest, AlertPushRoundTrips) {
+  std::vector<Alert> alerts;
+  alerts.push_back(Alert{30, 2, 5, AlertType::kOverstay, "stay expired"});
+  alerts.push_back(Alert{31, 3, kInvalidLocation, AlertType::kEarlyExit, ""});
+  ASSERT_OK_AND_ASSIGN(std::vector<Alert> decoded,
+                       DecodeAlertPush(EncodeAlertPush(alerts)));
+  ASSERT_EQ(alerts.size(), decoded.size());
+  for (size_t i = 0; i < alerts.size(); ++i) {
+    EXPECT_EQ(alerts[i].ToString(), decoded[i].ToString());
+  }
+  // An empty push is a legal (if pointless) frame.
+  ASSERT_OK_AND_ASSIGN(decoded,
+                       DecodeAlertPush(EncodeAlertPush(std::vector<Alert>{})));
+  EXPECT_TRUE(decoded.empty());
+  // Truncations never parse.
+  const std::string payload = EncodeAlertPush(alerts);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(DecodeAlertPush(payload.substr(0, cut)).ok());
+  }
+  EXPECT_FALSE(DecodeAlertPush(payload + 'x').ok());
+}
+
 // --- Targeted rejections -----------------------------------------------------
 
 TEST(ServiceProtocolTest, HeaderRejectsMalformedFields) {
@@ -314,6 +363,89 @@ TEST(ServiceProtocolTest, AssemblerReassemblesArbitrarySplits) {
                          DecodeApplyBatchRequest(frames[1].payload));
     EXPECT_EQ(batch.size(), decoded.size());
     EXPECT_EQ(0u, assembler.buffered_bytes());
+  }
+}
+
+/// NextView() must frame the identical byte stream as Next(), and its
+/// views must stay byte-valid however the assembler recycles chunks
+/// afterwards — including frames big enough to straddle a chunk
+/// boundary, and bytes landed through the BeginFill/CommitFill recv
+/// path rather than Append().
+TEST(ServiceProtocolTest, NextViewMatchesNextAndPinsSurviveRecycling) {
+  Rng rng(17);
+  std::vector<AccessEvent> batch;
+  for (int i = 0; i < 40; ++i) batch.push_back(RandomEvent(&rng));
+  // Enough apply-batch frames that the stream crosses several 64 KiB
+  // chunks, forcing straddle handling and chunk turnover.
+  std::vector<AccessEvent> big(4000, batch[0]);
+  std::string stream;
+  for (uint32_t i = 1; i <= 24; ++i) {
+    switch (i % 4) {
+      case 0:
+        stream += EncodeFrame(MessageType::kApplyBatch, i,
+                              EncodeApplyBatchRequest(big));
+        break;
+      case 1:
+        stream += EncodeFrame(MessageType::kApplyBatch, i,
+                              EncodeApplyBatchRequest(batch));
+        break;
+      case 2:
+        stream += EncodeFrame(MessageType::kPing, i, "");
+        break;
+      default:
+        stream += EncodeFrame(MessageType::kQuery, i,
+                              EncodeQueryRequest("HISTORY OF Alice"));
+    }
+  }
+  ASSERT_GT(stream.size(), 3u * 64 * 1024);  // Spans several chunks.
+  for (int round = 0; round < 6; ++round) {
+    FrameAssembler by_copy;
+    FrameAssembler by_view;
+    std::vector<Frame> copies;
+    std::vector<FrameView> views;  // Held to the end: pins must survive.
+    size_t pos = 0;
+    while (pos < stream.size()) {
+      size_t len =
+          std::min<size_t>(1 + rng.Uniform(9000), stream.size() - pos);
+      by_copy.Append(stream.data() + pos, len);
+      // The view-side assembler ingests through the recv-style fill
+      // path, possibly in two commits.
+      size_t filled = 0;
+      while (filled < len) {
+        size_t capacity = 0;
+        char* dst = by_view.BeginFill(1, &capacity);
+        ASSERT_NE(nullptr, dst);
+        size_t take = std::min(capacity, len - filled);
+        std::memcpy(dst, stream.data() + pos + filled, take);
+        by_view.CommitFill(take);
+        filled += take;
+      }
+      pos += len;
+      while (true) {
+        Result<std::optional<Frame>> next = by_copy.Next();
+        ASSERT_OK(next.status());
+        if (!next->has_value()) break;
+        copies.push_back(std::move(**next));
+      }
+      while (true) {
+        Result<std::optional<FrameView>> next = by_view.NextView();
+        ASSERT_OK(next.status());
+        if (!next->has_value()) break;
+        views.push_back(std::move(**next));
+      }
+    }
+    ASSERT_EQ(24u, copies.size());
+    ASSERT_EQ(copies.size(), views.size());
+    EXPECT_EQ(0u, by_view.buffered_bytes());
+    for (size_t i = 0; i < copies.size(); ++i) {
+      EXPECT_EQ(copies[i].header.type, views[i].header.type);
+      EXPECT_EQ(copies[i].header.request_id, views[i].header.request_id);
+      ASSERT_EQ(std::string_view(copies[i].payload), views[i].payload);
+    }
+    // The big frames decode straight out of their views.
+    ASSERT_OK_AND_ASSIGN(std::vector<AccessEvent> decoded,
+                         DecodeApplyBatchRequest(views[3].payload));
+    EXPECT_EQ(big.size(), decoded.size());
   }
 }
 
