@@ -11,10 +11,15 @@
 #   ./ci.sh bench      # facade vs loopback-server throughput (io-thread
 #                      # matrix) -> BENCH_pr6.json,
 #                      # durable sync vs pipelined vs interval -> BENCH_pr5.json
+#   ./ci.sh load       # open-loop tail latency: ltam_load vs a live
+#                      # ltam_serve per scenario family x arrival rate
+#                      # -> BENCH_pr7.json (p50/p90/p99/p999 end-to-end)
 #
 # Every future PR is expected to pass `./ci.sh` locally; the tier-1 gate
 # is exactly the ROADMAP verify command. For a quick pre-commit signal,
 # `ctest --test-dir build -L fast` skips the slow crash-matrix suites.
+# Emitted BENCH_*.json artifacts carry context.host_nproc so scaling
+# rows can be read against the machine shape they were measured on.
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -49,7 +54,7 @@ tsan() {
                  engine_test movement_db_test durable_sharded_test
                  durable_equivalence_test access_runtime_test
                  movement_view_test service_loopback_test
-                 log_pipeline_test)
+                 log_pipeline_test loadgen_test)
   cmake --build build-tsan -j"$JOBS" --target "${targets[@]}"
   for t in "${targets[@]}"; do
     "./build-tsan/tests/$t"
@@ -115,6 +120,26 @@ service() {
   echo "service: round-trip + smoke + clean shutdown passed"
 }
 
+# Stamps the host core count into an emitted BENCH_*.json's context.
+# Shard- and io-thread-scaling rows are only meaningful relative to the
+# machine shape (on a 1-core container they measure scheduling
+# overhead), so the standing caveat is machine-readable in the artifact
+# itself instead of living as a ROADMAP footnote.
+record_host_meta() {
+  python3 - "$@" <<'EOF'
+import json
+import os
+import sys
+
+for path in sys.argv[1:]:
+    with open(path) as f:
+        doc = json.load(f)
+    doc.setdefault("context", {})["host_nproc"] = os.cpu_count()
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=1)
+EOF
+}
+
 bench() {
   echo "=== bench: loopback overhead -> BENCH_pr6.json, durability modes -> BENCH_pr5.json ==="
   cmake -B build -S .
@@ -136,6 +161,7 @@ bench() {
     --benchmark_filter='FacadeBatch|ServiceLoopbackBatch/' \
     --benchmark_min_time=0.05 \
     --benchmark_out=BENCH_pr6.json --benchmark_out_format=json
+  record_host_meta BENCH_pr6.json
   echo "bench: wrote $(pwd)/BENCH_pr6.json"
   # PR 5: the durable write path's three sync modes on the identical
   # stream (every iteration ends at the same durability barrier, so the
@@ -165,7 +191,82 @@ with open("BENCH_pr5.json", "w") as f:
     json.dump(out, f, indent=1)
 EOF
   rm -f BENCH_pr5_durable.json BENCH_pr5_service.json
+  record_host_meta BENCH_pr5.json
   echo "bench: wrote $(pwd)/BENCH_pr5.json"
+}
+
+load() {
+  echo "=== load: open-loop tail latency per scenario family -> BENCH_pr7.json ==="
+  cmake -B build -S .
+  cmake --build build -j"$JOBS" --target ltam_serve ltam_load
+  # One short open-loop pass per (scenario family, arrival rate) against
+  # a real ltam_serve process booted with the matching world. The
+  # loader measures latency from each frame's SCHEDULED arrival, so a
+  # server that falls behind shows up in p99/p999 — the tail-latency
+  # signal the closed-loop bench jobs cannot produce. --scenario-events
+  # must equal rate*duration on both sides: it sizes the authorization
+  # horizon the two processes derive the shared world from.
+  local duration=1
+  local connections=2
+  local parts=()
+  local scenario rate
+  for scenario in surge contact churn tenant; do
+    for rate in 2000 6000; do
+      local events=$((rate * duration))
+      local port=$((20000 + RANDOM % 20000))
+      local log
+      log="$(mktemp)"
+      ./build/examples/ltam_serve --port="$port" --scenario="$scenario" \
+        --scenario-events="$events" > "$log" 2>&1 &
+      local server_pid=$!
+      for _ in $(seq 1 50); do
+        grep -q "listening" "$log" && break
+        sleep 0.1
+      done
+      grep -q "scenario $scenario" "$log" \
+        || { echo "load: server missing the scenario banner" >&2; kill "$server_pid"; exit 1; }
+      local out="BENCH_pr7_${scenario}_${rate}.json"
+      ./build/examples/ltam_load --port="$port" --scenario="$scenario" \
+        --rate="$rate" --duration-s="$duration" \
+        --connections="$connections" --json-out="$out" \
+        || { echo "load: $scenario @ $rate ev/s failed" >&2; kill "$server_pid"; exit 1; }
+      parts+=("$out")
+      kill -TERM "$server_pid"
+      wait "$server_pid" \
+        || { echo "load: server exited uncleanly after $scenario @ $rate" >&2; exit 1; }
+      rm -f "$log"
+    done
+  done
+  # Merge the per-run reports and hard-fail if any (family, rate) row
+  # lost its latency percentiles — the trajectory gate, not a warning.
+  python3 - "${parts[@]}" <<'EOF'
+import json
+import os
+import sys
+
+merged = {"context": {"executable": "ltam_load", "open_loop": True,
+                      "host_nproc": os.cpu_count()},
+          "benchmarks": []}
+for path in sys.argv[1:]:
+    with open(path) as f:
+        merged["benchmarks"].extend(json.load(f)["benchmarks"])
+families = set()
+rates_per_family = {}
+for row in merged["benchmarks"]:
+    for key in ("p50_ms", "p90_ms", "p99_ms", "p999_ms", "max_ms"):
+        assert key in row, f"{row['name']} lost {key}"
+    family = row["name"].split("_")[1]
+    families.add(family)
+    rates_per_family.setdefault(family, set()).add(
+        row["name"].split("/rate:")[1].split("/")[0])
+assert len(families) >= 3, f"need >=3 scenario families, got {families}"
+for family, rates in rates_per_family.items():
+    assert len(rates) >= 2, f"{family} needs >=2 arrival rates, got {rates}"
+with open("BENCH_pr7.json", "w") as f:
+    json.dump(merged, f, indent=1)
+EOF
+  rm -f "${parts[@]}"
+  echo "load: wrote $(pwd)/BENCH_pr7.json"
 }
 
 case "${1:-all}" in
@@ -175,6 +276,7 @@ case "${1:-all}" in
   examples) examples ;;
   service) service ;;
   bench) bench ;;
+  load) load ;;
   all)
     tier1
     asan
@@ -182,9 +284,10 @@ case "${1:-all}" in
     examples
     service
     bench
+    load
     ;;
   *)
-    echo "usage: $0 [tier1|asan|tsan|examples|service|bench|all]" >&2
+    echo "usage: $0 [tier1|asan|tsan|examples|service|bench|load|all]" >&2
     exit 2
     ;;
 esac

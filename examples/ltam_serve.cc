@@ -15,6 +15,16 @@
 //                     them round-robin (default 1)
 //   --durable=DIR     crash-safe runtime rooted at DIR (must exist)
 //   --policy=FILE     policy script (default: built-in demo policy)
+//   --scenario=NAME   boot a load-scenario world instead of a policy
+//                     (surge|contact|churn|tenant); ltam_load pointed
+//                     at this server with the same scenario flags
+//                     generates traffic for exactly this world
+//   --scenario-seed=N      scenario world seed (default 2026)
+//   --scenario-subjects=N  scenario subject count (default 96)
+//   --scenario-events=N    scenario total events (default 4096; sizes
+//                          the authorization horizon, so it must match
+//                          the load driver)
+//   --scenario-tenants=N   tenant count for --scenario=tenant
 //   --max-batch=N     per-ApplyBatch event ceiling (default 65536)
 //   --sync-mode=M     durable write path: batch (fsync per batch, the
 //                     default), pipelined (per-shard log threads batch
@@ -39,6 +49,7 @@
 #include "service/protocol.h"
 #include "service/server.h"
 #include "service/shutdown.h"
+#include "sim/workload.h"
 #include "storage/policy_script.h"
 
 int main(int argc, char** argv) {
@@ -47,6 +58,8 @@ int main(int argc, char** argv) {
   InstallShutdownSignalHandlers();
 
   std::string policy_path;
+  std::string scenario_name;
+  ScenarioOptions scenario_options;
   RuntimeOptions runtime_options;
   runtime_options.max_batch_events = kMaxWireBatchEvents;
   ServerOptions server_options;
@@ -69,6 +82,20 @@ int main(int argc, char** argv) {
       runtime_options.durable_dir = value(10);
     } else if (arg.rfind("--policy=", 0) == 0) {
       policy_path = value(9);
+    } else if (arg.rfind("--scenario=", 0) == 0) {
+      scenario_name = value(11);
+    } else if (arg.rfind("--scenario-seed=", 0) == 0) {
+      scenario_options.seed =
+          static_cast<uint64_t>(std::atoll(value(16).c_str()));
+    } else if (arg.rfind("--scenario-subjects=", 0) == 0) {
+      scenario_options.subjects = static_cast<uint32_t>(
+          std::max(1, std::atoi(value(20).c_str())));
+    } else if (arg.rfind("--scenario-events=", 0) == 0) {
+      scenario_options.total_events =
+          static_cast<size_t>(std::atoll(value(18).c_str()));
+    } else if (arg.rfind("--scenario-tenants=", 0) == 0) {
+      scenario_options.tenants = static_cast<uint32_t>(
+          std::max(1, std::atoi(value(19).c_str())));
     } else if (arg.rfind("--max-batch=", 0) == 0) {
       runtime_options.max_batch_events =
           static_cast<size_t>(std::atoll(value(12).c_str()));
@@ -94,7 +121,10 @@ int main(int argc, char** argv) {
                    "unknown flag '%s'\nusage: ltam_serve [--port=N] "
                    "[--host=ADDR] [--shards=N] [--io-threads=N] "
                    "[--durable=DIR] "
-                   "[--policy=FILE] [--max-batch=N] [--sync-mode=M] "
+                   "[--policy=FILE] [--scenario=NAME] [--scenario-seed=N] "
+                   "[--scenario-subjects=N] [--scenario-events=N] "
+                   "[--scenario-tenants=N] "
+                   "[--max-batch=N] [--sync-mode=M] "
                    "[--pipeline-depth=N] [--sync-interval-ms=N] "
                    "[--wal-segment-mb=N]\n",
                    arg.c_str());
@@ -102,16 +132,39 @@ int main(int argc, char** argv) {
     }
   }
 
-  Result<SystemState> state_or = policy_path.empty()
-                                     ? ParsePolicyScript(DemoPolicyScript())
-                                     : LoadPolicyScript(policy_path);
-  if (!state_or.ok()) {
-    std::fprintf(stderr, "policy error: %s\n",
-                 state_or.status().ToString().c_str());
-    return 1;
+  SystemState initial;
+  if (!scenario_name.empty()) {
+    if (!policy_path.empty()) {
+      std::fprintf(stderr, "--policy and --scenario are exclusive\n");
+      return 2;
+    }
+    Result<ScenarioFamily> family = ParseScenarioFamily(scenario_name);
+    if (!family.ok()) {
+      std::fprintf(stderr, "%s\n", family.status().ToString().c_str());
+      return 2;
+    }
+    Result<LoadScenario> scenario =
+        GenerateLoadScenario(*family, scenario_options);
+    if (!scenario.ok()) {
+      std::fprintf(stderr, "scenario error: %s\n",
+                   scenario.status().ToString().c_str());
+      return 2;
+    }
+    initial = std::move(scenario->initial);
+    runtime_options.engine = scenario->engine;
+  } else {
+    Result<SystemState> state_or =
+        policy_path.empty() ? ParsePolicyScript(DemoPolicyScript())
+                            : LoadPolicyScript(policy_path);
+    if (!state_or.ok()) {
+      std::fprintf(stderr, "policy error: %s\n",
+                   state_or.status().ToString().c_str());
+      return 1;
+    }
+    initial = std::move(state_or).ValueOrDie();
   }
   Result<std::unique_ptr<AccessRuntime>> opened =
-      AccessRuntime::Open(std::move(state_or).ValueOrDie(), runtime_options);
+      AccessRuntime::Open(std::move(initial), runtime_options);
   if (!opened.ok()) {
     std::fprintf(stderr, "runtime error: %s\n",
                  opened.status().ToString().c_str());
@@ -139,6 +192,12 @@ int main(int argc, char** argv) {
       server_options.io_threads == 1 ? "" : "s",
       stats.durable ? "durable" : "in-memory",
       SyncModeToString(runtime_options.durability.mode));
+  if (!scenario_name.empty()) {
+    std::printf("ltam_serve: scenario %s (seed=%llu subjects=%u events=%zu)\n",
+                scenario_name.c_str(),
+                static_cast<unsigned long long>(scenario_options.seed),
+                scenario_options.subjects, scenario_options.total_events);
+  }
   std::fflush(stdout);
 
   // Park until SIGINT/SIGTERM; the handler latches the flag and this

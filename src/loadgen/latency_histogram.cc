@@ -1,0 +1,102 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "loadgen/latency_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace ltam {
+
+namespace {
+
+constexpr int kSubBits = LatencyHistogram::kSubBucketBits;
+constexpr uint64_t kSubCount = 1ull << kSubBits;
+constexpr uint64_t kSubMask = kSubCount - 1;
+
+int MostSignificantBit(uint64_t v) { return 63 - __builtin_clzll(v); }
+
+}  // namespace
+
+size_t LatencyHistogram::NumBuckets() {
+  // Unit buckets cover octaves 0..kSubBits (indices < 2 * kSubCount are
+  // exact); each further octave up to bit 63 adds kSubCount sub-buckets.
+  return ((64 - kSubBits) << kSubBits) + kSubCount;
+}
+
+size_t LatencyHistogram::BucketIndexFor(uint64_t value) {
+  if (value < kSubCount) return static_cast<size_t>(value);
+  const int msb = MostSignificantBit(value);
+  const int shift = msb - kSubBits;
+  const uint64_t sub = (value >> shift) & kSubMask;
+  const size_t octave = static_cast<size_t>(msb - kSubBits + 1);
+  return (octave << kSubBits) + static_cast<size_t>(sub);
+}
+
+uint64_t LatencyHistogram::BucketLowerBound(size_t index) {
+  const size_t octave = index >> kSubBits;
+  const uint64_t sub = index & kSubMask;
+  if (octave == 0) return sub;
+  return (kSubCount + sub) << (octave - 1);
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(size_t index) {
+  const size_t octave = index >> kSubBits;
+  if (octave == 0) return index & kSubMask;
+  const uint64_t width = 1ull << (octave - 1);
+  return BucketLowerBound(index) + width - 1;
+}
+
+LatencyHistogram::LatencyHistogram() : buckets_(NumBuckets(), 0) {}
+
+void LatencyHistogram::Record(uint64_t value) {
+  ++buckets_[BucketIndexFor(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  LTAM_CHECK(buckets_.size() == other.buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+uint64_t LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max_;
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) {
+      // Never report beyond the exactly-tracked extremes.
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;  // Unreachable: rank <= count_.
+}
+
+std::string LatencyHistogram::ToString() const {
+  auto ms = [](uint64_t nanos) {
+    return static_cast<double>(nanos) / 1e6;
+  };
+  return StrFormat(
+      "p50=%.3fms p90=%.3fms p99=%.3fms p999=%.3fms max=%.3fms "
+      "mean=%.3fms (n=%llu)",
+      ms(p50()), ms(p90()), ms(p99()), ms(p999()), ms(max()), mean() / 1e6,
+      static_cast<unsigned long long>(count_));
+}
+
+}  // namespace ltam

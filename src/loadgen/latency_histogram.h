@@ -1,0 +1,91 @@
+// Copyright 2026 The LTAM Authors.
+// A log-bucketed latency histogram for the open-loop load harness.
+//
+// HdrHistogram-style layout: values below 2^kSubBucketBits land in
+// exact unit buckets; above that, each power-of-two octave is split
+// into 2^kSubBucketBits linear sub-buckets, so every recorded value is
+// represented with a relative error of at most 2^-kSubBucketBits
+// (~1.6% at the default 6 bits) while the whole 64-bit range fits in a
+// few KiB of counters. That makes the histogram cheap to keep per
+// connection and cheap to Merge() when the load generator aggregates
+// its per-connection recorders — merging is element-wise addition, and
+// quantiles of the merged histogram equal quantiles of the merged
+// sample stream (within the bucket resolution).
+//
+// Quantile convention: Quantile(q) returns the upper bound of the
+// bucket holding the ceil(q * count)-th smallest sample, so it never
+// under-reports a latency percentile; the overshoot is bounded by the
+// bucket width (see latency_histogram_test.cc's sorted-reference
+// oracle). Values are plain uint64_t — the load harness records
+// nanoseconds, but nothing here assumes a unit.
+
+#ifndef LTAM_LOADGEN_LATENCY_HISTOGRAM_H_
+#define LTAM_LOADGEN_LATENCY_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ltam {
+
+class LatencyHistogram {
+ public:
+  /// Sub-bucket resolution: 2^6 = 64 linear sub-buckets per octave,
+  /// i.e. <= 1/64 relative quantile error.
+  static constexpr int kSubBucketBits = 6;
+
+  LatencyHistogram();
+
+  /// Records one sample. Saturates at the last bucket (values near
+  /// UINT64_MAX), which still counts toward quantiles and max().
+  void Record(uint64_t value);
+
+  /// Element-wise addition of another histogram's counts (plus its
+  /// exact min/max/sum). The other histogram is unchanged.
+  void Merge(const LatencyHistogram& other);
+
+  /// Total samples recorded.
+  uint64_t count() const { return count_; }
+
+  /// Exact extremes and mean over every recorded sample (not bucketed).
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// The q-quantile (q in [0, 1]): the upper bound of the bucket holding
+  /// the ceil(q * count)-th smallest sample, clamped to max(). Returns 0
+  /// on an empty histogram. Quantile(0) is min(); Quantile(1) is max().
+  uint64_t Quantile(double q) const;
+
+  /// Shorthands for the percentiles the bench trajectory tracks.
+  uint64_t p50() const { return Quantile(0.50); }
+  uint64_t p90() const { return Quantile(0.90); }
+  uint64_t p99() const { return Quantile(0.99); }
+  uint64_t p999() const { return Quantile(0.999); }
+
+  /// "p50=1.2ms p90=... p99=... p999=... max=... (n=...)" with the
+  /// values scaled from nanoseconds to human units.
+  std::string ToString() const;
+
+  /// The value range [lo, hi] a bucket index covers — exposed so tests
+  /// can assert the error bound instead of hard-coding it.
+  static uint64_t BucketLowerBound(size_t index);
+  static uint64_t BucketUpperBound(size_t index);
+  static size_t BucketIndexFor(uint64_t value);
+  static size_t NumBuckets();
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_LOADGEN_LATENCY_HISTOGRAM_H_

@@ -1,0 +1,337 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "loadgen/loadgen.h"
+
+#include <chrono>
+#include <cmath>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "service/client.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace ltam {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+uint64_t NanosSince(SteadyClock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          SteadyClock::now() - start)
+          .count());
+}
+
+/// One scheduled arrival: a frame of the connection's stream, or a
+/// query drawn from the scenario pool.
+struct Arrival {
+  bool is_query = false;
+  size_t index = 0;  // Frame index, or index into the query pool.
+};
+
+/// One frame in flight: its scheduled arrival (latency baseline) and
+/// the events it carried (for refusal accounting).
+struct InFlight {
+  uint64_t sched_ns = 0;
+  size_t events = 0;
+};
+
+/// Everything one worker accumulates; merged into the LoadReport after
+/// join. Workers never share state while running.
+struct WorkerState {
+  LoadReport report;
+  Status status = Status::OK();
+};
+
+/// Folds one received pipelined response (accepted or quota-refused)
+/// into the worker's counters. Responses are matched to submissions by
+/// request_id: a refusal is generated at dispatch and overtakes
+/// accepted frames still queued in the coalescer, so positional (FIFO)
+/// attribution would charge the wrong frame's events to the refusal.
+Status HandleReceived(
+    const Result<std::optional<ServiceClient::PipelinedBatch>>& received,
+    std::unordered_map<uint32_t, InFlight>* in_flight, uint64_t now_ns,
+    LoadReport* r) {
+  if (!received.ok()) return received.status();
+  if (!received->has_value()) return Status::OK();  // Poll timeout.
+  const ServiceClient::PipelinedBatch& batch = **received;
+  auto it = in_flight->find(batch.request_id);
+  if (it == in_flight->end()) {
+    return Status::Internal("response for unknown request " +
+                            std::to_string(batch.request_id));
+  }
+  const InFlight sent = it->second;
+  in_flight->erase(it);
+  if (!batch.refusal.ok()) {
+    // The server refused the frame at its ingest quota: the overload
+    // signal this harness exists to measure, not a harness failure.
+    ++r->quota_refused_frames;
+    r->quota_refused_events += sent.events;
+    return Status::OK();
+  }
+  r->ingest_latency.Record(now_ns - sent.sched_ns);
+  r->events_admitted += batch.result.decisions.size();
+  for (const Decision& d : batch.result.decisions) {
+    if (d.granted) {
+      ++r->grants;
+    } else {
+      ++r->denials;
+    }
+  }
+  r->alerts += batch.result.alerts.size();
+  return Status::OK();
+}
+
+void RunWorker(const LoadScenario& scenario, const LoadGenOptions& options,
+               uint32_t conn, WorkerState* state) {
+  LoadReport& r = state->report;
+  const std::vector<std::vector<AccessEvent>>& frames =
+      scenario.streams[conn];
+  size_t stream_events = 0;
+  for (const auto& f : frames) stream_events += f.size();
+  if (stream_events == 0) return;
+
+  // The query/ingest mix is decided up front with its own seeded
+  // stream, so the arrival count (and therefore the schedule) is
+  // reproducible for a given (scenario, options, connection).
+  Rng mix_rng(options.schedule_seed ^ (0xa076'1d64'78bd'642full * (conn + 1)));
+  std::vector<Arrival> arrivals;
+  size_t next_query = conn;  // Stagger pool starts across connections.
+  for (size_t f = 0; f < frames.size(); ++f) {
+    while (scenario.query_fraction > 0 && !scenario.queries.empty() &&
+           mix_rng.Bernoulli(scenario.query_fraction)) {
+      arrivals.push_back(
+          {true, next_query++ % scenario.queries.size()});
+    }
+    arrivals.push_back({false, f});
+  }
+
+  // Arrival rate that hits this connection's share of the target EVENT
+  // rate: mean events per arrival = stream_events / arrivals.
+  const double lambda = options.rate /
+                        static_cast<double>(options.connections) *
+                        static_cast<double>(arrivals.size()) /
+                        static_cast<double>(stream_events);
+  const std::vector<uint64_t> schedule = BuildArrivalScheduleNs(
+      arrivals.size(), lambda, scenario.burst_duty, scenario.burst_period_ms,
+      options.schedule_seed + 0x9e37'79b9'7f4a'7c15ull * (conn + 1));
+
+  // Policy churn maps to remote control-plane barriers: the wire
+  // protocol has no Mutate (ROADMAP item 3), so connection 0 issues a
+  // Checkpoint before the rounds where a mutation would land — same
+  // drain-the-pipeline pressure on the server, applied mutations are
+  // the local-replay (equivalence-test) side's job.
+  std::set<size_t> barrier_before;
+  if (conn == 0) {
+    const size_t streams = scenario.streams.size();
+    for (const ScenarioMutation& m : scenario.mutations) {
+      barrier_before.insert(m.before_frame / streams);
+    }
+  }
+
+  Result<std::unique_ptr<ServiceClient>> client =
+      ServiceClient::Connect(options.host, options.port);
+  if (!client.ok()) {
+    state->status = client.status();
+    return;
+  }
+
+  std::unordered_map<uint32_t, InFlight> in_flight;
+  const SteadyClock::time_point start = SteadyClock::now();
+
+  // Waits for one response, bounded: a live server always answers every
+  // accepted-or-refused frame, so a silent minute means the harness is
+  // wedged — fail instead of deadlocking.
+  constexpr int kReceiveTimeoutMs = 60'000;
+  auto receive_one = [&]() -> Status {
+    auto polled = (*client)->PollBatchResult(kReceiveTimeoutMs);
+    if (polled.ok() && !polled->has_value()) {
+      return Status::IOError(
+          "no response for " + std::to_string(kReceiveTimeoutMs) +
+          "ms with " + std::to_string(in_flight.size()) +
+          " frames in flight");
+    }
+    return HandleReceived(polled, &in_flight, NanosSince(start), &r);
+  };
+  auto drain_all = [&]() -> Status {
+    while (!in_flight.empty()) {
+      LTAM_RETURN_IF_ERROR(receive_one());
+    }
+    return Status::OK();
+  };
+
+  Status st = Status::OK();
+  for (size_t i = 0; i < arrivals.size() && st.ok(); ++i) {
+    const uint64_t sched_ns = schedule[i];
+    // Idle until the scheduled arrival, harvesting any responses the
+    // server has already pushed down the pipe.
+    while (true) {
+      const uint64_t now_ns = NanosSince(start);
+      if (now_ns >= sched_ns) break;
+      const int wait_ms =
+          static_cast<int>((sched_ns - now_ns) / 1'000'000ull);
+      auto polled = (*client)->PollBatchResult(wait_ms);
+      st = HandleReceived(polled, &in_flight, NanosSince(start), &r);
+      if (!st.ok()) break;
+    }
+    if (!st.ok()) break;
+
+    const uint64_t send_ns = NanosSince(start);
+    if (send_ns > sched_ns) {
+      r.max_sched_lag_ns = std::max(r.max_sched_lag_ns, send_ns - sched_ns);
+      // Sub-millisecond lag is scheduler jitter, not the harness
+      // falling behind; only count material lateness.
+      if (send_ns - sched_ns > 1'000'000ull) ++r.late_sends;
+    }
+
+    const Arrival& a = arrivals[i];
+    if (a.is_query) {
+      // Sync calls must not interleave with unreceived pipelined
+      // submissions — drain first. The drain time counts toward the
+      // query's latency (it is measured from the scheduled arrival).
+      st = drain_all();
+      if (!st.ok()) break;
+      Result<QueryResult> qr = (*client)->Query(scenario.queries[a.index]);
+      if (!qr.ok()) {
+        st = qr.status();
+        break;
+      }
+      ++r.queries_sent;
+      r.query_latency.Record(NanosSince(start) - sched_ns);
+      continue;
+    }
+
+    if (barrier_before.count(a.index) > 0) {
+      st = drain_all();
+      if (!st.ok()) break;
+      st = (*client)->Checkpoint();
+      if (!st.ok()) break;
+      ++r.checkpoints;
+    }
+
+    // Cap the pipeline: block on responses rather than buffering
+    // unboundedly. The block is visible as schedule lag.
+    while (st.ok() && in_flight.size() >= options.max_in_flight) {
+      st = receive_one();
+    }
+    if (!st.ok()) break;
+
+    const std::vector<AccessEvent>& frame = frames[a.index];
+    Result<uint32_t> id = (*client)->SubmitBatch(
+        Span<const AccessEvent>(frame.data(), frame.size()));
+    if (!id.ok()) {
+      st = id.status();
+      break;
+    }
+    st = (*client)->Flush();
+    if (!st.ok()) break;
+    ++r.frames_sent;
+    r.events_sent += frame.size();
+    in_flight.emplace(*id, InFlight{sched_ns, frame.size()});
+  }
+
+  if (st.ok()) st = drain_all();
+  r.wall_seconds = static_cast<double>(NanosSince(start)) / 1e9;
+  state->status = st;
+}
+
+}  // namespace
+
+std::vector<uint64_t> BuildArrivalScheduleNs(size_t arrivals,
+                                             double rate_per_sec,
+                                             double burst_duty,
+                                             uint64_t burst_period_ms,
+                                             uint64_t seed) {
+  std::vector<uint64_t> out;
+  out.reserve(arrivals);
+  if (arrivals == 0 || rate_per_sec <= 0) return out;
+  Rng rng(seed);
+  const bool bursty = burst_period_ms > 0 && burst_duty > 0 &&
+                      burst_duty < 1.0;
+  // Bursty schedules confine arrivals to the duty window of each
+  // period, so the in-window rate must be rate/duty for the mean over
+  // a full period to stay at `rate_per_sec`.
+  const double gap_rate = bursty ? rate_per_sec / burst_duty : rate_per_sec;
+  double on_axis_ns = 0;
+  for (size_t i = 0; i < arrivals; ++i) {
+    // Exponential gap via inverse transform; clamp the uniform away
+    // from 0 so log() stays finite.
+    double u = rng.UniformDouble();
+    if (u < 1e-12) u = 1e-12;
+    on_axis_ns += -std::log(u) / gap_rate * 1e9;
+    double real_ns = on_axis_ns;
+    if (bursty) {
+      // on_axis_ns accumulates only on-window time; splice the off
+      // part of every period back in.
+      const double period_ns = static_cast<double>(burst_period_ms) * 1e6;
+      const double on_ns = period_ns * burst_duty;
+      const double window = std::floor(on_axis_ns / on_ns);
+      real_ns = window * period_ns + (on_axis_ns - window * on_ns);
+    }
+    out.push_back(static_cast<uint64_t>(real_ns));
+  }
+  return out;
+}
+
+Result<LoadReport> RunLoad(const LoadScenario& scenario,
+                           const LoadGenOptions& options) {
+  if (options.connections == 0) {
+    return Status::InvalidArgument("need at least one connection");
+  }
+  if (options.connections != scenario.streams.size()) {
+    return Status::InvalidArgument(
+        "connections (" + std::to_string(options.connections) +
+        ") must equal the scenario's stream count (" +
+        std::to_string(scenario.streams.size()) +
+        "): each stream's subjects belong to exactly one connection");
+  }
+  if (options.rate <= 0) {
+    return Status::InvalidArgument("rate must be positive");
+  }
+  if (options.max_in_flight == 0) {
+    return Status::InvalidArgument("max_in_flight must be positive");
+  }
+
+  std::vector<WorkerState> states(options.connections);
+  const SteadyClock::time_point t0 = SteadyClock::now();
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(options.connections);
+    for (uint32_t c = 0; c < options.connections; ++c) {
+      workers.emplace_back(RunWorker, std::cref(scenario),
+                           std::cref(options), c, &states[c]);
+    }
+    for (std::thread& t : workers) t.join();
+  }
+  const double wall = static_cast<double>(NanosSince(t0)) / 1e9;
+
+  LoadReport merged;
+  for (WorkerState& s : states) {
+    if (!s.status.ok()) return s.status;
+    merged.ingest_latency.Merge(s.report.ingest_latency);
+    merged.query_latency.Merge(s.report.query_latency);
+    merged.frames_sent += s.report.frames_sent;
+    merged.events_sent += s.report.events_sent;
+    merged.events_admitted += s.report.events_admitted;
+    merged.grants += s.report.grants;
+    merged.denials += s.report.denials;
+    merged.quota_refused_frames += s.report.quota_refused_frames;
+    merged.quota_refused_events += s.report.quota_refused_events;
+    merged.queries_sent += s.report.queries_sent;
+    merged.checkpoints += s.report.checkpoints;
+    merged.alerts += s.report.alerts;
+    merged.late_sends += s.report.late_sends;
+    merged.max_sched_lag_ns =
+        std::max(merged.max_sched_lag_ns, s.report.max_sched_lag_ns);
+  }
+  merged.wall_seconds = wall;
+  merged.achieved_event_rate =
+      wall > 0 ? static_cast<double>(merged.events_sent) / wall : 0.0;
+  return merged;
+}
+
+}  // namespace ltam

@@ -1,0 +1,114 @@
+// Copyright 2026 The LTAM Authors.
+// Open-loop load generator for ltam-serve.
+//
+// Closed-loop benchmarks (bench_service.cc) send the next request when
+// the previous response returns, so a slow server silently slows the
+// *offered* load and the measured latency distribution omits exactly
+// the requests that would have hurt — coordinated omission. This
+// harness is open-loop instead: every arrival has a pre-computed
+// scheduled time drawn from a seeded Poisson process at the target
+// rate, requests are sent as close to their schedule as the pipe
+// allows, and latency is measured from the SCHEDULED arrival time, not
+// the send time. A server that falls behind therefore accrues queueing
+// delay in the recorded percentiles, exactly as a real arrival stream
+// would experience it.
+//
+// One worker thread per connection, each owning a ServiceClient, the
+// scenario's matching event stream (subjects are disjoint across
+// streams, so coalesced server-side merges preserve per-subject time
+// order), a deterministic arrival schedule, and a private
+// LatencyHistogram — merged into the report when the run ends. Sends
+// are pipelined up to max_in_flight frames; responses are harvested
+// with PollBatchResult while idling until the next scheduled arrival.
+
+#ifndef LTAM_LOADGEN_LOADGEN_H_
+#define LTAM_LOADGEN_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "loadgen/latency_histogram.h"
+#include "sim/workload.h"
+#include "util/result.h"
+
+namespace ltam {
+
+/// Parameters of one open-loop run against a live server.
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 7447;
+  /// Target event arrival rate, events/second summed over every
+  /// connection. Arrival gaps are exponential (Poisson process) unless
+  /// the scenario carries a burst shape (LoadScenario::burst_*), which
+  /// confines arrivals to duty windows at compensated in-window rate.
+  double rate = 2000.0;
+  /// Worker threads = TCP connections. Must equal the scenario's
+  /// stream count (each stream's subjects are private to one
+  /// connection).
+  uint32_t connections = 1;
+  /// Pipelined frames in flight per connection before a send blocks on
+  /// harvesting a response. The block shows up as schedule lag — and
+  /// therefore in recorded latency — never as a reduced offered rate.
+  size_t max_in_flight = 64;
+  /// Seed for arrival-gap sampling and the query/ingest mix (distinct
+  /// from the scenario seed: the same world can be driven by different
+  /// arrival schedules).
+  uint64_t schedule_seed = 1;
+};
+
+/// What one run measured. Histograms record nanoseconds from scheduled
+/// arrival to response receipt.
+struct LoadReport {
+  LatencyHistogram ingest_latency;
+  LatencyHistogram query_latency;
+
+  uint64_t frames_sent = 0;
+  uint64_t events_sent = 0;
+  /// Events in frames the server accepted (decision received).
+  uint64_t events_admitted = 0;
+  uint64_t grants = 0;
+  uint64_t denials = 0;
+  /// Frames the server refused at its per-connection ingest quota
+  /// (kFailedPrecondition) — the overload signal — and the events they
+  /// carried.
+  uint64_t quota_refused_frames = 0;
+  uint64_t quota_refused_events = 0;
+  uint64_t queries_sent = 0;
+  uint64_t checkpoints = 0;
+  uint64_t alerts = 0;
+  /// Arrivals whose send started after their scheduled time (the
+  /// open-loop lag signal) and the worst lag observed.
+  uint64_t late_sends = 0;
+  uint64_t max_sched_lag_ns = 0;
+
+  double wall_seconds = 0.0;
+  /// events_sent / wall_seconds — compare against the target rate to
+  /// see whether the harness kept up with its own schedule.
+  double achieved_event_rate = 0.0;
+};
+
+/// The deterministic arrival schedule: `arrivals` offsets in
+/// nanoseconds from run start, strictly nondecreasing, exponential
+/// gaps at `rate_per_sec`, reshaped into on/off bursts when
+/// burst_period_ms > 0 and burst_duty < 1 (arrival mass is confined to
+/// the first `burst_duty` of each period at compensated rate; the mean
+/// rate is unchanged). Identical for identical arguments — across
+/// processes and runs.
+std::vector<uint64_t> BuildArrivalScheduleNs(size_t arrivals,
+                                             double rate_per_sec,
+                                             double burst_duty,
+                                             uint64_t burst_period_ms,
+                                             uint64_t seed);
+
+/// Drives `scenario` against a live server per `options`, blocking
+/// until every stream is drained and every in-flight response
+/// harvested. Fails fast on connection errors; server quota refusals
+/// are counted, not failed. options.connections must equal
+/// scenario.streams.size().
+Result<LoadReport> RunLoad(const LoadScenario& scenario,
+                           const LoadGenOptions& options);
+
+}  // namespace ltam
+
+#endif  // LTAM_LOADGEN_LOADGEN_H_

@@ -5,10 +5,12 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <iterator>
 
@@ -246,6 +248,77 @@ Result<ServiceClient::PipelinedBatch> ServiceClient::ReceiveBatchResult() {
   out.request_id = frame.header.request_id;
   LTAM_ASSIGN_OR_RETURN(out.result, DecodeBatchResult(frame.payload));
   return out;
+}
+
+Result<std::optional<ServiceClient::PipelinedBatch>>
+ServiceClient::PollBatchResult(int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    // Drain frames the assembler already holds before touching the
+    // socket — earlier reads may have pulled several responses at once.
+    Result<std::optional<Frame>> next = assembler_.Next();
+    if (!next.ok()) return next.status();
+    if (next->has_value()) {
+      Frame frame = std::move(**next);
+      if (frame.header.type == MessageType::kAlertPush) {
+        LTAM_ASSIGN_OR_RETURN(std::vector<Alert> alerts,
+                              DecodeAlertPush(frame.payload));
+        pushed_alerts_.insert(pushed_alerts_.end(),
+                              std::make_move_iterator(alerts.begin()),
+                              std::make_move_iterator(alerts.end()));
+        continue;
+      }
+      if (frame.header.type == MessageType::kError) {
+        Status error;
+        LTAM_RETURN_IF_ERROR(DecodeErrorResult(frame.payload, &error));
+        if (error.code() == StatusCode::kFailedPrecondition) {
+          // A quota refusal: in-band data for a pipelined sender (it
+          // identifies the refused frame by request_id), not a dead
+          // connection.
+          PipelinedBatch refused;
+          refused.request_id = frame.header.request_id;
+          refused.refusal = std::move(error);
+          return std::optional<PipelinedBatch>(std::move(refused));
+        }
+        return error.WithContext("request " +
+                                 std::to_string(frame.header.request_id));
+      }
+      if (frame.header.type != MessageType::kBatchResult) {
+        return Status::Internal(std::string("expected a batch-result, got ") +
+                                MessageTypeToString(frame.header.type));
+      }
+      PipelinedBatch out;
+      out.request_id = frame.header.request_id;
+      LTAM_ASSIGN_OR_RETURN(out.result, DecodeBatchResult(frame.payload));
+      return std::optional<PipelinedBatch>(std::move(out));
+    }
+    const auto now = std::chrono::steady_clock::now();
+    const int remaining =
+        now >= deadline
+            ? 0
+            : static_cast<int>(
+                  std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - now)
+                      .count()) +
+                  1;
+    pollfd pfd{fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, remaining);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (ready == 0) return std::optional<PipelinedBatch>();
+    char buf[64 * 1024];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      assembler_.Append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::IOError("server closed the connection");
+    if (errno == EINTR) continue;
+    return Errno("recv");
+  }
 }
 
 std::vector<Alert> ServiceClient::TakePushedAlerts() {

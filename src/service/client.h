@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -78,15 +79,34 @@ class ServiceClient {
   /// Writes every buffered frame to the socket.
   Status Flush();
 
-  /// One pipelined response, in submission order.
+  /// One pipelined response. NOTE: responses are NOT in submission
+  /// order when the server refuses a frame at an ingest quota — the
+  /// refusal is generated at dispatch and overtakes accepted frames
+  /// still in the coalescer — so pipelined consumers must match
+  /// responses to submissions by request_id, never by position.
   struct PipelinedBatch {
     uint32_t request_id = 0;
+    /// kFailedPrecondition when the server refused this frame at a
+    /// quota (PollBatchResult only; `result` is empty then). OK for an
+    /// accepted frame.
+    Status refusal = Status::OK();
     WireBatchResult result;
   };
 
   /// Blocks for the next pipelined batch response. Flush() first; a
   /// server-refused frame surfaces as the decoded error Status.
   Result<PipelinedBatch> ReceiveBatchResult();
+
+  /// Like ReceiveBatchResult, but waits at most `timeout_ms` for a
+  /// complete response frame and returns nullopt if none arrives in
+  /// time (timeout_ms == 0 is a non-blocking drain attempt). Lets an
+  /// open-loop sender harvest in-flight responses while idling until
+  /// its next scheduled arrival instead of parking in recv(). Unlike
+  /// ReceiveBatchResult, an in-band kFailedPrecondition refusal is
+  /// returned as a value (refusal set, request_id identifying WHICH
+  /// frame was refused) so overload shows up as data, not as a dead
+  /// connection; every other error frame is still a failed Result.
+  Result<std::optional<PipelinedBatch>> PollBatchResult(int timeout_ms);
 
   // --- Server-pushed alerts --------------------------------------------------
 

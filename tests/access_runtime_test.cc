@@ -19,6 +19,7 @@
 #include <tuple>
 #include <vector>
 
+#include "query/query_language.h"
 #include "sim/graph_gen.h"
 #include "sim/workload.h"
 #include "test_util.h"
@@ -763,6 +764,171 @@ TEST(AccessRuntimeTest, IntervalTimerRetriesThroughInjectedSyncFailures) {
   rt.reset();
   fs::remove_all(dir);
 }
+
+// --- Scenario-family equivalence ---------------------------------------------
+// Each load-harness scenario family (sim/workload.h), replayed in its
+// canonical frame order with its mutations applied at the recorded
+// frame boundaries, must produce a byte-identical decision stream and
+// equal alerts across the in-memory/durable x sequential/sharded
+// backend matrix — the property that lets the open-loop load generator
+// treat any backend as "the" server for a given scenario.
+
+struct ScenarioOutcome {
+  std::vector<std::string> decisions;
+  std::multiset<AlertKey> alerts;
+  /// Pool query answers (contact sweep), keyed by the statement.
+  std::map<std::string, std::string> query_answers;
+  size_t granted = 0;
+};
+
+ScenarioOutcome ReplayScenario(const LoadScenario& scenario,
+                               RuntimeOptions options) {
+  options.engine = scenario.engine;
+  ScenarioOutcome out;
+  SystemState initial = scenario.initial;
+  Result<std::unique_ptr<AccessRuntime>> opened =
+      AccessRuntime::Open(std::move(initial), options);
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  if (!opened.ok()) return out;
+  std::unique_ptr<AccessRuntime> rt = std::move(opened).ValueOrDie();
+
+  const std::vector<std::vector<AccessEvent>> frames =
+      FlattenScenarioFrames(scenario);
+  size_t next_mutation = 0;
+  for (size_t f = 0; f < frames.size(); ++f) {
+    while (next_mutation < scenario.mutations.size() &&
+           scenario.mutations[next_mutation].before_frame == f) {
+      Status mutated =
+          ApplyScenarioMutation(rt.get(), scenario.mutations[next_mutation]);
+      EXPECT_OK(mutated);
+      ++next_mutation;
+    }
+    Result<BatchResult> r = rt->ApplyBatch(frames[f]);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (!r.ok()) continue;
+    EXPECT_OK(r->durability);
+    for (const Decision& d : r->decisions) {
+      out.decisions.push_back(d.ToString());
+    }
+    for (const Alert& a : r->alerts) {
+      out.alerts.insert(std::make_tuple(a.time, a.subject, a.location,
+                                        static_cast<int>(a.type), a.detail));
+    }
+  }
+  EXPECT_EQ(next_mutation, scenario.mutations.size())
+      << "every mutation must land before some frame that exists";
+  for (const Alert& a : rt->DrainAlerts()) {
+    out.alerts.insert(std::make_tuple(a.time, a.subject, a.location,
+                                      static_cast<int>(a.type), a.detail));
+  }
+  out.granted = rt->Stats().requests_granted;
+
+  // The family's read mix must parse and answer identically too (the
+  // contact sweep's pool; empty for the other families).
+  QueryInterpreter interp(&rt->query(), &rt->graph(), &rt->profiles(),
+                          &rt->movements(), &rt->auth_db());
+  const size_t pool_sample = std::min<size_t>(8, scenario.queries.size());
+  for (size_t i = 0; i < pool_sample; ++i) {
+    Result<QueryResult> answer = interp.Run(scenario.queries[i]);
+    EXPECT_TRUE(answer.ok()) << scenario.queries[i] << ": "
+                             << answer.status().ToString();
+    out.query_answers[scenario.queries[i]] =
+        answer.ok() ? answer->ToString() : answer.status().ToString();
+  }
+  return out;
+}
+
+class ScenarioFamilyEquivalenceTest
+    : public ::testing::TestWithParam<ScenarioFamily> {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/ltam_scenario_" +
+            std::string(ScenarioFamilyToString(GetParam()));
+    fs::remove_all(root_);
+    fs::create_directories(root_ + "/seq");
+    fs::create_directories(root_ + "/sharded");
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string root_;
+};
+
+TEST_P(ScenarioFamilyEquivalenceTest, BackendMatrixAgrees) {
+  ScenarioOptions so;
+  so.subjects = 36;
+  so.streams = 3;
+  so.total_events = 900;
+  so.events_per_frame = 24;
+  so.mutate_every_frames = 4;
+  ASSERT_OK_AND_ASSIGN(LoadScenario scenario,
+                       GenerateLoadScenario(GetParam(), so));
+  ASSERT_EQ(scenario.total_events, so.total_events);
+  if (GetParam() == ScenarioFamily::kPolicyChurn) {
+    ASSERT_GT(scenario.mutations.size(), 0u);
+  }
+  if (GetParam() == ScenarioFamily::kContactSweep) {
+    ASSERT_GT(scenario.queries.size(), 0u);
+  }
+
+  RuntimeOptions sequential;  // 1 shard, in-memory.
+  RuntimeOptions sharded;
+  sharded.num_shards = 3;
+  RuntimeOptions durable_seq;
+  durable_seq.durable_dir = root_ + "/seq";
+  RuntimeOptions durable_sharded;
+  durable_sharded.num_shards = 3;
+  durable_sharded.durable_dir = root_ + "/sharded";
+
+  ScenarioOutcome reference = ReplayScenario(scenario, sequential);
+  ASSERT_EQ(reference.decisions.size(), scenario.total_events);
+  struct Config {
+    const char* name;
+    RuntimeOptions options;
+  };
+  const Config configs[] = {{"sharded", sharded},
+                            {"durable-seq", durable_seq},
+                            {"durable-sharded", durable_sharded}};
+  for (const Config& config : configs) {
+    SCOPED_TRACE(config.name);
+    ScenarioOutcome outcome = ReplayScenario(scenario, config.options);
+    ASSERT_EQ(reference.decisions.size(), outcome.decisions.size());
+    for (size_t i = 0; i < reference.decisions.size(); ++i) {
+      ASSERT_EQ(reference.decisions[i], outcome.decisions[i])
+          << "decision " << i << " diverged";
+    }
+    EXPECT_EQ(reference.granted, outcome.granted);
+    EXPECT_TRUE(reference.alerts == outcome.alerts)
+        << "alert sets diverged (" << reference.alerts.size() << " vs "
+        << outcome.alerts.size() << ")";
+    EXPECT_EQ(reference.query_answers, outcome.query_answers);
+  }
+
+  // The deterministic-construction contract the two-process load flow
+  // rests on: regenerating the scenario gives the identical streams.
+  ASSERT_OK_AND_ASSIGN(LoadScenario again,
+                       GenerateLoadScenario(GetParam(), so));
+  ASSERT_EQ(scenario.streams.size(), again.streams.size());
+  for (size_t c = 0; c < scenario.streams.size(); ++c) {
+    ASSERT_EQ(scenario.streams[c].size(), again.streams[c].size());
+    for (size_t f = 0; f < scenario.streams[c].size(); ++f) {
+      const auto& lhs = scenario.streams[c][f];
+      const auto& rhs = again.streams[c][f];
+      ASSERT_EQ(lhs.size(), rhs.size());
+      for (size_t e = 0; e < lhs.size(); ++e) {
+        EXPECT_EQ(lhs[e].ToString(), rhs[e].ToString());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, ScenarioFamilyEquivalenceTest,
+    ::testing::Values(ScenarioFamily::kSurge, ScenarioFamily::kContactSweep,
+                      ScenarioFamily::kPolicyChurn,
+                      ScenarioFamily::kMultiTenant),
+    [](const ::testing::TestParamInfo<ScenarioFamily>& info) {
+      return std::string(ScenarioFamilyToString(info.param));
+    });
 
 }  // namespace
 }  // namespace ltam

@@ -1,0 +1,242 @@
+// Copyright 2026 The LTAM Authors.
+// LatencyHistogram vs a sorted-reference oracle: the documented
+// quantile convention (upper bound of the bucket holding the
+// ceil(q*count)-th smallest sample, clamped to max) is checked exactly
+// — for every distribution the bucket of the rank-k sample is
+// computable from the sorted samples, so the expected quantile is not
+// approximate — plus the never-under-report guarantee, the 2^-6
+// relative-error bound, Merge() linearity over per-connection shards,
+// and determinism under seeded input.
+
+#include "loadgen/latency_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace ltam {
+namespace {
+
+constexpr double kQuantiles[] = {0.0,  0.01, 0.1,  0.25, 0.5,
+                                 0.9,  0.99, 0.999, 1.0};
+
+/// The exact value the documented convention must return for `q` over
+/// `sorted`: bucket indices are monotone in the value, so the bucket
+/// whose cumulative count first reaches ceil(q*n) is exactly the bucket
+/// of the ceil(q*n)-th smallest sample.
+uint64_t OracleQuantile(const std::vector<uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  rank = std::max<size_t>(1, std::min(rank, sorted.size()));
+  const uint64_t at_rank = sorted[rank - 1];
+  return std::min(
+      LatencyHistogram::BucketUpperBound(
+          LatencyHistogram::BucketIndexFor(at_rank)),
+      sorted.back());
+}
+
+void ExpectMatchesOracle(const LatencyHistogram& h,
+                         std::vector<uint64_t> samples) {
+  std::sort(samples.begin(), samples.end());
+  ASSERT_EQ(h.count(), samples.size());
+  if (!samples.empty()) {
+    EXPECT_EQ(h.min(), samples.front());
+    EXPECT_EQ(h.max(), samples.back());
+  }
+  for (double q : kQuantiles) {
+    SCOPED_TRACE("q=" + std::to_string(q));
+    const uint64_t got = h.Quantile(q);
+    const uint64_t want = OracleQuantile(samples, q);
+    EXPECT_EQ(got, want);
+    if (samples.empty()) continue;
+    // Never under-report, and never overshoot the true rank value by
+    // more than one sub-bucket width (2^-kSubBucketBits relative).
+    size_t rank = q <= 0.0 ? 1
+                           : std::max<size_t>(
+                                 1, static_cast<size_t>(std::ceil(
+                                        q * static_cast<double>(
+                                                samples.size()))));
+    rank = std::min(rank, samples.size());
+    const uint64_t truth = samples[rank - 1];
+    EXPECT_GE(got, truth);
+    EXPECT_LE(got - truth,
+              (truth >> LatencyHistogram::kSubBucketBits) + 1);
+  }
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  for (double q : kQuantiles) EXPECT_EQ(h.Quantile(q), 0u);
+  EXPECT_FALSE(h.ToString().empty());
+}
+
+TEST(LatencyHistogramTest, SingleSampleIsEveryQuantile) {
+  for (uint64_t v : {0ull, 1ull, 63ull, 64ull, 1'000'000ull,
+                     123'456'789'123ull}) {
+    SCOPED_TRACE("v=" + std::to_string(v));
+    LatencyHistogram h;
+    h.Record(v);
+    ExpectMatchesOracle(h, {v});
+    EXPECT_EQ(h.Quantile(0.0), v);
+    EXPECT_EQ(h.Quantile(1.0), v);
+    EXPECT_EQ(h.mean(), static_cast<double>(v));
+  }
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  // Values below 2^kSubBucketBits land in unit buckets: quantiles are
+  // exact, not just bounded.
+  LatencyHistogram h;
+  std::vector<uint64_t> samples;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = rng.Uniform(1ull << LatencyHistogram::kSubBucketBits);
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : kQuantiles) {
+    size_t rank = q <= 0.0 ? 1
+                           : std::max<size_t>(
+                                 1, static_cast<size_t>(std::ceil(
+                                        q * static_cast<double>(
+                                                samples.size()))));
+    rank = std::min(rank, samples.size());
+    EXPECT_EQ(h.Quantile(q), samples[rank - 1]) << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, BimodalDistribution) {
+  // 90% fast mode around 1us, 10% slow mode around 100ms: p50 must
+  // stay in the fast mode, p99/p999 in the slow one.
+  LatencyHistogram h;
+  std::vector<uint64_t> samples;
+  Rng rng(2026);
+  for (int i = 0; i < 100'000; ++i) {
+    uint64_t v = rng.Bernoulli(0.9)
+                     ? 800 + rng.Uniform(400)            // ~1us in ns.
+                     : 90'000'000 + rng.Uniform(20'000'000);  // ~100ms.
+    samples.push_back(v);
+    h.Record(v);
+  }
+  ExpectMatchesOracle(h, samples);
+  EXPECT_LT(h.p50(), 2'000u);
+  EXPECT_GT(h.p99(), 80'000'000u);
+  EXPECT_GT(h.p999(), 80'000'000u);
+}
+
+TEST(LatencyHistogramTest, AdversarialShapes) {
+  Rng rng(99);
+  // All-equal, two-point extremes, powers of two straddling every
+  // octave boundary, and a heavy-tailed mix including saturating
+  // values near UINT64_MAX.
+  std::vector<std::vector<uint64_t>> shapes;
+  shapes.push_back(std::vector<uint64_t>(1000, 42));
+  shapes.push_back({});
+  for (int i = 0; i < 500; ++i) {
+    shapes.back().push_back(i % 2 == 0 ? 1 : UINT64_MAX);
+  }
+  shapes.push_back({});
+  for (int b = 0; b < 64; ++b) {
+    shapes.back().push_back(1ull << b);
+    if (b > 0) shapes.back().push_back((1ull << b) - 1);
+    shapes.back().push_back((1ull << b) + 1);
+  }
+  shapes.push_back({});
+  for (int i = 0; i < 20'000; ++i) {
+    // log-uniform over ~12 decades.
+    double exponent = rng.UniformDouble() * 40.0;
+    shapes.back().push_back(
+        static_cast<uint64_t>(std::pow(2.0, exponent)));
+  }
+  for (size_t s = 0; s < shapes.size(); ++s) {
+    SCOPED_TRACE("shape " + std::to_string(s));
+    LatencyHistogram h;
+    for (uint64_t v : shapes[s]) h.Record(v);
+    ExpectMatchesOracle(h, shapes[s]);
+  }
+}
+
+TEST(LatencyHistogramTest, BucketBoundsRoundTrip) {
+  Rng rng(5);
+  for (int i = 0; i < 200'000; ++i) {
+    uint64_t v = rng.Next() >> (rng.Uniform(64));
+    const size_t idx = LatencyHistogram::BucketIndexFor(v);
+    ASSERT_LT(idx, LatencyHistogram::NumBuckets());
+    EXPECT_GE(v, LatencyHistogram::BucketLowerBound(idx));
+    EXPECT_LE(v, LatencyHistogram::BucketUpperBound(idx));
+  }
+  // Bucket index is monotone across bounds: bucket i's upper bound is
+  // below bucket i+1's lower bound.
+  for (size_t i = 0; i + 1 < LatencyHistogram::NumBuckets(); ++i) {
+    ASSERT_LT(LatencyHistogram::BucketUpperBound(i),
+              LatencyHistogram::BucketLowerBound(i + 1));
+  }
+}
+
+TEST(LatencyHistogramTest, TenMillionSampleMergeEqualsSingleRecorder) {
+  // The load generator's aggregation shape: per-connection recorders
+  // merged at the end must equal one recorder that saw every sample —
+  // same quantiles, same count/min/max/mean — and both must satisfy
+  // the sorted-reference oracle.
+  constexpr size_t kConnections = 8;
+  constexpr size_t kTotal = 10'000'000;
+  LatencyHistogram merged;
+  LatencyHistogram single;
+  std::vector<uint64_t> samples;
+  samples.reserve(kTotal);
+  for (size_t c = 0; c < kConnections; ++c) {
+    LatencyHistogram shard;
+    Rng rng(1000 + c);  // Seeded per connection: deterministic.
+    const size_t n = kTotal / kConnections;
+    for (size_t i = 0; i < n; ++i) {
+      // Latency-shaped: ~100us median with a long tail.
+      uint64_t v = 50'000 + rng.Uniform(100'000);
+      if (rng.Bernoulli(0.01)) v += rng.Uniform(500'000'000);
+      shard.Record(v);
+      single.Record(v);
+      samples.push_back(v);
+    }
+    merged.Merge(shard);
+  }
+  ASSERT_EQ(merged.count(), kTotal);
+  EXPECT_EQ(merged.min(), single.min());
+  EXPECT_EQ(merged.max(), single.max());
+  EXPECT_EQ(merged.mean(), single.mean());
+  for (double q : kQuantiles) {
+    EXPECT_EQ(merged.Quantile(q), single.Quantile(q)) << "q=" << q;
+  }
+  ExpectMatchesOracle(merged, std::move(samples));
+}
+
+TEST(LatencyHistogramTest, DeterministicUnderSeededInput) {
+  auto run = [] {
+    LatencyHistogram h;
+    Rng rng(77);
+    for (int i = 0; i < 100'000; ++i) {
+      h.Record(rng.Uniform(1'000'000'000));
+    }
+    return h;
+  };
+  const LatencyHistogram a = run();
+  const LatencyHistogram b = run();
+  for (double q : kQuantiles) EXPECT_EQ(a.Quantile(q), b.Quantile(q));
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());
+}
+
+}  // namespace
+}  // namespace ltam
