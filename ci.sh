@@ -2,7 +2,7 @@
 # Copyright 2026 The LTAM Authors.
 #
 # CI entry point. Usage:
-#   ./ci.sh            # tier1 + asan + tsan + examples + service + bench
+#   ./ci.sh            # every job below, tier1 through replication
 #   ./ci.sh tier1      # plain build + full ctest suite (the tier-1 gate)
 #   ./ci.sh asan       # AddressSanitizer + UBSan build, full ctest suite
 #   ./ci.sh tsan       # ThreadSanitizer build, concurrency-relevant tests
@@ -13,7 +13,14 @@
 #                      # durable sync vs pipelined vs interval -> BENCH_pr5.json
 #   ./ci.sh load       # open-loop tail latency: ltam_load vs a live
 #                      # ltam_serve per scenario family x arrival rate
-#                      # -> BENCH_pr7.json (p50/p90/p99/p999 end-to-end)
+#                      # -> BENCH_pr7.json (p50/p90/p99/p999 end-to-end);
+#                      # the replication family runs against a durable
+#                      # primary + read replica (queries routed to the
+#                      # replica via --query-host)
+#   ./ci.sh replication # primary + 2 replicas over real TCP: kill -9
+#                      # the primary mid-ingest, promote the freshest
+#                      # survivor, repoint the other, assert convergence
+#                      # and byte-identical query answers
 #
 # Every future PR is expected to pass `./ci.sh` locally; the tier-1 gate
 # is exactly the ROADMAP verify command. For a quick pre-commit signal,
@@ -54,7 +61,7 @@ tsan() {
                  engine_test movement_db_test durable_sharded_test
                  durable_equivalence_test access_runtime_test
                  movement_view_test service_loopback_test
-                 log_pipeline_test loadgen_test)
+                 log_pipeline_test loadgen_test replication_test)
   cmake --build build-tsan -j"$JOBS" --target "${targets[@]}"
   for t in "${targets[@]}"; do
     "./build-tsan/tests/$t"
@@ -210,14 +217,26 @@ load() {
   local connections=2
   local parts=()
   local scenario rate
-  for scenario in surge contact churn tenant; do
+  for scenario in surge contact churn tenant replication; do
     for rate in 2000 6000; do
       local events=$((rate * duration))
       local port=$((20000 + RANDOM % 20000))
       local log
       log="$(mktemp)"
+      # The replication family runs in its real topology: a durable
+      # primary taking ingest and a read replica answering the query
+      # mix over --query-host — the tail this row gates is the
+      # replicated-serving read path, not a single-node stand-in.
+      local server_extra=() load_extra=()
+      local repl_root="" replica_pid="" replica_log=""
+      if [ "$scenario" = replication ]; then
+        repl_root="$(mktemp -d)"
+        mkdir -p "$repl_root/primary" "$repl_root/replica"
+        server_extra=(--durable="$repl_root/primary" --shards=2
+                      --sync-mode=pipelined)
+      fi
       ./build/examples/ltam_serve --port="$port" --scenario="$scenario" \
-        --scenario-events="$events" > "$log" 2>&1 &
+        --scenario-events="$events" "${server_extra[@]}" > "$log" 2>&1 &
       local server_pid=$!
       for _ in $(seq 1 50); do
         grep -q "listening" "$log" && break
@@ -225,16 +244,39 @@ load() {
       done
       grep -q "scenario $scenario" "$log" \
         || { echo "load: server missing the scenario banner" >&2; kill "$server_pid"; exit 1; }
+      if [ "$scenario" = replication ]; then
+        local replica_port=$((port + 1))
+        replica_log="$(mktemp)"
+        ./build/examples/ltam_serve --port="$replica_port" \
+          --scenario="$scenario" --scenario-events="$events" \
+          --durable="$repl_root/replica" --shards=2 \
+          --replica-of=127.0.0.1:"$port" > "$replica_log" 2>&1 &
+        replica_pid=$!
+        for _ in $(seq 1 50); do
+          grep -q "replica of" "$replica_log" && break
+          sleep 0.1
+        done
+        grep -q "replica of" "$replica_log" \
+          || { echo "load: replica never came up" >&2; kill "$server_pid" "$replica_pid"; exit 1; }
+        load_extra=(--query-host=127.0.0.1 --query-port="$replica_port")
+      fi
       local out="BENCH_pr7_${scenario}_${rate}.json"
       ./build/examples/ltam_load --port="$port" --scenario="$scenario" \
         --rate="$rate" --duration-s="$duration" \
-        --connections="$connections" --json-out="$out" \
+        --connections="$connections" --json-out="$out" "${load_extra[@]}" \
         || { echo "load: $scenario @ $rate ev/s failed" >&2; kill "$server_pid"; exit 1; }
       parts+=("$out")
+      if [ -n "$replica_pid" ]; then
+        kill -TERM "$replica_pid"
+        wait "$replica_pid" \
+          || { echo "load: replica exited uncleanly after $scenario @ $rate" >&2; exit 1; }
+        rm -f "$replica_log"
+      fi
       kill -TERM "$server_pid"
       wait "$server_pid" \
         || { echo "load: server exited uncleanly after $scenario @ $rate" >&2; exit 1; }
       rm -f "$log"
+      [ -n "$repl_root" ] && rm -rf "$repl_root"
     done
   done
   # Merge the per-run reports and hard-fail if any (family, rate) row
@@ -269,6 +311,142 @@ EOF
   echo "load: wrote $(pwd)/BENCH_pr7.json"
 }
 
+replication() {
+  echo "=== replication: kill -9 failover across real processes ==="
+  cmake -B build -S .
+  cmake --build build -j"$JOBS" --target \
+    ltam_serve ltam_load ltam_shell replication_test
+  # The in-process contracts first: catch-up byte-identity, crash-
+  # promote-repoint equivalence against a direct replay, and stale-
+  # epoch fencing (a fenced primary's writes provably never land).
+  ./build/tests/replication_test > /dev/null
+
+  # Then the real thing: three ltam_serve processes over TCP. Ingest
+  # flows to the primary while replica 1 serves the scenario's query
+  # mix; the primary is kill -9'd mid-ingest, the freshest survivor is
+  # promoted (epoch 0 -> 1), the other survivor repointed at it, and
+  # the pair must converge to the identical watermark and answer a
+  # query sweep byte-identically.
+  local root
+  root="$(mktemp -d)"
+  mkdir -p "$root/primary" "$root/r1" "$root/r2"
+  local pport=$((20000 + RANDOM % 20000))
+  local r1port=$((pport + 1)) r2port=$((pport + 2))
+  local events=4000
+  local world=(--scenario=replication --scenario-events="$events" --shards=2)
+
+  await_banner() {
+    local log=$1 pat=$2
+    for _ in $(seq 1 100); do
+      grep -q "$pat" "$log" && return 0
+      sleep 0.1
+    done
+    echo "replication: timed out waiting for '$pat' in $log" >&2
+    cat "$log" >&2
+    return 1
+  }
+  # Prints a server's applied offset (the "durable/applied" watermark's
+  # right half) via the shell's remote stats.
+  applied_of() {
+    printf 'connect 127.0.0.1:%d\nstats\nquit\n' "$1" \
+      | ./build/examples/ltam_shell 2>/dev/null \
+      | sed -n 's|.*durability-watermark:[[:space:]]*[0-9]*/\([0-9]*\).*|\1|p'
+  }
+  # A fixed query sweep with the endpoint-specific banner stripped —
+  # the byte-identity probe.
+  query_sweep() {
+    { printf 'connect 127.0.0.1:%d\n' "$1"
+      local i
+      for i in 0 1 2 3 4 5 6 7; do
+        printf 'WHERE WAS u%d AT 40\nWHERE WAS u%d AT 1000\n' "$i" "$i"
+      done
+      printf 'quit\n'
+    } | ./build/examples/ltam_shell 2>&1 \
+      | sed 's/connected to 127.0.0.1:[0-9]*/connected/'
+  }
+
+  ./build/examples/ltam_serve --port="$pport" --durable="$root/primary" \
+    --sync-mode=pipelined "${world[@]}" > "$root/primary.log" 2>&1 &
+  local primary_pid=$!
+  await_banner "$root/primary.log" "listening"
+  ./build/examples/ltam_serve --port="$r1port" --durable="$root/r1" \
+    "${world[@]}" --replica-of=127.0.0.1:"$pport" > "$root/r1.log" 2>&1 &
+  local r1_pid=$!
+  ./build/examples/ltam_serve --port="$r2port" --durable="$root/r2" \
+    "${world[@]}" --replica-of=127.0.0.1:"$pport" > "$root/r2.log" 2>&1 &
+  local r2_pid=$!
+  await_banner "$root/r1.log" "replica of"
+  await_banner "$root/r2.log" "replica of"
+
+  ./build/examples/ltam_load --port="$pport" --scenario=replication \
+    --query-host=127.0.0.1 --query-port="$r1port" \
+    --rate="$events" --duration-s=1 --connections=2 \
+    > "$root/load.log" 2>&1 &
+  local load_pid=$!
+  sleep 0.6
+  kill -9 "$primary_pid"
+  # The severed ingest stream fails the load run — that's the scenario,
+  # not a harness error.
+  wait "$load_pid" || true
+  wait "$primary_pid" 2>/dev/null || true
+  sleep 0.5  # Let in-flight chunks the replicas already hold drain.
+
+  # Promote whichever survivor saw more of the stream (the laggard's
+  # state is a prefix of the leader's, so repointing it converges).
+  local a1 a2
+  a1="$(applied_of "$r1port")"; a1="${a1:-0}"
+  a2="$(applied_of "$r2port")"; a2="${a2:-0}"
+  [ "$a1" -gt 0 ] || [ "$a2" -gt 0 ] \
+    || { echo "replication: no survivor applied any of the stream" >&2; exit 1; }
+  local lead_port follow_port
+  if [ "$a1" -ge "$a2" ]; then
+    lead_port=$r1port; follow_port=$r2port
+  else
+    lead_port=$r2port; follow_port=$r1port
+  fi
+  # Capture, then grep: grep -q on the live pipe would SIGPIPE the
+  # shell under pipefail the moment it matches (same trap as the
+  # service job).
+  local ctl_out
+  ctl_out="$(printf 'connect 127.0.0.1:%d\npromote\nquit\n' "$lead_port" \
+    | ./build/examples/ltam_shell)"
+  grep -q "promoted to primary at replication epoch 1" <<< "$ctl_out" \
+    || { echo "replication: promote failed: $ctl_out" >&2; exit 1; }
+  ctl_out="$(printf 'connect 127.0.0.1:%d\nrepoint 127.0.0.1:%d\nquit\n' \
+      "$follow_port" "$lead_port" | ./build/examples/ltam_shell)"
+  grep -q "repointed" <<< "$ctl_out" \
+    || { echo "replication: repoint failed: $ctl_out" >&2; exit 1; }
+
+  # Convergence: the follower reaches the new primary's watermark AND
+  # adopts its epoch (equal watermarks alone can predate the link's
+  # redial — the epoch only moves once the new subscription is live).
+  local lead_applied="" follow_stats="" converged=no
+  for _ in $(seq 1 100); do
+    lead_applied="$(applied_of "$lead_port")"
+    follow_stats="$(printf 'connect 127.0.0.1:%d\nstats\nquit\n' \
+        "$follow_port" | ./build/examples/ltam_shell)"
+    if [ -n "$lead_applied" ] &&
+       grep -Eq 'replication-epoch:[[:space:]]*1' <<< "$follow_stats" &&
+       grep -Eq "durability-watermark:[[:space:]]*[0-9]+/$lead_applied " \
+         <<< "$follow_stats"; then
+      converged=yes
+      break
+    fi
+    sleep 0.1
+  done
+  [ "$converged" = yes ] \
+    || { echo "replication: survivors never converged (lead applied=$lead_applied, follower: $follow_stats)" >&2; exit 1; }
+
+  diff <(query_sweep "$lead_port") <(query_sweep "$follow_port") \
+    || { echo "replication: survivors answer queries differently" >&2; exit 1; }
+
+  kill -TERM "$r1_pid" "$r2_pid"
+  wait "$r1_pid" || { echo "replication: replica 1 exited uncleanly" >&2; exit 1; }
+  wait "$r2_pid" || { echo "replication: replica 2 exited uncleanly" >&2; exit 1; }
+  rm -rf "$root"
+  echo "replication: kill -9 promote/repoint failover converged byte-identically"
+}
+
 case "${1:-all}" in
   tier1) tier1 ;;
   asan) asan ;;
@@ -277,6 +455,7 @@ case "${1:-all}" in
   service) service ;;
   bench) bench ;;
   load) load ;;
+  replication) replication ;;
   all)
     tier1
     asan
@@ -285,9 +464,10 @@ case "${1:-all}" in
     service
     bench
     load
+    replication
     ;;
   *)
-    echo "usage: $0 [tier1|asan|tsan|examples|service|bench|load|all]" >&2
+    echo "usage: $0 [tier1|asan|tsan|examples|service|bench|load|replication|all]" >&2
     exit 2
     ;;
 esac

@@ -18,7 +18,13 @@
 //
 // Flags:
 //   --host=ADDR --port=N      server endpoint (default 127.0.0.1:7447)
-//   --scenario=NAME           surge|contact|churn|tenant (default surge)
+//   --query-host=ADDR --query-port=N
+//                             route the scenario's query mix to this
+//                             endpoint (a read replica) over dedicated
+//                             connections; ingest keeps flowing to
+//                             --host. Both or neither.
+//   --scenario=NAME           surge|contact|churn|tenant|replication
+//                             (default surge)
 //   --rate=N                  target events/sec across connections
 //   --duration-s=N            run length; total events = rate * duration
 //   --connections=N           worker threads = TCP connections
@@ -55,6 +61,11 @@ int main(int argc, char** argv) {
       load_options.host = value(7);
     } else if (arg.rfind("--port=", 0) == 0) {
       load_options.port = static_cast<uint16_t>(std::atoi(value(7).c_str()));
+    } else if (arg.rfind("--query-host=", 0) == 0) {
+      load_options.query_host = value(13);
+    } else if (arg.rfind("--query-port=", 0) == 0) {
+      load_options.query_port =
+          static_cast<uint16_t>(std::atoi(value(13).c_str()));
     } else if (arg.rfind("--scenario=", 0) == 0) {
       scenario_name = value(11);
     } else if (arg.rfind("--rate=", 0) == 0) {
@@ -88,6 +99,7 @@ int main(int argc, char** argv) {
       std::fprintf(
           stderr,
           "unknown flag '%s'\nusage: ltam_load [--host=ADDR] [--port=N] "
+          "[--query-host=ADDR] [--query-port=N] "
           "[--scenario=NAME] [--rate=N] [--duration-s=N] [--connections=N] "
           "[--events-per-frame=N] [--max-in-flight=N] [--scenario-seed=N] "
           "[--scenario-subjects=N] [--scenario-tenants=N] "
@@ -124,6 +136,10 @@ int main(int argc, char** argv) {
       scenario_name.c_str(), load_options.host.c_str(), load_options.port,
       scenario->total_events, load_options.rate, load_options.connections,
       load_options.connections == 1 ? "" : "s");
+  if (!load_options.query_host.empty()) {
+    std::printf("ltam_load: queries routed to %s:%u\n",
+                load_options.query_host.c_str(), load_options.query_port);
+  }
   std::fflush(stdout);
 
   Result<LoadReport> report_or = RunLoad(*scenario, load_options);

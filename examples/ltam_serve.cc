@@ -16,7 +16,8 @@
 //   --durable=DIR     crash-safe runtime rooted at DIR (must exist)
 //   --policy=FILE     policy script (default: built-in demo policy)
 //   --scenario=NAME   boot a load-scenario world instead of a policy
-//                     (surge|contact|churn|tenant); ltam_load pointed
+//                     (surge|contact|churn|tenant|replication);
+//                     ltam_load pointed
 //                     at this server with the same scenario flags
 //                     generates traffic for exactly this world
 //   --scenario-seed=N      scenario world seed (default 2026)
@@ -33,6 +34,16 @@
 //   --pipeline-depth=N   pipelined: batches per fsync (default 4)
 //   --sync-interval-ms=N interval: fsync cadence (default 5)
 //   --wal-segment-mb=N   rotate WAL segments at N MiB (default 64)
+//   --replica-of=H:P  serve as a read-only replica following the
+//                     primary at H:P: writes are refused with a
+//                     redirect, reads answer from the replicated state.
+//                     Requires --durable and the primary's --shards
+//                     value, and BOTH sides must boot the same
+//                     --policy/--scenario flags (the stream carries
+//                     only WAL deltas, not the initial world). A
+//                     `promote` through ltam_shell turns this server
+//                     into a primary (epoch-fenced against its old
+//                     upstream); `repoint` re-targets the upstream.
 //
 // Shutdown discipline (shared with ltam_shell): SIGINT/SIGTERM stop the
 // server, then a durable runtime checkpoints before the process exits,
@@ -43,8 +54,11 @@
 #include <cstdlib>
 #include <ctime>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 
+#include "replication/replica_link.h"
 #include "runtime/access_runtime.h"
 #include "service/protocol.h"
 #include "service/server.h"
@@ -52,12 +66,42 @@
 #include "sim/workload.h"
 #include "storage/policy_script.h"
 
+namespace {
+
+/// Splits "host:port"; false on malformed input.
+bool ParseEndpoint(const std::string& arg, std::string* host,
+                   uint16_t* port) {
+  size_t colon = arg.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= arg.size()) {
+    return false;
+  }
+  *host = arg.substr(0, colon);
+  int parsed = std::atoi(arg.c_str() + colon + 1);
+  if (parsed <= 0 || parsed > 65535) return false;
+  *port = static_cast<uint16_t>(parsed);
+  return true;
+}
+
+/// What the failover hooks act on: the upstream link (promote retires
+/// it, repoint re-targets it) and the runtime behind the server's lock.
+struct ReplicaControl {
+  std::mutex mu;
+  std::unique_ptr<ltam::ReplicaLink> link;
+  ltam::AccessRuntime* runtime = nullptr;
+  std::shared_mutex* runtime_mu = nullptr;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace ltam;  // NOLINT: example brevity.
 
   InstallShutdownSignalHandlers();
 
   std::string policy_path;
+  std::string upstream_host;
+  uint16_t upstream_port = 0;
+  bool replica = false;
   std::string scenario_name;
   ScenarioOptions scenario_options;
   RuntimeOptions runtime_options;
@@ -116,6 +160,12 @@ int main(int argc, char** argv) {
       runtime_options.durability.segment_max_bytes =
           static_cast<size_t>(std::max(1, std::atoi(value(17).c_str())))
           << 20;
+    } else if (arg.rfind("--replica-of=", 0) == 0) {
+      if (!ParseEndpoint(value(13), &upstream_host, &upstream_port)) {
+        std::fprintf(stderr, "--replica-of wants HOST:PORT\n");
+        return 2;
+      }
+      replica = true;
     } else {
       std::fprintf(stderr,
                    "unknown flag '%s'\nusage: ltam_serve [--port=N] "
@@ -126,7 +176,7 @@ int main(int argc, char** argv) {
                    "[--scenario-tenants=N] "
                    "[--max-batch=N] [--sync-mode=M] "
                    "[--pipeline-depth=N] [--sync-interval-ms=N] "
-                   "[--wal-segment-mb=N]\n",
+                   "[--wal-segment-mb=N] [--replica-of=HOST:PORT]\n",
                    arg.c_str());
       return 2;
     }
@@ -177,11 +227,53 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  ReplicaControl control;
+  if (replica) {
+    Status demoted = runtime->DemoteToReplica();
+    if (!demoted.ok()) {
+      std::fprintf(stderr, "replica error: %s\n", demoted.ToString().c_str());
+      return 1;
+    }
+    server_options.promote_hook = [&control]() -> Result<uint64_t> {
+      // Retire the upstream link FIRST (outside the runtime lock — the
+      // link thread needs it to finish an in-flight apply), then bump
+      // and persist the epoch: from that instant every frame the old
+      // primary ships is provably stale.
+      std::unique_ptr<ReplicaLink> link;
+      {
+        std::lock_guard<std::mutex> lock(control.mu);
+        link = std::move(control.link);
+      }
+      if (link != nullptr) link->Stop();
+      std::unique_lock<std::shared_mutex> wlock(*control.runtime_mu);
+      return control.runtime->Promote();
+    };
+    server_options.repoint_hook = [&control](const std::string& host,
+                                             uint16_t port) -> Status {
+      std::lock_guard<std::mutex> lock(control.mu);
+      if (control.link == nullptr) {
+        return Status::FailedPrecondition(
+            "not following an upstream (already promoted?)");
+      }
+      control.link->Repoint(host, port);
+      return Status::OK();
+    };
+  }
+
   ServiceServer server(runtime.get(), server_options);
+  control.runtime = runtime.get();
+  control.runtime_mu = &server.runtime_mutex();
   Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "server error: %s\n", started.ToString().c_str());
     return 1;
+  }
+  if (replica) {
+    auto link = std::make_unique<ReplicaLink>(
+        runtime.get(), &server.runtime_mutex(), upstream_host, upstream_port);
+    link->Start();
+    std::lock_guard<std::mutex> lock(control.mu);
+    control.link = std::move(link);
   }
   RuntimeStats stats = runtime->Stats();
   std::printf(
@@ -192,6 +284,11 @@ int main(int argc, char** argv) {
       server_options.io_threads == 1 ? "" : "s",
       stats.durable ? "durable" : "in-memory",
       SyncModeToString(runtime_options.durability.mode));
+  if (replica) {
+    std::printf("ltam_serve: replica of %s:%u (epoch %llu, read-only)\n",
+                upstream_host.c_str(), upstream_port,
+                static_cast<unsigned long long>(stats.replication_epoch));
+  }
   if (!scenario_name.empty()) {
     std::printf("ltam_serve: scenario %s (seed=%llu subjects=%u events=%zu)\n",
                 scenario_name.c_str(),
@@ -208,6 +305,14 @@ int main(int argc, char** argv) {
   }
 
   std::printf("ltam_serve: shutting down\n");
+  {
+    std::unique_ptr<ReplicaLink> link;
+    {
+      std::lock_guard<std::mutex> lock(control.mu);
+      link = std::move(control.link);
+    }
+    if (link != nullptr) link->Stop();
+  }
   server.Stop();
   if (!CheckpointBeforeExit(runtime.get()).ok()) return 1;
   std::printf("ltam_serve: bye\n");

@@ -16,6 +16,11 @@
 //                         numbers either way; the wire carries the
 //                         runtime's own RuntimeStats)
 //   checkpoint            persist the runtime (local or remote)
+//   promote               remote only: promote a replica server to
+//                         primary (bumps its replication epoch; the
+//                         fenced old primary's stream is refused)
+//   repoint <host:port>   remote only: re-target a replica server's
+//                         upstream (the survivor-reconnect step)
 //   quit / exit           leave (Ctrl-C and EOF behave the same)
 //
 // Shutdown discipline: Ctrl-C, SIGTERM, EOF, and quit all fall out of
@@ -152,6 +157,29 @@ int main(int argc, char** argv) {
       Status st = remote != nullptr ? remote->Checkpoint()
                                     : runtime->Checkpoint();
       std::printf("%s\n", st.ok() ? "checkpointed" : st.ToString().c_str());
+    } else if (line == "promote") {
+      if (remote == nullptr) {
+        std::printf("error: promote needs a remote server (connect first)\n");
+      } else {
+        Result<uint64_t> epoch = remote->Promote();
+        if (epoch.ok()) {
+          std::printf("promoted to primary at replication epoch %llu\n",
+                      static_cast<unsigned long long>(*epoch));
+        } else {
+          std::printf("error: %s\n", epoch.status().ToString().c_str());
+        }
+      }
+    } else if (line.rfind("repoint ", 0) == 0) {
+      std::string host;
+      uint16_t port = 0;
+      if (remote == nullptr) {
+        std::printf("error: repoint needs a remote server (connect first)\n");
+      } else if (!ParseEndpoint(line.substr(8), &host, &port)) {
+        std::printf("error: usage: repoint <host:port>\n");
+      } else {
+        Status st = remote->Repoint(host, port);
+        std::printf("%s\n", st.ok() ? "repointed" : st.ToString().c_str());
+      }
     } else if (!line.empty()) {
       Result<QueryResult> result =
           remote != nullptr ? remote->Query(line) : interp.Run(line);

@@ -140,6 +140,20 @@ void RunWorker(const LoadScenario& scenario, const LoadGenOptions& options,
     return;
   }
 
+  // Split reads: queries get their own connection (to a replica, or to
+  // the same server — either way they no longer force an ingest-pipe
+  // drain, see the query arrival below).
+  std::unique_ptr<ServiceClient> query_client;
+  if (!options.query_host.empty() && !scenario.queries.empty()) {
+    Result<std::unique_ptr<ServiceClient>> connected =
+        ServiceClient::Connect(options.query_host, options.query_port);
+    if (!connected.ok()) {
+      state->status = connected.status();
+      return;
+    }
+    query_client = std::move(connected).ValueOrDie();
+  }
+
   std::unordered_map<uint32_t, InFlight> in_flight;
   const SteadyClock::time_point start = SteadyClock::now();
 
@@ -190,12 +204,18 @@ void RunWorker(const LoadScenario& scenario, const LoadGenOptions& options,
 
     const Arrival& a = arrivals[i];
     if (a.is_query) {
-      // Sync calls must not interleave with unreceived pipelined
-      // submissions — drain first. The drain time counts toward the
-      // query's latency (it is measured from the scheduled arrival).
-      st = drain_all();
-      if (!st.ok()) break;
-      Result<QueryResult> qr = (*client)->Query(scenario.queries[a.index]);
+      if (query_client == nullptr) {
+        // Sync calls must not interleave with unreceived pipelined
+        // submissions on the SAME connection — drain first. The drain
+        // time counts toward the query's latency (it is measured from
+        // the scheduled arrival). A dedicated query connection skips
+        // this barrier: reads overlap the in-flight ingest stream.
+        st = drain_all();
+        if (!st.ok()) break;
+      }
+      ServiceClient* reader =
+          query_client != nullptr ? query_client.get() : client->get();
+      Result<QueryResult> qr = reader->Query(scenario.queries[a.index]);
       if (!qr.ok()) {
         st = qr.status();
         break;
@@ -294,6 +314,11 @@ Result<LoadReport> RunLoad(const LoadScenario& scenario,
   }
   if (options.max_in_flight == 0) {
     return Status::InvalidArgument("max_in_flight must be positive");
+  }
+  if (!options.query_host.empty() && options.query_port == 0) {
+    return Status::InvalidArgument(
+        "query_host set without query_port: the read endpoint needs "
+        "both");
   }
 
   std::vector<WorkerState> states(options.connections);

@@ -38,6 +38,15 @@ namespace ltam {
 struct LoadGenOptions {
   std::string host = "127.0.0.1";
   uint16_t port = 7447;
+  /// When nonempty, the scenario's query mix is sent to this endpoint
+  /// over a second per-worker connection instead of the ingest
+  /// endpoint — point it at a read replica while ingest flows to the
+  /// primary. Queries then overlap the pipelined ingest stream (no
+  /// drain barrier), so read latency is measured without stalling the
+  /// primary's pipe. Replica answers may trail ingest by replication
+  /// lag; the harness measures latency, it does not assert answers.
+  std::string query_host;
+  uint16_t query_port = 0;
   /// Target event arrival rate, events/second summed over every
   /// connection. Arrival gaps are exponential (Poisson process) unless
   /// the scenario carries a burst shape (LoadScenario::burst_*), which

@@ -1,0 +1,66 @@
+// Copyright 2026 The LTAM Authors.
+// Replication epoch persistence and the fencing gate.
+//
+// The replication epoch is the cluster's promotion counter, distinct
+// from the checkpoint epoch that names snapshot/WAL files. Every server
+// (primary or replica) carries one; promotion bumps it by at least one
+// and persists it BEFORE the new primary accepts a single write, so the
+// epoch on disk is always >= the epoch of any record the server ever
+// shipped or applied.
+//
+// The gate is the whole failover-safety story, in the Pacemaker mold
+// (promote = take the master role, fence = make the old master harmless):
+//
+//   * A replica rejects any frame (welcome, chunk, watermark) whose
+//     epoch is BELOW its own. A partitioned ex-primary that missed a
+//     promotion keeps its old epoch; every frame it ships after the
+//     partition heals is provably stale and dropped, so it can never
+//     diverge a replica that has moved on.
+//   * A primary rejects a subscription whose hello epoch is ABOVE its
+//     own: the replica has seen a newer promotion, therefore this
+//     primary has been superseded — it is the one being fenced, and the
+//     refusal tells its operator so.
+//   * Equal epochs flow; a replica seeing a HIGHER epoch adopts it
+//     (it lagged a promotion, the data stream is still the one true
+//     stream).
+//
+// Persistence is a one-line file (`REPL_EPOCH`) committed by the same
+// tmp + fsync + rename discipline as the manifest; a missing file reads
+// as epoch 0, so pre-replication directories upgrade in place.
+
+#ifndef LTAM_REPLICATION_EPOCH_H_
+#define LTAM_REPLICATION_EPOCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/result.h"
+
+namespace ltam {
+
+/// Canonical epoch file name inside a durable directory.
+inline const char* ReplicationEpochFileName() { return "REPL_EPOCH"; }
+
+/// Reads the persisted replication epoch from `dir`. A directory that
+/// has never persisted one (including every pre-replication directory)
+/// reads as epoch 0; a present-but-corrupt file is an error, not a 0 —
+/// silently restarting a fenced primary at epoch 0 would defeat the gate.
+Result<uint64_t> LoadReplicationEpoch(const std::string& dir);
+
+/// Durably persists `epoch` into `dir` (tmp + fsync + rename + dirsync).
+/// Must complete before the caller acts on the new epoch.
+Status StoreReplicationEpoch(const std::string& dir, uint64_t epoch);
+
+/// Primary-side gate for an incoming subscription: a hello from a
+/// replica at a higher epoch means THIS server has been superseded.
+/// OK when `hello_epoch <= local_epoch`.
+Status CheckSubscriptionEpoch(uint64_t local_epoch, uint64_t hello_epoch);
+
+/// Replica-side gate for an incoming stream frame: a frame below the
+/// local epoch is from a fenced ex-primary and must be dropped. OK when
+/// `frame_epoch >= local_epoch`; the caller adopts a higher epoch.
+Status CheckStreamEpoch(uint64_t local_epoch, uint64_t frame_epoch);
+
+}  // namespace ltam
+
+#endif  // LTAM_REPLICATION_EPOCH_H_

@@ -1,0 +1,120 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "replication/log_shipper.h"
+
+#include <chrono>
+#include <utility>
+
+namespace ltam {
+
+LogShipper::LogShipper(AccessRuntime* runtime, std::shared_mutex* runtime_mu,
+                       std::vector<uint64_t> start_positions, SendFn send,
+                       LogShipperOptions options)
+    : runtime_(runtime),
+      runtime_mu_(runtime_mu),
+      send_(std::move(send)),
+      options_(options),
+      positions_(std::move(start_positions)) {}
+
+LogShipper::~LogShipper() { Stop(); }
+
+void LogShipper::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  thread_ = std::thread([this] { Run(); });
+}
+
+void LogShipper::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+uint64_t LogShipper::records_shipped() const {
+  return records_shipped_.load(std::memory_order_relaxed);
+}
+
+void LogShipper::Run() {
+  while (true) {
+    bool fatal = false;
+    const bool moved = SweepOnce(&fatal);
+    if (fatal) return;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) return;
+    if (moved) continue;  // Drain hot shards before sleeping.
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.poll_interval_ms),
+                 [this] { return stop_; });
+    if (stop_) return;
+  }
+}
+
+bool LogShipper::SweepOnce(bool* fatal) {
+  bool moved = false;
+  const uint32_t nshards = static_cast<uint32_t>(positions_.size());
+  uint64_t epoch = 0;
+  std::vector<uint64_t> durable(nshards, 0);
+  for (uint32_t k = 0; k < nshards; ++k) {
+    while (true) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_) return moved;
+      }
+      Result<AccessRuntime::ReplicationSlice> slice =
+          [&]() -> Result<AccessRuntime::ReplicationSlice> {
+        // Shared lock: checkpoints (exclusive writers server-side)
+        // cannot retire segments mid-read.
+        std::shared_lock<std::shared_mutex> lock(*runtime_mu_);
+        epoch = runtime_->replication_epoch();
+        return runtime_->ReadReplicationSlice(k, positions_[k],
+                                              options_.max_records_per_chunk);
+      }();
+      if (!slice.ok()) {
+        // The stream cannot continue from this position (most likely a
+        // checkpoint retired it — resync required). Tell the replica
+        // once, structurally, and retire the subscription.
+        send_(MessageType::kError,
+              EncodeErrorResult(slice.status().WithContext(
+                  "replication stream for shard " + std::to_string(k))));
+        *fatal = true;
+        return moved;
+      }
+      durable[k] = slice->durable;
+      if (slice->records.empty()) break;
+      SegmentChunk chunk;
+      chunk.epoch = epoch;
+      chunk.shard = k;
+      chunk.start = positions_[k];
+      chunk.records = std::move(slice->records);
+      const uint64_t shipped = chunk.records.size();
+      if (!send_(MessageType::kSegmentChunk, EncodeSegmentChunk(chunk))) {
+        *fatal = true;  // Connection gone.
+        return moved;
+      }
+      records_shipped_.fetch_add(shipped, std::memory_order_relaxed);
+      positions_[k] = slice->next;
+      moved = true;
+      if (slice->next >= slice->durable) break;
+    }
+  }
+  // Lag accounting: advertise the primary's durable positions whenever
+  // they moved past what the replica last heard.
+  if (durable != sent_durable_) {
+    WatermarkAdvance advance;
+    advance.epoch = epoch;
+    advance.durable = durable;
+    if (!send_(MessageType::kWatermarkAdvance,
+               EncodeWatermarkAdvance(advance))) {
+      *fatal = true;
+      return moved;
+    }
+    sent_durable_ = std::move(durable);
+  }
+  return moved;
+}
+
+}  // namespace ltam

@@ -1,0 +1,108 @@
+// Copyright 2026 The LTAM Authors.
+// Primary-side log shipper: one subscription, one thread.
+//
+// A LogShipper is born when a kReplicaHello lands on a server
+// connection. It owns the replica's per-shard replication positions
+// (seeded from the hello) and streams forward from them: each sweep it
+// reads the committed suffix of every shard's WAL chain through
+// AccessRuntime::ReadReplicationSlice — under the server's SHARED
+// runtime lock, so a checkpoint can never swap segment files out from
+// under a read — and pushes the records as server-initiated
+// kSegmentChunk frames (request_id 0), followed by one
+// kWatermarkAdvance whenever the primary's durable positions moved.
+//
+// Only durable records ship. The primary's (applied, durable) watermark
+// is the replication position space — the same count the replica
+// reports back in its next hello — so a reconnect resumes exactly at
+// the last record the replica made crash-proof, never before (duplicate
+// frames are dropped replica-side by the overlap-skip in
+// ApplyReplicated) and never after (no holes).
+//
+// Every frame is stamped with the primary's current replication epoch;
+// a replica that has seen a newer promotion drops the frame (the
+// fencing rule — see replication/epoch.h).
+//
+// The shipper cannot serve a replica whose position predates the
+// primary's retired floor (a checkpoint truncated the records away):
+// that subscription gets one structured kError frame ("resync
+// required") and the shipper parks. Seeding such a replica from a
+// snapshot copy is the operator's move; the stream only carries deltas.
+
+#ifndef LTAM_REPLICATION_LOG_SHIPPER_H_
+#define LTAM_REPLICATION_LOG_SHIPPER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/access_runtime.h"
+#include "service/protocol.h"
+
+namespace ltam {
+
+struct LogShipperOptions {
+  /// Records per kSegmentChunk frame. Bounds both the frame size and
+  /// how long one slice read holds the shared runtime lock.
+  uint32_t max_records_per_chunk = 2048;
+
+  /// Idle poll cadence: how often the shipper re-checks the shards for
+  /// new durable records when the last sweep moved nothing.
+  uint32_t poll_interval_ms = 20;
+};
+
+/// Ships one subscriber's stream. Start() spawns the thread; Stop()
+/// (idempotent, also run by the destructor) joins it. The shipper never
+/// owns the socket — it emits frames through `send`, which returns
+/// false once the connection is gone and thereby retires the shipper.
+class LogShipper {
+ public:
+  /// Enqueues one server-initiated frame (request_id 0) on the
+  /// subscriber's connection. Must be thread-safe; returns false when
+  /// the connection is dead.
+  using SendFn = std::function<bool(MessageType, const std::string&)>;
+
+  LogShipper(AccessRuntime* runtime, std::shared_mutex* runtime_mu,
+             std::vector<uint64_t> start_positions, SendFn send,
+             LogShipperOptions options = {});
+  ~LogShipper();
+
+  LogShipper(const LogShipper&) = delete;
+  LogShipper& operator=(const LogShipper&) = delete;
+
+  void Start();
+  void Stop();
+
+  /// Total records shipped since Start (all shards).
+  uint64_t records_shipped() const;
+
+ private:
+  void Run();
+  /// One sweep over all shards; returns whether anything shipped, or
+  /// false with *fatal set when the subscription cannot continue.
+  bool SweepOnce(bool* fatal);
+
+  AccessRuntime* const runtime_;
+  std::shared_mutex* const runtime_mu_;
+  const SendFn send_;
+  const LogShipperOptions options_;
+
+  std::vector<uint64_t> positions_;     // Thread-only after Start.
+  std::vector<uint64_t> sent_durable_;  // Last kWatermarkAdvance payload.
+  std::atomic<uint64_t> records_shipped_{0};
+
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool started_ = false;
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_REPLICATION_LOG_SHIPPER_H_

@@ -1,0 +1,284 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "replication/replica_link.h"
+
+#include <chrono>
+
+#include "replication/epoch.h"
+
+namespace ltam {
+
+ReplicaLink::ReplicaLink(AccessRuntime* runtime, std::shared_mutex* runtime_mu,
+                         std::string host, uint16_t port,
+                         ReplicaLinkOptions options)
+    : runtime_(runtime),
+      runtime_mu_(runtime_mu),
+      options_(options),
+      host_(std::move(host)),
+      port_(port) {}
+
+ReplicaLink::~ReplicaLink() { Stop(); }
+
+void ReplicaLink::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  thread_ = std::thread([this] { Run(); });
+}
+
+void ReplicaLink::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stop_ = true;
+    if (client_ != nullptr) client_->ShutdownSocket();
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+}
+
+void ReplicaLink::Repoint(const std::string& host, uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  host_ = host;
+  port_ = port;
+  ++target_generation_;
+  // Break the current stream; the loop redials the new target.
+  if (client_ != nullptr) client_->ShutdownSocket();
+  cv_.notify_all();
+}
+
+uint64_t ReplicaLink::records_applied() const {
+  return records_applied_.load(std::memory_order_relaxed);
+}
+
+uint64_t ReplicaLink::fenced_frames() const {
+  return fenced_frames_.load(std::memory_order_relaxed);
+}
+
+bool ReplicaLink::connected() const {
+  return connected_.load(std::memory_order_acquire);
+}
+
+Status ReplicaLink::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_error_;
+}
+
+std::vector<uint64_t> ReplicaLink::upstream_durable() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return upstream_durable_;
+}
+
+std::pair<std::string, uint16_t> ReplicaLink::upstream() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {host_, port_};
+}
+
+void ReplicaLink::RecordError(Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) return;  // Shutdown-induced breakage is not an error.
+  last_error_ = std::move(status);
+}
+
+bool ReplicaLink::Backoff() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, std::chrono::milliseconds(options_.reconnect_backoff_ms),
+               [this] { return stop_; });
+  return !stop_;
+}
+
+void ReplicaLink::Run() {
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return;
+    }
+    RunOnce();
+    connected_.store(false, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      client_.reset();
+      if (stop_) return;
+    }
+    if (!Backoff()) return;
+  }
+}
+
+void ReplicaLink::RunOnce() {
+  std::string host;
+  uint16_t port = 0;
+  uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    host = host_;
+    port = port_;
+    generation = target_generation_;
+  }
+
+  Result<std::unique_ptr<ServiceClient>> dialed =
+      ServiceClient::Connect(host, port);
+  if (!dialed.ok()) {
+    RecordError(dialed.status());
+    return;
+  }
+  ServiceClient* client = dialed->get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ || target_generation_ != generation) return;
+    client_ = std::move(*dialed);
+  }
+
+  // Subscribe: our epoch plus per-shard DURABLE positions — the honest
+  // resume point (an applied-but-unsynced suffix would not survive our
+  // own crash, so the primary must re-ship it).
+  ReplicaHello hello;
+  {
+    std::shared_lock<std::shared_mutex> rlock(*runtime_mu_);
+    hello.epoch = runtime_->replication_epoch();
+    Result<std::vector<uint64_t>> positions = runtime_->ReplicationPositions();
+    if (!positions.ok()) {
+      RecordError(positions.status());
+      return;
+    }
+    hello.positions = std::move(*positions);
+  }
+  hello.num_shards = static_cast<uint32_t>(hello.positions.size());
+  Status sent = client->SendRawFrame(MessageType::kReplicaHello, 1,
+                                     EncodeReplicaHello(hello));
+  if (!sent.ok()) {
+    RecordError(std::move(sent));
+    return;
+  }
+  Result<Frame> first = client->ReceiveRaw();
+  if (!first.ok()) {
+    RecordError(first.status().WithContext("awaiting replica-welcome"));
+    return;
+  }
+  if (first->header.type == MessageType::kError) {
+    Status refused;
+    if (DecodeErrorResult(first->payload, &refused).ok()) {
+      RecordError(refused.WithContext("subscription refused by " + host + ":" +
+                                      std::to_string(port)));
+    } else {
+      RecordError(Status::ParseError("malformed subscription refusal"));
+    }
+    return;
+  }
+  if (first->header.type != MessageType::kReplicaWelcome) {
+    RecordError(Status::Internal(
+        std::string("expected replica-welcome, got ") +
+        MessageTypeToString(first->header.type)));
+    return;
+  }
+  Result<ReplicaWelcome> welcome = DecodeReplicaWelcome(first->payload);
+  if (!welcome.ok()) {
+    RecordError(welcome.status());
+    return;
+  }
+  if (welcome->num_shards != hello.num_shards) {
+    RecordError(Status::FailedPrecondition(
+        "upstream runs " + std::to_string(welcome->num_shards) +
+        " shards, this replica " + std::to_string(hello.num_shards) +
+        " — replication requires identical sharding"));
+    return;
+  }
+  if (welcome->epoch < hello.epoch) {
+    // The upstream itself is a fenced ex-primary; park and retry (it
+    // may be repointed away or restarted at the new epoch).
+    RecordError(CheckStreamEpoch(hello.epoch, welcome->epoch)
+                    .WithContext("upstream " + host + ":" +
+                                 std::to_string(port)));
+    return;
+  }
+  if (welcome->epoch > hello.epoch) {
+    std::unique_lock<std::shared_mutex> wlock(*runtime_mu_);
+    Status adopted = runtime_->AdoptReplicationEpoch(welcome->epoch);
+    if (!adopted.ok()) {
+      RecordError(std::move(adopted));
+      return;
+    }
+  }
+  connected_.store(true, std::memory_order_release);
+
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_ || target_generation_ != generation) return;
+    }
+    Result<Frame> frame = client->ReceiveRaw();
+    if (!frame.ok()) {
+      RecordError(frame.status().WithContext("replication stream from " +
+                                             host + ":" +
+                                             std::to_string(port)));
+      return;
+    }
+    switch (frame->header.type) {
+      case MessageType::kSegmentChunk: {
+        Result<SegmentChunk> chunk = DecodeSegmentChunk(frame->payload);
+        if (!chunk.ok()) {
+          RecordError(chunk.status());
+          return;
+        }
+        const uint64_t local = runtime_->replication_epoch();
+        if (chunk->epoch < local) {
+          // The fencing rule: a stale-epoch primary's records must
+          // never reach the engine.
+          fenced_frames_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        std::unique_lock<std::shared_mutex> wlock(*runtime_mu_);
+        if (chunk->epoch > local) {
+          Status adopted = runtime_->AdoptReplicationEpoch(chunk->epoch);
+          if (!adopted.ok()) {
+            RecordError(std::move(adopted));
+            return;
+          }
+        }
+        Result<AccessRuntime::ReplicationApplyResult> applied =
+            runtime_->ApplyReplicated(chunk->shard, chunk->start,
+                                      chunk->records);
+        if (!applied.ok()) {
+          // A hole or a refusal: drop the stream and re-hello — the
+          // fresh positions make the primary re-ship what we need.
+          RecordError(applied.status());
+          return;
+        }
+        records_applied_.fetch_add(chunk->records.size(),
+                                   std::memory_order_relaxed);
+        break;
+      }
+      case MessageType::kWatermarkAdvance: {
+        Result<WatermarkAdvance> advance =
+            DecodeWatermarkAdvance(frame->payload);
+        if (!advance.ok()) {
+          RecordError(advance.status());
+          return;
+        }
+        if (advance->epoch < runtime_->replication_epoch()) {
+          fenced_frames_.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        upstream_durable_ = std::move(advance->durable);
+        break;
+      }
+      case MessageType::kError: {
+        Status pushed;
+        if (DecodeErrorResult(frame->payload, &pushed).ok()) {
+          RecordError(pushed.WithContext("pushed by upstream"));
+        } else {
+          RecordError(Status::ParseError("malformed upstream error"));
+        }
+        return;
+      }
+      case MessageType::kAlertPush:
+        // The upstream's shutdown drain; a replica has no client to
+        // forward to — alerts re-materialize from the replayed records.
+        break;
+      default:
+        break;  // Future stream frames: ignore, don't drop the link.
+    }
+  }
+}
+
+}  // namespace ltam

@@ -1,0 +1,128 @@
+// Copyright 2026 The LTAM Authors.
+// Replica-side upstream link: dial, subscribe, apply, repeat.
+//
+// A ReplicaLink turns a read-only AccessRuntime (DemoteToReplica) into
+// a follower of one upstream primary. Its thread loops:
+//
+//   connect(host, port)
+//     -> kReplicaHello{epoch, per-shard durable positions}
+//     <- kReplicaWelcome{epoch, num_shards}   (fence-checked)
+//     <- kSegmentChunk / kWatermarkAdvance stream (request_id 0)
+//
+// Each chunk is applied under the EXCLUSIVE runtime lock shared with
+// the replica's own server (the same lock its query/stats workers take
+// shared), through AccessRuntime::ApplyReplicated — which write-ahead
+// logs the records to the replica's own WAL before replaying them, so
+// the replica's directory recovers exactly like a primary's and its
+// durable watermark is an honest resume position for the next hello.
+//
+// Fencing (replication/epoch.h): any frame whose epoch is below the
+// replica's is from a superseded ex-primary — counted in
+// fenced_frames() and dropped, never applied. A higher frame epoch is
+// adopted (the replica lagged a promotion). A welcome below the local
+// epoch parks the link in backoff: the upstream itself is stale.
+//
+// Stop() and Repoint() interrupt the blocking receive by half-closing
+// the socket (the one ServiceClient member that is safe cross-thread);
+// the loop then exits or redials the new target. Every disconnect
+// reconnects with freshly read positions, so duplicates are bounded by
+// one chunk and the overlap-skip in ApplyReplicated absorbs them.
+
+#ifndef LTAM_REPLICATION_REPLICA_LINK_H_
+#define LTAM_REPLICATION_REPLICA_LINK_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "runtime/access_runtime.h"
+#include "service/client.h"
+
+namespace ltam {
+
+struct ReplicaLinkOptions {
+  /// Backoff between failed dials / dropped streams.
+  uint32_t reconnect_backoff_ms = 200;
+};
+
+class ReplicaLink {
+ public:
+  /// `runtime` must already be a replica (DemoteToReplica) and stays
+  /// alive longer than the link; `runtime_mu` is the server's runtime
+  /// lock (exclusive for every apply).
+  ReplicaLink(AccessRuntime* runtime, std::shared_mutex* runtime_mu,
+              std::string host, uint16_t port, ReplicaLinkOptions options = {});
+  ~ReplicaLink();
+
+  ReplicaLink(const ReplicaLink&) = delete;
+  ReplicaLink& operator=(const ReplicaLink&) = delete;
+
+  void Start();
+  void Stop();
+
+  /// Re-targets the upstream (the survivor-reconnect step of a
+  /// failover): drops the current stream and redials host:port.
+  void Repoint(const std::string& host, uint16_t port);
+
+  // --- Introspection ---------------------------------------------------------
+
+  /// Log records applied from the stream since Start (duplicates a
+  /// reconnect re-shipped included — the runtime skipped those).
+  uint64_t records_applied() const;
+
+  /// Stream frames dropped by the fencing gate (stale epoch).
+  uint64_t fenced_frames() const;
+
+  /// True while a subscription is live (welcome received, stream open).
+  bool connected() const;
+
+  /// The last error that dropped a dial or a stream (OK when none has).
+  Status last_error() const;
+
+  /// The primary's per-shard durable positions from the latest
+  /// kWatermarkAdvance — replica lag is this minus ReplicationPositions.
+  std::vector<uint64_t> upstream_durable() const;
+
+  /// Current upstream target.
+  std::pair<std::string, uint16_t> upstream() const;
+
+ private:
+  void Run();
+  /// One dial + subscription + stream, until it drops or stop/repoint.
+  void RunOnce();
+  void RecordError(Status status);
+  /// Interruptible backoff sleep; false when stopping.
+  bool Backoff();
+
+  AccessRuntime* const runtime_;
+  std::shared_mutex* const runtime_mu_;
+  const ReplicaLinkOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::string host_;
+  uint16_t port_;
+  uint64_t target_generation_ = 0;  // Bumped by Repoint.
+  bool stop_ = false;
+  bool started_ = false;
+  std::unique_ptr<ServiceClient> client_;  // Shared only for ShutdownSocket.
+  Status last_error_;
+  std::vector<uint64_t> upstream_durable_;
+
+  std::atomic<uint64_t> records_applied_{0};
+  std::atomic<uint64_t> fenced_frames_{0};
+  std::atomic<bool> connected_{false};
+
+  std::thread thread_;
+};
+
+}  // namespace ltam
+
+#endif  // LTAM_REPLICATION_REPLICA_LINK_H_

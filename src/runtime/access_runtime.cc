@@ -11,6 +11,7 @@
 
 #include "core/rules/rule_engine.h"
 #include "engine/sharded_engine.h"
+#include "replication/epoch.h"
 #include "storage/durable_sharded_system.h"
 #include "storage/durable_system.h"
 #include "storage/manifest.h"
@@ -44,6 +45,13 @@ size_t CountRefusedEvents(const std::vector<Decision>& decisions,
     if (!d.granted && d.reason == DenyReason::kWalError) ++refused;
   }
   return refused;
+}
+
+Status ReplicaRefusal(const char* op) {
+  return Status::FailedPrecondition(
+      std::string(op) +
+      " refused: this runtime is a read-only replica — redirect writes "
+      "to the primary");
 }
 
 size_t PendingShardAlerts(const ShardedDecisionEngine& engine) {
@@ -89,6 +97,30 @@ class AccessRuntime::Backend {
   virtual const AuthorizationDatabase& auth_db() const = 0;
   virtual std::unique_ptr<MovementView> MakeView() const = 0;
   virtual void FillStats(RuntimeStats* stats) const = 0;
+
+  /// Replication seam (see the facade's replication surface): only the
+  /// durable sharded backend ships/applies per-shard WAL records.
+  virtual bool replication_capable() const { return false; }
+  virtual Result<std::vector<uint64_t>> ReplicationPositions() const {
+    return UnsupportedReplication();
+  }
+  virtual Result<ReplicationSlice> ReadReplicationSlice(uint32_t /*shard*/,
+                                                        uint64_t /*from*/,
+                                                        size_t /*max_records*/) {
+    return UnsupportedReplication();
+  }
+  virtual Result<ReplicationApplyResult> ApplyReplicated(
+      uint32_t /*shard*/, uint64_t /*start*/,
+      const std::vector<std::string>& /*records*/) {
+    return UnsupportedReplication();
+  }
+
+ protected:
+  static Status UnsupportedReplication() {
+    return Status::FailedPrecondition(
+        "replication requires a durable sharded runtime "
+        "(durable_dir set, num_shards > 1)");
+  }
 };
 
 // --- In-memory sequential ----------------------------------------------------
@@ -241,40 +273,21 @@ class AccessRuntime::ShardedBackend final : public Backend {
 
 // --- Durable sequential ------------------------------------------------------
 
+/// The sequential durable backend is a thin adapter now: the
+/// DurableSystem owns a real ShardLog, so the pipelined/interval sync
+/// cadence (and the idle-convergence timer the old backend ran by hand)
+/// lives on the log's own thread, exactly like each shard of the
+/// sharded runtime. No backend-side mutex: ApplyBatch/Tick run on the
+/// control thread, and the watermark/counter reads are ShardLog's
+/// thread-safe accessors.
 class AccessRuntime::DurableSequentialBackend final : public Backend {
  public:
   DurableSequentialBackend(std::unique_ptr<DurableSystem> sys,
-                           const RuntimeOptions& options, bool shard_override)
-      : sys_(std::move(sys)),
-        durability_(options.durability),
-        sync_every_batch_(options.sync_every_batch),
-        shard_override_(shard_override),
-        last_sync_(std::chrono::steady_clock::now()) {
-    // The pipelined modes get a real timer thread (the sharded runtime
-    // has per-shard log threads for this): without one, an idle
-    // kInterval runtime would violate sync_interval_ms unboundedly —
-    // the deferred group commit only ran when the NEXT batch arrived —
-    // and an idle kPipelined runtime would never converge to
-    // durable == applied.
-    if (durability_.mode != SyncMode::kBatch) {
-      timer_ = std::thread([this] { TimerLoop(); });
-    }
-  }
-
-  ~DurableSequentialBackend() override {
-    if (timer_.joinable()) {
-      {
-        std::lock_guard<std::mutex> lock(sys_mu_);
-        timer_stop_ = true;
-      }
-      timer_cv_.notify_all();
-      timer_.join();
-    }
-  }
+                           bool shard_override)
+      : sys_(std::move(sys)), shard_override_(shard_override) {}
 
   Result<std::vector<Decision>> ApplyBatch(Span<const AccessEvent> batch,
                                            Status* durability) override {
-    std::lock_guard<std::mutex> lock(sys_mu_);
     std::vector<Decision> out;
     out.reserve(batch.size());
     Status append_error;
@@ -289,16 +302,15 @@ class AccessRuntime::DurableSequentialBackend final : public Backend {
         if (append_error.ok()) append_error = decision.status();
       }
     }
-    Status sync_error = SyncPerPolicyLocked();
+    Status sync_error = sys_->BatchBoundary();
     *durability = ComposeDurabilityError(std::move(append_error),
                                          std::move(sync_error));
     return out;
   }
 
   Status Tick(Chronon t) override {
-    std::lock_guard<std::mutex> lock(sys_mu_);
     Status ticked = sys_->Tick(t);
-    Status synced = SyncPerPolicyLocked();
+    Status synced = sys_->BatchBoundary();
     if (!synced.ok() && ticked.ok()) return synced;
     return ticked;
   }
@@ -314,21 +326,14 @@ class AccessRuntime::DurableSequentialBackend final : public Backend {
     return sys_->engine().alerts().size();
   }
 
-  Status Checkpoint() override {
-    std::lock_guard<std::mutex> lock(sys_mu_);
-    Status ok = sys_->Checkpoint();
-    if (ok.ok()) ResetSyncPolicyLocked();
-    return ok;
-  }
+  Status Checkpoint() override { return sys_->Checkpoint(); }
 
   Status WaitDurable() override {
-    std::lock_guard<std::mutex> lock(sys_mu_);
     if (sys_->total_synced() >= sys_->total_appended()) return Status::OK();
-    return SyncNowLocked();
+    return sys_->Sync();
   }
 
   DurabilityWatermark Watermark() const override {
-    std::lock_guard<std::mutex> lock(sys_mu_);
     return DurabilityWatermark{sys_->total_appended(), sys_->total_synced()};
   }
 
@@ -353,7 +358,6 @@ class AccessRuntime::DurableSequentialBackend final : public Backend {
   }
 
   void FillStats(RuntimeStats* stats) const override {
-    std::lock_guard<std::mutex> lock(sys_mu_);
     stats->num_shards = 1;
     stats->durable = true;
     stats->shard_count_overridden = shard_override_;
@@ -361,112 +365,16 @@ class AccessRuntime::DurableSequentialBackend final : public Backend {
     stats->requests_processed = sys_->engine().requests_processed();
     stats->requests_granted = sys_->engine().requests_granted();
     stats->wal_append_failures = sys_->wal_append_failures();
-    stats->wal_sync_failures =
-        sys_->wal_sync_failures() + injected_sync_failures_;
+    stats->wal_sync_failures = sys_->wal_sync_failures();
     stats->shard_watermarks = {
         DurabilityWatermark{sys_->total_appended(), sys_->total_synced()}};
   }
 
  private:
-  /// The deferred-group-commit policy: every pipeline_depth batches
-  /// (kPipelined) or sync_interval_ms (kInterval) the event path syncs
-  /// inline; between batches the timer thread covers the idle gaps.
-  /// Caller holds sys_mu_.
-  Status SyncPerPolicyLocked() {
-    switch (durability_.mode) {
-      case SyncMode::kBatch:
-        if (!sync_every_batch_) return Status::OK();
-        break;
-      case SyncMode::kPipelined:
-        if (++batches_since_sync_ <
-            std::max<size_t>(1, durability_.pipeline_depth)) {
-          return Status::OK();
-        }
-        break;
-      case SyncMode::kInterval: {
-        auto interval = std::chrono::milliseconds(
-            std::max<uint32_t>(1, durability_.sync_interval_ms));
-        if (std::chrono::steady_clock::now() - last_sync_ < interval) {
-          return Status::OK();
-        }
-        break;
-      }
-    }
-    return SyncNowLocked();
-  }
-
-  /// One group commit, honoring the test fault injector the same way
-  /// the sharded ShardLog does ("sync", 1-based attempt count). Caller
-  /// holds sys_mu_.
-  Status SyncNowLocked() {
-    if (durability_.fault_injector) {
-      Status injected = durability_.fault_injector("sync", ++sync_attempts_);
-      if (!injected.ok()) {
-        ++injected_sync_failures_;
-        return injected;
-      }
-    }
-    Status synced = sys_->Sync();
-    if (synced.ok()) ResetSyncPolicyLocked();
-    return synced;
-  }
-
-  void ResetSyncPolicyLocked() {
-    batches_since_sync_ = 0;
-    last_sync_ = std::chrono::steady_clock::now();
-  }
-
-  /// kInterval: sync whenever unsynced work is older than the interval.
-  /// kPipelined: sync once the log has gone idle for a tick (no new
-  /// appends since the last look) — the sharded pipeline's
-  /// "queue-drained" convergence, approximated on a timer. Failures are
-  /// counted (and retried next tick); WaitDurable surfaces them to
-  /// callers who need the barrier.
-  void TimerLoop() {
-    const auto tick = std::chrono::milliseconds(
-        std::max<uint32_t>(1, durability_.sync_interval_ms));
-    std::unique_lock<std::mutex> lock(sys_mu_);
-    while (!timer_stop_) {
-      timer_cv_.wait_for(lock, tick, [this] { return timer_stop_; });
-      if (timer_stop_) return;
-      const uint64_t appended = sys_->total_appended();
-      if (sys_->total_synced() >= appended) {
-        last_seen_appended_ = appended;
-        continue;
-      }
-      bool due = false;
-      if (durability_.mode == SyncMode::kInterval) {
-        due = std::chrono::steady_clock::now() - last_sync_ >= tick;
-      } else {
-        due = appended == last_seen_appended_;
-      }
-      last_seen_appended_ = appended;
-      if (due) {
-        // Failures were counted; the next tick (or WaitDurable) retries.
-        Status ignored = SyncNowLocked();
-        (void)ignored;
-      }
-    }
-  }
-
   std::unique_ptr<DurableSystem> sys_;
-  DurabilityOptions durability_;
-  bool sync_every_batch_;
   /// True when the caller asked for >1 shard but the directory holds a
   /// committed sequential state (which wins).
   bool shard_override_;
-  /// Serializes the WAL surface of sys_ (appends, syncs, counters)
-  /// between the control thread and the timer thread. Engine state and
-  /// alerts stay control-thread-only — the timer never touches them.
-  mutable std::mutex sys_mu_;
-  std::condition_variable timer_cv_;
-  std::thread timer_;
-  bool timer_stop_ = false;
-  size_t batches_since_sync_ = 0;
-  uint64_t sync_attempts_ = 0;
-  uint64_t injected_sync_failures_ = 0;
-  uint64_t last_seen_appended_ = 0;
-  std::chrono::steady_clock::time_point last_sync_;
 };
 
 // --- Durable sharded ---------------------------------------------------------
@@ -534,6 +442,40 @@ class AccessRuntime::DurableShardedBackend final : public Backend {
     }
   }
 
+  bool replication_capable() const override { return true; }
+
+  Result<std::vector<uint64_t>> ReplicationPositions() const override {
+    std::vector<uint64_t> positions;
+    positions.reserve(sys_->num_shards());
+    for (uint32_t k = 0; k < sys_->num_shards(); ++k) {
+      positions.push_back(sys_->ShardWatermark(k).durable);
+    }
+    return positions;
+  }
+
+  Result<ReplicationSlice> ReadReplicationSlice(uint32_t shard, uint64_t from,
+                                                size_t max_records) override {
+    LTAM_ASSIGN_OR_RETURN(DurableShardedSystem::ReplicationSlice slice,
+                          sys_->ReadShardRecords(shard, from, max_records));
+    ReplicationSlice out;
+    out.records = std::move(slice.records);
+    out.next = slice.next;
+    out.durable = slice.durable;
+    return out;
+  }
+
+  Result<ReplicationApplyResult> ApplyReplicated(
+      uint32_t shard, uint64_t start,
+      const std::vector<std::string>& records) override {
+    LTAM_ASSIGN_OR_RETURN(DurableShardedSystem::ReplicationApply applied,
+                          sys_->ApplyReplicatedRecords(shard, start, records));
+    ReplicationApplyResult out;
+    out.decisions = std::move(applied.decisions);
+    out.alerts = std::move(applied.alerts);
+    out.position = applied.position;
+    return out;
+  }
+
  private:
   std::unique_ptr<DurableShardedSystem> sys_;
 };
@@ -584,7 +526,8 @@ Result<std::unique_ptr<AccessRuntime>> AccessRuntime::Open(
     } else {
       LTAM_ASSIGN_OR_RETURN(
           std::unique_ptr<DurableSystem> sys,
-          DurableSystem::Open(dir, std::move(initial), options.engine));
+          DurableSystem::Open(dir, std::move(initial), options.engine,
+                              options.durability, options.sync_every_batch));
       if (!has_sequential) {
         // Fresh directory: commit the seed immediately so recovery never
         // needs `initial` again — the same contract the sharded runtime
@@ -592,13 +535,19 @@ Result<std::unique_ptr<AccessRuntime>> AccessRuntime::Open(
         LTAM_RETURN_IF_ERROR(sys->Checkpoint());
       }
       rt->backend_ = std::make_unique<DurableSequentialBackend>(
-          std::move(sys), options, /*shard_override=*/want_sharded);
+          std::move(sys), /*shard_override=*/want_sharded);
       if (want_sharded) {
         LTAM_LOG_WARNING << "durable directory '" << dir
                          << "' holds a sequential runtime; requested "
                          << options.num_shards << " shards ignored";
       }
     }
+  }
+  if (options.durable_dir.has_value()) {
+    // The promotion counter survives restarts with the rest of the
+    // directory; a fenced ex-primary must come back fenced.
+    LTAM_ASSIGN_OR_RETURN(rt->replication_epoch_,
+                          LoadReplicationEpoch(*options.durable_dir));
   }
   rt->view_ = rt->backend_->MakeView();
   rt->query_ = std::make_unique<QueryEngine>(
@@ -613,6 +562,7 @@ Result<Decision> AccessRuntime::Apply(const AccessEvent& event) {
         "Apply called inside Mutate: events may only be applied between "
         "mutation windows");
   }
+  if (replica_) return ReplicaRefusal("Apply");
   Status durability;
   LTAM_ASSIGN_OR_RETURN(
       std::vector<Decision> decisions,
@@ -639,6 +589,10 @@ Result<BatchResult> AccessRuntime::ApplyBatch(Span<const AccessEvent> batch) {
     return Status::FailedPrecondition(
         "ApplyBatch called inside Mutate: events may only be applied "
         "between mutation windows");
+  }
+  if (replica_) {
+    ++batches_rejected_;
+    return ReplicaRefusal("ApplyBatch");
   }
   if (options_.max_batch_events > 0 &&
       batch.size() > options_.max_batch_events) {
@@ -668,6 +622,7 @@ Status AccessRuntime::ApplyFix(const PositionFix& fix) {
         "ApplyFix called inside Mutate: events may only be applied between "
         "mutation windows");
   }
+  if (replica_) return ReplicaRefusal("ApplyFix");
   if (!resolver_.has_value()) {
     Result<LocationResolver> built = LocationResolver::Build(graph());
     if (!built.ok()) {
@@ -705,6 +660,9 @@ Status AccessRuntime::Tick(Chronon t) {
         "Tick called inside Mutate: events may only be applied between "
         "mutation windows");
   }
+  // Patrol ticks are WAL-logged, so a replica receives the primary's
+  // over the stream; a locally injected one would fork the history.
+  if (replica_) return ReplicaRefusal("Tick");
   return backend_->Tick(t);
 }
 
@@ -720,6 +678,7 @@ Status AccessRuntime::Mutate(
   if (in_mutate_) {
     return Status::FailedPrecondition("reentrant Mutate");
   }
+  if (replica_) return ReplicaRefusal("Mutate");
   // RAII so a throwing callback cannot leave the runtime latched shut
   // (fn is arbitrary user code; exceptions must not wedge enforcement).
   struct WindowGuard {
@@ -783,7 +742,73 @@ RuntimeStats AccessRuntime::Stats() const {
   const DurabilityWatermark mark = Watermark();
   stats.applied_offset = mark.applied;
   stats.durable_offset = mark.durable;
+  stats.replica = replica_;
+  stats.replication_epoch = replication_epoch_;
   return stats;
+}
+
+Status AccessRuntime::DemoteToReplica() {
+  if (replica_) return Status::OK();
+  if (!backend_->replication_capable()) {
+    return Status::FailedPrecondition(
+        "DemoteToReplica requires a durable sharded runtime "
+        "(durable_dir set, num_shards > 1)");
+  }
+  replica_ = true;
+  return Status::OK();
+}
+
+Result<uint64_t> AccessRuntime::Promote() {
+  if (!options_.durable_dir.has_value()) {
+    return Status::FailedPrecondition(
+        "Promote requires a durable runtime (no directory to persist the "
+        "epoch into)");
+  }
+  const uint64_t next = replication_epoch_ + 1;
+  // Persist BEFORE accepting a single write: the fencing gate relies on
+  // the on-disk epoch being >= the epoch of anything this server ever
+  // ships or applies.
+  LTAM_RETURN_IF_ERROR(StoreReplicationEpoch(*options_.durable_dir, next));
+  replication_epoch_ = next;
+  replica_ = false;
+  return next;
+}
+
+Status AccessRuntime::AdoptReplicationEpoch(uint64_t epoch) {
+  if (epoch == replication_epoch_) return Status::OK();
+  LTAM_RETURN_IF_ERROR(CheckStreamEpoch(replication_epoch_, epoch));
+  if (!options_.durable_dir.has_value()) {
+    return Status::FailedPrecondition(
+        "cannot persist a replication epoch without a durable directory");
+  }
+  LTAM_RETURN_IF_ERROR(StoreReplicationEpoch(*options_.durable_dir, epoch));
+  replication_epoch_ = epoch;
+  return Status::OK();
+}
+
+Result<std::vector<uint64_t>> AccessRuntime::ReplicationPositions() const {
+  return backend_->ReplicationPositions();
+}
+
+Result<AccessRuntime::ReplicationSlice> AccessRuntime::ReadReplicationSlice(
+    uint32_t shard, uint64_t from, size_t max_records) {
+  return backend_->ReadReplicationSlice(shard, from, max_records);
+}
+
+Result<AccessRuntime::ReplicationApplyResult> AccessRuntime::ApplyReplicated(
+    uint32_t shard, uint64_t start, const std::vector<std::string>& records) {
+  if (!replica_) {
+    return Status::FailedPrecondition(
+        "ApplyReplicated on a primary: only replicas apply shipped records");
+  }
+  if (in_mutate_) {
+    return Status::FailedPrecondition("ApplyReplicated called inside Mutate");
+  }
+  LTAM_ASSIGN_OR_RETURN(ReplicationApplyResult out,
+                        backend_->ApplyReplicated(shard, start, records));
+  ++batches_applied_;
+  events_applied_ += out.decisions.size();
+  return out;
 }
 
 const MultilevelLocationGraph& AccessRuntime::graph() const {
@@ -810,6 +835,8 @@ std::string RuntimeStatsToString(const RuntimeStats& stats) {
                      std::to_string(stats.requested_shards) +
                      (stats.shard_count_overridden ? ", overridden)" : ")"));
   line("durable", stats.durable ? "yes" : "no");
+  line("role", stats.replica ? "replica (read-only)" : "primary");
+  line("replication-epoch", std::to_string(stats.replication_epoch));
   if (stats.durable) {
     line("epoch", std::to_string(stats.epoch));
     line("wal-events", std::to_string(stats.wal_events));

@@ -75,13 +75,12 @@ struct RuntimeOptions {
   /// ApplyBatch then returns before its fsync lands, and callers choose
   /// latency vs durability per call via BatchResult::watermark and
   /// WaitDurable(). Also carries the WAL segment rotation threshold.
-  /// The sequential durable backend emulates the pipelined modes by
-  /// deferring its group commit (every `pipeline_depth` batches /
-  /// `sync_interval_ms`) and runs a timer thread so the deferral is
-  /// bounded in time, not just in traffic: an idle kInterval runtime
-  /// still syncs within `sync_interval_ms`, and an idle kPipelined one
-  /// converges to durable == applied — the same guarantees the sharded
-  /// log threads give.
+  /// The sequential durable backend runs the identical ShardLog
+  /// machinery on its single log (rotation disabled; failed fsyncs
+  /// retried instead of sticky — see storage/durable_system.h), so the
+  /// idle-convergence guarantees match the sharded log threads': an
+  /// idle kInterval runtime still syncs within `sync_interval_ms`, and
+  /// an idle kPipelined one converges to durable == applied.
   DurabilityOptions durability;
   /// Ceiling on events per ApplyBatch call (0 = unlimited). An oversized
   /// batch is rejected whole with kInvalidArgument — nothing is applied —
@@ -174,6 +173,11 @@ struct RuntimeStats {
   /// report one entry; in-memory backends report none. Carried over the
   /// wire verbatim (protocol v3).
   std::vector<DurabilityWatermark> shard_watermarks;
+  /// Replication role and promotion epoch (replication/epoch.h): a
+  /// replica refuses writes and applies shipped records instead.
+  /// Carried over the wire since protocol v4.
+  bool replica = false;
+  uint64_t replication_epoch = 0;
 };
 
 /// The mutable stores handed to Mutate() callbacks. Movement state is
@@ -269,6 +273,74 @@ class AccessRuntime {
   /// Counters and effective configuration.
   RuntimeStats Stats() const;
 
+  // --- Replication surface -------------------------------------------------
+  // Only the durable sharded backend replicates: the unit of shipping
+  // is the per-shard WAL record stream, and the replication position in
+  // shard k is the monotonic record count ShardWatermark(k) reports
+  // (retired generations + current log). Epoch semantics live in
+  // replication/epoch.h (promotion counter, persisted as REPL_EPOCH in
+  // the durable directory; fencing gates compare it).
+
+  /// True when this runtime refuses writes and applies shipped records
+  /// instead (DemoteToReplica).
+  bool is_replica() const { return replica_; }
+
+  /// The persisted replication epoch (0 when never promoted, and always
+  /// 0 on in-memory runtimes — they have nowhere to persist one).
+  uint64_t replication_epoch() const { return replication_epoch_; }
+
+  /// Turns this runtime into a read-only replica: Apply/ApplyBatch/
+  /// ApplyFix/Tick/Mutate fail with kFailedPrecondition from here on;
+  /// ApplyReplicated becomes the only write path. Requires the durable
+  /// sharded backend. Demotion is a boot-time decision (after the
+  /// policy-script mutation window) — there is no demote-back except
+  /// reopening the directory.
+  Status DemoteToReplica();
+
+  /// Failover: durably bumps the replication epoch (persisted BEFORE a
+  /// single write is accepted) and re-enables writes. Returns the new
+  /// epoch. Legal on a primary too — the bump fences any stream the old
+  /// epoch could still ship.
+  Result<uint64_t> Promote();
+
+  /// Replica-side: adopts a higher epoch observed on a valid stream
+  /// (the replica lagged a promotion). A lower epoch is a fencing error;
+  /// equal is a no-op.
+  Status AdoptReplicationEpoch(uint64_t epoch);
+
+  /// Per-shard replication positions (monotonic durable record counts)
+  /// — what a replica reports in its subscription hello so the primary
+  /// resumes shipping exactly past the last durable record.
+  Result<std::vector<uint64_t>> ReplicationPositions() const;
+
+  /// A slice of shard `shard`'s committed WAL record stream starting at
+  /// position `from` (primary side of the shipper). Only durable
+  /// records ship; `next` is the position after the last returned
+  /// record, `durable` the shard's current durable position. A `from`
+  /// below the retained floor (a checkpoint retired it) fails:
+  /// the replica must resync from a snapshot.
+  struct ReplicationSlice {
+    std::vector<std::string> records;
+    uint64_t next = 0;
+    uint64_t durable = 0;
+  };
+  Result<ReplicationSlice> ReadReplicationSlice(uint32_t shard,
+                                                uint64_t from,
+                                                size_t max_records);
+
+  /// Replica side: write-ahead logs and applies shipped records for
+  /// `shard` starting at position `start` (records below the current
+  /// position are skipped — reconnect overlap is idempotent; a gap is
+  /// an error). Returns the decisions the events produced (byte-
+  /// identical to the primary's), alerts raised, and the new position.
+  struct ReplicationApplyResult {
+    std::vector<Decision> decisions;
+    std::vector<Alert> alerts;
+    uint64_t position = 0;
+  };
+  Result<ReplicationApplyResult> ApplyReplicated(
+      uint32_t shard, uint64_t start, const std::vector<std::string>& records);
+
   // --- Read surface --------------------------------------------------------
 
   const MultilevelLocationGraph& graph() const;
@@ -299,6 +371,8 @@ class AccessRuntime {
   /// Lazily built from the graph's boundaries; reset by Mutate.
   std::optional<LocationResolver> resolver_;
   bool in_mutate_ = false;
+  bool replica_ = false;
+  uint64_t replication_epoch_ = 0;
   size_t batches_applied_ = 0;
   size_t events_applied_ = 0;
   size_t events_refused_ = 0;

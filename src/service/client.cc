@@ -213,6 +213,40 @@ Result<RuntimeStats> ServiceClient::Stats() {
   return DecodeStatsResult(frame.payload);
 }
 
+Result<uint64_t> ServiceClient::Promote() {
+  const uint32_t id = next_request_id_++;
+  LTAM_RETURN_IF_ERROR(SendFrame(MessageType::kPromote, id, ""));
+  LTAM_ASSIGN_OR_RETURN(Frame frame,
+                        ReceiveResponse(id, MessageType::kPromoteResult));
+  return DecodePromoteResult(frame.payload);
+}
+
+Status ServiceClient::Repoint(const std::string& host, uint16_t port) {
+  RepointRequest req;
+  req.host = host;
+  req.port = port;
+  const uint32_t id = next_request_id_++;
+  LTAM_RETURN_IF_ERROR(
+      SendFrame(MessageType::kRepoint, id, EncodeRepointRequest(req)));
+  LTAM_ASSIGN_OR_RETURN(Frame frame,
+                        ReceiveResponse(id, MessageType::kRepointResult));
+  if (!frame.payload.empty()) {
+    return Status::ParseError("repoint-result: unexpected payload");
+  }
+  return Status::OK();
+}
+
+Status ServiceClient::SendRawFrame(MessageType type, uint32_t request_id,
+                                   const std::string& payload) {
+  return SendFrame(type, request_id, payload);
+}
+
+Result<Frame> ServiceClient::ReceiveRaw() { return ReceiveFrameRaw(); }
+
+void ServiceClient::ShutdownSocket() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
 Result<uint32_t> ServiceClient::SubmitBatch(Span<const AccessEvent> events) {
   if (events.size() > kMaxWireBatchEvents) {
     return Status::InvalidArgument(

@@ -70,6 +70,33 @@ class ServiceClient {
   /// Stats() call on the server's runtime returns.
   Result<RuntimeStats> Stats();
 
+  /// Promotes a replica server to primary; returns the new replication
+  /// epoch. Legal against a primary too (an epoch bump that fences any
+  /// stream still flowing from an older-epoch node).
+  Result<uint64_t> Promote();
+
+  /// Re-targets a replica server's upstream — the survivor-reconnect
+  /// step of a failover.
+  Status Repoint(const std::string& host, uint16_t port);
+
+  // --- Raw frame surface (replication links) ---------------------------------
+
+  /// Sends one frame verbatim, flushing any pipelined backlog first.
+  /// The replica link uses this for its kReplicaHello subscription.
+  Status SendRawFrame(MessageType type, uint32_t request_id,
+                      const std::string& payload);
+
+  /// Blocks until the next complete frame — server-initiated frames
+  /// (kSegmentChunk, kWatermarkAdvance, kAlertPush) included, nothing
+  /// stashed or skipped. The replica link's receive loop lives here.
+  Result<Frame> ReceiveRaw();
+
+  /// Half-closes the socket from another thread so a blocked
+  /// ReceiveRaw() returns ("server closed the connection"). The only
+  /// member safe to call concurrently — it is how a replica link is
+  /// stopped.
+  void ShutdownSocket();
+
   // --- Pipelined batches -----------------------------------------------------
 
   /// Buffers an ApplyBatch frame locally and returns its request id.

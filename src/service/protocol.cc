@@ -260,6 +260,9 @@ bool IsRequestType(MessageType type) {
     case MessageType::kQuery:
     case MessageType::kCheckpoint:
     case MessageType::kStats:
+    case MessageType::kReplicaHello:
+    case MessageType::kPromote:
+    case MessageType::kRepoint:
       return true;
     default:
       return false;
@@ -284,6 +287,14 @@ const char* MessageTypeToString(MessageType type) {
     case MessageType::kStatsResult: return "stats-result";
     case MessageType::kError: return "error";
     case MessageType::kAlertPush: return "alert-push";
+    case MessageType::kReplicaHello: return "replica-hello";
+    case MessageType::kPromote: return "promote";
+    case MessageType::kRepoint: return "repoint";
+    case MessageType::kReplicaWelcome: return "replica-welcome";
+    case MessageType::kSegmentChunk: return "segment-chunk";
+    case MessageType::kWatermarkAdvance: return "watermark-advance";
+    case MessageType::kPromoteResult: return "promote-result";
+    case MessageType::kRepointResult: return "repoint-result";
   }
   return "unknown";
 }
@@ -293,7 +304,7 @@ namespace {
 bool IsKnownType(uint8_t type) {
   return IsRequestType(static_cast<MessageType>(type)) ||
          (type >= static_cast<uint8_t>(MessageType::kPong) &&
-          type <= static_cast<uint8_t>(MessageType::kAlertPush));
+          type <= static_cast<uint8_t>(MessageType::kRepointResult));
 }
 
 }  // namespace
@@ -751,6 +762,9 @@ std::string EncodeStatsResult(const RuntimeStats& stats) {
     PutU64(&out, w.applied);
     PutU64(&out, w.durable);
   }
+  // v4: replication role + promotion epoch.
+  PutU8(&out, stats.replica ? 1 : 0);
+  PutU64(&out, stats.replication_epoch);
   return out;
 }
 
@@ -784,6 +798,12 @@ Result<RuntimeStats> DecodeStatsResult(std::string_view payload) {
       return Status::ParseError("stats-result: malformed shard watermark");
     }
   }
+  uint8_t replica = 0;
+  if (!r.ReadU8(&replica) || !r.ReadU64(&stats.replication_epoch) ||
+      replica > 1) {
+    return Status::ParseError("stats-result: malformed replication role");
+  }
+  stats.replica = replica == 1;
   LTAM_RETURN_IF_ERROR(r.Finish("stats-result"));
   stats.durable = durable == 1;
   stats.shard_count_overridden = overridden == 1;
@@ -826,6 +846,146 @@ std::string EncodeErrorResult(const Status& status) {
   std::string out;
   PutStatus(&out, status);
   return out;
+}
+
+std::string EncodeReplicaHello(const ReplicaHello& hello) {
+  std::string out;
+  PutU64(&out, hello.epoch);
+  PutU32(&out, hello.num_shards);
+  for (uint64_t p : hello.positions) PutU64(&out, p);
+  return out;
+}
+
+Result<ReplicaHello> DecodeReplicaHello(std::string_view payload) {
+  Reader r(payload);
+  ReplicaHello hello;
+  if (!r.ReadU64(&hello.epoch) || !r.ReadU32(&hello.num_shards)) {
+    return Status::ParseError("replica-hello: truncated payload");
+  }
+  // The shard count doubles as the position count; each position is 8
+  // bytes, so an implausible count is caught before any allocation.
+  if (hello.num_shards == 0 ||
+      static_cast<uint64_t>(hello.num_shards) * 8 != r.remaining()) {
+    return Status::ParseError("replica-hello: malformed shard count");
+  }
+  hello.positions.resize(hello.num_shards);
+  for (uint32_t k = 0; k < hello.num_shards; ++k) {
+    if (!r.ReadU64(&hello.positions[k])) {
+      return Status::ParseError("replica-hello: truncated positions");
+    }
+  }
+  LTAM_RETURN_IF_ERROR(r.Finish("replica-hello"));
+  return hello;
+}
+
+std::string EncodeReplicaWelcome(const ReplicaWelcome& welcome) {
+  std::string out;
+  PutU64(&out, welcome.epoch);
+  PutU32(&out, welcome.num_shards);
+  return out;
+}
+
+Result<ReplicaWelcome> DecodeReplicaWelcome(std::string_view payload) {
+  Reader r(payload);
+  ReplicaWelcome welcome;
+  if (!r.ReadU64(&welcome.epoch) || !r.ReadU32(&welcome.num_shards) ||
+      welcome.num_shards == 0) {
+    return Status::ParseError("replica-welcome: malformed payload");
+  }
+  LTAM_RETURN_IF_ERROR(r.Finish("replica-welcome"));
+  return welcome;
+}
+
+std::string EncodeSegmentChunk(const SegmentChunk& chunk) {
+  LTAM_CHECK(chunk.records.size() <= kMaxReplicationRecords)
+      << "segment chunk over the record ceiling";
+  std::string out;
+  PutU64(&out, chunk.epoch);
+  PutU32(&out, chunk.shard);
+  PutU64(&out, chunk.start);
+  PutU32(&out, static_cast<uint32_t>(chunk.records.size()));
+  for (const std::string& record : chunk.records) PutString(&out, record);
+  return out;
+}
+
+Result<SegmentChunk> DecodeSegmentChunk(std::string_view payload) {
+  Reader r(payload);
+  SegmentChunk chunk;
+  uint32_t count = 0;
+  if (!r.ReadU64(&chunk.epoch) || !r.ReadU32(&chunk.shard) ||
+      !r.ReadU64(&chunk.start) ||
+      // Each record costs at least its 4-byte length prefix.
+      !ReadCount(&r, 4, &count) || count > kMaxReplicationRecords) {
+    return Status::ParseError("segment-chunk: malformed record count");
+  }
+  chunk.records.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!r.ReadString(&chunk.records[i])) {
+      return Status::ParseError("segment-chunk: truncated record");
+    }
+  }
+  LTAM_RETURN_IF_ERROR(r.Finish("segment-chunk"));
+  return chunk;
+}
+
+std::string EncodeWatermarkAdvance(const WatermarkAdvance& advance) {
+  std::string out;
+  PutU64(&out, advance.epoch);
+  PutU32(&out, static_cast<uint32_t>(advance.durable.size()));
+  for (uint64_t d : advance.durable) PutU64(&out, d);
+  return out;
+}
+
+Result<WatermarkAdvance> DecodeWatermarkAdvance(std::string_view payload) {
+  Reader r(payload);
+  WatermarkAdvance advance;
+  uint32_t count = 0;
+  if (!r.ReadU64(&advance.epoch) || !ReadCount(&r, 8, &count) ||
+      count == 0) {
+    return Status::ParseError("watermark-advance: malformed shard count");
+  }
+  advance.durable.resize(count);
+  for (uint32_t k = 0; k < count; ++k) {
+    if (!r.ReadU64(&advance.durable[k])) {
+      return Status::ParseError("watermark-advance: truncated positions");
+    }
+  }
+  LTAM_RETURN_IF_ERROR(r.Finish("watermark-advance"));
+  return advance;
+}
+
+std::string EncodeRepointRequest(const RepointRequest& repoint) {
+  std::string out;
+  PutString(&out, repoint.host);
+  PutU16(&out, repoint.port);
+  return out;
+}
+
+Result<RepointRequest> DecodeRepointRequest(std::string_view payload) {
+  Reader r(payload);
+  RepointRequest repoint;
+  if (!r.ReadString(&repoint.host) || !r.ReadU16(&repoint.port) ||
+      repoint.host.empty() || repoint.port == 0) {
+    return Status::ParseError("repoint: malformed endpoint");
+  }
+  LTAM_RETURN_IF_ERROR(r.Finish("repoint"));
+  return repoint;
+}
+
+std::string EncodePromoteResult(uint64_t epoch) {
+  std::string out;
+  PutU64(&out, epoch);
+  return out;
+}
+
+Result<uint64_t> DecodePromoteResult(std::string_view payload) {
+  Reader r(payload);
+  uint64_t epoch = 0;
+  if (!r.ReadU64(&epoch)) {
+    return Status::ParseError("promote-result: truncated payload");
+  }
+  LTAM_RETURN_IF_ERROR(r.Finish("promote-result"));
+  return epoch;
 }
 
 Status DecodeErrorResult(std::string_view payload, Status* error) {

@@ -49,8 +49,10 @@ namespace ltam {
 /// payload-shape change must bump this. v1 was the PR-4 protocol; v2
 /// added the durability watermark to batch results and the
 /// watermark/WAL-failure fields to stats results; v3 added the per-shard
-/// watermark list to stats results and the alert-push frame.
-inline constexpr uint8_t kWireVersion = 3;
+/// watermark list to stats results and the alert-push frame; v4 added
+/// the replication frames (replica-hello/welcome, segment-chunk,
+/// watermark-advance, promote, repoint).
+inline constexpr uint8_t kWireVersion = 4;
 
 /// "LTAM" as a little-endian u32 ('L' is the first byte on the wire).
 inline constexpr uint32_t kWireMagic = 0x4D41544Cu;
@@ -78,6 +80,15 @@ enum class MessageType : uint8_t {
   kQuery = 5,
   kCheckpoint = 6,
   kStats = 7,
+  /// A replica subscribing to the primary's log stream: carries the
+  /// replica's replication epoch and per-shard resume positions.
+  kReplicaHello = 8,
+  /// Promote a replica server to primary (bumps + persists its
+  /// replication epoch, stops its upstream link, accepts writes).
+  kPromote = 9,
+  /// Re-target a replica server's upstream (host:port payload) — the
+  /// survivor-reconnect step of a failover.
+  kRepoint = 10,
   // Responses.
   kPong = 32,
   kApplyResult = 33,
@@ -90,6 +101,17 @@ enum class MessageType : uint8_t {
   /// Server-initiated (request_id 0): alerts the server could not attach
   /// to any response before shutting down. Payload = EncodeAlertPush.
   kAlertPush = 40,
+  /// The primary's answer to kReplicaHello: its epoch + shard count.
+  kReplicaWelcome = 41,
+  /// Server-initiated on a subscribed connection (request_id 0): one
+  /// run of committed log records for one shard.
+  kSegmentChunk = 42,
+  /// Server-initiated on a subscribed connection (request_id 0): the
+  /// primary's per-shard durable positions (replica lag accounting).
+  kWatermarkAdvance = 43,
+  /// kPromote's answer: the new replication epoch.
+  kPromoteResult = 44,
+  kRepointResult = 45,
 };
 
 /// True for the request half of the numbering space.
@@ -282,6 +304,72 @@ Result<std::vector<Alert>> DecodeAlertPush(std::string_view payload);
 /// error lands in *error (untouched on decode failure).
 std::string EncodeErrorResult(const Status& status);
 Status DecodeErrorResult(std::string_view payload, Status* error);
+
+// --- Replication payloads (v4) -----------------------------------------------
+
+/// Ceiling on log records per kSegmentChunk frame — bounds both the
+/// shipper's batching and a corrupt count field's allocation.
+inline constexpr uint32_t kMaxReplicationRecords = 1u << 14;
+
+/// kReplicaHello: a replica announcing itself to a primary. `positions`
+/// has one entry per shard — the count of log records the replica
+/// already holds durably (records retired by its checkpoints included),
+/// i.e. where shipping must resume.
+struct ReplicaHello {
+  uint64_t epoch = 0;
+  uint32_t num_shards = 0;
+  std::vector<uint64_t> positions;
+};
+
+std::string EncodeReplicaHello(const ReplicaHello& hello);
+Result<ReplicaHello> DecodeReplicaHello(std::string_view payload);
+
+/// kReplicaWelcome: the primary accepting a subscription.
+struct ReplicaWelcome {
+  uint64_t epoch = 0;
+  uint32_t num_shards = 0;
+};
+
+std::string EncodeReplicaWelcome(const ReplicaWelcome& welcome);
+Result<ReplicaWelcome> DecodeReplicaWelcome(std::string_view payload);
+
+/// kSegmentChunk: `records.size()` consecutive committed log records of
+/// one shard, starting at per-shard position `start` (each record is one
+/// WAL line, newline stripped — exactly what recovery replay decodes).
+/// `epoch` is the sender's replication epoch; a receiver on a higher
+/// epoch rejects the chunk (the fencing rule).
+struct SegmentChunk {
+  uint64_t epoch = 0;
+  uint32_t shard = 0;
+  uint64_t start = 0;
+  std::vector<std::string> records;
+};
+
+std::string EncodeSegmentChunk(const SegmentChunk& chunk);
+Result<SegmentChunk> DecodeSegmentChunk(std::string_view payload);
+
+/// kWatermarkAdvance: the primary's per-shard durable record counts.
+struct WatermarkAdvance {
+  uint64_t epoch = 0;
+  std::vector<uint64_t> durable;
+};
+
+std::string EncodeWatermarkAdvance(const WatermarkAdvance& advance);
+Result<WatermarkAdvance> DecodeWatermarkAdvance(std::string_view payload);
+
+/// kRepoint: the new upstream endpoint for a replica server.
+struct RepointRequest {
+  std::string host;
+  uint16_t port = 0;
+};
+
+std::string EncodeRepointRequest(const RepointRequest& repoint);
+Result<RepointRequest> DecodeRepointRequest(std::string_view payload);
+
+/// kPromote carries no request payload; kPromoteResult carries the new
+/// replication epoch. kRepointResult carries no payload.
+std::string EncodePromoteResult(uint64_t epoch);
+Result<uint64_t> DecodePromoteResult(std::string_view payload);
 
 }  // namespace ltam
 

@@ -25,6 +25,8 @@
 
 #include "engine/sharded_engine.h"
 #include "query/query_language.h"
+#include "replication/epoch.h"
+#include "replication/log_shipper.h"
 #include "service/protocol.h"
 #include "util/logging.h"
 
@@ -247,6 +249,9 @@ class ServiceServer::Impl {
     for (auto& loop : loops_) {
       if (loop->thread.joinable()) loop->thread.join();
     }
+    // The loops are gone, so no new subscription can start; retire the
+    // log shippers before their connections are torn down.
+    StopAllShippers();
     // Phase 2: the producers are gone, so the coalescer can drain every
     // queue (and every held reorder gap resolves) before exiting.
     coal_stop_ = true;
@@ -279,6 +284,8 @@ class ServiceServer::Impl {
   }
 
   uint16_t bound_port() const { return bound_port_; }
+
+  std::shared_mutex& runtime_mutex() { return runtime_mu_; }
 
   CoalescerStats coalescer_stats() const {
     CoalescerStats out;
@@ -483,6 +490,7 @@ class ServiceServer::Impl {
       }
     }
     loop->connections.erase(conn->fd);
+    StopShipper(conn->id);  // No-op for the non-subscribed majority.
   }
 
   void AcceptPending(IoLoop* loop0) {
@@ -670,6 +678,76 @@ class ServiceServer::Impl {
         EnqueueRead(std::move(job));
         return;
       }
+      case MessageType::kReplicaHello: {
+        Result<ReplicaHello> hello = DecodeReplicaHello(frame.payload);
+        if (!hello.ok()) {
+          Respond(conn, MessageType::kError, id,
+                  EncodeErrorResult(hello.status()));
+          return;
+        }
+        uint64_t local_epoch = 0;
+        Status accepted = ValidateHello(*hello, &local_epoch);
+        if (!accepted.ok()) {
+          Respond(conn, MessageType::kError, id, EncodeErrorResult(accepted));
+          return;
+        }
+        // Welcome FIRST (frames on one connection stay ordered), then
+        // the shipper starts pushing chunks behind it.
+        ReplicaWelcome welcome;
+        welcome.epoch = local_epoch;
+        welcome.num_shards = nshards_;
+        Respond(conn, MessageType::kReplicaWelcome, id,
+                EncodeReplicaWelcome(welcome));
+        StartShipper(conn, std::move(hello->positions));
+        return;
+      }
+      case MessageType::kPromote: {
+        if (!frame.payload.empty()) {
+          Respond(conn, MessageType::kError, id,
+                  EncodeErrorResult(
+                      Status::ParseError("promote: unexpected payload")));
+          return;
+        }
+        if (!options_.promote_hook) {
+          Respond(conn, MessageType::kError, id,
+                  EncodeErrorResult(Status::FailedPrecondition(
+                      "this server has no promotion hook (not started as "
+                      "a replica)")));
+          return;
+        }
+        Result<uint64_t> epoch = options_.promote_hook();
+        if (!epoch.ok()) {
+          Respond(conn, MessageType::kError, id,
+                  EncodeErrorResult(epoch.status()));
+          return;
+        }
+        Respond(conn, MessageType::kPromoteResult, id,
+                EncodePromoteResult(*epoch));
+        return;
+      }
+      case MessageType::kRepoint: {
+        Result<RepointRequest> repoint = DecodeRepointRequest(frame.payload);
+        if (!repoint.ok()) {
+          Respond(conn, MessageType::kError, id,
+                  EncodeErrorResult(repoint.status()));
+          return;
+        }
+        if (!options_.repoint_hook) {
+          Respond(conn, MessageType::kError, id,
+                  EncodeErrorResult(Status::FailedPrecondition(
+                      "this server has no repoint hook (not started as "
+                      "a replica)")));
+          return;
+        }
+        Status repointed = options_.repoint_hook(repoint->host, repoint->port);
+        if (!repointed.ok()) {
+          Respond(conn, MessageType::kError, id,
+                  EncodeErrorResult(repointed));
+          return;
+        }
+        Respond(conn, MessageType::kRepointResult, id, "");
+        return;
+      }
       default:
         Respond(conn, MessageType::kError, id,
                 EncodeErrorResult(Status::InvalidArgument(
@@ -677,6 +755,78 @@ class ServiceServer::Impl {
                     MessageTypeToString(type) + ")")));
         return;
     }
+  }
+
+  // --- Replication subscriptions ---------------------------------------------
+
+  /// Gate for an incoming subscription: the runtime must be able to
+  /// ship (durable sharded), the sharding must match, and the fencing
+  /// rule must admit the replica's epoch.
+  Status ValidateHello(const ReplicaHello& hello, uint64_t* local_epoch) {
+    {
+      std::shared_lock<std::shared_mutex> lock(runtime_mu_);
+      *local_epoch = runtime_->replication_epoch();
+      // Probes replication capability (in-memory and sequential
+      // runtimes refuse here).
+      LTAM_RETURN_IF_ERROR(runtime_->ReplicationPositions().status());
+    }
+    if (hello.num_shards != nshards_) {
+      return Status::FailedPrecondition(
+          "replica runs " + std::to_string(hello.num_shards) +
+          " shards, this primary " + std::to_string(nshards_) +
+          " — replication requires identical sharding");
+    }
+    return CheckSubscriptionEpoch(*local_epoch, hello.epoch);
+  }
+
+  /// Spawns the per-subscription shipper, keyed by connection id so the
+  /// owner loop can retire it when the connection drops. A second hello
+  /// on the same connection replaces (and stops) the first shipper.
+  void StartShipper(const ConnectionPtr& conn,
+                    std::vector<uint64_t> positions) {
+    auto send = [this, conn](MessageType type,
+                             const std::string& payload) -> bool {
+      if (conn->dead.load(std::memory_order_acquire)) return false;
+      Respond(conn, type, /*id=*/0, payload);
+      bool failed = false;
+      {
+        std::lock_guard<std::mutex> lock(conn->out_mu);
+        failed = conn->io_failed;
+      }
+      return !failed && !conn->dead.load(std::memory_order_acquire);
+    };
+    auto shipper = std::make_unique<LogShipper>(
+        runtime_, &runtime_mu_, std::move(positions), std::move(send),
+        LogShipperOptions{});
+    std::unique_ptr<LogShipper> replaced;
+    {
+      std::lock_guard<std::mutex> lock(shippers_mu_);
+      replaced = std::move(shippers_[conn->id]);
+      shipper->Start();
+      shippers_[conn->id] = std::move(shipper);
+    }
+    if (replaced != nullptr) replaced->Stop();
+  }
+
+  void StopShipper(uint64_t conn_id) {
+    std::unique_ptr<LogShipper> shipper;
+    {
+      std::lock_guard<std::mutex> lock(shippers_mu_);
+      auto it = shippers_.find(conn_id);
+      if (it == shippers_.end()) return;
+      shipper = std::move(it->second);
+      shippers_.erase(it);
+    }
+    shipper->Stop();  // Outside the lock: Stop joins the shipper thread.
+  }
+
+  void StopAllShippers() {
+    std::unordered_map<uint64_t, std::unique_ptr<LogShipper>> taken;
+    {
+      std::lock_guard<std::mutex> lock(shippers_mu_);
+      taken.swap(shippers_);
+    }
+    for (auto& [id, shipper] : taken) shipper->Stop();
   }
 
   /// Flushes pending output from the owner loop; false when the
@@ -1354,6 +1504,12 @@ class ServiceServer::Impl {
 
   mutable std::mutex coalescer_stats_mu_;
   CoalescerStats coalescer_stats_;
+
+  /// Live log shippers, keyed by subscriber connection id. Entries are
+  /// retired by the owner loop's Drop, by a replacing hello, or by
+  /// Stop().
+  std::mutex shippers_mu_;
+  std::unordered_map<uint64_t, std::unique_ptr<LogShipper>> shippers_;
 };
 
 ServiceServer::ServiceServer(AccessRuntime* runtime, ServerOptions options)
@@ -1369,6 +1525,10 @@ uint16_t ServiceServer::bound_port() const { return impl_->bound_port(); }
 
 CoalescerStats ServiceServer::coalescer_stats() const {
   return impl_->coalescer_stats();
+}
+
+std::shared_mutex& ServiceServer::runtime_mutex() {
+  return impl_->runtime_mutex();
 }
 
 }  // namespace ltam

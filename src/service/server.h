@@ -67,7 +67,9 @@
 #define LTAM_SERVICE_SERVER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -114,6 +116,14 @@ struct ServerOptions {
   size_t max_connection_backlog_bytes = 64u << 20;
   /// listen(2) backlog.
   int listen_backlog = 64;
+  /// Failover hooks, supplied by the embedding binary (which owns the
+  /// replica link and knows how to retire it). A kPromote / kRepoint
+  /// frame invokes the hook inline on the receiving I/O thread — these
+  /// are rare, operator-driven frames, and blocking one loop briefly
+  /// during a failover is the point. An unset hook refuses the frame
+  /// with a structured error.
+  std::function<Result<uint64_t>()> promote_hook;
+  std::function<Status(const std::string& host, uint16_t port)> repoint_hook;
 };
 
 /// Counters describing what the coalescer actually merged — the
@@ -171,6 +181,12 @@ class ServiceServer {
 
   /// Live coalescing counters.
   CoalescerStats coalescer_stats() const;
+
+  /// The lock arbitrating the runtime between the coalescer (exclusive)
+  /// and the read workers (shared). A replica's upstream link applies
+  /// shipped records under THIS lock, exclusive — that is the entire
+  /// reason it is exposed. Valid for the server's lifetime.
+  std::shared_mutex& runtime_mutex();
 
  private:
   class Impl;

@@ -160,6 +160,8 @@ const char* ScenarioFamilyToString(ScenarioFamily family) {
       return "churn";
     case ScenarioFamily::kMultiTenant:
       return "tenant";
+    case ScenarioFamily::kReplication:
+      return "replication";
   }
   return "unknown";
 }
@@ -175,9 +177,12 @@ Result<ScenarioFamily> ParseScenarioFamily(const std::string& name) {
   if (name == "tenant" || name == "multi-tenant") {
     return ScenarioFamily::kMultiTenant;
   }
+  if (name == "replication" || name == "replica") {
+    return ScenarioFamily::kReplication;
+  }
   return Status::InvalidArgument(
       "unknown scenario family '" + name +
-      "' (expected surge|contact|churn|tenant)");
+      "' (expected surge|contact|churn|tenant|replication)");
 }
 
 namespace {
@@ -419,6 +424,40 @@ Result<LoadScenario> GenerateLoadScenario(ScenarioFamily family,
       };
       mix.exit_fraction = 0.1;
       mix.observe_fraction = 0.15;
+      break;
+    }
+    case ScenarioFamily::kReplication: {
+      // Read-heavy serving: ingest flows to the primary while the
+      // query pool is meant to be answered by read replicas (ltam_load
+      // --query-host routes it to a second endpoint). High coverage
+      // keeps the stream admit-heavy — the interesting signal is read
+      // latency under replication lag, not a wall of denials. No
+      // mutation schedule on purpose: only WAL-logged events
+      // replicate, so a mutating family would diverge primary and
+      // replica by design.
+      LTAM_ASSIGN_OR_RETURN(s.initial.graph, MakeCampusGraph(4, 6));
+      s.subjects = GenerateSubjects(&s.initial.profiles, options.subjects);
+      std::vector<LocationId> prims = s.initial.graph.Primitives();
+      auth_opt.coverage = 0.8;
+      GenerateAuthorizations(s.initial.graph, s.subjects, auth_opt,
+                             &world_rng, &s.initial.auth_db);
+      sample_location = [prims](SubjectId, Rng* rng) {
+        return prims[rng->Uniform(prims.size())];
+      };
+      mix.exit_fraction = 0.05;
+      mix.observe_fraction = 0.25;
+      // Twice the contact-sweep read share: this is the read-heavy
+      // family. Point-in-time queries across the whole horizon — the
+      // shape a replica endpoint serves (any committed prefix answers
+      // them; the pool never reads ahead of ingest).
+      s.query_fraction = std::min(0.9, options.query_fraction * 2);
+      for (uint32_t i = 0; i < options.subjects; ++i) {
+        for (int k = 1; k <= 4; ++k) {
+          s.queries.push_back(StrFormat(
+              "WHERE WAS u%u AT %lld", i,
+              static_cast<long long>(horizon * k)));
+        }
+      }
       break;
     }
   }

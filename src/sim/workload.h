@@ -133,6 +133,11 @@ size_t GenerateAuthorizationsOver(const std::vector<LocationId>& locations,
 //  - kMultiTenant: many disjoint subject universes in one runtime —
 //    subjects, authorizations, and movement stay inside their tenant's
 //    building; nothing crosses tenants.
+//  - kReplication: read-heavy serving against a replica fleet — ingest
+//    flows to the primary while a dense point-in-time query pool is
+//    meant to be answered by read replicas (ltam_load --query-host).
+//    No mutation schedule: only WAL-logged events replicate, so a
+//    mutating family would diverge primary and replica by design.
 //
 // The same world must be constructible on both sides of a TCP
 // connection (ltam_serve boots the world, ltam_load generates the
@@ -144,6 +149,7 @@ enum class ScenarioFamily : uint8_t {
   kContactSweep = 1,
   kPolicyChurn = 2,
   kMultiTenant = 3,
+  kReplication = 4,
 };
 
 const char* ScenarioFamilyToString(ScenarioFamily family);
@@ -170,6 +176,8 @@ struct ScenarioOptions {
   uint32_t hot_locations = 2;
   double hot_fraction = 0.85;
   /// kContactSweep: fraction of scheduled arrivals that are queries.
+  /// kReplication doubles this (capped at 0.9) — it is the read-heavy
+  /// family by construction.
   double query_fraction = 0.25;
   /// kPolicyChurn: one mutation before every N-th frame (0 disables).
   size_t mutate_every_frames = 8;

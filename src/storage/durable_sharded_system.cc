@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <functional>
 #include <thread>
 #include <utility>
 
@@ -126,10 +128,25 @@ Result<WalWriter> DurableShardedSystem::RotateShardSegment(
   LTAM_RETURN_IF_ERROR(SyncDir(dir_));
   // Commit the extended segment list BEFORE any append reaches the new
   // file: a record in a segment the manifest does not name would be
-  // durable on disk yet invisible to recovery.
+  // durable on disk yet invisible to recovery. A retried rotation whose
+  // previous attempt already committed this segment (the manifest save
+  // failed after the list grew, or the retry re-created an empty tail)
+  // leaves the list unchanged — and then the republish below is
+  // byte-identical and skipped, sparing the rewrite + three fsyncs.
   ShardManifest next = manifest_;
-  next.shards[shard].wals.push_back(name);
-  LTAM_RETURN_IF_ERROR(SaveManifest(next, FilePath(ManifestFileName())));
+  if (next.shards[shard].wals.empty() ||
+      next.shards[shard].wals.back() != name) {
+    next.shards[shard].wals.push_back(name);
+  }
+  LTAM_ASSIGN_OR_RETURN(
+      bool published,
+      SaveManifestIfChanged(next, FilePath(ManifestFileName()),
+                            &published_manifest_bytes_));
+  if (published) {
+    ++manifest_publishes_;
+  } else {
+    ++manifest_publish_skips_;
+  }
   manifest_ = std::move(next);
   return writer;
 }
@@ -253,27 +270,41 @@ Status DurableShardedSystem::WriteEpoch(uint64_t epoch) {
   // (rotation also completes before a sync advertises durability, so a
   // barrier-woken Checkpoint cannot overlap one — the lock is
   // belt-and-braces for the shared MANIFEST/MANIFEST.tmp path).
+  std::vector<std::unique_ptr<ShardLog>> retiring;
   {
     std::lock_guard<std::mutex> lock(manifest_mu_);
-    LTAM_RETURN_IF_ERROR(SaveManifest(m, FilePath(ManifestFileName())));
+    LTAM_ASSIGN_OR_RETURN(
+        bool published,
+        SaveManifestIfChanged(m, FilePath(ManifestFileName()),
+                              &published_manifest_bytes_));
+    if (published) {
+      ++manifest_publishes_;
+    } else {
+      ++manifest_publish_skips_;  // Unreachable: the epoch advanced.
+    }
     manifest_ = std::move(m);
+    // Retire the old log generation: everything it accepted is durable
+    // now (the snapshot carries the live state, lost pipelined tails
+    // included), and its counters must survive the swap. The floor and
+    // the logs_ vector swap under manifest_mu_ so a shipper thread
+    // snapshotting its read position never sees a half-retired shard.
+    retired_records_per_shard_.resize(logs_.size(), 0);
+    for (size_t k = 0; k < logs_.size(); ++k) {
+      const std::unique_ptr<ShardLog>& log = logs_[k];
+      retired_records_ += log->appended_seq();
+      retired_records_per_shard_[k] += log->appended_seq();
+      retired_append_failures_ += log->append_failures();
+      retired_sync_failures_ += log->sync_failures();
+    }
+    retiring.swap(logs_);
+    for (uint32_t k = 0; k < n; ++k) {
+      logs_.push_back(MakeShardLog(k, std::move(fresh[k]), /*writer_bytes=*/0,
+                                   /*segment_index=*/0));
+    }
   }
-  // Retire the old log generation: everything it accepted is durable
-  // now (the snapshot carries the live state, lost pipelined tails
-  // included), and its counters must survive the swap.
-  retired_records_per_shard_.resize(logs_.size(), 0);
-  for (size_t k = 0; k < logs_.size(); ++k) {
-    const std::unique_ptr<ShardLog>& log = logs_[k];
-    retired_records_ += log->appended_seq();
-    retired_records_per_shard_[k] += log->appended_seq();
-    retired_append_failures_ += log->append_failures();
-    retired_sync_failures_ += log->sync_failures();
-  }
-  logs_.clear();  // Joins the old log threads before their files go.
-  for (uint32_t k = 0; k < n; ++k) {
-    logs_.push_back(MakeShardLog(k, std::move(fresh[k]), /*writer_bytes=*/0,
-                                 /*segment_index=*/0));
-  }
+  // Joins the old log threads before their files go — outside
+  // manifest_mu_, which a log thread takes to rotate.
+  retiring.clear();
   return Status::OK();
 }
 
@@ -487,6 +518,158 @@ size_t DurableShardedSystem::wal_events() const {
     total += static_cast<size_t>(log->appended());
   }
   return total;
+}
+
+uint64_t DurableShardedSystem::manifest_publishes() const {
+  std::lock_guard<std::mutex> lock(manifest_mu_);
+  return manifest_publishes_;
+}
+
+uint64_t DurableShardedSystem::manifest_publish_skips() const {
+  std::lock_guard<std::mutex> lock(manifest_mu_);
+  return manifest_publish_skips_;
+}
+
+namespace {
+
+/// Streams a WAL segment's raw lines to `fn` (return false to stop).
+Status ForEachWalLine(const std::string& path,
+                      const std::function<bool(std::string&&)>& fn) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open segment '" + path + "'");
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!fn(std::move(line))) break;
+    line.clear();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<DurableShardedSystem::ReplicationSlice>
+DurableShardedSystem::ReadShardRecords(uint32_t shard, uint64_t from,
+                                       size_t max_records) {
+  if (shard >= num_shards()) {
+    return Status::InvalidArgument("replication read from shard " +
+                                   std::to_string(shard) + " of " +
+                                   std::to_string(num_shards()));
+  }
+  // Two passes: a checkpoint may sweep the chain we snapshotted out
+  // from under the file reads; the second pass sees the fresh cut (and
+  // its higher retired floor turns the race into "resync required").
+  Status last_read = Status::OK();
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    uint64_t retired = 0;
+    uint64_t durable = 0;
+    uint64_t appended = 0;
+    std::vector<std::string> segments;
+    {
+      std::lock_guard<std::mutex> lock(manifest_mu_);
+      retired = shard < retired_records_per_shard_.size()
+                    ? retired_records_per_shard_[shard]
+                    : 0;
+      durable = retired + logs_[shard]->durable_seq();
+      appended = retired + logs_[shard]->appended_seq();
+      segments = manifest_.shards[shard].wals;
+    }
+    if (from < retired) {
+      return Status::FailedPrecondition(
+          "resync required: shard " + std::to_string(shard) + " position " +
+          std::to_string(from) + " precedes the retained log floor " +
+          std::to_string(retired) + " (a checkpoint retired it)");
+    }
+    if (from > appended) {
+      return Status::FailedPrecondition(
+          "replica ahead of primary: shard " + std::to_string(shard) +
+          " position " + std::to_string(from) + " exceeds the log end " +
+          std::to_string(appended) + " (diverged history, resync required)");
+    }
+    ReplicationSlice slice;
+    slice.durable = durable;
+    slice.next = from;
+    if (from >= durable) return slice;  // Nothing durable to ship yet.
+    const uint64_t want =
+        std::min<uint64_t>(durable - from, static_cast<uint64_t>(max_records));
+    uint64_t skip = from - retired;
+    last_read = Status::OK();
+    for (const std::string& segment : segments) {
+      if (slice.records.size() >= want) break;
+      last_read =
+          ForEachWalLine(FilePath(segment), [&](std::string&& line) {
+            if (skip > 0) {
+              --skip;
+              return true;
+            }
+            if (slice.records.size() >= want) return false;
+            slice.records.push_back(std::move(line));
+            return true;
+          });
+      if (!last_read.ok()) break;
+    }
+    if (last_read.ok() && slice.records.size() == want) {
+      slice.next = from + want;
+      return slice;
+    }
+  }
+  if (!last_read.ok()) return last_read;
+  return Status::IOError("shard " + std::to_string(shard) +
+                         " chain is shorter than its durable watermark");
+}
+
+Result<DurableShardedSystem::ReplicationApply>
+DurableShardedSystem::ApplyReplicatedRecords(
+    uint32_t shard, uint64_t start, const std::vector<std::string>& records) {
+  if (shard >= num_shards()) {
+    return Status::InvalidArgument("replicated chunk for shard " +
+                                   std::to_string(shard) + " of " +
+                                   std::to_string(num_shards()));
+  }
+  const uint64_t retired = shard < retired_records_per_shard_.size()
+                               ? retired_records_per_shard_[shard]
+                               : 0;
+  ReplicationApply out;
+  out.position = retired + logs_[shard]->appended_seq();
+  if (start > out.position) {
+    return Status::FailedPrecondition(
+        "replication gap: chunk for shard " + std::to_string(shard) +
+        " starts at " + std::to_string(start) + ", shard is at " +
+        std::to_string(out.position));
+  }
+  AccessControlEngine& shard_engine = engine_->shard_engine(shard);
+  uint64_t at = start;
+  for (const std::string& line : records) {
+    if (at++ < out.position) continue;  // Reconnect overlap: applied.
+    LTAM_ASSIGN_OR_RETURN(Record rec, DecodeRecord(line));
+    LTAM_ASSIGN_OR_RETURN(LoggedEvent event, DecodeEventRecord(rec));
+    if (!event.is_tick && engine_->ShardOf(event.event.subject) != shard) {
+      return Status::ParseError(
+          "replicated record for shard " + std::to_string(shard) +
+          " carries foreign subject " +
+          std::to_string(event.event.subject));
+    }
+    // Write-ahead on the replica too: the record lands in this
+    // directory's own log before it applies, so a replica restart — or
+    // this replica's own promotion — replays the identical stream.
+    Result<CommitTicket> appended = logs_[shard]->Append(rec);
+    if (!appended.ok()) {
+      return appended.status().WithContext("replica log append");
+    }
+    if (event.is_tick) {
+      engine_->TickShard(shard, event.tick_time);
+    } else {
+      out.decisions.push_back(ApplyAccessEvent(&shard_engine, event.event));
+    }
+    out.position += 1;
+  }
+  Result<CommitTicket> boundary = logs_[shard]->BatchBoundary();
+  if (!boundary.ok()) {
+    return boundary.status().WithContext("replica commit boundary");
+  }
+  out.alerts = engine_->DrainAlerts();
+  return out;
 }
 
 MovementDatabase DurableShardedSystem::MergedMovements() const {

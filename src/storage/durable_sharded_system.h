@@ -174,6 +174,61 @@ class DurableShardedSystem {
   /// Current committed checkpoint epoch.
   uint64_t epoch() const { return epoch_; }
 
+  // --- Replication ---------------------------------------------------------
+  //
+  // The replication position of shard k is the monotonic per-shard
+  // record count ShardWatermark() reports: retired generations plus the
+  // live log's sequence. Shipping reads committed records back out of
+  // the segment chain; applying appends them to the replica's own chain
+  // (write-ahead, so replica restart and onward promotion replay the
+  // identical stream) and then applies them through the recovery codec.
+
+  /// One shippable slice of a shard's stream: encoded WAL lines
+  /// (newline-stripped), starting at position `from`.
+  struct ReplicationSlice {
+    std::vector<std::string> records;
+    uint64_t next = 0;     ///< Position after the last returned record.
+    uint64_t durable = 0;  ///< The shard's durable position at read time.
+  };
+
+  /// Reads up to `max_records` records of shard `shard` starting at
+  /// position `from`. Only durable records ship (a replica must never
+  /// hold a record its primary could still lose); `from` at or beyond
+  /// the durable position returns an empty slice — poll again. `from`
+  /// below the retired floor is FailedPrecondition "resync required":
+  /// a checkpoint folded those records into a snapshot and swept them.
+  /// Callable from a shipper thread concurrent with the write path.
+  Result<ReplicationSlice> ReadShardRecords(uint32_t shard, uint64_t from,
+                                            size_t max_records);
+
+  /// The outcome of applying one shipped chunk on a replica.
+  struct ReplicationApply {
+    /// One decision per access event actually applied (reconnect
+    /// overlap and ticks produce none) — the replica's decision stream.
+    std::vector<Decision> decisions;
+    /// Alerts the applied events raised (drained so replica-side
+    /// buffers cannot grow without a batch pipeline to empty them).
+    std::vector<Alert> alerts;
+    uint64_t position = 0;  ///< Applied position after the chunk.
+  };
+
+  /// Appends and applies one shipped chunk: records before the shard's
+  /// current position are skipped (a reconnect re-ships the durable
+  /// suffix, which may overlap what this replica already applied), a
+  /// chunk starting beyond it is a gap error. Each surviving record is
+  /// validated (codec + shard ownership), appended to this directory's
+  /// own log, then applied. NOT concurrency-safe with the batch write
+  /// path — a replica has no batch traffic, and the caller serializes
+  /// against reads with the runtime lock.
+  Result<ReplicationApply> ApplyReplicatedRecords(
+      uint32_t shard, uint64_t start, const std::vector<std::string>& records);
+
+  /// Manifest republish accounting: rotations that would rewrite the
+  /// MANIFEST byte-identically (e.g. a retried rotation whose segment
+  /// was already committed) skip the write + three fsyncs.
+  uint64_t manifest_publishes() const;
+  uint64_t manifest_publish_skips() const;
+
   // --- Introspection -------------------------------------------------------
 
   /// Shared state (graph/profiles/auth ledger/rules). Movement state
@@ -276,8 +331,19 @@ class DurableShardedSystem {
   /// The committed cut (segment lists grow under rotation). Guarded by
   /// manifest_mu_: rotation runs on log threads while the control
   /// thread may be reading; Checkpoint republishes it wholesale.
+  /// Shipper threads also snapshot {segment list, retired floor, log
+  /// pointers} under it, so manifest_mu_ additionally guards
+  /// retired_records_per_shard_ and the logs_ vector itself (never a
+  /// ShardLog's destruction: joining a log thread that may be blocked
+  /// on manifest_mu_ inside a rotation must happen outside the lock).
   ShardManifest manifest_;
   mutable std::mutex manifest_mu_;
+  /// The exact bytes of the last published MANIFEST plus publish/skip
+  /// counters (guarded by manifest_mu_): rotation republishes only when
+  /// the serialized cut actually changed.
+  std::string published_manifest_bytes_;
+  uint64_t manifest_publishes_ = 0;
+  uint64_t manifest_publish_skips_ = 0;
   uint64_t epoch_ = 0;
   /// Watermark/counter accumulators for log generations retired by
   /// Checkpoint (their records are all durable via the snapshot).

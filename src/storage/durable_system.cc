@@ -5,9 +5,11 @@
 #include <sys/stat.h>
 
 #include <cstdio>
+#include <utility>
 
 #include "engine/sharded_engine.h"
 #include "storage/event_log.h"
+#include "storage/wal.h"
 #include "util/string_util.h"
 
 namespace ltam {
@@ -25,17 +27,21 @@ std::string WalPath(const std::string& dir) { return dir + "/" + kWalFile; }
 }  // namespace
 
 DurableSystem::DurableSystem(std::string dir, SystemState state,
-                             EngineOptions engine_options)
+                             EngineOptions engine_options,
+                             DurabilityOptions durability,
+                             bool sync_every_batch)
     : dir_(std::move(dir)),
       state_(std::move(state)),
-      engine_options_(engine_options) {}
+      engine_options_(engine_options),
+      durability_(std::move(durability)),
+      sync_every_batch_(sync_every_batch) {}
 
 const char* DurableSystem::SnapshotFileName() { return kSnapshotFile; }
 const char* DurableSystem::WalFileName() { return kWalFile; }
 
 Result<std::unique_ptr<DurableSystem>> DurableSystem::Open(
-    const std::string& dir, SystemState initial,
-    EngineOptions engine_options) {
+    const std::string& dir, SystemState initial, EngineOptions engine_options,
+    DurabilityOptions durability, bool sync_every_batch) {
   struct stat st;
   if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
     return Status::IOError("'" + dir + "' is not a directory");
@@ -43,9 +49,11 @@ Result<std::unique_ptr<DurableSystem>> DurableSystem::Open(
   std::unique_ptr<DurableSystem> sys;
   if (FileExists(SnapPath(dir))) {
     LTAM_ASSIGN_OR_RETURN(SystemState recovered, LoadSnapshot(SnapPath(dir)));
-    sys.reset(new DurableSystem(dir, std::move(recovered), engine_options));
+    sys.reset(new DurableSystem(dir, std::move(recovered), engine_options,
+                                std::move(durability), sync_every_batch));
   } else {
-    sys.reset(new DurableSystem(dir, std::move(initial), engine_options));
+    sys.reset(new DurableSystem(dir, std::move(initial), engine_options,
+                                std::move(durability), sync_every_batch));
   }
   LTAM_RETURN_IF_ERROR(sys->InitEngine());
   sys->RebuildActiveStays();
@@ -56,9 +64,24 @@ Result<std::unique_ptr<DurableSystem>> DurableSystem::Open(
     (void)dropped;
     LTAM_RETURN_IF_ERROR(sys->ReplayLogTail());
   }
-  LTAM_ASSIGN_OR_RETURN(WalWriter wal, WalWriter::Open(WalPath(dir)));
-  sys->wal_ = std::make_unique<WalWriter>(std::move(wal));
+  LTAM_ASSIGN_OR_RETURN(sys->log_, sys->MakeLog());
   return sys;
+}
+
+Result<std::unique_ptr<ShardLog>> DurableSystem::MakeLog() {
+  LTAM_ASSIGN_OR_RETURN(WalWriter wal, WalWriter::Open(WalPath(dir_)));
+  DurabilityOptions opts = durability_;
+  // One unrotated log file: the sequential layout has no manifest to
+  // commit new segment names into.
+  opts.segment_max_bytes = 0;
+  // One producer, one file: a failed fsync leaves no hole (every record
+  // is already written, in order), so the log thread retries on its next
+  // cadence instead of freezing the watermark — the discipline this
+  // runtime has always had.
+  opts.retry_failed_syncs = true;
+  return std::make_unique<ShardLog>(std::move(wal), /*writer_bytes=*/0,
+                                    /*segment_index=*/0, std::move(opts),
+                                    sync_every_batch_, /*rotate=*/nullptr);
 }
 
 Status DurableSystem::InitEngine() {
@@ -85,17 +108,10 @@ Status DurableSystem::ReplayLogTail() {
 }
 
 Status DurableSystem::Log(const Record& record) {
-  if (wal_ == nullptr) {
+  if (log_ == nullptr) {
     return Status::FailedPrecondition("runtime is not open");
   }
-  Status appended = wal_->Append(record);
-  if (!appended.ok()) {
-    ++append_failures_;
-    return appended;
-  }
-  ++wal_events_;
-  ++total_appended_;
-  return Status::OK();
+  return log_->Append(record).status();
 }
 
 Result<Decision> DurableSystem::Apply(const AccessEvent& event) {
@@ -125,33 +141,58 @@ Status DurableSystem::Tick(Chronon t) {
   return Status::OK();
 }
 
-Status DurableSystem::Sync() {
-  if (wal_ == nullptr) {
+Status DurableSystem::BatchBoundary() {
+  if (log_ == nullptr) {
     return Status::FailedPrecondition("runtime is not open");
   }
-  Status synced = wal_->Sync();
-  if (!synced.ok()) {
-    ++sync_failures_;
-    return synced;
+  return log_->BatchBoundary().status();
+}
+
+Status DurableSystem::Sync() {
+  if (log_ == nullptr) {
+    return Status::FailedPrecondition("runtime is not open");
   }
-  total_synced_ = total_appended_;
-  return Status::OK();
+  return log_->Flush();
 }
 
 Status DurableSystem::Checkpoint() {
   LTAM_RETURN_IF_ERROR(SaveSnapshot(state_, SnapPath(dir_)));
-  // Truncate the log: everything up to now lives in the snapshot.
-  wal_.reset();
+  // Retire the log generation: the snapshot supersedes it, so every
+  // record it accepted counts as durable from here on.
+  if (log_ != nullptr) {
+    retired_records_ += log_->appended_seq();
+    retired_append_failures_ += log_->append_failures();
+    retired_sync_failures_ += log_->sync_failures();
+    log_.reset();  // Joins the log thread before its file goes away.
+  }
   if (std::remove(WalPath(dir_).c_str()) != 0 &&
       FileExists(WalPath(dir_))) {
     return Status::IOError("cannot truncate WAL");
   }
-  LTAM_ASSIGN_OR_RETURN(WalWriter wal, WalWriter::Open(WalPath(dir_)));
-  wal_ = std::make_unique<WalWriter>(std::move(wal));
-  wal_events_ = 0;
-  // The snapshot supersedes the log: everything accepted is durable.
-  total_synced_ = total_appended_;
+  LTAM_ASSIGN_OR_RETURN(log_, MakeLog());
   return Status::OK();
+}
+
+size_t DurableSystem::wal_events() const {
+  return log_ == nullptr ? 0 : static_cast<size_t>(log_->appended_seq());
+}
+
+uint64_t DurableSystem::total_appended() const {
+  return retired_records_ + (log_ == nullptr ? 0 : log_->appended_seq());
+}
+
+uint64_t DurableSystem::total_synced() const {
+  return retired_records_ + (log_ == nullptr ? 0 : log_->durable_seq());
+}
+
+uint64_t DurableSystem::wal_append_failures() const {
+  return retired_append_failures_ +
+         (log_ == nullptr ? 0 : log_->append_failures());
+}
+
+uint64_t DurableSystem::wal_sync_failures() const {
+  return retired_sync_failures_ +
+         (log_ == nullptr ? 0 : log_->sync_failures());
 }
 
 }  // namespace ltam

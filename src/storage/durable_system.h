@@ -7,6 +7,16 @@
 // snapshot and truncates the log; `Open()` recovers by loading the last
 // snapshot and replaying the log tail through a fresh engine.
 //
+// The log is a ShardLog (storage/log_pipeline.h) — the same machinery
+// the sharded runtime runs per shard — so the pipelined and interval
+// sync modes get a real log thread here too: appends return
+// immediately, the thread batches fsyncs per DurabilityOptions, and an
+// idle runtime converges durable == applied on its own cadence. The
+// sequential instance differs from the sharded ones in two deliberate
+// ways: rotation is disabled (one `events.wal`, no manifest to commit
+// segment names into) and failed fsyncs RETRY instead of sticky-failing
+// the log (one producer, one file — a failed barrier leaves no hole).
+//
 // Recovery semantics: the authorization ledger, movement history, and
 // profile/layout state are restored exactly. The engine's in-memory
 // notion of *which authorization granted each currently-open stay* is
@@ -23,8 +33,8 @@
 #include <string>
 
 #include "engine/access_control_engine.h"
+#include "storage/log_pipeline.h"
 #include "storage/snapshot.h"
-#include "storage/wal.h"
 
 namespace ltam {
 
@@ -37,9 +47,14 @@ class DurableSystem {
   /// script); otherwise `initial` is ignored and state is recovered.
   /// `engine_options` tune the wrapped engine; they affect decisions,
   /// so recovery must reopen with the options the log was written under.
+  /// `durability` picks the sync mode/cadence (segment rotation is
+  /// force-disabled; failed fsyncs retry — see file comment);
+  /// `sync_every_batch` only matters in kBatch mode (false = page-cache
+  /// boundary, no automatic fsync at BatchBoundary).
   static Result<std::unique_ptr<DurableSystem>> Open(
       const std::string& dir, SystemState initial,
-      EngineOptions engine_options = {});
+      EngineOptions engine_options = {}, DurabilityOptions durability = {},
+      bool sync_every_batch = true);
 
   /// Canonical file names inside a sequential durable directory (used by
   /// callers that need to sniff what kind of runtime a directory holds).
@@ -54,7 +69,8 @@ class DurableSystem {
   /// Deny(kObservationRejected) when refused outright) — the entry
   /// point batch-shaped callers (the AccessRuntime facade) use so
   /// decisions compare byte-identically across backends. Non-OK only
-  /// when the event could not be logged (it is then not applied).
+  /// when the event could not be logged (it is then not applied; only
+  /// kBatch mode can refuse — pipelined appends never fail).
   Result<Decision> Apply(const AccessEvent& event);
 
   /// Logs and applies an access request.
@@ -71,27 +87,33 @@ class DurableSystem {
 
   // --- Durability ------------------------------------------------------------
 
+  /// Marks a batch boundary on the log (the group-commit point):
+  /// kBatch+sync_every_batch fsyncs now; pipelined modes count one
+  /// pipeline group for the log thread. A non-OK return means applied
+  /// events' durability is in doubt (they were applied).
+  Status BatchBoundary();
+
   /// Persists the full state and truncates the log. Subsequent recovery
   /// starts from here.
   Status Checkpoint();
 
-  /// fsyncs the log (group-commit barrier for batch-shaped callers;
-  /// individual appends only flush to the OS).
+  /// Durability barrier: blocks until every accepted record is durable,
+  /// forcing an fsync if need be.
   Status Sync();
 
   /// Number of events appended to the current log tail.
-  size_t wal_events() const { return wal_events_; }
+  size_t wal_events() const;
 
   /// The durability watermark's inputs, monotonic across checkpoints:
   /// records accepted into the log vs records made crash-proof (by an
   /// fsync or by a checkpoint's snapshot, which supersedes the log).
-  uint64_t total_appended() const { return total_appended_; }
-  uint64_t total_synced() const { return total_synced_; }
+  uint64_t total_appended() const;
+  uint64_t total_synced() const;
 
   /// Physical log failures observed since Open: appends that refused an
-  /// event, fsyncs that failed.
-  uint64_t wal_append_failures() const { return append_failures_; }
-  uint64_t wal_sync_failures() const { return sync_failures_; }
+  /// event, fsyncs that failed (each retried fsync attempt counts).
+  uint64_t wal_append_failures() const;
+  uint64_t wal_sync_failures() const;
 
   // --- Introspection -----------------------------------------------------------
 
@@ -102,23 +124,30 @@ class DurableSystem {
 
  private:
   DurableSystem(std::string dir, SystemState state,
-                EngineOptions engine_options);
+                EngineOptions engine_options, DurabilityOptions durability,
+                bool sync_every_batch);
 
   Status InitEngine();
   Status ReplayLogTail();
   void RebuildActiveStays();
   Status Log(const Record& record);
+  /// Opens `events.wal` and wraps it in a fresh ShardLog (rotation
+  /// disabled, fsync retry on).
+  Result<std::unique_ptr<ShardLog>> MakeLog();
 
   std::string dir_;
   SystemState state_;
   EngineOptions engine_options_;
+  DurabilityOptions durability_;
+  bool sync_every_batch_;
   std::unique_ptr<AccessControlEngine> engine_;
-  std::unique_ptr<WalWriter> wal_;
-  size_t wal_events_ = 0;
-  uint64_t total_appended_ = 0;
-  uint64_t total_synced_ = 0;
-  uint64_t append_failures_ = 0;
-  uint64_t sync_failures_ = 0;
+  std::unique_ptr<ShardLog> log_;
+  // Totals retired from log generations a checkpoint superseded, so the
+  // monotonic counters survive the log_ swap (a snapshot makes every
+  // retired record durable by definition).
+  uint64_t retired_records_ = 0;
+  uint64_t retired_append_failures_ = 0;
+  uint64_t retired_sync_failures_ = 0;
   bool replaying_ = false;
 };
 

@@ -197,9 +197,13 @@ Status ShardLog::WaitDurable(uint64_t seq) {
   flush_requested_ = true;
   work_cv_.notify_one();
   durable_cv_.wait(lock, [this, seq] {
-    return durable_ >= seq || !sticky_error_.ok();
+    return durable_ >= seq || !sticky_error_.ok() || !flush_error_.ok();
   });
-  return durable_ >= seq ? Status::OK() : sticky_error_;
+  if (durable_ >= seq) return Status::OK();
+  if (!sticky_error_.ok()) return sticky_error_;
+  Status failed_flush = std::move(flush_error_);
+  flush_error_ = Status::OK();
+  return failed_flush;
 }
 
 Status ShardLog::Flush() { return WaitDurable(appended_seq()); }
@@ -305,7 +309,14 @@ void ShardLog::ThreadLoop() {
       if (!synced.ok()) {
         failed = true;
         std::lock_guard<std::mutex> relock(mu_);
-        if (sticky_error_.ok()) {
+        if (options_.retry_failed_syncs) {
+          // No hole: everything is written, only the barrier failed.
+          // Leave the sticky slot clear so the next cadence retries;
+          // hand the error to any barrier that demanded this fsync.
+          if (flush || stopping) {
+            flush_error_ = synced.WithContext("WAL fsync");
+          }
+        } else if (sticky_error_.ok()) {
           sticky_error_ = synced.WithContext("pipelined WAL fsync");
         }
         durable_cv_.notify_all();

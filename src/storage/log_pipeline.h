@@ -101,6 +101,16 @@ struct DurabilityOptions {
   /// Rotate to a fresh numbered WAL segment once the current one
   /// crosses this many bytes (0 disables rotation).
   size_t segment_max_bytes = 64u << 20;
+  /// kPipelined/kInterval: a failed fsync normally sticky-fails the log
+  /// (the sharded contract — the watermark freezes until a checkpoint
+  /// rebuilds the chain). The sequential runtime sets this instead: a
+  /// failed fsync leaves NO hole — every record is already written, in
+  /// order, by the single log thread; only the barrier failed — so the
+  /// log counts the failure, keeps the error out of the sticky slot,
+  /// and retries on its next cadence. Barriers that explicitly demanded
+  /// the failed fsync (Flush/WaitDurable) still report it. Append
+  /// failures stay sticky regardless: a lost record is a hole.
+  bool retry_failed_syncs = false;
   /// Test-only fault injection, called before every physical append and
   /// fsync with op "append"/"sync" and the 1-based attempt count on
   /// this log; a non-OK return simulates that failure. Null in
@@ -245,6 +255,10 @@ class ShardLog {
   std::deque<Entry> queue_;
   uint64_t durable_ = 0;        // Last fsynced seq.
   Status sticky_error_;         // First pipelined write/sync failure.
+  /// retry_failed_syncs only: the failure of an explicitly demanded
+  /// fsync (flush/stop), parked here so the barrier waiter can report
+  /// it without the log going sticky. Consumed by WaitDurable.
+  Status flush_error_;
   uint64_t append_failures_ = 0;
   uint64_t sync_failures_ = 0;
   uint32_t shared_segment_index_ = 0;  // Mirror for segment_index().

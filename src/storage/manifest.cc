@@ -46,7 +46,7 @@ Status CheckFileName(const std::string& name) {
 
 }  // namespace
 
-Status SaveManifest(const ShardManifest& manifest, const std::string& path) {
+Result<std::string> SerializeManifest(const ShardManifest& manifest) {
   if (manifest.num_shards == 0 || manifest.num_shards > kMaxShards) {
     return Status::InvalidArgument("manifest num_shards out of range");
   }
@@ -64,29 +64,39 @@ Status SaveManifest(const ShardManifest& manifest, const std::string& path) {
     }
   }
 
+  std::string bytes;
+  size_t records = 0;
+  auto emit = [&bytes, &records](const Record& rec) {
+    bytes += EncodeRecord(rec);
+    bytes += '\n';
+    ++records;
+  };
+  emit({"manifest",
+        {std::to_string(kFormatVersion), std::to_string(manifest.epoch),
+         std::to_string(manifest.num_shards)}});
+  emit({"base", {manifest.base_snapshot}});
+  for (uint32_t k = 0; k < manifest.num_shards; ++k) {
+    std::vector<std::string> fields{std::to_string(k),
+                                    manifest.shards[k].snapshot};
+    fields.insert(fields.end(), manifest.shards[k].wals.begin(),
+                  manifest.shards[k].wals.end());
+    emit({"shard", std::move(fields)});
+  }
+  emit({"commit", {std::to_string(records)}});
+  return bytes;
+}
+
+namespace {
+
+Status PublishManifestBytes(const std::string& bytes,
+                            const std::string& path) {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out.is_open()) {
       return Status::IOError("cannot open manifest temp '" + tmp + "'");
     }
-    size_t records = 0;
-    auto emit = [&out, &records](const Record& rec) {
-      out << EncodeRecord(rec) << '\n';
-      ++records;
-    };
-    emit({"manifest",
-          {std::to_string(kFormatVersion), std::to_string(manifest.epoch),
-           std::to_string(manifest.num_shards)}});
-    emit({"base", {manifest.base_snapshot}});
-    for (uint32_t k = 0; k < manifest.num_shards; ++k) {
-      std::vector<std::string> fields{std::to_string(k),
-                                      manifest.shards[k].snapshot};
-      fields.insert(fields.end(), manifest.shards[k].wals.begin(),
-                    manifest.shards[k].wals.end());
-      emit({"shard", std::move(fields)});
-    }
-    emit({"commit", {std::to_string(records)}});
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
     out.flush();
     if (!out.good()) {
       out.close();
@@ -109,6 +119,26 @@ Status SaveManifest(const ShardManifest& manifest, const std::string& path) {
     LTAM_RETURN_IF_ERROR(SyncDir(path.substr(0, slash)));
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status SaveManifest(const ShardManifest& manifest, const std::string& path) {
+  LTAM_ASSIGN_OR_RETURN(std::string bytes, SerializeManifest(manifest));
+  return PublishManifestBytes(bytes, path);
+}
+
+Result<bool> SaveManifestIfChanged(const ShardManifest& manifest,
+                                   const std::string& path,
+                                   std::string* last_serialized) {
+  LTAM_ASSIGN_OR_RETURN(std::string bytes, SerializeManifest(manifest));
+  if (last_serialized != nullptr && !last_serialized->empty() &&
+      *last_serialized == bytes) {
+    return false;
+  }
+  LTAM_RETURN_IF_ERROR(PublishManifestBytes(bytes, path));
+  if (last_serialized != nullptr) *last_serialized = std::move(bytes);
+  return true;
 }
 
 Result<ShardManifest> LoadManifest(const std::string& path) {

@@ -63,9 +63,25 @@ struct ShardManifest {
 /// Canonical manifest file name inside a durable directory.
 inline const char* ManifestFileName() { return "MANIFEST"; }
 
+/// Validates `manifest` and renders the exact bytes SaveManifest would
+/// publish. Exposed so callers can detect no-op republishes: two
+/// manifests naming the same cut serialize identically.
+Result<std::string> SerializeManifest(const ShardManifest& manifest);
+
 /// Serializes `manifest` to `path` durably: writes `<path>.tmp`, fsyncs
 /// it, renames it over `path`, and fsyncs the parent directory.
 Status SaveManifest(const ShardManifest& manifest, const std::string& path);
+
+/// SaveManifest, unless the serialized bytes equal `*last_serialized`
+/// (the previously published bytes, as maintained by this function) — a
+/// rotation that left every shard's segment list unchanged does not pay
+/// for a rewrite + three fsyncs. Returns true when the manifest was
+/// published, false when the byte-identical write was skipped. On a
+/// successful publish `*last_serialized` is updated; pass the same
+/// string across calls. An empty cache always publishes.
+Result<bool> SaveManifestIfChanged(const ShardManifest& manifest,
+                                   const std::string& path,
+                                   std::string* last_serialized);
 
 /// Parses and validates a manifest file. Errors on unknown records,
 /// duplicate or missing shard entries, bad counts, path-escaping file

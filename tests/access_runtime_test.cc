@@ -866,8 +866,16 @@ TEST_P(ScenarioFamilyEquivalenceTest, BackendMatrixAgrees) {
   if (GetParam() == ScenarioFamily::kPolicyChurn) {
     ASSERT_GT(scenario.mutations.size(), 0u);
   }
-  if (GetParam() == ScenarioFamily::kContactSweep) {
+  if (GetParam() == ScenarioFamily::kContactSweep ||
+      GetParam() == ScenarioFamily::kReplication) {
     ASSERT_GT(scenario.queries.size(), 0u);
+  }
+  if (GetParam() == ScenarioFamily::kReplication) {
+    // Read-heavy by construction, and never mutating: only WAL-logged
+    // events replicate, so the family must not carry a mutation
+    // schedule.
+    EXPECT_GT(scenario.query_fraction, 0.25);
+    EXPECT_TRUE(scenario.mutations.empty());
   }
 
   RuntimeOptions sequential;  // 1 shard, in-memory.
@@ -925,7 +933,8 @@ INSTANTIATE_TEST_SUITE_P(
     Families, ScenarioFamilyEquivalenceTest,
     ::testing::Values(ScenarioFamily::kSurge, ScenarioFamily::kContactSweep,
                       ScenarioFamily::kPolicyChurn,
-                      ScenarioFamily::kMultiTenant),
+                      ScenarioFamily::kMultiTenant,
+                      ScenarioFamily::kReplication),
     [](const ::testing::TestParamInfo<ScenarioFamily>& info) {
       return std::string(ScenarioFamilyToString(info.param));
     });

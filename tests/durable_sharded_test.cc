@@ -23,6 +23,7 @@
 #include "sim/graph_gen.h"
 #include "sim/workload.h"
 #include "storage/event_log.h"
+#include "storage/manifest.h"
 #include "storage/wal.h"
 #include "test_util.h"
 #include "util/random.h"
@@ -905,6 +906,72 @@ TEST_F(DurableShardedTest, CrashInjectionAfterCheckpoint) {
     EXPECT_EQ(AlertMultiset(sys->DrainAlerts()),
               AlertMultiset(reference.MergedAlerts()));
   }
+}
+
+/// SaveManifestIfChanged is rotation's no-op detector: a republish whose
+/// serialized cut equals the previously published bytes must skip the
+/// write + three fsyncs, and anything else must publish.
+TEST_F(DurableShardedTest, ManifestRepublishSkipsByteIdenticalRewrites) {
+  ShardManifest m;
+  m.epoch = 3;
+  m.num_shards = 2;
+  m.base_snapshot = "base-3.snap";
+  m.shards.resize(2);
+  m.shards[0].snapshot = "movements-0-3.snap";
+  m.shards[0].wals = {"events-0-3.wal"};
+  m.shards[1].snapshot = "movements-1-3.snap";
+  m.shards[1].wals = {"events-1-3.wal"};
+  const std::string path = dir_ + "/MANIFEST";
+  std::string cache;
+
+  // An empty cache always publishes.
+  ASSERT_OK_AND_ASSIGN(bool published, SaveManifestIfChanged(m, path, &cache));
+  EXPECT_TRUE(published);
+  ASSERT_OK_AND_ASSIGN(std::string bytes, SerializeManifest(m));
+  EXPECT_EQ(cache, bytes);
+
+  // The same cut again: byte-identical, skipped, cache untouched.
+  ASSERT_OK_AND_ASSIGN(bool again, SaveManifestIfChanged(m, path, &cache));
+  EXPECT_FALSE(again);
+  EXPECT_EQ(cache, bytes);
+
+  // A rotation that actually commits a new segment republishes, and the
+  // published file is the new cut.
+  m.shards[1].wals.push_back("events-1-3-1.wal");
+  ASSERT_OK_AND_ASSIGN(bool changed, SaveManifestIfChanged(m, path, &cache));
+  EXPECT_TRUE(changed);
+  ASSERT_OK_AND_ASSIGN(ShardManifest loaded, LoadManifest(path));
+  ASSERT_EQ(loaded.shards[1].wals.size(), 2u);
+  EXPECT_EQ(loaded.shards[1].wals[1], "events-1-3-1.wal");
+}
+
+/// The system-level counters: every happy-path rotation commits a NEW
+/// segment, so it publishes; the skip path is reserved for retried
+/// republishes of an unchanged cut (exercised directly above).
+TEST_F(DurableShardedTest, RotationPublishesManifestOncePerNewSegment) {
+  std::vector<SubjectId> subjects;
+  SystemState probe = MakeInitialState(401, 24, &subjects);
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<DurableShardedSystem> sys,
+      DurableShardedSystem::Open(
+          dir_, MakeInitialState(401),
+          PipelinedOptions(SyncMode::kPipelined, /*segment_max_bytes=*/2048)));
+  auto batches = MakeBatches(probe, subjects, 600, 100, 409);
+  for (const auto& batch : batches) {
+    Status durability;
+    (void)sys->EvaluateBatchWithStatus(batch, &durability);
+    ASSERT_OK(durability);
+  }
+  ASSERT_OK(sys->WaitDurable());
+  size_t rotations = 0;
+  for (uint32_t k = 0; k < kShards; ++k) {
+    rotations += sys->shard_log(k).segment_index();
+  }
+  ASSERT_GT(rotations, 0u) << "no shard rotated; shrink segment_max_bytes";
+  // One publish for the fresh directory's epoch-0 cut, one per rotated
+  // segment — and never a skipped rewrite on this path.
+  EXPECT_EQ(sys->manifest_publishes(), rotations + 1);
+  EXPECT_EQ(sys->manifest_publish_skips(), 0u);
 }
 
 }  // namespace

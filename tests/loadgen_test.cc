@@ -152,6 +152,54 @@ TEST(LoadGenTest, ChurnScenarioIssuesCheckpointBarriers) {
             report.events_sent);
 }
 
+TEST(LoadGenTest, ReplicationScenarioSplitsReadsOntoQueryEndpoint) {
+  ScenarioOptions so;
+  so.subjects = 24;
+  so.streams = 2;
+  so.total_events = 600;
+  so.events_per_frame = 16;
+  LoadScenario scenario =
+      GenerateLoadScenario(ScenarioFamily::kReplication, so).ValueOrDie();
+  ASSERT_GT(scenario.queries.size(), 0u);
+  ASSERT_TRUE(scenario.mutations.empty());
+
+  SystemState initial = scenario.initial;
+  RuntimeOptions runtime_options;
+  runtime_options.engine = scenario.engine;
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<AccessRuntime> rt,
+      AccessRuntime::Open(std::move(initial), runtime_options));
+  ServiceServer server(rt.get(), {});
+  ASSERT_OK(server.Start());
+
+  LoadGenOptions options;
+  options.connections = 2;
+  options.rate = 50'000.0;
+  options.port = server.bound_port();
+  // The same server stands in for the replica: what this test pins
+  // down is the split itself — queries travel over dedicated
+  // connections and overlap the pipelined ingest stream instead of
+  // draining it. (ci.sh's replication job points query_host at a real
+  // replica.)
+  options.query_host = "127.0.0.1";
+  options.query_port = server.bound_port();
+  ASSERT_OK_AND_ASSIGN(LoadReport report, RunLoad(scenario, options));
+  server.Stop();
+
+  EXPECT_GT(report.queries_sent, 0u)
+      << "the replication family must mix in reads";
+  EXPECT_EQ(report.query_latency.count(), report.queries_sent);
+  EXPECT_EQ(report.events_sent, scenario.total_events);
+  EXPECT_EQ(report.events_admitted + report.quota_refused_events,
+            report.events_sent);
+  EXPECT_EQ(report.grants + report.denials, report.events_admitted);
+
+  // A read endpoint needs both halves of its address.
+  options.query_port = 0;
+  EXPECT_EQ(RunLoad(scenario, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
 TEST(LoadGenTest, OverloadObservesQuotaRefusalsNeverDeadlocks) {
   ScenarioOptions so;
   so.subjects = 48;

@@ -73,6 +73,12 @@ void DecodeEverything(const std::string& payload) {
   (void)DecodeStatsResult(payload);
   Status error;
   (void)DecodeErrorResult(payload, &error);
+  (void)DecodeReplicaHello(payload);
+  (void)DecodeReplicaWelcome(payload);
+  (void)DecodeSegmentChunk(payload);
+  (void)DecodeWatermarkAdvance(payload);
+  (void)DecodeRepointRequest(payload);
+  (void)DecodePromoteResult(payload);
 }
 
 // --- Round trips -------------------------------------------------------------
@@ -245,6 +251,141 @@ TEST(ServiceProtocolTest, AlertPushRoundTrips) {
     EXPECT_FALSE(DecodeAlertPush(payload.substr(0, cut)).ok());
   }
   EXPECT_FALSE(DecodeAlertPush(payload + 'x').ok());
+}
+
+// --- Replication payloads (v4) -----------------------------------------------
+
+TEST(ServiceProtocolTest, ReplicationPayloadsRoundTrip) {
+  ReplicaHello hello;
+  hello.epoch = 3;
+  hello.num_shards = 4;
+  hello.positions = {0, 17, 250, 9001};
+  ASSERT_OK_AND_ASSIGN(ReplicaHello decoded_hello,
+                       DecodeReplicaHello(EncodeReplicaHello(hello)));
+  EXPECT_EQ(hello.epoch, decoded_hello.epoch);
+  EXPECT_EQ(hello.num_shards, decoded_hello.num_shards);
+  EXPECT_EQ(hello.positions, decoded_hello.positions);
+
+  ReplicaWelcome welcome;
+  welcome.epoch = 5;
+  welcome.num_shards = 4;
+  ASSERT_OK_AND_ASSIGN(ReplicaWelcome decoded_welcome,
+                       DecodeReplicaWelcome(EncodeReplicaWelcome(welcome)));
+  EXPECT_EQ(welcome.epoch, decoded_welcome.epoch);
+  EXPECT_EQ(welcome.num_shards, decoded_welcome.num_shards);
+
+  SegmentChunk chunk;
+  chunk.epoch = 2;
+  chunk.shard = 1;
+  chunk.start = 4096;
+  chunk.records = {"E 1 2 3", "", std::string("x\0y\xff", 4)};
+  ASSERT_OK_AND_ASSIGN(SegmentChunk decoded_chunk,
+                       DecodeSegmentChunk(EncodeSegmentChunk(chunk)));
+  EXPECT_EQ(chunk.epoch, decoded_chunk.epoch);
+  EXPECT_EQ(chunk.shard, decoded_chunk.shard);
+  EXPECT_EQ(chunk.start, decoded_chunk.start);
+  EXPECT_EQ(chunk.records, decoded_chunk.records);
+  // A record-free chunk is a legal (if pointless) frame.
+  chunk.records.clear();
+  ASSERT_OK_AND_ASSIGN(decoded_chunk,
+                       DecodeSegmentChunk(EncodeSegmentChunk(chunk)));
+  EXPECT_TRUE(decoded_chunk.records.empty());
+
+  WatermarkAdvance advance;
+  advance.epoch = 2;
+  advance.durable = {100, 0, 77};
+  ASSERT_OK_AND_ASSIGN(
+      WatermarkAdvance decoded_advance,
+      DecodeWatermarkAdvance(EncodeWatermarkAdvance(advance)));
+  EXPECT_EQ(advance.epoch, decoded_advance.epoch);
+  EXPECT_EQ(advance.durable, decoded_advance.durable);
+
+  RepointRequest repoint;
+  repoint.host = "replica-2.internal";
+  repoint.port = 7411;
+  ASSERT_OK_AND_ASSIGN(RepointRequest decoded_repoint,
+                       DecodeRepointRequest(EncodeRepointRequest(repoint)));
+  EXPECT_EQ(repoint.host, decoded_repoint.host);
+  EXPECT_EQ(repoint.port, decoded_repoint.port);
+
+  ASSERT_OK_AND_ASSIGN(uint64_t epoch,
+                       DecodePromoteResult(EncodePromoteResult(42)));
+  EXPECT_EQ(42u, epoch);
+
+  // Stats carry the replication role since v4.
+  RuntimeStats stats;
+  stats.num_shards = 2;
+  stats.replica = true;
+  stats.replication_epoch = 9;
+  ASSERT_OK_AND_ASSIGN(RuntimeStats decoded_stats,
+                       DecodeStatsResult(EncodeStatsResult(stats)));
+  EXPECT_TRUE(decoded_stats.replica);
+  EXPECT_EQ(9u, decoded_stats.replication_epoch);
+}
+
+TEST(ServiceProtocolTest, ReplicationDecodersRejectCorruption) {
+  ReplicaHello hello;
+  hello.epoch = 1;
+  hello.num_shards = 3;
+  hello.positions = {5, 6, 7};
+  const std::string hello_bytes = EncodeReplicaHello(hello);
+  // Truncation at every byte boundary, and strict consumption.
+  for (size_t cut = 0; cut < hello_bytes.size(); ++cut) {
+    EXPECT_FALSE(DecodeReplicaHello(hello_bytes.substr(0, cut)).ok());
+  }
+  EXPECT_FALSE(DecodeReplicaHello(hello_bytes + 'x').ok());
+  // A corrupt shard count cannot drive an allocation: the count must be
+  // bounded against the remaining bytes before anything reserves.
+  std::string lying = hello_bytes;
+  lying[8] = static_cast<char>(0xff);
+  lying[9] = static_cast<char>(0xff);
+  lying[10] = static_cast<char>(0xff);
+  lying[11] = static_cast<char>(0x7f);
+  EXPECT_FALSE(DecodeReplicaHello(lying).ok());
+  // Zero shards is not a subscription.
+  ReplicaHello empty;
+  EXPECT_FALSE(DecodeReplicaHello(EncodeReplicaHello(empty)).ok());
+
+  SegmentChunk chunk;
+  chunk.epoch = 1;
+  chunk.shard = 0;
+  chunk.start = 10;
+  chunk.records = {"E 1 2 3", "X 4 5"};
+  const std::string chunk_bytes = EncodeSegmentChunk(chunk);
+  for (size_t cut = 0; cut < chunk_bytes.size(); ++cut) {
+    EXPECT_FALSE(DecodeSegmentChunk(chunk_bytes.substr(0, cut)).ok());
+  }
+  EXPECT_FALSE(DecodeSegmentChunk(chunk_bytes + 'x').ok());
+  // A record count over kMaxReplicationRecords is rejected from the
+  // count field alone — it could not have been produced by a shipper.
+  std::string flooded = chunk_bytes;
+  const uint32_t too_many = kMaxReplicationRecords + 1;
+  flooded[20] = static_cast<char>(too_many & 0xff);
+  flooded[21] = static_cast<char>((too_many >> 8) & 0xff);
+  flooded[22] = static_cast<char>((too_many >> 16) & 0xff);
+  flooded[23] = static_cast<char>((too_many >> 24) & 0xff);
+  EXPECT_FALSE(DecodeSegmentChunk(flooded).ok());
+
+  WatermarkAdvance advance;
+  advance.epoch = 1;
+  advance.durable = {1, 2};
+  const std::string advance_bytes = EncodeWatermarkAdvance(advance);
+  for (size_t cut = 0; cut < advance_bytes.size(); ++cut) {
+    EXPECT_FALSE(DecodeWatermarkAdvance(advance_bytes.substr(0, cut)).ok());
+  }
+  EXPECT_FALSE(DecodeWatermarkAdvance(advance_bytes + 'x').ok());
+
+  RepointRequest repoint;
+  repoint.host = "h";
+  repoint.port = 1;
+  const std::string repoint_bytes = EncodeRepointRequest(repoint);
+  for (size_t cut = 0; cut < repoint_bytes.size(); ++cut) {
+    EXPECT_FALSE(DecodeRepointRequest(repoint_bytes.substr(0, cut)).ok());
+  }
+  EXPECT_FALSE(DecodeRepointRequest(repoint_bytes + 'x').ok());
+
+  EXPECT_FALSE(DecodePromoteResult("").ok());
+  EXPECT_FALSE(DecodePromoteResult(EncodePromoteResult(1) + 'x').ok());
 }
 
 // --- Targeted rejections -----------------------------------------------------
@@ -475,6 +616,19 @@ TEST_P(ServiceProtocolFuzzTest, AssemblerNeverCrashes) {
   valid += EncodeFrame(MessageType::kStats, 2, "");
   valid += EncodeFrame(MessageType::kQueryResult, 3,
                        EncodeQueryResult({{"c"}, {{"v"}}}));
+  ReplicaHello hello;
+  hello.epoch = 1;
+  hello.num_shards = 2;
+  hello.positions = {10, 20};
+  valid += EncodeFrame(MessageType::kReplicaHello, 4,
+                       EncodeReplicaHello(hello));
+  SegmentChunk chunk;
+  chunk.epoch = 1;
+  chunk.shard = 1;
+  chunk.start = 10;
+  chunk.records = {"E 1 2 3", "T 9"};
+  valid += EncodeFrame(MessageType::kSegmentChunk, 0,
+                       EncodeSegmentChunk(chunk));
 
   for (int i = 0; i < 300; ++i) {
     std::string input;
@@ -513,6 +667,18 @@ TEST_P(ServiceProtocolFuzzTest, PayloadDecodersNeverCrash) {
   }
   RuntimeStats stats;
   stats.num_shards = 3;
+  ReplicaHello hello;
+  hello.epoch = 2;
+  hello.num_shards = 3;
+  hello.positions = {1, 2, 3};
+  SegmentChunk chunk;
+  chunk.epoch = 2;
+  chunk.shard = 0;
+  chunk.start = 6;
+  chunk.records = {"E 1 2 3"};
+  WatermarkAdvance advance;
+  advance.epoch = 2;
+  advance.durable = {7, 8, 9};
   const std::string seeds[] = {
       EncodeApplyRequest(batch[0]),
       EncodeApplyBatchRequest(batch),
@@ -523,6 +689,12 @@ TEST_P(ServiceProtocolFuzzTest, PayloadDecodersNeverCrash) {
       EncodeQueryResult({{"a", "b"}, {{"1", "2"}}}),
       EncodeStatsResult(stats),
       EncodeErrorResult(Status::Internal("boom")),
+      EncodeReplicaHello(hello),
+      EncodeReplicaWelcome({2, 3}),
+      EncodeSegmentChunk(chunk),
+      EncodeWatermarkAdvance(advance),
+      EncodeRepointRequest({"replica-2.internal", 7411}),
+      EncodePromoteResult(3),
   };
   for (int i = 0; i < 400; ++i) {
     const std::string& seed = seeds[i % (sizeof(seeds) / sizeof(seeds[0]))];
