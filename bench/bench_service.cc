@@ -21,6 +21,7 @@
 #include "service/server.h"
 #include "sim/graph_gen.h"
 #include "sim/workload.h"
+#include "telemetry/metrics.h"
 #include "util/random.h"
 
 namespace ltam {
@@ -125,7 +126,11 @@ BENCHMARK(BM_FacadeBatch)
 /// frames from many connections in flight at once. Args: {shards,
 /// io_threads} — the second axis spreads the connections over per-thread
 /// epoll loops (a wash on 1-core CI, a read-path win with real cores).
-void BM_ServiceLoopbackBatch(benchmark::State& state) {
+/// With `instrumented` a MetricsRegistry is wired through both the
+/// server and runtime options, so every per-stage histogram and counter
+/// records on the hot path — the telemetry-overhead series CI compares
+/// against the null-registry baseline.
+void RunServiceLoopback(benchmark::State& state, bool instrumented) {
   ServiceWorld w = MakeServiceWorld();
   const uint32_t shards = static_cast<uint32_t>(state.range(0));
   const uint32_t io_threads = static_cast<uint32_t>(state.range(1));
@@ -138,8 +143,14 @@ void BM_ServiceLoopbackBatch(benchmark::State& state) {
   size_t merged_frames = 0;
   for (auto _ : state) {
     state.PauseTiming();
+    MetricsRegistry metrics;
+    RuntimeOptions runtime_options = QuietOptions(shards);
+    if (instrumented) {
+      runtime_options.metrics = &metrics;
+      server_options.metrics = &metrics;
+    }
     auto rt =
-        AccessRuntime::Open(InitStateOf(w), QuietOptions(shards)).ValueOrDie();
+        AccessRuntime::Open(InitStateOf(w), runtime_options).ValueOrDie();
     ServiceServer server(rt.get(), server_options);
     if (!server.Start().ok()) {
       state.SkipWithError("server failed to start");
@@ -188,11 +199,26 @@ void BM_ServiceLoopbackBatch(benchmark::State& state) {
         static_cast<double>(merged_batches);
   }
 }
+
+void BM_ServiceLoopbackBatch(benchmark::State& state) {
+  RunServiceLoopback(state, /*instrumented=*/false);
+}
 BENCHMARK(BM_ServiceLoopbackBatch)
     ->Args({1, 1})
     ->Args({1, 4})
     ->Args({4, 1})
     ->Args({4, 4})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// The telemetry tax: identical to BM_ServiceLoopbackBatch except every
+/// stage histogram and counter records. ci.sh compares this row against
+/// the {4,1} baseline row — the gap must stay within run-to-run noise.
+void BM_ServiceLoopbackBatchInstrumented(benchmark::State& state) {
+  RunServiceLoopback(state, /*instrumented=*/true);
+}
+BENCHMARK(BM_ServiceLoopbackBatchInstrumented)
+    ->Args({4, 1})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

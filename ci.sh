@@ -8,6 +8,8 @@
 #   ./ci.sh tsan       # ThreadSanitizer build, concurrency-relevant tests
 #   ./ci.sh examples   # build + run every example binary (facade surface)
 #   ./ci.sh service    # ltam_serve round-trip + concurrent smoke + shutdown
+#                      # + live v5 metrics scrape (exposition must parse,
+#                      # ingest counters must have moved)
 #   ./ci.sh bench      # facade vs loopback-server throughput (io-thread
 #                      # matrix) -> BENCH_pr6.json,
 #                      # durable sync vs pipelined vs interval -> BENCH_pr5.json
@@ -16,11 +18,18 @@
 #                      # -> BENCH_pr7.json (p50/p90/p99/p999 end-to-end);
 #                      # the replication family runs against a durable
 #                      # primary + read replica (queries routed to the
-#                      # replica via --query-host)
+#                      # replica via --query-host). Each run also scrapes
+#                      # the server's metrics over the wire and gates the
+#                      # reconciliation (stage histogram counts == frames
+#                      # the client got acked, stage sums bounded by the
+#                      # client-observed latency) -> BENCH_pr9.json, which
+#                      # also carries the instrumented-vs-baseline
+#                      # loopback bench rows (the telemetry tax)
 #   ./ci.sh replication # primary + 2 replicas over real TCP: kill -9
 #                      # the primary mid-ingest, promote the freshest
 #                      # survivor, repoint the other, assert convergence
-#                      # and byte-identical query answers
+#                      # (including the per-replica lag gauges draining
+#                      # to zero) and byte-identical query answers
 #
 # Every future PR is expected to pass `./ci.sh` locally; the tier-1 gate
 # is exactly the ROADMAP verify command. For a quick pre-commit signal,
@@ -61,7 +70,8 @@ tsan() {
                  engine_test movement_db_test durable_sharded_test
                  durable_equivalence_test access_runtime_test
                  movement_view_test service_loopback_test
-                 log_pipeline_test loadgen_test replication_test)
+                 log_pipeline_test loadgen_test replication_test
+                 telemetry_test)
   cmake --build build-tsan -j"$JOBS" --target "${targets[@]}"
   for t in "${targets[@]}"; do
     "./build-tsan/tests/$t"
@@ -86,18 +96,24 @@ service() {
   echo "=== service: ltam_serve round-trip + concurrent smoke + shutdown ==="
   cmake -B build -S .
   cmake --build build -j"$JOBS" --target \
-    ltam_serve ltam_shell service_loopback_test service_protocol_fuzz_test
+    ltam_serve ltam_shell ltam_load service_loopback_test \
+    service_protocol_fuzz_test telemetry_test
   # Concurrent-client smoke: >=4 connections, coalesced ingest, byte-
   # identical to the direct facade (in-memory + durable), plus the
   # protocol fuzz suite.
   ./build/tests/service_protocol_fuzz_test > /dev/null
   ./build/tests/service_loopback_test > /dev/null
+  ./build/tests/telemetry_test > /dev/null
   # End-to-end: a real server process, a real client round-trip through
   # the shell's remote mode, and a clean SIGTERM shutdown.
   local port=$((20000 + RANDOM % 20000))
   local log
   log="$(mktemp)"
-  ./build/examples/ltam_serve --port="$port" --io-threads=2 > "$log" 2>&1 &
+  # Scenario world so the metrics gate below can drive real ingest at
+  # the server (the shell's remote mode only speaks the query/control
+  # surface).
+  ./build/examples/ltam_serve --port="$port" --io-threads=2 \
+    --scenario=surge --scenario-events=500 > "$log" 2>&1 &
   local server_pid=$!
   for _ in $(seq 1 50); do
     grep -q "listening" "$log" && break
@@ -118,6 +134,38 @@ service() {
   grep -q 'events-applied' "$shell_out" \
     || { echo "service: remote stats round-trip failed" >&2; kill "$server_pid"; exit 1; }
   rm -f "$shell_out"
+  # Live metrics gate: drive real ingest with a short open-loop burst,
+  # then scrape the v5 metrics frame (Prometheus text) through the
+  # shell. The exposition must be well-formed and the ingest counters
+  # must have moved — a server that silently lost its instrumentation
+  # fails here, not in a dashboard weeks later.
+  ./build/examples/ltam_load --port="$port" --scenario=surge \
+    --rate=500 --duration-s=1 --connections=2 > /dev/null \
+    || { echo "service: metrics ingest burst failed" >&2; kill "$server_pid"; exit 1; }
+  local prom_out
+  prom_out="$(mktemp)"
+  printf 'connect 127.0.0.1:%d\nmetrics prom\nquit\n' "$port" \
+    | ./build/examples/ltam_shell 2>/dev/null \
+    | grep -E '^(#|ltam_)' > "$prom_out"
+  python3 - "$prom_out" <<'EOF' || { kill "$server_pid" 2>/dev/null; exit 1; }
+import sys
+
+values = {}
+with open(sys.argv[1]) as f:
+    for line in f:
+        line = line.rstrip("\n")
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        assert name.startswith("ltam_"), f"malformed exposition line: {line!r}"
+        values[name] = float(value)  # must parse
+frames = values.get("ltam_ingest_frames", 0)
+assert frames > 0, "ingest.frames never moved"
+assert values.get("ltam_ingest_events", 0) >= frames, "events below frames"
+assert values.get("ltam_ingest_e2e_seconds_count") == frames, \
+    "e2e histogram count diverges from the frame counter"
+EOF
+  rm -f "$prom_out"
   kill -TERM "$server_pid"
   wait "$server_pid" \
     || { echo "service: server exited uncleanly" >&2; exit 1; }
@@ -205,7 +253,7 @@ EOF
 load() {
   echo "=== load: open-loop tail latency per scenario family -> BENCH_pr7.json ==="
   cmake -B build -S .
-  cmake --build build -j"$JOBS" --target ltam_serve ltam_load
+  cmake --build build -j"$JOBS" --target ltam_serve ltam_load ltam_shell
   # One short open-loop pass per (scenario family, arrival rate) against
   # a real ltam_serve process booted with the matching world. The
   # loader measures latency from each frame's SCHEDULED arrival, so a
@@ -215,7 +263,7 @@ load() {
   # horizon the two processes derive the shared world from.
   local duration=1
   local connections=2
-  local parts=()
+  local parts=() proms=()
   local scenario rate
   for scenario in surge contact churn tenant replication; do
     for rate in 2000 6000; do
@@ -266,6 +314,15 @@ load() {
         --connections="$connections" --json-out="$out" "${load_extra[@]}" \
         || { echo "load: $scenario @ $rate ev/s failed" >&2; kill "$server_pid"; exit 1; }
       parts+=("$out")
+      # Scrape the server the run just hammered, before teardown: the
+      # per-stage snapshot rides into BENCH_pr9.json next to the client
+      # rows, and the merge below gates the reconciliation between them.
+      local prom="BENCH_pr9_${scenario}_${rate}.prom"
+      printf 'connect 127.0.0.1:%d\nmetrics prom\nquit\n' "$port" \
+        | ./build/examples/ltam_shell 2>/dev/null \
+        | grep -E '^(#|ltam_)' > "$prom" \
+        || { echo "load: metrics scrape failed for $scenario @ $rate" >&2; kill "$server_pid"; exit 1; }
+      proms+=("$prom")
       if [ -n "$replica_pid" ]; then
         kill -TERM "$replica_pid"
         wait "$replica_pid" \
@@ -307,8 +364,129 @@ for family, rates in rates_per_family.items():
 with open("BENCH_pr7.json", "w") as f:
     json.dump(merged, f, indent=1)
 EOF
-  rm -f "${parts[@]}"
+  # BENCH_pr9.json: the same client rows plus each run's server-side
+  # telemetry snapshot, with the reconciliation gated hard — the stage
+  # histograms must count exactly the frames the client got acked, and
+  # their sums must nest inside the latency the client observed. A
+  # drifting count basis or a non-monotonic clock fails the job, not a
+  # code-review eyeball.
+  python3 - "${parts[@]}" "${proms[@]}" <<'EOF'
+import json
+import os
+import sys
+
+paths = sys.argv[1:]
+half = len(paths) // 2
+client_paths, prom_paths = paths[:half], paths[half:]
+
+def parse_prom(path):
+    values = {}
+    with open(path) as f:
+        for line in f:
+            line = line.rstrip("\n")
+            if not line or line.startswith("#"):
+                continue
+            name, _, value = line.rpartition(" ")
+            assert name.startswith("ltam_"), f"{path}: malformed line {line!r}"
+            values[name] = float(value)
+    return values
+
+merged = {"context": {"executable": "ltam_load+ltam_serve",
+                      "open_loop": True, "host_nproc": os.cpu_count()},
+          "benchmarks": []}
+for cpath, ppath in zip(client_paths, prom_paths):
+    with open(cpath) as f:
+        doc = json.load(f)
+    merged["benchmarks"].extend(doc["benchmarks"])
+    ingest = next(r for r in doc["benchmarks"] if "_ingest/" in r["name"])
+    family = ingest["name"].split("_")[1]
+    rate = ingest["name"].split("/rate:")[1].split("/")[0]
+    m = parse_prom(ppath)
+
+    # Count reconciliation: the server's frame counter and every
+    # per-frame stage histogram agree with the client's acked-frame
+    # count (quota-refused frames are counted by neither side).
+    frames = m["ltam_ingest_frames"]
+    assert frames == ingest["hist_count"], \
+        f"{family}@{rate}: server saw {frames} frames, client acked {ingest['hist_count']}"
+    for stage in ("queue_wait", "decode", "apply", "write", "e2e"):
+        count = m[f"ltam_ingest_{stage}_seconds_count"]
+        assert count == frames, \
+            f"{family}@{rate}: ingest.{stage} counted {count}, expected {frames}"
+    assert m["ltam_ingest_events"] >= frames
+
+    # One fsync-wait span per merged batch; runtime.apply_batch ticks
+    # at least once per batch (plus any world-boot applies), and spans
+    # still pending at scrape time are allowed to be unresolved.
+    fsync = m["ltam_ingest_fsync_wait_seconds_count"]
+    batches = m["ltam_runtime_apply_batch_seconds_count"]
+    assert 0 < fsync <= batches, f"{family}@{rate}: fsync={fsync} batches={batches}"
+
+    # Sum consistency: stage spans nest inside the server's e2e span,
+    # which nests inside the client's scheduled-arrival latency.
+    e2e_sum = m["ltam_ingest_e2e_seconds_sum"]
+    stage_sum = sum(m[f"ltam_ingest_{s}_seconds_sum"]
+                    for s in ("queue_wait", "decode", "apply", "write"))
+    assert stage_sum <= e2e_sum * 1.000001 + 1e-6, \
+        f"{family}@{rate}: stage sums {stage_sum}s exceed e2e sum {e2e_sum}s"
+    client_sum = ingest["hist_sum_ns"] / 1e9
+    assert e2e_sum <= client_sum * 1.000001 + 1e-6, \
+        f"{family}@{rate}: server e2e {e2e_sum}s exceeds client-observed {client_sum}s"
+
+    row = {"name": f"SERVER_{family}_metrics/rate:{rate}",
+           "run_type": "iteration", "iterations": 1,
+           "ingest_frames": int(frames),
+           "ingest_events": int(m["ltam_ingest_events"]),
+           "fsync_wait_count": int(fsync),
+           "apply_batch_count": int(batches),
+           "wal_sync_count": int(m.get("ltam_wal_sync_seconds_count", 0)),
+           "e2e_sum_s": e2e_sum, "stage_sum_s": stage_sum,
+           "client_sum_s": client_sum}
+    for s in ("queue_wait", "decode", "apply", "write", "e2e"):
+        row[f"{s}_p99_ms"] = \
+            m[f'ltam_ingest_{s}_seconds{{quantile="0.99"}}'] * 1e3
+    merged["benchmarks"].append(row)
+with open("BENCH_pr9.json", "w") as f:
+    json.dump(merged, f, indent=1)
+EOF
+  rm -f "${parts[@]}" "${proms[@]}"
   echo "load: wrote $(pwd)/BENCH_pr7.json"
+  # The telemetry tax: the identical loopback workload with and without
+  # a registry wired in. Both rows land in BENCH_pr9.json; the gap is
+  # reported (CI containers are too noisy for a hard gate, multi-core
+  # hosts should see it within run-to-run noise).
+  if cmake --build build -j"$JOBS" --target bench_service 2>/dev/null; then
+    ./build/bench/bench_service \
+      --benchmark_filter='ServiceLoopbackBatch(Instrumented)?/4/1' \
+      --benchmark_min_time=0.05 \
+      --benchmark_out=BENCH_pr9_bench.json --benchmark_out_format=json
+    python3 - <<'EOF'
+import json
+
+with open("BENCH_pr9.json") as f:
+    doc = json.load(f)
+with open("BENCH_pr9_bench.json") as f:
+    bench = json.load(f)["benchmarks"]
+doc["benchmarks"].extend(bench)
+rate = {}
+for row in bench:
+    if row["name"].startswith("BM_ServiceLoopbackBatchInstrumented"):
+        rate["instrumented"] = row["items_per_second"]
+    elif row["name"].startswith("BM_ServiceLoopbackBatch/"):
+        rate["baseline"] = row["items_per_second"]
+assert len(rate) == 2, f"missing a telemetry-tax row: {sorted(rate)}"
+gap = 100.0 * (1.0 - rate["instrumented"] / rate["baseline"])
+print(f"load: telemetry tax {gap:+.1f}% "
+      f"({rate['instrumented']:.0f} vs {rate['baseline']:.0f} events/s)")
+with open("BENCH_pr9.json", "w") as f:
+    json.dump(doc, f, indent=1)
+EOF
+    rm -f BENCH_pr9_bench.json
+  else
+    echo "load: google-benchmark not available; BENCH_pr9.json carries no telemetry-tax rows" >&2
+  fi
+  record_host_meta BENCH_pr9.json
+  echo "load: wrote $(pwd)/BENCH_pr9.json"
 }
 
 replication() {
@@ -436,6 +614,25 @@ replication() {
   done
   [ "$converged" = yes ] \
     || { echo "replication: survivors never converged (lead applied=$lead_applied, follower: $follow_stats)" >&2; exit 1; }
+
+  # The new primary's per-replica lag gauges (shipped vs the follower's
+  # durable position, exported by its log shipper and rendered by the
+  # shell's remote stats) must drain to zero once the follower has
+  # converged — a gauge stuck nonzero means the shipper and the
+  # watermark disagree about the same replica.
+  local lag_ok=no lead_stats=""
+  for _ in $(seq 1 50); do
+    lead_stats="$(printf 'connect 127.0.0.1:%d\nstats\nquit\n' \
+        "$lead_port" | ./build/examples/ltam_shell)"
+    if grep -q 'lag_records: ' <<< "$lead_stats" &&
+       ! grep -Eq 'lag_records: (-|[1-9])' <<< "$lead_stats"; then
+      lag_ok=yes
+      break
+    fi
+    sleep 0.1
+  done
+  [ "$lag_ok" = yes ] \
+    || { echo "replication: replica lag gauge never drained to zero: $lead_stats" >&2; exit 1; }
 
   diff <(query_sweep "$lead_port") <(query_sweep "$follow_port") \
     || { echo "replication: survivors answer queries differently" >&2; exit 1; }

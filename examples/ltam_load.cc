@@ -33,7 +33,14 @@
 //   --scenario-seed=N --scenario-subjects=N --scenario-tenants=N
 //                             world knobs; must match the server's
 //   --schedule-seed=N         arrival-schedule seed (driver-only)
-//   --json-out=FILE           write a google-benchmark-shaped report
+//   --json-out=FILE           write a google-benchmark-shaped report;
+//                             each row carries the full histogram
+//                             bucket dump (count/sum/min/max plus every
+//                             non-zero bucket), so reports from split
+//                             runs merge offline without losing the
+//                             tail (LatencyHistogram::FromParts
+//                             reconstructs, Merge combines)
+//   --log-level=L             debug|info|warning|error (default info)
 //
 // Exit code: 0 on a completed run (refusals included — overload is a
 // measurement, not an error), nonzero on harness/connection failures.
@@ -45,6 +52,7 @@
 
 #include "loadgen/loadgen.h"
 #include "sim/workload.h"
+#include "util/logging.h"
 
 int main(int argc, char** argv) {
   using namespace ltam;  // NOLINT: example brevity.
@@ -95,6 +103,13 @@ int main(int argc, char** argv) {
           static_cast<uint64_t>(std::atoll(value(16).c_str()));
     } else if (arg.rfind("--json-out=", 0) == 0) {
       json_out = value(11);
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      Result<LogLevel> level = ParseLogLevel(value(12));
+      if (!level.ok()) {
+        std::fprintf(stderr, "%s\n", level.status().ToString().c_str());
+        return 2;
+      }
+      SetLogLevel(*level);
     } else {
       std::fprintf(
           stderr,
@@ -103,7 +118,7 @@ int main(int argc, char** argv) {
           "[--scenario=NAME] [--rate=N] [--duration-s=N] [--connections=N] "
           "[--events-per-frame=N] [--max-in-flight=N] [--scenario-seed=N] "
           "[--scenario-subjects=N] [--scenario-tenants=N] "
-          "[--schedule-seed=N] [--json-out=FILE]\n",
+          "[--schedule-seed=N] [--json-out=FILE] [--log-level=L]\n",
           arg.c_str());
       return 2;
     }
@@ -211,7 +226,7 @@ int main(int argc, char** argv) {
           "   \"denials\": %llu,\n   \"quota_refused_frames\": %llu,\n"
           "   \"quota_refused_events\": %llu,\n   \"queries\": %llu,\n"
           "   \"checkpoints\": %llu,\n   \"late_sends\": %llu,\n"
-          "   \"max_sched_lag_ms\": %.3f\n  }%s\n",
+          "   \"max_sched_lag_ms\": %.3f,\n",
           scenario_name.c_str(), kind, load_options.rate,
           load_options.connections,
           static_cast<unsigned long long>(h.count()),
@@ -226,8 +241,26 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(r.queries_sent),
           static_cast<unsigned long long>(r.checkpoints),
           static_cast<unsigned long long>(r.late_sends),
-          static_cast<double>(r.max_sched_lag_ns) / 1e6,
-          last ? "" : ",");
+          static_cast<double>(r.max_sched_lag_ns) / 1e6);
+      // The full histogram, losslessly: split runs merge offline via
+      // LatencyHistogram::FromParts + Merge without flattening the
+      // tail into precomputed percentiles.
+      std::fprintf(
+          f,
+          "   \"hist_count\": %llu,\n   \"hist_sum_ns\": %llu,\n"
+          "   \"hist_min_ns\": %llu,\n   \"hist_max_ns\": %llu,\n"
+          "   \"hist_buckets\": [",
+          static_cast<unsigned long long>(h.count()),
+          static_cast<unsigned long long>(h.sum()),
+          static_cast<unsigned long long>(h.count() > 0 ? h.min() : 0),
+          static_cast<unsigned long long>(h.max()));
+      bool first_bucket = true;
+      for (const auto& [index, bucket_count] : h.NonZeroBuckets()) {
+        std::fprintf(f, "%s[%u,%llu]", first_bucket ? "" : ",", index,
+                     static_cast<unsigned long long>(bucket_count));
+        first_bucket = false;
+      }
+      std::fprintf(f, "]\n  }%s\n", last ? "" : ",");
     };
     const bool has_queries = r.query_latency.count() > 0;
     emit("ingest", r.ingest_latency, !has_queries);

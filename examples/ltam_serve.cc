@@ -34,6 +34,14 @@
 //   --pipeline-depth=N   pipelined: batches per fsync (default 4)
 //   --sync-interval-ms=N interval: fsync cadence (default 5)
 //   --wal-segment-mb=N   rotate WAL segments at N MiB (default 64)
+//   --metrics-dump-s=N     dump a metrics summary to stdout every N
+//                          seconds (0 = never, the default); the same
+//                          numbers are always scrapable over the wire
+//                          via `ltam_shell metrics`
+//   --trace-threshold-us=N log a per-stage span timeline for any ingest
+//                          frame slower than N microseconds end-to-end
+//                          (rate-limited; 0 disables, the default)
+//   --log-level=L     debug|info|warning|error (default info)
 //   --replica-of=H:P  serve as a read-only replica following the
 //                     primary at H:P: writes are refused with a
 //                     redirect, reads answer from the replicated state.
@@ -65,6 +73,8 @@
 #include "service/shutdown.h"
 #include "sim/workload.h"
 #include "storage/policy_script.h"
+#include "telemetry/metrics.h"
+#include "util/logging.h"
 
 namespace {
 
@@ -104,10 +114,17 @@ int main(int argc, char** argv) {
   bool replica = false;
   std::string scenario_name;
   ScenarioOptions scenario_options;
+  uint32_t metrics_dump_s = 0;
+  // One registry for the whole process: the server's ingest stages, the
+  // runtime's apply/checkpoint, the WAL fsyncs, and replica lag all land
+  // here, so one scrape shows the full request path.
+  MetricsRegistry metrics;
   RuntimeOptions runtime_options;
   runtime_options.max_batch_events = kMaxWireBatchEvents;
+  runtime_options.metrics = &metrics;
   ServerOptions server_options;
   server_options.port = 7447;
+  server_options.metrics = &metrics;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto value = [&arg](size_t prefix) { return arg.substr(prefix); };
@@ -160,6 +177,19 @@ int main(int argc, char** argv) {
       runtime_options.durability.segment_max_bytes =
           static_cast<size_t>(std::max(1, std::atoi(value(17).c_str())))
           << 20;
+    } else if (arg.rfind("--metrics-dump-s=", 0) == 0) {
+      metrics_dump_s = static_cast<uint32_t>(
+          std::max(0, std::atoi(value(17).c_str())));
+    } else if (arg.rfind("--trace-threshold-us=", 0) == 0) {
+      server_options.trace_threshold_us =
+          static_cast<uint64_t>(std::max(0, std::atoi(value(21).c_str())));
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      Result<LogLevel> level = ParseLogLevel(value(12));
+      if (!level.ok()) {
+        std::fprintf(stderr, "%s\n", level.status().ToString().c_str());
+        return 2;
+      }
+      SetLogLevel(*level);
     } else if (arg.rfind("--replica-of=", 0) == 0) {
       if (!ParseEndpoint(value(13), &upstream_host, &upstream_port)) {
         std::fprintf(stderr, "--replica-of wants HOST:PORT\n");
@@ -176,7 +206,9 @@ int main(int argc, char** argv) {
                    "[--scenario-tenants=N] "
                    "[--max-batch=N] [--sync-mode=M] "
                    "[--pipeline-depth=N] [--sync-interval-ms=N] "
-                   "[--wal-segment-mb=N] [--replica-of=HOST:PORT]\n",
+                   "[--wal-segment-mb=N] [--metrics-dump-s=N] "
+                   "[--trace-threshold-us=N] [--log-level=L] "
+                   "[--replica-of=HOST:PORT]\n",
                    arg.c_str());
       return 2;
     }
@@ -298,10 +330,19 @@ int main(int argc, char** argv) {
   std::fflush(stdout);
 
   // Park until SIGINT/SIGTERM; the handler latches the flag and this
-  // loop notices within a beat.
+  // loop notices within a beat. The same loop drives the optional
+  // periodic metrics dump (naps are 50ms, so the cadence is honest to
+  // within one beat).
+  uint64_t naps = 0;
+  const uint64_t naps_per_dump =
+      metrics_dump_s > 0 ? metrics_dump_s * 20ull : 0;
   while (!ShutdownRequested()) {
     struct timespec nap = {0, 50 * 1000 * 1000};  // 50ms.
     nanosleep(&nap, nullptr);
+    if (naps_per_dump != 0 && ++naps % naps_per_dump == 0) {
+      std::fputs(MetricsSummaryText(metrics.Snapshot()).c_str(), stdout);
+      std::fflush(stdout);
+    }
   }
 
   std::printf("ltam_serve: shutting down\n");

@@ -14,7 +14,14 @@
 //   disconnect            back to the local runtime
 //   stats                 runtime counters (local or remote — the same
 //                         numbers either way; the wire carries the
-//                         runtime's own RuntimeStats)
+//                         runtime's own RuntimeStats). Against a
+//                         primary with attached replicas, also renders
+//                         each replica's shipped-vs-durable lag gauge.
+//   metrics [prom]        telemetry snapshot: per-stage latency
+//                         histograms, counters, gauges. Summary lines
+//                         by default; `metrics prom` prints the
+//                         Prometheus text exposition instead. Remote
+//                         mode scrapes the server over the wire.
 //   checkpoint            persist the runtime (local or remote)
 //   promote               remote only: promote a replica server to
 //                         primary (bumps its replication epoch; the
@@ -37,6 +44,7 @@
 #include "service/client.h"
 #include "service/shutdown.h"
 #include "storage/policy_script.h"
+#include "telemetry/metrics.h"
 
 namespace {
 
@@ -67,7 +75,9 @@ int main(int argc, char** argv) {
   InstallShutdownSignalHandlers();
 
   std::string policy_path;
+  MetricsRegistry metrics;
   RuntimeOptions options;
+  options.metrics = &metrics;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--durable=", 0) == 0) {
@@ -147,11 +157,48 @@ int main(int argc, char** argv) {
         Result<RuntimeStats> stats = remote->Stats();
         if (stats.ok()) {
           std::printf("%s", RuntimeStatsToString(*stats).c_str());
+          // A primary with attached replicas also exposes per-replica
+          // shipped-vs-durable lag gauges; render them alongside. A
+          // server without a registry refuses the scrape — that is not
+          // a stats failure, so it stays silent.
+          Result<MetricsSnapshot> snapshot = remote->Metrics();
+          if (snapshot.ok()) {
+            for (const auto& [name, value] : snapshot->gauges) {
+              if (name.rfind("replication.replica.", 0) == 0) {
+                std::printf("%s: %lld\n", name.c_str(),
+                            static_cast<long long>(value));
+              }
+            }
+          }
         } else {
           std::printf("error: %s\n", stats.status().ToString().c_str());
         }
       } else {
         std::printf("%s", RuntimeStatsToString(runtime->Stats()).c_str());
+      }
+    } else if (line == "metrics" || line == "metrics prom") {
+      const bool prom = line == "metrics prom";
+      if (remote != nullptr) {
+        if (prom) {
+          Result<std::string> text = remote->MetricsText();
+          if (text.ok()) {
+            std::printf("%s", text->c_str());
+          } else {
+            std::printf("error: %s\n", text.status().ToString().c_str());
+          }
+        } else {
+          Result<MetricsSnapshot> snapshot = remote->Metrics();
+          if (snapshot.ok()) {
+            std::printf("%s", MetricsSummaryText(*snapshot).c_str());
+          } else {
+            std::printf("error: %s\n",
+                        snapshot.status().ToString().c_str());
+          }
+        }
+      } else {
+        MetricsSnapshot snapshot = metrics.Snapshot();
+        std::printf("%s", prom ? ToPrometheusText(snapshot).c_str()
+                               : MetricsSummaryText(snapshot).c_str());
       }
     } else if (line == "checkpoint") {
       Status st = remote != nullptr ? remote->Checkpoint()

@@ -28,7 +28,7 @@
 #include <string>
 #include <vector>
 
-#include "loadgen/latency_histogram.h"
+#include "telemetry/latency_histogram.h"
 #include "sim/workload.h"
 #include "util/result.h"
 

@@ -21,6 +21,11 @@ LogShipper::~LogShipper() { Stop(); }
 void LogShipper::Start() {
   std::lock_guard<std::mutex> lock(mu_);
   if (started_) return;
+  if (options_.metrics != nullptr) {
+    gauge_name_ = "replication.replica." +
+                  std::to_string(options_.subscriber_id) + ".lag_records";
+    lag_gauge_ = options_.metrics->GetGauge(gauge_name_);
+  }
   started_ = true;
   thread_ = std::thread([this] { Run(); });
 }
@@ -33,6 +38,12 @@ void LogShipper::Stop() {
     cv_.notify_all();
   }
   if (thread_.joinable()) thread_.join();
+  // After the join: no sweep can touch the gauge, so a retired
+  // subscriber leaves no stale lag series behind.
+  if (lag_gauge_ != nullptr) {
+    options_.metrics->Remove(gauge_name_);
+    lag_gauge_ = nullptr;
+  }
 }
 
 uint64_t LogShipper::records_shipped() const {
@@ -100,6 +111,15 @@ bool LogShipper::SweepOnce(bool* fatal) {
       moved = true;
       if (slice->next >= slice->durable) break;
     }
+  }
+  if (lag_gauge_ != nullptr) {
+    int64_t lag = 0;
+    for (uint32_t k = 0; k < nshards; ++k) {
+      if (durable[k] > positions_[k]) {
+        lag += static_cast<int64_t>(durable[k] - positions_[k]);
+      }
+    }
+    lag_gauge_->Set(lag);
   }
   // Lag accounting: advertise the primary's durable positions whenever
   // they moved past what the replica last heard.

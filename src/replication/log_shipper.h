@@ -43,6 +43,7 @@
 
 #include "runtime/access_runtime.h"
 #include "service/protocol.h"
+#include "telemetry/metrics.h"
 
 namespace ltam {
 
@@ -54,6 +55,14 @@ struct LogShipperOptions {
   /// Idle poll cadence: how often the shipper re-checks the shards for
   /// new durable records when the last sweep moved nothing.
   uint32_t poll_interval_ms = 20;
+
+  /// Telemetry (may be null). When set, the shipper maintains the gauge
+  /// "replication.replica.<subscriber_id>.lag_records" — the sum over
+  /// shards of (primary durable − shipped position), i.e. how many
+  /// durable records this subscriber has not yet been sent — updated at
+  /// the end of every sweep and unregistered when the shipper stops.
+  MetricsRegistry* metrics = nullptr;
+  uint64_t subscriber_id = 0;
 };
 
 /// Ships one subscriber's stream. Start() spawns the thread; Stop()
@@ -95,6 +104,12 @@ class LogShipper {
   std::vector<uint64_t> positions_;     // Thread-only after Start.
   std::vector<uint64_t> sent_durable_;  // Last kWatermarkAdvance payload.
   std::atomic<uint64_t> records_shipped_{0};
+
+  /// Resolved at Start when options_.metrics is set; written by the
+  /// shipper thread only, removed from the registry by Stop (after the
+  /// join, so no write can race the removal).
+  Gauge* lag_gauge_ = nullptr;
+  std::string gauge_name_;
 
   std::thread thread_;
   std::mutex mu_;

@@ -483,13 +483,22 @@ class AccessRuntime::DurableShardedBackend final : public Backend {
 // --- AccessRuntime -----------------------------------------------------------
 
 AccessRuntime::AccessRuntime(RuntimeOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    apply_histogram_ = options_.metrics->GetHistogram("runtime.apply_batch");
+    checkpoint_histogram_ =
+        options_.metrics->GetHistogram("runtime.checkpoint");
+  }
+}
 
 AccessRuntime::~AccessRuntime() = default;
 
 Result<std::unique_ptr<AccessRuntime>> AccessRuntime::Open(
     SystemState initial, RuntimeOptions options) {
   options.num_shards = std::max<uint32_t>(1, options.num_shards);
+  if (options.metrics != nullptr && options.durability.metrics == nullptr) {
+    options.durability.metrics = options.metrics;
+  }
   std::unique_ptr<AccessRuntime> rt(new AccessRuntime(options));
   if (!options.durable_dir.has_value()) {
     if (options.num_shards == 1) {
@@ -605,8 +614,12 @@ Result<BatchResult> AccessRuntime::ApplyBatch(Span<const AccessEvent> batch) {
   }
   BatchResult out;
   Status durability;
+  const uint64_t t0 = apply_histogram_ != nullptr ? MonotonicNowNs() : 0;
   LTAM_ASSIGN_OR_RETURN(out.decisions,
                         backend_->ApplyBatch(batch, &durability));
+  if (apply_histogram_ != nullptr) {
+    apply_histogram_->Record(MonotonicNowNs() - t0);
+  }
   out.durability = std::move(durability);
   out.alerts = TakePendingAlerts();
   ++batches_applied_;
@@ -716,7 +729,12 @@ Status AccessRuntime::Checkpoint() {
   if (in_mutate_) {
     return Status::FailedPrecondition("Checkpoint called inside Mutate");
   }
-  return backend_->Checkpoint();
+  const uint64_t t0 = checkpoint_histogram_ != nullptr ? MonotonicNowNs() : 0;
+  Status status = backend_->Checkpoint();
+  if (checkpoint_histogram_ != nullptr) {
+    checkpoint_histogram_->Record(MonotonicNowNs() - t0);
+  }
+  return status;
 }
 
 Status AccessRuntime::WaitDurable() { return backend_->WaitDurable(); }

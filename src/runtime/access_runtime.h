@@ -97,6 +97,12 @@ struct RuntimeOptions {
   /// mutation windows per checkpoint — an explicit Checkpoint() before
   /// relying on recovery is then on the caller.
   bool checkpoint_after_mutate = true;
+  /// Telemetry (may be null; borrowed, must outlive the runtime). When
+  /// set, the facade records "runtime.apply_batch" and
+  /// "runtime.checkpoint" duration histograms, and the registry flows
+  /// into durability.metrics (the "wal.sync" histogram) unless the
+  /// caller pointed that at a different registry already.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Everything one ApplyBatch call produced.
@@ -377,6 +383,10 @@ class AccessRuntime {
   size_t events_applied_ = 0;
   size_t events_refused_ = 0;
   size_t batches_rejected_ = 0;
+  /// Resolved once in the ctor from options_.metrics (null when
+  /// uninstrumented).
+  Histogram* apply_histogram_ = nullptr;
+  Histogram* checkpoint_histogram_ = nullptr;
 };
 
 /// Renders stats as aligned "name: value" lines — the one rendering the

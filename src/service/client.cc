@@ -213,6 +213,25 @@ Result<RuntimeStats> ServiceClient::Stats() {
   return DecodeStatsResult(frame.payload);
 }
 
+Result<MetricsSnapshot> ServiceClient::Metrics() {
+  const uint32_t id = next_request_id_++;
+  LTAM_RETURN_IF_ERROR(SendFrame(
+      MessageType::kMetrics, id,
+      EncodeMetricsRequest(kMetricsFormatStructured)));
+  LTAM_ASSIGN_OR_RETURN(Frame frame,
+                        ReceiveResponse(id, MessageType::kMetricsResult));
+  return DecodeMetricsResult(frame.payload);
+}
+
+Result<std::string> ServiceClient::MetricsText() {
+  const uint32_t id = next_request_id_++;
+  LTAM_RETURN_IF_ERROR(SendFrame(MessageType::kMetrics, id,
+                                 EncodeMetricsRequest(kMetricsFormatText)));
+  LTAM_ASSIGN_OR_RETURN(Frame frame,
+                        ReceiveResponse(id, MessageType::kMetricsResult));
+  return frame.payload;
+}
+
 Result<uint64_t> ServiceClient::Promote() {
   const uint32_t id = next_request_id_++;
   LTAM_RETURN_IF_ERROR(SendFrame(MessageType::kPromote, id, ""));

@@ -70,6 +70,15 @@ class ServiceClient {
   /// Stats() call on the server's runtime returns.
   Result<RuntimeStats> Stats();
 
+  /// The server's telemetry registry as a structured snapshot. Fails
+  /// with kFailedPrecondition when the server runs uninstrumented
+  /// (no registry attached).
+  Result<MetricsSnapshot> Metrics();
+
+  /// The same registry as Prometheus text exposition, rendered
+  /// server-side so any scraper can consume it verbatim.
+  Result<std::string> MetricsText();
+
   /// Promotes a replica server to primary; returns the new replication
   /// epoch. Legal against a primary too (an epoch bump that fences any
   /// stream still flowing from an older-epoch node).

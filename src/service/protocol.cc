@@ -263,6 +263,7 @@ bool IsRequestType(MessageType type) {
     case MessageType::kReplicaHello:
     case MessageType::kPromote:
     case MessageType::kRepoint:
+    case MessageType::kMetrics:
       return true;
     default:
       return false;
@@ -290,11 +291,13 @@ const char* MessageTypeToString(MessageType type) {
     case MessageType::kReplicaHello: return "replica-hello";
     case MessageType::kPromote: return "promote";
     case MessageType::kRepoint: return "repoint";
+    case MessageType::kMetrics: return "metrics";
     case MessageType::kReplicaWelcome: return "replica-welcome";
     case MessageType::kSegmentChunk: return "segment-chunk";
     case MessageType::kWatermarkAdvance: return "watermark-advance";
     case MessageType::kPromoteResult: return "promote-result";
     case MessageType::kRepointResult: return "repoint-result";
+    case MessageType::kMetricsResult: return "metrics-result";
   }
   return "unknown";
 }
@@ -304,7 +307,7 @@ namespace {
 bool IsKnownType(uint8_t type) {
   return IsRequestType(static_cast<MessageType>(type)) ||
          (type >= static_cast<uint8_t>(MessageType::kPong) &&
-          type <= static_cast<uint8_t>(MessageType::kRepointResult));
+          type <= static_cast<uint8_t>(MessageType::kMetricsResult));
 }
 
 }  // namespace
@@ -986,6 +989,110 @@ Result<uint64_t> DecodePromoteResult(std::string_view payload) {
   }
   LTAM_RETURN_IF_ERROR(r.Finish("promote-result"));
   return epoch;
+}
+
+std::string EncodeMetricsRequest(uint8_t format) {
+  std::string out;
+  PutU8(&out, format);
+  return out;
+}
+
+Result<uint8_t> DecodeMetricsRequest(std::string_view payload) {
+  Reader r(payload);
+  uint8_t format = 0;
+  if (!r.ReadU8(&format) || format > kMetricsFormatText) {
+    return Status::ParseError("metrics: malformed format byte");
+  }
+  LTAM_RETURN_IF_ERROR(r.Finish("metrics"));
+  return format;
+}
+
+std::string EncodeMetricsResult(const MetricsSnapshot& snapshot) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(snapshot.counters.size()));
+  for (const auto& [name, value] : snapshot.counters) {
+    PutString(&out, name);
+    PutU64(&out, value);
+  }
+  PutU32(&out, static_cast<uint32_t>(snapshot.gauges.size()));
+  for (const auto& [name, value] : snapshot.gauges) {
+    PutString(&out, name);
+    PutI64(&out, value);
+  }
+  PutU32(&out, static_cast<uint32_t>(snapshot.histograms.size()));
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    PutString(&out, name);
+    PutU64(&out, histogram.count());
+    PutU64(&out, histogram.sum());
+    PutU64(&out, histogram.min());
+    PutU64(&out, histogram.max());
+    const auto buckets = histogram.NonZeroBuckets();
+    PutU32(&out, static_cast<uint32_t>(buckets.size()));
+    for (const auto& [index, bucket_count] : buckets) {
+      PutU32(&out, index);
+      PutU64(&out, bucket_count);
+    }
+  }
+  return out;
+}
+
+Result<MetricsSnapshot> DecodeMetricsResult(std::string_view payload) {
+  Reader r(payload);
+  MetricsSnapshot snapshot;
+  uint32_t counters = 0;
+  if (!ReadCount(&r, 4 + 8, &counters) || counters > kMaxWireMetrics) {
+    return Status::ParseError("metrics-result: malformed counter count");
+  }
+  snapshot.counters.resize(counters);
+  for (uint32_t i = 0; i < counters; ++i) {
+    auto& [name, value] = snapshot.counters[i];
+    if (!r.ReadString(&name) || !r.ReadU64(&value)) {
+      return Status::ParseError("metrics-result: truncated counter");
+    }
+  }
+  uint32_t gauges = 0;
+  if (!ReadCount(&r, 4 + 8, &gauges) || gauges > kMaxWireMetrics) {
+    return Status::ParseError("metrics-result: malformed gauge count");
+  }
+  snapshot.gauges.resize(gauges);
+  for (uint32_t i = 0; i < gauges; ++i) {
+    auto& [name, value] = snapshot.gauges[i];
+    if (!r.ReadString(&name) || !r.ReadI64(&value)) {
+      return Status::ParseError("metrics-result: truncated gauge");
+    }
+  }
+  uint32_t histograms = 0;
+  if (!ReadCount(&r, 4 + 4 * 8 + 4, &histograms) ||
+      histograms > kMaxWireMetrics) {
+    return Status::ParseError("metrics-result: malformed histogram count");
+  }
+  snapshot.histograms.reserve(histograms);
+  for (uint32_t i = 0; i < histograms; ++i) {
+    std::string name;
+    uint64_t count = 0, sum = 0, min = 0, max = 0;
+    uint32_t buckets = 0;
+    if (!r.ReadString(&name) || !r.ReadU64(&count) || !r.ReadU64(&sum) ||
+        !r.ReadU64(&min) || !r.ReadU64(&max) ||
+        !ReadCount(&r, 4 + 8, &buckets) ||
+        buckets > kMaxWireHistogramBuckets) {
+      return Status::ParseError("metrics-result: truncated histogram");
+    }
+    std::vector<std::pair<uint32_t, uint64_t>> nonzero(buckets);
+    for (uint32_t b = 0; b < buckets; ++b) {
+      if (!r.ReadU32(&nonzero[b].first) || !r.ReadU64(&nonzero[b].second)) {
+        return Status::ParseError("metrics-result: truncated bucket");
+      }
+    }
+    Result<LatencyHistogram> histogram =
+        LatencyHistogram::FromParts(count, sum, min, max, nonzero);
+    if (!histogram.ok()) {
+      return Status::ParseError("metrics-result: inconsistent histogram (" +
+                                histogram.status().message() + ")");
+    }
+    snapshot.histograms.emplace_back(std::move(name), std::move(*histogram));
+  }
+  LTAM_RETURN_IF_ERROR(r.Finish("metrics-result"));
+  return snapshot;
 }
 
 Status DecodeErrorResult(std::string_view payload, Status* error) {

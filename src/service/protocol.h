@@ -40,6 +40,7 @@
 #include "engine/events.h"
 #include "query/query_language.h"
 #include "runtime/access_runtime.h"
+#include "telemetry/metrics.h"
 #include "util/result.h"
 
 namespace ltam {
@@ -51,8 +52,9 @@ namespace ltam {
 /// watermark/WAL-failure fields to stats results; v3 added the per-shard
 /// watermark list to stats results and the alert-push frame; v4 added
 /// the replication frames (replica-hello/welcome, segment-chunk,
-/// watermark-advance, promote, repoint).
-inline constexpr uint8_t kWireVersion = 4;
+/// watermark-advance, promote, repoint); v5 added the metrics frames
+/// (telemetry-registry scrape, structured or Prometheus text).
+inline constexpr uint8_t kWireVersion = 5;
 
 /// "LTAM" as a little-endian u32 ('L' is the first byte on the wire).
 inline constexpr uint32_t kWireMagic = 0x4D41544Cu;
@@ -89,6 +91,10 @@ enum class MessageType : uint8_t {
   /// Re-target a replica server's upstream (host:port payload) — the
   /// survivor-reconnect step of a failover.
   kRepoint = 10,
+  /// Scrape the server's telemetry registry. Payload = one format
+  /// byte (kMetricsFormat*). Refused with kFailedPrecondition when
+  /// the server runs without a registry.
+  kMetrics = 11,
   // Responses.
   kPong = 32,
   kApplyResult = 33,
@@ -112,7 +118,13 @@ enum class MessageType : uint8_t {
   /// kPromote's answer: the new replication epoch.
   kPromoteResult = 44,
   kRepointResult = 45,
+  /// kMetrics' answer: the snapshot, in the requested format.
+  kMetricsResult = 46,
 };
+
+/// kMetrics request payload: which representation the response carries.
+inline constexpr uint8_t kMetricsFormatStructured = 0;
+inline constexpr uint8_t kMetricsFormatText = 1;
 
 /// True for the request half of the numbering space.
 bool IsRequestType(MessageType type);
@@ -370,6 +382,28 @@ Result<RepointRequest> DecodeRepointRequest(std::string_view payload);
 /// replication epoch. kRepointResult carries no payload.
 std::string EncodePromoteResult(uint64_t epoch);
 Result<uint64_t> DecodePromoteResult(std::string_view payload);
+
+// --- Metrics payloads (v5) ---------------------------------------------------
+
+/// Ceilings on a kMetricsResult frame's element counts — a corrupt
+/// count field must never drive allocation (kMaxFramePayload bounds
+/// total bytes, these bound vector reserves before the bytes arrive).
+inline constexpr uint32_t kMaxWireMetrics = 1u << 12;
+inline constexpr uint32_t kMaxWireHistogramBuckets = 1u << 14;
+
+/// kMetrics: the requested representation (kMetricsFormatStructured or
+/// kMetricsFormatText).
+std::string EncodeMetricsRequest(uint8_t format);
+Result<uint8_t> DecodeMetricsRequest(std::string_view payload);
+
+/// kMetricsResult, structured format: the registry snapshot — counters
+/// and gauges as (name, value), histograms as exact parts plus sparse
+/// nonzero buckets (LatencyHistogram::FromParts validates on decode,
+/// so a decoded histogram is internally consistent or the frame is a
+/// ParseError). Text format instead carries the Prometheus exposition
+/// as the raw payload; it needs no codec beyond the frame layer.
+std::string EncodeMetricsResult(const MetricsSnapshot& snapshot);
+Result<MetricsSnapshot> DecodeMetricsResult(std::string_view payload);
 
 }  // namespace ltam
 

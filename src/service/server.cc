@@ -29,6 +29,7 @@
 #include "replication/log_shipper.h"
 #include "service/protocol.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace ltam {
 
@@ -102,6 +103,9 @@ struct IngestJob {
   uint32_t event_count = 0; // Validated by PeekApplyEventCount.
   PositionFix fix;          // kApplyFix.
   size_t units = 0;         // Quota units charged for this frame.
+  // Telemetry stamps (0 when the server runs uninstrumented):
+  uint64_t recv_ns = 0;     // Dispatch saw the complete frame.
+  uint64_t pickup_ns = 0;   // The coalescer merged it into a group.
 };
 
 /// Node of one per-shard MPSC ingest queue (a Treiber stack: I/O
@@ -123,7 +127,8 @@ struct ReadJob {
   ConnectionPtr conn;
   uint32_t request_id = 0;
   MessageType type = MessageType::kQuery;
-  std::string statement;  // kQuery.
+  std::string statement;     // kQuery.
+  uint8_t metrics_format = 0;  // kMetrics.
 };
 
 /// An alert no in-flight frame could carry by subject. Held until the
@@ -141,7 +146,25 @@ struct PendingAlert {
 class ServiceServer::Impl {
  public:
   Impl(AccessRuntime* runtime, ServerOptions options)
-      : runtime_(runtime), options_(options) {}
+      : runtime_(runtime), options_(options) {
+    if (options_.metrics != nullptr) {
+      MetricsRegistry* m = options_.metrics;
+      h_queue_wait_ = m->GetHistogram("ingest.queue_wait");
+      h_decode_ = m->GetHistogram("ingest.decode");
+      h_apply_ = m->GetHistogram("ingest.apply");
+      h_fsync_wait_ = m->GetHistogram("ingest.fsync_wait");
+      h_write_ = m->GetHistogram("ingest.write");
+      h_e2e_ = m->GetHistogram("ingest.e2e");
+      h_query_ = m->GetHistogram("query.run");
+      c_frames_ = m->GetCounter("ingest.frames");
+      c_events_ = m->GetCounter("ingest.events");
+      c_quota_refusals_ = m->GetCounter("ingest.quota_refusals");
+      c_trace_emitted_ = m->GetCounter("trace.emitted");
+      c_trace_suppressed_ = m->GetCounter("trace.suppressed");
+    }
+  }
+
+  bool instrumented() const { return options_.metrics != nullptr; }
 
   ~Impl() { Stop(); }
 
@@ -260,6 +283,9 @@ class ServiceServer::Impl {
       coal_cv_.notify_all();
     }
     coalescer_thread_.join();
+    // The coalescer is gone; close out any fsync-wait spans it left
+    // (the watermark has settled — the runtime's log threads idle-sync).
+    if (instrumented()) FlushFsyncWaits(/*final=*/true);
     // Phase 3: read workers drain the remaining Query/Stats jobs.
     {
       std::lock_guard<std::mutex> lock(reads_mu_);
@@ -606,6 +632,7 @@ class ServiceServer::Impl {
         job.type = type;
         job.event_count = *count;
         job.units = std::max<size_t>(1, *count);
+        if (instrumented()) job.recv_ns = MonotonicNowNs();
         std::optional<SubjectId> subject =
             PeekFirstSubject(type, frame.payload);
         job.frame = std::move(frame);
@@ -675,6 +702,28 @@ class ServiceServer::Impl {
         job.conn = conn;
         job.request_id = id;
         job.type = MessageType::kStats;
+        EnqueueRead(std::move(job));
+        return;
+      }
+      case MessageType::kMetrics: {
+        Result<uint8_t> format = DecodeMetricsRequest(frame.payload);
+        if (!format.ok()) {
+          Respond(conn, MessageType::kError, id,
+                  EncodeErrorResult(format.status()));
+          return;
+        }
+        if (!instrumented()) {
+          Respond(conn, MessageType::kError, id,
+                  EncodeErrorResult(Status::FailedPrecondition(
+                      "this server runs without a telemetry registry "
+                      "(ServerOptions::metrics unset)")));
+          return;
+        }
+        ReadJob job;
+        job.conn = conn;
+        job.request_id = id;
+        job.type = MessageType::kMetrics;
+        job.metrics_format = *format;
         EnqueueRead(std::move(job));
         return;
       }
@@ -795,9 +844,12 @@ class ServiceServer::Impl {
       }
       return !failed && !conn->dead.load(std::memory_order_acquire);
     };
+    LogShipperOptions shipper_options;
+    shipper_options.metrics = options_.metrics;
+    shipper_options.subscriber_id = conn->id;
     auto shipper = std::make_unique<LogShipper>(
         runtime_, &runtime_mu_, std::move(positions), std::move(send),
-        LogShipperOptions{});
+        shipper_options);
     std::unique_ptr<LogShipper> replaced;
     {
       std::lock_guard<std::mutex> lock(shippers_mu_);
@@ -951,6 +1003,7 @@ class ServiceServer::Impl {
         std::lock_guard<std::mutex> lock(coalescer_stats_mu_);
         ++coalescer_stats_.connection_quota_refusals;
       }
+      if (c_quota_refusals_ != nullptr) c_quota_refusals_->Increment();
       Respond(job.conn, MessageType::kError, job.request_id,
               EncodeErrorResult(Status::FailedPrecondition(
                   "connection ingest quota full (" +
@@ -960,6 +1013,13 @@ class ServiceServer::Impl {
       return;
     }
     job.seq = job.conn->next_seq++;
+    // Apply frames only: barriers (Checkpoint/ApplyFix) never enter the
+    // merge group, so counting them here would strand the counter above
+    // every per-frame stage histogram and break the reconciliation.
+    if (c_frames_ != nullptr && !IsBarrier(job.type)) {
+      c_frames_->Increment();
+      c_events_->Increment(job.event_count);
+    }
     ShardQueue& q = shard_queues_[shard];
     auto* node = new IngestNode(std::move(job));
     IngestNode* head = q.head.load(std::memory_order_relaxed);
@@ -1025,7 +1085,11 @@ class ServiceServer::Impl {
         coalescer_idle_.store(false, std::memory_order_seq_cst);
         continue;
       }
-      coal_cv_.wait_for(lock, std::chrono::milliseconds(100));
+      // Unresolved fsync-wait spans cap the nap: their durations are
+      // resolved by polling the watermark at round starts, so a long
+      // idle sleep would overstate them.
+      coal_cv_.wait_for(lock, std::chrono::milliseconds(
+                                  fsync_pending_.empty() ? 100 : 5));
       coalescer_idle_.store(false, std::memory_order_seq_cst);
     }
   }
@@ -1035,6 +1099,7 @@ class ServiceServer::Impl {
   /// connection into a single runtime batch, then GC dead connections.
   /// Returns whether anything moved.
   bool RoundOnce() {
+    FlushFsyncWaits(/*final=*/false);
     bool any = DrainShardQueues();
     // Barriers: ApplyFix/Checkpoint apply alone, in their connection's
     // FIFO position.
@@ -1060,6 +1125,7 @@ class ServiceServer::Impl {
     // across connections) time order.
     group_.clear();
     size_t events = 0;
+    const uint64_t pickup_ns = instrumented() ? MonotonicNowNs() : 0;
     for (auto& [id, st] : states_) {
       if (st.ready.empty()) continue;
       IngestJob& front = st.ready.front();
@@ -1071,6 +1137,12 @@ class ServiceServer::Impl {
       }
       events += front.event_count;
       ReleaseUnits(front);
+      if (pickup_ns != 0) {
+        front.pickup_ns = pickup_ns;
+        // Recorded once per frame, here: the refusal-retry path below
+        // re-enters ProcessMergedBatch but never re-picks-up.
+        h_queue_wait_->Record(pickup_ns - front.recv_ns);
+      }
       group_.push_back(std::move(front));
       st.ready.pop_front();
       any = true;
@@ -1147,10 +1219,12 @@ class ServiceServer::Impl {
     const size_t n = group->size();
     std::vector<size_t> offsets(n, 0);
     std::vector<bool> live(n, false);
+    std::vector<uint64_t> decode_ns(instrumented() ? n : 0, 0);
     size_t live_count = 0;
     for (size_t i = 0; i < n; ++i) {
       IngestJob& job = (*group)[i];
       offsets[i] = merged_.size();
+      const uint64_t t_decode = instrumented() ? MonotonicNowNs() : 0;
       Status decoded =
           DecodeApplyEventsInto(job.type, job.frame.payload, &merged_);
       if (!decoded.ok()) {
@@ -1159,15 +1233,22 @@ class ServiceServer::Impl {
                 EncodeErrorResult(decoded));
         continue;
       }
+      if (t_decode != 0) {
+        decode_ns[i] = MonotonicNowNs() - t_decode;
+        h_decode_->Record(decode_ns[i]);
+      }
       live[i] = true;
       ++live_count;
     }
     if (live_count == 0) return;
 
+    const uint64_t t_apply = instrumented() ? MonotonicNowNs() : 0;
     Result<BatchResult> result = [&]() -> Result<BatchResult> {
       std::unique_lock<std::shared_mutex> lock(runtime_mu_);
       return runtime_->ApplyBatch(merged_);
     }();
+    const uint64_t apply_done = instrumented() ? MonotonicNowNs() : 0;
+    const uint64_t apply_ns = apply_done - t_apply;
     {
       std::lock_guard<std::mutex> lock(coalescer_stats_mu_);
       ++coalescer_stats_.merged_batches;
@@ -1175,6 +1256,13 @@ class ServiceServer::Impl {
       coalescer_stats_.max_frames_per_batch =
           std::max(coalescer_stats_.max_frames_per_batch, live_count);
       coalescer_stats_.merged_events += merged_.size();
+    }
+    if (instrumented()) {
+      // Once per frame per ApplyBatch attempt — the same basis as
+      // CoalescerStats::merged_frames (the refusal-retry path below
+      // re-enters with single frames and both tick again), so the two
+      // reconcile exactly.
+      for (size_t i = 0; i < live_count; ++i) h_apply_->Record(apply_ns);
     }
     if (!result.ok()) {
       // A whole-batch refusal: nothing was applied. A MERGED refusal can
@@ -1203,6 +1291,21 @@ class ServiceServer::Impl {
     }
 
     ++round_;
+
+    if (instrumented()) {
+      // Durable-ack span: the pipelined coalescer acks before the fsync
+      // lands, so "how long until this batch's records were actually
+      // crash-proof" is measured asynchronously — the span closes when
+      // a later round observes the durable watermark at or past this
+      // batch's applied position (see FlushFsyncWaits). One span per
+      // merged batch: frames share the batch's fsync, counting it per
+      // frame would overstate the fsync load.
+      if (result->watermark.durable >= result->watermark.applied) {
+        h_fsync_wait_->Record(0);
+      } else {
+        fsync_pending_.push_back({result->watermark.applied, apply_done});
+      }
+    }
 
     // Demux decisions back to their frames by offset, and route alerts
     // by subject: an alert belongs to the first frame of this merge
@@ -1242,7 +1345,77 @@ class ServiceServer::Impl {
       const MessageType type = job.type == MessageType::kApply
                                    ? MessageType::kApplyResult
                                    : MessageType::kBatchResult;
+      const uint64_t t_write = instrumented() ? MonotonicNowNs() : 0;
       Respond(job.conn, type, job.request_id, EncodeBatchResult(wire));
+      if (t_write != 0) {
+        const uint64_t done = MonotonicNowNs();
+        const uint64_t write_ns = done - t_write;
+        const uint64_t e2e_ns = done - job.recv_ns;
+        h_write_->Record(write_ns);
+        h_e2e_->Record(e2e_ns);
+        MaybeTraceSlow(job, e2e_ns, decode_ns[i], apply_ns, write_ns,
+                       live_count, merged_.size());
+      }
+    }
+  }
+
+  /// Emits one per-stage span timeline for a slow ingest frame —
+  /// enough to explain a tail outlier from a single log line — bounded
+  /// to a few lines per second so a saturated server cannot flood its
+  /// own log (overflow is counted, not printed). Coalescer thread only.
+  void MaybeTraceSlow(const IngestJob& job, uint64_t e2e_ns,
+                      uint64_t frame_decode_ns, uint64_t apply_ns,
+                      uint64_t write_ns, size_t batch_frames,
+                      size_t batch_events) {
+    if (options_.trace_threshold_us == 0) return;
+    if (e2e_ns < options_.trace_threshold_us * 1000) return;
+    static constexpr uint32_t kMaxTracesPerSecond = 10;
+    const uint64_t now = MonotonicNowNs();
+    if (now - trace_window_start_ns_ >= 1000000000ull) {
+      trace_window_start_ns_ = now;
+      traces_this_window_ = 0;
+    }
+    if (traces_this_window_ >= kMaxTracesPerSecond) {
+      c_trace_suppressed_->Increment();
+      return;
+    }
+    ++traces_this_window_;
+    c_trace_emitted_->Increment();
+    auto ms = [](uint64_t ns) { return static_cast<double>(ns) / 1e6; };
+    LTAM_LOG_WARNING << StrFormat(
+        "slow request: conn=%llu req=%u e2e=%.3fms queue_wait=%.3fms "
+        "decode=%.3fms apply=%.3fms write=%.3fms events=%u "
+        "merged_frames=%zu merged_events=%zu",
+        static_cast<unsigned long long>(job.conn->id), job.request_id,
+        ms(e2e_ns), ms(job.pickup_ns - job.recv_ns), ms(frame_decode_ns),
+        ms(apply_ns), ms(write_ns), job.event_count, batch_frames,
+        batch_events);
+  }
+
+  /// Resolves queued fsync-wait spans against the runtime's durable
+  /// watermark. Resolution granularity is one coalescer round (or the
+  /// shortened idle nap), so recorded waits overshoot by at most a few
+  /// milliseconds — negligible against a real fsync stall, which is
+  /// what this histogram exists to expose. `final` (shutdown, after
+  /// the producers stopped) drops spans whose target never became
+  /// durable (sticky WAL failure) instead of recording a fake wait.
+  void FlushFsyncWaits(bool final) {
+    if (fsync_pending_.empty()) return;
+    uint64_t durable = 0;
+    {
+      std::shared_lock<std::shared_mutex> lock(runtime_mu_);
+      durable = runtime_->Watermark().durable;
+    }
+    const uint64_t now = MonotonicNowNs();
+    while (!fsync_pending_.empty()) {
+      const auto& [target, started_ns] = fsync_pending_.front();
+      if (target > durable) {
+        if (!final) return;
+        fsync_pending_.pop_front();
+        continue;
+      }
+      h_fsync_wait_->Record(now - started_ns);
+      fsync_pending_.pop_front();
     }
   }
 
@@ -1439,10 +1612,22 @@ class ServiceServer::Impl {
                 EncodeStatsResult(stats));
         continue;
       }
+      if (job.type == MessageType::kMetrics) {
+        // No runtime lock: the registry has its own synchronization, so
+        // a scrape can never stall behind (or stall) the coalescer.
+        const MetricsSnapshot snapshot = options_.metrics->Snapshot();
+        Respond(job.conn, MessageType::kMetricsResult, job.request_id,
+                job.metrics_format == kMetricsFormatText
+                    ? ToPrometheusText(snapshot)
+                    : EncodeMetricsResult(snapshot));
+        continue;
+      }
+      const uint64_t t_query = instrumented() ? MonotonicNowNs() : 0;
       Result<QueryResult> result = [&]() -> Result<QueryResult> {
         std::shared_lock<std::shared_mutex> lock(runtime_mu_);
         return interpreter_->Run(job.statement);
       }();
+      if (t_query != 0) h_query_->Record(MonotonicNowNs() - t_query);
       if (result.ok()) {
         Respond(job.conn, MessageType::kQueryResult, job.request_id,
                 EncodeQueryResult(*result));
@@ -1501,6 +1686,26 @@ class ServiceServer::Impl {
   uint64_t round_ = 0;
   std::vector<PendingAlert> pending_alerts_;
   std::unordered_map<SubjectId, std::weak_ptr<Connection>> last_toucher_;
+
+  // Telemetry (all coalescer-thread-only except the registry handles,
+  // which are internally synchronized). Handles resolved once in the
+  // ctor; null when ServerOptions::metrics is null.
+  Histogram* h_queue_wait_ = nullptr;
+  Histogram* h_decode_ = nullptr;
+  Histogram* h_apply_ = nullptr;
+  Histogram* h_fsync_wait_ = nullptr;
+  Histogram* h_write_ = nullptr;
+  Histogram* h_e2e_ = nullptr;
+  Histogram* h_query_ = nullptr;
+  Counter* c_frames_ = nullptr;
+  Counter* c_events_ = nullptr;
+  Counter* c_quota_refusals_ = nullptr;
+  Counter* c_trace_emitted_ = nullptr;
+  Counter* c_trace_suppressed_ = nullptr;
+  /// Open durable-ack spans: (applied-offset target, span start).
+  std::deque<std::pair<uint64_t, uint64_t>> fsync_pending_;
+  uint64_t trace_window_start_ns_ = 0;
+  uint32_t traces_this_window_ = 0;
 
   mutable std::mutex coalescer_stats_mu_;
   CoalescerStats coalescer_stats_;

@@ -124,6 +124,27 @@ struct ServerOptions {
   /// with a structured error.
   std::function<Result<uint64_t>()> promote_hook;
   std::function<Status(const std::string& host, uint16_t port)> repoint_hook;
+  /// Telemetry registry (may be null; borrowed, must outlive the
+  /// server). When set, the ingest path records per-stage histograms —
+  /// ingest.queue_wait (dispatch to coalesce pickup), ingest.decode
+  /// (frame view to merge buffer), ingest.apply (the merged
+  /// ApplyBatch, lock wait included), ingest.fsync_wait (apply return
+  /// to durable watermark catch-up, per merged batch — the part of
+  /// durability the pipelined ack does NOT wait for), ingest.write
+  /// (response encode + send) and ingest.e2e (recv to response
+  /// written) — plus query.run, ingest.frames/ingest.events counters,
+  /// and per-replica shipped-lag gauges from the log shippers. Null =
+  /// fully uninstrumented hot path (the bench baseline). Typically the
+  /// SAME registry as RuntimeOptions::metrics so one scrape shows
+  /// server and runtime stages side by side.
+  MetricsRegistry* metrics = nullptr;
+  /// Slow-request tracing: an ingest frame whose end-to-end latency
+  /// (recv to response written) exceeds this many microseconds gets
+  /// its per-stage span timeline logged in one line, bounded to a few
+  /// traces per second (suppressions are counted in trace.suppressed).
+  /// 0 disables. Requires `metrics` to be set (the stages come from
+  /// the same stamps).
+  uint64_t trace_threshold_us = 0;
 };
 
 /// Counters describing what the coalescer actually merged — the

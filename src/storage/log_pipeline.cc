@@ -47,6 +47,9 @@ ShardLog::ShardLog(WalWriter writer, uint64_t writer_bytes,
       segment_bytes_(writer_bytes),
       segment_index_(segment_index),
       shared_segment_index_(segment_index) {
+  if (options_.metrics != nullptr) {
+    sync_histogram_ = options_.metrics->GetHistogram("wal.sync");
+  }
   if (options_.mode != SyncMode::kBatch) {
     thread_ = std::thread([this] { ThreadLoop(); });
   }
@@ -94,7 +97,13 @@ Status ShardLog::SyncNow(uint64_t covered_seq) {
   Status synced = options_.fault_injector
                       ? options_.fault_injector("sync", sync_attempts_)
                       : Status::OK();
-  if (synced.ok()) synced = writer_.Sync();
+  if (synced.ok()) {
+    const uint64_t t0 = sync_histogram_ != nullptr ? MonotonicNowNs() : 0;
+    synced = writer_.Sync();
+    if (sync_histogram_ != nullptr) {
+      sync_histogram_->Record(MonotonicNowNs() - t0);
+    }
+  }
   if (synced.ok()) {
     unsynced_bytes_ = 0;
     unsynced_groups_ = 0;

@@ -60,6 +60,7 @@
 
 #include "storage/codec.h"
 #include "storage/wal.h"
+#include "telemetry/metrics.h"
 #include "util/result.h"
 
 namespace ltam {
@@ -116,6 +117,11 @@ struct DurabilityOptions {
   /// this log; a non-OK return simulates that failure. Null in
   /// production.
   std::function<Status(const char* op, uint64_t count)> fault_injector;
+  /// Telemetry (may be null; borrowed, must outlive the runtime). When
+  /// set, every physical WAL fsync records its wall duration in the
+  /// "wal.sync" histogram — one series across shards; the per-shard
+  /// split has never been the interesting axis, the fsync cost is.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// A claim check for the durability of logged work: the per-log
@@ -226,6 +232,7 @@ class ShardLog {
   const DurabilityOptions options_;
   const bool sync_each_batch_;
   const RotateFn rotate_;
+  Histogram* sync_histogram_ = nullptr;  // Resolved once in the ctor.
 
   // Log-thread-owned (batch mode: caller-thread-owned; no concurrency).
   WalWriter writer_;

@@ -1,6 +1,6 @@
 // Copyright 2026 The LTAM Authors.
 
-#include "loadgen/latency_histogram.h"
+#include "telemetry/latency_histogram.h"
 
 #include <algorithm>
 #include <cmath>
@@ -86,6 +86,54 @@ uint64_t LatencyHistogram::Quantile(double q) const {
     }
   }
   return max_;  // Unreachable: rank <= count_.
+}
+
+std::vector<std::pair<uint32_t, uint64_t>> LatencyHistogram::NonZeroBuckets()
+    const {
+  std::vector<std::pair<uint32_t, uint64_t>> out;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] != 0) {
+      out.emplace_back(static_cast<uint32_t>(i), buckets_[i]);
+    }
+  }
+  return out;
+}
+
+Result<LatencyHistogram> LatencyHistogram::FromParts(
+    uint64_t count, uint64_t sum, uint64_t min, uint64_t max,
+    const std::vector<std::pair<uint32_t, uint64_t>>& nonzero_buckets) {
+  LatencyHistogram h;
+  uint64_t bucket_total = 0;
+  uint32_t prev_index = 0;
+  bool first = true;
+  for (const auto& [index, bucket_count] : nonzero_buckets) {
+    if (index >= NumBuckets()) {
+      return Status::InvalidArgument("histogram bucket index out of range");
+    }
+    if (!first && index <= prev_index) {
+      return Status::InvalidArgument(
+          "histogram bucket indices not strictly ascending");
+    }
+    if (bucket_count == 0) {
+      return Status::InvalidArgument("histogram bucket with zero count");
+    }
+    first = false;
+    prev_index = index;
+    h.buckets_[index] = bucket_count;
+    bucket_total += bucket_count;
+  }
+  if (bucket_total != count) {
+    return Status::InvalidArgument(
+        "histogram bucket counts do not sum to count");
+  }
+  if (count > 0 && min > max) {
+    return Status::InvalidArgument("histogram min exceeds max");
+  }
+  h.count_ = count;
+  h.sum_ = sum;
+  h.min_ = count == 0 ? UINT64_MAX : min;
+  h.max_ = max;
+  return h;
 }
 
 std::string LatencyHistogram::ToString() const {

@@ -1,5 +1,7 @@
 // Copyright 2026 The LTAM Authors.
-// A log-bucketed latency histogram for the open-loop load harness.
+// A log-bucketed latency histogram, shared by the open-loop load
+// harness (client-side percentiles) and the server's in-process
+// telemetry registry (per-stage histograms).
 //
 // HdrHistogram-style layout: values below 2^kSubBucketBits land in
 // exact unit buckets; above that, each power-of-two octave is split
@@ -19,13 +21,16 @@
 // oracle). Values are plain uint64_t — the load harness records
 // nanoseconds, but nothing here assumes a unit.
 
-#ifndef LTAM_LOADGEN_LATENCY_HISTOGRAM_H_
-#define LTAM_LOADGEN_LATENCY_HISTOGRAM_H_
+#ifndef LTAM_TELEMETRY_LATENCY_HISTOGRAM_H_
+#define LTAM_TELEMETRY_LATENCY_HISTOGRAM_H_
 
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "util/result.h"
 
 namespace ltam {
 
@@ -47,6 +52,9 @@ class LatencyHistogram {
 
   /// Total samples recorded.
   uint64_t count() const { return count_; }
+
+  /// Exact sum of every recorded sample (mean() = sum() / count()).
+  uint64_t sum() const { return sum_; }
 
   /// Exact extremes and mean over every recorded sample (not bucketed).
   uint64_t min() const { return count_ == 0 ? 0 : min_; }
@@ -78,6 +86,20 @@ class LatencyHistogram {
   static size_t BucketIndexFor(uint64_t value);
   static size_t NumBuckets();
 
+  /// Sparse (bucket index, count) pairs in ascending index order —
+  /// the wire and JSON representation (most of the dense bucket array
+  /// is zero for any real latency distribution).
+  std::vector<std::pair<uint32_t, uint64_t>> NonZeroBuckets() const;
+
+  /// Rebuilds a histogram from serialized parts (the inverse of
+  /// count()/sum()/min()/max()/NonZeroBuckets()). Fails on an
+  /// out-of-range or non-ascending bucket index, or when the bucket
+  /// counts do not sum to `count` — the wire decoder's validation
+  /// lives here so every consumer gets it.
+  static Result<LatencyHistogram> FromParts(
+      uint64_t count, uint64_t sum, uint64_t min, uint64_t max,
+      const std::vector<std::pair<uint32_t, uint64_t>>& nonzero_buckets);
+
  private:
   std::vector<uint64_t> buckets_;
   uint64_t count_ = 0;
@@ -88,4 +110,4 @@ class LatencyHistogram {
 
 }  // namespace ltam
 
-#endif  // LTAM_LOADGEN_LATENCY_HISTOGRAM_H_
+#endif  // LTAM_TELEMETRY_LATENCY_HISTOGRAM_H_

@@ -8,6 +8,8 @@
 #include <sstream>
 #include <string>
 
+#include "util/result.h"
+
 namespace ltam {
 
 /// Severity of a log line.
@@ -22,6 +24,10 @@ enum class LogLevel : int {
 /// Global minimum severity; lines below it are dropped. Default: kInfo.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses "debug" | "info" | "warning" | "error" (the --log-level flag
+/// vocabulary; kFatal is not settable — fatal lines always print).
+Result<LogLevel> ParseLogLevel(const std::string& name);
 
 namespace internal {
 
@@ -38,6 +44,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 

@@ -8,7 +8,7 @@
 // relative-error bound, Merge() linearity over per-connection shards,
 // and determinism under seeded input.
 
-#include "loadgen/latency_histogram.h"
+#include "telemetry/latency_histogram.h"
 
 #include <gtest/gtest.h>
 

@@ -200,6 +200,51 @@ TEST(LoadGenTest, ReplicationScenarioSplitsReadsOntoQueryEndpoint) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(LoadGenTest, ReportHistogramsSurviveTheJsonBucketDump) {
+  // ltam_load --json-out writes each report histogram as
+  // (count, sum, min, max, non-zero buckets); two split runs merged
+  // from their dumps must equal the one-shot aggregate, percentile for
+  // percentile — the offline-merge contract.
+  ScenarioOptions so;
+  so.subjects = 24;
+  so.streams = 2;
+  so.total_events = 600;
+  so.events_per_frame = 16;
+  LoadScenario scenario =
+      GenerateLoadScenario(ScenarioFamily::kContactSweep, so).ValueOrDie();
+  LoadGenOptions options;
+  options.connections = 2;
+  options.rate = 50'000.0;
+  options.schedule_seed = 31;
+  LoadReport first = RunAgainstLoopback(scenario, options).ValueOrDie();
+  options.schedule_seed = 37;
+  LoadReport second = RunAgainstLoopback(scenario, options).ValueOrDie();
+  ASSERT_GT(first.ingest_latency.count(), 0u);
+  ASSERT_GT(second.ingest_latency.count(), 0u);
+
+  // What a consumer of two JSON reports reconstructs...
+  auto rebuild = [](const LatencyHistogram& h) {
+    return LatencyHistogram::FromParts(h.count(), h.sum(), h.min(), h.max(),
+                                       h.NonZeroBuckets())
+        .ValueOrDie();
+  };
+  LatencyHistogram merged = rebuild(first.ingest_latency);
+  merged.Merge(rebuild(second.ingest_latency));
+
+  // ...equals merging the live histograms directly.
+  LatencyHistogram reference = first.ingest_latency;
+  reference.Merge(second.ingest_latency);
+  EXPECT_EQ(reference.count(), merged.count());
+  EXPECT_EQ(reference.mean(), merged.mean());
+  EXPECT_EQ(reference.min(), merged.min());
+  EXPECT_EQ(reference.max(), merged.max());
+  EXPECT_EQ(reference.p50(), merged.p50());
+  EXPECT_EQ(reference.p90(), merged.p90());
+  EXPECT_EQ(reference.p99(), merged.p99());
+  EXPECT_EQ(reference.p999(), merged.p999());
+  EXPECT_EQ(reference.NonZeroBuckets(), merged.NonZeroBuckets());
+}
+
 TEST(LoadGenTest, OverloadObservesQuotaRefusalsNeverDeadlocks) {
   ScenarioOptions so;
   so.subjects = 48;

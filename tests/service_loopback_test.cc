@@ -19,6 +19,7 @@
 
 #include <filesystem>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -832,6 +833,179 @@ TEST_F(ServiceLoopbackTest, RemoteCheckpointAdvancesTheEpoch) {
   EXPECT_GT(after.epoch, before.epoch);
 
   server.Stop();
+}
+
+TEST_F(ServiceLoopbackTest, MetricsReconcileWithFramesSentOverTheWire) {
+  World w = MakeWorld(811);
+  auto streams = MakeConnectionStreams(w, 821);
+  RuntimeOptions options;
+  options.num_shards = 2;
+  MetricsRegistry metrics;
+  options.metrics = &metrics;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                       AccessRuntime::Open(StateOf(w), options));
+  ServerOptions server_options;
+  server_options.metrics = &metrics;
+  ServiceServer server(rt.get(), server_options);
+  ASSERT_OK(server.Start());
+
+  size_t frames_sent = 0;
+  size_t events_sent = 0;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < streams.size(); ++c) {
+    for (const auto& batch : streams[c]) {
+      ++frames_sent;
+      events_sent += batch.size();
+    }
+    clients.emplace_back([&, c] {
+      Result<std::unique_ptr<ServiceClient>> connected =
+          ServiceClient::Connect("127.0.0.1", server.bound_port());
+      ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+      std::unique_ptr<ServiceClient> client =
+          std::move(connected).ValueOrDie();
+      for (const auto& batch : streams[c]) {
+        Result<uint32_t> id = client->SubmitBatch(batch);
+        ASSERT_TRUE(id.ok()) << id.status().ToString();
+      }
+      ASSERT_OK(client->Flush());
+      for (size_t i = 0; i < streams[c].size(); ++i) {
+        ASSERT_OK(client->ReceiveBatchResult().status());
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  CoalescerStats coalescing = server.coalescer_stats();
+
+  // Scrape over the wire while the server is still up.
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<ServiceClient> scraper,
+      ServiceClient::Connect("127.0.0.1", server.bound_port()));
+  // One read through the query path (result content is irrelevant —
+  // the read worker times the run either way).
+  (void)scraper->Query("WHERE WAS u0 AT 60");
+  ASSERT_OK_AND_ASSIGN(MetricsSnapshot snapshot, scraper->Metrics());
+  ASSERT_OK_AND_ASSIGN(std::string text, scraper->MetricsText());
+  server.Stop();
+
+  auto histogram = [&](const std::string& name) -> const LatencyHistogram& {
+    for (const auto& [n, h] : snapshot.histograms) {
+      if (n == name) return h;
+    }
+    ADD_FAILURE() << "missing histogram " << name;
+    static LatencyHistogram empty;
+    return empty;
+  };
+  auto counter = [&](const std::string& name) -> uint64_t {
+    for (const auto& [n, v] : snapshot.counters) {
+      if (n == name) return v;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return 0;
+  };
+
+  // The reconciliation contract: every client frame was counted once at
+  // dispatch, picked up once, decoded once, applied once — the same
+  // basis CoalescerStats counts on — and nothing was double- or
+  // under-counted anywhere in the pipeline.
+  EXPECT_EQ(frames_sent, counter("ingest.frames"));
+  EXPECT_EQ(events_sent, counter("ingest.events"));
+  EXPECT_EQ(frames_sent, coalescing.merged_frames);
+  EXPECT_EQ(frames_sent, histogram("ingest.apply").count());
+  EXPECT_EQ(frames_sent, histogram("ingest.queue_wait").count());
+  EXPECT_EQ(frames_sent, histogram("ingest.decode").count());
+  EXPECT_EQ(frames_sent, histogram("ingest.write").count());
+  EXPECT_EQ(frames_sent, histogram("ingest.e2e").count());
+  // One fsync-wait span per merged batch.
+  EXPECT_EQ(coalescing.merged_batches,
+            histogram("ingest.fsync_wait").count());
+  // The read worker timed the query.
+  EXPECT_EQ(1u, histogram("query.run").count());
+  // Runtime-side stages recorded into the SAME registry through
+  // RuntimeOptions::metrics: one runtime.apply_batch per merged batch.
+  EXPECT_EQ(coalescing.merged_batches,
+            histogram("runtime.apply_batch").count());
+
+  // Stage spans nest inside the end-to-end span: each stage's total
+  // time is bounded by e2e's total time (sum-consistency; queue_wait +
+  // decode + apply + write <= e2e would need per-request sums, but
+  // per-stage totals must each bound below the e2e total).
+  const LatencyHistogram& e2e = histogram("ingest.e2e");
+  EXPECT_LE(histogram("ingest.decode").sum(), e2e.sum());
+  EXPECT_LE(histogram("ingest.write").sum(), e2e.sum());
+  EXPECT_LE(histogram("ingest.queue_wait").sum(), e2e.sum());
+
+  // The text exposition parses: non-comment lines are "name value",
+  // and the counters agree with the structured scrape.
+  EXPECT_NE(std::string::npos, text.find("# TYPE ltam_ingest_frames counter"));
+  EXPECT_NE(std::string::npos,
+            text.find("ltam_ingest_frames " + std::to_string(frames_sent)));
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    ASSERT_NE(std::string::npos, line.rfind(' ')) << line;
+    EXPECT_EQ(0u, line.find("ltam_")) << line;
+  }
+}
+
+TEST_F(ServiceLoopbackTest, MetricsRefusedWithoutARegistry) {
+  World w = MakeWorld(823);
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                       AccessRuntime::Open(StateOf(w), RuntimeOptions{}));
+  ServiceServer server(rt.get(), ServerOptions{});
+  ASSERT_OK(server.Start());
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<ServiceClient> client,
+      ServiceClient::Connect("127.0.0.1", server.bound_port()));
+  Result<MetricsSnapshot> refused = client->Metrics();
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsFailedPrecondition())
+      << refused.status().ToString();
+  // The connection survives the refusal.
+  ASSERT_OK(client->Ping());
+  server.Stop();
+}
+
+TEST_F(ServiceLoopbackTest, SlowRequestTracingCountsEmittedTraces) {
+  World w = MakeWorld(827);
+  RuntimeOptions options;
+  MetricsRegistry metrics;
+  options.metrics = &metrics;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<AccessRuntime> rt,
+                       AccessRuntime::Open(StateOf(w), options));
+  ServerOptions server_options;
+  server_options.metrics = &metrics;
+  server_options.trace_threshold_us = 0;  // Disabled: no trace counters.
+  {
+    ServiceServer server(rt.get(), server_options);
+    ASSERT_OK(server.Start());
+    ASSERT_OK_AND_ASSIGN(
+        std::unique_ptr<ServiceClient> client,
+        ServiceClient::Connect("127.0.0.1", server.bound_port()));
+    std::vector<AccessEvent> batch;
+    batch.push_back(AccessEvent::Observe(10, w.subjects[0], 1));
+    ASSERT_OK(client->ApplyBatch(batch).status());
+    server.Stop();
+  }
+  EXPECT_EQ(0u, metrics.GetCounter("trace.emitted")->value());
+
+  // Threshold 0us is "disabled"; 1us traces effectively everything
+  // (every loopback request takes longer than a microsecond).
+  server_options.trace_threshold_us = 1;
+  {
+    ServiceServer server(rt.get(), server_options);
+    ASSERT_OK(server.Start());
+    ASSERT_OK_AND_ASSIGN(
+        std::unique_ptr<ServiceClient> client,
+        ServiceClient::Connect("127.0.0.1", server.bound_port()));
+    std::vector<AccessEvent> batch;
+    batch.push_back(AccessEvent::Observe(20, w.subjects[0], 1));
+    ASSERT_OK(client->ApplyBatch(batch).status());
+    server.Stop();
+  }
+  // The single request tripped the threshold; the rate limiter admits
+  // the first trace of the window.
+  EXPECT_EQ(1u, metrics.GetCounter("trace.emitted")->value());
 }
 
 }  // namespace

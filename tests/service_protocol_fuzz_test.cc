@@ -79,6 +79,8 @@ void DecodeEverything(const std::string& payload) {
   (void)DecodeWatermarkAdvance(payload);
   (void)DecodeRepointRequest(payload);
   (void)DecodePromoteResult(payload);
+  (void)DecodeMetricsRequest(payload);
+  (void)DecodeMetricsResult(payload);
 }
 
 // --- Round trips -------------------------------------------------------------
@@ -388,6 +390,75 @@ TEST(ServiceProtocolTest, ReplicationDecodersRejectCorruption) {
   EXPECT_FALSE(DecodePromoteResult(EncodePromoteResult(1) + 'x').ok());
 }
 
+// --- Metrics payloads (v5) ---------------------------------------------------
+
+TEST(ServiceProtocolTest, MetricsPayloadsRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(
+      uint8_t format,
+      DecodeMetricsRequest(EncodeMetricsRequest(kMetricsFormatStructured)));
+  EXPECT_EQ(kMetricsFormatStructured, format);
+  ASSERT_OK_AND_ASSIGN(
+      format, DecodeMetricsRequest(EncodeMetricsRequest(kMetricsFormatText)));
+  EXPECT_EQ(kMetricsFormatText, format);
+  // Unknown format bytes are refused at decode, not interpreted.
+  std::string bad_format = EncodeMetricsRequest(kMetricsFormatText);
+  bad_format[0] = 7;
+  EXPECT_FALSE(DecodeMetricsRequest(bad_format).ok());
+  EXPECT_FALSE(DecodeMetricsRequest("").ok());
+
+  MetricsSnapshot snapshot;
+  snapshot.counters = {{"ingest.events", 12345}, {"ingest.frames", 99}};
+  snapshot.gauges = {{"replication.replica.3.lag_records", -2},
+                     {"replication.replica.7.lag_records", 40}};
+  LatencyHistogram hist;
+  hist.Record(1);
+  hist.Record(900);
+  hist.Record(1u << 20);
+  for (int i = 0; i < 50; ++i) hist.Record(1000 + i * 37);
+  LatencyHistogram empty;
+  snapshot.histograms = {{"ingest.apply", hist}, {"query.run", empty}};
+  ASSERT_OK_AND_ASSIGN(MetricsSnapshot decoded,
+                       DecodeMetricsResult(EncodeMetricsResult(snapshot)));
+  EXPECT_EQ(snapshot.counters, decoded.counters);
+  EXPECT_EQ(snapshot.gauges, decoded.gauges);
+  ASSERT_EQ(2u, decoded.histograms.size());
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(snapshot.histograms[i].first, decoded.histograms[i].first);
+    const LatencyHistogram& a = snapshot.histograms[i].second;
+    const LatencyHistogram& b = decoded.histograms[i].second;
+    EXPECT_EQ(a.count(), b.count());
+    EXPECT_EQ(a.mean(), b.mean());
+    EXPECT_EQ(a.max(), b.max());
+    EXPECT_EQ(a.p50(), b.p50());
+    EXPECT_EQ(a.p999(), b.p999());
+    EXPECT_EQ(a.NonZeroBuckets(), b.NonZeroBuckets());
+  }
+
+  // Truncation at every byte boundary, and strict consumption.
+  const std::string payload = EncodeMetricsResult(snapshot);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(DecodeMetricsResult(payload.substr(0, cut)).ok());
+  }
+  EXPECT_FALSE(DecodeMetricsResult(payload + 'x').ok());
+  // A corrupt metric count cannot drive an allocation.
+  std::string lying = payload;
+  lying[0] = static_cast<char>(0xff);
+  lying[1] = static_cast<char>(0xff);
+  lying[2] = static_cast<char>(0xff);
+  lying[3] = static_cast<char>(0x7f);
+  EXPECT_FALSE(DecodeMetricsResult(lying).ok());
+  // An internally inconsistent histogram (bucket counts that do not sum
+  // to the advertised count) is a ParseError, not a trusted value: the
+  // wire never hands out a histogram FromParts would refuse.
+  MetricsSnapshot one;
+  one.histograms = {{"h", hist}};
+  std::string tampered = EncodeMetricsResult(one);
+  // Layout: counters count (4) + gauges count (4) + histograms count
+  // (4) + name length (4) + name (1) + count (8, little-endian first).
+  ++tampered[4 + 4 + 4 + 4 + 1];
+  EXPECT_FALSE(DecodeMetricsResult(tampered).ok());
+}
+
 // --- Targeted rejections -----------------------------------------------------
 
 TEST(ServiceProtocolTest, HeaderRejectsMalformedFields) {
@@ -679,6 +750,12 @@ TEST_P(ServiceProtocolFuzzTest, PayloadDecodersNeverCrash) {
   WatermarkAdvance advance;
   advance.epoch = 2;
   advance.durable = {7, 8, 9};
+  MetricsSnapshot snapshot;
+  snapshot.counters = {{"ingest.events", 7}};
+  snapshot.gauges = {{"replication.replica.1.lag_records", 3}};
+  LatencyHistogram hist;
+  for (int i = 0; i < 20; ++i) hist.Record(100 + i * 53);
+  snapshot.histograms = {{"ingest.apply", hist}};
   const std::string seeds[] = {
       EncodeApplyRequest(batch[0]),
       EncodeApplyBatchRequest(batch),
@@ -695,6 +772,8 @@ TEST_P(ServiceProtocolFuzzTest, PayloadDecodersNeverCrash) {
       EncodeWatermarkAdvance(advance),
       EncodeRepointRequest({"replica-2.internal", 7411}),
       EncodePromoteResult(3),
+      EncodeMetricsRequest(kMetricsFormatStructured),
+      EncodeMetricsResult(snapshot),
   };
   for (int i = 0; i < 400; ++i) {
     const std::string& seed = seeds[i % (sizeof(seeds) / sizeof(seeds[0]))];
