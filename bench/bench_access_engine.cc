@@ -161,7 +161,8 @@ struct BatchWorld {
 };
 
 BatchWorld MakeBatchWorld(size_t batch_size = 2048,
-                          size_t total_events = 16384) {
+                          size_t total_events = 16384,
+                          double exit_fraction = 0.1) {
   BatchWorld w;
   // Campus of 16 buildings x 12 rooms, 256 subjects, dense coverage —
   // the "whole campus under tracking" shape of Section 1.
@@ -178,7 +179,7 @@ BatchWorld MakeBatchWorld(size_t batch_size = 2048,
   GenerateAuthorizations(w.graph, w.subjects, auth_opt, &rng, &w.auth_db);
   BatchWorkloadOptions batch_opt;
   batch_opt.batch_size = batch_size;
-  batch_opt.exit_fraction = 0.1;
+  batch_opt.exit_fraction = exit_fraction;
   batch_opt.observe_fraction = 0.1;
   batch_opt.max_step = 3;
   w.batches = GenerateEventBatches(w.graph, w.subjects, total_events,
@@ -420,6 +421,88 @@ BENCHMARK(BM_DurableBatchShardedInterval)
     ->Args({4, 2048})
     ->Args({1, 128})
     ->Args({4, 128})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// --- Checkpoint latency: full rewrite vs incremental + tiered ---------------
+//
+// Arg: history length (events applied before the measured checkpoints).
+// Each timed iteration is exactly one Checkpoint() after one small
+// (untimed) dirtying batch, so the work a checkpoint SHOULD do is
+// constant across history lengths. The full variant dirties every
+// shard each round, so every snapshot is rewritten and checkpoint
+// latency grows linearly with history. The incremental variant dirties
+// a single shard with the cold tier enabled (max_hot_events bounds the
+// hot snapshot; sealed segments are immutable and never rewritten), so
+// the checkpoint rewrites one bounded snapshot plus the manifest and
+// its latency plateaus — the O(events since last checkpoint) claim.
+
+void RunCheckpointBench(benchmark::State& state, bool incremental) {
+  const size_t history = static_cast<size_t>(state.range(0));
+  // Exit-heavy stream: sealing moves only COMPLETED stays cold, so the
+  // tiered variant needs most stays closed to keep its hot tier small.
+  BatchWorld w = MakeBatchWorld(2048, history, /*exit_fraction=*/0.5);
+  RuntimeOptions options;
+  options.num_shards = 4;
+  options.engine = QuietEngineOptions();
+  if (incremental) {
+    options.retention.max_hot_events = 2048;
+  }
+  std::string dir = MakeBenchDir();
+  options.durable_dir = dir;
+  auto rt = AccessRuntime::Open(InitStateOf(w), options).ValueOrDie();
+  for (const auto& batch : w.batches) {
+    benchmark::DoNotOptimize(rt->ApplyBatch(batch));
+  }
+  // Baseline epoch: the measured rounds start from a committed
+  // checkpoint (and, tiered, from a sealed cold tier), so each timed
+  // Checkpoint() pays only for what the dirtying batch touched.
+  LTAM_CHECK(rt->Checkpoint().ok());
+
+  // Dirtying stream past every pre-applied per-subject clock. The full
+  // variant touches enough subjects to hit all 4 shards; the
+  // incremental variant touches exactly one.
+  const size_t touched = incremental ? 1 : 16;
+  Chronon t = static_cast<Chronon>(history) * 8 + 1'000'000;
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<AccessEvent> dirty;
+    for (size_t i = 0; i < touched; ++i) {
+      dirty.push_back(AccessEvent::Observe(t, w.subjects[i],
+                                           w.graph.Primitives()[0]));
+    }
+    ++t;
+    benchmark::DoNotOptimize(
+        rt->ApplyBatch(Span<const AccessEvent>(dirty.data(), dirty.size())));
+    state.ResumeTiming();
+    Status st = rt->Checkpoint();
+    benchmark::DoNotOptimize(st);
+    state.PauseTiming();
+    LTAM_CHECK(st.ok()) << st.ToString();
+    state.ResumeTiming();
+  }
+  state.counters["history_events"] = static_cast<double>(w.total_events);
+  rt.reset();
+  std::filesystem::remove_all(dir);
+}
+
+void BM_CheckpointFull(benchmark::State& state) {
+  RunCheckpointBench(state, /*incremental=*/false);
+}
+BENCHMARK(BM_CheckpointFull)
+    ->Arg(16384)
+    ->Arg(65536)
+    ->Arg(262144)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_CheckpointIncremental(benchmark::State& state) {
+  RunCheckpointBench(state, /*incremental=*/true);
+}
+BENCHMARK(BM_CheckpointIncremental)
+    ->Arg(16384)
+    ->Arg(65536)
+    ->Arg(262144)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 

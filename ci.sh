@@ -12,7 +12,10 @@
 #                      # ingest counters must have moved)
 #   ./ci.sh bench      # facade vs loopback-server throughput (io-thread
 #                      # matrix) -> BENCH_pr6.json,
-#                      # durable sync vs pipelined vs interval -> BENCH_pr5.json
+#                      # durable sync vs pipelined vs interval -> BENCH_pr5.json,
+#                      # checkpoint latency full-rewrite vs incremental+tiered
+#                      # -> BENCH_pr10.json; fails loudly if any expected
+#                      # BENCH_pr<N>.json artifact is missing or empty
 #   ./ci.sh load       # open-loop tail latency: ltam_load vs a live
 #                      # ltam_serve per scenario family x arrival rate
 #                      # -> BENCH_pr7.json (p50/p90/p99/p999 end-to-end);
@@ -24,7 +27,10 @@
 #                      # the client got acked, stage sums bounded by the
 #                      # client-observed latency) -> BENCH_pr9.json, which
 #                      # also carries the instrumented-vs-baseline
-#                      # loopback bench rows (the telemetry tax)
+#                      # loopback bench rows (the telemetry tax). Ends
+#                      # with a soak pass against a retention-enabled
+#                      # durable server: cold tier must seal + compact
+#                      # and resident bytes must plateau -> BENCH_pr10.json
 #   ./ci.sh replication # primary + 2 replicas over real TCP: kill -9
 #                      # the primary mid-ingest, promote the freshest
 #                      # survivor, repoint the other, assert convergence
@@ -195,6 +201,27 @@ for path in sys.argv[1:]:
 EOF
 }
 
+# Loud artifact gate: a bench/load job that "passed" without emitting
+# the BENCH_pr<N>.json rows it exists to produce is a silent regression
+# in the trajectory record. Usage: require_bench_artifacts <job> <file>...
+require_bench_artifacts() {
+  local job=$1
+  shift
+  local artifact
+  for artifact in "$@"; do
+    if [ ! -s "$artifact" ]; then
+      echo "$job: expected artifact $artifact is missing or empty" >&2
+      exit 1
+    fi
+    python3 -c "
+import json, sys
+with open('$artifact') as f:
+    doc = json.load(f)
+assert doc.get('benchmarks'), '$artifact has no benchmark rows'
+" || { echo "$job: $artifact is not a valid benchmark artifact" >&2; exit 1; }
+  done
+}
+
 bench() {
   echo "=== bench: loopback overhead -> BENCH_pr6.json, durability modes -> BENCH_pr5.json ==="
   cmake -B build -S .
@@ -248,6 +275,19 @@ EOF
   rm -f BENCH_pr5_durable.json BENCH_pr5_service.json
   record_host_meta BENCH_pr5.json
   echo "bench: wrote $(pwd)/BENCH_pr5.json"
+  # PR 10: checkpoint latency, full rewrite vs incremental + tiered.
+  # Same dirtying work per timed checkpoint at every history length;
+  # the full variant dirties every shard (all snapshots rewritten, cost
+  # grows with history), the incremental variant dirties one shard with
+  # the cold tier bounding its hot snapshot (cost plateaus). The soak
+  # rows from `./ci.sh load` merge into the same artifact.
+  ./build/bench/bench_access_engine \
+    --benchmark_filter='BM_Checkpoint(Full|Incremental)' \
+    --benchmark_min_time=0.05 \
+    --benchmark_out=BENCH_pr10.json --benchmark_out_format=json
+  record_host_meta BENCH_pr10.json
+  echo "bench: wrote $(pwd)/BENCH_pr10.json"
+  require_bench_artifacts bench BENCH_pr5.json BENCH_pr6.json BENCH_pr10.json
 }
 
 load() {
@@ -487,6 +527,117 @@ EOF
   fi
   record_host_meta BENCH_pr9.json
   echo "load: wrote $(pwd)/BENCH_pr9.json"
+
+  # PR 10 soak: sustained ingest against a retention-enabled durable
+  # server, checkpointing as it goes so the cold tier seals, compacts,
+  # and the process's resident set plateaus instead of tracking total
+  # history. The run is backgrounded so the server can be scraped
+  # mid-flight: the end-of-run scrape must show compaction.runs moved
+  # and resident bytes staying near the mid-run level.
+  local soak_port=$((20000 + RANDOM % 20000))
+  local soak_root soak_log
+  soak_root="$(mktemp -d)"
+  soak_log="$(mktemp)"
+  local soak_events=12000
+  ./build/examples/ltam_serve --port="$soak_port" --scenario=soak \
+    --scenario-events="$soak_events" --durable="$soak_root" --shards=2 \
+    --sync-mode=pipelined --retention-horizon-s=100000 \
+    --retention-hot-events=128 > "$soak_log" 2>&1 &
+  local soak_server_pid=$!
+  for _ in $(seq 1 50); do
+    grep -q "listening" "$soak_log" && break
+    sleep 0.1
+  done
+  grep -q "scenario soak" "$soak_log" \
+    || { echo "load: soak server missing the scenario banner" >&2; kill "$soak_server_pid"; exit 1; }
+  soak_scrape() {
+    printf 'connect 127.0.0.1:%d\nmetrics prom\nquit\n' "$soak_port" \
+      | ./build/examples/ltam_shell 2>/dev/null | grep -E '^(#|ltam_)'
+  }
+  ./build/examples/ltam_load --port="$soak_port" --scenario=soak \
+    --rate=4000 --duration-s=3 --connections=2 \
+    --checkpoint-every-frames=8 --json-out=BENCH_pr10_soak.json &
+  local soak_load_pid=$!
+  sleep 1.8
+  local soak_mid
+  soak_mid="$(soak_scrape)" \
+    || { echo "load: soak mid-run scrape failed" >&2; kill "$soak_server_pid" "$soak_load_pid"; exit 1; }
+  wait "$soak_load_pid" \
+    || { echo "load: soak run failed" >&2; kill "$soak_server_pid"; exit 1; }
+  local soak_end
+  soak_end="$(soak_scrape)" \
+    || { echo "load: soak end scrape failed" >&2; kill "$soak_server_pid"; exit 1; }
+  kill -TERM "$soak_server_pid"
+  wait "$soak_server_pid" \
+    || { echo "load: soak server exited uncleanly" >&2; exit 1; }
+  rm -f "$soak_log"
+  rm -rf "$soak_root"
+  SOAK_MID="$soak_mid" SOAK_END="$soak_end" python3 - <<'EOF'
+import json
+import os
+
+def parse(text):
+    values = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        values[name] = float(value)
+    return values
+
+mid = parse(os.environ["SOAK_MID"])
+end = parse(os.environ["SOAK_END"])
+
+# The tier must actually operate under load: segments sealed, at least
+# one compaction run, dirty-segment accounting flowing.
+assert end.get("ltam_storage_cold_segments", 0) > 0, \
+    f"no cold segments sealed: {end.get('ltam_storage_cold_segments')}"
+assert end.get("ltam_storage_cold_bytes", 0) > 0
+assert end.get("ltam_compaction_runs", 0) >= 1, \
+    f"compaction never ran: {end.get('ltam_compaction_runs')}"
+assert end.get("ltam_checkpoint_dirty_segments", 0) > 0
+
+# The plateau gate: resident bytes at end-of-run must stay near the
+# mid-run level — memory tracking TOTAL history would blow through
+# this margin on any sustained run.
+rss_mid = mid.get("ltam_storage_resident_bytes", 0)
+rss_end = end.get("ltam_storage_resident_bytes", 0)
+assert rss_mid > 0 and rss_end > 0, \
+    f"resident-bytes gauge missing (mid={rss_mid}, end={rss_end})"
+assert rss_end <= rss_mid * 1.75 + 32 * 1024 * 1024, \
+    f"resident set kept growing: mid={rss_mid} end={rss_end}"
+
+row = {"name": "SOAK_retention_metrics/rate:4000", "run_type": "iteration",
+       "iterations": 1,
+       "cold_segments": int(end["ltam_storage_cold_segments"]),
+       "cold_bytes": int(end["ltam_storage_cold_bytes"]),
+       "compaction_runs": int(end["ltam_compaction_runs"]),
+       "checkpoint_dirty_segments":
+           int(end["ltam_checkpoint_dirty_segments"]),
+       "retention_dropped_segments":
+           int(end.get("ltam_retention_dropped_segments", 0)),
+       "resident_bytes_mid": int(rss_mid),
+       "resident_bytes_end": int(rss_end)}
+
+with open("BENCH_pr10_soak.json") as f:
+    soak = json.load(f)
+soak["benchmarks"].append(row)
+try:
+    with open("BENCH_pr10.json") as f:
+        doc = json.load(f)
+    doc["benchmarks"].extend(soak["benchmarks"])
+except FileNotFoundError:
+    doc = soak
+with open("BENCH_pr10.json", "w") as f:
+    json.dump(doc, f, indent=1)
+print(f"load: soak plateau ok (rss mid={rss_mid/1e6:.0f}MB "
+      f"end={rss_end/1e6:.0f}MB, compaction_runs="
+      f"{int(end['ltam_compaction_runs'])})")
+EOF
+  rm -f BENCH_pr10_soak.json
+  record_host_meta BENCH_pr10.json
+  echo "load: wrote $(pwd)/BENCH_pr10.json (soak rows)"
+  require_bench_artifacts load BENCH_pr7.json BENCH_pr9.json BENCH_pr10.json
 }
 
 replication() {

@@ -101,6 +101,9 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--schedule-seed=", 0) == 0) {
       load_options.schedule_seed =
           static_cast<uint64_t>(std::atoll(value(16).c_str()));
+    } else if (arg.rfind("--checkpoint-every-frames=", 0) == 0) {
+      load_options.checkpoint_every_frames =
+          static_cast<size_t>(std::max(0, std::atoi(value(26).c_str())));
     } else if (arg.rfind("--json-out=", 0) == 0) {
       json_out = value(11);
     } else if (arg.rfind("--log-level=", 0) == 0) {
@@ -118,7 +121,8 @@ int main(int argc, char** argv) {
           "[--scenario=NAME] [--rate=N] [--duration-s=N] [--connections=N] "
           "[--events-per-frame=N] [--max-in-flight=N] [--scenario-seed=N] "
           "[--scenario-subjects=N] [--scenario-tenants=N] "
-          "[--schedule-seed=N] [--json-out=FILE] [--log-level=L]\n",
+          "[--schedule-seed=N] [--checkpoint-every-frames=N] "
+          "[--json-out=FILE] [--log-level=L]\n",
           arg.c_str());
       return 2;
     }

@@ -34,6 +34,15 @@
 //   --pipeline-depth=N   pipelined: batches per fsync (default 4)
 //   --sync-interval-ms=N interval: fsync cadence (default 5)
 //   --wal-segment-mb=N   rotate WAL segments at N MiB (default 64)
+//   --retention-horizon-s=N  drop sealed history whose stays ended
+//                          more than N chronons (~seconds of stream
+//                          time) before the newest event, judged at
+//                          each checkpoint. Requires --durable with
+//                          --shards >= 2; implies
+//                          --retention-hot-events=4096 unless set
+//   --retention-hot-events=N seal a shard's history into a columnar
+//                          cold segment once it exceeds N hot events
+//                          (0 = never seal, the default)
 //   --metrics-dump-s=N     dump a metrics summary to stdout every N
 //                          seconds (0 = never, the default); the same
 //                          numbers are always scrapable over the wire
@@ -160,6 +169,12 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--max-batch=", 0) == 0) {
       runtime_options.max_batch_events =
           static_cast<size_t>(std::atoll(value(12).c_str()));
+    } else if (arg.rfind("--retention-horizon-s=", 0) == 0) {
+      runtime_options.retention.horizon =
+          static_cast<Chronon>(std::max(0LL, std::atoll(value(22).c_str())));
+    } else if (arg.rfind("--retention-hot-events=", 0) == 0) {
+      runtime_options.retention.max_hot_events =
+          static_cast<size_t>(std::max(0LL, std::atoll(value(23).c_str())));
     } else if (arg.rfind("--sync-mode=", 0) == 0) {
       Result<SyncMode> mode = ParseSyncMode(value(12));
       if (!mode.ok()) {
@@ -206,12 +221,20 @@ int main(int argc, char** argv) {
                    "[--scenario-tenants=N] "
                    "[--max-batch=N] [--sync-mode=M] "
                    "[--pipeline-depth=N] [--sync-interval-ms=N] "
-                   "[--wal-segment-mb=N] [--metrics-dump-s=N] "
+                   "[--wal-segment-mb=N] [--retention-horizon-s=N] "
+                   "[--retention-hot-events=N] [--metrics-dump-s=N] "
                    "[--trace-threshold-us=N] [--log-level=L] "
                    "[--replica-of=HOST:PORT]\n",
                    arg.c_str());
       return 2;
     }
+  }
+
+  // A horizon with no seal threshold would be inert (retention drops
+  // only sealed segments); default the threshold rather than reject.
+  if (runtime_options.retention.horizon > 0 &&
+      runtime_options.retention.max_hot_events == 0) {
+    runtime_options.retention.max_hot_events = 4096;
   }
 
   SystemState initial;
@@ -266,6 +289,11 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "replica error: %s\n", demoted.ToString().c_str());
       return 1;
     }
+    // Advertise the upstream in write refusals so clients re-dial the
+    // primary instead of failing; the hooks below keep it current
+    // across repoints and clear it on promotion.
+    runtime->SetPrimaryRedirect(upstream_host + ":" +
+                                std::to_string(upstream_port));
     server_options.promote_hook = [&control]() -> Result<uint64_t> {
       // Retire the upstream link FIRST (outside the runtime lock — the
       // link thread needs it to finish an in-flight apply), then bump
@@ -278,7 +306,11 @@ int main(int argc, char** argv) {
       }
       if (link != nullptr) link->Stop();
       std::unique_lock<std::shared_mutex> wlock(*control.runtime_mu);
-      return control.runtime->Promote();
+      Result<uint64_t> epoch = control.runtime->Promote();
+      // This node IS the primary now — refusals (none should fire, but
+      // a demote-reopen could) must stop pointing clients elsewhere.
+      if (epoch.ok()) control.runtime->SetPrimaryRedirect("");
+      return epoch;
     };
     server_options.repoint_hook = [&control](const std::string& host,
                                              uint16_t port) -> Status {
@@ -288,6 +320,11 @@ int main(int argc, char** argv) {
             "not following an upstream (already promoted?)");
       }
       control.link->Repoint(host, port);
+      // Refusal redirects must chase the link: after a failover the
+      // survivor's clients should be handed the NEW primary.
+      std::unique_lock<std::shared_mutex> wlock(*control.runtime_mu);
+      control.runtime->SetPrimaryRedirect(host + ":" +
+                                          std::to_string(port));
       return Status::OK();
     };
   }

@@ -1,0 +1,88 @@
+// Copyright 2026 The LTAM Authors.
+
+#include "engine/cold_segment.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ltam {
+
+void ColdSegment::SubjectRange(SubjectId s, size_t* first, size_t* last) const {
+  auto lo = std::lower_bound(subjects.begin(), subjects.end(), s);
+  auto hi = std::upper_bound(lo, subjects.end(), s);
+  *first = static_cast<size_t>(lo - subjects.begin());
+  *last = static_cast<size_t>(hi - subjects.begin());
+}
+
+void ColdSegment::RecomputeBounds() {
+  if (empty()) {
+    min_enter = 0;
+    max_exit = 0;
+    return;
+  }
+  min_enter = enters[0];
+  max_exit = exits[0];
+  for (size_t i = 0; i < rows(); ++i) {
+    min_enter = std::min(min_enter, enters[i]);
+    max_exit = std::max(max_exit, exits[i]);
+  }
+}
+
+std::shared_ptr<const ColdSegment> MergeColdSegments(
+    const std::vector<std::shared_ptr<const ColdSegment>>& segments) {
+  auto merged = std::make_shared<ColdSegment>();
+  size_t total = 0;
+  for (const auto& seg : segments) {
+    total += seg->rows();
+    merged->sealed_events += seg->sealed_events;
+  }
+  // Gather row handles (segment index, row index), then sort them by the
+  // canonical key. A plain sort is correct — equal keys are genuinely
+  // interchangeable rows — but use the sequence order as the final
+  // tiebreak anyway so the merge is bit-reproducible.
+  struct Handle {
+    uint32_t seg;
+    uint32_t row;
+  };
+  std::vector<Handle> handles;
+  handles.reserve(total);
+  for (uint32_t s = 0; s < segments.size(); ++s) {
+    for (uint32_t r = 0; r < segments[s]->rows(); ++r) {
+      handles.push_back(Handle{s, r});
+    }
+  }
+  std::sort(handles.begin(), handles.end(),
+            [&segments](const Handle& a, const Handle& b) {
+              const ColdSegment& sa = *segments[a.seg];
+              const ColdSegment& sb = *segments[b.seg];
+              if (sa.subjects[a.row] != sb.subjects[b.row]) {
+                return sa.subjects[a.row] < sb.subjects[b.row];
+              }
+              if (sa.enters[a.row] != sb.enters[b.row]) {
+                return sa.enters[a.row] < sb.enters[b.row];
+              }
+              if (sa.exits[a.row] != sb.exits[b.row]) {
+                return sa.exits[a.row] < sb.exits[b.row];
+              }
+              if (sa.locations[a.row] != sb.locations[b.row]) {
+                return sa.locations[a.row] < sb.locations[b.row];
+              }
+              if (a.seg != b.seg) return a.seg < b.seg;
+              return a.row < b.row;
+            });
+  merged->subjects.reserve(total);
+  merged->locations.reserve(total);
+  merged->enters.reserve(total);
+  merged->exits.reserve(total);
+  for (const Handle& h : handles) {
+    const ColdSegment& seg = *segments[h.seg];
+    merged->subjects.push_back(seg.subjects[h.row]);
+    merged->locations.push_back(seg.locations[h.row]);
+    merged->enters.push_back(seg.enters[h.row]);
+    merged->exits.push_back(seg.exits[h.row]);
+  }
+  merged->RecomputeBounds();
+  return merged;
+}
+
+}  // namespace ltam

@@ -1,0 +1,94 @@
+// Copyright 2026 The LTAM Authors.
+// The cold tier of the movement store: sealed, immutable stay segments.
+//
+// Movement history only grows; holding every row-form index (history
+// vector, per-subject stays, per-location stays) forever eats RAM and
+// makes every checkpoint rewrite the whole shard. A ColdSegment is the
+// sealed alternative: every *completed* stay up to some seal point,
+// stored struct-of-arrays (parallel subject/location/enter/exit columns,
+// sorted by (subject, enter, exit, location)) so historical queries scan
+// the columns directly without materializing Stay objects, and so the
+// columnar codec (storage/cold_codec.h) can delta-encode them compactly.
+//
+// Invariants every segment upholds (validated by the codec on load):
+//  - columns are parallel: subjects/locations/enters/exits all have
+//    rows() entries;
+//  - rows are sorted by (subject, enter, exit, location), so a subject's
+//    stays are one contiguous, time-ordered range;
+//  - every stay is completed: enter <= exit < kChrononMax;
+//  - min_enter/max_exit bound the rows (segment-level time pruning).
+//
+// Segments of one shard form a sequence (oldest first). Because only a
+// subject's LAST stay can be open, every stay sealed into segment i
+// precedes (per subject, in time) every stay sealed into segment i+1 —
+// so concatenating a subject's ranges in sequence order IS its stay
+// history, and merging adjacent segments (compaction) preserves it.
+
+#ifndef LTAM_ENGINE_COLD_SEGMENT_H_
+#define LTAM_ENGINE_COLD_SEGMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/events.h"
+#include "engine/movement_db.h"
+#include "time/chronon.h"
+
+namespace ltam {
+
+/// One sealed, immutable run of completed stays in columnar layout.
+struct ColdSegment {
+  /// Parallel columns, sorted by (subject, enter, exit, location).
+  std::vector<SubjectId> subjects;
+  std::vector<LocationId> locations;
+  std::vector<Chronon> enters;
+  std::vector<Chronon> exits;
+
+  /// Movement-history events this segment's seal removed from the hot
+  /// tier (NOT the row count: an exit-to-outside event closes a stay
+  /// without opening one, so events per stay is 1..2). Summed into
+  /// MovementDatabase::total_events() so sealing never changes the
+  /// logical history size. Compaction adds the inputs' counts.
+  uint64_t sealed_events = 0;
+
+  /// Time bounds over the rows (enter of the earliest stay, exit of the
+  /// latest-ending one); 0/0 for an empty segment.
+  Chronon min_enter = 0;
+  Chronon max_exit = 0;
+
+  size_t rows() const { return subjects.size(); }
+  bool empty() const { return subjects.empty(); }
+
+  /// In-memory footprint of the columns (the RSS the tier accounts for).
+  size_t ApproxBytes() const {
+    return subjects.capacity() * sizeof(SubjectId) +
+           locations.capacity() * sizeof(LocationId) +
+           enters.capacity() * sizeof(Chronon) +
+           exits.capacity() * sizeof(Chronon);
+  }
+
+  /// The contiguous row range [first, last) holding subject `s`.
+  void SubjectRange(SubjectId s, size_t* first, size_t* last) const;
+
+  /// Row i as a Stay (for paths that genuinely need the row form).
+  Stay RowStay(size_t i) const {
+    return Stay{subjects[i], locations[i], enters[i], exits[i]};
+  }
+
+  /// Recomputes min_enter/max_exit from the rows (builders call this
+  /// after filling the columns).
+  void RecomputeBounds();
+};
+
+/// Merges a run of adjacent-in-sequence segments (oldest first) into one
+/// — the compaction step. Per-subject time order is preserved because
+/// sequence order IS per-subject time order (see the header comment);
+/// the result is re-sorted by (subject, enter, exit, location) and its
+/// sealed_events is the sum of the inputs'.
+std::shared_ptr<const ColdSegment> MergeColdSegments(
+    const std::vector<std::shared_ptr<const ColdSegment>>& segments);
+
+}  // namespace ltam
+
+#endif  // LTAM_ENGINE_COLD_SEGMENT_H_

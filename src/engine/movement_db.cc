@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "engine/cold_segment.h"
 #include "time/interval.h"
 #include "util/string_util.h"
 
@@ -21,7 +22,9 @@ Status MovementDatabase::RecordMovement(Chronon time, SubjectId s,
     return Status::InvalidArgument(
         "movement to the current location is a no-op");
   }
-  // Per-subject monotonicity.
+  // Per-subject monotonicity. The hot stays carry the constraint while
+  // any exist; a subject whose stays were all sealed falls back to the
+  // sealed floor, so sealing never loosens the ordering contract.
   auto& stays = stays_by_subject_[s];
   if (!stays.empty()) {
     const Stay& last = stays.back();
@@ -31,6 +34,14 @@ Status MovementDatabase::RecordMovement(Chronon time, SubjectId s,
       return Status::FailedPrecondition(StrFormat(
           "out-of-order movement for subject s%u: t=%lld before t=%lld", s,
           static_cast<long long>(time), static_cast<long long>(last_time)));
+    }
+  } else {
+    auto floor_it = sealed_floor_.find(s);
+    if (floor_it != sealed_floor_.end() && time < floor_it->second) {
+      return Status::FailedPrecondition(StrFormat(
+          "out-of-order movement for subject s%u: t=%lld before t=%lld", s,
+          static_cast<long long>(time),
+          static_cast<long long>(floor_it->second)));
     }
   }
   // Close the open stay, if any.
@@ -82,28 +93,61 @@ Result<Chronon> MovementDatabase::CurrentStaySince(SubjectId s) const {
 
 LocationId MovementDatabase::LocationAt(SubjectId s, Chronon t) const {
   auto it = stays_by_subject_.find(s);
-  if (it == stays_by_subject_.end()) return kInvalidLocation;
-  // Stays are sorted by enter_time; find the last stay starting <= t.
-  const std::vector<Stay>& stays = it->second;
-  auto pos = std::upper_bound(
-      stays.begin(), stays.end(), t,
-      [](Chronon v, const Stay& s2) { return v < s2.enter_time; });
-  if (pos == stays.begin()) return kInvalidLocation;
-  --pos;
-  // Inside iff t before the (exclusive) exit time; a subject who moved at
-  // time x is in the new location at x.
-  if (t < pos->exit_time) return pos->location;
+  if (it != stays_by_subject_.end() && !it->second.empty()) {
+    // Stays are sorted by enter_time; find the last stay starting <= t.
+    const std::vector<Stay>& stays = it->second;
+    auto pos = std::upper_bound(
+        stays.begin(), stays.end(), t,
+        [](Chronon v, const Stay& s2) { return v < s2.enter_time; });
+    if (pos != stays.begin()) {
+      --pos;
+      // Inside iff t before the (exclusive) exit time; a subject who
+      // moved at time x is in the new location at x. Some hot stay
+      // started at or before t, and every sealed stay ended before the
+      // first hot one began, so the hot candidate is the only one.
+      if (t < pos->exit_time) return pos->location;
+      return kInvalidLocation;
+    }
+  }
+  // t precedes the subject's hot stays (or there are none): the answer,
+  // if any, is sealed. Segments are oldest-first and a subject's stays
+  // are time-ordered across them, so scan newest-first for the last
+  // sealed stay starting <= t.
+  for (auto seg_it = cold_.rbegin(); seg_it != cold_.rend(); ++seg_it) {
+    const ColdSegment& seg = **seg_it;
+    size_t first = 0;
+    size_t last = 0;
+    seg.SubjectRange(s, &first, &last);
+    if (first == last) continue;
+    auto begin = seg.enters.begin() + static_cast<ptrdiff_t>(first);
+    auto end = seg.enters.begin() + static_cast<ptrdiff_t>(last);
+    auto pos = std::upper_bound(begin, end, t);
+    if (pos == begin) continue;  // All of this segment starts after t.
+    size_t row = static_cast<size_t>(pos - seg.enters.begin()) - 1;
+    if (t < seg.exits[row]) return seg.locations[row];
+    return kInvalidLocation;
+  }
   return kInvalidLocation;
 }
 
 std::vector<SubjectId> MovementDatabase::OccupantsAt(LocationId l,
                                                      Chronon t) const {
   std::vector<SubjectId> out;
+  for (const auto& seg_ptr : cold_) {
+    const ColdSegment& seg = *seg_ptr;
+    if (seg.empty() || t < seg.min_enter || t >= seg.max_exit) continue;
+    for (size_t i = 0; i < seg.rows(); ++i) {
+      if (seg.locations[i] == l && seg.enters[i] <= t && t < seg.exits[i]) {
+        out.push_back(seg.subjects[i]);
+      }
+    }
+  }
   auto it = stays_by_location_.find(l);
-  if (it == stays_by_location_.end()) return out;
-  for (const Stay& stay : it->second) {
-    if (stay.enter_time <= t && t < stay.exit_time) {
-      out.push_back(stay.subject);
+  if (it != stays_by_location_.end()) {
+    for (const Stay& stay : it->second) {
+      if (stay.enter_time <= t && t < stay.exit_time) {
+        out.push_back(stay.subject);
+      }
     }
   }
   std::sort(out.begin(), out.end());
@@ -124,13 +168,41 @@ std::vector<SubjectId> MovementDatabase::CurrentOccupants(
 }
 
 std::vector<Stay> MovementDatabase::StaysOf(SubjectId s) const {
+  std::vector<Stay> out;
+  for (const auto& seg_ptr : cold_) {
+    const ColdSegment& seg = *seg_ptr;
+    size_t first = 0;
+    size_t last = 0;
+    seg.SubjectRange(s, &first, &last);
+    for (size_t i = first; i < last; ++i) out.push_back(seg.RowStay(i));
+  }
   auto it = stays_by_subject_.find(s);
-  if (it == stays_by_subject_.end()) return {};
-  return it->second;
+  if (it != stays_by_subject_.end()) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
 }
 
 std::vector<Stay> MovementDatabase::StaysIn(LocationId l) const {
-  return StaysInIndex(l);
+  if (cold_.empty()) return StaysInIndex(l);
+  std::vector<Stay> out;
+  for (const auto& seg_ptr : cold_) {
+    const ColdSegment& seg = *seg_ptr;
+    for (size_t i = 0; i < seg.rows(); ++i) {
+      if (seg.locations[i] == l) out.push_back(seg.RowStay(i));
+    }
+  }
+  const std::vector<Stay>& hot = StaysInIndex(l);
+  out.insert(out.end(), hot.begin(), hot.end());
+  // Arrival interleaving does not survive sealing; normalize exactly as
+  // the sharded view does.
+  std::sort(out.begin(), out.end(), [](const Stay& a, const Stay& b) {
+    if (a.enter_time != b.enter_time) return a.enter_time < b.enter_time;
+    if (a.subject != b.subject) return a.subject < b.subject;
+    if (a.exit_time != b.exit_time) return a.exit_time < b.exit_time;
+    return a.location < b.location;
+  });
+  return out;
 }
 
 const std::vector<Stay>& MovementDatabase::StaysInIndex(LocationId l) const {
@@ -142,15 +214,160 @@ const std::vector<Stay>& MovementDatabase::StaysInIndex(LocationId l) const {
 std::vector<MovementDatabase::Contact> MovementDatabase::ContactsOf(
     SubjectId s, const TimeInterval& window, Chronon min_overlap) const {
   std::vector<Contact> out;
-  auto it = stays_by_subject_.find(s);
-  if (it == stays_by_subject_.end()) return out;
-  for (const Stay& mine : it->second) {
-    auto loc_it = stays_by_location_.find(mine.location);
-    if (loc_it == stays_by_location_.end()) continue;
-    AppendStayContacts(mine, window, min_overlap, loc_it->second, &out);
+  for (const Stay& mine : StaysOf(s)) {
+    AppendContactsForStay(mine, window, min_overlap, &out);
   }
   SortContacts(&out);
   return out;
+}
+
+void MovementDatabase::AppendContactsForStay(
+    const Stay& mine, const TimeInterval& window, Chronon min_overlap,
+    std::vector<Contact>* out) const {
+  // Clip my stay once (the same arithmetic AppendStayContacts applies).
+  Chronon my_start = std::max(mine.enter_time, window.start());
+  Chronon my_end = std::min(
+      mine.exit_time == kChrononMax ? kChrononMax
+                                    : ChrononSub(mine.exit_time, 1),
+      window.end());
+  if (my_start > my_end) return;
+  for (const auto& seg_ptr : cold_) {
+    const ColdSegment& seg = *seg_ptr;
+    if (seg.empty() || ChrononSub(seg.max_exit, 1) < my_start ||
+        seg.min_enter > my_end) {
+      continue;
+    }
+    for (size_t i = 0; i < seg.rows(); ++i) {
+      if (seg.locations[i] != mine.location) continue;
+      if (seg.subjects[i] == mine.subject) continue;
+      // Sealed stays are always completed, so their inclusive end is
+      // exit - 1 — the matcher's closed-overlap arithmetic, inlined over
+      // the columns so no Stay objects materialize.
+      Chronon their_end = ChrononSub(seg.exits[i], 1);
+      Chronon ov_start = std::max(my_start, seg.enters[i]);
+      Chronon ov_end = std::min(my_end, their_end);
+      if (ov_start > ov_end) continue;
+      Chronon overlap = ChrononAdd(ChrononSub(ov_end, ov_start), 1);
+      if (overlap < min_overlap) continue;
+      out->push_back(Contact{seg.subjects[i], mine.location, ov_start,
+                             ov_end});
+    }
+  }
+  AppendStayContacts(mine, window, min_overlap, StaysInIndex(mine.location),
+                     out);
+}
+
+// --- Cold tier ---------------------------------------------------------------
+
+std::shared_ptr<const ColdSegment> MovementDatabase::SealCompletedStays() {
+  auto seg = std::make_shared<ColdSegment>();
+  // Collect every completed stay (only a subject's last stay can be
+  // open) and advance the sealed floors.
+  std::vector<Stay> open_stays;
+  for (auto& entry : stays_by_subject_) {
+    std::vector<Stay>& stays = entry.second;
+    size_t completed = stays.size();
+    bool has_open = !stays.empty() && stays.back().exit_time == kChrononMax;
+    if (has_open) --completed;
+    for (size_t i = 0; i < completed; ++i) {
+      const Stay& stay = stays[i];
+      seg->subjects.push_back(stay.subject);
+      seg->locations.push_back(stay.location);
+      seg->enters.push_back(stay.enter_time);
+      seg->exits.push_back(stay.exit_time);
+    }
+    if (completed > 0) {
+      Chronon& floor = sealed_floor_[entry.first];
+      floor = std::max(floor, stays[completed - 1].exit_time);
+    }
+    if (has_open) open_stays.push_back(stays.back());
+  }
+  if (seg->empty()) {
+    // No completed stays: the hot tier is already minimal (every event
+    // opens a still-open stay).
+    return nullptr;
+  }
+  // Canonical column order: (subject, enter, exit, location).
+  std::vector<size_t> order(seg->rows());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&seg](size_t a, size_t b) {
+    if (seg->subjects[a] != seg->subjects[b]) {
+      return seg->subjects[a] < seg->subjects[b];
+    }
+    if (seg->enters[a] != seg->enters[b]) {
+      return seg->enters[a] < seg->enters[b];
+    }
+    if (seg->exits[a] != seg->exits[b]) return seg->exits[a] < seg->exits[b];
+    return seg->locations[a] < seg->locations[b];
+  });
+  auto permute = [&order](auto& column) {
+    auto sorted = column;
+    for (size_t i = 0; i < order.size(); ++i) sorted[i] = column[order[i]];
+    column.swap(sorted);
+  };
+  permute(seg->subjects);
+  permute(seg->locations);
+  permute(seg->enters);
+  permute(seg->exits);
+  seg->RecomputeBounds();
+
+  // Shrink the hot tier: each open stay survives with one synthetic
+  // opening event (from = kInvalidLocation) so replaying history()
+  // rebuilds exactly this state. Deterministic (enter, subject) order.
+  std::sort(open_stays.begin(), open_stays.end(),
+            [](const Stay& a, const Stay& b) {
+              if (a.enter_time != b.enter_time) {
+                return a.enter_time < b.enter_time;
+              }
+              return a.subject < b.subject;
+            });
+  seg->sealed_events = history_.size() - open_stays.size();
+  cold_events_ += seg->sealed_events;
+  history_.clear();
+  stays_by_subject_.clear();
+  stays_by_location_.clear();
+  for (const Stay& open : open_stays) {
+    history_.push_back(MovementEvent{open.enter_time, open.subject,
+                                     kInvalidLocation, open.location});
+    stays_by_subject_[open.subject].push_back(open);
+    stays_by_location_[open.location].push_back(open);
+  }
+  history_.shrink_to_fit();
+  cold_.push_back(seg);
+  return seg;
+}
+
+void MovementDatabase::AttachColdTier(
+    std::vector<std::shared_ptr<const ColdSegment>> segments,
+    uint64_t dropped_events) {
+  cold_ = std::move(segments);
+  cold_events_ = 0;
+  dropped_events_ = dropped_events;
+  sealed_floor_.clear();
+  for (const auto& seg : cold_) {
+    cold_events_ += seg->sealed_events;
+    for (size_t i = 0; i < seg->rows(); ++i) {
+      Chronon& floor = sealed_floor_[seg->subjects[i]];
+      floor = std::max(floor, seg->exits[i]);
+    }
+  }
+}
+
+void MovementDatabase::ReplaceColdSegments(
+    std::vector<std::shared_ptr<const ColdSegment>> segments,
+    uint64_t dropped_events) {
+  cold_ = std::move(segments);
+  cold_events_ = 0;
+  for (const auto& seg : cold_) cold_events_ += seg->sealed_events;
+  dropped_events_ = dropped_events;
+  // sealed_floor_ deliberately kept: retention drops data, not the
+  // ordering contract.
+}
+
+size_t MovementDatabase::ColdBytes() const {
+  size_t total = 0;
+  for (const auto& seg : cold_) total += seg->ApproxBytes();
+  return total;
 }
 
 void AppendStayContacts(const Stay& mine, const TimeInterval& window,

@@ -131,6 +131,12 @@ void RunWorker(const LoadScenario& scenario, const LoadGenOptions& options,
     for (const ScenarioMutation& m : scenario.mutations) {
       barrier_before.insert(m.before_frame / streams);
     }
+    if (options.checkpoint_every_frames > 0) {
+      for (size_t f = options.checkpoint_every_frames; f < frames.size();
+           f += options.checkpoint_every_frames) {
+        barrier_before.insert(f);
+      }
+    }
   }
 
   Result<std::unique_ptr<ServiceClient>> client =

@@ -64,6 +64,12 @@ struct LoadGenOptions {
   /// from the scenario seed: the same world can be driven by different
   /// arrival schedules).
   uint64_t schedule_seed = 1;
+  /// When > 0, connection 0 drains its pipe and issues a Checkpoint
+  /// before every N-th of its frames — the soak driver: retention and
+  /// compaction run at checkpoint, so a long run needs periodic
+  /// checkpoints to exhibit its plateau. 0 keeps checkpoints tied to
+  /// the scenario's mutation schedule only.
+  size_t checkpoint_every_frames = 0;
 };
 
 /// What one run measured. Histograms record nanoseconds from scheduled

@@ -50,7 +50,9 @@ size_t MovementDatabaseView::tracked_subjects() const {
 }
 
 size_t MovementDatabaseView::history_size() const {
-  return db_->history().size();
+  // Logical size: sealing/retention must not change the reported
+  // history length (total_events == history().size() pre-seal).
+  return static_cast<size_t>(db_->total_events());
 }
 
 // --- ShardedMovementView -----------------------------------------------------
@@ -147,11 +149,14 @@ std::vector<Stay> ShardedMovementView::StaysIn(LocationId l) const {
   }
   // Per-shard lists are in per-shard arrival (enter-time) order; the
   // cross-subject interleaving of one global database is not
-  // reconstructible, so normalize to (enter_time, subject, exit_time).
+  // reconstructible, so normalize to (enter_time, subject, exit_time,
+  // location) — the same order a sealed MovementDatabase emits, so
+  // tiered and untiered deployments render identical lists.
   std::stable_sort(out.begin(), out.end(), [](const Stay& a, const Stay& b) {
     if (a.enter_time != b.enter_time) return a.enter_time < b.enter_time;
     if (a.subject != b.subject) return a.subject < b.subject;
-    return a.exit_time < b.exit_time;
+    if (a.exit_time != b.exit_time) return a.exit_time < b.exit_time;
+    return a.location < b.location;
   });
   return out;
 }
@@ -165,8 +170,9 @@ std::vector<MovementDatabase::Contact> ShardedMovementView::ContactsOf(
   std::vector<MovementDatabase::Contact> out;
   for (const Stay& mine : StaysOf(s)) {
     for (const MovementDatabase* db : shards_) {
-      AppendStayContacts(mine, window, min_overlap,
-                         db->StaysInIndex(mine.location), &out);
+      // Per-database hot+cold scan — the same step the sequential
+      // ContactsOf takes per stay, so the fan-out stays byte-identical.
+      db->AppendContactsForStay(mine, window, min_overlap, &out);
     }
   }
   SortContacts(&out);
@@ -181,7 +187,9 @@ size_t ShardedMovementView::tracked_subjects() const {
 
 size_t ShardedMovementView::history_size() const {
   size_t total = 0;
-  for (const MovementDatabase* db : shards_) total += db->history().size();
+  for (const MovementDatabase* db : shards_) {
+    total += static_cast<size_t>(db->total_events());
+  }
   return total;
 }
 

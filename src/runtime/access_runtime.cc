@@ -47,13 +47,6 @@ size_t CountRefusedEvents(const std::vector<Decision>& decisions,
   return refused;
 }
 
-Status ReplicaRefusal(const char* op) {
-  return Status::FailedPrecondition(
-      std::string(op) +
-      " refused: this runtime is a read-only replica — redirect writes "
-      "to the primary");
-}
-
 size_t PendingShardAlerts(const ShardedDecisionEngine& engine) {
   size_t total = 0;
   for (uint32_t k = 0; k < engine.num_shards(); ++k) {
@@ -440,6 +433,11 @@ class AccessRuntime::DurableShardedBackend final : public Backend {
     for (uint32_t k = 0; k < sys_->num_shards(); ++k) {
       stats->shard_watermarks.push_back(sys_->ShardWatermark(k));
     }
+    stats->cold_segments = sys_->cold_segment_count();
+    stats->cold_bytes = sys_->cold_bytes();
+    stats->dropped_events = sys_->dropped_events();
+    stats->compaction_runs = sys_->compaction_runs();
+    stats->checkpoint_dirty_segments = sys_->checkpoint_dirty_segments();
   }
 
   bool replication_capable() const override { return true; }
@@ -499,8 +497,21 @@ Result<std::unique_ptr<AccessRuntime>> AccessRuntime::Open(
   if (options.metrics != nullptr && options.durability.metrics == nullptr) {
     options.durability.metrics = options.metrics;
   }
+  const bool wants_retention = options.retention.max_hot_events > 0 ||
+                               options.retention.horizon > 0;
+  if (options.retention.horizon > 0 &&
+      options.retention.max_hot_events == 0) {
+    return Status::InvalidArgument(
+        "retention horizon requires max_hot_events > 0 (nothing is ever "
+        "sealed, so nothing could be dropped)");
+  }
   std::unique_ptr<AccessRuntime> rt(new AccessRuntime(options));
   if (!options.durable_dir.has_value()) {
+    if (wants_retention) {
+      return Status::InvalidArgument(
+          "retention (tiered cold storage) requires a durable sharded "
+          "backend: set durable_dir and num_shards > 1");
+    }
     if (options.num_shards == 1) {
       rt->backend_ = std::make_unique<SequentialBackend>(std::move(initial),
                                                          options.engine);
@@ -527,12 +538,19 @@ Result<std::unique_ptr<AccessRuntime>> AccessRuntime::Open(
       sharded_options.engine = options.engine;
       sharded_options.sync_every_batch = options.sync_every_batch;
       sharded_options.durability = options.durability;
+      sharded_options.retention = options.retention;
       LTAM_ASSIGN_OR_RETURN(
           std::unique_ptr<DurableShardedSystem> sys,
           DurableShardedSystem::Open(dir, std::move(initial),
                                      sharded_options));
       rt->backend_ = std::make_unique<DurableShardedBackend>(std::move(sys));
     } else {
+      if (wants_retention) {
+        return Status::InvalidArgument(
+            "retention (tiered cold storage) requires the durable sharded "
+            "backend; this directory/request resolves to the sequential "
+            "durable runtime");
+      }
       LTAM_ASSIGN_OR_RETURN(
           std::unique_ptr<DurableSystem> sys,
           DurableSystem::Open(dir, std::move(initial), options.engine,
@@ -563,6 +581,20 @@ Result<std::unique_ptr<AccessRuntime>> AccessRuntime::Open(
       &rt->backend_->graph(), &rt->backend_->auth_db(), rt->view_.get(),
       &rt->backend_->profiles());
   return rt;
+}
+
+Status AccessRuntime::ReplicaRefusal(const char* op) const {
+  std::string message =
+      std::string(op) +
+      " refused: this runtime is a read-only replica — redirect writes "
+      "to the primary";
+  // The token is load-bearing wire surface (protocol v6): clients grep
+  // for `[primary=` and re-dial the named endpoint, so the format must
+  // stay `[primary=host:port]` verbatim.
+  if (!primary_redirect_.empty()) {
+    message += " [primary=" + primary_redirect_ + "]";
+  }
+  return Status::FailedPrecondition(message);
 }
 
 Result<Decision> AccessRuntime::Apply(const AccessEvent& event) {
@@ -860,6 +892,12 @@ std::string RuntimeStatsToString(const RuntimeStats& stats) {
     line("wal-events", std::to_string(stats.wal_events));
     line("wal-append-failures", std::to_string(stats.wal_append_failures));
     line("wal-sync-failures", std::to_string(stats.wal_sync_failures));
+    line("cold-segments", std::to_string(stats.cold_segments));
+    line("cold-bytes", std::to_string(stats.cold_bytes));
+    line("dropped-events", std::to_string(stats.dropped_events));
+    line("compaction-runs", std::to_string(stats.compaction_runs));
+    line("checkpoint-dirty-segments",
+         std::to_string(stats.checkpoint_dirty_segments));
   }
   line("durability-watermark", std::to_string(stats.durable_offset) + "/" +
                                    std::to_string(stats.applied_offset) +

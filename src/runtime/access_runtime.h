@@ -103,6 +103,13 @@ struct RuntimeOptions {
   /// into durability.metrics (the "wal.sync" histogram) unless the
   /// caller pointed that at a different registry already.
   MetricsRegistry* metrics = nullptr;
+  /// Movement-history tiering + retention (engine/movement_db.h):
+  /// checkpoints seal oversized hot shards into columnar cold segments,
+  /// drop segments past the horizon, and compact the rest. Durable
+  /// sharded backends only — Open() rejects a non-default value on any
+  /// other backend with kInvalidArgument rather than silently keeping
+  /// unbounded history.
+  RetentionOptions retention;
 };
 
 /// Everything one ApplyBatch call produced.
@@ -184,6 +191,15 @@ struct RuntimeStats {
   /// Carried over the wire since protocol v4.
   bool replica = false;
   uint64_t replication_epoch = 0;
+  /// Movement-history tiering (durable sharded backends; zero
+  /// elsewhere). Carried over the wire since protocol v6.
+  uint64_t cold_segments = 0;     ///< Sealed segments currently live.
+  uint64_t cold_bytes = 0;        ///< Approx bytes held by cold columns.
+  uint64_t dropped_events = 0;    ///< Events dropped past the horizon.
+  uint64_t compaction_runs = 0;   ///< Segment merges since Open.
+  /// Shard snapshots rewritten by checkpoints since Open — the
+  /// incremental-checkpoint pin (clean shards re-reference their file).
+  uint64_t checkpoint_dirty_segments = 0;
 };
 
 /// The mutable stores handed to Mutate() callbacks. Movement state is
@@ -314,6 +330,16 @@ class AccessRuntime {
   /// equal is a no-op.
   Status AdoptReplicationEpoch(uint64_t epoch);
 
+  /// Where a replica believes the primary lives ("host:port"). When
+  /// set, write refusals carry a structured ` [primary=host:port]`
+  /// token so clients can re-dial instead of guessing; empty (the
+  /// default) keeps the bare refusal. The serving shell owns this hint
+  /// — it tracks --replica-of and every repoint.
+  void SetPrimaryRedirect(std::string endpoint) {
+    primary_redirect_ = std::move(endpoint);
+  }
+  const std::string& primary_redirect() const { return primary_redirect_; }
+
   /// Per-shard replication positions (monotonic durable record counts)
   /// — what a replica reports in its subscription hello so the primary
   /// resumes shipping exactly past the last durable record.
@@ -370,6 +396,10 @@ class AccessRuntime {
   /// Collects + deterministically orders the backend's pending alerts.
   std::vector<Alert> TakePendingAlerts();
 
+  /// The kFailedPrecondition every write path returns while demoted;
+  /// appends the structured primary token when the hint is set.
+  Status ReplicaRefusal(const char* op) const;
+
   RuntimeOptions options_;
   std::unique_ptr<Backend> backend_;
   std::unique_ptr<MovementView> view_;
@@ -379,6 +409,8 @@ class AccessRuntime {
   bool in_mutate_ = false;
   bool replica_ = false;
   uint64_t replication_epoch_ = 0;
+  /// Advertised in write refusals when non-empty (SetPrimaryRedirect).
+  std::string primary_redirect_;
   size_t batches_applied_ = 0;
   size_t events_applied_ = 0;
   size_t events_refused_ = 0;

@@ -36,6 +36,37 @@ Status WriteAll(int fd, const std::string& bytes) {
   return Status::OK();
 }
 
+/// Extracts host/port from the ` [primary=host:port]` token a demoted
+/// runtime appends to its write refusals (protocol v6). Strict: an
+/// absent, unterminated, or malformed token returns false so the
+/// caller surfaces the refusal instead of dialing garbage.
+bool ParsePrimaryToken(const std::string& message, std::string* host,
+                       uint16_t* port) {
+  static constexpr char kToken[] = "[primary=";
+  const size_t begin = message.rfind(kToken);
+  if (begin == std::string::npos) return false;
+  const size_t value = begin + sizeof(kToken) - 1;
+  const size_t end = message.find(']', value);
+  if (end == std::string::npos) return false;
+  const std::string endpoint = message.substr(value, end - value);
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
+    return false;
+  }
+  uint32_t parsed = 0;
+  for (size_t i = colon + 1; i < endpoint.size(); ++i) {
+    const char c = endpoint[i];
+    if (c < '0' || c > '9') return false;
+    parsed = parsed * 10 + static_cast<uint32_t>(c - '0');
+    if (parsed > 65535) return false;
+  }
+  if (parsed == 0) return false;
+  *host = endpoint.substr(0, colon);
+  *port = static_cast<uint16_t>(parsed);
+  return true;
+}
+
 }  // namespace
 
 ServiceClient::ServiceClient(int fd) : fd_(fd) {}
@@ -142,7 +173,7 @@ Status ServiceClient::Ping() {
   return Status::OK();
 }
 
-Result<WireBatchResult> ServiceClient::Apply(const AccessEvent& event) {
+Result<WireBatchResult> ServiceClient::ApplyOnce(const AccessEvent& event) {
   const uint32_t id = next_request_id_++;
   LTAM_RETURN_IF_ERROR(
       SendFrame(MessageType::kApply, id, EncodeApplyRequest(event)));
@@ -156,7 +187,13 @@ Result<WireBatchResult> ServiceClient::Apply(const AccessEvent& event) {
   return result;
 }
 
-Result<WireBatchResult> ServiceClient::ApplyBatch(
+Result<WireBatchResult> ServiceClient::Apply(const AccessEvent& event) {
+  Result<WireBatchResult> first = ApplyOnce(event);
+  if (first.ok() || !FollowPrimaryRedirect(first.status())) return first;
+  return ApplyOnce(event);
+}
+
+Result<WireBatchResult> ServiceClient::ApplyBatchOnce(
     Span<const AccessEvent> events) {
   if (events.size() > kMaxWireBatchEvents) {
     return Status::InvalidArgument(
@@ -176,13 +213,48 @@ Result<WireBatchResult> ServiceClient::ApplyBatch(
   return result;
 }
 
-Result<WireFixResult> ServiceClient::ApplyFix(const PositionFix& fix) {
+Result<WireBatchResult> ServiceClient::ApplyBatch(
+    Span<const AccessEvent> events) {
+  Result<WireBatchResult> first = ApplyBatchOnce(events);
+  if (first.ok() || !FollowPrimaryRedirect(first.status())) return first;
+  return ApplyBatchOnce(events);
+}
+
+Result<WireFixResult> ServiceClient::ApplyFixOnce(const PositionFix& fix) {
   const uint32_t id = next_request_id_++;
   LTAM_RETURN_IF_ERROR(
       SendFrame(MessageType::kApplyFix, id, EncodeApplyFixRequest(fix)));
   LTAM_ASSIGN_OR_RETURN(Frame frame,
                         ReceiveResponse(id, MessageType::kFixResult));
   return DecodeFixResult(frame.payload);
+}
+
+Result<WireFixResult> ServiceClient::ApplyFix(const PositionFix& fix) {
+  Result<WireFixResult> first = ApplyFixOnce(fix);
+  if (first.ok() || !FollowPrimaryRedirect(first.status())) return first;
+  return ApplyFixOnce(fix);
+}
+
+bool ServiceClient::FollowPrimaryRedirect(const Status& refusal) {
+  if (!refusal.IsFailedPrecondition()) return false;
+  std::string host;
+  uint16_t port = 0;
+  if (!ParsePrimaryToken(refusal.message(), &host, &port)) return false;
+  Result<std::unique_ptr<ServiceClient>> redialed = Connect(host, port);
+  if (!redialed.ok()) {
+    ++client_stats_.redirect_dial_failures;
+    return false;
+  }
+  // Adopt the fresh connection. Redirects fire only from synchronous
+  // write calls, so there is no pipelined backlog to preserve — but
+  // alerts the replica already pushed stay in the stash.
+  ::close(fd_);
+  fd_ = (*redialed)->fd_;
+  (*redialed)->fd_ = -1;
+  assembler_ = FrameAssembler();
+  send_buffer_.clear();
+  ++client_stats_.redirects_followed;
+  return true;
 }
 
 Result<QueryResult> ServiceClient::Query(const std::string& statement) {

@@ -37,6 +37,16 @@ class ServiceClient {
   static Result<std::unique_ptr<ServiceClient>> Connect(
       const std::string& host, uint16_t port);
 
+  /// Redirect bookkeeping (see the write-call docs below): how often
+  /// this client re-dialed a primary named in a replica's refusal, and
+  /// how often that re-dial itself failed (the original refusal is
+  /// returned then).
+  struct ClientStats {
+    uint64_t redirects_followed = 0;
+    uint64_t redirect_dial_failures = 0;
+  };
+  const ClientStats& client_stats() const { return client_stats_; }
+
   ~ServiceClient();
   ServiceClient(const ServiceClient&) = delete;
   ServiceClient& operator=(const ServiceClient&) = delete;
@@ -50,13 +60,23 @@ class ServiceClient {
   /// One event through the server's ingest path. The result carries the
   /// decision (decisions.size() == 1), the alerts the server attributed
   /// to this frame, and the durability outcome.
+  ///
+  /// Write calls auto-follow a replica's structured refusal: when the
+  /// server answers kFailedPrecondition carrying a `[primary=host:port]`
+  /// token (a demoted runtime that knows its primary), the client
+  /// re-dials that endpoint once, adopts the new connection, and
+  /// retries the call once. An unparseable token, a failed re-dial, or
+  /// a second refusal surfaces the server's error unchanged; follows
+  /// and failed dials are counted in client_stats().
   Result<WireBatchResult> Apply(const AccessEvent& event);
 
   /// One batch (at most kMaxWireBatchEvents events, per-subject
-  /// nondecreasing time order within the batch).
+  /// nondecreasing time order within the batch). Auto-follows a
+  /// structured replica refusal like Apply().
   Result<WireBatchResult> ApplyBatch(Span<const AccessEvent> events);
 
-  /// One raw position fix, resolved server-side.
+  /// One raw position fix, resolved server-side. Auto-follows a
+  /// structured replica refusal like Apply().
   Result<WireFixResult> ApplyFix(const PositionFix& fix);
 
   /// A query-language statement, answered over the server runtime's
@@ -178,11 +198,24 @@ class ServiceClient {
   Result<Frame> ReceiveResponse(uint32_t request_id,
                                 MessageType expected_type);
 
+  /// Single-shot bodies behind the redirect-following write calls.
+  Result<WireBatchResult> ApplyOnce(const AccessEvent& event);
+  Result<WireBatchResult> ApplyBatchOnce(Span<const AccessEvent> events);
+  Result<WireFixResult> ApplyFixOnce(const PositionFix& fix);
+
+  /// When `refusal` is a replica refusal naming a primary, re-dials it
+  /// and swaps this client onto the new connection (old socket closed,
+  /// assembler reset, pushed-alert stash kept). Returns true when the
+  /// caller should retry its request once; false leaves the connection
+  /// untouched so the original error can surface.
+  bool FollowPrimaryRedirect(const Status& refusal);
+
   int fd_;
   uint32_t next_request_id_ = 1;
   std::string send_buffer_;
   FrameAssembler assembler_;
   std::vector<Alert> pushed_alerts_;
+  ClientStats client_stats_;
 };
 
 }  // namespace ltam

@@ -768,6 +768,12 @@ std::string EncodeStatsResult(const RuntimeStats& stats) {
   // v4: replication role + promotion epoch.
   PutU8(&out, stats.replica ? 1 : 0);
   PutU64(&out, stats.replication_epoch);
+  // v6: tiered storage.
+  PutU64(&out, stats.cold_segments);
+  PutU64(&out, stats.cold_bytes);
+  PutU64(&out, stats.dropped_events);
+  PutU64(&out, stats.compaction_runs);
+  PutU64(&out, stats.checkpoint_dirty_segments);
   return out;
 }
 
@@ -807,6 +813,12 @@ Result<RuntimeStats> DecodeStatsResult(std::string_view payload) {
     return Status::ParseError("stats-result: malformed replication role");
   }
   stats.replica = replica == 1;
+  if (!r.ReadU64(&stats.cold_segments) || !r.ReadU64(&stats.cold_bytes) ||
+      !r.ReadU64(&stats.dropped_events) ||
+      !r.ReadU64(&stats.compaction_runs) ||
+      !r.ReadU64(&stats.checkpoint_dirty_segments)) {
+    return Status::ParseError("stats-result: malformed tiered-storage stats");
+  }
   LTAM_RETURN_IF_ERROR(r.Finish("stats-result"));
   stats.durable = durable == 1;
   stats.shard_count_overridden = overridden == 1;

@@ -53,8 +53,11 @@ namespace ltam {
 /// watermark list to stats results and the alert-push frame; v4 added
 /// the replication frames (replica-hello/welcome, segment-chunk,
 /// watermark-advance, promote, repoint); v5 added the metrics frames
-/// (telemetry-registry scrape, structured or Prometheus text).
-inline constexpr uint8_t kWireVersion = 5;
+/// (telemetry-registry scrape, structured or Prometheus text); v6 added
+/// the tiered-storage fields (cold segments/bytes, dropped events,
+/// compaction runs, checkpoint dirty segments) to stats results and the
+/// structured primary endpoint in replica write refusals.
+inline constexpr uint8_t kWireVersion = 6;
 
 /// "LTAM" as a little-endian u32 ('L' is the first byte on the wire).
 inline constexpr uint32_t kWireMagic = 0x4D41544Cu;

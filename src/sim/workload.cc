@@ -162,6 +162,8 @@ const char* ScenarioFamilyToString(ScenarioFamily family) {
       return "tenant";
     case ScenarioFamily::kReplication:
       return "replication";
+    case ScenarioFamily::kSoak:
+      return "soak";
   }
   return "unknown";
 }
@@ -180,9 +182,10 @@ Result<ScenarioFamily> ParseScenarioFamily(const std::string& name) {
   if (name == "replication" || name == "replica") {
     return ScenarioFamily::kReplication;
   }
+  if (name == "soak") return ScenarioFamily::kSoak;
   return Status::InvalidArgument(
       "unknown scenario family '" + name +
-      "' (expected surge|contact|churn|tenant|replication)");
+      "' (expected surge|contact|churn|tenant|replication|soak)");
 }
 
 namespace {
@@ -457,6 +460,32 @@ Result<LoadScenario> GenerateLoadScenario(ScenarioFamily family,
               "WHERE WAS u%u AT %lld", i,
               static_cast<long long>(horizon * k)));
         }
+      }
+      break;
+    }
+    case ScenarioFamily::kSoak: {
+      // Retention steady state: exits dominate so stays complete and
+      // become seal-eligible (an open stay can never move to the cold
+      // tier), arrivals are steady (the plateau signal would be noise
+      // under bursts), and a light read mix keeps the query path
+      // answering over both tiers while the server checkpoints,
+      // seals, and compacts behind the run.
+      LTAM_ASSIGN_OR_RETURN(s.initial.graph, MakeCampusGraph(4, 6));
+      s.subjects = GenerateSubjects(&s.initial.profiles, options.subjects);
+      std::vector<LocationId> prims = s.initial.graph.Primitives();
+      auth_opt.coverage = 0.9;
+      GenerateAuthorizations(s.initial.graph, s.subjects, auth_opt,
+                             &world_rng, &s.initial.auth_db);
+      sample_location = [prims](SubjectId, Rng* rng) {
+        return prims[rng->Uniform(prims.size())];
+      };
+      mix.exit_fraction = 0.45;
+      mix.observe_fraction = 0.05;
+      s.query_fraction = std::min(0.5, options.query_fraction * 0.5);
+      for (uint32_t i = 0; i < options.subjects; ++i) {
+        s.queries.push_back(StrFormat(
+            "WHERE WAS u%u AT %lld", i,
+            static_cast<long long>(horizon * 2)));
       }
       break;
     }

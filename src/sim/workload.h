@@ -138,6 +138,13 @@ size_t GenerateAuthorizationsOver(const std::vector<LocationId>& locations,
 //    meant to be answered by read replicas (ltam_load --query-host).
 //    No mutation schedule: only WAL-logged events replicate, so a
 //    mutating family would diverge primary and replica by design.
+//  - kSoak: sustained steady-state ingest for retention runs — exits
+//    dominate the mix so stays complete (and seal into cold segments)
+//    instead of accumulating open, arrivals are steady (no bursts),
+//    and a light point-in-time read mix keeps queries answering over
+//    the hot+cold tiers while the server checkpoints and compacts.
+//    The signal is a plateau: resident bytes and checkpoint latency
+//    must stop growing once retention starts dropping history.
 //
 // The same world must be constructible on both sides of a TCP
 // connection (ltam_serve boots the world, ltam_load generates the
@@ -150,6 +157,7 @@ enum class ScenarioFamily : uint8_t {
   kPolicyChurn = 2,
   kMultiTenant = 3,
   kReplication = 4,
+  kSoak = 5,
 };
 
 const char* ScenarioFamilyToString(ScenarioFamily family);

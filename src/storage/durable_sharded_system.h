@@ -40,9 +40,25 @@
 //
 // Checkpoint() flushes every log (restoring durable == applied, even
 // for a sticky-failed pipelined log, whose lost tail the snapshot
-// supersedes), writes every segment of the next epoch, publishes them
-// by atomically renaming a fresh MANIFEST, then deletes the previous
-// epoch's files. A crash at any instant leaves a committed cut.
+// supersedes), writes the dirty segments of the next epoch, publishes
+// them by atomically renaming a fresh MANIFEST, then deletes the files
+// the new cut no longer references. A crash at any instant leaves a
+// committed cut. Checkpoints are INCREMENTAL: a shard whose log
+// accepted no records since the previous cut (and whose cold tier did
+// not change) re-references its previous snapshot file in the new
+// manifest instead of rewriting it, so checkpoint latency scales with
+// the events since the last checkpoint, not with total history.
+//
+// With RetentionOptions::max_hot_events set, Checkpoint() also runs the
+// per-shard tier maintenance pass first: shards whose hot history
+// outgrew the bound seal their completed stays into immutable columnar
+// cold segments (cold-<k>-<n>.seg, storage/cold_codec.h; `n` increases
+// monotonically per shard and never recycles within a committed
+// lineage), retention drops sealed segments whose every stay ended
+// before the horizon, and compaction merges segment runs of
+// compaction_fanin into one. New/merged segments are written + fsynced
+// before the manifest rename commits them; files dropped by retention
+// or superseded by compaction are swept with the old epoch's files.
 //
 // Open() recovers by loading the manifest's base snapshot and shard
 // segments, rebuilding each shard's open-stay attribution exactly as the
@@ -65,6 +81,8 @@
 #include <string>
 #include <vector>
 
+#include "engine/cold_segment.h"
+#include "engine/movement_db.h"
 #include "engine/sharded_engine.h"
 #include "storage/log_pipeline.h"
 #include "storage/manifest.h"
@@ -72,6 +90,9 @@
 #include "storage/wal.h"
 
 namespace ltam {
+
+class Counter;
+class Gauge;
 
 /// Tuning knobs for the durable sharded runtime.
 struct DurableShardedOptions {
@@ -90,6 +111,9 @@ struct DurableShardedOptions {
   /// The write path's sync mode, pipelining bounds, segment rotation
   /// threshold, and (tests only) fault injection.
   DurabilityOptions durability;
+  /// Tiering + retention (engine/movement_db.h). max_hot_events == 0
+  /// disables sealing entirely — the pre-tiering behavior.
+  RetentionOptions retention;
 };
 
 /// A crash-safe, subject-sharded batch runtime rooted at one directory.
@@ -173,6 +197,31 @@ class DurableShardedSystem {
 
   /// Current committed checkpoint epoch.
   uint64_t epoch() const { return epoch_; }
+
+  // --- Tiering & retention -------------------------------------------------
+
+  /// Sealed cold segments currently live across every shard.
+  uint64_t cold_segment_count() const;
+  /// Approximate in-memory bytes held by the cold columns, all shards.
+  uint64_t cold_bytes() const;
+  /// Events dropped past the retention horizon, all shards, cumulative.
+  uint64_t dropped_events() const;
+  /// Shard snapshots rewritten by the most recent WriteEpoch — the
+  /// incremental-checkpoint pin: clean shards re-reference their old
+  /// file and do not count.
+  uint64_t last_checkpoint_dirty_segments() const {
+    return last_checkpoint_dirty_segments_;
+  }
+  /// Same, accumulated across every checkpoint since Open.
+  uint64_t checkpoint_dirty_segments() const {
+    return checkpoint_dirty_segments_;
+  }
+  /// Compaction merges performed since Open.
+  uint64_t compaction_runs() const { return compaction_runs_; }
+  /// Sealed segments dropped past the horizon since Open.
+  uint64_t retention_dropped_segments() const {
+    return retention_dropped_segments_;
+  }
 
   // --- Replication ---------------------------------------------------------
   //
@@ -265,7 +314,9 @@ class DurableShardedSystem {
   /// Rebuilds one unified movement database from every shard's view
   /// (history merged in time order; per-subject order is preserved since
   /// each subject lives on exactly one shard). For cross-shard queries
-  /// and tests; cost is linear in total history.
+  /// and tests; cost is linear in total history. HOT tier only: sealed
+  /// cold segments are not folded in — use the sharded MovementView for
+  /// tier-transparent cross-shard queries.
   MovementDatabase MergedMovements() const;
 
  private:
@@ -274,6 +325,11 @@ class DurableShardedSystem {
   std::string FilePath(const std::string& name) const;
   std::string BaseSnapName(uint64_t epoch) const;
   std::string ShardSnapName(uint32_t shard, uint64_t epoch) const;
+  /// Cold segment files are named per shard with a monotonically
+  /// increasing index (NOT the epoch: the same file is referenced by
+  /// every subsequent manifest until retention or compaction retires
+  /// it).
+  std::string ColdSegName(uint32_t shard, uint64_t index) const;
   /// Segment 0 keeps the legacy name events-<k>-<epoch>.wal; rotated
   /// segments are events-<k>-<epoch>-<seg>.wal.
   std::string ShardWalName(uint32_t shard, uint64_t epoch,
@@ -307,9 +363,31 @@ class DurableShardedSystem {
   /// `manifest` names the files.
   Status ReplayShardLogs(const ShardManifest& manifest);
 
-  /// Writes every segment of `epoch` + its manifest and swaps in fresh
-  /// logs. On success the committed cut is in manifest_.
+  /// Writes the dirty segments of `epoch` + its manifest and swaps in
+  /// fresh logs; clean shards re-reference their previous snapshot
+  /// file. On success the committed cut is in manifest_.
   Status WriteEpoch(uint64_t epoch);
+
+  /// Checkpoint's tier maintenance pass: seals oversized hot shards,
+  /// drops sealed segments past the retention horizon, merges segment
+  /// runs of compaction_fanin. Marks shards whose hot snapshot must be
+  /// rewritten in maintenance_dirty_. No-op unless
+  /// options_.retention.max_hot_events > 0.
+  void MaintainColdTiers();
+
+  /// Writes + fsyncs every not-yet-persisted cold segment file (then
+  /// the directory, so the names survive crash before the manifest
+  /// rename references them).
+  Status PersistColdFiles();
+
+  /// Pushes the cold-tier gauges (storage.cold_segments/.cold_bytes)
+  /// to the registry, if one is wired.
+  void UpdateColdGauges();
+
+  /// Best-effort unlink of cold-*.seg files in dir_ that the committed
+  /// manifest does not reference (a crash between segment write and
+  /// manifest publish leaves such orphans).
+  void SweepOrphanColdFiles();
 
   /// Installs the write-ahead hooks on the engine.
   void InstallHooks();
@@ -357,6 +435,34 @@ class DurableShardedSystem {
   /// iff a recovered manifest pinned another count.
   uint32_t requested_shards_ = 0;
   bool shard_count_overridden_ = false;
+  /// One shard's on-disk cold tier entry. The in-memory segment list of
+  /// shard k's MovementDatabase and cold_files_[k] stay index-aligned.
+  struct ColdFile {
+    std::string name;
+    std::shared_ptr<const ColdSegment> segment;
+    /// False for segments sealed/merged since the last checkpoint; the
+    /// file is written + fsynced before the next manifest publish.
+    bool persisted = false;
+  };
+  /// Per-shard cold tier, oldest segment first. Only the control
+  /// thread (Open/Checkpoint) touches it.
+  std::vector<std::vector<ColdFile>> cold_files_;
+  /// Per-shard naming counter for the next sealed/merged segment file.
+  std::vector<uint64_t> next_cold_index_;
+  /// Shards whose hot snapshot the tier maintenance pass invalidated
+  /// (a seal rewrote the hot history); consumed by WriteEpoch.
+  std::vector<bool> maintenance_dirty_;
+  uint64_t last_checkpoint_dirty_segments_ = 0;
+  uint64_t checkpoint_dirty_segments_ = 0;
+  uint64_t compaction_runs_ = 0;
+  uint64_t retention_dropped_segments_ = 0;
+  /// Resolved once from options_.durability.metrics (null = off).
+  Counter* dirty_segments_counter_ = nullptr;
+  Counter* compaction_runs_counter_ = nullptr;
+  Counter* retention_dropped_counter_ = nullptr;
+  Gauge* cold_segments_gauge_ = nullptr;
+  Gauge* cold_bytes_gauge_ = nullptr;
+  Gauge* resident_bytes_gauge_ = nullptr;
 };
 
 }  // namespace ltam

@@ -21,6 +21,9 @@ constexpr uint32_t kMaxShards = 4096;
 /// above anything rotation produces between checkpoints, small enough
 /// that a corrupt record cannot drive allocation.
 constexpr size_t kMaxWalSegments = 65536;
+/// Same role for a shard's sealed cold-segment list (compaction keeps
+/// real lists near compaction_fanin).
+constexpr size_t kMaxColdSegments = 65536;
 
 Result<int64_t> Field(const Record& rec, size_t i) {
   if (i >= rec.fields.size()) {
@@ -62,6 +65,9 @@ Result<std::string> SerializeManifest(const ShardManifest& manifest) {
     for (const std::string& wal : files.wals) {
       LTAM_RETURN_IF_ERROR(CheckFileName(wal));
     }
+    for (const std::string& seg : files.cold) {
+      LTAM_RETURN_IF_ERROR(CheckFileName(seg));
+    }
   }
 
   std::string bytes;
@@ -81,6 +87,16 @@ Result<std::string> SerializeManifest(const ShardManifest& manifest) {
     fields.insert(fields.end(), manifest.shards[k].wals.begin(),
                   manifest.shards[k].wals.end());
     emit({"shard", std::move(fields)});
+    // Only shards with an actual cold tier emit a record: untiered
+    // directories keep the pre-tiering serialization byte for byte.
+    if (!manifest.shards[k].cold.empty() ||
+        manifest.shards[k].dropped_events > 0) {
+      std::vector<std::string> cold_fields{
+          std::to_string(k), std::to_string(manifest.shards[k].dropped_events)};
+      cold_fields.insert(cold_fields.end(), manifest.shards[k].cold.begin(),
+                         manifest.shards[k].cold.end());
+      emit({"cold", std::move(cold_fields)});
+    }
   }
   emit({"commit", {std::to_string(records)}});
   return bytes;
@@ -229,6 +245,37 @@ Result<ShardManifest> LoadManifest(const std::string& path) {
       }
       out.shards[static_cast<size_t>(k)] = std::move(files);
       saw_shard[static_cast<size_t>(k)] = true;
+      ++records;
+      continue;
+    }
+    if (rec.type == "cold") {
+      // <k> <dropped-events> and any number of sealed segment files.
+      if (rec.fields.size() < 2 || rec.fields.size() > 2 + kMaxColdSegments) {
+        return Status::ParseError("cold record field count");
+      }
+      LTAM_ASSIGN_OR_RETURN(int64_t k, Field(rec, 0));
+      if (k < 0 || k >= static_cast<int64_t>(out.num_shards)) {
+        return Status::ParseError("cold record shard index out of range: " +
+                                  std::to_string(k));
+      }
+      ShardManifest::ShardFiles& files = out.shards[static_cast<size_t>(k)];
+      if (!files.cold.empty() || files.dropped_events > 0) {
+        return Status::ParseError("duplicate cold record for shard " +
+                                  std::to_string(k));
+      }
+      LTAM_ASSIGN_OR_RETURN(int64_t dropped, Field(rec, 1));
+      if (dropped < 0) {
+        return Status::ParseError("negative cold dropped-event count");
+      }
+      if (dropped == 0 && rec.fields.size() == 2) {
+        return Status::ParseError("empty cold record for shard " +
+                                  std::to_string(k));
+      }
+      files.dropped_events = static_cast<uint64_t>(dropped);
+      for (size_t i = 2; i < rec.fields.size(); ++i) {
+        LTAM_RETURN_IF_ERROR(CheckFileName(rec.fields[i]));
+        files.cold.push_back(rec.fields[i]);
+      }
       ++records;
       continue;
     }

@@ -16,6 +16,11 @@
 //   base <file>
 //   shard <k> <snapshot-file> <wal-seg-0> [<wal-seg-1> ...]
 //                                            (one per shard, k ascending)
+//   cold <k> <dropped-events> <seg-file> [...]
+//                      (optional, at most one per shard: the shard's
+//                       sealed cold segments in sequence order plus the
+//                       cumulative count of events already dropped past
+//                       the retention horizon; absent = no cold tier)
 //   commit <record-count>
 //
 // A shard's WAL may span several rotated segments within one epoch
@@ -23,6 +28,9 @@
 // the size threshold trips); the shard record commits the ordered
 // segment list, and rotation republishes the manifest so a crash at any
 // instant still names exactly the files recovery must replay, in order.
+// The `cold` record is emitted only for shards that actually sealed (or
+// dropped) history, so directories without tiering serialize
+// byte-identically to the pre-tiering format.
 //
 // The trailing `commit` record carries the number of records before it;
 // a manifest without a matching commit record (torn write, truncation)
@@ -50,11 +58,17 @@ struct ShardManifest {
   /// Shared state snapshot (graph/profiles/authorizations/rules).
   std::string base_snapshot;
   struct ShardFiles {
-    std::string snapshot;  ///< Per-shard movement segment.
+    std::string snapshot;  ///< Per-shard hot movement segment.
     /// Per-shard log tail, in replay order: the first entry is the
     /// segment the checkpoint created, later entries were committed by
     /// rotation. Never empty after a successful load.
     std::vector<std::string> wals;
+    /// Sealed cold segments (storage/cold_codec.h), oldest first. Empty
+    /// for shards that never sealed.
+    std::vector<std::string> cold;
+    /// Events dropped past the retention horizon (cumulative), so the
+    /// logical history length survives recovery.
+    uint64_t dropped_events = 0;
   };
   /// Indexed by shard; size() == num_shards after a successful load.
   std::vector<ShardFiles> shards;

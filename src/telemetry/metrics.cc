@@ -3,8 +3,12 @@
 #include "telemetry/metrics.h"
 
 #include <time.h>
+#if defined(__linux__)
+#include <unistd.h>
+#endif
 
 #include <algorithm>
+#include <cstdio>
 #include <thread>
 
 #include "util/string_util.h"
@@ -235,6 +239,25 @@ std::string MetricsSummaryText(const MetricsSnapshot& snapshot) {
                      histogram.ToString().c_str());
   }
   return out;
+}
+
+uint64_t ReadResidentBytes() {
+#if defined(__linux__)
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long total_pages = 0;
+  unsigned long long resident_pages = 0;
+  const int fields = std::fscanf(f, "%llu %llu", &total_pages,
+                                 &resident_pages);
+  std::fclose(f);
+  if (fields != 2) return 0;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  if (page <= 0) return 0;
+  return static_cast<uint64_t>(resident_pages) *
+         static_cast<uint64_t>(page);
+#else
+  return 0;
+#endif
 }
 
 }  // namespace ltam

@@ -168,6 +168,12 @@ std::string ToPrometheusText(const MetricsSnapshot& snapshot);
 /// runtime. Counters and gauges fold into leading summary lines.
 std::string MetricsSummaryText(const MetricsSnapshot& snapshot);
 
+/// This process's resident set size in bytes (/proc/self/statm RSS
+/// pages x page size), 0 where /proc is unavailable. Feeds the
+/// `storage.resident_bytes` gauge: a retention soak run asserts this
+/// plateaus instead of growing with total history.
+uint64_t ReadResidentBytes();
+
 }  // namespace ltam
 
 #endif  // LTAM_TELEMETRY_METRICS_H_

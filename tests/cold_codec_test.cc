@@ -1,0 +1,341 @@
+// Copyright 2026 The LTAM Authors.
+// The cold tier's building blocks in isolation: ColdSegment invariants,
+// SealCompletedStays / MergeColdSegments semantics, and the columnar
+// codec's hostile-input guarantees (truncation at any byte is an error,
+// corrupt counts cannot drive allocation, every accepted image satisfies
+// the segment invariants).
+
+#include "storage/cold_codec.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/cold_segment.h"
+#include "engine/movement_db.h"
+#include "test_util.h"
+
+namespace ltam {
+namespace {
+
+/// Appends one row; callers keep the (subject, enter, exit, location)
+/// sort order themselves.
+void AddRow(ColdSegment* seg, SubjectId s, LocationId l, Chronon enter,
+            Chronon exit) {
+  seg->subjects.push_back(s);
+  seg->locations.push_back(l);
+  seg->enters.push_back(enter);
+  seg->exits.push_back(exit);
+}
+
+ColdSegment MakeSegment() {
+  ColdSegment seg;
+  AddRow(&seg, 1, 4, 10, 20);
+  AddRow(&seg, 1, 2, 25, 40);
+  AddRow(&seg, 3, 4, 5, 12);
+  AddRow(&seg, 7, 9, 100, 1000);
+  seg.sealed_events = 7;
+  seg.RecomputeBounds();
+  return seg;
+}
+
+void ExpectSegmentsEqual(const ColdSegment& got, const ColdSegment& want) {
+  EXPECT_EQ(got.subjects, want.subjects);
+  EXPECT_EQ(got.locations, want.locations);
+  EXPECT_EQ(got.enters, want.enters);
+  EXPECT_EQ(got.exits, want.exits);
+  EXPECT_EQ(got.sealed_events, want.sealed_events);
+  EXPECT_EQ(got.min_enter, want.min_enter);
+  EXPECT_EQ(got.max_exit, want.max_exit);
+}
+
+/// The codec's varint, reimplemented so tests can hand-craft images.
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+TEST(ColdCodecTest, EmptySegmentRoundTrips) {
+  ColdSegment empty;
+  empty.sealed_events = 0;
+  ASSERT_OK_AND_ASSIGN(std::string bytes, EncodeColdSegment(empty));
+  ASSERT_OK_AND_ASSIGN(ColdSegment decoded, DecodeColdSegment(bytes));
+  EXPECT_TRUE(decoded.empty());
+  EXPECT_EQ(decoded.sealed_events, 0u);
+  EXPECT_EQ(decoded.min_enter, 0);
+  EXPECT_EQ(decoded.max_exit, 0);
+}
+
+TEST(ColdCodecTest, PopulatedSegmentRoundTrips) {
+  const ColdSegment seg = MakeSegment();
+  ASSERT_OK_AND_ASSIGN(std::string bytes, EncodeColdSegment(seg));
+  ASSERT_OK_AND_ASSIGN(ColdSegment decoded, DecodeColdSegment(bytes));
+  ExpectSegmentsEqual(decoded, seg);
+}
+
+TEST(ColdCodecTest, ExtremeValuesRoundTrip) {
+  // Large ids, negative times, zero-length stays, and big gaps all
+  // survive the delta/zigzag encoding.
+  ColdSegment seg;
+  AddRow(&seg, 0, 0, -1000000, -1000000);
+  AddRow(&seg, 5, kInvalidLocation - 1, -3, 1);
+  AddRow(&seg, kInvalidSubject - 1, 1, kChrononMax - 2, kChrononMax - 1);
+  seg.sealed_events = 3;
+  seg.RecomputeBounds();
+  ASSERT_OK_AND_ASSIGN(std::string bytes, EncodeColdSegment(seg));
+  ASSERT_OK_AND_ASSIGN(ColdSegment decoded, DecodeColdSegment(bytes));
+  ExpectSegmentsEqual(decoded, seg);
+}
+
+TEST(ColdCodecTest, TruncationAtEveryByteIsAnError) {
+  ASSERT_OK_AND_ASSIGN(std::string bytes, EncodeColdSegment(MakeSegment()));
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    Result<ColdSegment> r = DecodeColdSegment(bytes.substr(0, len));
+    EXPECT_FALSE(r.ok()) << "truncated to " << len << " of " << bytes.size()
+                         << " bytes decoded as a segment";
+  }
+  EXPECT_OK(DecodeColdSegment(bytes).status());
+}
+
+TEST(ColdCodecTest, TrailingBytesAreAnError) {
+  ASSERT_OK_AND_ASSIGN(std::string bytes, EncodeColdSegment(MakeSegment()));
+  EXPECT_FALSE(DecodeColdSegment(bytes + "x").ok());
+}
+
+TEST(ColdCodecTest, BitFlipsNeverCrashAndAcceptedImagesAreValid) {
+  ASSERT_OK_AND_ASSIGN(std::string bytes, EncodeColdSegment(MakeSegment()));
+  for (size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (char mask : {'\x01', '\x80', '\xff'}) {
+      std::string corrupted = bytes;
+      corrupted[pos] = static_cast<char>(corrupted[pos] ^ mask);
+      Result<ColdSegment> r = DecodeColdSegment(corrupted);
+      if (!r.ok()) continue;
+      // Whatever the decoder accepts upholds every segment invariant.
+      const ColdSegment& seg = *r;
+      ASSERT_EQ(seg.locations.size(), seg.rows());
+      ASSERT_EQ(seg.enters.size(), seg.rows());
+      ASSERT_EQ(seg.exits.size(), seg.rows());
+      for (size_t i = 0; i < seg.rows(); ++i) {
+        EXPECT_LE(seg.enters[i], seg.exits[i]);
+        EXPECT_LT(seg.exits[i], kChrononMax);
+        EXPECT_GE(seg.enters[i], seg.min_enter);
+        EXPECT_LE(seg.exits[i], seg.max_exit);
+        if (i > 0) {
+          EXPECT_LE(seg.subjects[i - 1], seg.subjects[i]);
+        }
+      }
+    }
+  }
+}
+
+TEST(ColdCodecTest, CorruptRowCountCannotDriveAllocation) {
+  // magic + an absurd row count and nothing else: the decoder must
+  // reject before reserving anything close to the declared size.
+  std::string bytes("LTAMCOL1", 8);
+  PutVarint(&bytes, uint64_t{1} << 60);
+  EXPECT_FALSE(DecodeColdSegment(bytes).ok());
+
+  // A big count smuggled past the header check must still die at the
+  // per-column length validation, not in a reserve.
+  std::string padded("LTAMCOL1", 8);
+  PutVarint(&padded, uint64_t{1} << 20);  // "rows"
+  PutVarint(&padded, 0);                  // sealed events
+  PutVarint(&padded, 0);                  // min enter
+  PutVarint(&padded, 0);                  // max exit
+  PutVarint(&padded, 4);                  // subjects column: 4 bytes
+  padded += std::string(1 << 21, '\x01');  // enough file to pass the
+                                           // header rows<=remaining test
+  EXPECT_FALSE(DecodeColdSegment(padded).ok());
+}
+
+TEST(ColdCodecTest, EncoderRejectsInvalidSegments) {
+  {
+    ColdSegment seg = MakeSegment();
+    seg.exits.pop_back();  // Columns not parallel.
+    EXPECT_FALSE(EncodeColdSegment(seg).ok());
+  }
+  {
+    ColdSegment seg = MakeSegment();
+    std::swap(seg.subjects[0], seg.subjects[3]);  // Not subject-sorted.
+    EXPECT_FALSE(EncodeColdSegment(seg).ok());
+  }
+  {
+    ColdSegment seg = MakeSegment();
+    seg.exits[1] = kChrononMax;  // Open stay.
+    EXPECT_FALSE(EncodeColdSegment(seg).ok());
+  }
+  {
+    ColdSegment seg = MakeSegment();
+    seg.exits[1] = seg.enters[1] - 1;  // Ends before it starts.
+    EXPECT_FALSE(EncodeColdSegment(seg).ok());
+  }
+  {
+    ColdSegment seg = MakeSegment();
+    seg.subjects[3] = kInvalidSubject;
+    EXPECT_FALSE(EncodeColdSegment(seg).ok());
+  }
+  {
+    ColdSegment seg = MakeSegment();
+    seg.locations[0] = kInvalidLocation;
+    EXPECT_FALSE(EncodeColdSegment(seg).ok());
+  }
+}
+
+TEST(ColdCodecTest, DecoderRejectsMisorderedRowsAndLyingBounds) {
+  // The encoder only enforces subject order; within-subject disorder
+  // and tampered bounds are the decoder's job to catch.
+  {
+    ColdSegment seg;
+    AddRow(&seg, 1, 2, 50, 60);
+    AddRow(&seg, 1, 2, 10, 20);  // Same subject, earlier enter: misordered.
+    seg.sealed_events = 2;
+    seg.RecomputeBounds();
+    ASSERT_OK_AND_ASSIGN(std::string bytes, EncodeColdSegment(seg));
+    EXPECT_FALSE(DecodeColdSegment(bytes).ok());
+  }
+  {
+    ColdSegment seg = MakeSegment();
+    seg.max_exit += 5;  // Bounds no longer exact.
+    ASSERT_OK_AND_ASSIGN(std::string bytes, EncodeColdSegment(seg));
+    EXPECT_FALSE(DecodeColdSegment(bytes).ok());
+  }
+  {
+    ColdSegment seg = MakeSegment();
+    seg.min_enter -= 1;
+    ASSERT_OK_AND_ASSIGN(std::string bytes, EncodeColdSegment(seg));
+    EXPECT_FALSE(DecodeColdSegment(bytes).ok());
+  }
+}
+
+TEST(ColdCodecTest, SaveAndLoadRoundTripThroughAFile) {
+  const std::string path = ::testing::TempDir() + "/ltam_cold_codec_file";
+  const ColdSegment seg = MakeSegment();
+  ASSERT_OK(SaveColdSegment(seg, path));
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<const ColdSegment> loaded,
+                       LoadColdSegment(path));
+  ExpectSegmentsEqual(*loaded, seg);
+
+  // A torn file (truncated tail) must refuse to load.
+  ASSERT_OK_AND_ASSIGN(std::string bytes, EncodeColdSegment(seg));
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_FALSE(LoadColdSegment(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ColdSegmentTest, MergeConcatenatesSortsAndSumsCounts) {
+  auto a = std::make_shared<ColdSegment>();
+  AddRow(a.get(), 1, 2, 10, 20);
+  AddRow(a.get(), 5, 3, 0, 8);
+  a->sealed_events = 3;
+  a->RecomputeBounds();
+  auto b = std::make_shared<ColdSegment>();
+  AddRow(b.get(), 1, 4, 30, 45);  // Subject 1's later stays: segment b
+  AddRow(b.get(), 2, 2, 7, 9);    // is later in the sequence.
+  b->sealed_events = 4;
+  b->RecomputeBounds();
+
+  std::shared_ptr<const ColdSegment> merged = MergeColdSegments({a, b});
+  ASSERT_EQ(merged->rows(), 4u);
+  EXPECT_EQ(merged->sealed_events, 7u);
+  EXPECT_EQ(merged->subjects, (std::vector<SubjectId>{1, 1, 2, 5}));
+  EXPECT_EQ(merged->enters, (std::vector<Chronon>{10, 30, 7, 0}));
+  EXPECT_EQ(merged->exits, (std::vector<Chronon>{20, 45, 9, 8}));
+  EXPECT_EQ(merged->min_enter, 0);
+  EXPECT_EQ(merged->max_exit, 45);
+  // The merge output re-encodes cleanly (it is itself a valid segment).
+  ASSERT_OK_AND_ASSIGN(std::string bytes, EncodeColdSegment(*merged));
+  ASSERT_OK_AND_ASSIGN(ColdSegment decoded, DecodeColdSegment(bytes));
+  ExpectSegmentsEqual(decoded, *merged);
+}
+
+TEST(ColdSegmentTest, SealMovesCompletedStaysAndPreservesAnswers) {
+  MovementDatabase tiered;
+  MovementDatabase unbounded;
+  auto record = [&](Chronon t, SubjectId s, LocationId l) {
+    ASSERT_OK(tiered.RecordMovement(t, s, l));
+    ASSERT_OK(unbounded.RecordMovement(t, s, l));
+  };
+  // Subject 0: two completed stays then leaves. Subject 1: one completed
+  // stay, then an open one. Subject 2: still in its first (open) stay.
+  record(10, 0, 3);
+  record(20, 0, 4);
+  record(30, 0, kInvalidLocation);
+  record(12, 1, 5);
+  record(40, 1, 6);
+  record(15, 2, 7);
+
+  const uint64_t total_before = tiered.total_events();
+  const size_t hot_before = tiered.history().size();
+  std::shared_ptr<const ColdSegment> seg = tiered.SealCompletedStays();
+  ASSERT_NE(seg, nullptr);
+  // Completed: both of subject 0's stays and subject 1's first. Open
+  // stays (1 in 6, 2 in 7) stay hot as synthetic opening events.
+  EXPECT_EQ(seg->rows(), 3u);
+  EXPECT_EQ(tiered.history().size(), 2u);
+  EXPECT_LT(tiered.history().size(), hot_before);
+  EXPECT_EQ(tiered.total_events(), total_before);
+  EXPECT_EQ(tiered.cold_events(), seg->sealed_events);
+
+  // Every historical and current answer matches the unbounded twin.
+  for (Chronon t = 0; t <= 50; ++t) {
+    for (SubjectId s = 0; s < 3; ++s) {
+      EXPECT_EQ(tiered.LocationAt(s, t), unbounded.LocationAt(s, t))
+          << "subject " << s << " at t=" << t;
+    }
+    for (LocationId l = 3; l <= 7; ++l) {
+      EXPECT_EQ(tiered.OccupantsAt(l, t), unbounded.OccupantsAt(l, t))
+          << "location " << l << " at t=" << t;
+    }
+  }
+  for (SubjectId s = 0; s < 3; ++s) {
+    EXPECT_EQ(tiered.CurrentLocation(s), unbounded.CurrentLocation(s));
+  }
+
+  // Nothing new completed: a second seal is a no-op.
+  EXPECT_EQ(tiered.SealCompletedStays(), nullptr);
+  EXPECT_EQ(tiered.total_events(), total_before);
+
+  // Sealing is transparent to continued writes: close subject 2's stay,
+  // seal again, answers still match.
+  record(60, 2, kInvalidLocation);
+  std::shared_ptr<const ColdSegment> second = tiered.SealCompletedStays();
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->rows(), 1u);
+  for (Chronon t = 0; t <= 70; t += 5) {
+    for (SubjectId s = 0; s < 3; ++s) {
+      EXPECT_EQ(tiered.LocationAt(s, t), unbounded.LocationAt(s, t));
+    }
+  }
+}
+
+TEST(ColdSegmentTest, SealedFloorRejectsWritesOlderThanSealedHistory) {
+  MovementDatabase tiered;
+  MovementDatabase unbounded;
+  ASSERT_OK(tiered.RecordMovement(10, 0, 3));
+  ASSERT_OK(tiered.RecordMovement(20, 0, kInvalidLocation));
+  ASSERT_OK(unbounded.RecordMovement(10, 0, 3));
+  ASSERT_OK(unbounded.RecordMovement(20, 0, kInvalidLocation));
+  ASSERT_NE(tiered.SealCompletedStays(), nullptr);
+  // An event older than the sealed history is rejected exactly as the
+  // unbounded database rejects out-of-order events.
+  EXPECT_EQ(tiered.RecordMovement(5, 0, 4).ok(),
+            unbounded.RecordMovement(5, 0, 4).ok());
+  // And a properly ordered successor is accepted by both.
+  EXPECT_OK(tiered.RecordMovement(25, 0, 4));
+  EXPECT_OK(unbounded.RecordMovement(25, 0, 4));
+}
+
+}  // namespace
+}  // namespace ltam

@@ -11,12 +11,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -25,6 +27,7 @@
 #include "storage/event_log.h"
 #include "storage/manifest.h"
 #include "storage/wal.h"
+#include "telemetry/metrics.h"
 #include "test_util.h"
 #include "util/random.h"
 
@@ -828,8 +831,17 @@ TEST_F(DurableShardedTest, PipelinedFaultsSurfaceInWatermarkNotDecisions) {
   // Checkpoint repairs: the snapshot persists the live state (including
   // every event whose log bytes were lost) and fresh logs start clean —
   // but only until the injector trips again, so drop it first the way a
-  // recovered disk would.
-  const uint64_t failures_before = sys->wal_append_failures();
+  // recovered disk would. The sticky-failed log threads are still
+  // counting refusals while their queues drain in the background, so
+  // settle the counter before pinning it (two equal reads an interval
+  // apart) — otherwise this races and flakes under load.
+  uint64_t failures_before = sys->wal_append_failures();
+  for (int settle = 0; settle < 400; ++settle) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    const uint64_t now_failures = sys->wal_append_failures();
+    if (now_failures == failures_before) break;
+    failures_before = now_failures;
+  }
   ASSERT_OK(sys->Checkpoint());
   EXPECT_EQ(sys->wal_append_failures(), failures_before)
       << "failure history must survive the checkpoint";
@@ -972,6 +984,339 @@ TEST_F(DurableShardedTest, RotationPublishesManifestOncePerNewSegment) {
   // segment — and never a skipped rewrite on this path.
   EXPECT_EQ(sys->manifest_publishes(), rotations + 1);
   EXPECT_EQ(sys->manifest_publish_skips(), 0u);
+}
+
+// --- Cold tier: incremental checkpoints, retention, recovery ---------------
+
+std::vector<fs::path> ColdSegPaths(const std::string& dir) {
+  std::vector<fs::path> out;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("cold-", 0) == 0 && name.size() > 4 &&
+        name.substr(name.size() - 4) == ".seg") {
+      out.push_back(entry.path());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST_F(DurableShardedTest, IncrementalCheckpointRewritesOnlyDirtyShards) {
+  std::vector<SubjectId> subjects;
+  SystemState probe = MakeInitialState(211, 24, &subjects);
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<DurableShardedSystem> sys,
+      DurableShardedSystem::Open(dir_, MakeInitialState(211, 24), Options()));
+
+  // Traffic to every shard: the first checkpoint rewrites all of them.
+  auto batches = MakeBatches(probe, subjects, 200, 100, 223);
+  for (const auto& batch : batches) {
+    ASSERT_OK(sys->EvaluateBatch(batch).status());
+  }
+  ASSERT_OK(sys->Checkpoint());
+  EXPECT_EQ(sys->last_checkpoint_dirty_segments(), kShards);
+  ASSERT_OK_AND_ASSIGN(ShardManifest after_full,
+                       LoadManifest(dir_ + "/MANIFEST"));
+
+  // No traffic at all: the next cut rewrites nothing and re-references
+  // every shard snapshot by name.
+  ASSERT_OK(sys->Checkpoint());
+  EXPECT_EQ(sys->last_checkpoint_dirty_segments(), 0u);
+  ASSERT_OK_AND_ASSIGN(ShardManifest after_idle,
+                       LoadManifest(dir_ + "/MANIFEST"));
+  EXPECT_EQ(after_idle.epoch, after_full.epoch + 1);
+  for (uint32_t k = 0; k < kShards; ++k) {
+    EXPECT_EQ(after_idle.shards[k].snapshot, after_full.shards[k].snapshot)
+        << "idle checkpoint rewrote shard " << k;
+    EXPECT_TRUE(fs::exists(dir_ + "/" + after_idle.shards[k].snapshot));
+  }
+
+  // Traffic confined to one subject: exactly its shard is rewritten.
+  const SubjectId lone = subjects[0];
+  const uint32_t lone_shard = sys->ShardOf(lone);
+  ASSERT_OK(
+      sys->EvaluateBatch({AccessEvent::Observe(450, lone, 0)}).status());
+  ASSERT_OK(sys->Checkpoint());
+  EXPECT_EQ(sys->last_checkpoint_dirty_segments(), 1u);
+  ASSERT_OK_AND_ASSIGN(ShardManifest after_lone,
+                       LoadManifest(dir_ + "/MANIFEST"));
+  for (uint32_t k = 0; k < kShards; ++k) {
+    if (k == lone_shard) {
+      EXPECT_NE(after_lone.shards[k].snapshot, after_idle.shards[k].snapshot);
+    } else {
+      EXPECT_EQ(after_lone.shards[k].snapshot, after_idle.shards[k].snapshot)
+          << "clean shard " << k << " was rewritten";
+    }
+  }
+}
+
+/// Regression: a checkpoint whose retention pass dropped NOTHING used to
+/// leave cold_files_ full of moved-from entries (the survivors vector
+/// was only written back when something dropped), so persisting the
+/// sealed segments dereferenced null — this exact configuration (a
+/// horizon far wider than the data) crashed the soak server.
+TEST_F(DurableShardedTest, CheckpointPersistsColdFilesWhenHorizonDropsNothing) {
+  std::vector<SubjectId> subjects;
+  SystemState probe = MakeInitialState(229, 24, &subjects);
+  DurableShardedOptions opt = Options();
+  opt.retention.max_hot_events = 4;
+  opt.retention.horizon = Chronon{1} << 40;  // Keeps everything.
+  {
+    ASSERT_OK_AND_ASSIGN(
+        std::unique_ptr<DurableShardedSystem> sys,
+        DurableShardedSystem::Open(dir_, MakeInitialState(229, 24), opt));
+    auto batches = MakeBatches(probe, subjects, 300, 60, 233);
+    for (const auto& batch : batches) {
+      ASSERT_OK(sys->EvaluateBatch(batch).status());
+      ASSERT_OK(sys->Checkpoint());
+    }
+    EXPECT_GT(sys->cold_segment_count(), 0u);
+    EXPECT_EQ(sys->retention_dropped_segments(), 0u);
+    EXPECT_EQ(sys->dropped_events(), 0u);
+    EXPECT_FALSE(ColdSegPaths(dir_).empty());
+  }
+  // The committed cut names those segment files; recovery loads them.
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<DurableShardedSystem> sys,
+      DurableShardedSystem::Open(dir_, MakeInitialState(229, 24), opt));
+  EXPECT_GT(sys->cold_segment_count(), 0u);
+  EXPECT_EQ(sys->dropped_events(), 0u);
+}
+
+TEST_F(DurableShardedTest, RetentionTierSealsCompactsAndDrops) {
+  std::vector<SubjectId> subjects;
+  SystemState probe = MakeInitialState(239, 24, &subjects);
+  DurableShardedOptions opt = Options();
+  opt.retention.max_hot_events = 8;
+  opt.retention.horizon = 40;
+  opt.retention.compaction_fanin = 3;
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<DurableShardedSystem> sys,
+      DurableShardedSystem::Open(dir_, MakeInitialState(239, 24), opt));
+  auto batches = MakeBatches(probe, subjects, 600, 50, 241);
+  uint64_t total_fed = 0;
+  for (const auto& batch : batches) {
+    ASSERT_OK(sys->EvaluateBatch(batch).status());
+    total_fed += batch.size();
+    ASSERT_OK(sys->Checkpoint());
+  }
+  EXPECT_GT(sys->cold_segment_count(), 0u);
+  EXPECT_GT(sys->cold_bytes(), 0u);
+  EXPECT_GT(sys->compaction_runs(), 0u);
+  EXPECT_GT(sys->retention_dropped_segments(), 0u);
+  EXPECT_GT(sys->dropped_events(), 0u);
+  // Compaction keeps every shard's tier below the fanin.
+  for (uint32_t k = 0; k < kShards; ++k) {
+    EXPECT_LT(sys->shard_movements(k).cold_segments().size(),
+              static_cast<size_t>(opt.retention.compaction_fanin));
+  }
+  // Dropped events left the store but not the ledger arithmetic:
+  // total_events still counts them.
+  uint64_t total_recorded = 0;
+  for (uint32_t k = 0; k < kShards; ++k) {
+    total_recorded += sys->shard_movements(k).total_events();
+  }
+  uint64_t hot = 0;
+  for (uint32_t k = 0; k < kShards; ++k) {
+    hot += sys->shard_movements(k).history().size();
+  }
+  EXPECT_LT(hot, total_recorded) << "nothing was ever sealed or dropped";
+}
+
+/// The tentpole equivalence: with tiering + retention on, every answer
+/// inside the retained window matches a runtime that never seals or
+/// drops — decision streams included — live AND after a crash-recovery.
+TEST_F(DurableShardedTest, TieredAnswersMatchUnboundedWithinRetainedWindow) {
+  const uint64_t kSeed = 251;
+  std::vector<SubjectId> subjects;
+  SystemState probe = MakeInitialState(kSeed, 24, &subjects);
+  const std::string tiered_dir = dir_ + "/tiered";
+  const std::string unbounded_dir = dir_ + "/unbounded";
+  fs::create_directories(tiered_dir);
+  fs::create_directories(unbounded_dir);
+
+  DurableShardedOptions tiered_opt = Options();
+  tiered_opt.retention.max_hot_events = 8;
+  tiered_opt.retention.horizon = 120;
+  tiered_opt.retention.compaction_fanin = 3;
+
+  auto batches = MakeBatches(probe, subjects, 600, 60, 257);
+  Chronon newest = 0;
+  for (const auto& batch : batches) {
+    for (const AccessEvent& e : batch) newest = std::max(newest, e.time);
+  }
+
+  auto compare_windows = [&](DurableShardedSystem* tiered,
+                             DurableShardedSystem* unbounded,
+                             const char* context) {
+    uint64_t tiered_total = 0;
+    uint64_t unbounded_total = 0;
+    for (uint32_t k = 0; k < kShards; ++k) {
+      tiered_total += tiered->shard_movements(k).total_events();
+      unbounded_total += unbounded->shard_movements(k).total_events();
+    }
+    EXPECT_EQ(tiered_total, unbounded_total) << context;
+    const Chronon cutoff = newest - tiered_opt.retention.horizon;
+    for (SubjectId s : subjects) {
+      const uint32_t k = tiered->ShardOf(s);
+      for (Chronon t = cutoff; t <= newest; t += 7) {
+        EXPECT_EQ(tiered->shard_movements(k).LocationAt(s, t),
+                  unbounded->shard_movements(k).LocationAt(s, t))
+            << context << ": subject " << s << " at t=" << t;
+      }
+      EXPECT_EQ(tiered->shard_movements(k).CurrentLocation(s),
+                unbounded->shard_movements(k).CurrentLocation(s))
+          << context << ": subject " << s;
+    }
+  };
+
+  {
+    ASSERT_OK_AND_ASSIGN(
+        std::unique_ptr<DurableShardedSystem> tiered,
+        DurableShardedSystem::Open(tiered_dir, MakeInitialState(kSeed, 24),
+                                   tiered_opt));
+    ASSERT_OK_AND_ASSIGN(
+        std::unique_ptr<DurableShardedSystem> unbounded,
+        DurableShardedSystem::Open(unbounded_dir, MakeInitialState(kSeed, 24),
+                                   Options()));
+    for (size_t i = 0; i < batches.size(); ++i) {
+      ASSERT_OK_AND_ASSIGN(std::vector<Decision> tiered_decisions,
+                           tiered->EvaluateBatch(batches[i]));
+      ASSERT_OK_AND_ASSIGN(std::vector<Decision> unbounded_decisions,
+                           unbounded->EvaluateBatch(batches[i]));
+      ASSERT_EQ(tiered_decisions.size(), unbounded_decisions.size());
+      for (size_t j = 0; j < tiered_decisions.size(); ++j) {
+        EXPECT_EQ(tiered_decisions[j].granted, unbounded_decisions[j].granted)
+            << "batch " << i << ", event " << j;
+      }
+      // Checkpoint mid-stream (not after the last batch) so the tiered
+      // directory crashes with BOTH sealed segments and a live WAL tail.
+      if (i + 1 == batches.size() / 2) {
+        ASSERT_OK(tiered->Checkpoint());
+        ASSERT_OK(tiered->Checkpoint());  // Second cut: seals + compacts.
+        ASSERT_OK(unbounded->Checkpoint());
+      }
+    }
+    ASSERT_GT(tiered->cold_segment_count(), 0u);
+    compare_windows(tiered.get(), unbounded.get(), "live");
+    // "Crash": destroy without a final checkpoint.
+  }
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<DurableShardedSystem> tiered,
+      DurableShardedSystem::Open(tiered_dir, MakeInitialState(kSeed, 24),
+                                 tiered_opt));
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<DurableShardedSystem> unbounded,
+      DurableShardedSystem::Open(unbounded_dir, MakeInitialState(kSeed, 24),
+                                 Options()));
+  EXPECT_GT(tiered->cold_segment_count(), 0u);
+  compare_windows(tiered.get(), unbounded.get(), "recovered");
+}
+
+/// Crash-matrix extension for the cold tier: a committed cut that names
+/// a segment file the directory lost (or holds only a torn prefix of)
+/// must refuse to open — never recover a shorter history silently.
+TEST_F(DurableShardedTest, TornOrMissingColdSegmentFailsRecovery) {
+  std::vector<SubjectId> subjects;
+  SystemState probe = MakeInitialState(263, 24, &subjects);
+  DurableShardedOptions opt = Options();
+  opt.retention.max_hot_events = 4;
+  {
+    ASSERT_OK_AND_ASSIGN(
+        std::unique_ptr<DurableShardedSystem> sys,
+        DurableShardedSystem::Open(dir_, MakeInitialState(263, 24), opt));
+    auto batches = MakeBatches(probe, subjects, 300, 60, 269);
+    for (const auto& batch : batches) {
+      ASSERT_OK(sys->EvaluateBatch(batch).status());
+      ASSERT_OK(sys->Checkpoint());
+    }
+    ASSERT_GT(sys->cold_segment_count(), 0u);
+  }
+  std::vector<fs::path> cold = ColdSegPaths(dir_);
+  ASSERT_FALSE(cold.empty());
+  const fs::path victim = cold.front();
+  std::string original;
+  {
+    std::ifstream in(victim, std::ios::binary);
+    original.assign((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(original.size(), 2u);
+
+  // Torn at every-other byte offset: always a hard error.
+  for (size_t len = 0; len < original.size(); len += 2) {
+    {
+      std::ofstream out(victim, std::ios::binary | std::ios::trunc);
+      out.write(original.data(), static_cast<std::streamsize>(len));
+    }
+    EXPECT_FALSE(DurableShardedSystem::Open(dir_, MakeInitialState(263, 24),
+                                            opt)
+                     .ok())
+        << "opened with cold segment torn at " << len << " bytes";
+  }
+  // Missing outright: also a hard error.
+  fs::remove(victim);
+  EXPECT_FALSE(
+      DurableShardedSystem::Open(dir_, MakeInitialState(263, 24), opt).ok());
+  // Restored byte-exact: opens again.
+  {
+    std::ofstream out(victim, std::ios::binary | std::ios::trunc);
+    out.write(original.data(), static_cast<std::streamsize>(original.size()));
+  }
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<DurableShardedSystem> sys,
+      DurableShardedSystem::Open(dir_, MakeInitialState(263, 24), opt));
+  EXPECT_GT(sys->cold_segment_count(), 0u);
+}
+
+/// checkpoint.dirty_segments must count exactly the snapshot rewrites,
+/// and the tier counters/gauges must agree with the accessors — the
+/// same reconciliation ci.sh's soak scrape asserts over the wire.
+TEST_F(DurableShardedTest, RetentionTelemetryReconciles) {
+  MetricsRegistry registry;
+  std::vector<SubjectId> subjects;
+  SystemState probe = MakeInitialState(271, 24, &subjects);
+  DurableShardedOptions opt = Options();
+  opt.retention.max_hot_events = 8;
+  opt.retention.horizon = 40;
+  opt.retention.compaction_fanin = 3;
+  opt.durability.metrics = &registry;
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<DurableShardedSystem> sys,
+      DurableShardedSystem::Open(dir_, MakeInitialState(271, 24), opt));
+
+  Counter* dirty = registry.GetCounter("checkpoint.dirty_segments");
+  // The fresh directory's epoch-0 cut wrote every shard.
+  uint64_t expected_dirty = dirty->value();
+  EXPECT_EQ(expected_dirty, sys->last_checkpoint_dirty_segments());
+
+  auto batches = MakeBatches(probe, subjects, 600, 50, 277);
+  for (const auto& batch : batches) {
+    ASSERT_OK(sys->EvaluateBatch(batch).status());
+    ASSERT_OK(sys->Checkpoint());
+    expected_dirty += sys->last_checkpoint_dirty_segments();
+  }
+  // An idle checkpoint rewrites nothing and must not move the counter.
+  const uint64_t before_idle = dirty->value();
+  ASSERT_OK(sys->Checkpoint());
+  EXPECT_EQ(sys->last_checkpoint_dirty_segments(), 0u);
+  EXPECT_EQ(dirty->value(), before_idle);
+
+  EXPECT_EQ(dirty->value(), expected_dirty);
+  EXPECT_EQ(registry.GetCounter("compaction.runs")->value(),
+            sys->compaction_runs());
+  EXPECT_GT(sys->compaction_runs(), 0u);
+  EXPECT_EQ(registry.GetCounter("retention.dropped_segments")->value(),
+            sys->retention_dropped_segments());
+  EXPECT_EQ(
+      static_cast<uint64_t>(registry.GetGauge("storage.cold_segments")->value()),
+      sys->cold_segment_count());
+  EXPECT_EQ(
+      static_cast<uint64_t>(registry.GetGauge("storage.cold_bytes")->value()),
+      sys->cold_bytes());
+#if defined(__linux__)
+  EXPECT_GT(registry.GetGauge("storage.resident_bytes")->value(), 0);
+#endif
 }
 
 }  // namespace

@@ -23,6 +23,10 @@
 
 #include <gtest/gtest.h>
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -119,8 +123,12 @@ struct Node {
   uint16_t port = 0;
 
   /// upstream_port < 0 starts a primary; otherwise a replica following
-  /// 127.0.0.1:upstream_port.
-  void Start(const World& w, const std::string& d, int upstream_port) {
+  /// 127.0.0.1:upstream_port. `advertise_primary` mirrors what
+  /// ltam_serve always does: write refusals carry the structured
+  /// [primary=...] token, kept current across repoints and cleared on
+  /// promotion. Default off so refusal-shape tests see the bare error.
+  void Start(const World& w, const std::string& d, int upstream_port,
+             bool advertise_primary = false) {
     dir = d;
     fs::create_directories(dir);
     RuntimeOptions options;
@@ -133,6 +141,10 @@ struct Node {
     ServerOptions server_options;
     if (upstream_port >= 0) {
       ASSERT_OK(runtime->DemoteToReplica());
+      if (advertise_primary) {
+        runtime->SetPrimaryRedirect("127.0.0.1:" +
+                                    std::to_string(upstream_port));
+      }
       server_options.promote_hook = [this]() -> Result<uint64_t> {
         std::unique_ptr<ReplicaLink> retiring;
         {
@@ -143,16 +155,23 @@ struct Node {
         // finish an in-flight apply before it can join.
         if (retiring != nullptr) retiring->Stop();
         std::unique_lock<std::shared_mutex> wlock(server->runtime_mutex());
-        return runtime->Promote();
+        Result<uint64_t> epoch = runtime->Promote();
+        if (epoch.ok()) runtime->SetPrimaryRedirect("");
+        return epoch;
       };
-      server_options.repoint_hook = [this](const std::string& host,
-                                           uint16_t p) -> Status {
+      server_options.repoint_hook = [this, advertise_primary](
+                                        const std::string& host,
+                                        uint16_t p) -> Status {
         std::lock_guard<std::mutex> lock(link_mu);
         if (link == nullptr) {
           return Status::FailedPrecondition(
               "not following an upstream (already promoted?)");
         }
         link->Repoint(host, p);
+        if (advertise_primary) {
+          std::unique_lock<std::shared_mutex> wlock(server->runtime_mutex());
+          runtime->SetPrimaryRedirect(host + ":" + std::to_string(p));
+        }
         return Status::OK();
       };
     }
@@ -342,6 +361,78 @@ TEST_F(ReplicationTest, ReplicaCatchesUpServesReadsAndRefusesWrites) {
               replica.runtime->movements().CurrentLocation(s))
         << "subject " << s;
   }
+}
+
+/// Grabs an ephemeral port the kernel just released — connecting to it
+/// refuses fast, which is what the failed-redirect leg needs.
+uint16_t ClosedPort() {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(0, ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)));
+  socklen_t len = sizeof(addr);
+  EXPECT_EQ(0, ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len));
+  ::close(fd);
+  return ntohs(addr.sin_port);
+}
+
+TEST_F(ReplicationTest, ClientFollowsStructuredPrimaryRedirect) {
+  World w = MakeWorld(6401);
+  auto batches = MakeBatches(w, /*total_events=*/160, 6407);
+  ASSERT_GE(batches.size(), 2u);
+
+  Node primary;
+  Node replica;
+  primary.Start(w, root_ + "/primary", -1);
+  replica.Start(w, root_ + "/replica", primary.port,
+                /*advertise_primary=*/true);
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ServiceClient> client,
+                       ServiceClient::Connect("127.0.0.1", replica.port));
+
+  // The replica's refusal names the primary; the client re-dials it and
+  // the write lands — one redirect, no error surfaced to the caller.
+  ASSERT_OK_AND_ASSIGN(WireBatchResult first, client->ApplyBatch(batches[0]));
+  EXPECT_EQ(batches[0].size(), first.decisions.size());
+  EXPECT_EQ(1u, client->client_stats().redirects_followed);
+  EXPECT_EQ(0u, client->client_stats().redirect_dial_failures);
+
+  // The client now talks to the primary directly: further writes do not
+  // redirect again, and Stats reports the primary role.
+  ASSERT_OK(client->Apply(batches[1][0]).status());
+  EXPECT_EQ(1u, client->client_stats().redirects_followed);
+  ASSERT_OK_AND_ASSIGN(RuntimeStats role, client->Stats());
+  EXPECT_FALSE(role.replica);
+
+  // The redirected writes replicate back to the node the client first
+  // dialed — the redirect did not fork the write path.
+  const size_t fed = batches[0].size() + 1;
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<ServiceClient> replica_client,
+                       ServiceClient::Connect("127.0.0.1", replica.port));
+  AwaitStats(
+      replica_client.get(),
+      [&](const RuntimeStats& s) { return s.applied_offset == fed; },
+      "replica catch-up behind the redirected writes");
+
+  // A refusal naming an unreachable primary surfaces unchanged: repoint
+  // the replica (the advertised hint chases the link) at a port nobody
+  // listens on, then write through it again.
+  ASSERT_OK(replica_client->Repoint("127.0.0.1", ClosedPort()));
+  Result<WireBatchResult> refused = replica_client->ApplyBatch(batches[0]);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsFailedPrecondition())
+      << refused.status().ToString();
+  EXPECT_NE(refused.status().ToString().find("[primary="), std::string::npos)
+      << "the structured token must survive a failed follow: "
+      << refused.status().ToString();
+  EXPECT_EQ(0u, replica_client->client_stats().redirects_followed);
+  EXPECT_EQ(1u, replica_client->client_stats().redirect_dial_failures);
+
+  client.reset();
+  replica_client.reset();
+  replica.Stop();
+  primary.Stop();
 }
 
 TEST_F(ReplicationTest, CrashPromoteRepointPreservesByteIdenticalDecisions) {

@@ -15,7 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "engine/cold_segment.h"
 #include "sim/graph_gen.h"
+#include "storage/cold_codec.h"
 #include "storage/event_log.h"
 #include "storage/manifest.h"
 #include "storage/snapshot.h"
@@ -218,6 +220,12 @@ TEST_P(WalFuzzTest, ManifestParserNeverCrashes) {
     // of the fuzzed surface.
     files.wals = {"events-" + std::to_string(k) + "-3.wal",
                   "events-" + std::to_string(k) + "-3-1.wal"};
+    // So are cold-tier records (sealed segment lists + dropped counts).
+    if (k % 2 == 0) {
+      files.cold = {"cold-" + std::to_string(k) + "-0.seg",
+                    "cold-" + std::to_string(k) + "-1.seg"};
+      files.dropped_events = 17 * (k + 1);
+    }
     valid.shards.push_back(std::move(files));
   }
   ASSERT_OK(SaveManifest(valid, path));
@@ -257,6 +265,10 @@ TEST_P(WalFuzzTest, ManifestParserNeverCrashes) {
         for (const std::string& wal : files.wals) {
           EXPECT_FALSE(wal.empty());
           EXPECT_EQ(wal.find('/'), std::string::npos);
+        }
+        for (const std::string& seg : files.cold) {
+          EXPECT_FALSE(seg.empty());
+          EXPECT_EQ(seg.find('/'), std::string::npos);
         }
       }
     }
@@ -329,6 +341,104 @@ TEST(ManifestTest, RejectsTornAndMalformedManifests) {
   ASSERT_OK_AND_ASSIGN(ShardManifest reloaded, LoadManifest(path));
   EXPECT_EQ(reloaded.shards[0].wals, rotated.shards[0].wals);
   std::remove(path.c_str());
+}
+
+/// Targeted cold-record rejections: the sealed-segment list is part of
+/// the committed cut, so a malformed one must fail the whole manifest.
+TEST(ManifestTest, RejectsMalformedColdRecords) {
+  const std::string path = ::testing::TempDir() + "/ltam_manifest_cold_cases";
+  auto load = [&path](const std::string& text) {
+    WriteFile(path, text);
+    return LoadManifest(path);
+  };
+  const std::string head =
+      "manifest\t1\t0\t1\nbase\tb.snap\nshard\t0\ts.snap\tw.wal\n";
+  // Shard index out of range.
+  EXPECT_FALSE(load(head + "cold\t7\t0\tc.seg\ncommit\t4\n").ok());
+  // Duplicate cold record for one shard.
+  EXPECT_FALSE(
+      load(head + "cold\t0\t0\tc.seg\ncold\t0\t0\td.seg\ncommit\t5\n").ok());
+  // Negative dropped-event count.
+  EXPECT_FALSE(load(head + "cold\t0\t-3\tc.seg\ncommit\t4\n").ok());
+  // Nothing sealed AND nothing dropped: the record should not exist.
+  EXPECT_FALSE(load(head + "cold\t0\t0\ncommit\t4\n").ok());
+  // Too few fields.
+  EXPECT_FALSE(load(head + "cold\t0\ncommit\t4\n").ok());
+  // Path-escaping segment names.
+  EXPECT_FALSE(load(head + "cold\t0\t0\t../c.seg\ncommit\t4\n").ok());
+  // A dropped-only record (everything past the horizon, nothing sealed)
+  // is legal; so is a full record, and both round-trip.
+  ASSERT_OK_AND_ASSIGN(ShardManifest dropped_only,
+                       load(head + "cold\t0\t12\ncommit\t4\n"));
+  EXPECT_EQ(dropped_only.shards[0].dropped_events, 12u);
+  EXPECT_TRUE(dropped_only.shards[0].cold.empty());
+  ASSERT_OK_AND_ASSIGN(
+      ShardManifest full,
+      load(head + "cold\t0\t5\tc0.seg\tc1.seg\tc2.seg\ncommit\t4\n"));
+  EXPECT_EQ(full.shards[0].dropped_events, 5u);
+  ASSERT_EQ(full.shards[0].cold.size(), 3u);
+  EXPECT_EQ(full.shards[0].cold[0], "c0.seg");
+  EXPECT_EQ(full.shards[0].cold[2], "c2.seg");
+  ASSERT_OK(SaveManifest(full, path));
+  ASSERT_OK_AND_ASSIGN(ShardManifest reloaded, LoadManifest(path));
+  EXPECT_EQ(reloaded.shards[0].cold, full.shards[0].cold);
+  EXPECT_EQ(reloaded.shards[0].dropped_events, 5u);
+  std::remove(path.c_str());
+}
+
+/// Corrupted columnar cold-segment images: decode must return ok or
+/// error — never crash, hang, or over-allocate — and anything accepted
+/// must satisfy every ColdSegment invariant.
+TEST_P(WalFuzzTest, ColdSegmentDecoderNeverCrashes) {
+  ColdSegment seg;
+  Rng seed_rng(GetParam());
+  Chronon enter = -20;
+  SubjectId subject = 0;
+  for (int i = 0; i < 30; ++i) {
+    subject += static_cast<SubjectId>(seed_rng.Uniform(3));
+    enter += 1 + static_cast<Chronon>(seed_rng.Uniform(10));
+    const Chronon exit = enter + static_cast<Chronon>(seed_rng.Uniform(50));
+    seg.subjects.push_back(subject);
+    seg.locations.push_back(static_cast<LocationId>(seed_rng.Uniform(12)));
+    seg.enters.push_back(enter);
+    seg.exits.push_back(exit);
+  }
+  seg.sealed_events = 41;
+  seg.RecomputeBounds();
+  ASSERT_OK_AND_ASSIGN(std::string valid, EncodeColdSegment(seg));
+  // Round trip before corrupting anything.
+  ASSERT_OK(DecodeColdSegment(valid).status());
+
+  Rng rng(GetParam() * 7919 + 1);
+  for (int i = 0; i < 300; ++i) {
+    std::string corrupted;
+    switch (i % 3) {
+      case 0:
+        corrupted = Mutate(valid, &rng);
+        break;
+      case 1:
+        corrupted = valid.substr(0, rng.Uniform(valid.size() + 1));
+        break;
+      default:
+        corrupted = RandomBytes(&rng, 400);
+        break;
+    }
+    Result<ColdSegment> r = DecodeColdSegment(corrupted);
+    if (!r.ok()) continue;
+    const ColdSegment& got = *r;
+    ASSERT_EQ(got.locations.size(), got.rows());
+    ASSERT_EQ(got.enters.size(), got.rows());
+    ASSERT_EQ(got.exits.size(), got.rows());
+    for (size_t j = 0; j < got.rows(); ++j) {
+      ASSERT_LE(got.enters[j], got.exits[j]);
+      ASSERT_LT(got.exits[j], kChrononMax);
+      ASSERT_GE(got.enters[j], got.min_enter);
+      ASSERT_LE(got.exits[j], got.max_exit);
+      if (j > 0) {
+        ASSERT_LE(got.subjects[j - 1], got.subjects[j]);
+      }
+    }
+  }
 }
 
 /// Movement-segment loading under corruption (the per-shard snapshots).
